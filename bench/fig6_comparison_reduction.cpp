@@ -1,0 +1,66 @@
+// Regenerates Figure 6 of the paper: "Reduction of tag comparison in DEW"
+// — the percentage reduction of total tag comparisons of DEW relative to
+// per-configuration Dinero-style simulation, per (application, block size
+// {4,16,64}, associativity {4,8}).
+//
+// Paper claims: reduction between 54.9% and 94.9%; e.g. JPEG decode at
+// B=64/A=4 reduces 92.97% while B=4 reduces 70.19% — reduction grows with
+// block size, and Figures 5 and 6 correlate (fewer comparisons -> faster).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "bench_support/apps.hpp"
+#include "bench_support/runners.hpp"
+#include "bench_support/table.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::bench;
+
+std::string bar(double ratio) {
+    const int n = static_cast<int>(ratio * 40.0);
+    return std::string(static_cast<std::size_t>(std::max(n, 0)), '#');
+}
+
+} // namespace
+
+int main() {
+    print_banner("Figure 6 — percentage reduction of tag comparisons",
+                 "DEW reduces tag comparisons by 54.9% to 94.9% vs Dinero "
+                 "IV");
+
+    text_table table{{"Application", "B", "A", "reduction", "paper", ""}};
+    double min_reduction = 1.0;
+    double max_reduction = 0.0;
+    for (const std::uint32_t assoc : {4u, 8u}) {
+        for (const trace::mediabench_app app : trace::all_mediabench_apps) {
+            const trace::mem_trace& trace = scaled_trace(app);
+            for (const std::uint32_t block_size : {4u, 16u, 64u}) {
+                const cell_measurement cell =
+                    run_cell(trace, app, block_size, assoc);
+                const auto paper = paper_table3(app, block_size, assoc);
+                min_reduction =
+                    std::min(min_reduction, cell.comparison_reduction());
+                max_reduction =
+                    std::max(max_reduction, cell.comparison_reduction());
+                table.add_row({
+                    trace::short_name(app),
+                    std::to_string(block_size),
+                    std::to_string(assoc),
+                    percent(cell.comparison_reduction()) + "%",
+                    paper ? percent(paper->comparison_reduction()) + "%" : "-",
+                    bar(cell.comparison_reduction()),
+                });
+            }
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nmeasured reduction range: %.1f%% .. %.1f%% "
+                "(paper: 54.9%% .. 94.9%%)\n",
+                100.0 * min_reduction, 100.0 * max_reduction);
+    return 0;
+}

@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark): throughput of the primitives the
+// end-to-end numbers of Tables 3/4 are built from — set-model probes, the
+// DEW tree walk, per-configuration baseline simulation, trace generation
+// and trace I/O decode.  These quantify the constant factors behind the
+// complexity claims (DEW O(log2 X) on a resident tag vs O(log2 X * A) per
+// configuration for the baseline).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "baseline/dinero_sim.hpp"
+#include "cache/set_model.hpp"
+#include "dew/simulator.hpp"
+#include "dew/sweep.hpp"
+#include "lru/janapsatya_sim.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/compressed_io.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+
+// A medium-locality workload reused by every micro bench; size kept well
+// above L1 working sets so the simulators do real eviction work.
+const trace::mem_trace& bench_trace() {
+    static const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 200'000);
+    return trace;
+}
+
+void BM_FifoSetAccess(benchmark::State& state) {
+    const auto assoc = static_cast<std::uint32_t>(state.range(0));
+    cache::fifo_cache_state cache{1024, assoc};
+    const trace::mem_trace& trace = bench_trace();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const std::uint64_t block = trace[i].address >> 5;
+        benchmark::DoNotOptimize(
+            cache.access(static_cast<std::uint32_t>(block & 1023), block));
+        i = (i + 1) % trace.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoSetAccess)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_LruSetAccess(benchmark::State& state) {
+    const auto assoc = static_cast<std::uint32_t>(state.range(0));
+    cache::lru_cache_state cache{1024, assoc};
+    const trace::mem_trace& trace = bench_trace();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const std::uint64_t block = trace[i].address >> 5;
+        benchmark::DoNotOptimize(
+            cache.access(static_cast<std::uint32_t>(block & 1023), block));
+        i = (i + 1) % trace.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruSetAccess)->Arg(1)->Arg(4)->Arg(16);
+
+// One full DEW pass: 15 set sizes x associativities {1, A} in one walk.
+void BM_DewPass(benchmark::State& state) {
+    const auto assoc = static_cast<std::uint32_t>(state.range(0));
+    const trace::mem_trace& trace = bench_trace();
+    for (auto _ : state) {
+        core::dew_simulator sim{14, assoc, 32};
+        sim.simulate(trace);
+        benchmark::DoNotOptimize(sim.counters().tag_comparisons);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_DewPass)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// The same coverage the pre-DEW way: 30 independent baseline runs.
+void BM_BaselineSweep(benchmark::State& state) {
+    const auto assoc = static_cast<std::uint32_t>(state.range(0));
+    const trace::mem_trace& trace = bench_trace();
+    for (auto _ : state) {
+        std::uint64_t comparisons = 0;
+        for (unsigned level = 0; level <= 14; ++level) {
+            for (const std::uint32_t a : {1u, assoc}) {
+                baseline::dinero_sim sim{{std::uint32_t{1} << level, a, 32}};
+                sim.simulate(trace);
+                comparisons += sim.stats().tag_comparisons;
+            }
+        }
+        benchmark::DoNotOptimize(comparisons);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()) * 30);
+}
+BENCHMARK(BM_BaselineSweep)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Janapsatya-style LRU tree pass for scale against DEW's FIFO pass.
+void BM_JanapsatyaPass(benchmark::State& state) {
+    const trace::mem_trace& trace = bench_trace();
+    for (auto _ : state) {
+        lru::janapsatya_sim sim{14, 8, 32};
+        sim.simulate(trace);
+        benchmark::DoNotOptimize(sim.counters().tag_comparisons);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_JanapsatyaPass)->Unit(benchmark::kMillisecond);
+
+// Whole-space sweep: serial vs worker threads (passes are independent).
+void BM_Sweep(benchmark::State& state) {
+    const auto threads = static_cast<unsigned>(state.range(0));
+    const trace::mem_trace& trace = bench_trace();
+    core::sweep_request request;
+    request.max_set_exp = 10;
+    request.block_sizes = {16, 32, 64};
+    request.associativities = {4, 8};
+    request.threads = threads;
+    for (auto _ : state) {
+        const core::sweep_result result = core::run_sweep(trace, request);
+        benchmark::DoNotOptimize(result.total_counters().tag_comparisons);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()) * 6);
+}
+BENCHMARK(BM_Sweep)->Arg(0)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_TraceGeneration(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trace::make_mediabench_trace(
+            trace::mediabench_app::mpeg2_enc, 100'000));
+    }
+    state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryDecode(benchmark::State& state) {
+    std::ostringstream encoded;
+    trace::write_binary(encoded, bench_trace());
+    const std::string payload = encoded.str();
+    for (auto _ : state) {
+        std::istringstream in{payload};
+        benchmark::DoNotOptimize(trace::read_binary(in));
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_BinaryDecode)->Unit(benchmark::kMillisecond);
+
+void BM_CompressedDecode(benchmark::State& state) {
+    std::ostringstream encoded;
+    trace::write_compressed(encoded, bench_trace());
+    const std::string payload = encoded.str();
+    for (auto _ : state) {
+        std::istringstream in{payload};
+        benchmark::DoNotOptimize(trace::read_compressed(in));
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_CompressedDecode)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+// main() comes from benchmark::benchmark_main (see bench/CMakeLists.txt).

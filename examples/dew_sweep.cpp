@@ -1,0 +1,158 @@
+// dew_sweep — the paper as a command-line tool: exact FIFO miss counts for
+// an entire cache design space from one trace file, one single-pass DEW
+// simulation per (block size, associativity) pair, optionally in parallel.
+//
+//   dew_sweep <trace-file> [options]
+//     --max-set-exp N     set counts 2^0 .. 2^N        (default 14)
+//     --blocks a,b,c      block sizes in bytes         (default 4,16,64)
+//     --assocs a,b,c      associativities (A=1 free)   (default 4,8)
+//     --threads N         worker threads               (default 0 = serial)
+//     --csv               machine-readable output
+//
+// Trace formats by extension: .din .hex .dewt .dewc .lackey/.vg (see
+// trace_tools).  Example:
+//   valgrind --tool=lackey --trace-mem=yes ls 2> ls.lackey
+//   dew_sweep ls.lackey --blocks 16,32,64 --assocs 2,4 --threads 4
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dew/result_io.hpp"
+#include "dew/sweep.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/compressed_io.hpp"
+#include "trace/lackey.hpp"
+#include "trace/text_io.hpp"
+
+namespace {
+
+using namespace dew;
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage: dew_sweep <trace-file> [--max-set-exp N] "
+                 "[--blocks a,b,c] [--assocs a,b,c] [--threads N] [--csv]\n");
+    std::exit(2);
+}
+
+std::vector<std::uint32_t> parse_list(const std::string& text) {
+    std::vector<std::uint32_t> values;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item =
+            text.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        values.push_back(static_cast<std::uint32_t>(std::stoul(item)));
+        if (comma == std::string::npos) {
+            break;
+        }
+        start = comma + 1;
+    }
+    if (values.empty()) {
+        usage();
+    }
+    return values;
+}
+
+trace::mem_trace load_trace(const std::string& path) {
+    const std::size_t dot = path.rfind('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : path.substr(dot + 1);
+    if (ext == "din") {
+        return trace::read_din_file(path);
+    }
+    if (ext == "hex") {
+        return trace::read_hex_file(path);
+    }
+    if (ext == "dewt") {
+        return trace::read_binary_file(path);
+    }
+    if (ext == "dewc") {
+        return trace::read_compressed_file(path);
+    }
+    if (ext == "lackey" || ext == "vg") {
+        return trace::read_lackey_file(path);
+    }
+    std::fprintf(stderr, "unknown trace format '.%s'\n", ext.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+    }
+    const std::string trace_path = argv[1];
+    core::sweep_request request;
+    request.max_set_exp = 14;
+    request.block_sizes = {4, 16, 64};
+    request.associativities = {4, 8};
+    bool csv = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+            }
+            return argv[++i];
+        };
+        if (arg == "--max-set-exp") {
+            request.max_set_exp =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--blocks") {
+            request.block_sizes = parse_list(next());
+        } else if (arg == "--assocs") {
+            request.associativities = parse_list(next());
+        } else if (arg == "--threads") {
+            request.threads = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--csv") {
+            csv = true;
+        } else {
+            usage();
+        }
+    }
+
+    try {
+        const trace::mem_trace trace = load_trace(trace_path);
+        const core::sweep_result result = core::run_sweep(trace, request);
+
+        if (csv) {
+            core::write_csv(std::cout, result);
+            return 0;
+        }
+
+        std::printf("%zu requests, %zu passes, %.3fs (%s)\n", trace.size(),
+                    result.passes.size(), result.seconds,
+                    request.threads == 0
+                        ? "serial"
+                        : (std::to_string(request.threads) + " threads")
+                              .c_str());
+        const core::dew_counters totals = result.total_counters();
+        std::printf("total node evaluations %llu (per-config simulation "
+                    "would need %llu), tag comparisons %llu\n\n",
+                    static_cast<unsigned long long>(totals.node_evaluations),
+                    static_cast<unsigned long long>(
+                        totals.unoptimized_evaluations),
+                    static_cast<unsigned long long>(totals.tag_comparisons));
+
+        std::printf("%-8s %-6s %-6s %14s %10s\n", "sets", "assoc", "block",
+                    "misses", "miss rate");
+        for (const core::config_outcome& outcome : result.outcomes()) {
+            std::printf("%-8u %-6u %-6u %14llu %9.3f%%\n",
+                        outcome.config.set_count,
+                        outcome.config.associativity,
+                        outcome.config.block_size,
+                        static_cast<unsigned long long>(outcome.misses),
+                        100.0 * outcome.miss_rate());
+        }
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

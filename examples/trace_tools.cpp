@@ -1,0 +1,193 @@
+// trace_tools — command-line utility around the trace substrate: convert
+// between formats, inspect statistics, and synthesise workloads.
+//
+//   trace_tools convert <in> <out>        convert between formats (by
+//                                         extension: .din .hex .dewt .dewc,
+//                                         plus .lackey/.vg for valgrind
+//                                         lackey output as input)
+//   trace_tools stats <file> [block]      locality statistics of a trace
+//   trace_tools gen <app> <count> <out>   synthesise a Mediabench-like trace
+//   trace_tools head <file> [n]           print the first n records
+//
+// Real-trace workflow (the offline substitute for the paper's SimpleScalar
+// flow):
+//   valgrind --tool=lackey --trace-mem=yes ls 2> ls.lackey
+//   trace_tools convert ls.lackey ls.dewc
+//   trace_tools stats ls.dewc 32
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "trace/binary_io.hpp"
+#include "trace/compressed_io.hpp"
+#include "trace/lackey.hpp"
+#include "trace/mediabench.hpp"
+#include "trace/stats.hpp"
+#include "trace/text_io.hpp"
+
+namespace {
+
+using namespace dew;
+using trace::mem_trace;
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  trace_tools convert <in> <out>\n"
+                 "  trace_tools stats <file> [block_size]\n"
+                 "  trace_tools gen <app> <count> <out>\n"
+                 "  trace_tools head <file> [count]\n"
+                 "formats by extension: .din .hex .dewt .dewc; lackey input "
+                 "as .lackey/.vg\n"
+                 "apps: cjpeg djpeg g721_enc g721_dec mpeg2_enc mpeg2_dec\n");
+    std::exit(2);
+}
+
+[[nodiscard]] std::string extension(const std::string& path) {
+    const std::size_t dot = path.rfind('.');
+    return dot == std::string::npos ? "" : path.substr(dot + 1);
+}
+
+[[nodiscard]] mem_trace load(const std::string& path) {
+    const std::string ext = extension(path);
+    if (ext == "din") {
+        return trace::read_din_file(path);
+    }
+    if (ext == "hex") {
+        return trace::read_hex_file(path);
+    }
+    if (ext == "dewt") {
+        return trace::read_binary_file(path);
+    }
+    if (ext == "dewc") {
+        return trace::read_compressed_file(path);
+    }
+    if (ext == "lackey" || ext == "vg") {
+        trace::lackey_parse_stats stats;
+        mem_trace result = trace::read_lackey_file(path, &stats);
+        std::fprintf(stderr,
+                     "lackey: %llu ifetch, %llu load, %llu store, %llu "
+                     "modify, %llu lines skipped\n",
+                     static_cast<unsigned long long>(
+                         stats.instruction_fetches),
+                     static_cast<unsigned long long>(stats.loads),
+                     static_cast<unsigned long long>(stats.stores),
+                     static_cast<unsigned long long>(stats.modifies),
+                     static_cast<unsigned long long>(stats.skipped_lines));
+        return result;
+    }
+    std::fprintf(stderr, "unknown input format '.%s'\n", ext.c_str());
+    std::exit(2);
+}
+
+void store(const std::string& path, const mem_trace& trace) {
+    const std::string ext = extension(path);
+    if (ext == "din") {
+        trace::write_din_file(path, trace);
+    } else if (ext == "hex") {
+        trace::write_hex_file(path, trace);
+    } else if (ext == "dewt") {
+        trace::write_binary_file(path, trace);
+    } else if (ext == "dewc") {
+        trace::write_compressed_file(path, trace);
+    } else {
+        std::fprintf(stderr, "unknown output format '.%s'\n", ext.c_str());
+        std::exit(2);
+    }
+}
+
+int run_convert(const std::string& in, const std::string& out) {
+    const mem_trace trace = load(in);
+    store(out, trace);
+    std::printf("converted %zu records: %s -> %s\n", trace.size(), in.c_str(),
+                out.c_str());
+    return 0;
+}
+
+int run_stats(const std::string& path, std::uint32_t block_size) {
+    const mem_trace trace = load(path);
+    const trace::trace_stats stats = trace::compute_stats(trace, block_size);
+    std::printf("requests            %llu\n",
+                static_cast<unsigned long long>(stats.requests));
+    std::printf("  reads / writes / ifetches   %llu / %llu / %llu\n",
+                static_cast<unsigned long long>(stats.reads),
+                static_cast<unsigned long long>(stats.writes),
+                static_cast<unsigned long long>(stats.ifetches));
+    std::printf("block size          %u B\n", block_size);
+    std::printf("unique blocks       %llu\n",
+                static_cast<unsigned long long>(stats.unique_blocks));
+    std::printf("footprint           %llu bytes\n",
+                static_cast<unsigned long long>(stats.footprint_bytes));
+    std::printf("same-block pairs    %llu (%.2f%% of transitions)\n",
+                static_cast<unsigned long long>(stats.same_block_pairs),
+                100.0 * stats.same_block_fraction);
+    std::printf("address range       0x%llx .. 0x%llx\n",
+                static_cast<unsigned long long>(stats.min_address),
+                static_cast<unsigned long long>(stats.max_address));
+    return 0;
+}
+
+int run_gen(const std::string& app_name, std::size_t count,
+            const std::string& out) {
+    for (const trace::mediabench_app app : trace::all_mediabench_apps) {
+        std::string candidate = trace::short_name(app);
+        for (char& c : candidate) {
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        if (candidate == app_name) {
+            store(out, trace::make_mediabench_trace(app, count));
+            std::printf("wrote %zu %s-like records to %s\n", count,
+                        trace::short_name(app), out.c_str());
+            return 0;
+        }
+    }
+    std::fprintf(stderr, "unknown app '%s'\n", app_name.c_str());
+    return 2;
+}
+
+int run_head(const std::string& path, std::size_t count) {
+    const mem_trace trace = load(path);
+    const std::size_t n = std::min(count, trace.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        std::printf("%zu: %s 0x%llx\n", i, to_string(trace[i].type),
+                    static_cast<unsigned long long>(trace[i].address));
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+    }
+    const std::string command = argv[1];
+    try {
+        if (command == "convert" && argc == 4) {
+            return run_convert(argv[2], argv[3]);
+        }
+        if (command == "stats" && (argc == 3 || argc == 4)) {
+            const auto block = argc == 4
+                                   ? static_cast<std::uint32_t>(
+                                         std::stoul(argv[3]))
+                                   : 32u;
+            return run_stats(argv[2], block);
+        }
+        if (command == "gen" && argc == 5) {
+            return run_gen(argv[2],
+                           static_cast<std::size_t>(std::stoull(argv[3])),
+                           argv[4]);
+        }
+        if (command == "head" && (argc == 3 || argc == 4)) {
+            const auto count = argc == 4
+                                   ? static_cast<std::size_t>(
+                                         std::stoull(argv[3]))
+                                   : std::size_t{10};
+            return run_head(argv[2], count);
+        }
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    usage();
+}

@@ -1,0 +1,65 @@
+// Working-set profiling: one DEW pass per application yields the full
+// miss-rate-vs-capacity curve; the curve analysis marks the knee (where
+// extra capacity stops paying) and the working-set estimate (smallest
+// capacity within 10% of the best achievable miss rate).
+//
+// This is the quantitative form of the paper's motivating sentence: "A
+// cache system which is too large will unnecessarily consume power and
+// increase access time, while a cache system too small will thrash."
+//
+// Usage: ./build/examples/working_set [requests]
+#include <cstdio>
+#include <string>
+
+#include "common/format.hpp"
+#include "dew/simulator.hpp"
+#include "explore/curves.hpp"
+#include "trace/mediabench.hpp"
+
+int main(int argc, char** argv) {
+    using namespace dew;
+
+    std::size_t requests = 300'000;
+    if (argc > 1) {
+        requests = static_cast<std::size_t>(std::stoull(argv[1]));
+    }
+
+    constexpr unsigned max_level = 12; // 1 .. 4096 sets
+    constexpr std::uint32_t assoc = 4;
+    constexpr std::uint32_t block = 32;
+
+    std::printf("4-way, 32 B blocks, set counts 1..%u, %zu requests per "
+                "app; [K] marks the knee, [W] the 10%% working set\n\n",
+                1u << max_level, requests);
+
+    for (const trace::mediabench_app app : trace::all_mediabench_apps) {
+        core::dew_simulator sim{max_level, assoc, block};
+        sim.simulate(trace::make_mediabench_trace(app, requests));
+
+        const auto curve = explore::extract_curve(sim.result(), assoc);
+        const explore::curve_analysis analysis =
+            explore::analyze_curve(curve, 0.10);
+
+        std::printf("%s\n", trace::short_name(app));
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+            const explore::miss_curve_point& point = curve[i];
+            const int bar_length =
+                static_cast<int>(point.miss_rate * 60.0 + 0.5);
+            std::printf("  %9s %7.3f%% %s%s%s\n",
+                        human_bytes(point.capacity_bytes).c_str(),
+                        100.0 * point.miss_rate,
+                        std::string(static_cast<std::size_t>(bar_length),
+                                    '#')
+                            .c_str(),
+                        i == analysis.knee_index ? " [K]" : "",
+                        point.capacity_bytes == analysis.working_set_bytes
+                            ? " [W]"
+                            : "");
+        }
+        std::printf("  knee at %s; working set ~%s\n\n",
+                    human_bytes(curve[analysis.knee_index].capacity_bytes)
+                        .c_str(),
+                    human_bytes(analysis.working_set_bytes).c_str());
+    }
+    return 0;
+}

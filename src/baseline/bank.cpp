@@ -1,0 +1,57 @@
+#include "baseline/bank.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace dew::baseline {
+
+std::uint64_t bank_result::misses_of(const cache::cache_config& config) const {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (configs[i] == config) {
+            return stats[i].misses;
+        }
+    }
+    throw std::out_of_range{"configuration not simulated by this bank: " +
+                            cache::to_string(config)};
+}
+
+bank_result run_bank(const trace::mem_trace& trace,
+                     const std::vector<cache::cache_config>& configs,
+                     const dinero_options& options) {
+    bank_result result;
+    result.configs = configs;
+    result.stats.reserve(configs.size());
+
+    const auto start = std::chrono::steady_clock::now();
+    for (const cache::cache_config& config : configs) {
+        dinero_sim sim{config, options};
+        sim.simulate(trace);
+        result.tag_comparisons += sim.stats().tag_comparisons;
+        result.stats.push_back(sim.stats());
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(stop - start).count();
+    return result;
+}
+
+std::vector<cache::cache_config> level_sweep_configs(unsigned max_level,
+                                                     std::uint32_t assoc,
+                                                     std::uint32_t block_size) {
+    DEW_EXPECTS(max_level < 32);
+    DEW_EXPECTS(is_pow2(assoc));
+    DEW_EXPECTS(is_pow2(block_size));
+    std::vector<cache::cache_config> configs;
+    configs.reserve(2 * (max_level + 1));
+    for (unsigned level = 0; level <= max_level; ++level) {
+        const auto sets = std::uint32_t{1} << level;
+        configs.push_back({sets, 1, block_size});
+        if (assoc != 1) {
+            configs.push_back({sets, assoc, block_size});
+        }
+    }
+    return configs;
+}
+
+} // namespace dew::baseline

@@ -1,0 +1,39 @@
+// Multi-configuration simulation the pre-DEW way: one independent pass over
+// the trace per configuration.  This is both the paper's comparator (Dinero
+// IV run 30 times per Table 3 cell) and the ground-truth oracle the DEW test
+// suite validates against.
+#ifndef DEW_BASELINE_BANK_HPP
+#define DEW_BASELINE_BANK_HPP
+
+#include <vector>
+
+#include "baseline/dinero_sim.hpp"
+#include "cache/config.hpp"
+#include "trace/record.hpp"
+
+namespace dew::baseline {
+
+struct bank_result {
+    std::vector<cache::cache_config> configs;
+    std::vector<dinero_stats> stats;   // parallel to configs
+    double seconds{0.0};               // wall-clock of all passes
+    std::uint64_t tag_comparisons{0};  // summed over all passes
+
+    [[nodiscard]] std::uint64_t misses_of(const cache::cache_config& config) const;
+};
+
+// Simulates every configuration independently (one trace pass each).
+[[nodiscard]] bank_result run_bank(const trace::mem_trace& trace,
+                                   const std::vector<cache::cache_config>& configs,
+                                   const dinero_options& options = {});
+
+// The configuration list of one paper experiment cell: set sizes
+// 2^0 .. 2^max_level crossed with associativities {1, assoc} at a fixed
+// block size — the "Assoc 1 & A" column pairs of Table 3.
+[[nodiscard]] std::vector<cache::cache_config>
+level_sweep_configs(unsigned max_level, std::uint32_t assoc,
+                    std::uint32_t block_size);
+
+} // namespace dew::baseline
+
+#endif // DEW_BASELINE_BANK_HPP

@@ -1,0 +1,148 @@
+// A faithful re-implementation of a one-configuration-at-a-time trace-driven
+// cache simulator in the style of Dinero IV (Edler & Hill), the comparator
+// of the paper's evaluation.
+//
+// Like Dinero, it simulates exactly one (S, A, B) configuration per instance
+// and maintains an extended statistics set beyond hit/miss counts: demand
+// fetches per access type, per-type miss counters, compulsory-miss detection,
+// and (optionally) full 3C classification against a shadow fully-associative
+// LRU cache.  The paper points out that maintaining this "large information
+// set" is part of why per-configuration simulation is slow; the options
+// below let benches quantify exactly that.
+#ifndef DEW_BASELINE_DINERO_SIM_HPP
+#define DEW_BASELINE_DINERO_SIM_HPP
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/config.hpp"
+#include "cache/set_model.hpp"
+#include "trace/record.hpp"
+
+namespace dew::baseline {
+
+// Write-traffic model (Dinero's -ccc style options).  The *allocation*
+// behaviour is fixed at write-allocate for every policy so hit/miss counts
+// stay comparable across all simulators in this library (DEW assumes
+// allocate-on-miss, as the paper does); the write policy only decides the
+// memory write traffic accounted in the statistics.
+enum class write_policy : std::uint8_t {
+    write_back = 0,    // dirty blocks written back on eviction
+    write_through = 1, // every store writes to memory immediately
+};
+
+struct dinero_options {
+    cache::replacement_policy policy{cache::replacement_policy::fifo};
+    // Track first-touch (compulsory) misses, as Dinero does by default.
+    bool count_compulsory{true};
+    // Track per-access-type demand fetch / miss counters, as Dinero does.
+    bool per_type_stats{true};
+    // Classify misses as compulsory / capacity / conflict using a shadow
+    // fully-associative LRU cache of equal capacity.  Off by default (it is
+    // an optional Dinero analysis and roughly doubles the bookkeeping).
+    bool classify_3c{false};
+    write_policy writes{write_policy::write_through};
+    cache::fifo_search_order fifo_order{cache::fifo_search_order::way_order};
+    std::uint64_t random_seed{0x9E3779B97F4A7C15ull};
+};
+
+struct dinero_stats {
+    std::uint64_t accesses{0};
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t tag_comparisons{0};
+
+    // Demand fetches by type (Dinero's -informat d counters).
+    std::uint64_t demand_reads{0};
+    std::uint64_t demand_writes{0};
+    std::uint64_t demand_ifetches{0};
+    std::uint64_t read_misses{0};
+    std::uint64_t write_misses{0};
+    std::uint64_t ifetch_misses{0};
+
+    std::uint64_t compulsory_misses{0};
+    std::uint64_t capacity_misses{0};
+    std::uint64_t conflict_misses{0};
+
+    std::uint64_t evictions{0};
+    std::uint64_t bytes_fetched{0}; // misses * block_size
+    // Write traffic to the next level under options.writes: write-through
+    // counts every store; write-back counts dirty evictions (plus the final
+    // flush_dirty() if the caller asks for it).
+    std::uint64_t bytes_written{0};
+    std::uint64_t writebacks{0};   // dirty evictions (write-back only)
+    std::uint64_t dirty_blocks{0}; // currently dirty (write-back only)
+
+    [[nodiscard]] double miss_rate() const noexcept {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+    [[nodiscard]] double hit_rate() const noexcept {
+        return accesses == 0 ? 0.0 : 1.0 - miss_rate();
+    }
+};
+
+class dinero_sim {
+public:
+    explicit dinero_sim(const cache::cache_config& config,
+                        const dinero_options& options = {});
+
+    // Simulate a single reference.
+    void access(const trace::mem_access& reference);
+
+    // Simulate a whole trace.
+    void simulate(const trace::mem_trace& trace);
+
+    [[nodiscard]] const dinero_stats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const cache::cache_config& config() const noexcept {
+        return config_;
+    }
+    [[nodiscard]] const dinero_options& options() const noexcept {
+        return options_;
+    }
+
+    // Write-back epilogue: flushes every dirty block, adding their
+    // write-back traffic to the statistics (what Dinero reports when the
+    // simulation "drains" the cache).  No-op under write-through.
+    void flush_dirty();
+
+private:
+    // Updates the shadow fully-associative LRU; returns whether it hit.
+    bool shadow_access(std::uint64_t block);
+
+    cache::cache_config config_;
+    dinero_options options_;
+    dinero_stats stats_;
+
+    // Exactly one of these is engaged, selected by options_.policy.
+    std::optional<cache::fifo_cache_state> fifo_;
+    std::optional<cache::lru_cache_state> lru_;
+    std::optional<cache::random_cache_state> random_;
+    std::optional<cache::plru_cache_state> plru_;
+
+    // Compulsory-miss detection: blocks ever touched.
+    std::unordered_set<std::uint64_t> touched_;
+
+    // Write-back dirty tracking, keyed by block number (positions are not
+    // stable under LRU's recency rotation, so per-way bits would be wrong).
+    std::unordered_set<std::uint64_t> dirty_blocks_;
+
+    // Shadow fully-associative LRU of equal capacity for 3C classification.
+    std::list<std::uint64_t> shadow_lru_;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        shadow_index_;
+};
+
+// Convenience used by tests and benches: miss count of one configuration
+// over a trace, with all extended statistics disabled (pure hit/miss).
+[[nodiscard]] std::uint64_t
+count_misses(const trace::mem_trace& trace, const cache::cache_config& config,
+             cache::replacement_policy policy);
+
+} // namespace dew::baseline
+
+#endif // DEW_BASELINE_DINERO_SIM_HPP

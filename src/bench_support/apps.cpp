@@ -1,0 +1,116 @@
+#include "bench_support/apps.hpp"
+
+#include <array>
+
+namespace dew::bench {
+
+namespace {
+
+using trace::mediabench_app;
+
+// Table 3, transcribed row-by-row from the paper.  Index order:
+// [app][block: 4,16,64][assoc: 4,8,16] = {DEW s, Dinero s, DEW Mcmp,
+// Dinero Mcmp}.
+struct cell {
+    double ds, xs, dc, xc;
+};
+
+constexpr std::array<std::array<std::array<cell, 3>, 3>, 6> table3{{
+    // CJPEG (JPEG encode)
+    {{{{{30, 350, 357, 1397}, {30, 357, 523, 2067}, {31, 355, 721, 3195}}},
+      {{{21, 342, 148, 1255}, {22, 348, 198, 1766}, {22, 349, 280, 2649}}},
+      {{{19, 336, 76, 1161}, {18, 342, 101, 1583}, {18, 344, 146, 2218}}}}},
+    // DJPEG (JPEG decode)
+    {{{{{10, 227, 122, 411}, {10, 229, 193, 599}, {10, 228, 278, 931}}},
+      {{{7, 221, 53, 364}, {7, 223, 75, 500}, {7, 223, 101, 749}}},
+      {{{6, 219, 23, 332}, {6, 220, 32, 437}, {6, 220, 43, 608}}}}},
+    // G721 encode
+    {{{{{191, 1993, 2656, 7921}, {197, 2040, 4382, 11401},
+        {220, 2036, 7170, 17152}}},
+      {{{125, 1940, 1062, 7007}, {127, 1972, 1692, 9444},
+        {135, 1970, 2585, 13186}}},
+      {{{99, 1909, 328, 6364}, {99, 1930, 482, 8222},
+        {101, 1932, 692, 11032}}}}},
+    // G721 decode
+    {{{{{198, 2008, 2710, 7942}, {201, 2054, 4406, 11393},
+        {225, 2052, 7289, 17235}}},
+      {{{132, 1954, 1094, 7028}, {134, 1993, 1699, 9431},
+        {141, 1989, 2655, 13341}}},
+      {{{101, 1924, 401, 6405}, {100, 1948, 587, 8025},
+        {105, 1960, 821, 10614}}}}},
+    // MPEG2 encode
+    {{{{{5558, 50385, 81691, 216232}, {5730, 51918, 133165, 330678},
+        {6085, 51732, 210704, 531065}}},
+      {{{3518, 48947, 31092, 192193}, {3619, 50275, 47924, 275494},
+        {3534, 50207, 70256, 419894}}},
+      {{{2732, 47813, 10893, 176249}, {2729, 49076, 15184, 240811},
+        {2488, 49325, 19953, 344404}}}}},
+    // MPEG2 decode
+    {{{{{2141, 19151, 32509, 78857}, {2201, 19720, 52553, 116519},
+        {2440, 19603, 82341, 179448}}},
+      {{{1337, 18479, 13264, 68287}, {1350, 18958, 19932, 94703},
+        {1429, 18914, 28500, 136879}}},
+      {{{989, 18132, 4837, 61783}, {983, 18480, 6700, 81505},
+        {1018, 18564, 8156, 113118}}}}},
+}};
+
+int app_index(mediabench_app app) {
+    switch (app) {
+    case mediabench_app::cjpeg: return 0;
+    case mediabench_app::djpeg: return 1;
+    case mediabench_app::g721_enc: return 2;
+    case mediabench_app::g721_dec: return 3;
+    case mediabench_app::mpeg2_enc: return 4;
+    case mediabench_app::mpeg2_dec: return 5;
+    }
+    return -1;
+}
+
+} // namespace
+
+std::optional<table3_reference> paper_table3(trace::mediabench_app app,
+                                             std::uint32_t block,
+                                             std::uint32_t assoc) {
+    const int a = app_index(app);
+    int bi = -1;
+    if (block == 4) bi = 0;
+    if (block == 16) bi = 1;
+    if (block == 64) bi = 2;
+    int ai = -1;
+    if (assoc == 4) ai = 0;
+    if (assoc == 8) ai = 1;
+    if (assoc == 16) ai = 2;
+    if (a < 0 || bi < 0 || ai < 0) {
+        return std::nullopt;
+    }
+    const cell& c = table3[static_cast<std::size_t>(a)]
+                          [static_cast<std::size_t>(bi)]
+                          [static_cast<std::size_t>(ai)];
+    return table3_reference{c.ds, c.xs, c.dc, c.xc};
+}
+
+table4_reference paper_table4(trace::mediabench_app app) {
+    switch (app) { // Table 4 of the paper, block size 4 B, values in millions
+    case mediabench_app::cjpeg:
+        return {770.43, 140.66, 23.18, {83.00, 25.47, 10.24},
+                {66.11, 42.79, 9.45}};
+    case mediabench_app::djpeg:
+        return {228.52, 46.92, 7.31, {28.46, 8.62, 2.87},
+                {24.44, 14.50, 0.90}};
+    case mediabench_app::g721_enc:
+        return {4649.99, 975.85, 140.30, {623.12, 165.45, 49.53},
+                {555.52, 263.00, 18.05}};
+    case mediabench_app::g721_dec:
+        return {4645.69, 998.35, 141.07, {636.09, 179.16, 44.51},
+                {556.95, 280.05, 21.09}};
+    case mediabench_app::mpeg2_enc:
+        return {112165.54, 28875.48, 3582.20, {19213.83, 4851.68, 1330.80},
+                {16635.70, 8122.43, 591.16}};
+    case mediabench_app::mpeg2_dec:
+        return {42343.02, 11465.94, 1394.73, {7640.57, 1964.88, 507.92},
+                {6552.25, 3333.98, 212.69}};
+    }
+    return {};
+}
+
+} // namespace dew::bench

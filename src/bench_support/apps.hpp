@@ -1,0 +1,60 @@
+// The paper's published evaluation numbers (Tables 3 and 4), embedded so
+// every bench prints its measurement next to the corresponding paper value.
+// Absolute times are host-specific; the reproduction targets are the shapes
+// (speedup ratios, comparison-reduction percentages).
+#ifndef DEW_BENCH_SUPPORT_APPS_HPP
+#define DEW_BENCH_SUPPORT_APPS_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "trace/mediabench.hpp"
+
+namespace dew::bench {
+
+// One (application, block size, associativity-pair) cell of Table 3.
+// Times in seconds; comparison counts in millions.  The associativity pair
+// "1 & A" means the direct-mapped results ride along: the DEW column is one
+// pass, the Dinero column is 30 independent runs (15 set sizes x {1, A}).
+struct table3_reference {
+    double dew_seconds{0.0};
+    double dinero_seconds{0.0};
+    double dew_comparisons_m{0.0};
+    double dinero_comparisons_m{0.0};
+
+    [[nodiscard]] double speedup() const noexcept {
+        return dew_seconds == 0.0 ? 0.0 : dinero_seconds / dew_seconds;
+    }
+    [[nodiscard]] double comparison_reduction() const noexcept {
+        return dinero_comparisons_m == 0.0
+                   ? 0.0
+                   : 1.0 - dew_comparisons_m / dinero_comparisons_m;
+    }
+};
+
+// Paper Table 3 lookup.  block in {4,16,64}, assoc in {4,8,16}; returns
+// nullopt for combinations the paper does not report.
+[[nodiscard]] std::optional<table3_reference>
+paper_table3(trace::mediabench_app app, std::uint32_t block,
+             std::uint32_t assoc);
+
+// One application row of Table 4 (block size 4 bytes; all values millions).
+struct table4_assoc_reference {
+    double searches_m{0.0};
+    double wave_m{0.0};
+    double mre_m{0.0};
+};
+
+struct table4_reference {
+    double unoptimized_evaluations_m{0.0};
+    double dew_evaluations_m{0.0};
+    double mra_m{0.0};
+    table4_assoc_reference assoc4;
+    table4_assoc_reference assoc8;
+};
+
+[[nodiscard]] table4_reference paper_table4(trace::mediabench_app app);
+
+} // namespace dew::bench
+
+#endif // DEW_BENCH_SUPPORT_APPS_HPP

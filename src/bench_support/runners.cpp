@@ -1,0 +1,52 @@
+#include "bench_support/runners.hpp"
+
+#include <chrono>
+
+#include "baseline/bank.hpp"
+#include "common/contracts.hpp"
+#include "dew/simulator.hpp"
+
+namespace dew::bench {
+
+cell_measurement run_cell(const trace::mem_trace& trace,
+                          trace::mediabench_app app, std::uint32_t block_size,
+                          std::uint32_t assoc, const cell_options& options) {
+    cell_measurement cell;
+    cell.app = app;
+    cell.block_size = block_size;
+    cell.assoc = assoc;
+    cell.requests = trace.size();
+
+    core::dew_simulator dew{options.max_level, assoc, block_size, options.dew};
+    {
+        const auto start = std::chrono::steady_clock::now();
+        dew.simulate(trace);
+        const auto stop = std::chrono::steady_clock::now();
+        cell.dew_seconds = std::chrono::duration<double>(stop - start).count();
+    }
+    cell.dew_comparisons = dew.counters().tag_comparisons;
+    cell.dew_counters_snapshot = dew.counters();
+
+    if (!options.run_baseline) {
+        return cell;
+    }
+
+    const auto configs =
+        baseline::level_sweep_configs(options.max_level, assoc, block_size);
+    const baseline::bank_result bank =
+        baseline::run_bank(trace, configs, options.dinero);
+    cell.baseline_seconds = bank.seconds;
+    cell.baseline_comparisons = bank.tag_comparisons;
+
+    // Exactness check: every configuration's miss count must agree.  A
+    // disagreement is a library bug, so it trips a contract violation
+    // rather than silently skewing a benchmark table.
+    const core::dew_result result = dew.result();
+    for (std::size_t i = 0; i < bank.configs.size(); ++i) {
+        DEW_ASSERT(result.misses_of(bank.configs[i]) == bank.stats[i].misses);
+    }
+    cell.verified = true;
+    return cell;
+}
+
+} // namespace dew::bench

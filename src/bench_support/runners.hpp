@@ -1,0 +1,65 @@
+// Shared experiment drivers: one "cell" of the paper's evaluation is an
+// (application, block size, associativity) triple simulated two ways —
+// a single DEW pass versus 30 independent Dinero-style runs (set sizes
+// 2^0..2^14 at associativities {1, A}).  Tables 3 and 4 and Figures 5 and 6
+// are all views over these cell measurements.
+#ifndef DEW_BENCH_SUPPORT_RUNNERS_HPP
+#define DEW_BENCH_SUPPORT_RUNNERS_HPP
+
+#include <cstdint>
+
+#include "baseline/dinero_sim.hpp"
+#include "dew/counters.hpp"
+#include "dew/options.hpp"
+#include "trace/mediabench.hpp"
+#include "trace/record.hpp"
+
+namespace dew::bench {
+
+// The paper simulates set sizes 2^0 .. 2^14 (Table 1).
+inline constexpr unsigned paper_max_level = 14;
+
+struct cell_measurement {
+    trace::mediabench_app app{};
+    std::uint32_t block_size{0};
+    std::uint32_t assoc{0};
+    std::uint64_t requests{0};
+
+    double dew_seconds{0.0};
+    std::uint64_t dew_comparisons{0};
+    core::dew_counters dew_counters_snapshot{};
+
+    double baseline_seconds{0.0};
+    std::uint64_t baseline_comparisons{0};
+
+    // Every per-configuration miss count cross-checked DEW == baseline.
+    bool verified{false};
+
+    [[nodiscard]] double speedup() const noexcept {
+        return dew_seconds == 0.0 ? 0.0 : baseline_seconds / dew_seconds;
+    }
+    [[nodiscard]] double comparison_reduction() const noexcept {
+        return baseline_comparisons == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(dew_comparisons) /
+                               static_cast<double>(baseline_comparisons);
+    }
+};
+
+struct cell_options {
+    unsigned max_level{paper_max_level};
+    bool run_baseline{true};
+    core::dew_options dew{};
+    baseline::dinero_options dinero{}; // defaults: FIFO + Dinero bookkeeping
+};
+
+// Runs one cell over an already-materialised trace.
+[[nodiscard]] cell_measurement run_cell(const trace::mem_trace& trace,
+                                        trace::mediabench_app app,
+                                        std::uint32_t block_size,
+                                        std::uint32_t assoc,
+                                        const cell_options& options = {});
+
+} // namespace dew::bench
+
+#endif // DEW_BENCH_SUPPORT_RUNNERS_HPP

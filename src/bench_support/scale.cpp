@@ -1,0 +1,26 @@
+#include "bench_support/scale.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dew::bench {
+
+double scale_divisor() {
+    if (const char* env = std::getenv("DEW_BENCH_SCALE")) {
+        char* end = nullptr;
+        const double value = std::strtod(env, &end);
+        if (end != env && value >= 1.0) {
+            return value;
+        }
+    }
+    return default_scale_divisor;
+}
+
+std::uint64_t scaled_request_count(trace::mediabench_app app) {
+    const double scaled =
+        static_cast<double>(trace::paper_request_count(app)) / scale_divisor();
+    return std::max<std::uint64_t>(min_scaled_requests,
+                                   static_cast<std::uint64_t>(scaled));
+}
+
+} // namespace dew::bench

@@ -1,0 +1,32 @@
+// Workload scaling for the bench harness.
+//
+// The paper's traces run to 3.7 billion references; the benches default to
+// 1/2000 of each app's published request count with a 500k floor, so the
+// full suite finishes in a few minutes on a laptop while each trace is
+// still long enough to amortise simulator warmup (DEW's 15-level tree is
+// megabytes of cold state; the paper amortised it over 25M-3.7B
+// references).  Benches report the scale they used.  Set
+// DEW_BENCH_SCALE=<divisor> (e.g. 1 for full size, 100 for 1/100) to
+// override.
+#ifndef DEW_BENCH_SUPPORT_SCALE_HPP
+#define DEW_BENCH_SUPPORT_SCALE_HPP
+
+#include <cstdint>
+
+#include "trace/mediabench.hpp"
+
+namespace dew::bench {
+
+inline constexpr double default_scale_divisor = 2000.0;
+inline constexpr std::uint64_t min_scaled_requests = 500'000;
+
+// Active divisor: DEW_BENCH_SCALE if set and valid, else the default.
+[[nodiscard]] double scale_divisor();
+
+// paper_request_count(app) / scale_divisor(), floored at
+// min_scaled_requests.
+[[nodiscard]] std::uint64_t scaled_request_count(trace::mediabench_app app);
+
+} // namespace dew::bench
+
+#endif // DEW_BENCH_SUPPORT_SCALE_HPP

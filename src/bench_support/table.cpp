@@ -1,0 +1,58 @@
+#include "bench_support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/contracts.hpp"
+
+namespace dew::bench {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_{std::move(headers)} {
+    DEW_EXPECTS(!headers_.empty());
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    DEW_EXPECTS(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void text_table::print(std::ostream& out) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    const auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) {
+                out << "  ";
+            }
+            if (c == 0) {
+                out << row[c]
+                    << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                out << std::string(widths[c] - row[c].size(), ' ')
+                    << row[c];
+            }
+        }
+        out << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c == 0 ? 0 : 2);
+    }
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+}
+
+} // namespace dew::bench

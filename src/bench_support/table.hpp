@@ -1,0 +1,30 @@
+// Minimal aligned-column table printer for bench output.
+#ifndef DEW_BENCH_SUPPORT_TABLE_HPP
+#define DEW_BENCH_SUPPORT_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dew::bench {
+
+class text_table {
+public:
+    explicit text_table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    // Aligned rendering: first column left-justified, the rest right-
+    // justified (numeric convention), single separator line under headers.
+    void print(std::ostream& out) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dew::bench
+
+#endif // DEW_BENCH_SUPPORT_TABLE_HPP

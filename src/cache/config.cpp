@@ -1,0 +1,69 @@
+#include "cache/config.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "common/format.hpp"
+
+namespace dew::cache {
+
+namespace {
+
+std::uint32_t parse_component(std::string_view text, const char* what,
+                              bool must_be_pow2) {
+    std::uint32_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size() || text.empty()) {
+        throw std::invalid_argument{std::string{"malformed cache config "} +
+                                    what + ": '" + std::string{text} + "'"};
+    }
+    if (must_be_pow2 && !is_pow2(value)) {
+        throw std::invalid_argument{std::string{"cache config "} + what +
+                                    " must be a power of two, got " +
+                                    std::to_string(value)};
+    }
+    if (value == 0) {
+        throw std::invalid_argument{std::string{"cache config "} + what +
+                                    " must be nonzero"};
+    }
+    return value;
+}
+
+} // namespace
+
+std::string to_string(const cache_config& config) {
+    return std::to_string(config.set_count) + ":" +
+           std::to_string(config.associativity) + ":" +
+           std::to_string(config.block_size);
+}
+
+std::string describe(const cache_config& config) {
+    return std::to_string(config.set_count) + " sets x " +
+           std::to_string(config.associativity) + "-way x " +
+           std::to_string(config.block_size) + " B = " +
+           human_bytes(config.total_bytes());
+}
+
+cache_config parse_config(const std::string& text) {
+    const std::size_t first = text.find(':');
+    const std::size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : text.find(':', first + 1);
+    if (first == std::string::npos || second == std::string::npos) {
+        throw std::invalid_argument{
+            "cache config must be '<sets>:<assoc>:<block>', got '" + text +
+            "'"};
+    }
+    const std::string_view view{text};
+    cache_config config{
+        parse_component(view.substr(0, first), "set count", true),
+        // Associativity need not be a power of two (see cache_config::valid).
+        parse_component(view.substr(first + 1, second - first - 1),
+                        "associativity", false),
+        parse_component(view.substr(second + 1), "block size", true),
+    };
+    return config;
+}
+
+} // namespace dew::cache

@@ -1,0 +1,72 @@
+// Cache geometry.  Following Section 3 of the paper: a configuration is the
+// triple (set count S, associativity A, block size B), all powers of two,
+// with total capacity T = S * A * B bytes.
+#ifndef DEW_CACHE_CONFIG_HPP
+#define DEW_CACHE_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/bits.hpp"
+
+namespace dew::cache {
+
+struct cache_config {
+    std::uint32_t set_count{1};      // S: number of sets
+    std::uint32_t associativity{1};  // A: ways per set
+    std::uint32_t block_size{4};     // B: bytes per block (line size)
+
+    friend bool operator==(const cache_config&, const cache_config&) = default;
+
+    // True iff the geometry is simulatable: set count and block size must
+    // be powers of two (index and offset bits), while any associativity
+    // >= 1 is legal — real parts ship 3-, 6-, and 12-way caches, and the
+    // all-associativity oracles sweep every way count.
+    [[nodiscard]] constexpr bool valid() const noexcept {
+        return is_pow2(set_count) && associativity >= 1 &&
+               is_pow2(block_size);
+    }
+
+    [[nodiscard]] constexpr std::uint64_t total_bytes() const noexcept {
+        return std::uint64_t{set_count} * associativity * block_size;
+    }
+
+    [[nodiscard]] constexpr unsigned block_bits() const noexcept {
+        return log2_exact(block_size);
+    }
+
+    [[nodiscard]] constexpr unsigned index_bits() const noexcept {
+        return log2_exact(set_count);
+    }
+
+    // The block number: address with the byte-in-block offset stripped.
+    // Simulators store block numbers as "tags"; entries of one set share
+    // their index bits, so comparing block numbers is exactly comparing tags.
+    [[nodiscard]] constexpr std::uint64_t block_of(std::uint64_t address) const noexcept {
+        return address >> block_bits();
+    }
+
+    [[nodiscard]] constexpr std::uint32_t index_of(std::uint64_t address) const noexcept {
+        return static_cast<std::uint32_t>(block_of(address) &
+                                          low_mask(index_bits()));
+    }
+
+    // The architectural tag (block number with index bits stripped).
+    [[nodiscard]] constexpr std::uint64_t tag_of(std::uint64_t address) const noexcept {
+        return block_of(address) >> index_bits();
+    }
+};
+
+// "S:A:B" rendering, e.g. {256,4,32} -> "256:4:32".
+[[nodiscard]] std::string to_string(const cache_config& config);
+
+// Verbose rendering, e.g. "256 sets x 4-way x 32 B = 32 KiB".
+[[nodiscard]] std::string describe(const cache_config& config);
+
+// Parses "S:A:B".  Throws std::invalid_argument on malformed input or
+// non-power-of-two parameters.
+[[nodiscard]] cache_config parse_config(const std::string& text);
+
+} // namespace dew::cache
+
+#endif // DEW_CACHE_CONFIG_HPP

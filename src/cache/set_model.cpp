@@ -1,0 +1,306 @@
+#include "cache/set_model.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace dew::cache {
+
+const char* to_string(replacement_policy policy) noexcept {
+    switch (policy) {
+    case replacement_policy::fifo: return "FIFO";
+    case replacement_policy::lru: return "LRU";
+    case replacement_policy::random_evict: return "random";
+    case replacement_policy::plru: return "PLRU";
+    }
+    return "unknown";
+}
+
+// --- FIFO --------------------------------------------------------------------
+
+fifo_cache_state::fifo_cache_state(std::uint32_t set_count,
+                                   std::uint32_t associativity,
+                                   fifo_search_order order)
+    : sets_{set_count},
+      ways_{associativity},
+      order_{order},
+      tags_(std::size_t{set_count} * associativity, invalid_tag),
+      cursor_(set_count, 0) {
+    DEW_EXPECTS(is_pow2(set_count));
+    // Any associativity >= 1 is legal (real parts ship 3-, 6-, 12-way
+    // caches); the cursor uses modular arithmetic, not a mask.
+    DEW_EXPECTS(associativity >= 1);
+}
+
+probe_result fifo_cache_state::access(std::uint32_t set, std::uint64_t block) {
+    DEW_EXPECTS(set < sets_);
+    DEW_EXPECTS(block != invalid_tag);
+    std::uint64_t* const ways = &tags_[std::size_t{set} * ways_];
+    probe_result result;
+
+    if (order_ == fifo_search_order::way_order) {
+        for (std::uint32_t way = 0; way < ways_; ++way) {
+            if (ways[way] == invalid_tag) {
+                continue; // valid bit cleared: no tag comparison performed
+            }
+            ++result.comparisons;
+            if (ways[way] == block) {
+                result.hit = true;
+                result.way = way;
+                return result;
+            }
+        }
+    } else {
+        // newest_first: scan from the most recently inserted way backwards.
+        for (std::uint32_t step = 0; step < ways_; ++step) {
+            const std::uint32_t way =
+                (cursor_[set] + ways_ - 1 - step) % ways_;
+            if (ways[way] == invalid_tag) {
+                continue;
+            }
+            ++result.comparisons;
+            if (ways[way] == block) {
+                result.hit = true;
+                result.way = way;
+                return result;
+            }
+        }
+    }
+
+    // Miss: insert at the cursor (fills empty ways in order on cold start,
+    // then becomes round-robin replacement).
+    const std::uint32_t victim = cursor_[set];
+    if (ways[victim] != invalid_tag) {
+        result.evicted = ways[victim];
+    }
+    ways[victim] = block;
+    cursor_[set] = victim + 1 == ways_ ? 0 : victim + 1;
+    result.hit = false;
+    result.way = victim;
+    return result;
+}
+
+bool fifo_cache_state::contains(std::uint32_t set, std::uint64_t block) const {
+    DEW_EXPECTS(set < sets_);
+    const std::uint64_t* const ways = &tags_[std::size_t{set} * ways_];
+    return std::find(ways, ways + ways_, block) != ways + ways_;
+}
+
+std::uint64_t fifo_cache_state::tag_at(std::uint32_t set,
+                                       std::uint32_t way) const {
+    DEW_EXPECTS(set < sets_ && way < ways_);
+    return tags_[std::size_t{set} * ways_ + way];
+}
+
+std::uint32_t fifo_cache_state::cursor_of(std::uint32_t set) const {
+    DEW_EXPECTS(set < sets_);
+    return cursor_[set];
+}
+
+// --- LRU ----------------------------------------------------------------------
+
+lru_cache_state::lru_cache_state(std::uint32_t set_count,
+                                 std::uint32_t associativity)
+    : sets_{set_count},
+      ways_{associativity},
+      tags_(std::size_t{set_count} * associativity, invalid_tag) {
+    DEW_EXPECTS(is_pow2(set_count));
+    // Any associativity >= 1 is legal here (not just powers of two): the
+    // recency list needs no mask arithmetic, and the stack/Janapsatya
+    // oracles sweep every associativity up to A.
+    DEW_EXPECTS(associativity >= 1);
+}
+
+probe_result lru_cache_state::access(std::uint32_t set, std::uint64_t block) {
+    DEW_EXPECTS(set < sets_);
+    DEW_EXPECTS(block != invalid_tag);
+    std::uint64_t* const ways = &tags_[std::size_t{set} * ways_];
+    probe_result result;
+
+    // Search in recency order (MRU first), counting comparisons against
+    // valid entries only.
+    for (std::uint32_t position = 0; position < ways_; ++position) {
+        if (ways[position] == invalid_tag) {
+            break; // entries are packed: first invalid ends the valid prefix
+        }
+        ++result.comparisons;
+        if (ways[position] == block) {
+            // Hit: rotate [0, position] right so the block becomes MRU.
+            std::rotate(ways, ways + position, ways + position + 1);
+            result.hit = true;
+            result.way = 0;
+            return result;
+        }
+    }
+
+    // Miss: evict the LRU entry (last valid position) and insert at MRU.
+    if (ways[ways_ - 1] != invalid_tag) {
+        result.evicted = ways[ways_ - 1];
+    }
+    std::rotate(ways, ways + ways_ - 1, ways + ways_);
+    ways[0] = block;
+    result.hit = false;
+    result.way = 0;
+    return result;
+}
+
+bool lru_cache_state::contains(std::uint32_t set, std::uint64_t block) const {
+    DEW_EXPECTS(set < sets_);
+    const std::uint64_t* const ways = &tags_[std::size_t{set} * ways_];
+    return std::find(ways, ways + ways_, block) != ways + ways_;
+}
+
+std::uint32_t lru_cache_state::recency_of(std::uint32_t set,
+                                          std::uint64_t block) const {
+    DEW_EXPECTS(set < sets_);
+    const std::uint64_t* const ways = &tags_[std::size_t{set} * ways_];
+    const auto* it = std::find(ways, ways + ways_, block);
+    return static_cast<std::uint32_t>(it - ways);
+}
+
+// --- Random -------------------------------------------------------------------
+
+random_cache_state::random_cache_state(std::uint32_t set_count,
+                                       std::uint32_t associativity,
+                                       std::uint64_t seed)
+    : sets_{set_count},
+      ways_{associativity},
+      tags_(std::size_t{set_count} * associativity, invalid_tag),
+      fill_(set_count, 0),
+      rng_state_{seed == 0 ? 1 : seed} {
+    DEW_EXPECTS(is_pow2(set_count));
+    // Any associativity >= 1: victim selection uses modulo, not a mask.
+    DEW_EXPECTS(associativity >= 1);
+}
+
+std::uint64_t random_cache_state::next_random() noexcept {
+    // xorshift64: tiny, deterministic, good enough for victim selection.
+    std::uint64_t x = rng_state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_state_ = x;
+    return x;
+}
+
+probe_result random_cache_state::access(std::uint32_t set,
+                                        std::uint64_t block) {
+    DEW_EXPECTS(set < sets_);
+    DEW_EXPECTS(block != invalid_tag);
+    std::uint64_t* const ways = &tags_[std::size_t{set} * ways_];
+    probe_result result;
+
+    for (std::uint32_t way = 0; way < fill_[set]; ++way) {
+        ++result.comparisons;
+        if (ways[way] == block) {
+            result.hit = true;
+            result.way = way;
+            return result;
+        }
+    }
+
+    std::uint32_t victim;
+    if (fill_[set] < ways_) {
+        victim = fill_[set]++;
+    } else {
+        victim = static_cast<std::uint32_t>(next_random() % ways_);
+        result.evicted = ways[victim];
+    }
+    ways[victim] = block;
+    result.hit = false;
+    result.way = victim;
+    return result;
+}
+
+bool random_cache_state::contains(std::uint32_t set,
+                                  std::uint64_t block) const {
+    DEW_EXPECTS(set < sets_);
+    const std::uint64_t* const ways = &tags_[std::size_t{set} * ways_];
+    return std::find(ways, ways + fill_[set], block) != ways + fill_[set];
+}
+
+// --- Tree PLRU -----------------------------------------------------------------
+
+plru_cache_state::plru_cache_state(std::uint32_t set_count,
+                                   std::uint32_t associativity)
+    : sets_{set_count},
+      ways_{associativity},
+      levels_{log2_exact(associativity)},
+      tags_(std::size_t{set_count} * associativity, invalid_tag),
+      bits_(std::size_t{set_count} * (associativity - 1), 0),
+      fill_(set_count, 0) {
+    DEW_EXPECTS(is_pow2(set_count));
+    DEW_EXPECTS(is_pow2(associativity)); // the bit tree is complete
+}
+
+void plru_cache_state::touch(std::uint32_t set, std::uint32_t way) {
+    if (ways_ == 1) {
+        return;
+    }
+    std::uint8_t* const bits = &bits_[std::size_t{set} * (ways_ - 1)];
+    std::uint32_t index = 0;
+    for (unsigned level = levels_; level-- > 0;) {
+        const std::uint32_t direction = (way >> level) & 1;
+        bits[index] = static_cast<std::uint8_t>(direction ^ 1); // point away
+        index = 2 * index + 1 + direction;
+    }
+}
+
+std::uint32_t plru_cache_state::victim_of(std::uint32_t set) const {
+    DEW_EXPECTS(set < sets_);
+    if (ways_ == 1) {
+        return 0;
+    }
+    const std::uint8_t* const bits = &bits_[std::size_t{set} * (ways_ - 1)];
+    std::uint32_t index = 0;
+    std::uint32_t way = 0;
+    for (unsigned level = 0; level < levels_; ++level) {
+        const std::uint32_t direction = bits[index];
+        way = (way << 1) | direction;
+        index = 2 * index + 1 + direction;
+    }
+    return way;
+}
+
+probe_result plru_cache_state::access(std::uint32_t set, std::uint64_t block) {
+    DEW_EXPECTS(set < sets_);
+    DEW_EXPECTS(block != invalid_tag);
+    std::uint64_t* const ways = &tags_[std::size_t{set} * ways_];
+    probe_result result;
+
+    for (std::uint32_t way = 0; way < ways_; ++way) {
+        if (ways[way] == invalid_tag) {
+            continue;
+        }
+        ++result.comparisons;
+        if (ways[way] == block) {
+            result.hit = true;
+            result.way = way;
+            touch(set, way);
+            return result;
+        }
+    }
+
+    // Miss: fill an empty way first (hardware consults valid bits before
+    // the PLRU tree), otherwise evict the tree-selected victim.
+    std::uint32_t victim;
+    if (fill_[set] < ways_) {
+        victim = fill_[set]++;
+    } else {
+        victim = victim_of(set);
+        result.evicted = ways[victim];
+    }
+    ways[victim] = block;
+    touch(set, victim);
+    result.hit = false;
+    result.way = victim;
+    return result;
+}
+
+bool plru_cache_state::contains(std::uint32_t set, std::uint64_t block) const {
+    DEW_EXPECTS(set < sets_);
+    const std::uint64_t* const ways = &tags_[std::size_t{set} * ways_];
+    return std::find(ways, ways + ways_, block) != ways + ways_;
+}
+
+} // namespace dew::cache

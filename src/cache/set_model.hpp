@@ -1,0 +1,163 @@
+// Set-associative storage models, one per replacement policy.
+//
+// Each model owns the tag arrays for all S sets of one configuration in a
+// single flat allocation and exposes a uniform `access(set, block)` that
+// returns hit/miss, the way touched, and the number of tag comparisons the
+// hardware-equivalent search performed.  These are the building blocks of
+// the Dinero-style baseline and the ground-truth oracle the DEW tests
+// compare against.
+#ifndef DEW_CACHE_SET_MODEL_HPP
+#define DEW_CACHE_SET_MODEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hpp"
+
+namespace dew::cache {
+
+// Sentinel for an empty way.  Real block numbers never reach this value
+// because addresses are < 2^64 and block numbers are addresses shifted down.
+inline constexpr std::uint64_t invalid_tag = ~std::uint64_t{0};
+
+enum class replacement_policy : std::uint8_t {
+    fifo = 0,         // round-robin, the paper's subject
+    lru = 1,          // least recently used
+    random_evict = 2, // pseudo-random victim (deterministic, seeded)
+    plru = 3,         // tree pseudo-LRU (the common hardware LRU stand-in)
+};
+
+[[nodiscard]] const char* to_string(replacement_policy policy) noexcept;
+
+struct probe_result {
+    bool hit{false};
+    std::uint32_t way{0};          // way that hit, or way filled on miss
+    std::uint32_t comparisons{0};  // tag comparisons the search performed
+    std::uint64_t evicted{invalid_tag}; // valid block evicted, if any
+};
+
+// How a FIFO tag list is scanned.  Way order is what a parallel hardware
+// comparator models (and what Dinero does); newest-first exploits temporal
+// locality in software simulation.  The ablation bench compares both.
+enum class fifo_search_order : std::uint8_t {
+    way_order = 0,
+    newest_first = 1,
+};
+
+// --- FIFO ------------------------------------------------------------------
+// Ways are a circular buffer per set: an insertion cursor picks the victim
+// and blocks never move between ways while resident (the property DEW's wave
+// pointers rely on).
+class fifo_cache_state {
+public:
+    fifo_cache_state(std::uint32_t set_count, std::uint32_t associativity,
+                     fifo_search_order order = fifo_search_order::way_order);
+
+    probe_result access(std::uint32_t set, std::uint64_t block);
+
+    // Read-only probe: no state change, no insertion.
+    [[nodiscard]] bool contains(std::uint32_t set, std::uint64_t block) const;
+
+    [[nodiscard]] std::uint32_t set_count() const noexcept { return sets_; }
+    [[nodiscard]] std::uint32_t associativity() const noexcept { return ways_; }
+
+    // Tag stored in a given way (invalid_tag if empty) — exposed for tests.
+    [[nodiscard]] std::uint64_t tag_at(std::uint32_t set,
+                                       std::uint32_t way) const;
+    // Next victim way of the set's circular cursor — exposed for tests.
+    [[nodiscard]] std::uint32_t cursor_of(std::uint32_t set) const;
+
+private:
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    fifo_search_order order_;
+    std::vector<std::uint64_t> tags_;    // sets_ * ways_
+    std::vector<std::uint32_t> cursor_;  // per-set insertion pointer
+};
+
+// --- LRU --------------------------------------------------------------------
+// Ways are kept in recency order (way 0 = MRU): search order follows last
+// access time exactly as Janapsatya's simulator searches its tag lists.
+class lru_cache_state {
+public:
+    lru_cache_state(std::uint32_t set_count, std::uint32_t associativity);
+
+    probe_result access(std::uint32_t set, std::uint64_t block);
+
+    [[nodiscard]] bool contains(std::uint32_t set, std::uint64_t block) const;
+
+    [[nodiscard]] std::uint32_t set_count() const noexcept { return sets_; }
+    [[nodiscard]] std::uint32_t associativity() const noexcept { return ways_; }
+
+    // Recency position of a block (0 = MRU); associativity() if absent.
+    [[nodiscard]] std::uint32_t recency_of(std::uint32_t set,
+                                           std::uint64_t block) const;
+
+private:
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::vector<std::uint64_t> tags_; // sets_ * ways_, MRU first per set
+};
+
+// --- Random -----------------------------------------------------------------
+// Victim selected by a per-instance xorshift64 PRNG; deterministic for a
+// given seed so simulations are repeatable.
+class random_cache_state {
+public:
+    random_cache_state(std::uint32_t set_count, std::uint32_t associativity,
+                       std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    probe_result access(std::uint32_t set, std::uint64_t block);
+
+    [[nodiscard]] bool contains(std::uint32_t set, std::uint64_t block) const;
+
+    [[nodiscard]] std::uint32_t set_count() const noexcept { return sets_; }
+    [[nodiscard]] std::uint32_t associativity() const noexcept { return ways_; }
+
+private:
+    [[nodiscard]] std::uint64_t next_random() noexcept;
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint32_t> fill_; // valid ways per set (fill before evict)
+    std::uint64_t rng_state_;
+};
+
+// --- Tree PLRU ---------------------------------------------------------------
+// The standard hardware approximation of LRU: A - 1 direction bits per set
+// arranged as a complete binary tree over the ways.  A touch flips the bits
+// on its root-to-leaf path to point away from the touched way; the victim
+// is found by following the bits.  Like FIFO (and unlike true LRU), PLRU
+// caches of growing set count exhibit no inclusion property, so no
+// single-pass multi-configuration method exists for them either — the
+// policy study example quantifies how close PLRU tracks LRU anyway.
+class plru_cache_state {
+public:
+    // associativity must be a power of two (the bit tree is complete).
+    plru_cache_state(std::uint32_t set_count, std::uint32_t associativity);
+
+    probe_result access(std::uint32_t set, std::uint64_t block);
+
+    [[nodiscard]] bool contains(std::uint32_t set, std::uint64_t block) const;
+
+    [[nodiscard]] std::uint32_t set_count() const noexcept { return sets_; }
+    [[nodiscard]] std::uint32_t associativity() const noexcept { return ways_; }
+
+    // The way the PLRU bits currently select as victim — exposed for tests.
+    [[nodiscard]] std::uint32_t victim_of(std::uint32_t set) const;
+
+private:
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    unsigned levels_; // log2(ways)
+    std::vector<std::uint64_t> tags_;  // sets_ * ways_
+    std::vector<std::uint8_t> bits_;   // sets_ * (ways_ - 1) direction bits
+    std::vector<std::uint32_t> fill_;  // valid ways per set (fill first)
+};
+
+} // namespace dew::cache
+
+#endif // DEW_CACHE_SET_MODEL_HPP

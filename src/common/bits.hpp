@@ -1,0 +1,62 @@
+// Power-of-two and bit-field helpers shared by every cache model.
+//
+// Cache geometry in this library is always a power of two (set count,
+// associativity, block size), so index/tag extraction reduces to shifts and
+// masks.  All helpers are constexpr and branch-free where possible.
+#ifndef DEW_COMMON_BITS_HPP
+#define DEW_COMMON_BITS_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace dew {
+
+// True iff `value` is a power of two.  Zero is not a power of two.
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t value) noexcept {
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+// log2 of a power of two.  For non-powers of two returns floor(log2(value)).
+// log2_exact(0) is undefined input; callers must validate first.
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t value) noexcept {
+    return static_cast<unsigned>(std::bit_width(value) - 1);
+}
+
+// floor(log2(value)); value must be nonzero.
+[[nodiscard]] constexpr unsigned floor_log2(std::uint64_t value) noexcept {
+    return static_cast<unsigned>(std::bit_width(value) - 1);
+}
+
+// ceil(log2(value)); value must be nonzero.
+[[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t value) noexcept {
+    return value <= 1 ? 0u
+                      : static_cast<unsigned>(std::bit_width(value - 1));
+}
+
+// A mask with the low `bits` bits set.  bits may be 0..64.
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned bits) noexcept {
+    return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+// Extract `count` bits of `value` starting at bit `first` (LSB = bit 0).
+[[nodiscard]] constexpr std::uint64_t extract_bits(std::uint64_t value,
+                                                   unsigned first,
+                                                   unsigned count) noexcept {
+    return (value >> first) & low_mask(count);
+}
+
+// Round `value` up to the next multiple of the power-of-two `alignment`.
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t value,
+                                               std::uint64_t alignment) noexcept {
+    return (value + alignment - 1) & ~(alignment - 1);
+}
+
+// Round `value` down to a multiple of the power-of-two `alignment`.
+[[nodiscard]] constexpr std::uint64_t align_down(std::uint64_t value,
+                                                 std::uint64_t alignment) noexcept {
+    return value & ~(alignment - 1);
+}
+
+} // namespace dew
+
+#endif // DEW_COMMON_BITS_HPP

@@ -1,0 +1,35 @@
+#include "common/contracts.hpp"
+
+namespace dew {
+
+namespace {
+
+std::string make_message(const char* kind, const char* expression,
+                         const char* file, int line) {
+    std::string message{"libdew "};
+    message += kind;
+    message += " violated: ";
+    message += expression;
+    message += " at ";
+    message += file;
+    message += ':';
+    message += std::to_string(line);
+    return message;
+}
+
+} // namespace
+
+contract_violation::contract_violation(const char* kind, const char* expression,
+                                       const char* file, int line)
+    : std::logic_error{make_message(kind, expression, file, line)},
+      kind_{kind},
+      expression_{expression},
+      file_{file},
+      line_{line} {}
+
+void report_contract_violation(const char* kind, const char* expression,
+                               const char* file, int line) {
+    throw contract_violation{kind, expression, file, line};
+}
+
+} // namespace dew

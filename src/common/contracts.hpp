@@ -1,0 +1,55 @@
+// Contract-checking macros in the Expects/Ensures style of the C++ Core
+// Guidelines (I.6, I.8).  Violations throw dew::contract_violation so that
+// library misuse is testable and never silently corrupts a simulation.
+#ifndef DEW_COMMON_CONTRACTS_HPP
+#define DEW_COMMON_CONTRACTS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace dew {
+
+// Thrown when a precondition, postcondition, or internal invariant of the
+// library is violated.  Carries the failing expression and source location.
+class contract_violation : public std::logic_error {
+public:
+    contract_violation(const char* kind, const char* expression,
+                       const char* file, int line);
+
+    [[nodiscard]] const char* kind() const noexcept { return kind_; }
+    [[nodiscard]] const char* expression() const noexcept { return expression_; }
+    [[nodiscard]] const char* file() const noexcept { return file_; }
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    const char* kind_;
+    const char* expression_;
+    const char* file_;
+    int line_;
+};
+
+[[noreturn]] void report_contract_violation(const char* kind,
+                                            const char* expression,
+                                            const char* file, int line);
+
+} // namespace dew
+
+// Precondition: the caller got it wrong.
+#define DEW_EXPECTS(cond)                                                     \
+    ((cond) ? static_cast<void>(0)                                            \
+            : ::dew::report_contract_violation("precondition", #cond,         \
+                                               __FILE__, __LINE__))
+
+// Postcondition: the library got it wrong.
+#define DEW_ENSURES(cond)                                                     \
+    ((cond) ? static_cast<void>(0)                                            \
+            : ::dew::report_contract_violation("postcondition", #cond,        \
+                                               __FILE__, __LINE__))
+
+// Internal invariant checked mid-function.
+#define DEW_ASSERT(cond)                                                      \
+    ((cond) ? static_cast<void>(0)                                            \
+            : ::dew::report_contract_violation("invariant", #cond,            \
+                                               __FILE__, __LINE__))
+
+#endif // DEW_COMMON_CONTRACTS_HPP

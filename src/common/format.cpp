@@ -1,0 +1,59 @@
+#include "common/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace dew {
+
+std::string with_commas(std::uint64_t value) {
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) {
+            out += ',';
+        }
+        out += digits[i];
+    }
+    return out;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+    static constexpr std::array<const char*, 5> units{"B", "KiB", "MiB", "GiB",
+                                                      "TiB"};
+    double value = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < units.size()) {
+        value /= 1024.0;
+        ++unit;
+    }
+    // Round half away from zero at one decimal ourselves: printf's %.1f
+    // rounds half to even (1.25 -> "1.2"), which reads wrong in reports.
+    const double rounded = std::round(value * 10.0) / 10.0;
+    const bool whole = std::abs(rounded - std::round(rounded)) < 1e-9;
+    char buffer[64];
+    if (whole) {
+        std::snprintf(buffer, sizeof buffer, "%.0f %s", rounded, units[unit]);
+    } else {
+        std::snprintf(buffer, sizeof buffer, "%.1f %s", rounded, units[unit]);
+    }
+    return buffer;
+}
+
+std::string fixed_decimal(double value, int places) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", places, value);
+    return buffer;
+}
+
+std::string in_millions(std::uint64_t value) {
+    return fixed_decimal(static_cast<double>(value) / 1e6, 2);
+}
+
+std::string percent(double ratio) {
+    return fixed_decimal(ratio * 100.0, 2);
+}
+
+} // namespace dew

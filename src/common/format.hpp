@@ -1,0 +1,29 @@
+// Small text-formatting helpers used by reports, benches, and examples.
+// (libstdc++ 12 ships no std::format; these cover what the tables need.)
+#ifndef DEW_COMMON_FORMAT_HPP
+#define DEW_COMMON_FORMAT_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace dew {
+
+// "1234567" -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+// 2048 -> "2 KiB", 1572864 -> "1.5 MiB".  Exact binary units, one decimal
+// when the value is not a whole number of units.
+[[nodiscard]] std::string human_bytes(std::uint64_t bytes);
+
+// Fixed-point decimal rendering, e.g. fixed_decimal(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fixed_decimal(double value, int places);
+
+// value rendered in millions with two decimals: 2170000 -> "2.17".
+[[nodiscard]] std::string in_millions(std::uint64_t value);
+
+// Percentage with two decimals: ratio 0.5491 -> "54.91".
+[[nodiscard]] std::string percent(double ratio);
+
+} // namespace dew
+
+#endif // DEW_COMMON_FORMAT_HPP

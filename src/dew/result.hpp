@@ -1,0 +1,69 @@
+// Read-only view of the per-configuration outcome of a DEW pass.
+#ifndef DEW_DEW_RESULT_HPP
+#define DEW_DEW_RESULT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "dew/counters.hpp"
+
+namespace dew::core {
+
+// One simulated configuration and its exact outcome.
+struct config_outcome {
+    cache::cache_config config;
+    std::uint64_t misses{0};
+    std::uint64_t hits{0};
+
+    [[nodiscard]] double miss_rate() const noexcept {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(misses) /
+                                static_cast<double>(total);
+    }
+};
+
+class dew_result {
+public:
+    dew_result(unsigned max_level, std::uint32_t assoc,
+               std::uint32_t block_size, std::uint64_t requests,
+               std::vector<std::uint64_t> misses_assoc,
+               std::vector<std::uint64_t> misses_dm, dew_counters counters);
+
+    // Misses of (set_count = 2^level, associativity, block size fixed).
+    // associativity must be 1 or the simulated A; level <= max_level.
+    [[nodiscard]] std::uint64_t misses(unsigned level,
+                                       std::uint32_t associativity) const;
+    [[nodiscard]] std::uint64_t hits(unsigned level,
+                                     std::uint32_t associativity) const;
+
+    // Misses addressed by full configuration; throws std::out_of_range if
+    // the configuration was not covered by the pass.
+    [[nodiscard]] std::uint64_t misses_of(const cache::cache_config& config) const;
+
+    // All covered configurations with their outcomes, direct-mapped first,
+    // ordered by set count.
+    [[nodiscard]] std::vector<config_outcome> outcomes() const;
+
+    [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+    [[nodiscard]] unsigned max_level() const noexcept { return max_level_; }
+    [[nodiscard]] std::uint32_t associativity() const noexcept { return assoc_; }
+    [[nodiscard]] std::uint32_t block_size() const noexcept { return block_size_; }
+    [[nodiscard]] const dew_counters& counters() const noexcept {
+        return counters_;
+    }
+
+private:
+    unsigned max_level_;
+    std::uint32_t assoc_;
+    std::uint32_t block_size_;
+    std::uint64_t requests_;
+    std::vector<std::uint64_t> misses_assoc_;
+    std::vector<std::uint64_t> misses_dm_;
+    dew_counters counters_;
+};
+
+} // namespace dew::core
+
+#endif // DEW_DEW_RESULT_HPP

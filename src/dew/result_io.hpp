@@ -1,0 +1,27 @@
+// Serialisation of DEW results: CSV for spreadsheets/scripts and an
+// aligned text table for terminals.  Kept separate from dew_result so the
+// core stays I/O-free.
+#ifndef DEW_DEW_RESULT_IO_HPP
+#define DEW_DEW_RESULT_IO_HPP
+
+#include <iosfwd>
+
+#include "dew/result.hpp"
+#include "dew/sweep.hpp"
+
+namespace dew::core {
+
+// CSV: header "sets,assoc,block,misses,hits,miss_rate" + one row per
+// covered configuration (direct-mapped rows included once).
+void write_csv(std::ostream& out, const dew_result& result);
+void write_csv(std::ostream& out, const sweep_result& result);
+
+// Aligned, human-readable table of the same rows.
+void write_table(std::ostream& out, const dew_result& result);
+
+// One-line instrumentation summary (the Table 3/4 quantities).
+void write_counters(std::ostream& out, const dew_counters& counters);
+
+} // namespace dew::core
+
+#endif // DEW_DEW_RESULT_IO_HPP

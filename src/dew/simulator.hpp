@@ -1,0 +1,110 @@
+// The DEW simulator: exact, single-pass, multi-configuration level-1 cache
+// simulation under FIFO replacement (Section 4 of the paper).
+//
+// One instance simulates, in a single pass over the trace, every cache
+// configuration with
+//     set count      S = 2^0 .. 2^max_level,
+//     associativity  A (the constructor argument)  *and*  A = 1,
+//     block size     B (the constructor argument),
+// producing exact hit/miss counts for all of them.  The associativity-1
+// results come for free: each node's MRA tag *is* the content of the
+// direct-mapped cache set it represents, so the MRA probe that implements
+// Property 2 simultaneously resolves the direct-mapped configuration — this
+// is the paper's "DEW automatically simulates [direct mapped] while
+// simulating any other associativity".
+//
+// Why each property is sound under FIFO:
+//  * MRA stop (P2): if the request equals node.mra, the *previous* request
+//    mapping to this set was the same block; every deeper set on the path
+//    sees a subsequence of this set's requests, so that block was also the
+//    last request there, is still resident (hits change no FIFO state), and
+//    the walk can stop with a hit certified for all deeper levels.
+//  * Wave pointer (P3): FIFO never relocates a resident block, so the way
+//    recorded when the tag last visited the child either still holds the
+//    tag (hit) or the tag was evicted (miss).  One comparison decides.
+//  * MRE entry (P4): a block matching the most-recently-evicted tag cannot
+//    be resident (re-insertion would have displaced the MRE entry first),
+//    so the match proves a miss; the swap returns the preserved wave
+//    pointer, keeping P3 effective across evict/re-fetch cycles.  This
+//    library generalises the entry to a k-deep victim buffer
+//    (dew_options::mre_depth; k = 1 is the paper, bit-for-bit).
+#ifndef DEW_DEW_SIMULATOR_HPP
+#define DEW_DEW_SIMULATOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "dew/counters.hpp"
+#include "dew/options.hpp"
+#include "dew/result.hpp"
+#include "dew/tree.hpp"
+#include "trace/record.hpp"
+
+namespace dew::core {
+
+class dew_simulator {
+public:
+    // Simulates set counts 2^0..2^max_level at associativities {1, assoc}
+    // and block size block_size (bytes, power of two).
+    dew_simulator(unsigned max_level, std::uint32_t assoc,
+                  std::uint32_t block_size, dew_options options = {});
+
+    // Simulate a single byte address / reference / whole trace.
+    void access(std::uint64_t address);
+    void access(const trace::mem_access& reference) { access(reference.address); }
+    void simulate(const trace::mem_trace& trace);
+
+    // Exact per-configuration results (valid at any point of the pass).
+    [[nodiscard]] dew_result result() const;
+
+    [[nodiscard]] const dew_counters& counters() const noexcept {
+        return counters_;
+    }
+    [[nodiscard]] unsigned max_level() const noexcept { return max_level_; }
+    [[nodiscard]] std::uint32_t associativity() const noexcept { return assoc_; }
+    [[nodiscard]] std::uint32_t block_size() const noexcept { return block_size_; }
+    [[nodiscard]] const dew_options& options() const noexcept { return options_; }
+    [[nodiscard]] const dew_tree& tree() const noexcept { return tree_; }
+
+    // Reset the tree and all counters to the cold state.
+    void reset();
+
+private:
+    enum class mre_knowledge : std::uint8_t {
+        unknown,    // victim buffer not yet probed for this request
+        matched,    // probe matched at `matched_slot` (swap required)
+        mismatched, // probe came up empty (plain insert)
+    };
+
+    // probe_victims() returns this when `block` is in no buffer slot.
+    static constexpr std::uint32_t no_victim_match = ~std::uint32_t{0};
+
+    // Scans the node's victim buffer for `block` (Property 4, generalised
+    // to mre_depth entries), counting comparisons.
+    std::uint32_t probe_victims(node_ref node, std::uint64_t block);
+
+    // Algorithm 2 ("Handle_miss"): picks the FIFO victim, performs either
+    // the victim-buffer swap or a plain insert with victim-buffer update,
+    // and returns the way the requested block now occupies.
+    std::uint32_t insert_on_miss(node_ref node, std::uint64_t block,
+                                 mre_knowledge known,
+                                 std::uint32_t matched_slot = no_victim_match);
+
+    unsigned max_level_;
+    std::uint32_t assoc_;
+    std::uint32_t way_mask_; // assoc - 1
+    std::uint32_t block_size_;
+    unsigned block_bits_;
+    dew_options options_;
+    dew_tree tree_;
+    dew_counters counters_;
+    // Exact miss counts per level, for associativity `assoc_` and for the
+    // piggybacked direct-mapped (associativity 1) configurations.
+    std::vector<std::uint64_t> misses_assoc_;
+    std::vector<std::uint64_t> misses_dm_;
+};
+
+} // namespace dew::core
+
+#endif // DEW_DEW_SIMULATOR_HPP

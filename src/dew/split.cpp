@@ -1,0 +1,35 @@
+#include "dew/split.hpp"
+
+namespace dew::core {
+
+split_simulator::split_simulator(const split_config& icache,
+                                 const split_config& dcache)
+    : icache_{icache.max_level, icache.assoc, icache.block_size,
+              icache.options},
+      dcache_{dcache.max_level, dcache.assoc, dcache.block_size,
+              dcache.options} {}
+
+void split_simulator::access(const trace::mem_access& reference) {
+    if (reference.type == trace::access_type::ifetch) {
+        ++ifetches_;
+        icache_.access(reference.address);
+    } else {
+        ++data_accesses_;
+        dcache_.access(reference.address);
+    }
+}
+
+void split_simulator::simulate(const trace::mem_trace& trace) {
+    for (const trace::mem_access& reference : trace) {
+        access(reference);
+    }
+}
+
+void split_simulator::reset() {
+    icache_.reset();
+    dcache_.reset();
+    ifetches_ = 0;
+    data_accesses_ = 0;
+}
+
+} // namespace dew::core

@@ -1,0 +1,62 @@
+// Split L1 instruction/data simulation.  Embedded L1s (the paper's Xtensa
+// LX2 / XScale context) are split: instruction fetches go to the I-cache,
+// loads and stores to the D-cache, and the two are tuned separately.  This
+// driver routes one trace through two independent DEW simulators — one
+// single pass still covers every set count at associativities {1, A} for
+// BOTH caches, each with its own geometry.
+#ifndef DEW_DEW_SPLIT_HPP
+#define DEW_DEW_SPLIT_HPP
+
+#include <cstdint>
+
+#include "dew/options.hpp"
+#include "dew/result.hpp"
+#include "dew/simulator.hpp"
+#include "trace/record.hpp"
+
+namespace dew::core {
+
+struct split_config {
+    unsigned max_level{10};
+    std::uint32_t assoc{4};
+    std::uint32_t block_size{32};
+    dew_options options{};
+};
+
+class split_simulator {
+public:
+    // I-side and D-side geometries may differ (they usually do: I-caches
+    // favour bigger blocks, D-caches more ways).
+    split_simulator(const split_config& icache, const split_config& dcache);
+
+    // Routes by access type: ifetch -> I, read/write -> D.
+    void access(const trace::mem_access& reference);
+    void simulate(const trace::mem_trace& trace);
+
+    [[nodiscard]] dew_result icache_result() const { return icache_.result(); }
+    [[nodiscard]] dew_result dcache_result() const { return dcache_.result(); }
+
+    [[nodiscard]] const dew_simulator& icache() const noexcept {
+        return icache_;
+    }
+    [[nodiscard]] const dew_simulator& dcache() const noexcept {
+        return dcache_;
+    }
+
+    [[nodiscard]] std::uint64_t ifetches() const noexcept { return ifetches_; }
+    [[nodiscard]] std::uint64_t data_accesses() const noexcept {
+        return data_accesses_;
+    }
+
+    void reset();
+
+private:
+    dew_simulator icache_;
+    dew_simulator dcache_;
+    std::uint64_t ifetches_{0};
+    std::uint64_t data_accesses_{0};
+};
+
+} // namespace dew::core
+
+#endif // DEW_DEW_SPLIT_HPP

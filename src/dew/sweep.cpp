@@ -1,0 +1,163 @@
+#include "dew/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "dew/simulator.hpp"
+
+namespace dew::core {
+
+namespace {
+
+struct pass_key {
+    std::uint32_t block_size;
+    std::uint32_t assoc;
+};
+
+std::vector<pass_key> plan_passes(const sweep_request& request) {
+    DEW_EXPECTS(!request.block_sizes.empty());
+    DEW_EXPECTS(!request.associativities.empty());
+    std::vector<pass_key> plan;
+    plan.reserve(request.block_sizes.size() *
+                 request.associativities.size());
+    for (const std::uint32_t block : request.block_sizes) {
+        DEW_EXPECTS(is_pow2(block));
+        for (const std::uint32_t assoc : request.associativities) {
+            DEW_EXPECTS(is_pow2(assoc));
+            plan.push_back({block, assoc});
+        }
+    }
+    return plan;
+}
+
+} // namespace
+
+std::uint64_t sweep_result::misses_of(const cache::cache_config& config) const {
+    for (const dew_result& pass : passes) {
+        if (pass.block_size() != config.block_size) {
+            continue;
+        }
+        if (config.associativity != pass.associativity() &&
+            config.associativity != 1) {
+            continue;
+        }
+        if (!is_pow2(config.set_count) ||
+            log2_exact(config.set_count) > pass.max_level()) {
+            continue;
+        }
+        return pass.misses(log2_exact(config.set_count),
+                           config.associativity);
+    }
+    throw std::out_of_range{"configuration not covered by this sweep: " +
+                            cache::to_string(config)};
+}
+
+dew_counters sweep_result::total_counters() const {
+    dew_counters total;
+    for (const dew_result& pass : passes) {
+        const dew_counters& c = pass.counters();
+        total.requests += c.requests;
+        total.node_evaluations += c.node_evaluations;
+        total.unoptimized_evaluations += c.unoptimized_evaluations;
+        total.mra_hits += c.mra_hits;
+        total.wave_checks += c.wave_checks;
+        total.mre_determinations += c.mre_determinations;
+        total.searches += c.searches;
+        total.wave_hit_determinations += c.wave_hit_determinations;
+        total.wave_miss_determinations += c.wave_miss_determinations;
+        total.mre_swaps += c.mre_swaps;
+        total.tag_comparisons += c.tag_comparisons;
+    }
+    return total;
+}
+
+std::vector<config_outcome> sweep_result::outcomes() const {
+    std::vector<config_outcome> all;
+    std::uint32_t dm_recorded_for_block = 0; // block size, 0 = none yet
+    for (const dew_result& pass : passes) {
+        for (const config_outcome& outcome : pass.outcomes()) {
+            if (outcome.config.associativity == 1) {
+                // Every pass of one block size carries the same A = 1
+                // results; keep only the first pass's copy.
+                if (dm_recorded_for_block == pass.block_size()) {
+                    continue;
+                }
+            }
+            all.push_back(outcome);
+        }
+        dm_recorded_for_block = pass.block_size();
+    }
+    return all;
+}
+
+sweep_result run_sweep(const trace::mem_trace& trace,
+                       const sweep_request& request) {
+    const std::vector<pass_key> plan = plan_passes(request);
+
+    sweep_result result;
+    result.requests = trace.size();
+    result.passes.reserve(plan.size());
+
+    const auto start = std::chrono::steady_clock::now();
+
+    if (request.threads == 0 || plan.size() <= 1) {
+        for (const pass_key& key : plan) {
+            dew_simulator sim{request.max_set_exp, key.assoc, key.block_size,
+                              request.options};
+            sim.simulate(trace);
+            result.passes.push_back(sim.result());
+        }
+    } else {
+        // Static slot assignment keeps the result order deterministic; the
+        // atomic cursor balances pass costs (passes over the same trace
+        // differ only by tree size, so imbalance is mild).
+        std::vector<dew_result> slots;
+        slots.reserve(plan.size());
+        for (const pass_key& key : plan) {
+            // Placeholder construction; overwritten by the workers.
+            slots.push_back(dew_result{request.max_set_exp, key.assoc,
+                                       key.block_size, 0,
+                                       std::vector<std::uint64_t>(
+                                           request.max_set_exp + 1, 0),
+                                       std::vector<std::uint64_t>(
+                                           request.max_set_exp + 1, 0),
+                                       dew_counters{}});
+        }
+        std::atomic<std::size_t> cursor{0};
+        const unsigned worker_count =
+            std::min<unsigned>(request.threads,
+                               static_cast<unsigned>(plan.size()));
+        std::vector<std::thread> workers;
+        workers.reserve(worker_count);
+        for (unsigned w = 0; w < worker_count; ++w) {
+            workers.emplace_back([&] {
+                for (;;) {
+                    const std::size_t index =
+                        cursor.fetch_add(1, std::memory_order_relaxed);
+                    if (index >= plan.size()) {
+                        return;
+                    }
+                    const pass_key key = plan[index];
+                    dew_simulator sim{request.max_set_exp, key.assoc,
+                                      key.block_size, request.options};
+                    sim.simulate(trace);
+                    slots[index] = sim.result();
+                }
+            });
+        }
+        for (std::thread& worker : workers) {
+            worker.join();
+        }
+        result.passes = std::move(slots);
+    }
+
+    const auto stop = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(stop - start).count();
+    return result;
+}
+
+} // namespace dew::core

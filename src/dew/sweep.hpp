@@ -1,0 +1,72 @@
+// Multi-pass sweep driver: the paper's end-to-end use case as a first-class
+// API.  A config_space-style grid (set counts 2^0..2^L, block sizes,
+// associativities) is covered by one DEW single-pass simulation per
+// (block size, associativity != 1) pair — 28 passes for the paper's
+// 525-configuration Table 1 space — optionally running passes on worker
+// threads.  Passes are completely independent (each owns its tree), so
+// parallelism is deterministic: results are identical to the serial sweep.
+#ifndef DEW_DEW_SWEEP_HPP
+#define DEW_DEW_SWEEP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "dew/counters.hpp"
+#include "dew/options.hpp"
+#include "dew/result.hpp"
+#include "trace/record.hpp"
+
+namespace dew::core {
+
+struct sweep_request {
+    // Set counts 2^0 .. 2^max_set_exp are covered by every pass.
+    unsigned max_set_exp{14};
+    // Block sizes (bytes) and associativities to cross; each must be a
+    // power of two, associativity 1 rides along and need not be listed.
+    std::vector<std::uint32_t> block_sizes{4, 8, 16, 32, 64};
+    std::vector<std::uint32_t> associativities{2, 4, 8, 16};
+    dew_options options{};
+    // Worker threads; 0 = serial in the calling thread.  Results are
+    // bit-identical regardless.
+    unsigned threads{0};
+
+    // The paper's Table 1 space: S = 2^0..2^14, B = 2^0..2^6, A = 2^0..2^4.
+    [[nodiscard]] static sweep_request paper() {
+        sweep_request request;
+        request.max_set_exp = 14;
+        request.block_sizes = {1, 2, 4, 8, 16, 32, 64};
+        request.associativities = {2, 4, 8, 16};
+        return request;
+    }
+};
+
+struct sweep_result {
+    // One dew_result per (block size, associativity) pass, in the order
+    // block-major then associativity (matching passes()).
+    std::vector<dew_result> passes;
+    std::uint64_t requests{0};
+    double seconds{0.0};
+
+    // Misses of an arbitrary configuration covered by the sweep; throws
+    // std::out_of_range when (S, A, B) was not covered.
+    [[nodiscard]] std::uint64_t
+    misses_of(const cache::cache_config& config) const;
+
+    // Aggregate instrumentation over all passes (Table 3's totals).
+    [[nodiscard]] dew_counters total_counters() const;
+
+    // Flat list of every covered configuration with exact outcomes
+    // (associativity-1 configurations appear once per block size).
+    [[nodiscard]] std::vector<config_outcome> outcomes() const;
+};
+
+// Runs the sweep over the trace.  Every (block, assoc) pair in the request
+// becomes one single-pass simulation; with request.threads > 0 the passes
+// are distributed over that many workers.
+[[nodiscard]] sweep_result run_sweep(const trace::mem_trace& trace,
+                                     const sweep_request& request);
+
+} // namespace dew::core
+
+#endif // DEW_DEW_SWEEP_HPP

@@ -1,0 +1,61 @@
+#include "dew/tree.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace dew::core {
+
+namespace {
+
+// Nodes of level l live at flat offsets [2^l - 1, 2^(l+1) - 1): the classic
+// implicit layout for a complete binary hierarchy of levels.
+constexpr std::uint64_t level_offset(unsigned level) noexcept {
+    return (std::uint64_t{1} << level) - 1;
+}
+
+} // namespace
+
+dew_tree::dew_tree(unsigned max_level, std::uint32_t associativity,
+                   std::uint32_t victim_depth)
+    : max_level_{max_level},
+      assoc_{associativity},
+      victim_depth_{victim_depth} {
+    DEW_EXPECTS(max_level < 32);
+    DEW_EXPECTS(is_pow2(associativity));
+    const std::uint64_t nodes = level_offset(max_level + 1);
+    headers_.resize(nodes);
+    ways_.resize(nodes * assoc_);
+    victims_.resize(nodes * victim_depth_);
+}
+
+node_ref dew_tree::node(unsigned level, std::uint64_t index) noexcept {
+    const std::uint64_t slot = level_offset(level) + index;
+    return {headers_[slot], &ways_[slot * assoc_],
+            victim_depth_ == 0 ? nullptr : &victims_[slot * victim_depth_]};
+}
+
+std::uint64_t dew_tree::node_count() const noexcept {
+    return headers_.size();
+}
+
+void dew_tree::clear() {
+    std::fill(headers_.begin(), headers_.end(), node_header{});
+    std::fill(ways_.begin(), ways_.end(), way_entry{});
+    std::fill(victims_.begin(), victims_.end(), way_entry{});
+}
+
+std::uint64_t dew_tree::paper_bits_per_level(unsigned level) const noexcept {
+    return (std::uint64_t{1} << level) * paper_bits_per_node(assoc_);
+}
+
+std::uint64_t dew_tree::paper_bits_total() const noexcept {
+    std::uint64_t total = 0;
+    for (unsigned level = 0; level <= max_level_; ++level) {
+        total += paper_bits_per_level(level);
+    }
+    return total;
+}
+
+} // namespace dew::core

@@ -1,0 +1,100 @@
+// The binomial simulation tree (Property 1, Figure 1 of the paper).
+//
+// Level l holds 2^l nodes; the node for set index i at level l represents
+// the cache set i of the configuration with 2^l sets.  Its two children at
+// level l+1 are the sets i and i + 2^l: the index grows by one block-address
+// bit per level, so a block's root-to-leaf path is implicit in its address
+// and the tree needs no child pointers at all.
+//
+// Per node (paper layout): the MRA tag, the MRE tag with its wave pointer,
+// and A tag-list entries of (tag, wave pointer) — 96 + 64*A bits.  The wave
+// pointer of an entry holding tag t names the way t occupied in the *child
+// node on t's path* when t last descended through it; `empty_wave` means
+// unknown.  FIFO never moves a resident block between ways, which is what
+// makes a stored way index trustworthy until eviction.
+//
+// Extension over the paper: the single MRE entry generalises to a small
+// per-node *victim buffer* of `victim_depth` (tag, wave) entries holding
+// the most recently evicted tags.  Depth 1 is exactly the paper's MRE
+// entry; depth 0 disables Property 4; larger depths prove more misses
+// without a search and preserve more wave pointers across evict/re-fetch
+// cycles, at one extra comparison per probed entry.  The ablation bench
+// measures the trade.
+#ifndef DEW_DEW_TREE_HPP
+#define DEW_DEW_TREE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/set_model.hpp" // invalid_tag
+
+namespace dew::core {
+
+inline constexpr std::uint32_t empty_wave = ~std::uint32_t{0};
+
+struct way_entry {
+    std::uint64_t tag{cache::invalid_tag};
+    std::uint32_t wave{empty_wave};
+};
+
+struct node_header {
+    std::uint64_t mra{cache::invalid_tag}; // most recently accessed tag
+    std::uint32_t cursor{0};               // FIFO insertion pointer (ways)
+    std::uint32_t victim_cursor{0};        // round-robin victim-buffer slot
+};
+
+// Mutable view of one node: its header, its A-entry tag list, and its
+// victim buffer (nullptr when victim_depth == 0).
+struct node_ref {
+    node_header& header;
+    way_entry* ways;    // [associativity]
+    way_entry* victims; // [victim_depth], most recently evicted tags
+};
+
+class dew_tree {
+public:
+    // Levels 0..max_level inclusive; every node has `associativity` ways
+    // and `victim_depth` victim-buffer entries (1 = the paper's MRE).
+    dew_tree(unsigned max_level, std::uint32_t associativity,
+             std::uint32_t victim_depth = 1);
+
+    [[nodiscard]] node_ref node(unsigned level, std::uint64_t index) noexcept;
+
+    [[nodiscard]] unsigned max_level() const noexcept { return max_level_; }
+    [[nodiscard]] std::uint32_t associativity() const noexcept { return assoc_; }
+    [[nodiscard]] std::uint32_t victim_depth() const noexcept {
+        return victim_depth_;
+    }
+    [[nodiscard]] std::uint64_t node_count() const noexcept;
+
+    // Reset all nodes to the cold state.
+    void clear();
+
+    // The paper's storage accounting (Section 5): bits per tree node and per
+    // whole level, assuming 32-bit tags and 32-bit wave pointers.  The
+    // paper's 96 + 64*A decomposes as 32 (MRA) + 64 (one MRE entry) +
+    // 64*A (tag list); the general form substitutes the victim depth.
+    [[nodiscard]] static constexpr std::uint64_t
+    paper_bits_per_node(std::uint32_t associativity) noexcept {
+        return 96 + std::uint64_t{64} * associativity;
+    }
+    [[nodiscard]] constexpr std::uint64_t bits_per_node() const noexcept {
+        return 32 + std::uint64_t{64} * victim_depth_ +
+               std::uint64_t{64} * assoc_;
+    }
+    [[nodiscard]] std::uint64_t paper_bits_per_level(unsigned level) const noexcept;
+    [[nodiscard]] std::uint64_t paper_bits_total() const noexcept;
+
+private:
+    unsigned max_level_;
+    std::uint32_t assoc_;
+    std::uint32_t victim_depth_;
+    // Flat per-level storage; level l starts at offset 2^l - 1 node slots.
+    std::vector<node_header> headers_;
+    std::vector<way_entry> ways_;
+    std::vector<way_entry> victims_;
+};
+
+} // namespace dew::core
+
+#endif // DEW_DEW_TREE_HPP

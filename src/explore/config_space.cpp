@@ -1,0 +1,47 @@
+#include "explore/config_space.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dew::explore {
+
+std::vector<cache::cache_config> config_space::all() const {
+    DEW_EXPECTS(min_set_exp <= max_set_exp);
+    DEW_EXPECTS(min_block_exp <= max_block_exp);
+    DEW_EXPECTS(min_assoc_exp <= max_assoc_exp);
+    std::vector<cache::cache_config> configs;
+    configs.reserve(count());
+    for (unsigned b = min_block_exp; b <= max_block_exp; ++b) {
+        for (unsigned a = min_assoc_exp; a <= max_assoc_exp; ++a) {
+            for (unsigned s = min_set_exp; s <= max_set_exp; ++s) {
+                configs.push_back({std::uint32_t{1} << s,
+                                   std::uint32_t{1} << a,
+                                   std::uint32_t{1} << b});
+            }
+        }
+    }
+    return configs;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+config_space::dew_passes() const {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> passes;
+    for (unsigned b = min_block_exp; b <= max_block_exp; ++b) {
+        // Associativity 1 results ride along with any other pass of the
+        // same block size; a dedicated A=1 pass is only needed when the
+        // space contains nothing but direct-mapped configurations.
+        bool have_pass_for_block = false;
+        for (unsigned a = min_assoc_exp; a <= max_assoc_exp; ++a) {
+            if (a == 0) {
+                continue;
+            }
+            passes.emplace_back(std::uint32_t{1} << b, std::uint32_t{1} << a);
+            have_pass_for_block = true;
+        }
+        if (!have_pass_for_block) {
+            passes.emplace_back(std::uint32_t{1} << b, 1u);
+        }
+    }
+    return passes;
+}
+
+} // namespace dew::explore

@@ -1,0 +1,45 @@
+// The cache design space of the paper's Table 1:
+//   set count     2^I, 0 <= I <= 14
+//   block size    2^I bytes, 0 <= I <= 6
+//   associativity 2^I, 0 <= I <= 4
+// = 15 * 7 * 5 = 525 configurations (1 byte up to 16 MiB of capacity).
+#ifndef DEW_EXPLORE_CONFIG_SPACE_HPP
+#define DEW_EXPLORE_CONFIG_SPACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hpp"
+
+namespace dew::explore {
+
+struct config_space {
+    unsigned min_set_exp{0};
+    unsigned max_set_exp{14};
+    unsigned min_block_exp{0};
+    unsigned max_block_exp{6};
+    unsigned min_assoc_exp{0};
+    unsigned max_assoc_exp{4};
+
+    [[nodiscard]] std::size_t count() const noexcept {
+        return std::size_t{max_set_exp - min_set_exp + 1} *
+               (max_block_exp - min_block_exp + 1) *
+               (max_assoc_exp - min_assoc_exp + 1);
+    }
+
+    // All configurations, ordered by block size, then associativity, then
+    // set count — the order a DEW sweep visits them (one pass per (B, A)).
+    [[nodiscard]] std::vector<cache::cache_config> all() const;
+
+    // The distinct (block size, associativity) pairs; each pair is one DEW
+    // single-pass simulation covering every set count (associativity-1
+    // configurations ride along and need no pass of their own).
+    [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+    dew_passes() const;
+
+    [[nodiscard]] static config_space paper() noexcept { return {}; }
+};
+
+} // namespace dew::explore
+
+#endif // DEW_EXPLORE_CONFIG_SPACE_HPP

@@ -1,0 +1,82 @@
+#include "explore/curves.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dew::explore {
+
+std::vector<miss_curve_point> extract_curve(const core::dew_result& result,
+                                            std::uint32_t associativity) {
+    DEW_EXPECTS(associativity == 1 ||
+                associativity == result.associativity());
+    std::vector<miss_curve_point> curve;
+    curve.reserve(result.max_level() + 1);
+    for (unsigned level = 0; level <= result.max_level(); ++level) {
+        const auto sets = std::uint32_t{1} << level;
+        const std::uint64_t misses = result.misses(level, associativity);
+        curve.push_back({
+            sets,
+            std::uint64_t{sets} * associativity * result.block_size(),
+            misses,
+            result.requests() == 0
+                ? 0.0
+                : static_cast<double>(misses) /
+                      static_cast<double>(result.requests()),
+        });
+    }
+    return curve;
+}
+
+curve_analysis analyze_curve(const std::vector<miss_curve_point>& curve,
+                             double tolerance) {
+    DEW_EXPECTS(!curve.empty());
+    DEW_EXPECTS(tolerance >= 0.0);
+    curve_analysis analysis;
+
+    // Doubling gains.
+    analysis.doubling_gains.reserve(curve.size() - 1);
+    for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+        analysis.doubling_gains.push_back(curve[i].miss_rate -
+                                          curve[i + 1].miss_rate);
+    }
+
+    // Working set: smallest capacity within tolerance of the final rate.
+    const double final_rate = curve.back().miss_rate;
+    const double bar = final_rate * (1.0 + tolerance);
+    analysis.working_set_bytes = curve.back().capacity_bytes;
+    for (const miss_curve_point& point : curve) {
+        if (point.miss_rate <= bar) {
+            analysis.working_set_bytes = point.capacity_bytes;
+            break;
+        }
+    }
+
+    // Knee: maximum perpendicular distance to the chord from the first to
+    // the last point, in (index, normalised miss rate) space.  Index is
+    // already the log2 of capacity up to a constant, so the usual
+    // log-x elbow criterion reduces to using the position directly.
+    const double x0 = 0.0;
+    const double y0 = curve.front().miss_rate;
+    const double x1 = static_cast<double>(curve.size() - 1);
+    const double y1 = curve.back().miss_rate;
+    const double span = std::max(y0 - y1, 1e-12);
+    const double dx = x1 - x0;
+    const double dy = (y1 - y0) / span; // normalise rates to ~[0, 1]
+    const double norm = std::sqrt(dx * dx + dy * dy);
+    double best = -1.0;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        const double px = static_cast<double>(i);
+        const double py = (curve[i].miss_rate - y0) / span;
+        const double distance =
+            norm == 0.0 ? 0.0 : std::abs(dx * py - dy * px) / norm;
+        if (distance > best + 1e-12) {
+            best = distance;
+            analysis.knee_index = i;
+        }
+    }
+    return analysis;
+}
+
+} // namespace dew::explore

@@ -1,0 +1,50 @@
+// Miss-rate curve analysis over a DEW pass: the set-count sweep a single
+// pass produces is exactly the "miss rate vs cache size" curve an embedded
+// designer reads, and the two numbers they extract from it are the *knee*
+// (where extra capacity stops paying) and the *working-set size* (smallest
+// capacity whose miss rate is within tolerance of the best achievable).
+// This module computes both, plus the per-doubling marginal gains.
+#ifndef DEW_EXPLORE_CURVES_HPP
+#define DEW_EXPLORE_CURVES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dew/result.hpp"
+
+namespace dew::explore {
+
+struct miss_curve_point {
+    std::uint32_t set_count{0};
+    std::uint64_t capacity_bytes{0};
+    std::uint64_t misses{0};
+    double miss_rate{0.0};
+};
+
+// The per-set-count miss curve of one (associativity, block size) slice of
+// a DEW pass.  associativity must be 1 or the pass's simulated A.
+[[nodiscard]] std::vector<miss_curve_point>
+extract_curve(const core::dew_result& result, std::uint32_t associativity);
+
+struct curve_analysis {
+    // Index into the curve of the knee: the point with maximum distance to
+    // the chord between the first and last points in (log2 capacity,
+    // normalised miss rate) space — the standard elbow criterion.
+    std::size_t knee_index{0};
+    // Smallest capacity whose miss rate is within `tolerance` (relative) of
+    // the curve's final miss rate — the working-set estimate.
+    std::uint64_t working_set_bytes{0};
+    // miss_rate[i] - miss_rate[i+1] per doubling of set count: how much
+    // each doubling buys.  Size = curve size - 1.
+    std::vector<double> doubling_gains;
+};
+
+// Analyses a curve (points must be in increasing set-count order, as
+// extract_curve produces).  tolerance is relative to the final miss rate;
+// a flat curve reports knee 0 and the smallest capacity.
+[[nodiscard]] curve_analysis analyze_curve(
+    const std::vector<miss_curve_point>& curve, double tolerance = 0.05);
+
+} // namespace dew::explore
+
+#endif // DEW_EXPLORE_CURVES_HPP

@@ -1,0 +1,66 @@
+#include "explore/energy_model.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace dew::explore {
+
+double energy_model::access_energy_pj(const cache::cache_config& config) const {
+    DEW_EXPECTS(config.valid());
+    const unsigned index_bits = config.index_bits();
+    const unsigned offset_bits = config.block_bits();
+    const unsigned tag_bits =
+        energy_.address_bits > index_bits + offset_bits
+            ? energy_.address_bits - index_bits - offset_bits
+            : 1;
+
+    // A parallel set-associative lookup compares A tags and reads A blocks.
+    const double tag_energy = energy_.tag_bit_pj *
+                              static_cast<double>(config.associativity) *
+                              static_cast<double>(tag_bits);
+    const double data_energy = energy_.data_bit_pj *
+                               static_cast<double>(config.associativity) *
+                               static_cast<double>(config.block_size) * 8.0;
+    const double decode_energy =
+        energy_.decode_level_pj * static_cast<double>(index_bits);
+    const double leakage =
+        energy_.leakage_pj_per_kib *
+        (static_cast<double>(config.total_bytes()) / 1024.0);
+    return energy_.probe_base_pj + tag_energy + data_energy + decode_energy +
+           leakage;
+}
+
+double energy_model::miss_energy_pj(const cache::cache_config& config) const {
+    return energy_.miss_base_pj +
+           energy_.miss_byte_pj * static_cast<double>(config.block_size);
+}
+
+double energy_model::total_energy_pj(const cache::cache_config& config,
+                                     std::uint64_t accesses,
+                                     std::uint64_t misses) const {
+    DEW_EXPECTS(misses <= accesses);
+    return access_energy_pj(config) * static_cast<double>(accesses) +
+           miss_energy_pj(config) * static_cast<double>(misses);
+}
+
+double energy_model::hit_latency_ns(const cache::cache_config& config) const {
+    DEW_EXPECTS(config.valid());
+    return latency_.base_ns +
+           latency_.decode_level_ns * static_cast<double>(config.index_bits()) +
+           latency_.way_mux_ns *
+               static_cast<double>(log2_exact(config.associativity));
+}
+
+double energy_model::amat_ns(const cache::cache_config& config,
+                             std::uint64_t accesses,
+                             std::uint64_t misses) const {
+    DEW_EXPECTS(misses <= accesses);
+    if (accesses == 0) {
+        return hit_latency_ns(config);
+    }
+    const double miss_rate =
+        static_cast<double>(misses) / static_cast<double>(accesses);
+    return hit_latency_ns(config) + miss_rate * latency_.miss_penalty_ns;
+}
+
+} // namespace dew::explore

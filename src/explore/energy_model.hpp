@@ -1,0 +1,92 @@
+// Parametric cache energy and access-time model.
+//
+// The paper motivates fast multi-configuration simulation with embedded
+// cache tuning: "a cache system which is too large will unnecessarily
+// consume power and increase access time, while a cache system too small
+// will thrash".  This module turns DEW's exact miss counts into the energy
+// and latency estimates such a tuning flow ranks configurations by.
+//
+// The model is a deliberately simple CACTI-flavoured analytical form (the
+// paper itself cites Wattch/AccuPower-class estimators; none are available
+// offline).  Per-access read energy grows with the bits read per probe
+// (A tag comparators + A data blocks on a parallel-read set-associative
+// lookup) plus a decoder term growing with log2 of the array sizes; a miss
+// adds a fixed main-memory penalty plus a per-byte refill cost.  Constants
+// are documented, dimensionless-calibrated, and overridable — the *ordering*
+// of configurations, not absolute joules, is what the exploration flow
+// consumes.
+#ifndef DEW_EXPLORE_ENERGY_MODEL_HPP
+#define DEW_EXPLORE_ENERGY_MODEL_HPP
+
+#include <cstdint>
+
+#include "cache/config.hpp"
+
+namespace dew::explore {
+
+struct energy_parameters {
+    // Static per-probe cost (sense amps, drivers), picojoules.
+    double probe_base_pj{2.0};
+    // Per tag bit compared, picojoules.
+    double tag_bit_pj{0.02};
+    // Per data bit read out of the selected set, picojoules.
+    double data_bit_pj{0.01};
+    // Per address-decoder level (log2 of rows), picojoules.
+    double decode_level_pj{0.15};
+    // Fixed cost of a miss: request to next level + fill bookkeeping, pJ.
+    double miss_base_pj{40.0};
+    // Per byte refilled from the next level, picojoules.
+    double miss_byte_pj{4.0};
+    // Leakage per kilobyte of capacity per access cycle, picojoules.
+    double leakage_pj_per_kib{0.05};
+    // Assumed tag width basis in bits (the paper stores 32-bit tags).
+    unsigned address_bits{32};
+};
+
+struct latency_parameters {
+    double base_ns{0.30};         // wire + sense floor
+    double decode_level_ns{0.05}; // per decoder level
+    double way_mux_ns{0.04};      // per log2(associativity) of way muxing
+    double miss_penalty_ns{20.0}; // main-memory round trip
+};
+
+class energy_model {
+public:
+    energy_model() = default;
+    energy_model(energy_parameters energy, latency_parameters latency)
+        : energy_{energy}, latency_{latency} {}
+
+    // Energy of one cache probe (hit or miss), picojoules.
+    [[nodiscard]] double access_energy_pj(const cache::cache_config& config) const;
+
+    // Additional energy of one miss, picojoules.
+    [[nodiscard]] double miss_energy_pj(const cache::cache_config& config) const;
+
+    // Total energy for a run, picojoules.
+    [[nodiscard]] double total_energy_pj(const cache::cache_config& config,
+                                         std::uint64_t accesses,
+                                         std::uint64_t misses) const;
+
+    // Cache hit latency, nanoseconds.
+    [[nodiscard]] double hit_latency_ns(const cache::cache_config& config) const;
+
+    // Average memory access time for a run, nanoseconds.
+    [[nodiscard]] double amat_ns(const cache::cache_config& config,
+                                 std::uint64_t accesses,
+                                 std::uint64_t misses) const;
+
+    [[nodiscard]] const energy_parameters& energy() const noexcept {
+        return energy_;
+    }
+    [[nodiscard]] const latency_parameters& latency() const noexcept {
+        return latency_;
+    }
+
+private:
+    energy_parameters energy_{};
+    latency_parameters latency_{};
+};
+
+} // namespace dew::explore
+
+#endif // DEW_EXPLORE_ENERGY_MODEL_HPP

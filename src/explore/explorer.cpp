@@ -1,0 +1,138 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "dew/sweep.hpp"
+
+namespace dew::explore {
+
+namespace {
+
+const explored_config&
+best_by(const std::vector<explored_config>& configs,
+        bool (*better)(const explored_config&, const explored_config&)) {
+    if (configs.empty()) {
+        throw std::logic_error{"exploration result is empty"};
+    }
+    const explored_config* best = &configs.front();
+    for (const explored_config& candidate : configs) {
+        if (better(candidate, *best)) {
+            best = &candidate;
+        }
+    }
+    return *best;
+}
+
+} // namespace
+
+const explored_config& exploration_result::best_energy() const {
+    return best_by(configs, [](const explored_config& a,
+                               const explored_config& b) {
+        return a.energy_pj < b.energy_pj;
+    });
+}
+
+const explored_config& exploration_result::best_amat() const {
+    return best_by(configs,
+                   [](const explored_config& a, const explored_config& b) {
+                       return a.amat_ns < b.amat_ns;
+                   });
+}
+
+const explored_config& exploration_result::best_miss_rate() const {
+    return best_by(configs,
+                   [](const explored_config& a, const explored_config& b) {
+                       return a.misses < b.misses ||
+                              (a.misses == b.misses &&
+                               a.config.total_bytes() < b.config.total_bytes());
+                   });
+}
+
+std::vector<explored_config> exploration_result::pareto_energy_amat() const {
+    std::vector<explored_config> sorted = configs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const explored_config& a, const explored_config& b) {
+                  return a.energy_pj < b.energy_pj ||
+                         (a.energy_pj == b.energy_pj && a.amat_ns < b.amat_ns);
+              });
+    std::vector<explored_config> frontier;
+    double best_amat = std::numeric_limits<double>::infinity();
+    for (const explored_config& candidate : sorted) {
+        if (candidate.amat_ns < best_amat) {
+            frontier.push_back(candidate);
+            best_amat = candidate.amat_ns;
+        }
+    }
+    return frontier;
+}
+
+exploration_result explore(const trace::mem_trace& trace,
+                           const explorer_options& options) {
+    const config_space& space = options.space;
+    exploration_result result;
+    result.requests = trace.size();
+
+    // Build the sweep request: one DEW pass per (block size, A != 1) pair;
+    // associativity-1 misses ride along on the first pass of each block
+    // size.  A direct-mapped-only space degenerates to explicit A = 1
+    // passes.
+    core::sweep_request request;
+    request.max_set_exp = space.max_set_exp;
+    request.block_sizes.clear();
+    for (unsigned b = space.min_block_exp; b <= space.max_block_exp; ++b) {
+        request.block_sizes.push_back(std::uint32_t{1} << b);
+    }
+    request.associativities.clear();
+    for (unsigned a = std::max(space.min_assoc_exp, 1u);
+         a <= space.max_assoc_exp; ++a) {
+        request.associativities.push_back(std::uint32_t{1} << a);
+    }
+    if (request.associativities.empty()) {
+        request.associativities.push_back(1);
+    }
+    request.threads = options.threads;
+
+    const core::sweep_result sweep = core::run_sweep(trace, request);
+    result.dew_passes = sweep.passes.size();
+    result.simulation_seconds = sweep.seconds;
+
+    const bool want_dm = space.min_assoc_exp == 0;
+    for (const core::config_outcome& outcome : sweep.outcomes()) {
+        const unsigned set_exp = log2_exact(outcome.config.set_count);
+        if (set_exp < space.min_set_exp || set_exp > space.max_set_exp) {
+            continue;
+        }
+        if (outcome.config.associativity == 1 && !want_dm &&
+            space.min_assoc_exp != 0) {
+            continue;
+        }
+        result.configs.push_back(
+            {outcome.config, outcome.misses, 0.0, 0.0, 0.0});
+    }
+
+    // Capacity filter + derived metrics.
+    if (options.max_capacity_bytes != 0) {
+        std::erase_if(result.configs, [&](const explored_config& c) {
+            return c.config.total_bytes() > options.max_capacity_bytes;
+        });
+    }
+    for (explored_config& entry : result.configs) {
+        entry.miss_rate =
+            result.requests == 0
+                ? 0.0
+                : static_cast<double>(entry.misses) /
+                      static_cast<double>(result.requests);
+        entry.energy_pj = options.model.total_energy_pj(
+            entry.config, result.requests, entry.misses);
+        entry.amat_ns =
+            options.model.amat_ns(entry.config, result.requests, entry.misses);
+    }
+    return result;
+}
+
+} // namespace dew::explore

@@ -1,0 +1,60 @@
+// Design-space exploration driver: the paper's motivating use case.
+//
+// Runs one DEW pass per (block size, associativity) pair of the space —
+// 28 passes for the paper's 525-configuration Table 1 space instead of 525
+// independent simulations — and ranks every configuration by exact miss
+// count, modelled energy, and average access time.
+#ifndef DEW_EXPLORE_EXPLORER_HPP
+#define DEW_EXPLORE_EXPLORER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "explore/config_space.hpp"
+#include "explore/energy_model.hpp"
+#include "trace/record.hpp"
+
+namespace dew::explore {
+
+struct explored_config {
+    cache::cache_config config;
+    std::uint64_t misses{0};
+    double miss_rate{0.0};
+    double energy_pj{0.0};
+    double amat_ns{0.0};
+};
+
+struct exploration_result {
+    std::vector<explored_config> configs; // every config of the space
+    std::uint64_t requests{0};
+    std::size_t dew_passes{0};     // single-pass simulations performed
+    double simulation_seconds{0.0};
+
+    // Lowest total energy / lowest AMAT / lowest miss rate configuration.
+    [[nodiscard]] const explored_config& best_energy() const;
+    [[nodiscard]] const explored_config& best_amat() const;
+    [[nodiscard]] const explored_config& best_miss_rate() const;
+
+    // Energy/AMAT Pareto frontier, ordered by energy.  A configuration is
+    // kept iff no other configuration is better in both dimensions.
+    [[nodiscard]] std::vector<explored_config> pareto_energy_amat() const;
+};
+
+struct explorer_options {
+    config_space space{};
+    energy_model model{};
+    // Maximum total capacity to include in rankings (0 = no limit) —
+    // embedded budgets usually exclude the 16 MiB corner of Table 1.
+    std::uint64_t max_capacity_bytes{0};
+    // Worker threads for the underlying DEW sweep (0 = serial).  Results
+    // are identical either way; passes are independent.
+    unsigned threads{0};
+};
+
+[[nodiscard]] exploration_result explore(const trace::mem_trace& trace,
+                                         const explorer_options& options = {});
+
+} // namespace dew::explore
+
+#endif // DEW_EXPLORE_EXPLORER_HPP

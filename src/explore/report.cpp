@@ -1,0 +1,74 @@
+#include "explore/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/format.hpp"
+
+namespace dew::explore {
+
+void write_summary(std::ostream& out, const exploration_result& result) {
+    out << "design-space exploration over " << with_commas(result.requests)
+        << " requests\n"
+        << "  configurations evaluated : " << result.configs.size() << "\n"
+        << "  DEW single passes        : " << result.dew_passes << "\n"
+        << "  simulation time          : "
+        << fixed_decimal(result.simulation_seconds, 3) << " s\n";
+    if (result.configs.empty()) {
+        return;
+    }
+    const explored_config& energy = result.best_energy();
+    const explored_config& amat = result.best_amat();
+    const explored_config& miss = result.best_miss_rate();
+    out << "  best energy   : " << cache::describe(energy.config) << "  ("
+        << fixed_decimal(energy.energy_pj / 1e6, 3) << " uJ, miss rate "
+        << percent(energy.miss_rate) << "%)\n"
+        << "  best AMAT     : " << cache::describe(amat.config) << "  ("
+        << fixed_decimal(amat.amat_ns, 3) << " ns)\n"
+        << "  best miss rate: " << cache::describe(miss.config) << "  ("
+        << percent(miss.miss_rate) << "%)\n";
+    const auto frontier = result.pareto_energy_amat();
+    out << "  energy/AMAT Pareto frontier: " << frontier.size()
+        << " configurations\n";
+}
+
+void write_csv(std::ostream& out, const exploration_result& result) {
+    out << "config,sets,assoc,block,capacity_bytes,misses,miss_rate,"
+           "energy_pj,amat_ns\n";
+    for (const explored_config& entry : result.configs) {
+        out << cache::to_string(entry.config) << ',' << entry.config.set_count
+            << ',' << entry.config.associativity << ','
+            << entry.config.block_size << ',' << entry.config.total_bytes()
+            << ',' << entry.misses << ',' << fixed_decimal(entry.miss_rate, 6)
+            << ',' << fixed_decimal(entry.energy_pj, 1) << ','
+            << fixed_decimal(entry.amat_ns, 4) << '\n';
+    }
+}
+
+void write_top_by_energy(std::ostream& out, const exploration_result& result,
+                         std::size_t n) {
+    std::vector<explored_config> sorted = result.configs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const explored_config& a, const explored_config& b) {
+                  return a.energy_pj < b.energy_pj;
+              });
+    if (sorted.size() > n) {
+        sorted.resize(n);
+    }
+    out << "rank  config (S:A:B)     capacity    miss rate   energy (uJ)   "
+           "AMAT (ns)\n";
+    std::size_t rank = 1;
+    for (const explored_config& entry : sorted) {
+        std::string config_text = cache::to_string(entry.config);
+        config_text.resize(18, ' ');
+        std::string capacity = human_bytes(entry.config.total_bytes());
+        capacity.resize(10, ' ');
+        out << (rank < 10 ? " " : "") << rank << "    " << config_text << ' '
+            << capacity << "  " << percent(entry.miss_rate) << "%      "
+            << fixed_decimal(entry.energy_pj / 1e6, 3) << "        "
+            << fixed_decimal(entry.amat_ns, 3) << '\n';
+        ++rank;
+    }
+}
+
+} // namespace dew::explore

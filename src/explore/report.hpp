@@ -1,0 +1,24 @@
+// Rendering of exploration results as text tables and CSV.
+#ifndef DEW_EXPLORE_REPORT_HPP
+#define DEW_EXPLORE_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "explore/explorer.hpp"
+
+namespace dew::explore {
+
+// Human-readable summary: pass counts, best configurations, Pareto set.
+void write_summary(std::ostream& out, const exploration_result& result);
+
+// Full CSV: config,sets,assoc,block,capacity,misses,miss_rate,energy_pj,amat_ns
+void write_csv(std::ostream& out, const exploration_result& result);
+
+// Top-N configurations by energy as an aligned table.
+void write_top_by_energy(std::ostream& out, const exploration_result& result,
+                         std::size_t n);
+
+} // namespace dew::explore
+
+#endif // DEW_EXPLORE_REPORT_HPP

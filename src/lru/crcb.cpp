@@ -1,0 +1,29 @@
+#include "lru/crcb.hpp"
+
+#include "cache/set_model.hpp" // invalid_tag
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace dew::lru {
+
+crcb1_result crcb1_filter(const trace::mem_trace& trace,
+                          std::uint32_t min_block_size) {
+    DEW_EXPECTS(is_pow2(min_block_size));
+    const unsigned block_bits = log2_exact(min_block_size);
+
+    crcb1_result result;
+    result.filtered.reserve(trace.size());
+    std::uint64_t previous_block = cache::invalid_tag;
+    for (const trace::mem_access& reference : trace) {
+        const std::uint64_t block = reference.address >> block_bits;
+        if (block == previous_block) {
+            ++result.removed;
+            continue;
+        }
+        previous_block = block;
+        result.filtered.push_back(reference);
+    }
+    return result;
+}
+
+} // namespace dew::lru

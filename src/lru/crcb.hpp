@@ -1,0 +1,36 @@
+// CRCB trace pruning (Tojo et al., ASP-DAC 2009) as a standalone filter.
+//
+// CRCB1 observes that a request to the same cache block as the immediately
+// preceding request hits in *every* configuration under study and changes no
+// replacement state — under LRU (already MRU; move-to-front is a no-op) and
+// equally under FIFO (resident, and FIFO hits never modify state; the paper:
+// "the findings of CRCB are also true for FIFO replacement policy").  Such
+// requests can therefore be deleted from the trace before simulation:
+// every simulator then sees fewer requests, miss counts are unchanged, and
+// hit counts are recovered by adding back the number of removed requests.
+//
+// The filter must use the *smallest* block size of the study: same block at
+// block size B implies same block at every larger block size.
+//
+// CRCB2 needs live simulator state (the smallest cache's MRU entry) and is
+// implemented inside janapsatya_sim via janapsatya_options::use_crcb2.
+#ifndef DEW_LRU_CRCB_HPP
+#define DEW_LRU_CRCB_HPP
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+
+namespace dew::lru {
+
+struct crcb1_result {
+    trace::mem_trace filtered;      // the trace with duplicates removed
+    std::uint64_t removed{0};       // requests elided (all certified hits)
+};
+
+[[nodiscard]] crcb1_result crcb1_filter(const trace::mem_trace& trace,
+                                        std::uint32_t min_block_size);
+
+} // namespace dew::lru
+
+#endif // DEW_LRU_CRCB_HPP

@@ -1,0 +1,47 @@
+#include "lru/forest_sim.hpp"
+
+#include "cache/set_model.hpp" // invalid_tag
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace dew::lru {
+
+forest_sim::forest_sim(unsigned max_level, std::uint32_t block_size)
+    : max_level_{max_level},
+      block_bits_{log2_exact(block_size)},
+      mra_(max_level + 1),
+      misses_(max_level + 1, 0) {
+    DEW_EXPECTS(max_level < 32);
+    DEW_EXPECTS(is_pow2(block_size));
+    for (unsigned level = 0; level <= max_level; ++level) {
+        mra_[level].assign(std::size_t{1} << level, cache::invalid_tag);
+    }
+}
+
+void forest_sim::access(std::uint64_t address) {
+    ++requests_;
+    const std::uint64_t block = address >> block_bits_;
+    for (unsigned level = 0; level <= max_level_; ++level) {
+        ++node_evaluations_;
+        std::uint64_t& slot = mra_[level][block & low_mask(level)];
+        if (slot == block) {
+            // Hit here and, by inclusion, at every deeper level: stop.
+            return;
+        }
+        ++misses_[level];
+        slot = block;
+    }
+}
+
+void forest_sim::simulate(const trace::mem_trace& trace) {
+    for (const trace::mem_access& reference : trace) {
+        access(reference.address);
+    }
+}
+
+std::uint64_t forest_sim::misses(unsigned level) const {
+    DEW_EXPECTS(level <= max_level_);
+    return misses_[level];
+}
+
+} // namespace dew::lru

@@ -1,0 +1,47 @@
+// Hill & Smith forest simulation ("Evaluating associativity in CPU caches",
+// IEEE ToC 1989) — reference [11] of the paper.
+//
+// Simulates every direct-mapped cache with set counts 2^0..2^max_level in a
+// single pass.  Each tree node stores only the last block that mapped to it;
+// a match is a hit at this and (by LRU set-refinement inclusion, which holds
+// for associativity 1) every deeper level, so the walk stops.  DEW's
+// Property 2 is exactly this machinery generalised to carry a FIFO tag list
+// per node.
+#ifndef DEW_LRU_FOREST_SIM_HPP
+#define DEW_LRU_FOREST_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace dew::lru {
+
+class forest_sim {
+public:
+    forest_sim(unsigned max_level, std::uint32_t block_size);
+
+    void access(std::uint64_t address);
+    void simulate(const trace::mem_trace& trace);
+
+    // Misses of the direct-mapped cache with 2^level sets.
+    [[nodiscard]] std::uint64_t misses(unsigned level) const;
+
+    [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+    [[nodiscard]] std::uint64_t node_evaluations() const noexcept {
+        return node_evaluations_;
+    }
+    [[nodiscard]] unsigned max_level() const noexcept { return max_level_; }
+
+private:
+    unsigned max_level_;
+    std::uint32_t block_bits_;
+    std::vector<std::vector<std::uint64_t>> mra_; // per level, per set
+    std::vector<std::uint64_t> misses_;
+    std::uint64_t requests_{0};
+    std::uint64_t node_evaluations_{0};
+};
+
+} // namespace dew::lru
+
+#endif // DEW_LRU_FOREST_SIM_HPP

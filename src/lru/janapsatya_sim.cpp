@@ -1,0 +1,127 @@
+#include "lru/janapsatya_sim.hpp"
+
+#include <algorithm>
+
+#include "cache/set_model.hpp" // invalid_tag
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace dew::lru {
+
+janapsatya_sim::janapsatya_sim(unsigned max_level, std::uint32_t max_assoc,
+                               std::uint32_t block_size,
+                               janapsatya_options options)
+    : max_level_{max_level},
+      assoc_{max_assoc},
+      block_bits_{log2_exact(block_size)},
+      options_{options},
+      previous_block_{cache::invalid_tag},
+      tags_(max_level + 1),
+      depth_histogram_(max_level + 1) {
+    DEW_EXPECTS(max_level < 32);
+    DEW_EXPECTS(max_assoc > 0);
+    DEW_EXPECTS(is_pow2(block_size));
+    for (unsigned level = 0; level <= max_level; ++level) {
+        tags_[level].assign((std::size_t{1} << level) * assoc_,
+                            cache::invalid_tag);
+        depth_histogram_[level].assign(assoc_ + 1, 0);
+    }
+}
+
+void janapsatya_sim::access(std::uint64_t address) {
+    ++counters_.requests;
+    const std::uint64_t block = address >> block_bits_;
+
+    // CRCB1: consecutive access to the same block.  Depth 0 everywhere,
+    // move-to-front is a no-op everywhere: record the hits and return.
+    if (options_.use_crcb1 && block == previous_block_) {
+        ++counters_.crcb1_skips;
+        ++skipped_mru_hits_;
+        return;
+    }
+    previous_block_ = block;
+
+    // CRCB2: request matches the MRU entry of the smallest cache (the root
+    // node's depth-0 tag).  Distances only shrink descending, so it is a
+    // depth-0 hit at every level; state is already correct everywhere.
+    if (options_.use_crcb2 && tags_[0][0] == block) {
+        ++counters_.crcb2_skips;
+        ++counters_.tag_comparisons;
+        ++skipped_mru_hits_;
+        return;
+    }
+
+    // Full descent; the parent's hit depth bounds each child search.
+    std::uint32_t parent_depth = assoc_; // assoc_ = "missed at parent"
+    for (unsigned level = 0; level <= max_level_; ++level) {
+        ++counters_.node_evaluations;
+        ++counters_.searches;
+        std::uint64_t* const ways =
+            &tags_[level][(block & low_mask(level)) * assoc_];
+
+        const std::uint32_t bound =
+            options_.use_depth_bound
+                ? std::min(assoc_, parent_depth + 1)
+                : assoc_;
+
+        std::uint32_t found_depth = assoc_;
+        for (std::uint32_t d = 0; d < bound; ++d) {
+            if (ways[d] == cache::invalid_tag) {
+                break; // recency lists are packed; an empty slot ends them
+            }
+            ++counters_.tag_comparisons;
+            if (ways[d] == block) {
+                found_depth = d;
+                break;
+            }
+        }
+
+        if (found_depth < assoc_) {
+            // Hit at stack distance found_depth: hit for every
+            // associativity > found_depth.
+            ++depth_histogram_[level][found_depth];
+            std::rotate(ways, ways + found_depth, ways + found_depth + 1);
+            if (options_.use_depth_bound && found_depth == 0 &&
+                level < max_level_) {
+                // MRU hit: by inclusion the stack distance at every deeper
+                // level is also 0, and promoting an MRU entry is a no-op,
+                // so the remaining levels need neither search nor update —
+                // credit their depth-0 hits and stop the walk.
+                for (unsigned deeper = level + 1; deeper <= max_level_;
+                     ++deeper) {
+                    ++depth_histogram_[deeper][0];
+                }
+                ++counters_.depth0_stops;
+                return;
+            }
+        } else {
+            // Miss for every associativity (up to assoc_): insert at MRU,
+            // evicting the LRU entry.
+            ++depth_histogram_[level][assoc_];
+            std::rotate(ways, ways + assoc_ - 1, ways + assoc_);
+            ways[0] = block;
+        }
+        parent_depth = found_depth;
+    }
+}
+
+void janapsatya_sim::simulate(const trace::mem_trace& trace) {
+    for (const trace::mem_access& reference : trace) {
+        access(reference.address);
+    }
+}
+
+std::uint64_t janapsatya_sim::misses(unsigned level,
+                                     std::uint32_t assoc) const {
+    DEW_EXPECTS(level <= max_level_);
+    DEW_EXPECTS(assoc >= 1 && assoc <= assoc_);
+    // Hits for associativity a = accesses at depth < a (+ certified
+    // depth-0 hits of CRCB-skipped requests).
+    std::uint64_t hits = skipped_mru_hits_;
+    for (std::uint32_t d = 0; d < assoc; ++d) {
+        hits += depth_histogram_[level][d];
+    }
+    return counters_.requests - hits;
+}
+
+} // namespace dew::lru

@@ -1,0 +1,108 @@
+// Janapsatya-style single-pass multi-configuration LRU simulation
+// (ASP-DAC 2006) — reference [13] of the paper, the method whose inclusion
+// properties DEW set out to replace for FIFO caches.
+//
+// One pass yields exact miss counts for every (set count 2^0..2^max_level,
+// associativity a <= A) pair at a fixed block size.  Each tree node keeps
+// its tag list in recency order ("searched according to their last access
+// time"); the recorded hit depth is the LRU stack distance, so a per-level
+// distance histogram resolves every associativity at once.
+//
+// The inclusion property that speeds up the walk: a set at level l+1 sees a
+// subsequence of the requests of its parent set, so a block's stack distance
+// never grows when descending.  A hit at depth d in the parent bounds the
+// child's search to its first d+1 entries — the deeper the walk, the
+// shorter the searches.  Unlike FIFO/DEW, no sound early *termination* of
+// the walk exists for A >= 2 without corrupting deeper recency state, which
+// keeps the search complexity at the paper's O(log2(X) * A).
+//
+// CRCB enhancements (Tojo et al., ASP-DAC 2009 — reference [20]) are
+// available as switches:
+//  * CRCB1: a request to the same block as the previous request hits at MRU
+//    depth 0 everywhere and changes no state — skip the walk entirely.
+//  * CRCB2: a request matching the MRU entry of the *smallest* cache has
+//    depth 0 at every level (distances only shrink descending) — skip the
+//    walk after one comparison.
+#ifndef DEW_LRU_JANAPSATYA_SIM_HPP
+#define DEW_LRU_JANAPSATYA_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "trace/record.hpp"
+
+namespace dew::lru {
+
+struct janapsatya_options {
+    // Exploit the inclusion property during the walk:
+    //  * bound each child search by the parent's hit depth + 1 (a scan
+    //    that early-exits on match never exceeds it, so this is a safety
+    //    bound rather than a saving), and
+    //  * terminate the walk on a depth-0 hit — an MRU hit at level l
+    //    certifies a zero-comparison MRU hit at every deeper level
+    //    (distances only shrink descending, and re-ordering an MRU entry
+    //    is a no-op), so the remaining levels are credited depth-0 hits
+    //    without being visited.  This is where the real comparison
+    //    savings come from; CRCB2 is exactly this rule applied at the
+    //    root before the walk starts.
+    // Off = plain full searches at every level.
+    bool use_depth_bound{true};
+    bool use_crcb1{false};
+    bool use_crcb2{false};
+};
+
+struct janapsatya_counters {
+    std::uint64_t requests{0};
+    std::uint64_t node_evaluations{0};
+    std::uint64_t searches{0};
+    std::uint64_t tag_comparisons{0};
+    std::uint64_t crcb1_skips{0};
+    std::uint64_t crcb2_skips{0};
+    // Walks terminated early by a depth-0 (MRU) hit mid-descent; the
+    // deeper levels were credited certified hits without a search.
+    std::uint64_t depth0_stops{0};
+};
+
+class janapsatya_sim {
+public:
+    janapsatya_sim(unsigned max_level, std::uint32_t max_assoc,
+                   std::uint32_t block_size, janapsatya_options options = {});
+
+    void access(std::uint64_t address);
+    void simulate(const trace::mem_trace& trace);
+
+    // Exact miss count for (2^level sets, assoc, block size); any
+    // assoc in [1, max_assoc], not just powers of two.
+    [[nodiscard]] std::uint64_t misses(unsigned level,
+                                       std::uint32_t assoc) const;
+
+    [[nodiscard]] const janapsatya_counters& counters() const noexcept {
+        return counters_;
+    }
+    [[nodiscard]] unsigned max_level() const noexcept { return max_level_; }
+    [[nodiscard]] std::uint32_t max_assoc() const noexcept { return assoc_; }
+    [[nodiscard]] std::uint32_t block_size() const noexcept {
+        return std::uint32_t{1} << block_bits_;
+    }
+
+private:
+    unsigned max_level_;
+    std::uint32_t assoc_;
+    std::uint32_t block_bits_;
+    janapsatya_options options_;
+    std::uint64_t previous_block_;
+
+    // Per level: tag lists (2^level sets x assoc entries, MRU first).
+    std::vector<std::vector<std::uint64_t>> tags_;
+    // Per level: histogram[d] = hits at stack distance d; [assoc_] = misses.
+    std::vector<std::vector<std::uint64_t>> depth_histogram_;
+    // Hits certified at depth 0 for every level without walking (CRCB).
+    std::uint64_t skipped_mru_hits_{0};
+
+    janapsatya_counters counters_;
+};
+
+} // namespace dew::lru
+
+#endif // DEW_LRU_JANAPSATYA_SIM_HPP

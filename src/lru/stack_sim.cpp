@@ -1,0 +1,60 @@
+#include "lru/stack_sim.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace dew::lru {
+
+stack_sim::stack_sim(std::uint32_t set_count, std::uint32_t block_size,
+                     std::uint32_t max_tracked_assoc)
+    : set_count_{set_count},
+      block_bits_{log2_exact(block_size)},
+      index_mask_{set_count - 1},
+      max_tracked_{max_tracked_assoc},
+      stacks_(set_count),
+      histogram_(max_tracked_assoc, 0) {
+    DEW_EXPECTS(is_pow2(set_count));
+    DEW_EXPECTS(is_pow2(block_size));
+    DEW_EXPECTS(max_tracked_assoc > 0);
+}
+
+void stack_sim::access(std::uint64_t address) {
+    ++accesses_;
+    const std::uint64_t block = address >> block_bits_;
+    auto& stack = stacks_[static_cast<std::uint32_t>(block) & index_mask_];
+
+    const auto it = std::find(stack.begin(), stack.end(), block);
+    if (it == stack.end()) {
+        ++cold_;
+        stack.insert(stack.begin(), block);
+        return;
+    }
+    const auto distance = static_cast<std::uint64_t>(it - stack.begin());
+    if (distance < max_tracked_) {
+        ++histogram_[distance];
+    } else {
+        ++overflow_;
+    }
+    // Move to front (the stack update of Mattson's algorithm).
+    std::rotate(stack.begin(), it, it + 1);
+}
+
+void stack_sim::simulate(const trace::mem_trace& trace) {
+    for (const trace::mem_access& reference : trace) {
+        access(reference.address);
+    }
+}
+
+std::uint64_t stack_sim::misses(std::uint32_t assoc) const {
+    DEW_EXPECTS(assoc > 0);
+    DEW_EXPECTS(assoc <= max_tracked_);
+    std::uint64_t hits = 0;
+    for (std::uint32_t d = 0; d < assoc; ++d) {
+        hits += histogram_[d];
+    }
+    return accesses_ - hits;
+}
+
+} // namespace dew::lru

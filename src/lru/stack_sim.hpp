@@ -1,0 +1,59 @@
+// Mattson/Gecsei stack simulation ("Evaluation techniques for storage
+// hierarchies", IBM Systems Journal 1970) — reference [9] of the paper.
+//
+// For a fixed set count and block size, one pass over the trace yields the
+// exact miss count of *every* associativity at once: maintain each set's
+// full LRU stack, record the stack distance of every access, and misses for
+// associativity A are the accesses whose distance is >= A (plus cold
+// misses).  This is the classic all-associativity method DEW's related work
+// contrasts against, and the oracle our LRU simulators are tested with.
+#ifndef DEW_LRU_STACK_SIM_HPP
+#define DEW_LRU_STACK_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "trace/record.hpp"
+
+namespace dew::lru {
+
+class stack_sim {
+public:
+    // Tracks exact distances up to max_tracked_assoc; deeper re-references
+    // land in an overflow bucket (they miss in every tracked associativity).
+    stack_sim(std::uint32_t set_count, std::uint32_t block_size,
+              std::uint32_t max_tracked_assoc = 64);
+
+    void access(std::uint64_t address);
+    void simulate(const trace::mem_trace& trace);
+
+    // Exact miss count for (set_count, assoc, block_size); requires
+    // assoc <= max_tracked_assoc.
+    [[nodiscard]] std::uint64_t misses(std::uint32_t assoc) const;
+
+    // histogram()[d] = number of accesses with stack distance d
+    // (d < max_tracked_assoc); deeper ones are in overflow(), first-ever
+    // touches in cold().
+    [[nodiscard]] const std::vector<std::uint64_t>& histogram() const noexcept {
+        return histogram_;
+    }
+    [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+    [[nodiscard]] std::uint64_t cold() const noexcept { return cold_; }
+    [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+
+private:
+    std::uint32_t set_count_;
+    std::uint32_t block_bits_;
+    std::uint32_t index_mask_;
+    std::uint32_t max_tracked_;
+    std::vector<std::vector<std::uint64_t>> stacks_; // per set, MRU first
+    std::vector<std::uint64_t> histogram_;
+    std::uint64_t overflow_{0};
+    std::uint64_t cold_{0};
+    std::uint64_t accesses_{0};
+};
+
+} // namespace dew::lru
+
+#endif // DEW_LRU_STACK_SIM_HPP

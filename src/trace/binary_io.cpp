@@ -1,0 +1,127 @@
+#include "trace/binary_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace dew::trace {
+
+namespace {
+
+void put_u32(std::ostream& out, std::uint32_t value) {
+    std::array<unsigned char, 4> bytes{};
+    for (int i = 0; i < 4; ++i) {
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<unsigned char>(value >> (8 * i));
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+void put_u64(std::ostream& out, std::uint64_t value) {
+    std::array<unsigned char, 8> bytes{};
+    for (int i = 0; i < 8; ++i) {
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<unsigned char>(value >> (8 * i));
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+std::uint32_t get_u32(std::istream& in) {
+    std::array<unsigned char, 4> bytes{};
+    in.read(reinterpret_cast<char*>(bytes.data()), bytes.size());
+    if (!in) {
+        throw format_error{"truncated binary trace (u32)"};
+    }
+    std::uint32_t value = 0;
+    for (int i = 3; i >= 0; --i) {
+        value = (value << 8) | bytes[static_cast<std::size_t>(i)];
+    }
+    return value;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+    std::array<unsigned char, 8> bytes{};
+    in.read(reinterpret_cast<char*>(bytes.data()), bytes.size());
+    if (!in) {
+        throw format_error{"truncated binary trace (u64)"};
+    }
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i) {
+        value = (value << 8) | bytes[static_cast<std::size_t>(i)];
+    }
+    return value;
+}
+
+std::ifstream open_input(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+        throw std::runtime_error{"cannot open trace file for reading: " + path};
+    }
+    return in;
+}
+
+std::ofstream open_output(const std::string& path) {
+    std::ofstream out{path, std::ios::binary};
+    if (!out) {
+        throw std::runtime_error{"cannot open trace file for writing: " + path};
+    }
+    return out;
+}
+
+} // namespace
+
+mem_trace read_binary(std::istream& in) {
+    char magic[4];
+    in.read(magic, sizeof magic);
+    if (!in || std::memcmp(magic, binary_magic, sizeof magic) != 0) {
+        throw format_error{"not a DEWT binary trace (bad magic)"};
+    }
+    const std::uint32_t version = get_u32(in);
+    if (version != binary_version) {
+        throw format_error{"unsupported DEWT version " +
+                           std::to_string(version)};
+    }
+    const std::uint64_t count = get_u64(in);
+    mem_trace trace;
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t address = get_u64(in);
+        char type_byte = 0;
+        in.read(&type_byte, 1);
+        if (!in) {
+            throw format_error{"truncated binary trace (record)"};
+        }
+        const auto raw_type = static_cast<std::uint8_t>(type_byte);
+        if (raw_type > static_cast<std::uint8_t>(access_type::ifetch)) {
+            throw format_error{"invalid access type byte " +
+                               std::to_string(raw_type)};
+        }
+        trace.push_back({address, static_cast<access_type>(raw_type)});
+    }
+    return trace;
+}
+
+mem_trace read_binary_file(const std::string& path) {
+    auto in = open_input(path);
+    return read_binary(in);
+}
+
+void write_binary(std::ostream& out, const mem_trace& trace) {
+    out.write(binary_magic, sizeof binary_magic);
+    put_u32(out, binary_version);
+    put_u64(out, trace.size());
+    for (const mem_access& access : trace) {
+        put_u64(out, access.address);
+        const char type_byte = static_cast<char>(access.type);
+        out.write(&type_byte, 1);
+    }
+}
+
+void write_binary_file(const std::string& path, const mem_trace& trace) {
+    auto out = open_output(path);
+    write_binary(out, trace);
+}
+
+} // namespace dew::trace

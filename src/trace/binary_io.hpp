@@ -1,0 +1,38 @@
+// Raw binary trace format ("DEWT").
+//
+// Layout (all integers little-endian):
+//   magic   4 bytes  "DEWT"
+//   version u32      currently 1
+//   count   u64      number of records
+//   records count x { address u64, type u8 }
+//
+// This is the fastest format to load and the interchange format the bench
+// harness uses for cached workloads.
+#ifndef DEW_TRACE_BINARY_IO_HPP
+#define DEW_TRACE_BINARY_IO_HPP
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace dew::trace {
+
+inline constexpr char binary_magic[4] = {'D', 'E', 'W', 'T'};
+inline constexpr std::uint32_t binary_version = 1;
+
+class format_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+[[nodiscard]] mem_trace read_binary(std::istream& in);
+[[nodiscard]] mem_trace read_binary_file(const std::string& path);
+
+void write_binary(std::ostream& out, const mem_trace& trace);
+void write_binary_file(const std::string& path, const mem_trace& trace);
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_BINARY_IO_HPP

@@ -1,0 +1,168 @@
+#include "trace/compressed_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace dew::trace {
+
+namespace {
+
+void put_u32(std::ostream& out, std::uint32_t value) {
+    char bytes[4];
+    for (int i = 0; i < 4; ++i) {
+        bytes[i] = static_cast<char>(value >> (8 * i));
+    }
+    out.write(bytes, sizeof bytes);
+}
+
+void put_u64(std::ostream& out, std::uint64_t value) {
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<char>(value >> (8 * i));
+    }
+    out.write(bytes, sizeof bytes);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+    unsigned char bytes[4];
+    in.read(reinterpret_cast<char*>(bytes), sizeof bytes);
+    if (!in) {
+        throw format_error{"truncated compressed trace (u32)"};
+    }
+    std::uint32_t value = 0;
+    for (int i = 3; i >= 0; --i) {
+        value = (value << 8) | bytes[i];
+    }
+    return value;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+    unsigned char bytes[8];
+    in.read(reinterpret_cast<char*>(bytes), sizeof bytes);
+    if (!in) {
+        throw format_error{"truncated compressed trace (u64)"};
+    }
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i) {
+        value = (value << 8) | bytes[i];
+    }
+    return value;
+}
+
+unsigned varint_size(std::uint64_t value) {
+    unsigned size = 1;
+    while (value >= 0x80) {
+        value >>= 7;
+        ++size;
+    }
+    return size;
+}
+
+void put_varint(std::ostream& out, std::uint64_t value) {
+    char buffer[10];
+    unsigned used = 0;
+    while (value >= 0x80) {
+        buffer[used++] = static_cast<char>((value & 0x7F) | 0x80);
+        value >>= 7;
+    }
+    buffer[used++] = static_cast<char>(value);
+    out.write(buffer, used);
+}
+
+std::uint64_t get_varint(std::istream& in) {
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        char byte = 0;
+        in.read(&byte, 1);
+        if (!in) {
+            throw format_error{"truncated compressed trace (varint)"};
+        }
+        const auto raw = static_cast<std::uint8_t>(byte);
+        if (shift >= 64) {
+            throw format_error{"varint overflow in compressed trace"};
+        }
+        value |= static_cast<std::uint64_t>(raw & 0x7F) << shift;
+        if ((raw & 0x80) == 0) {
+            return value;
+        }
+        shift += 7;
+    }
+}
+
+std::uint64_t encode_record(std::uint64_t previous, const mem_access& access) {
+    const auto delta = static_cast<std::int64_t>(access.address - previous);
+    return (zigzag_encode(delta) << 2) |
+           static_cast<std::uint64_t>(access.type);
+}
+
+} // namespace
+
+mem_trace read_compressed(std::istream& in) {
+    char magic[4];
+    in.read(magic, sizeof magic);
+    if (!in || std::memcmp(magic, compressed_magic, sizeof magic) != 0) {
+        throw format_error{"not a DEWC compressed trace (bad magic)"};
+    }
+    const std::uint32_t version = get_u32(in);
+    if (version != compressed_version) {
+        throw format_error{"unsupported DEWC version " +
+                           std::to_string(version)};
+    }
+    const std::uint64_t count = get_u64(in);
+    mem_trace trace;
+    trace.reserve(count);
+    std::uint64_t previous = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t payload = get_varint(in);
+        const auto raw_type = static_cast<std::uint8_t>(payload & 0x3);
+        if (raw_type > static_cast<std::uint8_t>(access_type::ifetch)) {
+            throw format_error{"invalid access type in compressed trace"};
+        }
+        const std::int64_t delta = zigzag_decode(payload >> 2);
+        previous += static_cast<std::uint64_t>(delta);
+        trace.push_back({previous, static_cast<access_type>(raw_type)});
+    }
+    return trace;
+}
+
+mem_trace read_compressed_file(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+        throw std::runtime_error{"cannot open trace file for reading: " + path};
+    }
+    return read_compressed(in);
+}
+
+void write_compressed(std::ostream& out, const mem_trace& trace) {
+    out.write(compressed_magic, sizeof compressed_magic);
+    put_u32(out, compressed_version);
+    put_u64(out, trace.size());
+    std::uint64_t previous = 0;
+    for (const mem_access& access : trace) {
+        put_varint(out, encode_record(previous, access));
+        previous = access.address;
+    }
+}
+
+void write_compressed_file(const std::string& path, const mem_trace& trace) {
+    std::ofstream out{path, std::ios::binary};
+    if (!out) {
+        throw std::runtime_error{"cannot open trace file for writing: " + path};
+    }
+    write_compressed(out, trace);
+}
+
+std::uint64_t compressed_payload_bytes(const mem_trace& trace) {
+    std::uint64_t total = 0;
+    std::uint64_t previous = 0;
+    for (const mem_access& access : trace) {
+        total += varint_size(encode_record(previous, access));
+        previous = access.address;
+    }
+    return total;
+}
+
+} // namespace dew::trace

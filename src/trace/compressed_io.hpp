@@ -1,0 +1,54 @@
+// Delta-compressed binary trace format ("DEWC").
+//
+// Follows the observation of Li et al. (ICS'04) that address traces compress
+// extremely well under delta encoding because of spatial locality.  Each
+// record stores zigzag(address - previous_address) as a LEB128 varint with
+// the 2-bit access type folded into the low bits:
+//
+//   payload = (zigzag(delta) << 2) | type
+//
+// Layout:
+//   magic   4 bytes  "DEWC"
+//   version u32      currently 1
+//   count   u64
+//   payloads, one varint each
+//
+// Sequential traces compress to ~1 byte per reference versus 9 bytes in the
+// raw format; the micro bench quantifies the decode cost.
+#ifndef DEW_TRACE_COMPRESSED_IO_HPP
+#define DEW_TRACE_COMPRESSED_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/binary_io.hpp" // format_error
+#include "trace/record.hpp"
+
+namespace dew::trace {
+
+inline constexpr char compressed_magic[4] = {'D', 'E', 'W', 'C'};
+inline constexpr std::uint32_t compressed_version = 1;
+
+// Zigzag maps signed deltas to unsigned so small negative strides stay small.
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t value) noexcept {
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t value) noexcept {
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+[[nodiscard]] mem_trace read_compressed(std::istream& in);
+[[nodiscard]] mem_trace read_compressed_file(const std::string& path);
+
+void write_compressed(std::ostream& out, const mem_trace& trace);
+void write_compressed_file(const std::string& path, const mem_trace& trace);
+
+// Size in bytes the trace occupies under this encoding (without writing).
+[[nodiscard]] std::uint64_t compressed_payload_bytes(const mem_trace& trace);
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_COMPRESSED_IO_HPP

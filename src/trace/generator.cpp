@@ -1,0 +1,216 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace dew::trace {
+
+const char* to_string(stream_kind kind) noexcept {
+    switch (kind) {
+    case stream_kind::sequential: return "sequential";
+    case stream_kind::hot_loop: return "hot_loop";
+    case stream_kind::strided_2d: return "strided_2d";
+    case stream_kind::random_in: return "random_in";
+    case stream_kind::burst: return "burst";
+    case stream_kind::chase: return "chase";
+    }
+    return "unknown";
+}
+
+workload_generator::workload_generator(workload_spec spec, std::uint64_t seed)
+    : spec_{std::move(spec)}, rng_{seed} {
+    DEW_EXPECTS(!spec_.streams.empty());
+    states_.resize(spec_.streams.size());
+    cumulative_weight_.reserve(spec_.streams.size());
+    DEW_EXPECTS(spec_.stickiness > 0);
+    for (const stream_spec& stream : spec_.streams) {
+        DEW_EXPECTS(stream.size > 0);
+        DEW_EXPECTS(stream.stride > 0);
+        DEW_EXPECTS(stream.weight > 0);
+        DEW_EXPECTS(stream.repeat > 0);
+        total_weight_ += stream.weight;
+        cumulative_weight_.push_back(total_weight_);
+    }
+}
+
+std::uint64_t workload_generator::uniform(std::uint64_t bound) {
+    DEW_ASSERT(bound > 0);
+    // Plain modulo: bias is irrelevant for synthetic workload shaping and the
+    // result stays identical on every platform.
+    return rng_() % bound;
+}
+
+std::size_t workload_generator::pick_stream() {
+    if (spec_.streams.size() == 1) {
+        return 0;
+    }
+    const std::uint64_t ticket = uniform(total_weight_);
+    const auto it = std::upper_bound(cumulative_weight_.begin(),
+                                     cumulative_weight_.end(), ticket);
+    return static_cast<std::size_t>(it - cumulative_weight_.begin());
+}
+
+std::size_t workload_generator::acquire_stream() {
+    if (spec_.streams.size() == 1) {
+        return 0;
+    }
+    if (run_left_ == 0) {
+        current_stream_ = pick_stream();
+        // Run length uniform on [1, 2*stickiness - 1], mean = stickiness.
+        // stickiness 1 degenerates to per-access selection and consumes no
+        // extra randomness, so existing single-switch workloads replay
+        // identically.
+        run_left_ = spec_.stickiness <= 1
+                        ? 1
+                        : 1 + static_cast<std::uint32_t>(
+                                  uniform(2 * spec_.stickiness - 1));
+    }
+    --run_left_;
+    return current_stream_;
+}
+
+std::uint64_t workload_generator::next_address(std::size_t index) {
+    const stream_spec& s = spec_.streams[index];
+    stream_state& st = states_[index];
+    switch (s.kind) {
+    case stream_kind::sequential:
+    case stream_kind::hot_loop: {
+        // Same mechanics; hot_loop is simply a small region, named for intent.
+        const std::uint64_t address = s.base + st.cursor;
+        st.cursor += s.stride;
+        if (st.cursor >= s.size) {
+            st.cursor = 0;
+        }
+        return address;
+    }
+    case stream_kind::strided_2d: {
+        // Walk `burst` elements of one row, then hop a full row; models
+        // row-major tile processing (8x8 DCT blocks within an image row).
+        const std::uint64_t row_bytes = s.row != 0 ? s.row : s.size;
+        if (st.burst_left == 0) {
+            st.burst_left = s.burst;
+            st.burst_pos = st.cursor;
+            st.cursor += row_bytes;
+            if (st.cursor >= s.size) {
+                st.cursor = (st.cursor % row_bytes) + s.stride;
+                if (st.cursor >= row_bytes) {
+                    st.cursor = 0;
+                }
+            }
+        }
+        --st.burst_left;
+        const std::uint64_t address = s.base + (st.burst_pos % s.size);
+        st.burst_pos += s.stride;
+        return address;
+    }
+    case stream_kind::random_in: {
+        const std::uint64_t slots = std::max<std::uint64_t>(1, s.size / s.stride);
+        return s.base + uniform(slots) * s.stride;
+    }
+    case stream_kind::burst: {
+        if (st.burst_left == 0) {
+            st.burst_left = s.burst;
+            const std::uint64_t slots =
+                std::max<std::uint64_t>(1, s.size / s.stride);
+            st.burst_pos = uniform(slots) * s.stride;
+        }
+        --st.burst_left;
+        const std::uint64_t address = s.base + (st.burst_pos % s.size);
+        st.burst_pos += s.stride;
+        return address;
+    }
+    case stream_kind::chase: {
+        const auto slots = static_cast<std::uint32_t>(
+            std::max<std::uint64_t>(1, s.size / s.stride));
+        if (st.permutation.empty()) {
+            st.permutation.resize(slots);
+            std::iota(st.permutation.begin(), st.permutation.end(), 0u);
+            // Fisher-Yates with our deterministic uniform().
+            for (std::uint32_t i = slots - 1; i > 0; --i) {
+                const auto j = static_cast<std::uint32_t>(uniform(i + 1));
+                std::swap(st.permutation[i], st.permutation[j]);
+            }
+        }
+        const std::uint64_t address =
+            s.base + std::uint64_t{st.permutation[st.chase_index]} * s.stride;
+        st.chase_index = (st.chase_index + 1) % slots;
+        return address;
+    }
+    }
+    DEW_ASSERT(false); // unreachable: all enumerators handled above
+    return 0;
+}
+
+void workload_generator::generate(mem_trace& out, std::size_t count) {
+    out.reserve(out.size() + count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t index = acquire_stream();
+        const stream_spec& spec = spec_.streams[index];
+        stream_state& state = states_[index];
+        std::uint64_t address;
+        if (state.repeat_left > 0) {
+            // Outstanding read-modify-write style replay of the stream's
+            // previous address.
+            address = state.last_address;
+            --state.repeat_left;
+        } else {
+            address = next_address(index);
+            state.last_address = address;
+            state.repeat_left = spec.repeat - 1;
+        }
+        out.push_back({address, spec.type});
+    }
+}
+
+mem_trace workload_generator::make(std::size_t count) {
+    mem_trace trace;
+    generate(trace, count);
+    return trace;
+}
+
+mem_trace make_sequential_trace(std::uint64_t base, std::size_t count,
+                                std::uint32_t stride) {
+    DEW_EXPECTS(stride > 0);
+    mem_trace trace;
+    trace.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        trace.push_back({base + std::uint64_t{i} * stride, access_type::read});
+    }
+    return trace;
+}
+
+mem_trace make_random_trace(std::uint64_t base, std::uint64_t region_size,
+                            std::size_t count, std::uint64_t seed,
+                            std::uint32_t alignment) {
+    DEW_EXPECTS(region_size > 0);
+    DEW_EXPECTS(alignment > 0);
+    std::mt19937_64 rng{seed};
+    const std::uint64_t slots =
+        std::max<std::uint64_t>(1, region_size / alignment);
+    mem_trace trace;
+    trace.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        trace.push_back({base + (rng() % slots) * alignment,
+                         access_type::read});
+    }
+    return trace;
+}
+
+mem_trace make_cyclic_trace(std::uint64_t base, std::size_t block_count,
+                            std::size_t repetitions, std::uint32_t stride) {
+    DEW_EXPECTS(block_count > 0);
+    DEW_EXPECTS(stride > 0);
+    mem_trace trace;
+    trace.reserve(block_count * repetitions);
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+        for (std::size_t i = 0; i < block_count; ++i) {
+            trace.push_back(
+                {base + std::uint64_t{i} * stride, access_type::read});
+        }
+    }
+    return trace;
+}
+
+} // namespace dew::trace

@@ -1,0 +1,112 @@
+#include "trace/lackey.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+
+namespace dew::trace {
+
+namespace {
+
+// Parses the "hexaddr,size" payload after the record letter.  Returns false
+// (leaving `address` untouched) if the text is not of that shape.
+bool parse_payload(const std::string& line, std::size_t offset,
+                   std::uint64_t& address) {
+    while (offset < line.size() && line[offset] == ' ') {
+        ++offset;
+    }
+    const std::size_t start = offset;
+    std::uint64_t value = 0;
+    while (offset < line.size() &&
+           std::isxdigit(static_cast<unsigned char>(line[offset]))) {
+        const char c = line[offset];
+        const std::uint64_t digit =
+            c <= '9' ? static_cast<std::uint64_t>(c - '0')
+                     : static_cast<std::uint64_t>(
+                           (c | 0x20) - 'a' + 10);
+        value = (value << 4) | digit;
+        ++offset;
+    }
+    if (offset == start) {
+        return false; // no hex digits at all
+    }
+    if (offset < line.size() && line[offset] != ',') {
+        return false; // lackey always writes ",size"
+    }
+    address = value;
+    return true;
+}
+
+} // namespace
+
+lackey_parse_stats read_lackey(std::istream& in, mem_trace& out) {
+    lackey_parse_stats stats;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.size() < 3) {
+            ++stats.skipped_lines;
+            continue;
+        }
+        // "I  addr,size" starts at column 0; " L addr,size", " S ..." and
+        // " M ..." start with one space.  Anything else is chatter.
+        char kind = 0;
+        std::size_t payload = 0;
+        if (line[0] == 'I') {
+            kind = 'I';
+            payload = 1;
+        } else if (line[0] == ' ' &&
+                   (line[1] == 'L' || line[1] == 'S' || line[1] == 'M')) {
+            kind = line[1];
+            payload = 2;
+        } else {
+            ++stats.skipped_lines;
+            continue;
+        }
+        std::uint64_t address = 0;
+        if (!parse_payload(line, payload, address)) {
+            ++stats.skipped_lines;
+            continue;
+        }
+        switch (kind) {
+        case 'I':
+            ++stats.instruction_fetches;
+            out.push_back({address, access_type::ifetch});
+            break;
+        case 'L':
+            ++stats.loads;
+            out.push_back({address, access_type::read});
+            break;
+        case 'S':
+            ++stats.stores;
+            out.push_back({address, access_type::write});
+            break;
+        case 'M':
+            // A modify is a load immediately followed by a store at the
+            // same address — two accesses from the cache's point of view.
+            ++stats.modifies;
+            out.push_back({address, access_type::read});
+            out.push_back({address, access_type::write});
+            break;
+        default:
+            break;
+        }
+    }
+    return stats;
+}
+
+mem_trace read_lackey_file(const std::string& path,
+                           lackey_parse_stats* stats) {
+    std::ifstream in{path};
+    if (!in) {
+        throw std::runtime_error{"cannot open lackey trace: " + path};
+    }
+    mem_trace trace;
+    const lackey_parse_stats parsed = read_lackey(in, trace);
+    if (stats != nullptr) {
+        *stats = parsed;
+    }
+    return trace;
+}
+
+} // namespace dew::trace

@@ -1,0 +1,53 @@
+// Parser for `valgrind --tool=lackey --trace-mem=yes` output — the easiest
+// way to obtain a *real* program trace for this library on a stock Linux
+// box (the paper used SimpleScalar, which is not redistributable here).
+//
+// Lackey prints one record per line:
+//
+//   I  0400d7d4,8      instruction fetch at 0x0400d7d4, 8 bytes
+//    L 04842028,4      data load   (note the leading space)
+//    S 04842028,4      data store
+//    M 0484a3a8,8      modify = load followed by store
+//
+// Each record is expanded to one `mem_access` per *block-sized unit is not
+// known here*, so the access is recorded at its starting address and `M`
+// becomes a load plus a store at the same address — exactly how a cache
+// sees a read-modify-write.  Size information beyond the start address is
+// ignored (the simulators are byte-addressed; accesses that straddle a
+// block boundary are rare and the paper's traces carry no size either).
+//
+// Lines that do not match a record (lackey banners, `====` valgrind chatter,
+// empty lines) are skipped, so raw `valgrind 2>&1` output parses directly.
+#ifndef DEW_TRACE_LACKEY_HPP
+#define DEW_TRACE_LACKEY_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace dew::trace {
+
+struct lackey_parse_stats {
+    std::uint64_t instruction_fetches{0};
+    std::uint64_t loads{0};
+    std::uint64_t stores{0};
+    std::uint64_t modifies{0}; // each contributes one load and one store
+    std::uint64_t skipped_lines{0};
+
+    [[nodiscard]] std::uint64_t total_accesses() const noexcept {
+        return instruction_fetches + loads + stores + 2 * modifies;
+    }
+};
+
+// Parses a lackey stream, appending to `out`.  Returns what was parsed.
+lackey_parse_stats read_lackey(std::istream& in, mem_trace& out);
+
+// Convenience: parse a whole file.
+[[nodiscard]] mem_trace read_lackey_file(const std::string& path,
+                                         lackey_parse_stats* stats = nullptr);
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_LACKEY_HPP

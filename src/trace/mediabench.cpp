@@ -1,0 +1,203 @@
+#include "trace/mediabench.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dew::trace {
+
+namespace {
+
+// Region bases keep the streams of one workload disjoint in the address
+// space, as distinct program objects would be.
+constexpr std::uint64_t code_base = 0x0040'0000;   // text segment
+constexpr std::uint64_t table_base = 0x1000'0000;  // static tables
+constexpr std::uint64_t heap_base = 0x2000'0000;   // large buffers
+constexpr std::uint64_t out_base = 0x3000'0000;    // output buffers
+constexpr std::uint64_t stack_base = 0x7fff'0000;  // stack frames
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+workload_spec jpeg_profile(const char* name, std::uint64_t image_bytes,
+                           std::uint64_t coded_bytes, bool encode) {
+    // JPEG: one big image buffer walked in 8x8 tiles of byte pixels, a
+    // bit-sequential coded stream, hot DCT/Huffman inner loops, and table
+    // lookups.  The encoder reads the image and writes the bitstream;
+    // decode reverses it and leans harder on the (byte-wise) bitstream.
+    //
+    // Two structural features matter for simulator behaviour and are shared
+    // by all profiles here: instruction fetch splits into a *tiny* inner
+    // loop plus a larger outer code region (the 90/10 rule — this is what
+    // lets multi-level simulators resolve most requests in small caches),
+    // and stack words are touched in read-modify-write pairs.
+    workload_spec spec{name, {}};
+    // DCT / Huffman inner loop: ~48 instructions ground continuously.
+    spec.streams.push_back({stream_kind::hot_loop, code_base, 192, 4, 0, 0,
+                            30, access_type::ifetch, 1});
+    // Outer code: colour conversion, marker handling, library glue.
+    spec.streams.push_back({stream_kind::hot_loop, code_base + 8 * KiB,
+                            6 * KiB, 4, 0, 0, 12, access_type::ifetch, 1});
+    // Hot stack frame: a couple dozen words, spill/reload pairs (RMW).
+    spec.streams.push_back({stream_kind::hot_loop, stack_base, 96, 4, 0, 0,
+                            12, access_type::read, 2});
+    // 8x8 tile walk over the byte-pixel image (burst = one tile row).
+    spec.streams.push_back({stream_kind::strided_2d, heap_base, image_bytes, 1,
+                            8, static_cast<std::uint32_t>(image_bytes / 64),
+                            encode ? 20u : 14u,
+                            encode ? access_type::read : access_type::write,
+                            1});
+    // Bitstream, strictly byte-sequential (Huffman bit parsing).
+    spec.streams.push_back({stream_kind::sequential, out_base, coded_bytes, 1,
+                            0, 0, encode ? 10u : 16u,
+                            encode ? access_type::write : access_type::read,
+                            1});
+    // Quantisation / Huffman tables (16-bit entries).
+    spec.streams.push_back({stream_kind::random_in, table_base, 2 * KiB, 2, 0,
+                            0, 8, access_type::read, 1});
+    spec.stickiness = 6;
+    return spec;
+}
+
+workload_spec g721_profile(const char* name, bool encode) {
+    // G.721 ADPCM: a few hundred bytes of predictor state ground by a tight
+    // filter loop; sample input/output streams are byte-sequential and tiny
+    // relative to the loop traffic.  Footprint is far below any realistic
+    // cache, which is why the paper sees very high MRA hit rates here.
+    workload_spec spec{name, {}};
+    // The quantiser/predictor inner loop: ~48 instructions.
+    spec.streams.push_back({stream_kind::hot_loop, code_base, 192, 4, 0, 0,
+                            35, access_type::ifetch, 1});
+    // Outer code: framing, I/O, the rest of the codec.
+    spec.streams.push_back({stream_kind::hot_loop, code_base + 8 * KiB,
+                            2 * KiB, 4, 0, 0, 15, access_type::ifetch, 1});
+    // Predictor state + stack words: read-modify-write on a tiny frame.
+    spec.streams.push_back({stream_kind::hot_loop, stack_base, 64, 4, 0, 0,
+                            28, access_type::read, 3});
+    // 16-bit PCM samples in (read byte-wise), 4-bit codes out.
+    spec.streams.push_back({stream_kind::sequential, heap_base, 256 * KiB, 1,
+                            0, 0, 6,
+                            encode ? access_type::read : access_type::write,
+                            1});
+    spec.streams.push_back({stream_kind::sequential, out_base, 128 * KiB, 1, 0,
+                            0, 4,
+                            encode ? access_type::write : access_type::read,
+                            1});
+    spec.streams.push_back({stream_kind::random_in, table_base, 1 * KiB, 2, 0,
+                            0, 4, access_type::read, 1});
+    spec.stickiness = 6;
+    return spec;
+}
+
+workload_spec mpeg2_profile(const char* name, bool encode) {
+    // MPEG-2: multi-megabyte frame stores.  The encoder's motion estimation
+    // probes random windows of the reference frame (burst streams with poor
+    // locality); the decoder performs motion-compensated reads plus
+    // sequential reconstruction writes.  The VLC bitstream is byte-
+    // sequential; macroblock metadata is pointer-chased at line granularity.
+    // Working set >> L1 for most of the explored configurations, giving the
+    // deepest MRA stops of the six applications.
+    workload_spec spec{name, {}};
+    // Motion-compensation / SAD inner loop.
+    spec.streams.push_back({stream_kind::hot_loop, code_base, 256, 4, 0, 0,
+                            14, access_type::ifetch, 1});
+    // Outer code: slice/picture layers, rate control.
+    spec.streams.push_back({stream_kind::hot_loop, code_base + 16 * KiB,
+                            10 * KiB, 4, 0, 0, 8, access_type::ifetch, 1});
+    // Hot stack frame with spill/reload pairs.
+    spec.streams.push_back({stream_kind::hot_loop, stack_base, 128, 4, 0, 0,
+                            8, access_type::read, 2});
+    // Current frame, tile walk (16-byte macroblock rows of byte pixels).
+    spec.streams.push_back({stream_kind::strided_2d, heap_base, 2 * MiB, 1, 16,
+                            8 * KiB, 14,
+                            encode ? access_type::read : access_type::write,
+                            1});
+    // Reference-frame probing at random offsets: halfword interpolation
+    // reads over macroblock rows — the motion-estimation window search.
+    spec.streams.push_back({stream_kind::burst, heap_base + 4 * MiB, 2 * MiB,
+                            2, 16, 0, encode ? 20u : 14u, access_type::read,
+                            1});
+    // Reconstructed frame, word-wise sequential writes.
+    spec.streams.push_back({stream_kind::sequential, out_base, 2 * MiB, 4, 0,
+                            0, 12, access_type::write, 1});
+    // VLC bitstream, byte-sequential (encode writes, decode parses).
+    spec.streams.push_back({stream_kind::sequential, out_base + 8 * MiB,
+                            512 * KiB, 1, 0, 0, encode ? 6u : 12u,
+                            encode ? access_type::write : access_type::read,
+                            1});
+    // Coefficient / VLC tables.
+    spec.streams.push_back({stream_kind::random_in, table_base, 16 * KiB, 4, 0,
+                            0, 6, access_type::read, 1});
+    // Pointer-chased macroblock metadata: a permutation walk over 1 MiB at
+    // cache-line granularity defeats spatial locality entirely.
+    spec.streams.push_back({stream_kind::chase, heap_base + 8 * MiB, 1 * MiB,
+                            64, 0, 0, 12, access_type::read, 1});
+    spec.stickiness = 8;
+    return spec;
+}
+
+} // namespace
+
+const char* short_name(mediabench_app app) noexcept {
+    switch (app) {
+    case mediabench_app::cjpeg: return "CJPEG";
+    case mediabench_app::djpeg: return "DJPEG";
+    case mediabench_app::g721_enc: return "G721_Enc";
+    case mediabench_app::g721_dec: return "G721_Dec";
+    case mediabench_app::mpeg2_enc: return "MPEG2_Enc";
+    case mediabench_app::mpeg2_dec: return "MPEG2_Dec";
+    }
+    return "unknown";
+}
+
+const char* long_name(mediabench_app app) noexcept {
+    switch (app) {
+    case mediabench_app::cjpeg: return "Jpeg encode(CJPEG)";
+    case mediabench_app::djpeg: return "Jpeg decode(DJPEG)";
+    case mediabench_app::g721_enc: return "G721 encode(G721 Enc)";
+    case mediabench_app::g721_dec: return "G721 decode(G721 Dec)";
+    case mediabench_app::mpeg2_enc: return "Mpeg2 encode(MPEG2 Enc)";
+    case mediabench_app::mpeg2_dec: return "Mpeg2 decode(MPEG2 Dec)";
+    }
+    return "unknown";
+}
+
+std::uint64_t paper_request_count(mediabench_app app) noexcept {
+    switch (app) { // Table 2 of the paper, byte-addressable requests
+    case mediabench_app::cjpeg: return 25'680'911;
+    case mediabench_app::djpeg: return 7'617'458;
+    case mediabench_app::g721_enc: return 154'999'563;
+    case mediabench_app::g721_dec: return 154'856'346;
+    case mediabench_app::mpeg2_enc: return 3'738'851'450;
+    case mediabench_app::mpeg2_dec: return 1'411'434'040;
+    }
+    return 0;
+}
+
+workload_spec mediabench_profile(mediabench_app app) {
+    switch (app) {
+    case mediabench_app::cjpeg:
+        return jpeg_profile("CJPEG", 768 * KiB, 96 * KiB, /*encode=*/true);
+    case mediabench_app::djpeg:
+        return jpeg_profile("DJPEG", 768 * KiB, 96 * KiB, /*encode=*/false);
+    case mediabench_app::g721_enc:
+        return g721_profile("G721_Enc", /*encode=*/true);
+    case mediabench_app::g721_dec:
+        return g721_profile("G721_Dec", /*encode=*/false);
+    case mediabench_app::mpeg2_enc:
+        return mpeg2_profile("MPEG2_Enc", /*encode=*/true);
+    case mediabench_app::mpeg2_dec:
+        return mpeg2_profile("MPEG2_Dec", /*encode=*/false);
+    }
+    DEW_EXPECTS(false); // invalid enumerator
+    return {};
+}
+
+std::uint64_t default_seed(mediabench_app app) noexcept {
+    return 0xD0E5'0000'0000'0000ull + static_cast<std::uint64_t>(app);
+}
+
+mem_trace make_mediabench_trace(mediabench_app app, std::size_t count) {
+    workload_generator generator{mediabench_profile(app), default_seed(app)};
+    return generator.make(count);
+}
+
+} // namespace dew::trace

@@ -1,0 +1,57 @@
+// Synthetic stand-ins for the six Mediabench traces of the paper (Table 2).
+//
+// Each profile is a workload_spec whose stream mixture models the published
+// memory behaviour of the program (image codecs stream large buffers and
+// grind 8x8 tiles; G.721 is a tiny-footprint ADPCM filter loop; MPEG-2
+// touches multi-megabyte frame stores and probes motion-estimation windows).
+// The paper's absolute request counts are kept as metadata so benches can
+// scale them (DEW_BENCH_SCALE) while reporting the original magnitudes.
+#ifndef DEW_TRACE_MEDIABENCH_HPP
+#define DEW_TRACE_MEDIABENCH_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/generator.hpp"
+#include "trace/record.hpp"
+
+namespace dew::trace {
+
+enum class mediabench_app : std::uint8_t {
+    cjpeg = 0,     // JPEG encode
+    djpeg = 1,     // JPEG decode
+    g721_enc = 2,  // G.721 voice encode
+    g721_dec = 3,  // G.721 voice decode
+    mpeg2_enc = 4, // MPEG-2 video encode
+    mpeg2_dec = 5, // MPEG-2 video decode
+};
+
+inline constexpr std::array<mediabench_app, 6> all_mediabench_apps{
+    mediabench_app::cjpeg,    mediabench_app::djpeg,
+    mediabench_app::g721_enc, mediabench_app::g721_dec,
+    mediabench_app::mpeg2_enc, mediabench_app::mpeg2_dec,
+};
+
+// Short display name as used in the paper's tables (e.g. "CJPEG").
+[[nodiscard]] const char* short_name(mediabench_app app) noexcept;
+
+// Long name as used in Table 2 (e.g. "Jpeg encode(CJPEG)").
+[[nodiscard]] const char* long_name(mediabench_app app) noexcept;
+
+// Number of byte-addressable memory requests in the paper's trace (Table 2).
+[[nodiscard]] std::uint64_t paper_request_count(mediabench_app app) noexcept;
+
+// The stream mixture modelling this application.
+[[nodiscard]] workload_spec mediabench_profile(mediabench_app app);
+
+// Deterministic per-app seed so every bench and test sees the same trace.
+[[nodiscard]] std::uint64_t default_seed(mediabench_app app) noexcept;
+
+// Materialise `count` requests of the app's profile.
+[[nodiscard]] mem_trace make_mediabench_trace(mediabench_app app,
+                                              std::size_t count);
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_MEDIABENCH_HPP

@@ -1,0 +1,42 @@
+// The fundamental unit every simulator in this library consumes: a memory
+// reference.  The paper's simulators need only the byte address; the access
+// type is carried so Dinero-format traces round-trip and so the baseline can
+// keep Dinero-style per-type fetch statistics.
+#ifndef DEW_TRACE_RECORD_HPP
+#define DEW_TRACE_RECORD_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace dew::trace {
+
+// Matches the Dinero IV "din" label encoding: 0 read, 1 write, 2 ifetch.
+enum class access_type : std::uint8_t {
+    read = 0,
+    write = 1,
+    ifetch = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(access_type type) noexcept {
+    switch (type) {
+    case access_type::read: return "read";
+    case access_type::write: return "write";
+    case access_type::ifetch: return "ifetch";
+    }
+    return "unknown";
+}
+
+struct mem_access {
+    std::uint64_t address{0};
+    access_type type{access_type::read};
+
+    friend bool operator==(const mem_access&, const mem_access&) = default;
+};
+
+// A trace is an in-memory sequence of references.  All simulators take a
+// span-like view over this; file formats stream into/out of it.
+using mem_trace = std::vector<mem_access>;
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_RECORD_HPP

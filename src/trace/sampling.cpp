@@ -1,0 +1,56 @@
+#include "trace/sampling.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace dew::trace {
+
+time_sample_result time_sample(const mem_trace& trace,
+                               const time_sample_spec& spec) {
+    DEW_EXPECTS(spec.period > 0);
+    DEW_EXPECTS(spec.window > 0);
+    DEW_EXPECTS(spec.window <= spec.period);
+
+    time_sample_result result;
+    result.source_requests = trace.size();
+    result.sampled.reserve(trace.size() / spec.period * spec.window +
+                           spec.window);
+    for (std::size_t i = spec.offset; i < trace.size(); ++i) {
+        if ((i - spec.offset) % spec.period < spec.window) {
+            result.sampled.push_back(trace[i]);
+        }
+    }
+    return result;
+}
+
+set_sample_result set_sample(const mem_trace& trace,
+                             const set_sample_spec& spec) {
+    DEW_EXPECTS(is_pow2(spec.set_count));
+    DEW_EXPECTS(is_pow2(spec.block_size));
+    DEW_EXPECTS(spec.keep_one_in > 0);
+    DEW_EXPECTS(spec.phase < spec.keep_one_in);
+
+    const unsigned block_bits = log2_exact(spec.block_size);
+    const std::uint64_t index_mask = spec.set_count - 1;
+
+    set_sample_result result;
+    result.source_requests = trace.size();
+    for (const mem_access& access : trace) {
+        const std::uint64_t set = (access.address >> block_bits) & index_mask;
+        if (set % spec.keep_one_in == spec.phase) {
+            result.sampled.push_back(access);
+        }
+    }
+    return result;
+}
+
+std::uint64_t extrapolate_misses(std::uint64_t sampled_misses,
+                                 double kept_fraction) {
+    DEW_EXPECTS(kept_fraction > 0.0 && kept_fraction <= 1.0);
+    return static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(sampled_misses) / kept_fraction));
+}
+
+} // namespace dew::trace

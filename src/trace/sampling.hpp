@@ -1,0 +1,79 @@
+// Fractional ("sampled") simulation support — the speed-for-accuracy trade
+// of the paper's related work (Horiuchi et al. [12], Li et al. [16]): keep
+// only part of the trace, simulate that, and extrapolate.  DEW makes the
+// trade unnecessary for FIFO L1 sweeps, but the library ships it so the
+// contrast is measurable (bench_sampling_accuracy) and so users with
+// billion-reference traces can still pre-screen cheaply.
+//
+// Two classic samplers are provided:
+//
+//  * Time sampling: keep a window of `window` consecutive references out of
+//    every `period` (systematic sampling).  Cheap and unbiased for
+//    stationary workloads; cold-start bias inside each window makes it
+//    overestimate miss rates for large caches.
+//
+//  * Set sampling: keep only references whose set index (at a chosen
+//    set count / block size) falls in a sampled subset of sets.  Each
+//    sampled set sees its complete, uninterrupted reference stream, so
+//    per-set behaviour is exact; the error comes from set imbalance only.
+//    This is the sampler hardware performance counters use.
+#ifndef DEW_TRACE_SAMPLING_HPP
+#define DEW_TRACE_SAMPLING_HPP
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+
+namespace dew::trace {
+
+struct time_sample_spec {
+    std::uint64_t period{10};  // take one window every `period` references
+    std::uint64_t window{1};   // references kept per window; <= period
+    std::uint64_t offset{0};   // start of the first window
+};
+
+struct time_sample_result {
+    mem_trace sampled;
+    std::uint64_t source_requests{0};
+    // Fraction of the source kept (exact, not window/period — tail windows
+    // may be partial).
+    [[nodiscard]] double kept_fraction() const noexcept {
+        return source_requests == 0
+                   ? 0.0
+                   : static_cast<double>(sampled.size()) /
+                         static_cast<double>(source_requests);
+    }
+};
+
+[[nodiscard]] time_sample_result time_sample(const mem_trace& trace,
+                                             const time_sample_spec& spec);
+
+struct set_sample_spec {
+    std::uint32_t set_count{64};   // the set space sampled over (power of 2)
+    std::uint32_t block_size{32};  // block size defining the index bits
+    std::uint32_t keep_one_in{8};  // keep sets with index % keep_one_in == phase
+    std::uint32_t phase{0};        // which residue class to keep
+};
+
+struct set_sample_result {
+    mem_trace sampled;
+    std::uint64_t source_requests{0};
+    [[nodiscard]] double kept_fraction() const noexcept {
+        return source_requests == 0
+                   ? 0.0
+                   : static_cast<double>(sampled.size()) /
+                         static_cast<double>(source_requests);
+    }
+};
+
+[[nodiscard]] set_sample_result set_sample(const mem_trace& trace,
+                                           const set_sample_spec& spec);
+
+// Extrapolates a miss count measured on a sample back to the full trace:
+// the sampler's kept fraction scales the estimate linearly.
+[[nodiscard]] std::uint64_t extrapolate_misses(std::uint64_t sampled_misses,
+                                               double kept_fraction);
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_SAMPLING_HPP

@@ -1,0 +1,64 @@
+#include "trace/stats.hpp"
+
+#include <limits>
+#include <unordered_set>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace dew::trace {
+
+trace_stats compute_stats(const mem_trace& trace, std::uint32_t block_size) {
+    DEW_EXPECTS(is_pow2(block_size));
+    const unsigned block_bits = log2_exact(block_size);
+
+    trace_stats stats;
+    stats.requests = trace.size();
+    if (trace.empty()) {
+        return stats;
+    }
+
+    std::unordered_set<std::uint64_t> blocks;
+    blocks.reserve(trace.size() / 4);
+    std::uint64_t previous_block = std::numeric_limits<std::uint64_t>::max();
+    stats.min_address = std::numeric_limits<std::uint64_t>::max();
+
+    for (const mem_access& access : trace) {
+        switch (access.type) {
+        case access_type::read: ++stats.reads; break;
+        case access_type::write: ++stats.writes; break;
+        case access_type::ifetch: ++stats.ifetches; break;
+        }
+        const std::uint64_t block = access.address >> block_bits;
+        if (block == previous_block) {
+            ++stats.same_block_pairs;
+        }
+        previous_block = block;
+        blocks.insert(block);
+        stats.min_address = std::min(stats.min_address, access.address);
+        stats.max_address = std::max(stats.max_address, access.address);
+    }
+
+    stats.unique_blocks = blocks.size();
+    stats.footprint_bytes = stats.unique_blocks * block_size;
+    stats.same_block_fraction =
+        trace.size() <= 1
+            ? 0.0
+            : static_cast<double>(stats.same_block_pairs) /
+                  static_cast<double>(trace.size() - 1);
+    return stats;
+}
+
+std::uint64_t unique_block_count(const mem_trace& trace,
+                                 std::uint32_t block_size) {
+    DEW_EXPECTS(is_pow2(block_size));
+    const unsigned block_bits = log2_exact(block_size);
+    std::unordered_set<std::uint64_t> blocks;
+    blocks.reserve(trace.size() / 4);
+    for (const mem_access& access : trace) {
+        blocks.insert(access.address >> block_bits);
+    }
+    return blocks.size();
+}
+
+} // namespace dew::trace

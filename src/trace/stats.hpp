@@ -1,0 +1,36 @@
+// Descriptive statistics of an address trace — used by Table 2's bench to
+// characterise the synthetic workloads and by tests to validate that the
+// Mediabench profiles have the intended locality structure.
+#ifndef DEW_TRACE_STATS_HPP
+#define DEW_TRACE_STATS_HPP
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+
+namespace dew::trace {
+
+struct trace_stats {
+    std::uint64_t requests{0};
+    std::uint64_t reads{0};
+    std::uint64_t writes{0};
+    std::uint64_t ifetches{0};
+    std::uint64_t unique_blocks{0};    // distinct block addresses
+    std::uint64_t footprint_bytes{0};  // unique_blocks * block_size
+    std::uint64_t same_block_pairs{0}; // consecutive accesses, same block
+    double same_block_fraction{0.0};   // spatial+temporal locality indicator
+    std::uint64_t min_address{0};
+    std::uint64_t max_address{0};
+};
+
+// Computes statistics with blocks of `block_size` bytes (power of two).
+[[nodiscard]] trace_stats compute_stats(const mem_trace& trace,
+                                        std::uint32_t block_size);
+
+// Number of distinct blocks only (cheaper than full stats).
+[[nodiscard]] std::uint64_t unique_block_count(const mem_trace& trace,
+                                               std::uint32_t block_size);
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_STATS_HPP

@@ -1,0 +1,156 @@
+#include "trace/text_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+#include "common/contracts.hpp"
+
+namespace dew::trace {
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+    while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                             text.front() == '\r')) {
+        text.remove_prefix(1);
+    }
+    while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                             text.back() == '\r')) {
+        text.remove_suffix(1);
+    }
+    return text;
+}
+
+bool is_comment_or_blank(std::string_view line) {
+    return line.empty() || line.front() == '#';
+}
+
+std::uint64_t parse_hex(std::string_view token, std::size_t line_number) {
+    if (token.starts_with("0x") || token.starts_with("0X")) {
+        token.remove_prefix(2);
+    }
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value, 16);
+    if (ec != std::errc{} || ptr != token.data() + token.size() ||
+        token.empty()) {
+        throw parse_error{line_number,
+                          "malformed hex address '" + std::string{token} + "'"};
+    }
+    return value;
+}
+
+std::ifstream open_input(const std::string& path) {
+    std::ifstream in{path};
+    if (!in) {
+        throw std::runtime_error{"cannot open trace file for reading: " + path};
+    }
+    return in;
+}
+
+std::ofstream open_output(const std::string& path) {
+    std::ofstream out{path};
+    if (!out) {
+        throw std::runtime_error{"cannot open trace file for writing: " + path};
+    }
+    return out;
+}
+
+} // namespace
+
+parse_error::parse_error(std::size_t line, const std::string& what)
+    : std::runtime_error{"line " + std::to_string(line) + ": " + what},
+      line_{line} {}
+
+mem_trace read_hex(std::istream& in) {
+    mem_trace trace;
+    std::string raw;
+    std::size_t line_number = 0;
+    while (std::getline(in, raw)) {
+        ++line_number;
+        const std::string_view line = trim(raw);
+        if (is_comment_or_blank(line)) {
+            continue;
+        }
+        trace.push_back({parse_hex(line, line_number), access_type::read});
+    }
+    return trace;
+}
+
+mem_trace read_hex_file(const std::string& path) {
+    auto in = open_input(path);
+    return read_hex(in);
+}
+
+void write_hex(std::ostream& out, const mem_trace& trace) {
+    char buffer[32];
+    for (const mem_access& access : trace) {
+        const int written =
+            std::snprintf(buffer, sizeof buffer, "%llx\n",
+                          static_cast<unsigned long long>(access.address));
+        out.write(buffer, written);
+    }
+}
+
+void write_hex_file(const std::string& path, const mem_trace& trace) {
+    auto out = open_output(path);
+    write_hex(out, trace);
+}
+
+mem_trace read_din(std::istream& in) {
+    mem_trace trace;
+    std::string raw;
+    std::size_t line_number = 0;
+    while (std::getline(in, raw)) {
+        ++line_number;
+        const std::string_view line = trim(raw);
+        if (is_comment_or_blank(line)) {
+            continue;
+        }
+        const std::size_t space = line.find_first_of(" \t");
+        if (space == std::string_view::npos) {
+            throw parse_error{line_number, "expected '<label> <address>'"};
+        }
+        const std::string_view label = line.substr(0, space);
+        const std::string_view addr = trim(line.substr(space + 1));
+        access_type type{};
+        if (label == "0") {
+            type = access_type::read;
+        } else if (label == "1") {
+            type = access_type::write;
+        } else if (label == "2") {
+            type = access_type::ifetch;
+        } else {
+            throw parse_error{line_number,
+                              "unknown din label '" + std::string{label} + "'"};
+        }
+        trace.push_back({parse_hex(addr, line_number), type});
+    }
+    return trace;
+}
+
+mem_trace read_din_file(const std::string& path) {
+    auto in = open_input(path);
+    return read_din(in);
+}
+
+void write_din(std::ostream& out, const mem_trace& trace) {
+    char buffer[40];
+    for (const mem_access& access : trace) {
+        const int written =
+            std::snprintf(buffer, sizeof buffer, "%u %llx\n",
+                          static_cast<unsigned>(access.type),
+                          static_cast<unsigned long long>(access.address));
+        out.write(buffer, written);
+    }
+}
+
+void write_din_file(const std::string& path, const mem_trace& trace) {
+    auto out = open_output(path);
+    write_din(out, trace);
+}
+
+} // namespace dew::trace

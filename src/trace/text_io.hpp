@@ -1,0 +1,48 @@
+// Text trace formats.
+//
+// Two dialects are supported:
+//  * "hex"  — one lower-case hex address per line (no type; reads assumed).
+//  * "din"  — classic Dinero IV input: "<label> <hex address>" per line,
+//             label 0 = data read, 1 = data write, 2 = instruction fetch.
+//             This is also what `valgrind --tool=lackey --trace-mem=yes`
+//             output converts to trivially.
+#ifndef DEW_TRACE_TEXT_IO_HPP
+#define DEW_TRACE_TEXT_IO_HPP
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace dew::trace {
+
+// Parse errors carry the 1-based line number of the offending input.
+class parse_error : public std::runtime_error {
+public:
+    parse_error(std::size_t line, const std::string& what);
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+// Reads a hex-per-line trace.  Blank lines and lines starting with '#' are
+// ignored.  Throws parse_error on malformed input.
+[[nodiscard]] mem_trace read_hex(std::istream& in);
+[[nodiscard]] mem_trace read_hex_file(const std::string& path);
+
+void write_hex(std::ostream& out, const mem_trace& trace);
+void write_hex_file(const std::string& path, const mem_trace& trace);
+
+// Reads a Dinero "din" trace.  Throws parse_error on malformed input or an
+// unknown label.
+[[nodiscard]] mem_trace read_din(std::istream& in);
+[[nodiscard]] mem_trace read_din_file(const std::string& path);
+
+void write_din(std::ostream& out, const mem_trace& trace);
+void write_din_file(const std::string& path, const mem_trace& trace);
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_TEXT_IO_HPP

@@ -1,0 +1,74 @@
+#include "baseline/bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::baseline;
+using namespace dew::cache;
+using namespace dew::trace;
+
+TEST(Bank, SimulatesEveryConfigIndependently) {
+    const mem_trace trace = make_random_trace(0, 1 << 12, 5000, 1, 4);
+    const std::vector<cache_config> configs{
+        {1, 1, 4}, {4, 2, 4}, {16, 4, 16}};
+    const bank_result result = run_bank(trace, configs);
+    ASSERT_EQ(result.stats.size(), 3u);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        dinero_sim lone{configs[i]};
+        lone.simulate(trace);
+        EXPECT_EQ(result.stats[i].misses, lone.stats().misses)
+            << to_string(configs[i]);
+    }
+}
+
+TEST(Bank, ComparisonsAreSummedAcrossConfigs) {
+    const mem_trace trace = make_random_trace(0, 1 << 12, 2000, 2, 4);
+    const std::vector<cache_config> configs{{4, 2, 4}, {8, 2, 4}};
+    const bank_result result = run_bank(trace, configs);
+    EXPECT_EQ(result.tag_comparisons,
+              result.stats[0].tag_comparisons +
+                  result.stats[1].tag_comparisons);
+}
+
+TEST(Bank, MissesOfLooksUpByConfig) {
+    const mem_trace trace = make_sequential_trace(0, 100, 4);
+    const std::vector<cache_config> configs{{2, 1, 4}, {4, 1, 4}};
+    const bank_result result = run_bank(trace, configs);
+    EXPECT_EQ(result.misses_of({2, 1, 4}), result.stats[0].misses);
+    EXPECT_EQ(result.misses_of({4, 1, 4}), result.stats[1].misses);
+    EXPECT_THROW((void)result.misses_of({8, 1, 4}), std::out_of_range);
+}
+
+TEST(Bank, LevelSweepConfigsLayout) {
+    const auto configs = level_sweep_configs(14, 4, 16);
+    // 15 levels x {1-way, 4-way} = 30 configurations, the paper's per-cell
+    // Dinero workload.
+    ASSERT_EQ(configs.size(), 30u);
+    for (const cache_config& config : configs) {
+        EXPECT_TRUE(config.valid());
+        EXPECT_EQ(config.block_size, 16u);
+        EXPECT_TRUE(config.associativity == 1 || config.associativity == 4);
+    }
+    EXPECT_EQ(configs.front().set_count, 1u);
+    EXPECT_EQ(configs.back().set_count, 16384u);
+}
+
+TEST(Bank, LevelSweepDirectMappedOnlyHasNoDuplicates) {
+    const auto configs = level_sweep_configs(3, 1, 4);
+    ASSERT_EQ(configs.size(), 4u); // assoc 1 requested: no duplicate pairs
+    for (const cache_config& config : configs) {
+        EXPECT_EQ(config.associativity, 1u);
+    }
+}
+
+TEST(Bank, TimeIsMeasured) {
+    const mem_trace trace = make_sequential_trace(0, 10000, 4);
+    const bank_result result = run_bank(trace, {{64, 2, 4}});
+    EXPECT_GE(result.seconds, 0.0);
+}
+
+} // namespace

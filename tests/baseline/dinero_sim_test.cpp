@@ -1,0 +1,145 @@
+#include "baseline/dinero_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::baseline;
+using namespace dew::cache;
+using namespace dew::trace;
+
+mem_trace thrash_trace(std::size_t blocks, std::size_t reps) {
+    return make_cyclic_trace(0, blocks, reps, 4);
+}
+
+TEST(DineroSim, EmptyTraceZeroStats) {
+    dinero_sim sim{{4, 2, 4}};
+    EXPECT_EQ(sim.stats().accesses, 0u);
+    EXPECT_EQ(sim.stats().misses, 0u);
+    EXPECT_EQ(sim.stats().miss_rate(), 0.0);
+}
+
+TEST(DineroSim, AllColdMissesOnFirstTouch) {
+    dinero_sim sim{{4, 2, 4}};
+    sim.simulate(make_sequential_trace(0, 8, 4)); // 8 distinct blocks
+    EXPECT_EQ(sim.stats().accesses, 8u);
+    EXPECT_EQ(sim.stats().misses, 8u);
+    EXPECT_EQ(sim.stats().compulsory_misses, 8u);
+}
+
+TEST(DineroSim, RepeatedBlockHits) {
+    dinero_sim sim{{4, 2, 4}};
+    sim.simulate(thrash_trace(4, 10)); // 4 blocks fit in 8-block cache
+    EXPECT_EQ(sim.stats().misses, 4u); // only cold
+    EXPECT_EQ(sim.stats().hits, 36u);
+}
+
+TEST(DineroSim, FifoCyclicThrashMissesEverything) {
+    // A cyclic walk of A+1 blocks over one A-way set defeats FIFO entirely.
+    dinero_sim sim{{1, 4, 4}};
+    sim.simulate(thrash_trace(5, 20));
+    EXPECT_EQ(sim.stats().hits, 0u);
+    EXPECT_EQ(sim.stats().misses, 100u);
+}
+
+TEST(DineroSim, SpatialLocalityWithWideBlocks) {
+    // Stride-4 over 64-byte blocks: one miss per 16 accesses.
+    dinero_sim sim{{16, 1, 64}};
+    sim.simulate(make_sequential_trace(0, 256, 4));
+    EXPECT_EQ(sim.stats().misses, 16u);
+}
+
+TEST(DineroSim, PerTypeCounters) {
+    dinero_sim sim{{1, 1, 4}};
+    sim.access({0x00, access_type::read});
+    sim.access({0x10, access_type::write});
+    sim.access({0x20, access_type::ifetch});
+    sim.access({0x20, access_type::ifetch});
+    const dinero_stats& stats = sim.stats();
+    EXPECT_EQ(stats.demand_reads, 1u);
+    EXPECT_EQ(stats.demand_writes, 1u);
+    EXPECT_EQ(stats.demand_ifetches, 2u);
+    EXPECT_EQ(stats.read_misses, 1u);
+    EXPECT_EQ(stats.write_misses, 1u);
+    EXPECT_EQ(stats.ifetch_misses, 1u);
+}
+
+TEST(DineroSim, BytesFetchedIsMissesTimesBlockSize) {
+    dinero_sim sim{{4, 1, 16}};
+    sim.simulate(make_sequential_trace(0, 32, 16));
+    EXPECT_EQ(sim.stats().bytes_fetched, sim.stats().misses * 16);
+}
+
+TEST(DineroSim, EvictionsLagMissesByCapacity) {
+    dinero_sim sim{{1, 2, 4}};
+    sim.simulate(make_sequential_trace(0, 10, 4)); // 10 distinct blocks
+    EXPECT_EQ(sim.stats().misses, 10u);
+    EXPECT_EQ(sim.stats().evictions, 8u); // first 2 fills evict nothing
+}
+
+TEST(DineroSim, Classify3CConflictMisses) {
+    // 2 sets x 1 way, blocks 0 and 2 collide on set 0 while set 1 idles:
+    // conflict misses (a fully-associative cache of size 2 would hold both).
+    dinero_options options;
+    options.classify_3c = true;
+    dinero_sim sim{{2, 1, 4}, options};
+    const mem_trace trace = make_cyclic_trace(0, 2, 50, 8); // blocks 0,2,0,2…
+    sim.simulate(trace);
+    EXPECT_EQ(sim.stats().compulsory_misses, 2u);
+    EXPECT_EQ(sim.stats().conflict_misses, sim.stats().misses - 2);
+    EXPECT_EQ(sim.stats().capacity_misses, 0u);
+}
+
+TEST(DineroSim, Classify3CCapacityMisses) {
+    // Fully-associative cache cycled by a working set larger than capacity:
+    // every non-cold miss is a capacity miss.
+    dinero_options options;
+    options.classify_3c = true;
+    options.policy = replacement_policy::lru;
+    dinero_sim sim{{1, 4, 4}, options};
+    sim.simulate(thrash_trace(8, 10));
+    EXPECT_EQ(sim.stats().compulsory_misses, 8u);
+    EXPECT_EQ(sim.stats().capacity_misses, sim.stats().misses - 8);
+    EXPECT_EQ(sim.stats().conflict_misses, 0u);
+}
+
+TEST(DineroSim, LruAndFifoDivergeOnRefreshPattern) {
+    const mem_trace trace{{4, access_type::read},  // block 1
+                          {8, access_type::read},  // block 2
+                          {4, access_type::read},  // refresh block 1
+                          {12, access_type::read}, // block 3: evict…
+                          {4, access_type::read}}; // FIFO: miss, LRU: hit
+    dinero_options lru_options;
+    lru_options.policy = replacement_policy::lru;
+    dinero_sim fifo{{1, 2, 4}};
+    dinero_sim lru{{1, 2, 4}, lru_options};
+    fifo.simulate(trace);
+    lru.simulate(trace);
+    EXPECT_EQ(lru.stats().misses + 1, fifo.stats().misses);
+}
+
+TEST(DineroSim, TagComparisonsAccumulate) {
+    dinero_sim sim{{1, 4, 4}};
+    sim.simulate(thrash_trace(4, 5));
+    // 4 cold misses: 0+1+2+3 comparisons; 16 hits at ways 0..3: 1+2+3+4 each.
+    EXPECT_EQ(sim.stats().tag_comparisons, 6u + 4u * (1 + 2 + 3 + 4));
+}
+
+TEST(DineroSim, CountMissesHelperAgreesWithFullSim) {
+    const mem_trace trace = make_random_trace(0, 1 << 14, 20000, 11, 4);
+    const cache_config config{16, 2, 16};
+    dinero_sim sim{config};
+    sim.simulate(trace);
+    EXPECT_EQ(count_misses(trace, config, replacement_policy::fifo),
+              sim.stats().misses);
+}
+
+TEST(DineroSim, RejectsInvalidConfig) {
+    EXPECT_THROW(dinero_sim(cache_config{3, 1, 4}), contract_violation);
+}
+
+} // namespace

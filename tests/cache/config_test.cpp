@@ -1,0 +1,79 @@
+#include "cache/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dew::cache;
+
+TEST(CacheConfig, TotalBytes) {
+    EXPECT_EQ((cache_config{256, 4, 32}).total_bytes(), 32u * 1024u);
+    EXPECT_EQ((cache_config{1, 1, 1}).total_bytes(), 1u);
+    EXPECT_EQ((cache_config{16384, 16, 64}).total_bytes(), 16u * 1024u * 1024u);
+}
+
+TEST(CacheConfig, ValidRequiresPowersOfTwo) {
+    EXPECT_TRUE((cache_config{256, 4, 32}).valid());
+    EXPECT_FALSE((cache_config{3, 4, 32}).valid());
+    EXPECT_TRUE((cache_config{256, 5, 32}).valid());  // non-pow2 ways: legal
+    EXPECT_FALSE((cache_config{256, 0, 32}).valid()); // zero ways: not
+    EXPECT_FALSE((cache_config{256, 4, 33}).valid());
+    EXPECT_FALSE((cache_config{0, 4, 32}).valid());
+}
+
+TEST(CacheConfig, AddressDecomposition) {
+    const cache_config config{256, 4, 32}; // 5 offset bits, 8 index bits
+    const std::uint64_t address = 0xABCDE5;
+    EXPECT_EQ(config.block_of(address), address >> 5);
+    EXPECT_EQ(config.index_of(address), (address >> 5) & 0xFF);
+    EXPECT_EQ(config.tag_of(address), address >> 13);
+}
+
+TEST(CacheConfig, DirectMappedSingleSetDecomposition) {
+    const cache_config config{1, 1, 4};
+    EXPECT_EQ(config.index_of(0xFFFF), 0u);
+    EXPECT_EQ(config.block_of(0xFFFF), 0xFFFFu >> 2);
+    EXPECT_EQ(config.tag_of(0xFFFF), 0xFFFFu >> 2);
+}
+
+TEST(CacheConfig, SameBlockSameIndex) {
+    const cache_config config{64, 2, 16};
+    EXPECT_EQ(config.index_of(0x1000), config.index_of(0x100F));
+    EXPECT_NE(config.index_of(0x1000), config.index_of(0x1010));
+}
+
+TEST(CacheConfig, ToStringRendersColonSeparated) {
+    EXPECT_EQ(to_string(cache_config{256, 4, 32}), "256:4:32");
+}
+
+TEST(CacheConfig, DescribeIncludesCapacity) {
+    const std::string text = describe(cache_config{256, 4, 32});
+    EXPECT_NE(text.find("256 sets"), std::string::npos);
+    EXPECT_NE(text.find("32 KiB"), std::string::npos);
+}
+
+TEST(CacheConfig, ParseRoundTrips) {
+    const cache_config config{1024, 8, 16};
+    EXPECT_EQ(parse_config(to_string(config)), config);
+}
+
+TEST(CacheConfig, ParseRejectsMalformed) {
+    EXPECT_THROW((void)parse_config("256:4"), std::invalid_argument);
+    EXPECT_THROW((void)parse_config("abc:4:32"), std::invalid_argument);
+    EXPECT_THROW((void)parse_config(""), std::invalid_argument);
+    EXPECT_THROW((void)parse_config("256:4:32:9"), std::invalid_argument);
+}
+
+TEST(CacheConfig, ParseRejectsNonPow2) {
+    EXPECT_THROW((void)parse_config("255:4:32"), std::invalid_argument);
+    EXPECT_EQ(parse_config("256:3:32").associativity, 3u); // 3-way: legal
+    EXPECT_THROW((void)parse_config("256:0:32"), std::invalid_argument);
+    EXPECT_THROW((void)parse_config("256:4:0"), std::invalid_argument);
+}
+
+TEST(CacheConfig, EqualityIsStructural) {
+    EXPECT_EQ((cache_config{2, 2, 2}), (cache_config{2, 2, 2}));
+    EXPECT_NE((cache_config{2, 2, 2}), (cache_config{2, 2, 4}));
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "cache/set_model.hpp"
+#include "common/contracts.hpp"
+
+namespace {
+
+using namespace dew::cache;
+
+TEST(FifoSet, ColdMissesFillWaysInOrder) {
+    fifo_cache_state cache{1, 4};
+    for (std::uint64_t block = 10; block < 14; ++block) {
+        const probe_result result = cache.access(0, block);
+        EXPECT_FALSE(result.hit);
+        EXPECT_EQ(result.way, block - 10);
+        EXPECT_EQ(result.evicted, invalid_tag); // cold fill, no eviction
+    }
+    EXPECT_EQ(cache.cursor_of(0), 0u); // wrapped around
+}
+
+TEST(FifoSet, HitAfterInsert) {
+    fifo_cache_state cache{1, 2};
+    cache.access(0, 5);
+    const probe_result result = cache.access(0, 5);
+    EXPECT_TRUE(result.hit);
+    EXPECT_EQ(result.way, 0u);
+}
+
+TEST(FifoSet, EvictsInInsertionOrderNotAccessOrder) {
+    fifo_cache_state cache{1, 2};
+    cache.access(0, 1); // insert 1
+    cache.access(0, 2); // insert 2
+    cache.access(0, 1); // hit 1 — FIFO must NOT refresh its age
+    const probe_result result = cache.access(0, 3); // evicts 1 (oldest)
+    EXPECT_FALSE(result.hit);
+    EXPECT_EQ(result.evicted, 1u);
+    EXPECT_FALSE(cache.contains(0, 1));
+    EXPECT_TRUE(cache.contains(0, 2));
+    EXPECT_TRUE(cache.contains(0, 3));
+}
+
+TEST(FifoSet, HitsDoNotMoveBlocksBetweenWays) {
+    // The invariant DEW's wave pointers depend on.
+    fifo_cache_state cache{1, 4};
+    for (std::uint64_t block = 0; block < 4; ++block) {
+        cache.access(0, block + 100);
+    }
+    const std::uint64_t before[4] = {cache.tag_at(0, 0), cache.tag_at(0, 1),
+                                     cache.tag_at(0, 2), cache.tag_at(0, 3)};
+    cache.access(0, 102);
+    cache.access(0, 100);
+    cache.access(0, 103);
+    for (std::uint32_t way = 0; way < 4; ++way) {
+        EXPECT_EQ(cache.tag_at(0, way), before[way]);
+    }
+}
+
+TEST(FifoSet, RoundRobinVictimSequence) {
+    fifo_cache_state cache{1, 2};
+    cache.access(0, 1);
+    cache.access(0, 2);
+    EXPECT_EQ(cache.access(0, 3).way, 0u); // evict block 1 from way 0
+    EXPECT_EQ(cache.access(0, 4).way, 1u); // evict block 2 from way 1
+    EXPECT_EQ(cache.access(0, 5).way, 0u); // wraps
+}
+
+TEST(FifoSet, SetsAreIndependent) {
+    fifo_cache_state cache{4, 1};
+    cache.access(0, 0);
+    cache.access(1, 1);
+    EXPECT_TRUE(cache.contains(0, 0));
+    EXPECT_TRUE(cache.contains(1, 1));
+    EXPECT_FALSE(cache.contains(2, 0));
+    cache.access(0, 4); // evicts only set 0
+    EXPECT_FALSE(cache.contains(0, 0));
+    EXPECT_TRUE(cache.contains(1, 1));
+}
+
+TEST(FifoSet, DirectMappedBehaviour) {
+    fifo_cache_state cache{2, 1};
+    EXPECT_FALSE(cache.access(0, 2).hit);
+    EXPECT_TRUE(cache.access(0, 2).hit);
+    EXPECT_FALSE(cache.access(0, 4).hit); // conflict
+    EXPECT_FALSE(cache.access(0, 2).hit); // was evicted
+}
+
+TEST(FifoSet, ComparisonCountingWayOrder) {
+    fifo_cache_state cache{1, 4};
+    EXPECT_EQ(cache.access(0, 1).comparisons, 0u); // empty set, no compares
+    EXPECT_EQ(cache.access(0, 2).comparisons, 1u); // one valid way examined
+    EXPECT_EQ(cache.access(0, 1).comparisons, 1u); // hit at way 0
+    EXPECT_EQ(cache.access(0, 2).comparisons, 2u); // hit at way 1
+    EXPECT_EQ(cache.access(0, 9).comparisons, 2u); // miss: both valid ways
+}
+
+TEST(FifoSet, NewestFirstSearchFindsRecentInsertFirst) {
+    fifo_cache_state cache{1, 4, fifo_search_order::newest_first};
+    cache.access(0, 1);
+    cache.access(0, 2);
+    cache.access(0, 3);
+    // Newest-first order: 3, 2, 1.
+    EXPECT_EQ(cache.access(0, 3).comparisons, 1u);
+    EXPECT_EQ(cache.access(0, 1).comparisons, 3u);
+}
+
+TEST(FifoSet, NewestFirstSameHitMissOutcomesAsWayOrder) {
+    fifo_cache_state a{4, 4, fifo_search_order::way_order};
+    fifo_cache_state b{4, 4, fifo_search_order::newest_first};
+    std::uint64_t misses_a = 0;
+    std::uint64_t misses_b = 0;
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        const std::uint64_t block = (i * 2654435761u) % 64;
+        misses_a += a.access(block % 4, block).hit ? 0 : 1;
+        misses_b += b.access(block % 4, block).hit ? 0 : 1;
+    }
+    EXPECT_EQ(misses_a, misses_b); // search order never changes outcomes
+}
+
+TEST(FifoSet, EvictedTagReported) {
+    fifo_cache_state cache{1, 1};
+    cache.access(0, 7);
+    EXPECT_EQ(cache.access(0, 8).evicted, 7u);
+}
+
+TEST(FifoSet, RejectsOutOfRangeSet) {
+    fifo_cache_state cache{2, 2};
+    EXPECT_THROW((void)cache.access(2, 1), dew::contract_violation);
+}
+
+TEST(FifoSet, GeometryContract) {
+    // Set count must be a power of two (index arithmetic); any
+    // associativity >= 1 is legal (real parts ship 3-way caches).
+    EXPECT_THROW(fifo_cache_state(3, 2), dew::contract_violation);
+    EXPECT_THROW(fifo_cache_state(2, 0), dew::contract_violation);
+    EXPECT_NO_THROW(fifo_cache_state(2, 3));
+}
+
+TEST(FifoSet, ThreeWayRoundRobinWrapsCorrectly) {
+    // Non-power-of-two cursor wrap: fills ways 0,1,2 then evicts in
+    // insertion order 0,1,2,0,...
+    fifo_cache_state cache{1, 3};
+    cache.access(0, 10);
+    cache.access(0, 11);
+    cache.access(0, 12);
+    EXPECT_EQ(cache.access(0, 13).evicted, 10u);
+    EXPECT_EQ(cache.access(0, 14).evicted, 11u);
+    EXPECT_EQ(cache.access(0, 15).evicted, 12u);
+    EXPECT_EQ(cache.access(0, 16).evicted, 13u);
+}
+
+} // namespace

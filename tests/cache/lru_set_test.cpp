@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "cache/set_model.hpp"
+
+namespace {
+
+using namespace dew::cache;
+
+TEST(LruSet, HitRefreshesRecency) {
+    lru_cache_state cache{1, 2};
+    cache.access(0, 1);
+    cache.access(0, 2);
+    cache.access(0, 1);                             // 1 becomes MRU
+    const probe_result result = cache.access(0, 3); // evicts 2, not 1
+    EXPECT_FALSE(result.hit);
+    EXPECT_EQ(result.evicted, 2u);
+    EXPECT_TRUE(cache.contains(0, 1));
+    EXPECT_FALSE(cache.contains(0, 2));
+}
+
+TEST(LruSet, RecencyPositions) {
+    lru_cache_state cache{1, 4};
+    cache.access(0, 10);
+    cache.access(0, 11);
+    cache.access(0, 12);
+    EXPECT_EQ(cache.recency_of(0, 12), 0u); // MRU
+    EXPECT_EQ(cache.recency_of(0, 11), 1u);
+    EXPECT_EQ(cache.recency_of(0, 10), 2u);
+    EXPECT_EQ(cache.recency_of(0, 99), 4u); // absent = associativity
+    cache.access(0, 10);
+    EXPECT_EQ(cache.recency_of(0, 10), 0u);
+    EXPECT_EQ(cache.recency_of(0, 12), 1u);
+}
+
+TEST(LruSet, SearchComparisonsFollowRecencyOrder) {
+    lru_cache_state cache{1, 4};
+    cache.access(0, 1);
+    cache.access(0, 2);
+    cache.access(0, 3);
+    // Recency order 3,2,1: hitting the MRU costs one comparison.
+    EXPECT_EQ(cache.access(0, 3).comparisons, 1u);
+    EXPECT_EQ(cache.access(0, 1).comparisons, 3u);
+}
+
+TEST(LruSet, EvictsLeastRecentlyUsed) {
+    lru_cache_state cache{1, 3};
+    cache.access(0, 1);
+    cache.access(0, 2);
+    cache.access(0, 3);
+    cache.access(0, 1); // order now 1,3,2
+    EXPECT_EQ(cache.access(0, 4).evicted, 2u);
+}
+
+TEST(LruSet, LruVsFifoDivergeOnRefreshedBlock) {
+    // The classic behavioural difference: FIFO evicts by insertion age,
+    // LRU by recency.  Same sequence, different victim.
+    lru_cache_state lru{1, 2};
+    fifo_cache_state fifo{1, 2};
+    for (const std::uint64_t block : {1, 2, 1, 3}) {
+        lru.access(0, block);
+        fifo.access(0, block);
+    }
+    EXPECT_TRUE(lru.contains(0, 1));   // LRU kept the refreshed block
+    EXPECT_FALSE(fifo.contains(0, 1)); // FIFO evicted the oldest insert
+}
+
+TEST(LruSet, DirectMappedDegenerate) {
+    lru_cache_state cache{2, 1};
+    EXPECT_FALSE(cache.access(0, 2).hit);
+    EXPECT_TRUE(cache.access(0, 2).hit);
+    EXPECT_FALSE(cache.access(0, 4).hit);
+    EXPECT_FALSE(cache.access(0, 2).hit);
+}
+
+TEST(LruSet, SetsAreIndependent) {
+    lru_cache_state cache{2, 2};
+    cache.access(0, 0);
+    cache.access(1, 1);
+    cache.access(0, 2);
+    cache.access(0, 4); // evicts 0 from set 0
+    EXPECT_FALSE(cache.contains(0, 0));
+    EXPECT_TRUE(cache.contains(1, 1));
+}
+
+TEST(LruSet, ColdFillNoEviction) {
+    lru_cache_state cache{1, 3};
+    EXPECT_EQ(cache.access(0, 1).evicted, invalid_tag);
+    EXPECT_EQ(cache.access(0, 2).evicted, invalid_tag);
+    EXPECT_EQ(cache.access(0, 3).evicted, invalid_tag);
+    EXPECT_NE(cache.access(0, 4).evicted, invalid_tag);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+// Tree-PLRU set model: hand-verified bit-tree behaviour, equivalence with
+// true LRU at 2 ways, the classic divergence at 4 ways, and integration
+// with the per-configuration simulator.
+#include <gtest/gtest.h>
+
+#include "baseline/dinero_sim.hpp"
+#include "cache/set_model.hpp"
+#include "common/contracts.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace dew::cache;
+
+TEST(PlruSet, ColdFillsWaysInOrder) {
+    plru_cache_state cache{1, 4};
+    for (std::uint64_t block = 0; block < 4; ++block) {
+        const probe_result result = cache.access(0, block + 10);
+        EXPECT_FALSE(result.hit);
+        EXPECT_EQ(result.way, block);
+        EXPECT_EQ(result.evicted, invalid_tag);
+    }
+}
+
+TEST(PlruSet, TwoWayPlruIsExactlyLru) {
+    // With one direction bit, tree PLRU degenerates to true LRU.  Drive
+    // both models with an identical random stream and compare outcomes.
+    plru_cache_state plru{4, 2};
+    lru_cache_state lru{4, 2};
+    const auto trace = dew::trace::make_random_trace(0, 1 << 10, 20000,
+                                                     0xA11CE, 4);
+    for (const auto& access : trace) {
+        const std::uint64_t block = access.address >> 4;
+        const auto set = static_cast<std::uint32_t>(block & 3);
+        EXPECT_EQ(plru.access(set, block).hit, lru.access(set, block).hit);
+    }
+}
+
+TEST(PlruSet, VictimFollowsTheBits) {
+    // 4 ways; touch 0,1,2,3 in order.  After the fill, the PLRU bits point
+    // away from way 3 (last touched): root away from the right half is
+    // left, left subtree's bit points away from way 1... the canonical
+    // result for ascending fill is victim = way 0.
+    plru_cache_state cache{1, 4};
+    for (std::uint64_t block = 0; block < 4; ++block) {
+        cache.access(0, block + 10);
+    }
+    EXPECT_EQ(cache.victim_of(0), 0u);
+    // Touch way 0 again: both bits on its path flip away; victim moves into
+    // the right half (way 2, the least recently touched there).
+    cache.access(0, 10);
+    EXPECT_EQ(cache.victim_of(0), 2u);
+}
+
+TEST(PlruSet, ClassicDivergenceFromTrueLru) {
+    // The textbook 4-way case where PLRU evicts a non-LRU block.
+    // Touch order ascending (0,1,2,3), then re-touch way 0: true LRU's
+    // victim is way 1 (oldest untouched), but the PLRU tree points at
+    // way 2 — the approximation forgets within-subtree ordering across
+    // halves.
+    plru_cache_state plru{1, 4};
+    for (std::uint64_t block = 0; block < 4; ++block) {
+        plru.access(0, block + 10);
+    }
+    plru.access(0, 10);                       // re-touch block in way 0
+    const probe_result result = plru.access(0, 99); // force an eviction
+    EXPECT_EQ(result.evicted, 12u); // way 2's block — NOT the true LRU (11)
+
+    lru_cache_state lru{1, 4};
+    for (std::uint64_t block = 0; block < 4; ++block) {
+        lru.access(0, block + 10);
+    }
+    lru.access(0, 10);
+    EXPECT_EQ(lru.access(0, 99).evicted, 11u); // true LRU evicts way 1's block
+}
+
+TEST(PlruSet, HitsUpdateRecencyProtection) {
+    // A block touched on every round must never be evicted.
+    plru_cache_state cache{1, 4};
+    cache.access(0, 1);
+    for (std::uint64_t round = 0; round < 50; ++round) {
+        cache.access(0, 1);                  // protect
+        cache.access(0, 100 + round);        // stream through
+        EXPECT_TRUE(cache.contains(0, 1)) << round;
+    }
+}
+
+TEST(PlruSet, DirectMappedDegenerate) {
+    plru_cache_state cache{2, 1};
+    EXPECT_FALSE(cache.access(0, 2).hit);
+    EXPECT_TRUE(cache.access(0, 2).hit);
+    EXPECT_EQ(cache.access(0, 4).evicted, 2u);
+    EXPECT_EQ(cache.victim_of(0), 0u);
+}
+
+TEST(PlruSet, ComparisonCountingMatchesWayOrderConvention) {
+    plru_cache_state cache{1, 4};
+    EXPECT_EQ(cache.access(0, 1).comparisons, 0u); // empty set
+    EXPECT_EQ(cache.access(0, 2).comparisons, 1u);
+    EXPECT_EQ(cache.access(0, 1).comparisons, 1u); // hit at way 0
+    EXPECT_EQ(cache.access(0, 2).comparisons, 2u); // hit at way 1
+}
+
+TEST(PlruSet, GeometryContract) {
+    EXPECT_THROW(plru_cache_state(3, 2), dew::contract_violation);
+    EXPECT_THROW(plru_cache_state(2, 3), dew::contract_violation);
+    EXPECT_NO_THROW(plru_cache_state(2, 8));
+}
+
+TEST(PlruSet, PolicyNameAndDineroIntegration) {
+    EXPECT_STREQ(to_string(replacement_policy::plru), "PLRU");
+
+    const auto trace = dew::trace::make_random_trace(0, 1 << 12, 10000,
+                                                     0xF1FA, 4);
+    dew::baseline::dinero_options options;
+    options.policy = replacement_policy::plru;
+    dew::baseline::dinero_sim sim{{16, 4, 16}, options};
+    sim.simulate(trace);
+    EXPECT_EQ(sim.stats().hits + sim.stats().misses, trace.size());
+    EXPECT_GT(sim.stats().hits, 0u);
+    EXPECT_GT(sim.stats().misses, 0u);
+
+    // PLRU must land between nothing-sensible bounds: identical trace under
+    // true LRU differs only modestly at 4 ways.
+    const std::uint64_t lru_misses = dew::baseline::count_misses(
+        trace, {16, 4, 16}, replacement_policy::lru);
+    const auto plru_misses = sim.stats().misses;
+    EXPECT_LT(plru_misses, lru_misses + lru_misses / 4);
+    EXPECT_GT(plru_misses + lru_misses / 4, lru_misses);
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "cache/set_model.hpp"
+
+namespace {
+
+using namespace dew::cache;
+
+TEST(RandomSet, ColdFillBeforeEviction) {
+    random_cache_state cache{1, 4};
+    for (std::uint64_t block = 0; block < 4; ++block) {
+        const probe_result result = cache.access(0, block);
+        EXPECT_FALSE(result.hit);
+        EXPECT_EQ(result.evicted, invalid_tag);
+    }
+    // Fifth distinct block must evict something.
+    EXPECT_NE(cache.access(0, 99).evicted, invalid_tag);
+}
+
+TEST(RandomSet, HitsFindResidentBlocks) {
+    random_cache_state cache{1, 4};
+    cache.access(0, 1);
+    cache.access(0, 2);
+    EXPECT_TRUE(cache.access(0, 1).hit);
+    EXPECT_TRUE(cache.access(0, 2).hit);
+    EXPECT_FALSE(cache.access(0, 3).hit);
+}
+
+TEST(RandomSet, DeterministicForSameSeed) {
+    random_cache_state a{4, 2, 123};
+    random_cache_state b{4, 2, 123};
+    std::uint64_t misses_a = 0, misses_b = 0;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        const std::uint64_t block = (i * 31) % 32;
+        misses_a += a.access(block & 3, block).hit ? 0 : 1;
+        misses_b += b.access(block & 3, block).hit ? 0 : 1;
+    }
+    EXPECT_EQ(misses_a, misses_b);
+}
+
+TEST(RandomSet, SeedZeroIsUsable) {
+    random_cache_state cache{1, 2, 0};
+    cache.access(0, 1);
+    cache.access(0, 2);
+    cache.access(0, 3);
+    // One of {1,2} was evicted, exactly one survives alongside 3.
+    EXPECT_TRUE(cache.contains(0, 3));
+    EXPECT_NE(cache.contains(0, 1), cache.contains(0, 2));
+}
+
+TEST(RandomSet, EvictionStaysWithinSet) {
+    random_cache_state cache{2, 2, 7};
+    cache.access(0, 0);
+    cache.access(0, 2);
+    cache.access(1, 1);
+    cache.access(1, 3);
+    cache.access(0, 4); // evicts within set 0 only
+    EXPECT_TRUE(cache.contains(1, 1));
+    EXPECT_TRUE(cache.contains(1, 3));
+}
+
+} // namespace

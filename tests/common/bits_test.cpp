@@ -1,0 +1,82 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dew;
+
+TEST(Bits, IsPow2RecognisesPowers) {
+    for (unsigned shift = 0; shift < 64; ++shift) {
+        EXPECT_TRUE(is_pow2(std::uint64_t{1} << shift)) << "shift " << shift;
+    }
+}
+
+TEST(Bits, IsPow2RejectsZero) { EXPECT_FALSE(is_pow2(0)); }
+
+TEST(Bits, IsPow2RejectsComposites) {
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_FALSE(is_pow2(6));
+    EXPECT_FALSE(is_pow2(12));
+    EXPECT_FALSE(is_pow2(1023));
+    EXPECT_FALSE(is_pow2((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(Bits, Log2ExactOfPowers) {
+    for (unsigned shift = 0; shift < 64; ++shift) {
+        EXPECT_EQ(log2_exact(std::uint64_t{1} << shift), shift);
+    }
+}
+
+TEST(Bits, FloorLog2) {
+    EXPECT_EQ(floor_log2(1), 0u);
+    EXPECT_EQ(floor_log2(2), 1u);
+    EXPECT_EQ(floor_log2(3), 1u);
+    EXPECT_EQ(floor_log2(4), 2u);
+    EXPECT_EQ(floor_log2(1023), 9u);
+    EXPECT_EQ(floor_log2(1024), 10u);
+}
+
+TEST(Bits, CeilLog2) {
+    EXPECT_EQ(ceil_log2(1), 0u);
+    EXPECT_EQ(ceil_log2(2), 1u);
+    EXPECT_EQ(ceil_log2(3), 2u);
+    EXPECT_EQ(ceil_log2(4), 2u);
+    EXPECT_EQ(ceil_log2(5), 3u);
+    EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, LowMaskWidths) {
+    EXPECT_EQ(low_mask(0), 0u);
+    EXPECT_EQ(low_mask(1), 1u);
+    EXPECT_EQ(low_mask(8), 0xFFu);
+    EXPECT_EQ(low_mask(63), ~std::uint64_t{0} >> 1);
+    EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, ExtractBits) {
+    EXPECT_EQ(extract_bits(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(extract_bits(0xABCD, 4, 4), 0xCu);
+    EXPECT_EQ(extract_bits(0xABCD, 8, 8), 0xABu);
+    EXPECT_EQ(extract_bits(~std::uint64_t{0}, 60, 4), 0xFu);
+}
+
+TEST(Bits, AlignUpDown) {
+    EXPECT_EQ(align_up(0, 8), 0u);
+    EXPECT_EQ(align_up(1, 8), 8u);
+    EXPECT_EQ(align_up(8, 8), 8u);
+    EXPECT_EQ(align_up(9, 8), 16u);
+    EXPECT_EQ(align_down(7, 8), 0u);
+    EXPECT_EQ(align_down(8, 8), 8u);
+    EXPECT_EQ(align_down(15, 8), 8u);
+}
+
+TEST(Bits, HelpersAreConstexpr) {
+    static_assert(is_pow2(64));
+    static_assert(log2_exact(64) == 6);
+    static_assert(low_mask(3) == 7);
+    static_assert(extract_bits(0b1010, 1, 3) == 0b101);
+    static_assert(align_up(5, 4) == 8);
+}
+
+} // namespace

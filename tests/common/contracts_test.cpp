@@ -1,0 +1,58 @@
+#include "common/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dew::contract_violation;
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+    EXPECT_NO_THROW(DEW_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+    EXPECT_THROW(DEW_EXPECTS(1 + 1 == 3), contract_violation);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) {
+    EXPECT_THROW(DEW_ENSURES(false), contract_violation);
+}
+
+TEST(Contracts, AssertThrowsOnFalse) {
+    EXPECT_THROW(DEW_ASSERT(false), contract_violation);
+}
+
+TEST(Contracts, ViolationCarriesKindAndExpression) {
+    try {
+        DEW_EXPECTS(2 < 1);
+        FAIL() << "expected contract_violation";
+    } catch (const contract_violation& violation) {
+        EXPECT_STREQ(violation.kind(), "precondition");
+        EXPECT_STREQ(violation.expression(), "2 < 1");
+        EXPECT_GT(violation.line(), 0);
+        EXPECT_NE(std::string{violation.what()}.find("precondition"),
+                  std::string::npos);
+    }
+}
+
+TEST(Contracts, ViolationMessageNamesFile) {
+    try {
+        DEW_ASSERT(false);
+        FAIL() << "expected contract_violation";
+    } catch (const contract_violation& violation) {
+        EXPECT_NE(std::string{violation.what()}.find("contracts_test.cpp"),
+                  std::string::npos);
+    }
+}
+
+TEST(Contracts, ConditionEvaluatedExactlyOnce) {
+    int evaluations = 0;
+    const auto bump = [&evaluations] {
+        ++evaluations;
+        return true;
+    };
+    DEW_EXPECTS(bump());
+    EXPECT_EQ(evaluations, 1);
+}
+
+} // namespace

@@ -1,0 +1,51 @@
+#include "common/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dew;
+
+TEST(Format, WithCommasSmallNumbers) {
+    EXPECT_EQ(with_commas(0), "0");
+    EXPECT_EQ(with_commas(7), "7");
+    EXPECT_EQ(with_commas(999), "999");
+}
+
+TEST(Format, WithCommasGroups) {
+    EXPECT_EQ(with_commas(1000), "1,000");
+    EXPECT_EQ(with_commas(25680911), "25,680,911");
+    EXPECT_EQ(with_commas(3738851450ull), "3,738,851,450");
+}
+
+TEST(Format, HumanBytesWholeUnits) {
+    EXPECT_EQ(human_bytes(0), "0 B");
+    EXPECT_EQ(human_bytes(512), "512 B");
+    EXPECT_EQ(human_bytes(1024), "1 KiB");
+    EXPECT_EQ(human_bytes(16 * 1024 * 1024), "16 MiB");
+}
+
+TEST(Format, HumanBytesFractionalUnits) {
+    EXPECT_EQ(human_bytes(1536), "1.5 KiB");
+    EXPECT_EQ(human_bytes(1024 + 256), "1.3 KiB");
+}
+
+TEST(Format, FixedDecimal) {
+    EXPECT_EQ(fixed_decimal(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed_decimal(3.14159, 0), "3");
+    EXPECT_EQ(fixed_decimal(-1.005, 1), "-1.0");
+}
+
+TEST(Format, InMillions) {
+    EXPECT_EQ(in_millions(2170000), "2.17");
+    EXPECT_EQ(in_millions(0), "0.00");
+    EXPECT_EQ(in_millions(770430000), "770.43");
+}
+
+TEST(Format, Percent) {
+    EXPECT_EQ(percent(0.549), "54.90");
+    EXPECT_EQ(percent(0.9491), "94.91");
+    EXPECT_EQ(percent(1.0), "100.00");
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+// Behavioural contracts of the individual DEW properties (Section 3.2 of
+// the paper), verified through the ablation switches: what each property
+// must and must not change, and the specific access patterns each one is
+// designed to catch.
+#include <gtest/gtest.h>
+
+#include "cache/set_model.hpp"
+#include "common/bits.hpp"
+#include "dew/options.hpp"
+#include "dew/simulator.hpp"
+#include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::core;
+using trace::mem_trace;
+
+mem_trace workload() {
+    return trace::make_mediabench_trace(trace::mediabench_app::djpeg, 20000);
+}
+
+// --- Property 2 (MRA early stop) ---------------------------------------------
+
+TEST(AblationMra, StopCutsNodeEvaluations) {
+    const mem_trace trace = workload();
+    dew_simulator with{8, 4, 16};
+    dew_simulator without{8, 4, 16, dew_options{false, true, true}};
+    with.simulate(trace);
+    without.simulate(trace);
+    // Without the stop every request walks all 9 levels.
+    EXPECT_EQ(without.counters().node_evaluations, trace.size() * 9);
+    EXPECT_LT(with.counters().node_evaluations,
+              without.counters().node_evaluations);
+}
+
+TEST(AblationMra, RepeatedBlockResolvesInOneEvaluationPerRequest) {
+    // The paper: "If the tag was requested in the previous step, DEW needs
+    // only one test."  All requests after the first stop at the root.
+    dew_simulator sim{8, 4, 16};
+    sim.simulate(trace::make_cyclic_trace(0x100, 1, 1000, 4));
+    EXPECT_EQ(sim.counters().node_evaluations,
+              1u * 9u + 999u); // full first walk, then root-only
+    EXPECT_EQ(sim.counters().mra_hits, 999u);
+}
+
+TEST(AblationMra, MraHitsCountedEvenWhenStopDisabled) {
+    // The counter measures the property's opportunity, not the switch.
+    const mem_trace trace = workload();
+    dew_simulator with{8, 4, 16};
+    dew_simulator without{8, 4, 16, dew_options{false, true, true}};
+    with.simulate(trace);
+    without.simulate(trace);
+    // Disabling the stop surfaces at least as many MRA matches (deeper
+    // levels get evaluated and can match too).
+    EXPECT_GE(without.counters().mra_hits, with.counters().mra_hits);
+}
+
+// --- Property 3 (wave pointers) ----------------------------------------------
+
+TEST(AblationWave, WaveProbesReplaceSearches) {
+    const mem_trace trace = workload();
+    dew_simulator with{8, 4, 16};
+    dew_simulator without{8, 4, 16, dew_options{true, false, true}};
+    with.simulate(trace);
+    without.simulate(trace);
+    EXPECT_GT(with.counters().wave_checks, 0u);
+    EXPECT_EQ(without.counters().wave_checks, 0u);
+    EXPECT_LT(with.counters().searches, without.counters().searches);
+}
+
+TEST(AblationWave, WaveDecidesBothHitsAndMisses) {
+    // A block that descends, gets evicted in a small cache, and is
+    // re-requested exercises both wave determinations.
+    const mem_trace trace = workload();
+    dew_simulator sim{8, 4, 4};
+    sim.simulate(trace);
+    EXPECT_GT(sim.counters().wave_hit_determinations, 0u);
+    EXPECT_GT(sim.counters().wave_miss_determinations, 0u);
+    EXPECT_EQ(sim.counters().wave_checks,
+              sim.counters().wave_hit_determinations +
+                  sim.counters().wave_miss_determinations);
+}
+
+TEST(AblationWave, SequentialDescentUsesWaveNotSearch) {
+    // Second request of the same block after one intervening conflict at
+    // the root: the root needs a search, but every deeper node can resolve
+    // the request with its wave pointer (hit at way recorded on descent 1).
+    mem_trace trace;
+    for (int i = 0; i < 100; ++i) {
+        trace.push_back({0x0000, trace::access_type::read});
+        trace.push_back({0x1000, trace::access_type::read});
+    }
+    dew_simulator sim{6, 4, 4};
+    sim.simulate(trace);
+    // After warmup both blocks alternate: root search (MRA mismatch, wave
+    // chain broken at root), then wave hits on all 6 deeper levels.
+    EXPECT_GT(sim.counters().wave_hit_determinations,
+              sim.counters().searches);
+}
+
+// --- Property 4 (MRE entry) --------------------------------------------------
+
+TEST(AblationMre, MreProvesMissWithoutSearch) {
+    // Three blocks cycling through a direct-mapped root set: each request
+    // misses, and the *previous* victim is re-requested two steps later —
+    // hmm, with three blocks the re-requested block is not the most
+    // recently evicted.  Use two alternating blocks at associativity 1
+    // instead: each request evicts the other, so every request after the
+    // first two matches the MRE entry of the set.
+    mem_trace trace;
+    for (int i = 0; i < 50; ++i) {
+        trace.push_back({0x0000, trace::access_type::read});
+        trace.push_back({0x4000, trace::access_type::read});
+    }
+    dew_simulator sim{2, 1, 4};
+    sim.simulate(trace);
+    EXPECT_GT(sim.counters().mre_determinations, 90u); // ~98 of 100 at root
+}
+
+TEST(AblationMre, DisablingMreForcesSearches) {
+    const mem_trace trace = workload();
+    dew_simulator with{8, 4, 4};
+    dew_simulator without{8, 4, 4, dew_options{true, true, false}};
+    with.simulate(trace);
+    without.simulate(trace);
+    EXPECT_GT(with.counters().mre_determinations, 0u);
+    EXPECT_EQ(without.counters().mre_determinations, 0u);
+    EXPECT_GE(without.counters().searches, with.counters().searches);
+}
+
+TEST(AblationMre, SwapPreservesWavePointerAcrossEvictRefetch) {
+    // One block is evicted from a small set and re-fetched: with the MRE
+    // entry the preserved wave pointer lets the next descent resolve by
+    // wave probe; without it the child must be searched again.  Measure as:
+    // full DEW performs strictly fewer searches on an evict/re-fetch-heavy
+    // trace than the no-MRE variant (checked above) *and* records MRE swaps.
+    const mem_trace trace = workload();
+    dew_simulator sim{8, 4, 4};
+    sim.simulate(trace);
+    EXPECT_GT(sim.counters().mre_swaps +
+                  sim.counters().mre_determinations,
+              0u);
+}
+
+// --- Unoptimized (Property 1 only) -------------------------------------------
+
+TEST(AblationUnoptimized, TreeOnlyWalksEveryLevelAndSearchesEverywhere) {
+    const mem_trace trace = workload();
+    dew_simulator sim{8, 4, 16, dew_options::unoptimized()};
+    sim.simulate(trace);
+    const dew_counters& c = sim.counters();
+    EXPECT_EQ(c.node_evaluations, trace.size() * 9);
+    EXPECT_EQ(c.wave_checks, 0u);
+    EXPECT_EQ(c.mre_determinations, 0u);
+    // Every non-MRA-matching evaluation is a full search.
+    EXPECT_EQ(c.searches, c.node_evaluations - c.mra_hits);
+}
+
+TEST(AblationUnoptimized, FullDewSearchesLessThanTreeOnly) {
+    // The properties replace tag-list searches with O(1) probes.  Note the
+    // probes are paid hedges: at block size 4 (shallow locality, short
+    // valid prefixes) full DEW can even perform slightly MORE raw tag
+    // comparisons than the tree-only walk — the paper's comparison-count
+    // win (Table 3) is against per-configuration simulation, not against
+    // Property 1 alone.  What the properties always cut is searches.
+    const mem_trace trace = workload();
+    for (const std::uint32_t block_size : {4u, 16u, 64u}) {
+        dew_simulator full{8, 4, block_size};
+        dew_simulator bare{8, 4, block_size, dew_options::unoptimized()};
+        full.simulate(trace);
+        bare.simulate(trace);
+        EXPECT_LT(full.counters().searches, bare.counters().searches)
+            << "block " << block_size;
+    }
+}
+
+TEST(AblationUnoptimized, FullDewBeatsPerConfigComparisons) {
+    // The paper's actual Table 3 claim: DEW's total tag comparisons are
+    // well below those of one-configuration-at-a-time simulation of the
+    // same sweep.
+    const mem_trace trace = workload();
+    for (const std::uint32_t block_size : {16u, 64u}) {
+        dew_simulator full{8, 4, block_size};
+        full.simulate(trace);
+        std::uint64_t per_config = 0;
+        for (unsigned level = 0; level <= 8; ++level) {
+            for (const std::uint32_t assoc : {1u, 4u}) {
+                cache::fifo_cache_state cache{std::uint32_t{1} << level,
+                                              assoc};
+                const unsigned block_bits = log2_exact(block_size);
+                for (const trace::mem_access& reference : trace) {
+                    const std::uint64_t block =
+                        reference.address >> block_bits;
+                    per_config +=
+                        cache
+                            .access(static_cast<std::uint32_t>(
+                                        block & low_mask(level)),
+                                    block)
+                            .comparisons;
+                }
+            }
+        }
+        EXPECT_LT(full.counters().tag_comparisons, per_config)
+            << "block " << block_size;
+    }
+}
+
+} // namespace

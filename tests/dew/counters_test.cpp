@@ -1,0 +1,144 @@
+// Accounting invariants of the DEW instrumentation counters — the numbers
+// Tables 3 and 4 are built from.  If these drift, the benches print
+// garbage, so they are pinned down as tests.
+#include <gtest/gtest.h>
+
+#include "dew/simulator.hpp"
+#include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::core;
+using trace::mem_trace;
+
+mem_trace workload() {
+    return trace::make_mediabench_trace(trace::mediabench_app::g721_enc,
+                                        25000);
+}
+
+TEST(Counters, ResolutionKindsPartitionNodeEvaluations) {
+    // Every evaluated node resolves in exactly one way: MRA hit, wave
+    // determination, MRE determination, or full search.
+    for (const std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+        dew_simulator sim{10, assoc, 4};
+        sim.simulate(workload());
+        const dew_counters& c = sim.counters();
+        EXPECT_EQ(c.node_evaluations,
+                  c.mra_hits + c.wave_checks + c.mre_determinations +
+                      c.searches)
+            << "assoc " << assoc;
+    }
+}
+
+TEST(Counters, WaveChecksSplitIntoHitAndMissDeterminations) {
+    dew_simulator sim{10, 4, 4};
+    sim.simulate(workload());
+    const dew_counters& c = sim.counters();
+    EXPECT_EQ(c.wave_checks,
+              c.wave_hit_determinations + c.wave_miss_determinations);
+}
+
+TEST(Counters, RequestsMatchTraceLength) {
+    const mem_trace trace = workload();
+    dew_simulator sim{10, 4, 4};
+    sim.simulate(trace);
+    EXPECT_EQ(sim.counters().requests, trace.size());
+}
+
+TEST(Counters, UnoptimizedIsThirtyPerRequestAtPaperParameters) {
+    // 15 set sizes x associativities {1, A}: the paper's Table 4 col 2.
+    const mem_trace trace = workload();
+    dew_simulator sim{14, 4, 4};
+    sim.simulate(trace);
+    EXPECT_EQ(sim.counters().unoptimized_evaluations, trace.size() * 30);
+}
+
+TEST(Counters, NodeEvaluationsBoundedByLevelsPerRequest) {
+    const mem_trace trace = workload();
+    dew_simulator sim{10, 4, 4};
+    sim.simulate(trace);
+    const dew_counters& c = sim.counters();
+    EXPECT_GE(c.node_evaluations, c.requests);           // >= 1 per request
+    EXPECT_LE(c.node_evaluations, c.requests * 11);      // <= levels
+}
+
+TEST(Counters, TagComparisonsLowerBound) {
+    // Every node evaluation performs at least the MRA probe; every search
+    // additionally compares at least zero valid entries, every wave or MRE
+    // determination exactly one more.
+    dew_simulator sim{10, 4, 4};
+    sim.simulate(workload());
+    const dew_counters& c = sim.counters();
+    EXPECT_GE(c.tag_comparisons,
+              c.node_evaluations + c.wave_checks + c.mre_determinations);
+}
+
+TEST(Counters, SearchComparisonsBoundedByAssociativity) {
+    // A search never compares more than A valid entries, so total
+    // comparisons are bounded by evaluations + waves + MRE probes +
+    // searches * A (+ one MRE probe inside each miss insert).
+    const std::uint32_t assoc = 8;
+    dew_simulator sim{10, assoc, 4};
+    sim.simulate(workload());
+    const dew_counters& c = sim.counters();
+    EXPECT_LE(c.tag_comparisons,
+              c.node_evaluations          // MRA probes
+                  + c.wave_checks         // wave probes
+                  + c.mre_determinations  // direct MRE determinations
+                  + c.searches * assoc    // tag-list scans
+                  + c.node_evaluations);  // MRE probes inside miss inserts
+}
+
+TEST(Counters, MraHitsAreAssociativityIndependent) {
+    // The paper: Table 4 columns 2-4 are associativity independent.  The
+    // descent and its MRA stops depend only on block addresses and levels.
+    const mem_trace trace = workload();
+    dew_simulator a2{10, 2, 4};
+    dew_simulator a8{10, 8, 4};
+    a2.simulate(trace);
+    a8.simulate(trace);
+    EXPECT_EQ(a2.counters().node_evaluations, a8.counters().node_evaluations);
+    EXPECT_EQ(a2.counters().mra_hits, a8.counters().mra_hits);
+}
+
+TEST(Counters, ColdTrafficSearchesEverywhere) {
+    // A pure compulsory-miss stream (every block new) can never MRA-hit,
+    // never wave-hit, never MRE-hit: every evaluation is a search.  This is
+    // the paper's O(log2(X) * A) compulsory-miss bound.
+    const mem_trace trace = trace::make_sequential_trace(0, 5000, 64);
+    dew_simulator sim{8, 4, 64};
+    sim.simulate(trace);
+    const dew_counters& c = sim.counters();
+    EXPECT_EQ(c.mra_hits, 0u);
+    EXPECT_EQ(c.wave_hit_determinations, 0u);
+    EXPECT_EQ(c.mre_determinations, 0u);
+    EXPECT_EQ(c.node_evaluations, trace.size() * 9);
+}
+
+TEST(Counters, ResidentTrafficIsOneProbePerRequestAfterWarmup) {
+    // The paper's best case: "If the tag was requested in the previous
+    // step, DEW needs only one test."
+    dew_simulator sim{8, 4, 4};
+    sim.access(0x40);
+    const std::uint64_t warm_comparisons = sim.counters().tag_comparisons;
+    for (int i = 0; i < 100; ++i) {
+        sim.access(0x40);
+    }
+    EXPECT_EQ(sim.counters().tag_comparisons, warm_comparisons + 100);
+}
+
+TEST(Counters, ResetClearsEverything) {
+    dew_simulator sim{8, 4, 4};
+    sim.simulate(workload());
+    sim.reset();
+    const dew_counters& c = sim.counters();
+    EXPECT_EQ(c.requests, 0u);
+    EXPECT_EQ(c.node_evaluations, 0u);
+    EXPECT_EQ(c.tag_comparisons, 0u);
+    EXPECT_EQ(c.mra_hits, 0u);
+    EXPECT_EQ(c.searches, 0u);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+// Metamorphic properties of the simulator: address-space transformations
+// with provably invariant results.  These catch indexing/tag-arithmetic
+// bugs that point comparisons against an oracle can miss (both sides would
+// be wrong the same way only if they share the bug — these relations hold
+// by geometry alone).
+#include <gtest/gtest.h>
+
+#include "dew/result.hpp"
+#include "dew/simulator.hpp"
+#include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::core;
+using trace::mem_trace;
+
+constexpr unsigned max_level = 7;
+constexpr std::uint32_t assoc = 4;
+constexpr std::uint32_t block_size = 16;
+
+mem_trace workload() {
+    return trace::make_mediabench_trace(trace::mediabench_app::djpeg, 25000);
+}
+
+dew_result simulate(const mem_trace& trace, std::uint32_t block = block_size) {
+    dew_simulator sim{max_level, assoc, block};
+    sim.simulate(trace);
+    return sim.result();
+}
+
+void expect_identical(const dew_result& a, const dew_result& b) {
+    for (unsigned level = 0; level <= max_level; ++level) {
+        EXPECT_EQ(a.misses(level, assoc), b.misses(level, assoc))
+            << "level " << level;
+        EXPECT_EQ(a.misses(level, 1), b.misses(level, 1)) << "level " << level;
+    }
+}
+
+TEST(Metamorphic, TranslationByWholeIndexSpansIsInvisible) {
+    // Adding K * (2^max_level * block_size) to every address leaves every
+    // set index at every level unchanged and renames tags bijectively:
+    // all counts must be identical.
+    const mem_trace original = workload();
+    for (const std::uint64_t k : {1ull, 7ull, 1000ull}) {
+        const std::uint64_t offset =
+            k * (std::uint64_t{1} << max_level) * block_size;
+        mem_trace shifted = original;
+        for (auto& access : shifted) {
+            access.address += offset;
+        }
+        expect_identical(simulate(original), simulate(shifted));
+    }
+}
+
+TEST(Metamorphic, TagBitXorIsInvisible) {
+    // XOR-ing bits strictly above (block offset + max index) is a bijection
+    // on tags that preserves all set indices.
+    const mem_trace original = workload();
+    const unsigned untouched_bits =
+        log2_exact(block_size) + max_level; // offset + index bits
+    for (const std::uint64_t pattern : {0x5ull, 0xFFull, 0xDEADull}) {
+        mem_trace scrambled = original;
+        for (auto& access : scrambled) {
+            access.address ^= pattern << untouched_bits;
+        }
+        expect_identical(simulate(original), simulate(scrambled));
+    }
+}
+
+TEST(Metamorphic, AddressDoublingEqualsBlockDoubling) {
+    // address * 2 at block size 2B touches exactly the blocks that
+    // address touches at block size B, with identical set indices.
+    const mem_trace original = workload();
+    mem_trace doubled = original;
+    for (auto& access : doubled) {
+        access.address *= 2;
+    }
+    const dew_result a = simulate(original, block_size);
+    const dew_result b = simulate(doubled, block_size * 2);
+    for (unsigned level = 0; level <= max_level; ++level) {
+        EXPECT_EQ(a.misses(level, assoc), b.misses(level, assoc));
+        EXPECT_EQ(a.misses(level, 1), b.misses(level, 1));
+    }
+}
+
+TEST(Metamorphic, SubBlockOffsetsAreInvisible) {
+    // Perturbing addresses within their block never changes anything.
+    const mem_trace original = workload();
+    mem_trace jittered = original;
+    std::uint64_t salt = 0;
+    for (auto& access : jittered) {
+        access.address =
+            (access.address & ~std::uint64_t{block_size - 1}) |
+            (salt++ % block_size);
+    }
+    expect_identical(simulate(original), simulate(jittered));
+}
+
+TEST(Metamorphic, CountersAreTransformationInvariantToo) {
+    // The work performed (node evaluations, searches, comparisons) is a
+    // function of block-number sequences only, so the same transformations
+    // leave the instrumentation identical as well.
+    const mem_trace original = workload();
+    mem_trace shifted = original;
+    for (auto& access : shifted) {
+        access.address +=
+            (std::uint64_t{1} << max_level) * block_size * 42;
+    }
+    dew_simulator a{max_level, assoc, block_size};
+    dew_simulator b{max_level, assoc, block_size};
+    a.simulate(original);
+    b.simulate(shifted);
+    EXPECT_EQ(a.counters().node_evaluations, b.counters().node_evaluations);
+    EXPECT_EQ(a.counters().tag_comparisons, b.counters().tag_comparisons);
+    EXPECT_EQ(a.counters().searches, b.counters().searches);
+    EXPECT_EQ(a.counters().mra_hits, b.counters().mra_hits);
+    EXPECT_EQ(a.counters().wave_checks, b.counters().wave_checks);
+}
+
+TEST(Metamorphic, AccessTypeIsIrrelevantToPlacement) {
+    // The simulators are placement-only (no write-allocate distinction by
+    // design): rewriting every access as a read changes nothing.
+    mem_trace original = workload();
+    mem_trace reads = original;
+    for (auto& access : reads) {
+        access.type = trace::access_type::read;
+    }
+    expect_identical(simulate(original), simulate(reads));
+}
+
+} // namespace

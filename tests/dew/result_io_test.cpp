@@ -1,0 +1,104 @@
+// CSV/table serialisation of DEW results.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dew/result_io.hpp"
+#include "dew/simulator.hpp"
+#include "dew/sweep.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::core;
+
+dew_result make_result() {
+    dew_simulator sim{4, 2, 16};
+    sim.simulate(trace::make_mediabench_trace(trace::mediabench_app::cjpeg,
+                                              5000));
+    return sim.result();
+}
+
+TEST(ResultIo, CsvShapeAndHeader) {
+    std::ostringstream out;
+    write_csv(out, make_result());
+    std::istringstream lines{out.str()};
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line, "sets,assoc,block,misses,hits,miss_rate");
+    std::size_t rows = 0;
+    while (std::getline(lines, line)) {
+        ++rows;
+        // Six comma-separated fields per row.
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 5)
+            << line;
+    }
+    EXPECT_EQ(rows, 10u); // 5 levels x {A=1, A=2}
+}
+
+TEST(ResultIo, CsvRoundTripsCounts) {
+    const dew_result result = make_result();
+    std::ostringstream out;
+    write_csv(out, result);
+    // Parse back the misses column and compare against the API.
+    std::istringstream lines{out.str()};
+    std::string line;
+    std::getline(lines, line); // header
+    while (std::getline(lines, line)) {
+        std::uint32_t sets = 0;
+        std::uint32_t assoc = 0;
+        std::uint32_t block = 0;
+        unsigned long long misses = 0;
+        unsigned long long hits = 0;
+        double rate = 0.0;
+        ASSERT_EQ(std::sscanf(line.c_str(), "%u,%u,%u,%llu,%llu,%lf", &sets,
+                              &assoc, &block, &misses, &hits, &rate),
+                  6)
+            << line;
+        EXPECT_EQ(misses, result.misses_of({sets, assoc, block})) << line;
+        EXPECT_EQ(hits + misses, result.requests()) << line;
+    }
+}
+
+TEST(ResultIo, SweepCsvCoversAllPasses) {
+    sweep_request request;
+    request.max_set_exp = 3;
+    request.block_sizes = {16, 32};
+    request.associativities = {2};
+    const sweep_result result = run_sweep(
+        trace::make_mediabench_trace(trace::mediabench_app::djpeg, 3000),
+        request);
+    std::ostringstream out;
+    write_csv(out, result);
+    std::size_t rows = 0;
+    for (const char c : out.str()) {
+        rows += c == '\n';
+    }
+    EXPECT_EQ(rows, 1u + 4u * 2u * 2u); // header + 4 levels x {1,2} x 2 blocks
+}
+
+TEST(ResultIo, TableMentionsEveryConfiguration) {
+    const dew_result result = make_result();
+    std::ostringstream out;
+    write_table(out, result);
+    for (const config_outcome& outcome : result.outcomes()) {
+        EXPECT_NE(out.str().find(cache::to_string(outcome.config)),
+                  std::string::npos)
+            << cache::to_string(outcome.config);
+    }
+}
+
+TEST(ResultIo, CountersLineIsComplete) {
+    dew_simulator sim{4, 2, 16};
+    sim.simulate(trace::make_mediabench_trace(trace::mediabench_app::cjpeg,
+                                              5000));
+    std::ostringstream out;
+    write_counters(out, sim.counters());
+    const std::string text = out.str();
+    EXPECT_NE(text.find("requests 5,000"), std::string::npos);
+    EXPECT_NE(text.find("tag comparisons"), std::string::npos);
+    EXPECT_NE(text.find("MRA stops"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+// Hand-checked behaviour of small DEW instances: exactness on sequences a
+// human can trace on paper.
+#include "dew/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace dew::core;
+using namespace dew::trace;
+
+TEST(DewSimulator, ColdMissEverywhere) {
+    dew_simulator sim{2, 2, 4}; // sets {1,2,4}, A in {1,2}, B=4
+    sim.access(0x100);
+    const dew_result result = sim.result();
+    for (unsigned level = 0; level <= 2; ++level) {
+        EXPECT_EQ(result.misses(level, 1), 1u);
+        EXPECT_EQ(result.misses(level, 2), 1u);
+    }
+}
+
+TEST(DewSimulator, ImmediateRepeatHitsEverywhere) {
+    dew_simulator sim{2, 2, 4};
+    sim.access(0x100);
+    sim.access(0x100);
+    const dew_result result = sim.result();
+    for (unsigned level = 0; level <= 2; ++level) {
+        EXPECT_EQ(result.misses(level, 1), 1u);
+        EXPECT_EQ(result.misses(level, 2), 1u);
+        EXPECT_EQ(result.hits(level, 2), 1u);
+    }
+    // The repeat resolves at the root with a single comparison (Property 2).
+    EXPECT_EQ(sim.counters().mra_hits, 1u);
+}
+
+TEST(DewSimulator, SameBlockDifferentByteOffsetIsAHit) {
+    dew_simulator sim{1, 2, 16};
+    sim.access(0x100);
+    sim.access(0x10F); // same 16-byte block
+    const dew_result result = sim.result();
+    EXPECT_EQ(result.misses(0, 2), 1u);
+    EXPECT_EQ(result.hits(0, 2), 1u);
+}
+
+TEST(DewSimulator, ConflictInSmallCacheResolvedByMoreSets) {
+    // Blocks 0 and 1 collide with one set but separate with two sets.
+    dew_simulator sim{1, 1, 4};
+    sim.access(0); // block 0
+    sim.access(4); // block 1
+    sim.access(0);
+    sim.access(4);
+    const dew_result result = sim.result();
+    EXPECT_EQ(result.misses(0, 1), 4u); // 1 set: constant conflict
+    EXPECT_EQ(result.misses(1, 1), 2u); // 2 sets: cold only
+}
+
+TEST(DewSimulator, FifoEvictionOrderRespected) {
+    // 1 set, 2 ways: 1,2,1,3,1 — FIFO evicts block 1 despite its recent hit.
+    dew_simulator sim{0, 2, 4};
+    for (const std::uint64_t address : {4u, 8u, 4u, 12u, 4u}) {
+        sim.access(address);
+    }
+    // Misses: 1(cold), 2(cold), 3(cold, evicts 1), 1(again: was evicted).
+    EXPECT_EQ(sim.result().misses(0, 2), 4u);
+}
+
+TEST(DewSimulator, LargerAssociativityAvoidsThatEviction) {
+    dew_simulator sim{0, 4, 4};
+    for (const std::uint64_t address : {4u, 8u, 4u, 12u, 4u}) {
+        sim.access(address);
+    }
+    EXPECT_EQ(sim.result().misses(0, 4), 3u); // cold misses only
+}
+
+TEST(DewSimulator, CyclicThrashDefeatsFifo) {
+    dew_simulator sim{0, 4, 4};
+    sim.simulate(make_cyclic_trace(0, 5, 10, 4)); // 5 blocks, 4 ways
+    EXPECT_EQ(sim.result().misses(0, 4), 50u);
+    EXPECT_EQ(sim.result().hits(0, 4), 0u);
+}
+
+TEST(DewSimulator, RequestsCounted) {
+    dew_simulator sim{3, 2, 4};
+    sim.simulate(make_sequential_trace(0, 123, 4));
+    EXPECT_EQ(sim.counters().requests, 123u);
+    EXPECT_EQ(sim.result().requests(), 123u);
+}
+
+TEST(DewSimulator, ResultConfigLookup) {
+    dew_simulator sim{3, 4, 16};
+    sim.simulate(make_sequential_trace(0, 100, 16));
+    const dew_result result = sim.result();
+    EXPECT_EQ(result.misses_of({8, 4, 16}), result.misses(3, 4));
+    EXPECT_EQ(result.misses_of({1, 1, 16}), result.misses(0, 1));
+    EXPECT_THROW((void)result.misses_of({8, 2, 16}), std::out_of_range);
+    EXPECT_THROW((void)result.misses_of({8, 4, 32}), std::out_of_range);
+    EXPECT_THROW((void)result.misses_of({32, 4, 16}), std::out_of_range);
+}
+
+TEST(DewSimulator, OutcomesEnumerateBothAssociativities) {
+    dew_simulator sim{2, 8, 4};
+    sim.simulate(make_sequential_trace(0, 50, 4));
+    const auto outcomes = sim.result().outcomes();
+    ASSERT_EQ(outcomes.size(), 6u); // 3 levels x {A=1, A=8}
+    EXPECT_EQ(outcomes[0].config.associativity, 1u);
+    EXPECT_EQ(outcomes[3].config.associativity, 8u);
+    for (const config_outcome& outcome : outcomes) {
+        EXPECT_EQ(outcome.hits + outcome.misses, 50u);
+    }
+}
+
+TEST(DewSimulator, ResetRestoresColdState) {
+    dew_simulator sim{2, 2, 4};
+    sim.simulate(make_sequential_trace(0, 100, 4));
+    sim.reset();
+    EXPECT_EQ(sim.counters().requests, 0u);
+    sim.access(0x100);
+    EXPECT_EQ(sim.result().misses(0, 2), 1u); // cold again
+}
+
+TEST(DewSimulator, DirectMappedRunMatchesItsOwnPiggyback) {
+    // An A=1 DEW run: the assoc results and the piggybacked DM results are
+    // the same configurations and must agree exactly.
+    dew_simulator sim{4, 1, 4};
+    sim.simulate(make_random_trace(0, 1 << 12, 5000, 21, 4));
+    const dew_result result = sim.result();
+    for (unsigned level = 0; level <= 4; ++level) {
+        EXPECT_EQ(result.misses(level, 1), result.misses(level, 1));
+    }
+}
+
+TEST(DewSimulator, MonotoneMissesAcrossSetCountsOnScans) {
+    // For a sequential scan (no conflicts), more sets never hurt.
+    dew_simulator sim{6, 2, 16};
+    sim.simulate(make_sequential_trace(0, 20000, 4));
+    const dew_result result = sim.result();
+    for (unsigned level = 1; level <= 6; ++level) {
+        EXPECT_LE(result.misses(level, 2), result.misses(level - 1, 2));
+    }
+}
+
+TEST(DewSimulator, PaperComplexityOneTestForRepeat) {
+    // "If the tag was requested in the previous step, DEW needs only one
+    // test."
+    dew_simulator sim{14, 4, 4};
+    sim.access(0x1234);
+    const std::uint64_t before = sim.counters().tag_comparisons;
+    sim.access(0x1234);
+    EXPECT_EQ(sim.counters().tag_comparisons, before + 1);
+}
+
+} // namespace

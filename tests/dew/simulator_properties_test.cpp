@@ -1,0 +1,169 @@
+// Targeted tests of the four DEW properties: that each fires when the paper
+// says it should, and that each is *sound* (never changes an outcome).
+#include <gtest/gtest.h>
+
+#include "dew/simulator.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace dew::core;
+using namespace dew::trace;
+
+TEST(Property2Mra, RepeatStopsAtRoot) {
+    dew_simulator sim{5, 4, 4};
+    sim.access(0x40);
+    const std::uint64_t evals_before = sim.counters().node_evaluations;
+    sim.access(0x40);
+    // The repeated request evaluates exactly one node.
+    EXPECT_EQ(sim.counters().node_evaluations, evals_before + 1);
+    EXPECT_EQ(sim.counters().mra_hits, 1u);
+}
+
+TEST(Property2Mra, StopCertifiesDeeperHits) {
+    // After a-b-a with b in the *other* half of the index space, the walk
+    // for the final `a` stops below the root yet deeper levels still count
+    // hits (verified through miss counts).
+    dew_simulator sim{2, 2, 4};
+    sim.access(0x00); // block 0 -> sets 0/0/0
+    sim.access(0x04); // block 1 -> sets 0/1/1
+    sim.access(0x00); // root MRA is block 1, level-1 MRA is block 0: stop at 1
+    const dew_result result = sim.result();
+    EXPECT_EQ(result.misses(1, 2), 2u); // two cold misses only
+    EXPECT_EQ(result.misses(2, 2), 2u); // deeper level hit was certified
+    EXPECT_EQ(sim.counters().mra_hits, 1u);
+}
+
+TEST(Property2Mra, MraIsExactlyTheDirectMappedContent) {
+    // Random workload: DEW's piggybacked A=1 counts must equal a dedicated
+    // direct-mapped simulation at every level (checked via the baseline in
+    // equivalence tests; here against a second DEW run at A=1).
+    const mem_trace trace = make_random_trace(0, 1 << 12, 8000, 31, 4);
+    dew_simulator wide{5, 8, 4};
+    dew_simulator narrow{5, 1, 4};
+    wide.simulate(trace);
+    narrow.simulate(trace);
+    for (unsigned level = 0; level <= 5; ++level) {
+        EXPECT_EQ(wide.result().misses(level, 1),
+                  narrow.result().misses(level, 1))
+            << "level " << level;
+    }
+}
+
+TEST(Property3Wave, SecondVisitUsesWavePointer) {
+    // Distinct blocks sharing all relevant index bits keep the walk on one
+    // path; revisiting a block whose parent entry survived must resolve by
+    // wave probe, not search.
+    dew_simulator sim{1, 4, 4};
+    sim.access(0x00); // block 0
+    sim.access(0x08); // block 2, same set at level 0 and level 1 (even)
+    sim.access(0x00); // root: search hit; level 1: wave probe
+    EXPECT_GE(sim.counters().wave_checks, 1u);
+    EXPECT_GE(sim.counters().wave_hit_determinations, 1u);
+}
+
+TEST(Property3Wave, WaveProbeDecidesMissAfterEviction) {
+    // Fill a 1-way level-1 set so a revisited block was evicted there; the
+    // wave probe must report the miss with a single comparison.
+    dew_simulator sim{1, 1, 4};
+    sim.access(0x00); // block 0: set 0 everywhere
+    sim.access(0x08); // block 2: set 0 at both levels, evicts block 0 at L1
+    sim.access(0x00); // root: miss (evicted); was root entry exists?
+    // With A=1 the tag lists are single-entry; what matters is exactness:
+    EXPECT_EQ(sim.result().misses(1, 1), 3u);
+}
+
+TEST(Property3Wave, CountsSplitHitAndMiss) {
+    const mem_trace trace = make_random_trace(0, 1 << 10, 20000, 5, 4);
+    dew_simulator sim{4, 4, 4};
+    sim.simulate(trace);
+    EXPECT_EQ(sim.counters().wave_checks,
+              sim.counters().wave_hit_determinations +
+                  sim.counters().wave_miss_determinations);
+    EXPECT_GT(sim.counters().wave_checks, 0u);
+}
+
+TEST(Property4Mre, EvictThenRefetchResolvesByMre) {
+    // 1 set (max_level 0), 2 ways.  a, b, c evicts a; re-requesting a must
+    // be proven a miss by the MRE entry without a search.
+    dew_simulator sim{0, 2, 4};
+    sim.access(0x04); // a
+    sim.access(0x08); // b
+    sim.access(0x0C); // c: evicts a, MRE=a
+    const std::uint64_t searches_before = sim.counters().searches;
+    sim.access(0x04); // a again: MRE match
+    EXPECT_EQ(sim.counters().mre_determinations, 1u);
+    EXPECT_EQ(sim.counters().searches, searches_before); // no new search
+    EXPECT_EQ(sim.result().misses(0, 2), 4u);
+}
+
+TEST(Property4Mre, SwapKeepsSetExact) {
+    // After the MRE swap the set must contain exactly {c, a} with b evicted.
+    dew_simulator sim{0, 2, 4};
+    sim.access(0x04); // a
+    sim.access(0x08); // b
+    sim.access(0x0C); // c evicts a (FIFO: a was first in)
+    sim.access(0x04); // a evicts b via MRE swap path
+    sim.access(0x0C); // c: still resident -> hit
+    sim.access(0x04); // a: still resident -> hit
+    sim.access(0x08); // b: evicted -> miss
+    EXPECT_EQ(sim.result().misses(0, 2), 5u);
+}
+
+TEST(Property4Mre, MreChainDoesNotFalselyProveMissAfterReinsert) {
+    // Once an evicted block is re-fetched, the MRE entry must no longer name
+    // it (the swap replaces the MRE with the new victim).
+    dew_simulator sim{0, 2, 4};
+    sim.access(0x04); // a
+    sim.access(0x08); // b
+    sim.access(0x0C); // c evicts a; MRE=a
+    sim.access(0x04); // a back in (MRE swap; MRE=b now)
+    const std::uint64_t mre_before = sim.counters().mre_determinations;
+    sim.access(0x04); // hit — must not be "proven" a miss
+    EXPECT_EQ(sim.counters().mre_determinations, mre_before);
+    EXPECT_EQ(sim.result().hits(0, 2), 1u);
+}
+
+TEST(Properties, ResolutionKindsPartitionNodeEvaluations) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        const mem_trace trace = make_random_trace(0, 1 << 14, 30000, seed, 4);
+        dew_simulator sim{6, 4, 4};
+        sim.simulate(trace);
+        const dew_counters& c = sim.counters();
+        EXPECT_EQ(c.node_evaluations,
+                  c.mra_hits + c.wave_checks + c.mre_determinations +
+                      c.searches);
+    }
+}
+
+TEST(Properties, UnoptimizedEvaluationsFollowsPaperTable4Convention) {
+    // Per-configuration simulation evaluates one set per configuration per
+    // request: levels x {1, A} configurations.  For A != 1 that is
+    // 2 x levels (the paper's "30" per request); for A == 1 the direct-
+    // mapped sweep is the only one, so just `levels`.
+    dew_simulator sim{9, 2, 4};
+    sim.simulate(make_sequential_trace(0, 777, 4));
+    EXPECT_EQ(sim.counters().unoptimized_evaluations, 777u * 10u * 2u);
+
+    dew_simulator dm{9, 1, 4};
+    dm.simulate(make_sequential_trace(0, 777, 4));
+    EXPECT_EQ(dm.counters().unoptimized_evaluations, 777u * 10u);
+}
+
+TEST(Properties, NodeEvaluationsNeverExceedUnoptimized) {
+    const mem_trace trace = make_random_trace(0, 1 << 12, 10000, 7, 4);
+    dew_simulator sim{8, 4, 4};
+    sim.simulate(trace);
+    EXPECT_LE(sim.counters().node_evaluations,
+              sim.counters().unoptimized_evaluations);
+}
+
+TEST(Properties, SequentialScanResolvesMostlyAtRoot) {
+    // Stride-4 walk with 64-byte blocks: 15 of 16 accesses repeat the
+    // previous block and must stop at the root via Property 2.
+    dew_simulator sim{10, 4, 64};
+    sim.simulate(make_sequential_trace(0, 16000, 4));
+    EXPECT_GT(sim.counters().mra_hits, 14000u);
+}
+
+} // namespace

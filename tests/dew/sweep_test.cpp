@@ -1,0 +1,124 @@
+// The multi-pass sweep driver: plan structure, exactness across the grid,
+// deterministic parallelism, and result aggregation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/dinero_sim.hpp"
+#include "dew/sweep.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::core;
+
+trace::mem_trace workload() {
+    return trace::make_mediabench_trace(trace::mediabench_app::djpeg, 20000);
+}
+
+sweep_request small_request() {
+    sweep_request request;
+    request.max_set_exp = 5;
+    request.block_sizes = {8, 32};
+    request.associativities = {2, 4};
+    return request;
+}
+
+TEST(Sweep, PaperRequestPlansTwentyEightPasses) {
+    const sweep_request request = sweep_request::paper();
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 2000);
+    const sweep_result result = run_sweep(trace, request);
+    EXPECT_EQ(result.passes.size(), 28u); // 7 block sizes x 4 assocs
+    // 525 = 15 x 7 x 5 configurations covered (A = 1 deduplicated).
+    EXPECT_EQ(result.outcomes().size(), 525u);
+}
+
+TEST(Sweep, EveryCoveredConfigurationMatchesOracle) {
+    const trace::mem_trace trace = workload();
+    const sweep_result result = run_sweep(trace, small_request());
+    for (const config_outcome& outcome : result.outcomes()) {
+        EXPECT_EQ(outcome.misses,
+                  baseline::count_misses(trace, outcome.config,
+                                         cache::replacement_policy::fifo))
+            << cache::to_string(outcome.config);
+        EXPECT_EQ(outcome.misses, result.misses_of(outcome.config))
+            << cache::to_string(outcome.config);
+    }
+}
+
+TEST(Sweep, OutcomesAreDistinctAndComplete) {
+    const sweep_result result = run_sweep(workload(), small_request());
+    // 6 set counts x (2 assocs + A=1) x 2 block sizes.
+    EXPECT_EQ(result.outcomes().size(), 6u * 3u * 2u);
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+    for (const config_outcome& outcome : result.outcomes()) {
+        seen.insert({outcome.config.set_count, outcome.config.associativity,
+                     outcome.config.block_size});
+    }
+    EXPECT_EQ(seen.size(), result.outcomes().size());
+}
+
+TEST(Sweep, ParallelSweepIsBitIdenticalToSerial) {
+    const trace::mem_trace trace = workload();
+    sweep_request serial = small_request();
+    sweep_request parallel = small_request();
+    parallel.threads = 4;
+
+    const sweep_result a = run_sweep(trace, serial);
+    const sweep_result b = run_sweep(trace, parallel);
+    ASSERT_EQ(a.passes.size(), b.passes.size());
+    for (std::size_t i = 0; i < a.passes.size(); ++i) {
+        EXPECT_EQ(a.passes[i].block_size(), b.passes[i].block_size());
+        EXPECT_EQ(a.passes[i].associativity(), b.passes[i].associativity());
+        for (unsigned level = 0; level <= a.passes[i].max_level(); ++level) {
+            EXPECT_EQ(a.passes[i].misses(level, a.passes[i].associativity()),
+                      b.passes[i].misses(level, b.passes[i].associativity()));
+            EXPECT_EQ(a.passes[i].misses(level, 1),
+                      b.passes[i].misses(level, 1));
+        }
+        EXPECT_EQ(a.passes[i].counters().tag_comparisons,
+                  b.passes[i].counters().tag_comparisons);
+    }
+}
+
+TEST(Sweep, MoreThreadsThanPassesIsFine) {
+    sweep_request request = small_request();
+    request.threads = 64; // > 4 passes
+    const sweep_result result = run_sweep(workload(), request);
+    EXPECT_EQ(result.passes.size(), 4u);
+}
+
+TEST(Sweep, TotalCountersAggregate) {
+    const sweep_result result = run_sweep(workload(), small_request());
+    const dew_counters total = result.total_counters();
+    std::uint64_t requests = 0;
+    std::uint64_t comparisons = 0;
+    for (const dew_result& pass : result.passes) {
+        requests += pass.counters().requests;
+        comparisons += pass.counters().tag_comparisons;
+    }
+    EXPECT_EQ(total.requests, requests);
+    EXPECT_EQ(total.tag_comparisons, comparisons);
+    EXPECT_EQ(total.requests, result.requests * result.passes.size());
+}
+
+TEST(Sweep, UncoveredConfigurationThrows) {
+    const sweep_result result = run_sweep(workload(), small_request());
+    EXPECT_THROW((void)result.misses_of({64, 2, 128}), std::out_of_range);
+    EXPECT_THROW((void)result.misses_of({256, 2, 8}), std::out_of_range);
+    EXPECT_THROW((void)result.misses_of({64, 16, 8}), std::out_of_range);
+}
+
+TEST(Sweep, OptionsPropagateToPasses) {
+    sweep_request request = small_request();
+    request.options = dew_options::unoptimized();
+    const sweep_result result = run_sweep(workload(), request);
+    for (const dew_result& pass : result.passes) {
+        EXPECT_EQ(pass.counters().wave_checks, 0u);
+        EXPECT_EQ(pass.counters().mre_determinations, 0u);
+    }
+}
+
+} // namespace

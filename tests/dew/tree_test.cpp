@@ -1,0 +1,75 @@
+#include "dew/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace {
+
+using namespace dew::core;
+
+TEST(DewTree, NodeCountIsCompleteBinaryHierarchy) {
+    EXPECT_EQ(dew_tree(0, 1).node_count(), 1u);
+    EXPECT_EQ(dew_tree(1, 1).node_count(), 3u);
+    EXPECT_EQ(dew_tree(14, 4).node_count(), 32767u); // 2^15 - 1
+}
+
+TEST(DewTree, FreshNodesAreCold) {
+    dew_tree tree{3, 4};
+    for (unsigned level = 0; level <= 3; ++level) {
+        for (std::uint64_t index = 0; index < (1u << level); ++index) {
+            const node_ref node = tree.node(level, index);
+            EXPECT_EQ(node.header.mra, dew::cache::invalid_tag);
+            EXPECT_EQ(node.header.cursor, 0u);
+            EXPECT_EQ(node.header.victim_cursor, 0u);
+            EXPECT_EQ(node.victims[0].tag, dew::cache::invalid_tag);
+            for (std::uint32_t way = 0; way < 4; ++way) {
+                EXPECT_EQ(node.ways[way].tag, dew::cache::invalid_tag);
+                EXPECT_EQ(node.ways[way].wave, empty_wave);
+            }
+        }
+    }
+}
+
+TEST(DewTree, NodesAreDistinctStorage) {
+    dew_tree tree{2, 2};
+    tree.node(1, 0).header.mra = 111;
+    tree.node(1, 1).header.mra = 222;
+    tree.node(2, 0).ways[0].tag = 333;
+    EXPECT_EQ(tree.node(1, 0).header.mra, 111u);
+    EXPECT_EQ(tree.node(1, 1).header.mra, 222u);
+    EXPECT_EQ(tree.node(2, 0).ways[0].tag, 333u);
+    EXPECT_EQ(tree.node(2, 1).ways[0].tag, dew::cache::invalid_tag);
+}
+
+TEST(DewTree, ClearRestoresColdState) {
+    dew_tree tree{2, 2};
+    tree.node(0, 0).header.mra = 5;
+    tree.node(2, 3).ways[1] = {42, 1};
+    tree.clear();
+    EXPECT_EQ(tree.node(0, 0).header.mra, dew::cache::invalid_tag);
+    EXPECT_EQ(tree.node(2, 3).ways[1].tag, dew::cache::invalid_tag);
+    EXPECT_EQ(tree.node(2, 3).ways[1].wave, empty_wave);
+}
+
+TEST(DewTree, PaperBitsPerNodeFormula) {
+    // Section 5: per tree node, 96 + 64*A bits.
+    EXPECT_EQ(dew_tree::paper_bits_per_node(1), 160u);
+    EXPECT_EQ(dew_tree::paper_bits_per_node(4), 352u);
+    EXPECT_EQ(dew_tree::paper_bits_per_node(16), 1120u);
+}
+
+TEST(DewTree, PaperBitsPerLevelScalesWithSets) {
+    dew_tree tree{3, 4};
+    // Per level: S * (96 + 64*A).
+    EXPECT_EQ(tree.paper_bits_per_level(0), 352u);
+    EXPECT_EQ(tree.paper_bits_per_level(3), 8u * 352u);
+    EXPECT_EQ(tree.paper_bits_total(), (1 + 2 + 4 + 8) * 352u);
+}
+
+TEST(DewTree, RejectsInvalidGeometry) {
+    EXPECT_THROW(dew_tree(32, 4), dew::contract_violation);
+    EXPECT_THROW(dew_tree(2, 3), dew::contract_violation);
+}
+
+} // namespace

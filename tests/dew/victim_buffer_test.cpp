@@ -1,0 +1,154 @@
+// The generalised MRE victim buffer (this library's extension of the
+// paper's Property 4): depth 1 must behave exactly like the paper's single
+// MRE entry, every depth must stay exact, and deeper buffers must convert
+// searches into O(1) buffer determinations.
+#include <gtest/gtest.h>
+
+#include "baseline/dinero_sim.hpp"
+#include "dew/result.hpp"
+#include "dew/simulator.hpp"
+#include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::core;
+using trace::mem_trace;
+
+dew_options with_depth(std::uint32_t depth) {
+    dew_options options;
+    options.use_mre = depth > 0;
+    options.mre_depth = depth == 0 ? 1 : depth;
+    return options;
+}
+
+mem_trace workload() {
+    return trace::make_mediabench_trace(trace::mediabench_app::mpeg2_dec,
+                                        25000);
+}
+
+// Exactness at every buffer depth, against the per-configuration oracle.
+class VictimDepth : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(VictimDepth, StaysExactEverywhere) {
+    const std::uint32_t depth = GetParam();
+    const mem_trace trace = workload();
+    dew_simulator sim{7, 4, 16, with_depth(depth)};
+    sim.simulate(trace);
+    const dew_result result = sim.result();
+    for (unsigned level = 0; level <= 7; ++level) {
+        const auto sets = std::uint32_t{1} << level;
+        EXPECT_EQ(result.misses(level, 4),
+                  baseline::count_misses(trace, {sets, 4, 16},
+                                         cache::replacement_policy::fifo))
+            << "depth " << depth << " sets " << sets;
+        EXPECT_EQ(result.misses(level, 1),
+                  baseline::count_misses(trace, {sets, 1, 16},
+                                         cache::replacement_policy::fifo))
+            << "depth " << depth << " sets " << sets;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, VictimDepth,
+                         ::testing::Values(0u, 1u, 2u, 4u, 8u));
+
+TEST(VictimBuffer, DepthOneIsThePaperMre) {
+    // Same trace, default options vs explicit depth 1: identical counters.
+    const mem_trace trace = workload();
+    dew_simulator paper{7, 4, 16};
+    dew_simulator explicit_one{7, 4, 16, with_depth(1)};
+    paper.simulate(trace);
+    explicit_one.simulate(trace);
+    EXPECT_EQ(paper.counters().tag_comparisons,
+              explicit_one.counters().tag_comparisons);
+    EXPECT_EQ(paper.counters().mre_determinations,
+              explicit_one.counters().mre_determinations);
+    EXPECT_EQ(paper.counters().searches, explicit_one.counters().searches);
+}
+
+TEST(VictimBuffer, DeeperBufferDeterminesMoreMisses) {
+    // A two-victim rotation in one direct-mapped set: with depth 1 only the
+    // most recent victim is provable, with depth 2 both are.  Blocks a, b,
+    // c cycle through a 1-way set: every access evicts the previous block,
+    // and the requested block is always the SECOND most recent victim.
+    mem_trace trace;
+    for (int i = 0; i < 60; ++i) {
+        trace.push_back({0x00, trace::access_type::read});
+        trace.push_back({0x40, trace::access_type::read});
+        trace.push_back({0x80, trace::access_type::read});
+    }
+    dew_simulator shallow{0, 1, 4, with_depth(1)};
+    dew_simulator deep{0, 1, 4, with_depth(2)};
+    shallow.simulate(trace);
+    deep.simulate(trace);
+    // Depth 1 never matches (the re-requested block is one eviction too
+    // old); depth 2 proves essentially every steady-state miss.
+    EXPECT_EQ(shallow.counters().mre_determinations, 0u);
+    EXPECT_GT(deep.counters().mre_determinations, 170u);
+    EXPECT_LT(deep.counters().searches, shallow.counters().searches);
+    // Exactness unchanged: every access but the first three misses.
+    EXPECT_EQ(shallow.result().misses(0, 1), 180u);
+    EXPECT_EQ(deep.result().misses(0, 1), 180u);
+}
+
+TEST(VictimBuffer, DeeperBufferCutsSearchesOnRealWorkloads) {
+    const mem_trace trace = workload();
+    std::uint64_t previous_searches = ~std::uint64_t{0};
+    for (const std::uint32_t depth : {1u, 4u, 16u}) {
+        dew_simulator sim{10, 4, 4, with_depth(depth)};
+        sim.simulate(trace);
+        EXPECT_LT(sim.counters().searches, previous_searches)
+            << "depth " << depth;
+        previous_searches = sim.counters().searches;
+    }
+}
+
+TEST(VictimBuffer, SwapRestoresWavePointerAfterDeepEviction) {
+    // The wave pointer survives an evict/re-fetch cycle even when another
+    // eviction happened in between (impossible with the paper's single
+    // entry): with depth 2, block a's re-descent after a, b evictions can
+    // still wave-resolve in the child.
+    mem_trace trace;
+    // Three conflicting blocks at the root (1 way), two of which (a, c)
+    // coexist in the level-1 child sets.
+    for (int i = 0; i < 40; ++i) {
+        trace.push_back({0x000, trace::access_type::read}); // a
+        trace.push_back({0x100, trace::access_type::read}); // b
+        trace.push_back({0x200, trace::access_type::read}); // c
+    }
+    dew_simulator shallow{4, 1, 4, with_depth(1)};
+    dew_simulator deep{4, 1, 4, with_depth(4)};
+    shallow.simulate(trace);
+    deep.simulate(trace);
+    EXPECT_GT(deep.counters().wave_checks, shallow.counters().wave_checks);
+    // Both remain exact.
+    for (unsigned level = 0; level <= 4; ++level) {
+        EXPECT_EQ(deep.result().misses(level, 1),
+                  shallow.result().misses(level, 1));
+    }
+}
+
+TEST(VictimBuffer, DepthZeroEqualsMreOff) {
+    const mem_trace trace = workload();
+    dew_simulator off{7, 4, 16, dew_options{true, true, false, 1}};
+    dew_simulator zero{7, 4, 16, with_depth(0)};
+    off.simulate(trace);
+    zero.simulate(trace);
+    EXPECT_EQ(off.counters().tag_comparisons,
+              zero.counters().tag_comparisons);
+    EXPECT_EQ(off.counters().mre_determinations, 0u);
+    EXPECT_EQ(zero.counters().mre_determinations, 0u);
+}
+
+TEST(VictimBuffer, StorageAccounting) {
+    // Depth 1 reproduces the paper's 96 + 64A bits; the general form adds
+    // 64 bits per extra victim entry.
+    const dew_tree paper_tree{4, 4, 1};
+    EXPECT_EQ(paper_tree.bits_per_node(), dew_tree::paper_bits_per_node(4));
+    const dew_tree deep_tree{4, 4, 3};
+    EXPECT_EQ(deep_tree.bits_per_node(),
+              dew_tree::paper_bits_per_node(4) + 2 * 64);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+// The Table 1 configuration space: enumeration, ordering, and the pass
+// structure of a DEW sweep over it.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "explore/config_space.hpp"
+
+namespace {
+
+using namespace dew;
+using explore::config_space;
+
+TEST(ConfigSpace, PaperSpaceHas525Configurations) {
+    const config_space space = config_space::paper();
+    EXPECT_EQ(space.count(), 525u);
+    EXPECT_EQ(space.all().size(), 525u);
+}
+
+TEST(ConfigSpace, AllConfigurationsAreValidAndDistinct) {
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+    for (const cache::cache_config& config : config_space::paper().all()) {
+        EXPECT_TRUE(config.valid());
+        seen.insert({config.set_count, config.associativity,
+                     config.block_size});
+    }
+    EXPECT_EQ(seen.size(), 525u);
+}
+
+TEST(ConfigSpace, CapacitySpansOneByteTo16MiB) {
+    std::uint64_t lo = ~std::uint64_t{0};
+    std::uint64_t hi = 0;
+    for (const cache::cache_config& config : config_space::paper().all()) {
+        lo = std::min(lo, config.total_bytes());
+        hi = std::max(hi, config.total_bytes());
+    }
+    EXPECT_EQ(lo, 1u);                     // 1 set x 1 way x 1 B
+    EXPECT_EQ(hi, 16u * 1024 * 1024);      // 2^14 x 2^4 x 2^6
+}
+
+TEST(ConfigSpace, DewPassesOnePerBlockAssocPair) {
+    // 7 block sizes x 4 non-unit associativities: the A = 1 column rides
+    // along with any pass of the same block size.
+    const auto passes = config_space::paper().dew_passes();
+    EXPECT_EQ(passes.size(), 28u);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen(passes.begin(),
+                                                           passes.end());
+    EXPECT_EQ(seen.size(), passes.size());
+    for (const auto& [block, assoc] : passes) {
+        EXPECT_NE(assoc, 1u);
+    }
+}
+
+TEST(ConfigSpace, DirectMappedOnlySpaceStillNeedsOnePassPerBlockSize) {
+    config_space space;
+    space.min_assoc_exp = 0;
+    space.max_assoc_exp = 0; // A = 1 only
+    space.min_block_exp = 2;
+    space.max_block_exp = 4;
+    const auto passes = space.dew_passes();
+    EXPECT_EQ(passes.size(), 3u);
+    for (const auto& [block, assoc] : passes) {
+        EXPECT_EQ(assoc, 1u);
+    }
+}
+
+TEST(ConfigSpace, SubspaceCountsAndOrdering) {
+    config_space space;
+    space.min_set_exp = 2;
+    space.max_set_exp = 4;
+    space.min_block_exp = 3;
+    space.max_block_exp = 3;
+    space.min_assoc_exp = 0;
+    space.max_assoc_exp = 1;
+    const auto configs = space.all();
+    EXPECT_EQ(configs.size(), 3u * 1 * 2);
+    // Ordering contract: block size, then associativity, then set count.
+    for (std::size_t i = 1; i < configs.size(); ++i) {
+        const auto& a = configs[i - 1];
+        const auto& b = configs[i];
+        const auto key = [](const cache::cache_config& c) {
+            return std::tuple{c.block_size, c.associativity, c.set_count};
+        };
+        EXPECT_LT(key(a), key(b));
+    }
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+// Miss-rate curve extraction and knee/working-set analysis.
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "dew/simulator.hpp"
+#include "explore/curves.hpp"
+#include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::explore;
+
+TEST(Curves, ExtractMatchesResult) {
+    core::dew_simulator sim{6, 4, 16};
+    sim.simulate(trace::make_mediabench_trace(trace::mediabench_app::cjpeg,
+                                              20000));
+    const core::dew_result result = sim.result();
+    const auto curve = extract_curve(result, 4);
+    ASSERT_EQ(curve.size(), 7u);
+    for (unsigned level = 0; level <= 6; ++level) {
+        EXPECT_EQ(curve[level].set_count, 1u << level);
+        EXPECT_EQ(curve[level].misses, result.misses(level, 4));
+        EXPECT_EQ(curve[level].capacity_bytes,
+                  std::uint64_t{1u << level} * 4 * 16);
+    }
+    // Direct-mapped slice rides along.
+    const auto dm = extract_curve(result, 1);
+    EXPECT_EQ(dm[3].misses, result.misses(3, 1));
+    EXPECT_EQ(dm[3].capacity_bytes, 8u * 16u);
+
+    EXPECT_THROW((void)extract_curve(result, 2), contract_violation);
+}
+
+TEST(Curves, KneeOfAnLShapedCurve) {
+    // Synthetic L: sharp drop until index 3, flat afterwards -> knee at 3.
+    std::vector<miss_curve_point> curve;
+    const double rates[] = {0.9, 0.7, 0.45, 0.1, 0.09, 0.085, 0.08};
+    for (std::size_t i = 0; i < std::size(rates); ++i) {
+        curve.push_back({std::uint32_t{1} << i,
+                         (std::uint64_t{1} << i) * 64, 0, rates[i]});
+    }
+    const curve_analysis analysis = analyze_curve(curve);
+    EXPECT_EQ(analysis.knee_index, 3u);
+}
+
+TEST(Curves, WorkingSetTracksTolerance) {
+    std::vector<miss_curve_point> curve;
+    const double rates[] = {0.5, 0.3, 0.12, 0.105, 0.1};
+    for (std::size_t i = 0; i < std::size(rates); ++i) {
+        curve.push_back({std::uint32_t{1} << i,
+                         (std::uint64_t{1} << i) * 64, 0, rates[i]});
+    }
+    // 5% tolerance: 0.105 <= 0.1 * 1.05 -> index 3's capacity.
+    EXPECT_EQ(analyze_curve(curve, 0.05).working_set_bytes, 8u * 64u);
+    // 25% tolerance: 0.12 <= 0.125 -> index 2.
+    EXPECT_EQ(analyze_curve(curve, 0.25).working_set_bytes, 4u * 64u);
+    // Zero tolerance: only the final point qualifies.
+    EXPECT_EQ(analyze_curve(curve, 0.0).working_set_bytes, 16u * 64u);
+}
+
+TEST(Curves, DoublingGainsSumToTotalDrop) {
+    core::dew_simulator sim{8, 2, 32};
+    sim.simulate(trace::make_mediabench_trace(trace::mediabench_app::djpeg,
+                                              20000));
+    const auto curve = extract_curve(sim.result(), 2);
+    const curve_analysis analysis = analyze_curve(curve);
+    double sum = 0.0;
+    for (const double gain : analysis.doubling_gains) {
+        sum += gain;
+    }
+    EXPECT_NEAR(sum, curve.front().miss_rate - curve.back().miss_rate, 1e-12);
+}
+
+TEST(Curves, FlatCurveDegeneratesGracefully) {
+    // A single hot block: every set count achieves the same (tiny) miss
+    // rate; the working set is the smallest capacity and the knee is the
+    // first point.
+    core::dew_simulator sim{5, 2, 16};
+    sim.simulate(trace::make_cyclic_trace(0, 1, 5000, 4));
+    const auto curve = extract_curve(sim.result(), 2);
+    const curve_analysis analysis = analyze_curve(curve);
+    EXPECT_EQ(analysis.working_set_bytes, curve.front().capacity_bytes);
+    EXPECT_EQ(analysis.knee_index, 0u);
+}
+
+TEST(Curves, RealWorkloadKneeIsInteriorAndWorkingSetSane) {
+    // G.721's working set is tiny: the knee and the working-set capacity
+    // must both land well below the largest simulated capacity.
+    core::dew_simulator sim{12, 4, 32};
+    sim.simulate(trace::make_mediabench_trace(
+        trace::mediabench_app::g721_enc, 60000));
+    const auto curve = extract_curve(sim.result(), 4);
+    const curve_analysis analysis = analyze_curve(curve, 0.10);
+    EXPECT_GT(analysis.knee_index, 0u);
+    EXPECT_LT(analysis.knee_index, curve.size() - 1);
+    EXPECT_LT(analysis.working_set_bytes, curve.back().capacity_bytes);
+    // And the paper-motivating fact: G.721 fits long before MPEG-2 does.
+    core::dew_simulator mpeg{12, 4, 32};
+    mpeg.simulate(trace::make_mediabench_trace(
+        trace::mediabench_app::mpeg2_enc, 60000));
+    const curve_analysis mpeg_analysis =
+        analyze_curve(extract_curve(mpeg.result(), 4), 0.10);
+    EXPECT_LT(analysis.working_set_bytes, mpeg_analysis.working_set_bytes);
+}
+
+TEST(Curves, EmptyCurveRejected) {
+    EXPECT_THROW((void)analyze_curve({}), contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+// The analytical energy/latency model that turns exact miss counts into the
+// ranking an embedded cache-tuning flow consumes.  Absolute joules are not
+// the contract — monotonicity and sane composition are.
+#include <gtest/gtest.h>
+
+#include "explore/energy_model.hpp"
+
+namespace {
+
+using namespace dew;
+using explore::energy_model;
+
+const energy_model model;
+
+TEST(EnergyModel, ProbeEnergyGrowsWithAssociativity) {
+    // A parallel set-associative lookup reads A tags + A data blocks.
+    double previous = 0.0;
+    for (const std::uint32_t assoc : {1u, 2u, 4u, 8u, 16u}) {
+        const double energy = model.access_energy_pj({256, assoc, 32});
+        EXPECT_GT(energy, previous) << "assoc " << assoc;
+        previous = energy;
+    }
+}
+
+TEST(EnergyModel, ProbeEnergyGrowsWithBlockSize) {
+    double previous = 0.0;
+    for (const std::uint32_t block : {4u, 8u, 16u, 32u, 64u}) {
+        const double energy = model.access_energy_pj({256, 4, block});
+        EXPECT_GT(energy, previous) << "block " << block;
+        previous = energy;
+    }
+}
+
+TEST(EnergyModel, MissEnergyGrowsWithBlockSize) {
+    // A refill moves the whole block from the next level.
+    EXPECT_LT(model.miss_energy_pj({256, 4, 4}),
+              model.miss_energy_pj({256, 4, 64}));
+}
+
+TEST(EnergyModel, TotalEnergyComposition) {
+    const cache::cache_config config{64, 2, 16};
+    const double probe = model.access_energy_pj(config);
+    const double miss = model.miss_energy_pj(config);
+    EXPECT_DOUBLE_EQ(model.total_energy_pj(config, 1000, 100),
+                     1000.0 * probe + 100.0 * miss);
+}
+
+TEST(EnergyModel, HitLatencyGrowsWithCapacityAndWays) {
+    EXPECT_LT(model.hit_latency_ns({64, 1, 16}),
+              model.hit_latency_ns({4096, 1, 16}));
+    EXPECT_LT(model.hit_latency_ns({256, 1, 16}),
+              model.hit_latency_ns({256, 16, 16}));
+}
+
+TEST(EnergyModel, AmatBlendsHitAndMissLatency) {
+    const cache::cache_config config{256, 4, 32};
+    const double hit_ns = model.hit_latency_ns(config);
+    // All hits: AMAT = hit latency.
+    EXPECT_DOUBLE_EQ(model.amat_ns(config, 1000, 0), hit_ns);
+    // All misses: hit latency + full penalty.
+    EXPECT_DOUBLE_EQ(model.amat_ns(config, 1000, 1000),
+                     hit_ns + model.latency().miss_penalty_ns);
+    // Middle is strictly between.
+    const double half = model.amat_ns(config, 1000, 500);
+    EXPECT_GT(half, hit_ns);
+    EXPECT_LT(half, hit_ns + model.latency().miss_penalty_ns);
+}
+
+TEST(EnergyModel, ZeroAccessesIsDefined) {
+    const cache::cache_config config{64, 2, 16};
+    EXPECT_DOUBLE_EQ(model.total_energy_pj(config, 0, 0), 0.0);
+    EXPECT_GE(model.amat_ns(config, 0, 0), 0.0);
+}
+
+TEST(EnergyModel, TheTuningTradeoffIsRepresentable) {
+    // The paper's motivation: "A cache system which is too large will
+    // unnecessarily consume power ... while a cache system too small will
+    // thrash."  Under this model a small cache with many misses and a huge
+    // cache with none can both lose to a mid-size cache — check that the
+    // energy ranking is not degenerate in either direction.
+    const std::uint64_t accesses = 1'000'000;
+    // Tiny cache, thrashes: 30% misses.
+    const double tiny =
+        model.total_energy_pj({16, 1, 8}, accesses, accesses * 3 / 10);
+    // Mid cache, effective: 2% misses.
+    const double mid =
+        model.total_energy_pj({256, 2, 16}, accesses, accesses / 50);
+    // Huge cache, same 2% misses: bigger probes + leakage, no benefit.
+    const double huge =
+        model.total_energy_pj({16384, 16, 64}, accesses, accesses / 50);
+    EXPECT_LT(mid, tiny);
+    EXPECT_LT(mid, huge);
+}
+
+TEST(EnergyModel, CustomParametersAreHonoured) {
+    explore::energy_parameters energy;
+    energy.miss_base_pj = 0.0;
+    energy.miss_byte_pj = 0.0;
+    explore::latency_parameters latency;
+    latency.miss_penalty_ns = 100.0;
+    const energy_model custom{energy, latency};
+    EXPECT_DOUBLE_EQ(custom.miss_energy_pj({64, 2, 16}), 0.0);
+    EXPECT_DOUBLE_EQ(custom.amat_ns({64, 2, 16}, 10, 10) -
+                         custom.hit_latency_ns({64, 2, 16}),
+                     100.0);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+// End-to-end design-space exploration: one DEW pass per (B, A) pair must
+// cover the whole space with exact counts, and the ranking/Pareto helpers
+// must be consistent with the raw results.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/dinero_sim.hpp"
+#include "explore/explorer.hpp"
+#include "explore/report.hpp"
+#include "trace/mediabench.hpp"
+
+#include <sstream>
+
+namespace {
+
+using namespace dew;
+using namespace dew::explore;
+
+// A small space keeps the oracle cross-check fast: 5 set sizes x 2 block
+// sizes x 3 associativities = 30 configurations in 4 DEW passes.
+config_space small_space() {
+    config_space space;
+    space.min_set_exp = 0;
+    space.max_set_exp = 4;
+    space.min_block_exp = 2;
+    space.max_block_exp = 3;
+    space.min_assoc_exp = 0;
+    space.max_assoc_exp = 2;
+    return space;
+}
+
+trace::mem_trace workload() {
+    return trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 15000);
+}
+
+TEST(Explorer, CoversEveryConfigurationExactlyOnce) {
+    explorer_options options;
+    options.space = small_space();
+    const exploration_result result = dew::explore::explore(workload(), options);
+    EXPECT_EQ(result.configs.size(), small_space().count());
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+    for (const explored_config& entry : result.configs) {
+        seen.insert({entry.config.set_count, entry.config.associativity,
+                     entry.config.block_size});
+    }
+    EXPECT_EQ(seen.size(), result.configs.size());
+    EXPECT_EQ(result.dew_passes, 4u); // 2 blocks x 2 non-unit assocs
+}
+
+TEST(Explorer, MissCountsMatchPerConfigOracle) {
+    const trace::mem_trace trace = workload();
+    explorer_options options;
+    options.space = small_space();
+    const exploration_result result = dew::explore::explore(trace, options);
+    for (const explored_config& entry : result.configs) {
+        EXPECT_EQ(entry.misses,
+                  baseline::count_misses(trace, entry.config,
+                                         cache::replacement_policy::fifo))
+            << cache::to_string(entry.config);
+    }
+}
+
+TEST(Explorer, PaperSpaceCountsAndPassStructure) {
+    // The full 525-configuration space on a short trace: structure only.
+    const exploration_result result =
+        dew::explore::explore(trace::make_mediabench_trace(trace::mediabench_app::djpeg,
+                                             4000));
+    EXPECT_EQ(result.configs.size(), 525u);
+    EXPECT_EQ(result.dew_passes, 28u);
+}
+
+TEST(Explorer, BestSelectorsAgreeWithExhaustiveScan) {
+    explorer_options options;
+    options.space = small_space();
+    const exploration_result result = dew::explore::explore(workload(), options);
+
+    const explored_config& best_energy = result.best_energy();
+    const explored_config& best_amat = result.best_amat();
+    for (const explored_config& entry : result.configs) {
+        EXPECT_GE(entry.energy_pj, best_energy.energy_pj);
+        EXPECT_GE(entry.amat_ns, best_amat.amat_ns);
+    }
+}
+
+TEST(Explorer, ParetoFrontierIsMinimalAndDominating) {
+    explorer_options options;
+    options.space = small_space();
+    const exploration_result result = dew::explore::explore(workload(), options);
+    const auto frontier = result.pareto_energy_amat();
+    ASSERT_FALSE(frontier.empty());
+
+    // Frontier is sorted by energy with strictly improving AMAT.
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GE(frontier[i].energy_pj, frontier[i - 1].energy_pj);
+        EXPECT_LT(frontier[i].amat_ns, frontier[i - 1].amat_ns);
+    }
+    // No config strictly dominates a frontier member.
+    for (const explored_config& member : frontier) {
+        for (const explored_config& entry : result.configs) {
+            EXPECT_FALSE(entry.energy_pj < member.energy_pj &&
+                         entry.amat_ns < member.amat_ns)
+                << cache::to_string(entry.config) << " dominates "
+                << cache::to_string(member.config);
+        }
+    }
+}
+
+TEST(Explorer, CapacityFilterDropsOversizedConfigs) {
+    explorer_options options;
+    options.space = small_space();
+    options.max_capacity_bytes = 256;
+    const exploration_result result = dew::explore::explore(workload(), options);
+    EXPECT_LT(result.configs.size(), small_space().count());
+    for (const explored_config& entry : result.configs) {
+        EXPECT_LE(entry.config.total_bytes(), 256u);
+    }
+}
+
+TEST(Explorer, MissRatesAreConsistent) {
+    explorer_options options;
+    options.space = small_space();
+    const exploration_result result = dew::explore::explore(workload(), options);
+    for (const explored_config& entry : result.configs) {
+        EXPECT_DOUBLE_EQ(entry.miss_rate,
+                         static_cast<double>(entry.misses) /
+                             static_cast<double>(result.requests));
+        EXPECT_LE(entry.miss_rate, 1.0);
+    }
+}
+
+TEST(ExplorerReport, SummaryAndCsvRender) {
+    explorer_options options;
+    options.space = small_space();
+    const exploration_result result = dew::explore::explore(workload(), options);
+
+    std::ostringstream summary;
+    write_summary(summary, result);
+    EXPECT_NE(summary.str().find("passes"), std::string::npos);
+
+    std::ostringstream csv;
+    write_csv(csv, result);
+    // Header + one line per configuration.
+    std::size_t lines = 0;
+    for (const char c : csv.str()) {
+        lines += c == '\n';
+    }
+    EXPECT_EQ(lines, result.configs.size() + 1);
+
+    std::ostringstream top;
+    write_top_by_energy(top, result, 5);
+    EXPECT_FALSE(top.str().empty());
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+// The bench harness itself: table rendering, workload scaling, paper
+// reference data, and the cell runner the Table 3 / Figure 5 / Figure 6
+// binaries are built on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "bench_support/apps.hpp"
+#include "bench_support/runners.hpp"
+#include "bench_support/scale.hpp"
+#include "bench_support/table.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::bench;
+
+TEST(TextTable, AlignsColumnsAndSeparatesHeader) {
+    text_table table{{"Name", "Value"}};
+    table.add_row({"alpha", "1"});
+    table.add_row({"much_longer_name", "23456"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("Name"), std::string::npos);
+    EXPECT_NE(text.find("-----"), std::string::npos);
+    EXPECT_NE(text.find("much_longer_name"), std::string::npos);
+    // Every line has equal width (alignment contract).
+    std::istringstream lines{text};
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(lines, line)) {
+        if (width == 0) {
+            width = line.size();
+        }
+        EXPECT_EQ(line.size(), width) << "misaligned: '" << line << "'";
+    }
+}
+
+TEST(TextTable, RowArityIsChecked) {
+    text_table table{{"A", "B"}};
+    EXPECT_ANY_THROW(table.add_row({"only one"}));
+}
+
+TEST(Scale, DefaultDivisorAndFloor) {
+    // Guard the environment so a DEW_BENCH_SCALE leak from the caller's
+    // shell cannot flake this test.
+    ::unsetenv("DEW_BENCH_SCALE");
+    EXPECT_DOUBLE_EQ(scale_divisor(), default_scale_divisor);
+    // The JPEG decode trace (7.6M) divided by the default divisor falls
+    // below the floor and must clamp to it.
+    EXPECT_EQ(scaled_request_count(trace::mediabench_app::djpeg),
+              min_scaled_requests);
+    // MPEG-2 encode (3.7B) stays above the floor.
+    EXPECT_GT(scaled_request_count(trace::mediabench_app::mpeg2_enc),
+              min_scaled_requests);
+}
+
+TEST(Scale, EnvironmentOverride) {
+    ::setenv("DEW_BENCH_SCALE", "100", 1);
+    EXPECT_DOUBLE_EQ(scale_divisor(), 100.0);
+    EXPECT_EQ(scaled_request_count(trace::mediabench_app::mpeg2_enc),
+              3'738'851'450u / 100);
+    ::setenv("DEW_BENCH_SCALE", "not-a-number", 1);
+    EXPECT_DOUBLE_EQ(scale_divisor(), default_scale_divisor);
+    ::setenv("DEW_BENCH_SCALE", "0.5", 1); // < 1 would upscale: rejected
+    EXPECT_DOUBLE_EQ(scale_divisor(), default_scale_divisor);
+    ::unsetenv("DEW_BENCH_SCALE");
+}
+
+TEST(PaperData, Table3CoversTheReportedGrid) {
+    for (const auto app : trace::all_mediabench_apps) {
+        for (const std::uint32_t block : {4u, 16u, 64u}) {
+            for (const std::uint32_t assoc : {4u, 8u, 16u}) {
+                const auto cell = paper_table3(app, block, assoc);
+                ASSERT_TRUE(cell.has_value());
+                EXPECT_GT(cell->dew_seconds, 0.0);
+                EXPECT_GT(cell->dinero_seconds, cell->dew_seconds);
+                EXPECT_GT(cell->dinero_comparisons_m,
+                          cell->dew_comparisons_m);
+            }
+        }
+    }
+    EXPECT_FALSE(paper_table3(trace::mediabench_app::cjpeg, 8, 4));
+    EXPECT_FALSE(paper_table3(trace::mediabench_app::cjpeg, 4, 2));
+}
+
+TEST(PaperData, Table3HeadlineClaimsHold) {
+    // "DEW operates around 8 to 40 times faster than Dinero IV" and
+    // "Dinero IV compares 2.17 to 19.42 times more cache ways than DEW".
+    double min_speedup = 1e300;
+    double max_speedup = 0.0;
+    double min_cmp = 1e300;
+    double max_cmp = 0.0;
+    for (const auto app : trace::all_mediabench_apps) {
+        for (const std::uint32_t block : {4u, 16u, 64u}) {
+            for (const std::uint32_t assoc : {4u, 8u, 16u}) {
+                const auto cell = *paper_table3(app, block, assoc);
+                min_speedup = std::min(min_speedup, cell.speedup());
+                max_speedup = std::max(max_speedup, cell.speedup());
+                const double ratio =
+                    cell.dinero_comparisons_m / cell.dew_comparisons_m;
+                min_cmp = std::min(min_cmp, ratio);
+                max_cmp = std::max(max_cmp, ratio);
+            }
+        }
+    }
+    EXPECT_NEAR(min_cmp, 2.17, 0.02);
+    EXPECT_NEAR(max_cmp, 19.42, 0.05);
+    EXPECT_GT(min_speedup, 8.0);
+    EXPECT_LT(max_speedup, 41.0);
+}
+
+TEST(PaperData, Table4RowsAreInternallyConsistent) {
+    for (const auto app : trace::all_mediabench_apps) {
+        const table4_reference row = paper_table4(app);
+        // Unoptimized = 30 evaluations/request; DEW several times lower.
+        EXPECT_GT(row.unoptimized_evaluations_m, row.dew_evaluations_m * 3);
+        // The paper's per-run partition holds to ~1%:
+        // evaluations ~= MRA + searches + wave + MRE (associativity 4).
+        const double partition = row.mra_m + row.assoc4.searches_m +
+                                 row.assoc4.wave_m + row.assoc4.mre_m;
+        EXPECT_NEAR(partition / row.dew_evaluations_m, 1.0, 0.02)
+            << trace::short_name(app);
+        // Wave avoidance beats MRE avoidance everywhere in Table 4.
+        EXPECT_GT(row.assoc4.wave_m, row.assoc4.mre_m);
+        EXPECT_GT(row.assoc8.wave_m, row.assoc8.mre_m);
+    }
+}
+
+TEST(RunCell, VerifiesDewAgainstBaselineAndMeasures) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::djpeg, 8000);
+    cell_options options;
+    options.max_level = 6; // keep the 14-level default out of a unit test
+    const cell_measurement cell =
+        run_cell(trace, trace::mediabench_app::djpeg, 16, 4, options);
+    EXPECT_TRUE(cell.verified);
+    EXPECT_EQ(cell.requests, trace.size());
+    EXPECT_GT(cell.dew_comparisons, 0u);
+    EXPECT_GT(cell.baseline_comparisons, cell.dew_comparisons);
+    EXPECT_GT(cell.dew_seconds, 0.0);
+    EXPECT_GT(cell.baseline_seconds, 0.0);
+    EXPECT_EQ(cell.dew_counters_snapshot.requests, trace.size());
+}
+
+TEST(RunCell, BaselineCanBeSkipped) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::djpeg, 4000);
+    cell_options options;
+    options.max_level = 6;
+    options.run_baseline = false;
+    const cell_measurement cell =
+        run_cell(trace, trace::mediabench_app::djpeg, 16, 4, options);
+    EXPECT_FALSE(cell.verified);
+    EXPECT_EQ(cell.baseline_comparisons, 0u);
+    EXPECT_GT(cell.dew_comparisons, 0u);
+}
+
+} // namespace

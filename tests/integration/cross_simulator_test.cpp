@@ -1,0 +1,141 @@
+// Cross-simulator agreement: the library contains several independent
+// implementations of overlapping quantities.  Where their domains
+// intersect, they must agree bit-for-bit — that mutual corroboration is
+// the strongest correctness evidence the suite has.
+//
+//   quantity                      computed by
+//   -------------------------     ----------------------------------------
+//   direct-mapped misses          forest_sim, DEW piggyback, dinero (FIFO),
+//                                 dinero (LRU), janapsatya(assoc >= 1),
+//                                 stack_sim(assoc = 1)
+//   FIFO (S, A, B) misses         DEW, dinero_sim(FIFO), bank
+//   LRU  (S, A, B) misses         janapsatya, stack_sim, dinero_sim(LRU)
+#include <gtest/gtest.h>
+
+#include "baseline/bank.hpp"
+#include "baseline/dinero_sim.hpp"
+#include "dew/result.hpp"
+#include "dew/simulator.hpp"
+#include "lru/forest_sim.hpp"
+#include "lru/janapsatya_sim.hpp"
+#include "lru/stack_sim.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using trace::mem_trace;
+
+constexpr unsigned max_level = 8;
+constexpr std::uint32_t block_size = 16;
+
+class CrossSimulator
+    : public ::testing::TestWithParam<trace::mediabench_app> {
+protected:
+    [[nodiscard]] mem_trace workload() const {
+        return trace::make_mediabench_trace(GetParam(), 15000);
+    }
+};
+
+TEST_P(CrossSimulator, SixImplementationsAgreeOnDirectMappedMisses) {
+    const mem_trace trace = workload();
+
+    lru::forest_sim forest{max_level, block_size};
+    forest.simulate(trace);
+
+    core::dew_simulator dew_sim{max_level, 4, block_size};
+    dew_sim.simulate(trace);
+    const core::dew_result dew_result = dew_sim.result();
+
+    lru::janapsatya_sim janapsatya{max_level, 4, block_size};
+    janapsatya.simulate(trace);
+
+    for (unsigned level = 0; level <= max_level; ++level) {
+        const auto sets = std::uint32_t{1} << level;
+        const cache::cache_config config{sets, 1, block_size};
+
+        const std::uint64_t reference = forest.misses(level);
+        EXPECT_EQ(dew_result.misses(level, 1), reference) << sets;
+        EXPECT_EQ(janapsatya.misses(level, 1), reference) << sets;
+        EXPECT_EQ(baseline::count_misses(trace, config,
+                                         cache::replacement_policy::fifo),
+                  reference)
+            << sets;
+        EXPECT_EQ(baseline::count_misses(trace, config,
+                                         cache::replacement_policy::lru),
+                  reference)
+            << sets;
+
+        lru::stack_sim stack{sets, block_size, 4};
+        stack.simulate(trace);
+        EXPECT_EQ(stack.misses(1), reference) << sets;
+    }
+}
+
+TEST_P(CrossSimulator, FifoTrioAgrees) {
+    const mem_trace trace = workload();
+    core::dew_simulator dew_sim{max_level, 8, block_size};
+    dew_sim.simulate(trace);
+    const core::dew_result dew_result = dew_sim.result();
+
+    const auto configs =
+        baseline::level_sweep_configs(max_level, 8, block_size);
+    const baseline::bank_result bank = baseline::run_bank(trace, configs);
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(dew_result.misses_of(configs[i]), bank.stats[i].misses)
+            << cache::to_string(configs[i]);
+        EXPECT_EQ(bank.stats[i].misses,
+                  baseline::count_misses(trace, configs[i],
+                                         cache::replacement_policy::fifo))
+            << cache::to_string(configs[i]);
+    }
+}
+
+TEST_P(CrossSimulator, LruTrioAgrees) {
+    const mem_trace trace = workload();
+    lru::janapsatya_sim janapsatya{6, 8, block_size};
+    janapsatya.simulate(trace);
+    for (unsigned level = 0; level <= 6; ++level) {
+        const auto sets = std::uint32_t{1} << level;
+        lru::stack_sim stack{sets, block_size, 8};
+        stack.simulate(trace);
+        for (const std::uint32_t assoc : {2u, 4u, 8u}) {
+            const std::uint64_t a = janapsatya.misses(level, assoc);
+            const std::uint64_t b = stack.misses(assoc);
+            const std::uint64_t c = baseline::count_misses(
+                trace, {sets, assoc, block_size},
+                cache::replacement_policy::lru);
+            EXPECT_EQ(a, b) << sets << ":" << assoc;
+            EXPECT_EQ(b, c) << sets << ":" << assoc;
+        }
+    }
+}
+
+TEST_P(CrossSimulator, FifoAndLruDivergeSomewhereButAgreeDirectMapped) {
+    // The two policies must differ on at least one multi-way configuration
+    // of a realistic workload (otherwise the FIFO-specific machinery would
+    // be pointless), while all direct-mapped counts coincide (no
+    // replacement decision exists at associativity 1).
+    const mem_trace trace = workload();
+    bool any_difference = false;
+    for (unsigned level = 0; level <= 6; ++level) {
+        const auto sets = std::uint32_t{1} << level;
+        for (const std::uint32_t assoc : {2u, 4u}) {
+            const cache::cache_config config{sets, assoc, block_size};
+            const std::uint64_t fifo = baseline::count_misses(
+                trace, config, cache::replacement_policy::fifo);
+            const std::uint64_t lru = baseline::count_misses(
+                trace, config, cache::replacement_policy::lru);
+            any_difference |= fifo != lru;
+        }
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, CrossSimulator,
+    ::testing::ValuesIn(trace::all_mediabench_apps),
+    [](const auto& info) { return trace::short_name(info.param); });
+
+} // namespace

@@ -1,0 +1,141 @@
+// End-to-end pipeline: synthesise a workload, round-trip it through every
+// trace file format, simulate with DEW, and verify the per-configuration
+// counts against the brute-force bank — the full path a user of the library
+// walks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "baseline/bank.hpp"
+#include "dew/result.hpp"
+#include "dew/simulator.hpp"
+#include "explore/explorer.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/compressed_io.hpp"
+#include "trace/mediabench.hpp"
+#include "trace/stats.hpp"
+#include "trace/text_io.hpp"
+
+namespace {
+
+using namespace dew;
+using trace::mem_trace;
+
+class EndToEnd : public ::testing::Test {
+protected:
+    void SetUp() override {
+        directory_ = std::filesystem::temp_directory_path() /
+                     "dew_end_to_end_test";
+        std::filesystem::create_directories(directory_);
+    }
+    void TearDown() override {
+        std::error_code ignored;
+        std::filesystem::remove_all(directory_, ignored);
+    }
+
+    [[nodiscard]] std::string path(const char* name) const {
+        return (directory_ / name).string();
+    }
+
+    std::filesystem::path directory_;
+};
+
+TEST_F(EndToEnd, GenerateWriteReadSimulateVerify) {
+    const mem_trace original =
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 20000);
+
+    // Round-trip through all four formats; all must reproduce the trace.
+    trace::write_din_file(path("t.din"), original);
+    trace::write_hex_file(path("t.hex"), original);
+    trace::write_binary_file(path("t.dewt"), original);
+    trace::write_compressed_file(path("t.dewc"), original);
+
+    const mem_trace from_din = trace::read_din_file(path("t.din"));
+    const mem_trace from_binary = trace::read_binary_file(path("t.dewt"));
+    const mem_trace from_compressed =
+        trace::read_compressed_file(path("t.dewc"));
+    EXPECT_EQ(from_din, original);
+    EXPECT_EQ(from_binary, original);
+    EXPECT_EQ(from_compressed, original);
+
+    // hex drops the access type but must preserve every address.
+    const mem_trace from_hex = trace::read_hex_file(path("t.hex"));
+    ASSERT_EQ(from_hex.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        ASSERT_EQ(from_hex[i].address, original[i].address);
+    }
+
+    // Simulate the decoded trace and verify against the bank.
+    core::dew_simulator sim{6, 4, 16};
+    sim.simulate(from_binary);
+    const core::dew_result result = sim.result();
+
+    const auto configs = baseline::level_sweep_configs(6, 4, 16);
+    const baseline::bank_result bank = baseline::run_bank(original, configs);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(result.misses_of(configs[i]), bank.stats[i].misses)
+            << cache::to_string(configs[i]);
+    }
+}
+
+TEST_F(EndToEnd, CompressedFormatIsSmallerOnRealWorkloads) {
+    const mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::g721_enc, 30000);
+    trace::write_binary_file(path("t.dewt"), trace);
+    trace::write_compressed_file(path("t.dewc"), trace);
+    const auto raw = std::filesystem::file_size(path("t.dewt"));
+    const auto packed = std::filesystem::file_size(path("t.dewc"));
+    EXPECT_LT(packed, raw / 2)
+        << "delta compression should at least halve a local-heavy trace";
+}
+
+TEST_F(EndToEnd, ExplorationOverDecodedTrace) {
+    const mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::djpeg, 10000);
+    trace::write_compressed_file(path("t.dewc"), trace);
+    const mem_trace decoded = trace::read_compressed_file(path("t.dewc"));
+
+    explore::explorer_options options;
+    options.space.min_set_exp = 0;
+    options.space.max_set_exp = 6;
+    options.space.min_block_exp = 2;
+    options.space.max_block_exp = 4;
+    options.space.min_assoc_exp = 0;
+    options.space.max_assoc_exp = 1;
+    const auto result = explore::explore(decoded, options);
+    EXPECT_EQ(result.configs.size(), options.space.count());
+    EXPECT_EQ(result.requests, trace.size());
+
+    // Larger caches never miss more at equal (A, B): sanity over the sweep.
+    for (const auto& entry : result.configs) {
+        for (const auto& other : result.configs) {
+            if (entry.config.block_size == other.config.block_size &&
+                entry.config.associativity == other.config.associativity &&
+                entry.config.set_count < other.config.set_count &&
+                entry.config.associativity == 1) {
+                // Direct-mapped caches of growing set count are inclusive
+                // (policy-free), so misses are monotone.
+                EXPECT_GE(entry.misses, other.misses);
+            }
+        }
+    }
+}
+
+TEST_F(EndToEnd, StatsSurviveTheRoundTrip) {
+    const mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::mpeg2_dec, 15000);
+    trace::write_binary_file(path("t.dewt"), trace);
+    const mem_trace decoded = trace::read_binary_file(path("t.dewt"));
+    const auto a = trace::compute_stats(trace, 16);
+    const auto b = trace::compute_stats(decoded, 16);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.unique_blocks, b.unique_blocks);
+    EXPECT_EQ(a.same_block_pairs, b.same_block_pairs);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.ifetches, b.ifetches);
+}
+
+} // namespace

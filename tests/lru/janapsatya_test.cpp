@@ -1,0 +1,163 @@
+// Janapsatya-style single-pass multi-configuration LRU simulation with the
+// CRCB enhancements — the comparator methods of references [13] and [20].
+// Exactness is checked against the Mattson stack oracle and against
+// per-configuration LRU simulation; the pruning options must change the
+// work, never the counts.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baseline/dinero_sim.hpp"
+#include "lru/janapsatya_sim.hpp"
+#include "lru/stack_sim.hpp"
+#include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using lru::janapsatya_options;
+using lru::janapsatya_sim;
+using trace::mem_trace;
+
+mem_trace workload() {
+    return trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 20000);
+}
+
+TEST(Janapsatya, MatchesStackOracleAtEveryLevelAndAssociativity) {
+    const mem_trace trace = workload();
+    janapsatya_sim sim{8, 8, 16};
+    sim.simulate(trace);
+    for (unsigned level = 0; level <= 8; ++level) {
+        lru::stack_sim oracle{std::uint32_t{1} << level, 16};
+        oracle.simulate(trace);
+        for (std::uint32_t assoc = 1; assoc <= 8; ++assoc) {
+            EXPECT_EQ(sim.misses(level, assoc), oracle.misses(assoc))
+                << "level " << level << " assoc " << assoc;
+        }
+    }
+}
+
+TEST(Janapsatya, MatchesPerConfigLruIncludingNonPowerOfTwoAssoc) {
+    const mem_trace trace =
+        trace::make_random_trace(0, 1 << 12, 15000, 0xBEEF, 4);
+    janapsatya_sim sim{6, 6, 8};
+    sim.simulate(trace);
+    for (unsigned level = 0; level <= 6; ++level) {
+        for (const std::uint32_t assoc : {1u, 2u, 3u, 5u, 6u}) {
+            EXPECT_EQ(sim.misses(level, assoc),
+                      baseline::count_misses(trace,
+                                             {std::uint32_t{1} << level,
+                                              assoc, 8},
+                                             cache::replacement_policy::lru))
+                << "level " << level << " assoc " << assoc;
+        }
+    }
+}
+
+// All four CRCB/depth-bound option combinations produce identical counts.
+class JanapsatyaOptions
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(JanapsatyaOptions, PruningNeverChangesCounts) {
+    const auto [depth_bound, crcb1, crcb2] = GetParam();
+    const mem_trace trace = workload();
+
+    janapsatya_sim reference{6, 4, 16};
+    reference.simulate(trace);
+
+    janapsatya_sim variant{6, 4, 16,
+                           janapsatya_options{depth_bound, crcb1, crcb2}};
+    variant.simulate(trace);
+
+    for (unsigned level = 0; level <= 6; ++level) {
+        for (std::uint32_t assoc = 1; assoc <= 4; ++assoc) {
+            EXPECT_EQ(variant.misses(level, assoc),
+                      reference.misses(level, assoc))
+                << "level " << level << " assoc " << assoc;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, JanapsatyaOptions,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(Janapsatya, DepthBoundCutsComparisons) {
+    // The inclusion property: a child search never needs to look deeper
+    // than the parent's hit depth + 1.
+    const mem_trace trace = workload();
+    janapsatya_sim bounded{8, 8, 16};
+    janapsatya_sim unbounded{8, 8, 16, janapsatya_options{false, false,
+                                                          false}};
+    bounded.simulate(trace);
+    unbounded.simulate(trace);
+    EXPECT_LT(bounded.counters().tag_comparisons,
+              unbounded.counters().tag_comparisons);
+}
+
+TEST(Janapsatya, Crcb1SkipsConsecutiveSameBlockRequests) {
+    // Ten requests to one block: nine are CRCB1 skips, no walk performed.
+    janapsatya_sim sim{6, 4, 4, janapsatya_options{true, true, false}};
+    for (int i = 0; i < 10; ++i) {
+        sim.access(0x100);
+    }
+    EXPECT_EQ(sim.counters().crcb1_skips, 9u);
+    EXPECT_EQ(sim.counters().node_evaluations, 7u); // one full walk
+    EXPECT_EQ(sim.misses(3, 2), 1u);                // the cold miss only
+}
+
+TEST(Janapsatya, Crcb2SkipsSmallestCacheMruHits) {
+    // Alternating blocks never trigger CRCB1; after warmup the *previous*
+    // block is the root MRU only if re-requested immediately, so use an
+    // A-B-A-B pattern with CRCB2 only: B follows A, root MRU is... A-B
+    // alternation makes each request's block the root's depth-1 entry, not
+    // MRU.  A A B pattern: the second A is caught by CRCB2 when CRCB1 is
+    // off.
+    janapsatya_sim sim{6, 4, 4, janapsatya_options{true, false, true}};
+    for (int i = 0; i < 10; ++i) {
+        sim.access(0x100);
+        sim.access(0x100);
+        sim.access(0x200);
+    }
+    EXPECT_EQ(sim.counters().crcb2_skips, 10u); // every doubled A
+}
+
+TEST(Janapsatya, LruDiffersFromFifoOnRefreshedBlocks) {
+    // Sanity that this simulator really models LRU: a block refreshed by a
+    // hit must survive under LRU where FIFO evicts it.  Pattern in one
+    // 2-way set: A B A C A -> LRU: C evicts B, final A hits (2 misses for
+    // A,B, 1 for C, A's hits at distances 1,1,1).  FIFO: C evicts A.
+    mem_trace trace;
+    for (const std::uint64_t block : {0x0ull, 0x10ull, 0x0ull, 0x20ull,
+                                      0x0ull}) {
+        trace.push_back({block, trace::access_type::read});
+    }
+    janapsatya_sim sim{0, 2, 16};
+    sim.simulate(trace);
+    EXPECT_EQ(sim.misses(0, 2), 3u); // A, B, C cold; both A re-refs hit
+
+    EXPECT_EQ(baseline::count_misses(trace, {1, 2, 16},
+                                     cache::replacement_policy::fifo),
+              4u); // FIFO also misses the final A
+}
+
+TEST(Janapsatya, CountersAccumulate) {
+    const mem_trace trace = workload();
+    // Without the inclusion stop every request walks all 7 levels.
+    janapsatya_sim plain{6, 4, 16, janapsatya_options{false, false, false}};
+    plain.simulate(trace);
+    EXPECT_EQ(plain.counters().requests, trace.size());
+    EXPECT_EQ(plain.counters().node_evaluations, trace.size() * 7);
+    EXPECT_GT(plain.counters().tag_comparisons, 0u);
+    // The default (inclusion stop on) must evaluate strictly fewer nodes
+    // on a locality-rich workload and record the stops it took.
+    janapsatya_sim stopping{6, 4, 16};
+    stopping.simulate(trace);
+    EXPECT_LT(stopping.counters().node_evaluations,
+              plain.counters().node_evaluations);
+    EXPECT_GT(stopping.counters().depth0_stops, 0u);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+// Mattson/Gecsei stack simulation: one pass, exact misses for every
+// associativity at once.  Validated against per-configuration LRU
+// simulation and against hand-computed stack distances.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "baseline/dinero_sim.hpp"
+#include "common/contracts.hpp"
+#include "lru/stack_sim.hpp"
+#include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using lru::stack_sim;
+using trace::mem_trace;
+
+TEST(StackSim, HandComputedDistances) {
+    // Trace of blocks: a b c a  (block size 4, one set)
+    stack_sim sim{1, 4};
+    sim.access(0x00); // a: cold
+    sim.access(0x04); // b: cold
+    sim.access(0x08); // c: cold
+    sim.access(0x00); // a: distance 2 (b, c above it)
+    EXPECT_EQ(sim.cold(), 3u);
+    EXPECT_EQ(sim.histogram()[2], 1u);
+    // Assoc 1: all 4 miss.  Assoc 2: a's re-reference still misses.
+    // Assoc 3: a's re-reference hits.
+    EXPECT_EQ(sim.misses(1), 4u);
+    EXPECT_EQ(sim.misses(2), 4u);
+    EXPECT_EQ(sim.misses(3), 3u);
+}
+
+TEST(StackSim, MruRereferenceIsDistanceZero) {
+    stack_sim sim{1, 4};
+    sim.access(0x10);
+    sim.access(0x10);
+    sim.access(0x10);
+    EXPECT_EQ(sim.histogram()[0], 2u);
+    EXPECT_EQ(sim.misses(1), 1u);
+}
+
+TEST(StackSim, MissesAreMonotoneInAssociativity) {
+    const mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 20000);
+    stack_sim sim{16, 16};
+    sim.simulate(trace);
+    for (std::uint32_t a = 2; a <= 64; ++a) {
+        EXPECT_LE(sim.misses(a), sim.misses(a - 1)) << "assoc " << a;
+    }
+}
+
+// One stack pass equals a dedicated LRU simulation for every associativity:
+// the all-associativity property the related work builds on.
+class StackSimOracle
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(StackSimOracle, MatchesPerConfigLru) {
+    const auto [set_count, assoc] = GetParam();
+    const mem_trace trace =
+        trace::make_random_trace(0, 1 << 14, 20000, 0xABCD, 4);
+
+    stack_sim sim{set_count, 16};
+    sim.simulate(trace);
+
+    const std::uint64_t expected = baseline::count_misses(
+        trace, {set_count, assoc, 16}, cache::replacement_policy::lru);
+    EXPECT_EQ(sim.misses(assoc), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StackSimOracle,
+    ::testing::Combine(::testing::Values(1u, 4u, 32u, 256u),
+                       ::testing::Values(1u, 2u, 3u, 4u, 8u)),
+    [](const auto& info) {
+        const std::string sets = std::to_string(std::get<0>(info.param));
+        const std::string assoc = std::to_string(std::get<1>(info.param));
+        return "s" + sets + "_a" + assoc;
+    });
+
+TEST(StackSim, OverflowBucketCountsDeepRereferences) {
+    // Track only 2 distances; a re-reference at distance 2 overflows.
+    stack_sim sim{1, 4, 2};
+    sim.access(0x00);
+    sim.access(0x04);
+    sim.access(0x08);
+    sim.access(0x00); // distance 2 >= max_tracked
+    EXPECT_EQ(sim.overflow(), 1u);
+    EXPECT_EQ(sim.misses(2), 4u);
+}
+
+TEST(StackSim, AssociativityAboveTrackedIsRejected) {
+    stack_sim sim{1, 4, 8};
+    EXPECT_THROW((void)sim.misses(9), contract_violation);
+    EXPECT_THROW((void)sim.misses(0), contract_violation);
+}
+
+TEST(StackSim, HistogramPlusColdPlusOverflowCoversAllAccesses) {
+    const mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::mpeg2_dec, 15000);
+    stack_sim sim{8, 8, 16};
+    sim.simulate(trace);
+    std::uint64_t total = sim.cold() + sim.overflow();
+    for (const std::uint64_t count : sim.histogram()) {
+        total += count;
+    }
+    EXPECT_EQ(total, sim.accesses());
+    EXPECT_EQ(sim.accesses(), trace.size());
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+#include "trace/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace dew::trace;
+
+mem_trace sample_trace() {
+    mem_trace trace;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        trace.push_back({0x1000 + i * 4,
+                         static_cast<access_type>(i % 3)});
+    }
+    trace.push_back({~std::uint64_t{0} >> 1, access_type::write});
+    return trace;
+}
+
+TEST(BinaryFormat, RoundTrips) {
+    std::stringstream stream;
+    write_binary(stream, sample_trace());
+    EXPECT_EQ(read_binary(stream), sample_trace());
+}
+
+TEST(BinaryFormat, RoundTripsEmptyTrace) {
+    std::stringstream stream;
+    write_binary(stream, {});
+    EXPECT_TRUE(read_binary(stream).empty());
+}
+
+TEST(BinaryFormat, RejectsBadMagic) {
+    std::stringstream stream{"NOPE-this-is-not-a-trace"};
+    EXPECT_THROW((void)read_binary(stream), format_error);
+}
+
+TEST(BinaryFormat, RejectsTruncatedHeader) {
+    std::stringstream full;
+    write_binary(full, sample_trace());
+    const std::string bytes = full.str();
+    std::stringstream truncated{bytes.substr(0, 10)};
+    EXPECT_THROW((void)read_binary(truncated), format_error);
+}
+
+TEST(BinaryFormat, RejectsTruncatedRecords) {
+    std::stringstream full;
+    write_binary(full, sample_trace());
+    const std::string bytes = full.str();
+    std::stringstream truncated{bytes.substr(0, bytes.size() - 3)};
+    EXPECT_THROW((void)read_binary(truncated), format_error);
+}
+
+TEST(BinaryFormat, RejectsInvalidTypeByte) {
+    std::stringstream stream;
+    write_binary(stream, {{0x1000, access_type::read}});
+    std::string bytes = stream.str();
+    bytes.back() = 9; // corrupt the type of the only record
+    std::stringstream corrupted{bytes};
+    EXPECT_THROW((void)read_binary(corrupted), format_error);
+}
+
+TEST(BinaryFormat, HeaderIsNineBytesPerRecordPlus16) {
+    std::stringstream stream;
+    const mem_trace trace = sample_trace();
+    write_binary(stream, trace);
+    EXPECT_EQ(stream.str().size(), 16 + 9 * trace.size());
+}
+
+TEST(BinaryFormat, FileRoundTrip) {
+    const std::string path = testing::TempDir() + "dew_binary_io_test.dewt";
+    write_binary_file(path, sample_trace());
+    EXPECT_EQ(read_binary_file(path), sample_trace());
+    std::remove(path.c_str());
+}
+
+} // namespace

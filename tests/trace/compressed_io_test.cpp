@@ -1,0 +1,88 @@
+#include "trace/compressed_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/binary_io.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace dew::trace;
+
+TEST(Zigzag, RoundTripsSignedValues) {
+    for (const std::int64_t value :
+         {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1}, std::int64_t{4},
+          std::int64_t{-4}, std::int64_t{1} << 40, -(std::int64_t{1} << 40)}) {
+        EXPECT_EQ(zigzag_decode(zigzag_encode(value)), value);
+    }
+}
+
+TEST(Zigzag, SmallMagnitudesStaySmall) {
+    EXPECT_EQ(zigzag_encode(0), 0u);
+    EXPECT_EQ(zigzag_encode(-1), 1u);
+    EXPECT_EQ(zigzag_encode(1), 2u);
+    EXPECT_EQ(zigzag_encode(-2), 3u);
+}
+
+TEST(CompressedFormat, RoundTripsMixedTrace) {
+    mem_trace trace;
+    std::uint64_t address = 0x40000000;
+    for (int i = 0; i < 5000; ++i) {
+        address += (i % 7 == 0) ? 0x100000 : 4; // occasional big jumps
+        trace.push_back({address, static_cast<access_type>(i % 3)});
+    }
+    std::stringstream stream;
+    write_compressed(stream, trace);
+    EXPECT_EQ(read_compressed(stream), trace);
+}
+
+TEST(CompressedFormat, RoundTripsBackwardStrides) {
+    mem_trace trace;
+    for (int i = 100; i >= 0; --i) {
+        trace.push_back({0x1000 + std::uint64_t(i) * 8, access_type::read});
+    }
+    std::stringstream stream;
+    write_compressed(stream, trace);
+    EXPECT_EQ(read_compressed(stream), trace);
+}
+
+TEST(CompressedFormat, SequentialTraceNearOneBytePerRecord) {
+    const mem_trace trace = make_sequential_trace(0x1000, 100000, 4);
+    const std::uint64_t payload = compressed_payload_bytes(trace);
+    // Stride-4 deltas encode in one byte each (zigzag(4)<<2 fits 7 bits).
+    EXPECT_LE(payload, trace.size() + 16);
+}
+
+TEST(CompressedFormat, CompressesSequentialTraceBelowRawFormat) {
+    const mem_trace trace = make_sequential_trace(0x1000, 50000, 4);
+    std::stringstream raw, packed;
+    write_binary(raw, trace);
+    write_compressed(packed, trace);
+    EXPECT_LT(packed.str().size() * 5, raw.str().size());
+}
+
+TEST(CompressedFormat, RejectsBadMagic) {
+    std::stringstream stream{"DEWT-but-wrong"};
+    EXPECT_THROW((void)read_compressed(stream), format_error);
+}
+
+TEST(CompressedFormat, RejectsTruncatedPayload) {
+    mem_trace trace = make_sequential_trace(0, 100, 64);
+    std::stringstream stream;
+    write_compressed(stream, trace);
+    const std::string bytes = stream.str();
+    std::stringstream truncated{bytes.substr(0, bytes.size() - 5)};
+    EXPECT_THROW((void)read_compressed(truncated), format_error);
+}
+
+TEST(CompressedFormat, FileRoundTrip) {
+    const mem_trace trace = make_sequential_trace(0x7fff0000, 1000, 16);
+    const std::string path = testing::TempDir() + "dew_compressed_test.dewc";
+    write_compressed_file(path, trace);
+    EXPECT_EQ(read_compressed_file(path), trace);
+    std::remove(path.c_str());
+}
+
+} // namespace

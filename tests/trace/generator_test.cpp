@@ -1,0 +1,268 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include <algorithm>
+#include <set>
+
+#include "common/contracts.hpp"
+
+namespace {
+
+using namespace dew::trace;
+
+workload_spec single_stream(stream_kind kind, std::uint64_t base,
+                            std::uint64_t size, std::uint32_t stride,
+                            std::uint32_t burst = 8) {
+    workload_spec spec{"test", {}};
+    spec.streams.push_back(
+        {kind, base, size, stride, burst, 0, 1, access_type::read});
+    return spec;
+}
+
+TEST(Generator, SequentialWalksAndWraps) {
+    workload_generator gen{single_stream(stream_kind::sequential, 100, 16, 4),
+                           1};
+    const mem_trace trace = gen.make(6);
+    ASSERT_EQ(trace.size(), 6u);
+    EXPECT_EQ(trace[0].address, 100u);
+    EXPECT_EQ(trace[1].address, 104u);
+    EXPECT_EQ(trace[2].address, 108u);
+    EXPECT_EQ(trace[3].address, 112u);
+    EXPECT_EQ(trace[4].address, 100u); // wrapped
+    EXPECT_EQ(trace[5].address, 104u);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+    const workload_spec spec =
+        single_stream(stream_kind::random_in, 0x1000, 4096, 4);
+    workload_generator a{spec, 42};
+    workload_generator b{spec, 42};
+    EXPECT_EQ(a.make(500), b.make(500));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+    const workload_spec spec =
+        single_stream(stream_kind::random_in, 0x1000, 65536, 4);
+    workload_generator a{spec, 1};
+    workload_generator b{spec, 2};
+    EXPECT_NE(a.make(200), b.make(200));
+}
+
+TEST(Generator, RandomInStaysWithinRegionAndAligned) {
+    workload_generator gen{single_stream(stream_kind::random_in, 0x800, 256, 8),
+                           7};
+    for (const mem_access& access : gen.make(1000)) {
+        EXPECT_GE(access.address, 0x800u);
+        EXPECT_LT(access.address, 0x800u + 256u);
+        EXPECT_EQ(access.address % 8, 0u);
+    }
+}
+
+TEST(Generator, BurstEmitsSequentialRuns) {
+    workload_generator gen{
+        single_stream(stream_kind::burst, 0, 1 << 20, 4, /*burst=*/16), 3};
+    const mem_trace trace = gen.make(160);
+    // Within each 16-access burst, consecutive addresses differ by stride.
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i % 16 != 0) {
+            EXPECT_EQ(trace[i].address, trace[i - 1].address + 4)
+                << "at index " << i;
+        }
+    }
+}
+
+TEST(Generator, ChaseVisitsEverySlotOncePerCycle) {
+    const std::uint64_t slots = 64;
+    workload_generator gen{
+        single_stream(stream_kind::chase, 0, slots * 16, 16), 11};
+    const mem_trace trace = gen.make(slots);
+    std::set<std::uint64_t> visited;
+    for (const mem_access& access : trace) {
+        visited.insert(access.address);
+    }
+    EXPECT_EQ(visited.size(), slots); // a permutation covers all slots
+}
+
+TEST(Generator, ChaseCycleRepeatsIdentically) {
+    const std::uint64_t slots = 32;
+    workload_generator gen{
+        single_stream(stream_kind::chase, 0, slots * 4, 4), 13};
+    const mem_trace first = gen.make(slots);
+    const mem_trace second = gen.make(slots);
+    EXPECT_EQ(first, second);
+}
+
+TEST(Generator, MixtureUsesAllStreams) {
+    workload_spec spec{"mix", {}};
+    spec.streams.push_back({stream_kind::sequential, 0x1000, 4096, 4, 0, 0, 1,
+                            access_type::read});
+    spec.streams.push_back({stream_kind::sequential, 0x2000, 4096, 4, 0, 0, 1,
+                            access_type::write});
+    workload_generator gen{spec, 5};
+    const mem_trace trace = gen.make(2000);
+    const auto reads = std::count_if(
+        trace.begin(), trace.end(),
+        [](const mem_access& a) { return a.type == access_type::read; });
+    // Equal weights: both streams must be represented substantially.
+    EXPECT_GT(reads, 600);
+    EXPECT_LT(reads, 1400);
+}
+
+TEST(Generator, WeightsBiasSelection) {
+    workload_spec spec{"biased", {}};
+    spec.streams.push_back({stream_kind::sequential, 0x1000, 4096, 4, 0, 0, 9,
+                            access_type::read});
+    spec.streams.push_back({stream_kind::sequential, 0x2000, 4096, 4, 0, 0, 1,
+                            access_type::write});
+    workload_generator gen{spec, 5};
+    const mem_trace trace = gen.make(5000);
+    const auto writes = std::count_if(
+        trace.begin(), trace.end(),
+        [](const mem_access& a) { return a.type == access_type::write; });
+    EXPECT_GT(writes, 250);  // ~10% expected
+    EXPECT_LT(writes, 1000);
+}
+
+TEST(Generator, GenerateAppendsAcrossCalls) {
+    workload_generator gen{single_stream(stream_kind::sequential, 0, 64, 4),
+                           1};
+    mem_trace trace;
+    gen.generate(trace, 3);
+    gen.generate(trace, 3);
+    ASSERT_EQ(trace.size(), 6u);
+    EXPECT_EQ(trace[3].address, 12u); // continues, does not restart
+}
+
+TEST(Generator, RejectsEmptySpec) {
+    EXPECT_THROW(workload_generator({"empty", {}}, 1),
+                 dew::contract_violation);
+}
+
+TEST(Generator, RepeatEmitsRmwPairs) {
+    // repeat = 2: every generated address appears exactly twice in a row
+    // (single-stream workload, so no interleaving breaks the pairs).
+    workload_spec spec{"rmw", {}, 1};
+    spec.streams.push_back({stream_kind::sequential, 0, 4096, 4, 0, 0, 1,
+                            access_type::read, 2});
+    workload_generator generator{spec, 1};
+    const mem_trace trace = generator.make(100);
+    for (std::size_t i = 0; i + 1 < trace.size(); i += 2) {
+        EXPECT_EQ(trace[i].address, trace[i + 1].address) << i;
+    }
+    // And the pairs advance: distinct addresses across pairs.
+    EXPECT_NE(trace[0].address, trace[2].address);
+}
+
+TEST(Generator, RepeatSurvivesStreamSwitches) {
+    // With two streams and repeats, each stream resumes its outstanding
+    // repeat when re-selected: the total count of each address must still
+    // be a multiple of the repeat factor.
+    workload_spec spec{"mix", {}, 1};
+    spec.streams.push_back({stream_kind::sequential, 0x0000, 1 << 20, 4, 0,
+                            0, 1, access_type::read, 3});
+    spec.streams.push_back({stream_kind::sequential, 0x40000000, 1 << 20, 4,
+                            0, 0, 1, access_type::write, 1});
+    workload_generator generator{spec, 7};
+    // 3k accesses: every stream-0 address must appear exactly 3 times
+    // (possibly non-consecutively) except the one pending at the end.
+    const mem_trace trace = generator.make(3000);
+    std::map<std::uint64_t, int> counts;
+    for (const auto& access : trace) {
+        if (access.address < 0x40000000) {
+            ++counts[access.address];
+        }
+    }
+    int partial = 0;
+    for (const auto& [address, count] : counts) {
+        if (count != 3) {
+            ++partial; // at most the final in-flight address
+            EXPECT_LT(count, 3) << std::hex << address;
+        }
+    }
+    EXPECT_LE(partial, 1);
+}
+
+TEST(Generator, StickinessProducesRuns) {
+    // Two equally weighted streams in disjoint regions.  With stickiness 8
+    // the merged trace must show far fewer stream switches than with
+    // independent per-access selection (~50% switch rate).
+    const auto switch_rate = [](std::uint32_t stickiness) {
+        workload_spec spec{"runs", {}, stickiness};
+        spec.streams.push_back({stream_kind::sequential, 0x0000, 1 << 20, 4,
+                                0, 0, 1, access_type::read, 1});
+        spec.streams.push_back({stream_kind::sequential, 0x40000000, 1 << 20,
+                                4, 0, 0, 1, access_type::read, 1});
+        workload_generator generator{spec, 99};
+        const mem_trace trace = generator.make(20000);
+        std::size_t switches = 0;
+        for (std::size_t i = 1; i < trace.size(); ++i) {
+            const bool a = trace[i - 1].address < 0x40000000;
+            const bool b = trace[i].address < 0x40000000;
+            switches += a != b;
+        }
+        return static_cast<double>(switches) /
+               static_cast<double>(trace.size() - 1);
+    };
+    const double independent = switch_rate(1);
+    const double sticky = switch_rate(8);
+    EXPECT_GT(independent, 0.40); // ~0.5 for a fair coin
+    EXPECT_LT(sticky, independent / 2.5);
+}
+
+TEST(Generator, StickinessOneReplaysLegacyBehaviour) {
+    // stickiness 1 must consume randomness identically to the pre-knob
+    // generator: two generators differing only in the default-vs-explicit
+    // field produce the same trace.
+    workload_spec a{"legacy", {}, 1};
+    a.streams.push_back({stream_kind::random_in, 0, 4096, 4, 0, 0, 1,
+                         access_type::read, 1});
+    a.streams.push_back({stream_kind::sequential, 0x10000, 4096, 4, 0, 0, 1,
+                         access_type::read, 1});
+    workload_spec b = a;
+    workload_generator ga{a, 1234};
+    workload_generator gb{b, 1234};
+    EXPECT_EQ(ga.make(5000), gb.make(5000));
+}
+
+TEST(Generator, RejectsZeroRepeatAndZeroStickiness) {
+    workload_spec zero_repeat{"bad", {}, 1};
+    zero_repeat.streams.push_back({stream_kind::sequential, 0, 64, 4, 0, 0,
+                                   1, access_type::read, 0});
+    EXPECT_THROW(workload_generator(zero_repeat, 1),
+                 dew::contract_violation);
+
+    workload_spec zero_sticky{"bad", {}, 0};
+    zero_sticky.streams.push_back({stream_kind::sequential, 0, 64, 4, 0, 0,
+                                   1, access_type::read, 1});
+    EXPECT_THROW(workload_generator(zero_sticky, 1),
+                 dew::contract_violation);
+}
+
+TEST(Generator, RejectsZeroStride) {
+    workload_spec spec = single_stream(stream_kind::sequential, 0, 64, 4);
+    spec.streams[0].stride = 0;
+    EXPECT_THROW(workload_generator(spec, 1), dew::contract_violation);
+}
+
+TEST(Helpers, SequentialTrace) {
+    const mem_trace trace = make_sequential_trace(0x100, 5, 8);
+    ASSERT_EQ(trace.size(), 5u);
+    EXPECT_EQ(trace[4].address, 0x100u + 32u);
+}
+
+TEST(Helpers, CyclicTraceRepeatsBlocks) {
+    const mem_trace trace = make_cyclic_trace(0, 4, 3, 64);
+    ASSERT_EQ(trace.size(), 12u);
+    EXPECT_EQ(trace[0].address, trace[4].address);
+    EXPECT_EQ(trace[3].address, trace[11].address);
+}
+
+TEST(Helpers, RandomTraceDeterministic) {
+    EXPECT_EQ(make_random_trace(0, 4096, 100, 9, 4),
+              make_random_trace(0, 4096, 100, 9, 4));
+}
+
+} // namespace

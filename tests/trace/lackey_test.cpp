@@ -1,0 +1,91 @@
+// Valgrind lackey format parser: the offline path to real program traces.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/lackey.hpp"
+
+namespace {
+
+using namespace dew::trace;
+
+TEST(Lackey, ParsesAllFourRecordKinds) {
+    std::istringstream in{"I  0400d7d4,8\n"
+                          " L 04842028,4\n"
+                          " S 0484a3a8,8\n"
+                          " M 04842030,4\n"};
+    mem_trace trace;
+    const lackey_parse_stats stats = read_lackey(in, trace);
+    EXPECT_EQ(stats.instruction_fetches, 1u);
+    EXPECT_EQ(stats.loads, 1u);
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_EQ(stats.modifies, 1u);
+    EXPECT_EQ(stats.total_accesses(), 5u);
+
+    ASSERT_EQ(trace.size(), 5u);
+    EXPECT_EQ(trace[0], (mem_access{0x0400d7d4, access_type::ifetch}));
+    EXPECT_EQ(trace[1], (mem_access{0x04842028, access_type::read}));
+    EXPECT_EQ(trace[2], (mem_access{0x0484a3a8, access_type::write}));
+    // M expands to load + store at the same address.
+    EXPECT_EQ(trace[3], (mem_access{0x04842030, access_type::read}));
+    EXPECT_EQ(trace[4], (mem_access{0x04842030, access_type::write}));
+}
+
+TEST(Lackey, SkipsValgrindChatter) {
+    std::istringstream in{"==12345== Lackey, an example tool\n"
+                          "==12345== Command: ls\n"
+                          "\n"
+                          "I  04000000,4\n"
+                          "instrs executed: 1234\n"};
+    mem_trace trace;
+    const lackey_parse_stats stats = read_lackey(in, trace);
+    EXPECT_EQ(trace.size(), 1u);
+    EXPECT_EQ(stats.skipped_lines, 4u);
+}
+
+TEST(Lackey, RejectsMalformedPayloadsAsSkips) {
+    // A record letter without a hex payload is chatter, not an error —
+    // lackey output is interleaved with program stdout in practice.
+    std::istringstream in{"I  nothex,4\n"
+                          " L ,4\n"
+                          " L 04842028 4\n"  // missing comma
+                          " S 04842028,4\n"};
+    mem_trace trace;
+    const lackey_parse_stats stats = read_lackey(in, trace);
+    EXPECT_EQ(trace.size(), 1u);
+    EXPECT_EQ(stats.skipped_lines, 3u);
+}
+
+TEST(Lackey, UppercaseAndLowercaseHex) {
+    std::istringstream in{"I  ABCDEF01,4\n"
+                          "I  abcdef01,4\n"};
+    mem_trace trace;
+    read_lackey(in, trace);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].address, 0xABCDEF01u);
+    EXPECT_EQ(trace[1].address, trace[0].address);
+}
+
+TEST(Lackey, AppendsToExistingTrace) {
+    mem_trace trace{{0x10, access_type::read}};
+    std::istringstream in{"I  20,4\n"};
+    read_lackey(in, trace);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].address, 0x10u);
+    EXPECT_EQ(trace[1].address, 0x20u);
+}
+
+TEST(Lackey, MissingFileThrows) {
+    EXPECT_THROW((void)read_lackey_file("/nonexistent/trace.lackey"),
+                 std::runtime_error);
+}
+
+TEST(Lackey, EmptyInput) {
+    std::istringstream in{""};
+    mem_trace trace;
+    const lackey_parse_stats stats = read_lackey(in, trace);
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(stats.total_accesses(), 0u);
+}
+
+} // namespace

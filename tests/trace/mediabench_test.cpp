@@ -1,0 +1,93 @@
+#include "trace/mediabench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "trace/stats.hpp"
+
+namespace {
+
+using namespace dew::trace;
+
+TEST(Mediabench, PaperRequestCountsMatchTable2) {
+    EXPECT_EQ(paper_request_count(mediabench_app::cjpeg), 25'680'911u);
+    EXPECT_EQ(paper_request_count(mediabench_app::djpeg), 7'617'458u);
+    EXPECT_EQ(paper_request_count(mediabench_app::g721_enc), 154'999'563u);
+    EXPECT_EQ(paper_request_count(mediabench_app::g721_dec), 154'856'346u);
+    EXPECT_EQ(paper_request_count(mediabench_app::mpeg2_enc), 3'738'851'450u);
+    EXPECT_EQ(paper_request_count(mediabench_app::mpeg2_dec), 1'411'434'040u);
+}
+
+TEST(Mediabench, NamesAreDistinct) {
+    std::set<std::string> names;
+    for (const mediabench_app app : all_mediabench_apps) {
+        names.insert(short_name(app));
+    }
+    EXPECT_EQ(names.size(), all_mediabench_apps.size());
+}
+
+TEST(Mediabench, ProfilesAreDeterministic) {
+    const mem_trace a = make_mediabench_trace(mediabench_app::cjpeg, 10000);
+    const mem_trace b = make_mediabench_trace(mediabench_app::cjpeg, 10000);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Mediabench, AppsProduceDistinctTraces) {
+    const mem_trace cjpeg = make_mediabench_trace(mediabench_app::cjpeg, 1000);
+    const mem_trace g721 =
+        make_mediabench_trace(mediabench_app::g721_enc, 1000);
+    EXPECT_NE(cjpeg, g721);
+}
+
+TEST(Mediabench, G721FootprintIsTiny) {
+    // G.721 is a small-state filter; its working set must be far below the
+    // image codecs'.
+    const auto g721 = compute_stats(
+        make_mediabench_trace(mediabench_app::g721_enc, 50000), 4);
+    const auto mpeg2 = compute_stats(
+        make_mediabench_trace(mediabench_app::mpeg2_enc, 50000), 4);
+    EXPECT_LT(g721.footprint_bytes * 10, mpeg2.footprint_bytes);
+}
+
+TEST(Mediabench, Mpeg2HasLargeWorkingSet) {
+    const auto stats = compute_stats(
+        make_mediabench_trace(mediabench_app::mpeg2_enc, 100000), 64);
+    EXPECT_GT(stats.footprint_bytes, 512u * 1024u); // beyond any L1
+}
+
+TEST(Mediabench, AllProfilesMixAccessTypes) {
+    for (const mediabench_app app : all_mediabench_apps) {
+        const auto stats = compute_stats(make_mediabench_trace(app, 20000), 4);
+        EXPECT_GT(stats.ifetches, 0u) << short_name(app);
+        EXPECT_GT(stats.reads + stats.writes, 0u) << short_name(app);
+    }
+}
+
+TEST(Mediabench, TemporalLocalityOrdering) {
+    // Same-block fraction (spatial+temporal locality at 64 B blocks) should
+    // be highest for the tight-loop codec and lowest for MPEG-2 encode's
+    // motion estimation.
+    const auto g721 = compute_stats(
+        make_mediabench_trace(mediabench_app::g721_enc, 50000), 64);
+    const auto mpeg2 = compute_stats(
+        make_mediabench_trace(mediabench_app::mpeg2_enc, 50000), 64);
+    EXPECT_GT(g721.same_block_fraction, mpeg2.same_block_fraction);
+}
+
+TEST(Mediabench, InvalidEnumeratorIsRejected) {
+    EXPECT_THROW((void)mediabench_profile(static_cast<mediabench_app>(99)),
+                 dew::contract_violation);
+}
+
+TEST(Mediabench, SeedsAreDistinctPerApp) {
+    std::set<std::uint64_t> seeds;
+    for (const mediabench_app app : all_mediabench_apps) {
+        seeds.insert(default_seed(app));
+    }
+    EXPECT_EQ(seeds.size(), all_mediabench_apps.size());
+}
+
+} // namespace

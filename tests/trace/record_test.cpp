@@ -1,0 +1,37 @@
+#include "trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dew::trace;
+
+TEST(Record, AccessTypeNamesMatchDineroLabels) {
+    EXPECT_EQ(static_cast<int>(access_type::read), 0);
+    EXPECT_EQ(static_cast<int>(access_type::write), 1);
+    EXPECT_EQ(static_cast<int>(access_type::ifetch), 2);
+}
+
+TEST(Record, ToStringCoversAllTypes) {
+    EXPECT_STREQ(to_string(access_type::read), "read");
+    EXPECT_STREQ(to_string(access_type::write), "write");
+    EXPECT_STREQ(to_string(access_type::ifetch), "ifetch");
+}
+
+TEST(Record, EqualityComparesAddressAndType) {
+    const mem_access a{0x1000, access_type::read};
+    const mem_access b{0x1000, access_type::read};
+    const mem_access c{0x1000, access_type::write};
+    const mem_access d{0x1004, access_type::read};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, d);
+}
+
+TEST(Record, DefaultIsReadAtZero) {
+    const mem_access access{};
+    EXPECT_EQ(access.address, 0u);
+    EXPECT_EQ(access.type, access_type::read);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+// Fractional-simulation samplers: mechanics, invariants, and the accuracy
+// claims the related-work contrast rests on.
+#include <gtest/gtest.h>
+
+#include "baseline/dinero_sim.hpp"
+#include "common/contracts.hpp"
+#include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+#include "trace/sampling.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::trace;
+
+TEST(TimeSampling, KeepsSystematicWindows) {
+    const mem_trace trace = make_sequential_trace(0, 20, 4);
+    // Period 5, window 2: keep indices 0,1, 5,6, 10,11, 15,16.
+    const time_sample_result result = time_sample(trace, {5, 2, 0});
+    ASSERT_EQ(result.sampled.size(), 8u);
+    EXPECT_EQ(result.sampled[0].address, trace[0].address);
+    EXPECT_EQ(result.sampled[2].address, trace[5].address);
+    EXPECT_EQ(result.sampled[7].address, trace[16].address);
+    EXPECT_DOUBLE_EQ(result.kept_fraction(), 8.0 / 20.0);
+}
+
+TEST(TimeSampling, OffsetShiftsWindows) {
+    const mem_trace trace = make_sequential_trace(0, 10, 4);
+    const time_sample_result result = time_sample(trace, {5, 1, 2});
+    ASSERT_EQ(result.sampled.size(), 2u); // indices 2 and 7
+    EXPECT_EQ(result.sampled[0].address, trace[2].address);
+    EXPECT_EQ(result.sampled[1].address, trace[7].address);
+}
+
+TEST(TimeSampling, FullWindowIsIdentity) {
+    const mem_trace trace =
+        make_mediabench_trace(mediabench_app::cjpeg, 5000);
+    const time_sample_result result = time_sample(trace, {7, 7, 0});
+    EXPECT_EQ(result.sampled, trace);
+    EXPECT_DOUBLE_EQ(result.kept_fraction(), 1.0);
+}
+
+TEST(TimeSampling, ContractViolations) {
+    EXPECT_THROW((void)time_sample({}, {0, 1, 0}), contract_violation);
+    EXPECT_THROW((void)time_sample({}, {4, 5, 0}), contract_violation);
+    EXPECT_THROW((void)time_sample({}, {4, 0, 0}), contract_violation);
+}
+
+TEST(SetSampling, KeepsOnlyMatchingSets) {
+    mem_trace trace;
+    for (std::uint64_t block = 0; block < 64; ++block) {
+        trace.push_back({block * 32, access_type::read});
+    }
+    // 64 sets at 32 B blocks: set == block.  Keep one set in 8, phase 3.
+    const set_sample_result result = set_sample(trace, {64, 32, 8, 3});
+    ASSERT_EQ(result.sampled.size(), 8u);
+    for (const mem_access& access : result.sampled) {
+        EXPECT_EQ((access.address / 32) % 8, 3u);
+    }
+}
+
+TEST(SetSampling, PhasesPartitionTheTrace) {
+    const mem_trace trace =
+        make_mediabench_trace(mediabench_app::mpeg2_dec, 20000);
+    std::size_t total = 0;
+    for (std::uint32_t phase = 0; phase < 4; ++phase) {
+        total += set_sample(trace, {256, 16, 4, phase}).sampled.size();
+    }
+    EXPECT_EQ(total, trace.size());
+}
+
+TEST(SetSampling, SampledSetsSeeExactPerSetStreams) {
+    // Per-set exactness: simulating the sampled trace yields exactly the
+    // same misses for the kept sets as simulating the full trace does —
+    // set sampling introduces no per-set error at matching geometry.
+    const mem_trace trace =
+        make_mediabench_trace(mediabench_app::cjpeg, 30000);
+    const cache::cache_config config{64, 2, 32};
+
+    baseline::dinero_sim full{config};
+    full.simulate(trace);
+
+    std::uint64_t summed_misses = 0;
+    for (std::uint32_t phase = 0; phase < 8; ++phase) {
+        const set_sample_result sample =
+            set_sample(trace, {64, 32, 8, phase});
+        baseline::dinero_sim part{config};
+        part.simulate(sample.sampled);
+        summed_misses += part.stats().misses;
+    }
+    EXPECT_EQ(summed_misses, full.stats().misses);
+}
+
+TEST(SetSampling, EstimateLandsNearTruthOnBalancedWorkloads) {
+    const mem_trace trace =
+        make_mediabench_trace(mediabench_app::mpeg2_dec, 60000);
+    const cache::cache_config config{256, 4, 16};
+    const std::uint64_t exact =
+        baseline::count_misses(trace, config,
+                               cache::replacement_policy::fifo);
+
+    const set_sample_result sample = set_sample(trace, {256, 16, 8, 1});
+    baseline::dinero_sim sim{config};
+    sim.simulate(sample.sampled);
+    const std::uint64_t estimate =
+        extrapolate_misses(sim.stats().misses, sample.kept_fraction());
+
+    // Within 20% on a many-set streaming workload (the bench quantifies
+    // the full error distribution; this is the sanity floor).
+    const double error =
+        std::abs(static_cast<double>(estimate) - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    EXPECT_LT(error, 0.20) << "estimate " << estimate << " vs " << exact;
+}
+
+TEST(TimeSampling, SmallWindowsOverestimateMissRateOfBigCaches) {
+    // The documented cold-start bias: each window re-warms the cache, so
+    // sparse time sampling inflates the miss rate of caches with large
+    // working-set coverage.
+    const mem_trace trace =
+        make_mediabench_trace(mediabench_app::g721_enc, 60000);
+    const cache::cache_config config{512, 4, 32}; // 64 KiB: high hit rate
+    const std::uint64_t exact =
+        baseline::count_misses(trace, config,
+                               cache::replacement_policy::fifo);
+    const double exact_rate =
+        static_cast<double>(exact) / static_cast<double>(trace.size());
+
+    const time_sample_result sample = time_sample(trace, {100, 5, 0});
+    baseline::dinero_sim sim{config};
+    sim.simulate(sample.sampled);
+    const double sampled_rate = static_cast<double>(sim.stats().misses) /
+                                static_cast<double>(sample.sampled.size());
+    EXPECT_GT(sampled_rate, exact_rate);
+}
+
+TEST(Extrapolation, ScalesByKeptFraction) {
+    EXPECT_EQ(extrapolate_misses(100, 0.25), 400u);
+    EXPECT_EQ(extrapolate_misses(0, 0.5), 0u);
+    EXPECT_EQ(extrapolate_misses(7, 1.0), 7u);
+    EXPECT_THROW((void)extrapolate_misses(1, 0.0), contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace dew::trace;
+
+TEST(Stats, EmptyTrace) {
+    const trace_stats stats = compute_stats({}, 4);
+    EXPECT_EQ(stats.requests, 0u);
+    EXPECT_EQ(stats.unique_blocks, 0u);
+    EXPECT_EQ(stats.same_block_fraction, 0.0);
+}
+
+TEST(Stats, CountsTypes) {
+    const mem_trace trace{{0, access_type::read},
+                          {4, access_type::write},
+                          {8, access_type::ifetch},
+                          {12, access_type::read}};
+    const trace_stats stats = compute_stats(trace, 4);
+    EXPECT_EQ(stats.reads, 2u);
+    EXPECT_EQ(stats.writes, 1u);
+    EXPECT_EQ(stats.ifetches, 1u);
+}
+
+TEST(Stats, UniqueBlocksRespectBlockSize) {
+    // Addresses 0..63 at stride 4: 16 blocks of 4 B, 4 blocks of 16 B,
+    // 1 block of 64 B.
+    const mem_trace trace = make_sequential_trace(0, 16, 4);
+    EXPECT_EQ(compute_stats(trace, 4).unique_blocks, 16u);
+    EXPECT_EQ(compute_stats(trace, 16).unique_blocks, 4u);
+    EXPECT_EQ(compute_stats(trace, 64).unique_blocks, 1u);
+}
+
+TEST(Stats, FootprintIsBlocksTimesBlockSize) {
+    const mem_trace trace = make_sequential_trace(0, 16, 4);
+    EXPECT_EQ(compute_stats(trace, 16).footprint_bytes, 64u);
+}
+
+TEST(Stats, SameBlockFractionSequentialWithin64ByteBlocks) {
+    // Stride-4 walk: 16 accesses per 64 B block, 15 of 16 consecutive pairs
+    // stay in the same block.
+    const mem_trace trace = make_sequential_trace(0, 1600, 4);
+    const trace_stats stats = compute_stats(trace, 64);
+    EXPECT_NEAR(stats.same_block_fraction, 15.0 / 16.0, 0.01);
+}
+
+TEST(Stats, SameBlockFractionZeroWhenEveryAccessNewBlock) {
+    const mem_trace trace = make_sequential_trace(0, 100, 64);
+    const trace_stats stats = compute_stats(trace, 64);
+    EXPECT_EQ(stats.same_block_pairs, 0u);
+}
+
+TEST(Stats, MinMaxAddressTracked) {
+    const mem_trace trace{{0x500, access_type::read},
+                          {0x100, access_type::read},
+                          {0x900, access_type::read}};
+    const trace_stats stats = compute_stats(trace, 4);
+    EXPECT_EQ(stats.min_address, 0x100u);
+    EXPECT_EQ(stats.max_address, 0x900u);
+}
+
+TEST(Stats, UniqueBlockCountMatchesFullStats) {
+    const mem_trace trace = make_random_trace(0, 1 << 16, 5000, 3, 4);
+    EXPECT_EQ(unique_block_count(trace, 32),
+              compute_stats(trace, 32).unique_blocks);
+}
+
+TEST(Stats, RejectsNonPow2BlockSize) {
+    EXPECT_THROW((void)compute_stats({}, 3), dew::contract_violation);
+    EXPECT_THROW((void)unique_block_count({}, 0), dew::contract_violation);
+}
+
+} // namespace

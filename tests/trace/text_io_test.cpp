@@ -1,0 +1,94 @@
+#include "trace/text_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace dew::trace;
+
+mem_trace sample_trace() {
+    return {{0x1000, access_type::read},
+            {0x2004, access_type::write},
+            {0x400000, access_type::ifetch},
+            {0xdeadbeef, access_type::read}};
+}
+
+TEST(HexFormat, RoundTrips) {
+    std::stringstream stream;
+    write_hex(stream, sample_trace());
+    const mem_trace loaded = read_hex(stream);
+    ASSERT_EQ(loaded.size(), 4u);
+    EXPECT_EQ(loaded[0].address, 0x1000u);
+    EXPECT_EQ(loaded[3].address, 0xdeadbeefu);
+    // Hex format carries no type; everything loads as a read.
+    EXPECT_EQ(loaded[1].type, access_type::read);
+}
+
+TEST(HexFormat, AcceptsPrefixAndComments) {
+    std::stringstream stream{"# a comment\n0x10\n\n  20  \n"};
+    const mem_trace loaded = read_hex(stream);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].address, 0x10u);
+    EXPECT_EQ(loaded[1].address, 0x20u);
+}
+
+TEST(HexFormat, RejectsGarbageWithLineNumber) {
+    std::stringstream stream{"10\nnot-hex\n"};
+    try {
+        (void)read_hex(stream);
+        FAIL() << "expected parse_error";
+    } catch (const parse_error& error) {
+        EXPECT_EQ(error.line(), 2u);
+    }
+}
+
+TEST(DinFormat, RoundTripsTypes) {
+    std::stringstream stream;
+    write_din(stream, sample_trace());
+    const mem_trace loaded = read_din(stream);
+    ASSERT_EQ(loaded.size(), 4u);
+    EXPECT_EQ(loaded, sample_trace());
+}
+
+TEST(DinFormat, ParsesClassicLayout) {
+    std::stringstream stream{"0 1000\n1 2004\n2 400000\n"};
+    const mem_trace loaded = read_din(stream);
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded[0].type, access_type::read);
+    EXPECT_EQ(loaded[1].type, access_type::write);
+    EXPECT_EQ(loaded[2].type, access_type::ifetch);
+    EXPECT_EQ(loaded[2].address, 0x400000u);
+}
+
+TEST(DinFormat, RejectsUnknownLabel) {
+    std::stringstream stream{"7 1000\n"};
+    EXPECT_THROW((void)read_din(stream), parse_error);
+}
+
+TEST(DinFormat, RejectsMissingAddress) {
+    std::stringstream stream{"0\n"};
+    EXPECT_THROW((void)read_din(stream), parse_error);
+}
+
+TEST(TextFiles, MissingFileThrows) {
+    EXPECT_THROW((void)read_hex_file("/nonexistent/path/trace.txt"),
+                 std::runtime_error);
+    EXPECT_THROW((void)read_din_file("/nonexistent/path/trace.din"),
+                 std::runtime_error);
+}
+
+TEST(TextFiles, FileRoundTrip) {
+    const std::string path = testing::TempDir() + "dew_text_io_test.din";
+    write_din_file(path, sample_trace());
+    EXPECT_EQ(read_din_file(path), sample_trace());
+    std::remove(path.c_str());
+}
+
+TEST(HexFormat, EmptyInputYieldsEmptyTrace) {
+    std::stringstream stream{""};
+    EXPECT_TRUE(read_hex(stream).empty());
+}
+
+} // namespace
