@@ -9,6 +9,13 @@
 // the paper; the reproduction targets are the shapes: speedup ratios,
 // comparison-reduction percentages, and the relative effectiveness of the
 // DEW properties.
+//
+// Performance notes: the table benches use the counted (`dew_simulator`)
+// policy because the counters ARE the measured quantities; anything that
+// times throughput should use `fast_dew_simulator` (or run_sweep's default
+// fast instrumentation) so instrumentation cost does not pollute the
+// numbers.  bench/micro.cpp tracks the seed-vs-current hot-path ratio in
+// BENCH_micro.json — see docs/PERF.md for how to read it.
 #ifndef DEW_BENCH_BENCH_COMMON_HPP
 #define DEW_BENCH_BENCH_COMMON_HPP
 

@@ -1,18 +1,30 @@
 // Microbenchmarks (google-benchmark): throughput of the primitives the
 // end-to-end numbers of Tables 3/4 are built from — set-model probes, the
-// DEW tree walk, per-configuration baseline simulation, trace generation
-// and trace I/O decode.  These quantify the constant factors behind the
-// complexity claims (DEW O(log2 X) on a resident tag vs O(log2 X * A) per
-// configuration for the baseline).
+// DEW tree walk (counted and fast instrumentation policies), per-
+// configuration baseline simulation, trace generation and trace I/O decode.
+// These quantify the constant factors behind the complexity claims (DEW
+// O(log2 X) on a resident tag vs O(log2 X * A) per configuration for the
+// baseline).
+//
+// Before the google-benchmark suite runs, main() measures the DEW hot path
+// in three build-ups — the frozen seed path (segmented tree + unconditional
+// counters, bench/seed_baseline.hpp), the packed arena with full counters,
+// and the packed arena with the fast policy — and writes the accesses/sec
+// numbers to BENCH_micro.json so successive PRs accumulate a machine-
+// readable perf trajectory.  docs/PERF.md explains the fields.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <sstream>
+#include <string_view>
 
 #include "baseline/dinero_sim.hpp"
 #include "cache/set_model.hpp"
 #include "dew/simulator.hpp"
 #include "dew/sweep.hpp"
 #include "lru/janapsatya_sim.hpp"
+#include "seed_baseline.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/compressed_io.hpp"
 #include "trace/mediabench.hpp"
@@ -38,7 +50,9 @@ void BM_FifoSetAccess(benchmark::State& state) {
         const std::uint64_t block = trace[i].address >> 5;
         benchmark::DoNotOptimize(
             cache.access(static_cast<std::uint32_t>(block & 1023), block));
-        i = (i + 1) % trace.size();
+        if (++i == trace.size()) {
+            i = 0;
+        }
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -53,13 +67,16 @@ void BM_LruSetAccess(benchmark::State& state) {
         const std::uint64_t block = trace[i].address >> 5;
         benchmark::DoNotOptimize(
             cache.access(static_cast<std::uint32_t>(block & 1023), block));
-        i = (i + 1) % trace.size();
+        if (++i == trace.size()) {
+            i = 0;
+        }
     }
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LruSetAccess)->Arg(1)->Arg(4)->Arg(16);
 
-// One full DEW pass: 15 set sizes x associativities {1, A} in one walk.
+// One full DEW pass: 15 set sizes x associativities {1, A} in one walk,
+// with the full Table-3/4 instrumentation compiled in.
 void BM_DewPass(benchmark::State& state) {
     const auto assoc = static_cast<std::uint32_t>(state.range(0));
     const trace::mem_trace& trace = bench_trace();
@@ -72,6 +89,43 @@ void BM_DewPass(benchmark::State& state) {
                             static_cast<std::int64_t>(trace.size()));
 }
 BENCHMARK(BM_DewPass)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// The same pass under the fast policy: counter updates compile to nothing.
+void BM_DewPassFast(benchmark::State& state) {
+    const auto assoc = static_cast<std::uint32_t>(state.range(0));
+    const trace::mem_trace& trace = bench_trace();
+    for (auto _ : state) {
+        core::fast_dew_simulator sim{14, assoc, 32};
+        sim.simulate(trace);
+        benchmark::DoNotOptimize(sim.result().misses(14, assoc));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_DewPassFast)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Fast pass on a pre-decoded block stream: what one run_sweep pass costs
+// once the shared stream exists.
+void BM_DewPassFastBlocks(benchmark::State& state) {
+    const auto assoc = static_cast<std::uint32_t>(state.range(0));
+    const std::vector<std::uint64_t> blocks =
+        trace::block_numbers(bench_trace(), 5);
+    for (auto _ : state) {
+        core::fast_dew_simulator sim{14, assoc, 32};
+        sim.simulate_blocks(blocks);
+        benchmark::DoNotOptimize(sim.result().misses(14, assoc));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(blocks.size()));
+}
+BENCHMARK(BM_DewPassFastBlocks)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // The same coverage the pre-DEW way: 30 independent baseline runs.
 void BM_BaselineSweep(benchmark::State& state) {
@@ -106,7 +160,8 @@ void BM_JanapsatyaPass(benchmark::State& state) {
 }
 BENCHMARK(BM_JanapsatyaPass)->Unit(benchmark::kMillisecond);
 
-// Whole-space sweep: serial vs worker threads (passes are independent).
+// Whole-space sweep: serial vs worker threads (passes are independent and
+// share one block stream per block size).
 void BM_Sweep(benchmark::State& state) {
     const auto threads = static_cast<unsigned>(state.range(0));
     const trace::mem_trace& trace = bench_trace();
@@ -117,7 +172,7 @@ void BM_Sweep(benchmark::State& state) {
     request.threads = threads;
     for (auto _ : state) {
         const core::sweep_result result = core::run_sweep(trace, request);
-        benchmark::DoNotOptimize(result.total_counters().tag_comparisons);
+        benchmark::DoNotOptimize(result.requests);
     }
     state.SetItemsProcessed(state.iterations() *
                             static_cast<std::int64_t>(trace.size()) * 6);
@@ -159,6 +214,127 @@ void BM_CompressedDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressedDecode)->Unit(benchmark::kMillisecond);
 
+// --- BENCH_micro.json -------------------------------------------------------
+
+constexpr unsigned json_max_level = 14;
+constexpr std::uint32_t json_assoc = 4;
+constexpr std::uint32_t json_block = 32;
+constexpr int json_repetitions = 5;
+
+struct micro_measurement {
+    double accesses_per_sec{0.0}; // simulation only, best cold pass of N
+    double construct_ms{0.0};     // tree allocation + cold-state init
+};
+
+// Best-of-N simulation throughput of a cold simulator per rep;
+// construction is timed separately so the steady-state number is not
+// polluted by one-off allocation (and the allocation cost stays visible).
+template <class Sim>
+micro_measurement measure(const trace::mem_trace& trace) {
+    micro_measurement m;
+    double best_sim = 1e300;
+    double best_construct = 1e300;
+    for (int rep = 0; rep < json_repetitions; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Sim sim{json_max_level, json_assoc, json_block};
+        const auto t1 = std::chrono::steady_clock::now();
+        sim.simulate(trace);
+        const auto t2 = std::chrono::steady_clock::now();
+        best_construct = std::min(
+            best_construct, std::chrono::duration<double>(t1 - t0).count());
+        best_sim = std::min(best_sim,
+                            std::chrono::duration<double>(t2 - t1).count());
+    }
+    m.accesses_per_sec = static_cast<double>(trace.size()) / best_sim;
+    m.construct_ms = best_construct * 1e3;
+    return m;
+}
+
+void write_micro_json() {
+    const trace::mem_trace& trace = bench_trace();
+
+    // Exactness first: the frozen seed path and the refactored fast path
+    // must agree on every miss count before throughput means anything.
+    {
+        bench::seed::counted_simulator seed_sim{json_max_level, json_assoc,
+                                                json_block};
+        seed_sim.simulate(trace);
+        core::fast_dew_simulator fast_sim{json_max_level, json_assoc,
+                                          json_block};
+        fast_sim.simulate(trace);
+        const core::dew_result fast_result = fast_sim.result();
+        for (unsigned level = 0; level <= json_max_level; ++level) {
+            DEW_ASSERT(seed_sim.misses_assoc()[level] ==
+                       fast_result.misses(level, json_assoc));
+            DEW_ASSERT(seed_sim.misses_dm()[level] ==
+                       fast_result.misses(level, 1));
+        }
+    }
+
+    const micro_measurement seed =
+        measure<bench::seed::counted_simulator>(trace);
+    const micro_measurement counted = measure<core::dew_simulator>(trace);
+    const micro_measurement fast = measure<core::fast_dew_simulator>(trace);
+
+    std::FILE* out = std::fopen("BENCH_micro.json", "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "bench_micro: cannot write BENCH_micro.json\n");
+        return;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"micro\",\n");
+    std::fprintf(out, "  \"trace_accesses\": %zu,\n", trace.size());
+    std::fprintf(out, "  \"max_level\": %u,\n", json_max_level);
+    std::fprintf(out, "  \"assoc\": %u,\n", json_assoc);
+    std::fprintf(out, "  \"block_size\": %u,\n", json_block);
+    std::fprintf(out, "  \"repetitions\": %d,\n", json_repetitions);
+    std::fprintf(out,
+                 "  \"seed_segmented_counted_accesses_per_sec\": %.0f,\n",
+                 seed.accesses_per_sec);
+    std::fprintf(out, "  \"arena_counted_accesses_per_sec\": %.0f,\n",
+                 counted.accesses_per_sec);
+    std::fprintf(out, "  \"arena_fast_accesses_per_sec\": %.0f,\n",
+                 fast.accesses_per_sec);
+    std::fprintf(out, "  \"seed_construct_ms\": %.3f,\n", seed.construct_ms);
+    std::fprintf(out, "  \"arena_construct_ms\": %.3f,\n",
+                 fast.construct_ms);
+    std::fprintf(out, "  \"speedup_arena_counted_vs_seed\": %.3f,\n",
+                 counted.accesses_per_sec / seed.accesses_per_sec);
+    std::fprintf(out, "  \"speedup_arena_fast_vs_seed\": %.3f\n",
+                 fast.accesses_per_sec / seed.accesses_per_sec);
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+
+    std::printf("BENCH_micro.json: seed %.2fM acc/s, arena+counted %.2fM "
+                "acc/s (x%.2f), arena+fast %.2fM acc/s (x%.2f); construct "
+                "seed %.2fms vs arena %.2fms\n\n",
+                seed.accesses_per_sec / 1e6, counted.accesses_per_sec / 1e6,
+                counted.accesses_per_sec / seed.accesses_per_sec,
+                fast.accesses_per_sec / 1e6,
+                fast.accesses_per_sec / seed.accesses_per_sec,
+                seed.construct_ms, fast.construct_ms);
+}
+
 } // namespace
 
-// main() comes from benchmark::benchmark_main (see bench/CMakeLists.txt).
+int main(int argc, char** argv) {
+    // Skip the (multi-second) JSON measurement when the caller is only
+    // enumerating benchmarks; a filter run still emits it — that is the
+    // documented quick path (--benchmark_filter=NONE -> JSON only).
+    bool listing_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view{argv[i]}.starts_with("--benchmark_list_tests")) {
+            listing_only = true;
+        }
+    }
+    if (!listing_only) {
+        write_micro_json();
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,6 +8,7 @@
 //     --assocs a,b,c      associativities (A=1 free)   (default 4,8)
 //     --threads N         worker threads               (default 0 = serial)
 //     --csv               machine-readable output
+//     --counted           full per-property instrumentation (default: fast)
 //
 // Trace formats by extension: .din .hex .dewt .dewc .lackey/.vg (see
 // trace_tools).  Example:
@@ -33,7 +34,8 @@ using namespace dew;
 [[noreturn]] void usage() {
     std::fprintf(stderr,
                  "usage: dew_sweep <trace-file> [--max-set-exp N] "
-                 "[--blocks a,b,c] [--assocs a,b,c] [--threads N] [--csv]\n");
+                 "[--blocks a,b,c] [--assocs a,b,c] [--threads N] [--csv] "
+                 "[--counted]\n");
     std::exit(2);
 }
 
@@ -112,6 +114,11 @@ int main(int argc, char** argv) {
             request.threads = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--counted") {
+            // Full Table-3/4 instrumentation; the default is the fast
+            // policy, whose per-access counter updates compile to nothing.
+            request.instrumentation =
+                core::sweep_instrumentation::full_counters;
         } else {
             usage();
         }
@@ -132,13 +139,20 @@ int main(int argc, char** argv) {
                         ? "serial"
                         : (std::to_string(request.threads) + " threads")
                               .c_str());
-        const core::dew_counters totals = result.total_counters();
-        std::printf("total node evaluations %llu (per-config simulation "
-                    "would need %llu), tag comparisons %llu\n\n",
-                    static_cast<unsigned long long>(totals.node_evaluations),
-                    static_cast<unsigned long long>(
-                        totals.unoptimized_evaluations),
-                    static_cast<unsigned long long>(totals.tag_comparisons));
+        if (request.instrumentation ==
+            core::sweep_instrumentation::full_counters) {
+            const core::dew_counters totals = result.total_counters();
+            std::printf(
+                "total node evaluations %llu (per-config simulation "
+                "would need %llu), tag comparisons %llu\n\n",
+                static_cast<unsigned long long>(totals.node_evaluations),
+                static_cast<unsigned long long>(
+                    totals.unoptimized_evaluations),
+                static_cast<unsigned long long>(totals.tag_comparisons));
+        } else {
+            std::printf("instrumentation: fast (pass --counted for "
+                        "Table-3-style evaluation totals)\n\n");
+        }
 
         std::printf("%-8s %-6s %-6s %14s %10s\n", "sets", "assoc", "block",
                     "misses", "miss rate");

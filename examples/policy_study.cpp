@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
         const trace::mem_trace trace =
             trace::make_mediabench_trace(app, requests);
 
-        core::dew_simulator fifo{max_level, assoc, block};
+        core::fast_dew_simulator fifo{max_level, assoc, block};
         fifo.simulate(trace);
         const core::dew_result fifo_result = fifo.result();
 

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
                 1u << max_level, requests);
 
     for (const trace::mediabench_app app : trace::all_mediabench_apps) {
-        core::dew_simulator sim{max_level, assoc, block};
+        core::fast_dew_simulator sim{max_level, assoc, block};
         sim.simulate(trace::make_mediabench_trace(app, requests));
 
         const auto curve = explore::extract_curve(sim.result(), assoc);

@@ -52,9 +52,12 @@ probe_result fifo_cache_state::access(std::uint32_t set, std::uint64_t block) {
         }
     } else {
         // newest_first: scan from the most recently inserted way backwards.
+        // Compare-and-reset wrap instead of `% ways_` — associativity need
+        // not be a power of two here, so the modulo was a real division on
+        // every probe of the hot scan.
+        std::uint32_t way = cursor_[set];
         for (std::uint32_t step = 0; step < ways_; ++step) {
-            const std::uint32_t way =
-                (cursor_[set] + ways_ - 1 - step) % ways_;
+            way = way == 0 ? ways_ - 1 : way - 1;
             if (ways[way] == invalid_tag) {
                 continue;
             }

@@ -41,6 +41,29 @@ struct dew_counters {
     std::uint64_t tag_comparisons{0};
 };
 
+// --- Instrumentation policies -----------------------------------------------
+// basic_dew_simulator is templated on one of these.  The policy decides at
+// compile time whether the ~10 per-access counter bumps above exist at all:
+// with `fast` every `if constexpr (counted)` block in the simulator compiles
+// to nothing, so production sweeps pay zero instrumentation cost, while
+// `full_counters` keeps the exact Table-3/Table-4 bookkeeping for the benches
+// and ablations.  Both policies produce bit-identical miss counts — the
+// equivalence test suite proves it.
+
+// Full bookkeeping: the simulator owns a dew_counters and updates it on the
+// hot path exactly as the seed implementation did.
+struct full_counters {
+    static constexpr bool counted = true;
+    dew_counters counters{};
+};
+
+// Zero-overhead mode: no counter storage, no counter updates.  The simulator
+// still tracks the request count (needed to derive hits from misses) in a
+// plain member outside the policy.
+struct fast {
+    static constexpr bool counted = false;
+};
+
 } // namespace dew::core
 
 #endif // DEW_DEW_COUNTERS_HPP

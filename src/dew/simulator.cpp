@@ -1,224 +1,12 @@
 #include "dew/simulator.hpp"
 
-#include "common/bits.hpp"
-#include "common/contracts.hpp"
-
 namespace dew::core {
 
-dew_simulator::dew_simulator(unsigned max_level, std::uint32_t assoc,
-                             std::uint32_t block_size, dew_options options)
-    : max_level_{max_level},
-      assoc_{assoc},
-      way_mask_{assoc - 1},
-      block_size_{block_size},
-      block_bits_{log2_exact(block_size)},
-      options_{options},
-      tree_{max_level, assoc, options.effective_mre_depth()},
-      misses_assoc_(max_level + 1, 0),
-      misses_dm_(max_level + 1, 0) {
-    DEW_EXPECTS(max_level < 32);
-    DEW_EXPECTS(is_pow2(assoc));
-    DEW_EXPECTS(is_pow2(block_size));
-    DEW_EXPECTS(!options.use_mre || options.mre_depth >= 1);
-}
-
-// Scans the node's victim buffer for `block`, counting one tag comparison
-// per valid entry examined.  Returns the matching slot or `no_victim_match`.
-std::uint32_t dew_simulator::probe_victims(node_ref node,
-                                           std::uint64_t block) {
-    const std::uint32_t depth = options_.effective_mre_depth();
-    for (std::uint32_t slot = 0; slot < depth; ++slot) {
-        if (node.victims[slot].tag == cache::invalid_tag) {
-            continue; // never filled: no comparison performed
-        }
-        ++counters_.tag_comparisons;
-        if (node.victims[slot].tag == block) {
-            return slot;
-        }
-    }
-    return no_victim_match;
-}
-
-std::uint32_t dew_simulator::insert_on_miss(node_ref node, std::uint64_t block,
-                                            mre_knowledge known,
-                                            std::uint32_t matched_slot) {
-    // Algorithm 2, lines 3-9.  The FIFO victim is the circular cursor: cold
-    // ways fill in order first, then replacement is round-robin — the
-    // "least recently inserted" position of line 3.
-    const std::uint32_t victim = node.header.cursor;
-    node.header.cursor = (victim + 1) & way_mask_;
-    way_entry& slot = node.ways[victim];
-
-    if (known == mre_knowledge::unknown && options_.use_mre) {
-        // Algorithm 2, line 4, generalised to the victim buffer.
-        matched_slot = probe_victims(node, block);
-        if (matched_slot != no_victim_match) {
-            known = mre_knowledge::matched;
-            ++counters_.mre_swaps;
-        }
-    }
-
-    if (known == mre_knowledge::matched) {
-        // Line 5: exchange the victim way with the matching buffer entry.
-        // The incoming block regains the wave pointer it had when it was
-        // evicted — still valid, because FIFO never moved it in the child
-        // meanwhile.
-        DEW_ASSERT(matched_slot < options_.effective_mre_depth());
-        way_entry& buffered = node.victims[matched_slot];
-        const way_entry displaced = slot;
-        slot = buffered;
-        buffered = displaced;
-    } else {
-        // Lines 7-8: plain insert; the displaced tag (if any) joins the
-        // victim buffer together with its wave pointer, aging out the
-        // oldest buffered victim.
-        if (options_.use_mre && slot.tag != cache::invalid_tag) {
-            const std::uint32_t depth = options_.effective_mre_depth();
-            node.victims[node.header.victim_cursor] = slot;
-            node.header.victim_cursor =
-                node.header.victim_cursor + 1 == depth
-                    ? 0
-                    : node.header.victim_cursor + 1;
-        }
-        slot.tag = block;
-        slot.wave = empty_wave;
-    }
-    return victim;
-}
-
-void dew_simulator::access(std::uint64_t address) {
-    ++counters_.requests;
-    const std::uint64_t block = address >> block_bits_;
-    // The all-ones block number is the empty-way sentinel; a real request
-    // can only produce it from the top bytes of the address space at tiny
-    // block sizes, and accepting it would corrupt the tree silently.
-    DEW_EXPECTS(block != cache::invalid_tag);
-    const unsigned levels = max_level_ + 1;
-    // Paper Table 4 column 2: per-configuration simulation evaluates one set
-    // per configuration per request — levels x {1, A} configurations (30 for
-    // the paper's parameters), versus one tree node per level for DEW.
-    counters_.unoptimized_evaluations += levels * (assoc_ == 1 ? 1 : 2);
-
-    // The wave pointer chain: entry holding `block` in the previous
-    // (parent) level's node, or null at the root / after a P2 continue.
-    way_entry* parent_entry = nullptr;
-
-    for (unsigned level = 0; level < levels; ++level) {
-        const node_ref node = tree_.node(level, block & low_mask(level));
-        ++counters_.node_evaluations;
-
-        // Property 2 probe.  This same comparison yields the exact
-        // direct-mapped (associativity 1) outcome for set count 2^level,
-        // because the MRA tag equals the last block that mapped here.
-        ++counters_.tag_comparisons;
-        if (node.header.mra == block) {
-            ++counters_.mra_hits;
-            if (options_.use_mra_stop) {
-                // Hit certified at this level and every deeper level, for
-                // both associativity A and 1.  Hits are implicit
-                // (requests - misses), so there is nothing to count.
-                return;
-            }
-            // Ablation mode: the certificate still applies at this node (the
-            // request is a hit, FIFO state is untouched), but the way
-            // position is unknown, so the wave chain breaks for the child.
-            parent_entry = nullptr;
-            continue;
-        }
-        // Direct-mapped miss at this set count; also Algorithm 1/2 line 1-2.
-        ++misses_dm_[level];
-        node.header.mra = block;
-
-        bool hit = false;
-        std::uint32_t way = 0;
-        bool determined = false;
-
-        // Property 3: one probe at the wave pointer decides hit or miss.
-        if (options_.use_wave && parent_entry != nullptr &&
-            parent_entry->wave != empty_wave) {
-            const std::uint32_t pointed = parent_entry->wave;
-            DEW_ASSERT(pointed < assoc_);
-            ++counters_.wave_checks;
-            ++counters_.tag_comparisons;
-            determined = true;
-            if (node.ways[pointed].tag == block) {
-                ++counters_.wave_hit_determinations;
-                hit = true;
-                way = pointed;
-            } else {
-                ++counters_.wave_miss_determinations;
-                ++misses_assoc_[level];
-                way = insert_on_miss(node, block, mre_knowledge::unknown);
-            }
-        }
-
-        if (!determined) {
-            // Property 4: a victim-buffer match proves the miss without a
-            // search.
-            std::uint32_t matched_slot = no_victim_match;
-            if (options_.use_mre) {
-                matched_slot = probe_victims(node, block);
-            }
-            if (matched_slot != no_victim_match) {
-                ++counters_.mre_determinations;
-                ++misses_assoc_[level];
-                way = insert_on_miss(node, block, mre_knowledge::matched,
-                                     matched_slot);
-            } else {
-                // Full tag-list search; valid entries form a prefix under
-                // FIFO fill, and skipped invalid ways cost no comparison.
-                ++counters_.searches;
-                bool found = false;
-                for (std::uint32_t i = 0; i < assoc_; ++i) {
-                    if (node.ways[i].tag == cache::invalid_tag) {
-                        continue;
-                    }
-                    ++counters_.tag_comparisons;
-                    if (node.ways[i].tag == block) {
-                        found = true;
-                        way = i;
-                        break;
-                    }
-                }
-                if (found) {
-                    hit = true;
-                } else {
-                    ++misses_assoc_[level];
-                    way = insert_on_miss(node, block,
-                                         options_.use_mre
-                                             ? mre_knowledge::mismatched
-                                             : mre_knowledge::unknown);
-                }
-            }
-        }
-
-        // Algorithm 1/2, lines 10-11: publish this node's way position into
-        // the parent's matching entry and carry our own entry downwards.
-        if (parent_entry != nullptr) {
-            parent_entry->wave = way;
-        }
-        parent_entry = &node.ways[way];
-        (void)hit;
-    }
-}
-
-void dew_simulator::simulate(const trace::mem_trace& trace) {
-    for (const trace::mem_access& reference : trace) {
-        access(reference.address);
-    }
-}
-
-dew_result dew_simulator::result() const {
-    return dew_result{max_level_,    assoc_,      block_size_,
-                      counters_.requests, misses_assoc_, misses_dm_,
-                      counters_};
-}
-
-void dew_simulator::reset() {
-    tree_.clear();
-    counters_ = {};
-    std::fill(misses_assoc_.begin(), misses_assoc_.end(), 0);
-    std::fill(misses_dm_.begin(), misses_dm_.end(), 0);
-}
+// The two instrumentation policies, instantiated exactly once.  The header
+// declares them extern so every other translation unit links against these
+// definitions (while remaining free to inline the hot path, whose bodies
+// are visible in the header).
+template class basic_dew_simulator<full_counters>;
+template class basic_dew_simulator<fast>;
 
 } // namespace dew::core

@@ -28,13 +28,26 @@
 //    pointer, keeping P3 effective across evict/re-fetch cycles.  This
 //    library generalises the entry to a k-deep victim buffer
 //    (dew_options::mre_depth; k = 1 is the paper, bit-for-bit).
+//
+// Instrumentation is a compile-time policy (see dew/counters.hpp): the
+// class is templated on `full_counters` (exact Table-3/4 bookkeeping) or
+// `fast` (every counter update compiles to nothing).  Both produce
+// bit-identical miss counts; `dew_simulator` keeps the counted behaviour
+// the benches and ablations rely on, `fast_dew_simulator` is the
+// production hot path that run_sweep and the examples default to.
 #ifndef DEW_DEW_SIMULATOR_HPP
 #define DEW_DEW_SIMULATOR_HPP
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "cache/config.hpp"
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "common/hints.hpp"
 #include "dew/counters.hpp"
 #include "dew/options.hpp"
 #include "dew/result.hpp"
@@ -43,24 +56,52 @@
 
 namespace dew::core {
 
-class dew_simulator {
+template <class Instrumentation = full_counters>
+class basic_dew_simulator {
 public:
+    // True when this instantiation maintains dew_counters on the hot path.
+    static constexpr bool counted = Instrumentation::counted;
+
     // Simulates set counts 2^0..2^max_level at associativities {1, assoc}
     // and block size block_size (bytes, power of two).
-    dew_simulator(unsigned max_level, std::uint32_t assoc,
-                  std::uint32_t block_size, dew_options options = {});
+    basic_dew_simulator(unsigned max_level, std::uint32_t assoc,
+                        std::uint32_t block_size, dew_options options = {});
 
     // Simulate a single byte address / reference / whole trace.
-    void access(std::uint64_t address);
+    void access(std::uint64_t address) { access_block(address >> block_bits_); }
     void access(const trace::mem_access& reference) { access(reference.address); }
     void simulate(const trace::mem_trace& trace);
+
+    // The hot entry points on pre-decoded block numbers (address >>
+    // log2(block size)).  run_sweep computes one such stream per block size
+    // and feeds it to every associativity pass, so per-pass work never
+    // touches 16-byte mem_access records again.
+    void access_block(std::uint64_t block) {
+        note_requests(1);
+        with_static_assoc(assoc_, [&](auto a) {
+            with_static_depth(mre_depth_, [&](auto d) {
+                with_static_options(options_, [&](auto o) {
+                    access_block_impl<a(), d(), o()>(block);
+                });
+            });
+        });
+    }
+    void simulate_blocks(std::span<const std::uint64_t> blocks);
 
     // Exact per-configuration results (valid at any point of the pass).
     [[nodiscard]] dew_result result() const;
 
+    // With the `fast` policy this is an all-zero struct (no bookkeeping
+    // exists to report); use requests() for the request count.
     [[nodiscard]] const dew_counters& counters() const noexcept {
-        return counters_;
+        if constexpr (counted) {
+            return instrumentation_.counters;
+        } else {
+            static const dew_counters none{};
+            return none;
+        }
     }
+    [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
     [[nodiscard]] unsigned max_level() const noexcept { return max_level_; }
     [[nodiscard]] std::uint32_t associativity() const noexcept { return assoc_; }
     [[nodiscard]] std::uint32_t block_size() const noexcept { return block_size_; }
@@ -80,14 +121,108 @@ private:
     // probe_victims() returns this when `block` is in no buffer slot.
     static constexpr std::uint32_t no_victim_match = ~std::uint32_t{0};
 
+    DEW_NOINLINE static void validate_construction(
+        unsigned max_level, std::uint32_t assoc, std::uint32_t block_size,
+        const dew_options& options) {
+        DEW_EXPECTS(max_level < 32);
+        DEW_EXPECTS(is_pow2(assoc));
+        DEW_EXPECTS(is_pow2(block_size));
+        DEW_EXPECTS(!options.use_mre || options.mre_depth >= 1);
+    }
+
+    // Associativity is a loop bound in the search and a mask in the FIFO
+    // cursor wrap; baking the common powers of two in as compile-time
+    // constants lets the optimiser unroll the tag scan and fold the masks.
+    // StaticAssoc == 0 is the generic fallback reading assoc_ at runtime.
+    // Results are identical across all instantiations.
+    template <class F>
+    static decltype(auto) with_static_assoc(std::uint32_t assoc, F&& f) {
+        switch (assoc) {
+        case 1: return f(std::integral_constant<std::uint32_t, 1>{});
+        case 2: return f(std::integral_constant<std::uint32_t, 2>{});
+        case 4: return f(std::integral_constant<std::uint32_t, 4>{});
+        case 8: return f(std::integral_constant<std::uint32_t, 8>{});
+        case 16: return f(std::integral_constant<std::uint32_t, 16>{});
+        default: return f(std::integral_constant<std::uint32_t, 0>{});
+        }
+    }
+
+    // Same trick for the victim-buffer depth: depth 1 (the paper's MRE) is
+    // the overwhelmingly common configuration, and baking it in turns the
+    // buffer probe into a single compare and the round-robin aging into a
+    // fixed-slot store.  runtime_depth (~0) reads mre_depth_ at runtime.
+    static constexpr std::uint32_t runtime_depth = ~std::uint32_t{0};
+
+    template <class F>
+    static decltype(auto) with_static_depth(std::uint32_t depth, F&& f) {
+        switch (depth) {
+        case 1: return f(std::integral_constant<std::uint32_t, 1>{});
+        default:
+            return f(std::integral_constant<std::uint32_t, runtime_depth>{});
+        }
+    }
+
+    // And for the property switches: full DEW (P2+P3+P4 all on, the
+    // default) folds every per-level `options_.use_*` test away; ablation
+    // configurations take the generic runtime-checked walk.
+    template <class F>
+    static decltype(auto) with_static_options(const dew_options& options,
+                                              F&& f) {
+        if (options.use_mra_stop && options.use_wave && options.use_mre) {
+            return f(std::true_type{});
+        }
+        return f(std::false_type{});
+    }
+
+    // One full tree walk for one block number (Algorithms 1 and 2).
+    // Force-inlined into the simulate loops: as a standalone call the walk
+    // reloads members (options, tree base, stride, counters) per access;
+    // inlined, they are hoisted into registers across the whole trace —
+    // measured at ~25% of hot-loop time on the micro trace.  Plain
+    // `inline` is not enough: GCC declines on the runtime-depth
+    // specialisations.
+    template <std::uint32_t StaticAssoc, std::uint32_t StaticDepth,
+              bool AllOpts>
+    DEW_ALWAYS_INLINE void access_block_impl(std::uint64_t block);
+
+    // The whole-stream loop of one static-assoc specialisation.  noinline
+    // keeps each specialisation a compact standalone function.
+    template <std::uint32_t StaticAssoc, std::uint32_t StaticDepth,
+              bool AllOpts>
+    DEW_NOINLINE void run_blocks(const std::uint64_t* first,
+                                 const std::uint64_t* last) {
+        note_requests(static_cast<std::uint64_t>(last - first));
+        for (; first != last; ++first) {
+            access_block_impl<StaticAssoc, StaticDepth, AllOpts>(*first);
+        }
+    }
+
+    // Request bookkeeping, hoisted out of the per-access walk: one bulk
+    // update per stream instead of a member read-modify-write per access.
+    void note_requests(std::uint64_t count) {
+        requests_ += count;
+        if constexpr (counted) {
+            instrumentation_.counters.requests += count;
+            // Paper Table 4 column 2: per-configuration simulation evaluates
+            // one set per configuration per request — levels x {1, A}
+            // configurations (30 for the paper's parameters), versus one
+            // tree node per level for DEW.
+            instrumentation_.counters.unoptimized_evaluations +=
+                count * (max_level_ + 1) * (assoc_ == 1 ? 1 : 2);
+        }
+    }
+
     // Scans the node's victim buffer for `block` (Property 4, generalised
-    // to mre_depth entries), counting comparisons.
-    std::uint32_t probe_victims(node_ref node, std::uint64_t block);
+    // to mre_depth entries), counting comparisons under `full_counters`.
+    template <std::uint32_t StaticDepth>
+    DEW_ALWAYS_INLINE std::uint32_t probe_victims(node_ref node, std::uint64_t block);
 
     // Algorithm 2 ("Handle_miss"): picks the FIFO victim, performs either
     // the victim-buffer swap or a plain insert with victim-buffer update,
     // and returns the way the requested block now occupies.
-    std::uint32_t insert_on_miss(node_ref node, std::uint64_t block,
+    template <std::uint32_t StaticAssoc, std::uint32_t StaticDepth,
+              bool AllOpts>
+    DEW_ALWAYS_INLINE std::uint32_t insert_on_miss(node_ref node, std::uint64_t block,
                                  mre_knowledge known,
                                  std::uint32_t matched_slot = no_victim_match);
 
@@ -96,14 +231,349 @@ private:
     std::uint32_t way_mask_; // assoc - 1
     std::uint32_t block_size_;
     unsigned block_bits_;
+    // options_.effective_mre_depth(), cached so the per-access loops never
+    // re-derive it.
+    std::uint32_t mre_depth_;
     dew_options options_;
     dew_tree tree_;
-    dew_counters counters_;
+    // Empty under the `fast` policy; [[no_unique_address]] keeps it free.
+    [[no_unique_address]] Instrumentation instrumentation_{};
+    std::uint64_t requests_{0};
     // Exact miss counts per level, for associativity `assoc_` and for the
     // piggybacked direct-mapped (associativity 1) configurations.
     std::vector<std::uint64_t> misses_assoc_;
     std::vector<std::uint64_t> misses_dm_;
 };
+
+// The counted simulator: the seed-compatible default every test and bench
+// table uses.  `fast` is the zero-overhead production configuration.
+using dew_simulator = basic_dew_simulator<full_counters>;
+using fast_dew_simulator = basic_dew_simulator<fast>;
+
+// --- implementation ---------------------------------------------------------
+
+template <class Instrumentation>
+basic_dew_simulator<Instrumentation>::basic_dew_simulator(
+    unsigned max_level, std::uint32_t assoc, std::uint32_t block_size,
+    dew_options options)
+    : max_level_{max_level},
+      assoc_{assoc},
+      way_mask_{assoc - 1},
+      block_size_{block_size},
+      block_bits_{log2_exact(block_size)},
+      mre_depth_{options.effective_mre_depth()},
+      options_{options},
+      tree_{max_level, assoc, options.effective_mre_depth()},
+      misses_assoc_(max_level + 1, 0),
+      misses_dm_(max_level + 1, 0) {
+    validate_construction(max_level, assoc, block_size, options);
+}
+
+// Scans the node's victim buffer for `block`, counting one tag comparison
+// per valid entry examined.  Returns the matching slot or `no_victim_match`.
+template <class Instrumentation>
+template <std::uint32_t StaticDepth>
+std::uint32_t
+basic_dew_simulator<Instrumentation>::probe_victims(node_ref node,
+                                                    std::uint64_t block) {
+    const std::uint32_t depth =
+        StaticDepth == runtime_depth ? mre_depth_ : StaticDepth;
+    if constexpr (counted) {
+        for (std::uint32_t slot = 0; slot < depth; ++slot) {
+            if (node.victims[slot].tag == cache::invalid_tag) {
+                continue; // never filled: no comparison performed
+            }
+            ++instrumentation_.counters.tag_comparisons;
+            if (node.victims[slot].tag == block) {
+                return slot;
+            }
+        }
+        return no_victim_match;
+    } else {
+        // Branchless scan.  A never-filled slot holds invalid_tag, which no
+        // real block number equals (access_block rejects it), so comparing
+        // unconditionally is safe; a buffered tag appears at most once (the
+        // swap removes it on re-fetch), so any match is the match.  The
+        // conditional select compiles to cmov — no data-dependent branch,
+        // where the valid-prefix loop above mispredicts on buffer state.
+        std::uint32_t matched = no_victim_match;
+        for (std::uint32_t slot = 0; slot < depth; ++slot) {
+            matched = node.victims[slot].tag == block ? slot : matched;
+        }
+        return matched;
+    }
+}
+
+template <class Instrumentation>
+template <std::uint32_t StaticAssoc, std::uint32_t StaticDepth, bool AllOpts>
+std::uint32_t basic_dew_simulator<Instrumentation>::insert_on_miss(
+    node_ref node, std::uint64_t block, mre_knowledge known,
+    std::uint32_t matched_slot) {
+    const std::uint32_t way_mask =
+        StaticAssoc == 0 ? way_mask_ : StaticAssoc - 1;
+    const std::uint32_t depth =
+        StaticDepth == runtime_depth ? mre_depth_ : StaticDepth;
+    const bool use_mre = AllOpts || options_.use_mre;
+    // Algorithm 2, lines 3-9.  The FIFO victim is the circular cursor: cold
+    // ways fill in order first, then replacement is round-robin — the
+    // "least recently inserted" position of line 3.
+    const std::uint32_t victim = node.header.cursor;
+    node.header.cursor = (victim + 1) & way_mask;
+    way_entry& slot = node.ways[victim];
+
+    if (known == mre_knowledge::unknown && use_mre) {
+        // Algorithm 2, line 4, generalised to the victim buffer.
+        matched_slot = probe_victims<StaticDepth>(node, block);
+        if (matched_slot != no_victim_match) {
+            known = mre_knowledge::matched;
+            if constexpr (counted) {
+                ++instrumentation_.counters.mre_swaps;
+            }
+        }
+    }
+
+    if (known == mre_knowledge::matched) {
+        // Line 5: exchange the victim way with the matching buffer entry.
+        // The incoming block regains the wave pointer it had when it was
+        // evicted — still valid, because FIFO never moved it in the child
+        // meanwhile.
+        DEW_ASSERT(matched_slot < depth);
+        way_entry& buffered = node.victims[matched_slot];
+        const way_entry displaced = slot;
+        slot = buffered;
+        buffered = displaced;
+    } else {
+        // Lines 7-8: plain insert; the displaced tag (if any) joins the
+        // victim buffer together with its wave pointer, aging out the
+        // oldest buffered victim.
+        if (use_mre && slot.tag != cache::invalid_tag) {
+            node.victims[node.header.victim_cursor] = slot;
+            node.header.victim_cursor =
+                node.header.victim_cursor + 1 == depth
+                    ? 0
+                    : node.header.victim_cursor + 1;
+        }
+        slot.tag = block;
+        slot.wave = empty_wave;
+    }
+    return victim;
+}
+
+template <class Instrumentation>
+template <std::uint32_t StaticAssoc, std::uint32_t StaticDepth, bool AllOpts>
+void basic_dew_simulator<Instrumentation>::access_block_impl(
+    std::uint64_t block) {
+    const std::uint32_t assoc = StaticAssoc == 0 ? assoc_ : StaticAssoc;
+    // AllOpts folds the property switches to constants (full DEW); the
+    // generic instantiation reads them per access for the ablations.
+    const bool use_mra_stop = AllOpts || options_.use_mra_stop;
+    const bool use_wave = AllOpts || options_.use_wave;
+    const bool use_mre = AllOpts || options_.use_mre;
+    // The all-ones block number is the empty-way sentinel; a real request
+    // can only produce it from the top bytes of the address space at tiny
+    // block sizes, and accepting it would corrupt the tree silently.
+    DEW_EXPECTS(block != cache::invalid_tag);
+    const unsigned levels = max_level_ + 1;
+
+    // The wave pointer chain: entry holding `block` in the previous
+    // (parent) level's node, or null at the root / after a P2 continue.
+    way_entry* parent_entry = nullptr;
+
+    // Flat tree slot, tracked incrementally: level l's node for this block
+    // lives at (2^l - 1) + (block & (2^l - 1)), so each level adds
+    // bit + (block & bit) — two adds instead of two shifts and two masks.
+    const dew_tree::walker nodes = tree_.make_walker();
+    std::uint64_t slot = 0;
+    std::uint64_t bit = 1;
+
+    for (unsigned level = 0; level < levels;
+         ++level, slot += bit + (block & bit), bit <<= 1) {
+        const node_ref node = nodes.at(slot);
+        if constexpr (counted) {
+            ++instrumentation_.counters.node_evaluations;
+        }
+
+        // Property 2 probe.  This same comparison yields the exact
+        // direct-mapped (associativity 1) outcome for set count 2^level,
+        // because the MRA tag equals the last block that mapped here.
+        if constexpr (counted) {
+            ++instrumentation_.counters.tag_comparisons;
+        }
+        if (node.mra == block) {
+            if constexpr (counted) {
+                ++instrumentation_.counters.mra_hits;
+            }
+            if (use_mra_stop) {
+                // Hit certified at this level and every deeper level, for
+                // both associativity A and 1.  Hits are implicit
+                // (requests - misses), so there is nothing to count.
+                return;
+            }
+            // Ablation mode: the certificate still applies at this node (the
+            // request is a hit, FIFO state is untouched), but the way
+            // position is unknown, so the wave chain breaks for the child.
+            parent_entry = nullptr;
+            continue;
+        }
+        // Direct-mapped miss at this set count; also Algorithm 1/2 line 1-2.
+        ++misses_dm_[level];
+        node.mra = block;
+
+        bool hit = false;
+        std::uint32_t way = 0;
+        bool determined = false;
+
+        // Property 3: one probe at the wave pointer decides hit or miss.
+        if (use_wave && parent_entry != nullptr &&
+            parent_entry->wave != empty_wave) {
+            const std::uint32_t pointed = parent_entry->wave;
+            DEW_ASSERT(pointed < assoc);
+            if constexpr (counted) {
+                ++instrumentation_.counters.wave_checks;
+                ++instrumentation_.counters.tag_comparisons;
+            }
+            determined = true;
+            if (node.ways[pointed].tag == block) {
+                if constexpr (counted) {
+                    ++instrumentation_.counters.wave_hit_determinations;
+                }
+                hit = true;
+                way = pointed;
+            } else {
+                if constexpr (counted) {
+                    ++instrumentation_.counters.wave_miss_determinations;
+                }
+                ++misses_assoc_[level];
+                way = insert_on_miss<StaticAssoc, StaticDepth, AllOpts>(
+                    node, block, mre_knowledge::unknown);
+            }
+        }
+
+        if (!determined) {
+            // Property 4: a victim-buffer match proves the miss without a
+            // search.
+            std::uint32_t matched_slot = no_victim_match;
+            if (use_mre) {
+                matched_slot = probe_victims<StaticDepth>(node, block);
+            }
+            if (matched_slot != no_victim_match) {
+                if constexpr (counted) {
+                    ++instrumentation_.counters.mre_determinations;
+                }
+                ++misses_assoc_[level];
+                way = insert_on_miss<StaticAssoc, StaticDepth, AllOpts>(
+                    node, block, mre_knowledge::matched, matched_slot);
+            } else {
+                // Full tag-list search.
+                bool found = false;
+                if constexpr (counted) {
+                    // Valid entries form a prefix under FIFO fill, and
+                    // skipped invalid ways cost no comparison — the exact
+                    // Table-3 counting convention.
+                    ++instrumentation_.counters.searches;
+                    for (std::uint32_t i = 0; i < assoc; ++i) {
+                        if (node.ways[i].tag == cache::invalid_tag) {
+                            continue;
+                        }
+                        ++instrumentation_.counters.tag_comparisons;
+                        if (node.ways[i].tag == block) {
+                            found = true;
+                            way = i;
+                            break;
+                        }
+                    }
+                } else {
+                    // Branchless scan of all A ways: invalid_tag never
+                    // equals a real block number and resident tags are
+                    // distinct, so unconditional compares plus a cmov
+                    // select find the same way without the early-exit
+                    // branches (which mispredict on cache contents).
+                    std::uint32_t matched = assoc;
+                    for (std::uint32_t i = 0; i < assoc; ++i) {
+                        matched = node.ways[i].tag == block ? i : matched;
+                    }
+                    found = matched != assoc;
+                    way = found ? matched : 0;
+                }
+                if (found) {
+                    hit = true;
+                } else {
+                    ++misses_assoc_[level];
+                    way = insert_on_miss<StaticAssoc, StaticDepth, AllOpts>(
+                        node, block,
+                        use_mre ? mre_knowledge::mismatched
+                                : mre_knowledge::unknown);
+                }
+            }
+        }
+
+        // Algorithm 1/2, lines 10-11: publish this node's way position into
+        // the parent's matching entry and carry our own entry downwards.
+        if (parent_entry != nullptr) {
+            parent_entry->wave = way;
+        }
+        parent_entry = &node.ways[way];
+        (void)hit;
+    }
+}
+
+template <class Instrumentation>
+void basic_dew_simulator<Instrumentation>::simulate(
+    const trace::mem_trace& trace) {
+    // Resolve the static-associativity dispatch once for the whole trace.
+    note_requests(trace.size());
+    with_static_assoc(assoc_, [&](auto a) {
+        with_static_depth(mre_depth_, [&](auto d) {
+            with_static_options(options_, [&](auto o) {
+                for (const trace::mem_access& reference : trace) {
+                    this->template access_block_impl<a(), d(), o()>(
+                        reference.address >> block_bits_);
+                }
+            });
+        });
+    });
+}
+
+template <class Instrumentation>
+void basic_dew_simulator<Instrumentation>::simulate_blocks(
+    std::span<const std::uint64_t> blocks) {
+    with_static_assoc(assoc_, [&](auto a) {
+        with_static_depth(mre_depth_, [&](auto d) {
+            with_static_options(options_, [&](auto o) {
+                this->template run_blocks<a(), d(), o()>(
+                    blocks.data(), blocks.data() + blocks.size());
+            });
+        });
+    });
+}
+
+template <class Instrumentation>
+dew_result basic_dew_simulator<Instrumentation>::result() const {
+    dew_counters snapshot{};
+    if constexpr (counted) {
+        snapshot = instrumentation_.counters;
+    } else {
+        // No bookkeeping exists; report the one quantity that is tracked
+        // regardless so hits stay derivable from the result alone.
+        snapshot.requests = requests_;
+    }
+    return dew_result{max_level_, assoc_,      block_size_, requests_,
+                      misses_assoc_, misses_dm_, snapshot};
+}
+
+template <class Instrumentation>
+void basic_dew_simulator<Instrumentation>::reset() {
+    tree_.clear();
+    instrumentation_ = {};
+    requests_ = 0;
+    std::fill(misses_assoc_.begin(), misses_assoc_.end(), 0);
+    std::fill(misses_dm_.begin(), misses_dm_.end(), 0);
+}
+
+// The only two policies; instantiated once in simulator.cpp so the fifty-odd
+// consumer translation units do not each re-instantiate the simulator.
+extern template class basic_dew_simulator<full_counters>;
+extern template class basic_dew_simulator<fast>;
 
 } // namespace dew::core
 

@@ -5,6 +5,11 @@
 // 525-configuration Table 1 space — optionally running passes on worker
 // threads.  Passes are completely independent (each owns its tree), so
 // parallelism is deterministic: results are identical to the serial sweep.
+//
+// The raw trace is decoded exactly once per block size: every pass of one
+// block size consumes the same shared block-number stream
+// (trace::block_numbers) through simulate_blocks, on the serial and the
+// threaded path alike.
 #ifndef DEW_DEW_SWEEP_HPP
 #define DEW_DEW_SWEEP_HPP
 
@@ -19,6 +24,15 @@
 
 namespace dew::core {
 
+// Which basic_dew_simulator instantiation a sweep runs.  `fast` (the
+// default) compiles all per-access counter updates out of the hot loop;
+// `full_counters` keeps the exact Table-3/4 instrumentation.  Miss counts
+// are bit-identical either way.
+enum class sweep_instrumentation : std::uint8_t {
+    fast = 0,
+    full_counters = 1,
+};
+
 struct sweep_request {
     // Set counts 2^0 .. 2^max_set_exp are covered by every pass.
     unsigned max_set_exp{14};
@@ -30,6 +44,8 @@ struct sweep_request {
     // Worker threads; 0 = serial in the calling thread.  Results are
     // bit-identical regardless.
     unsigned threads{0};
+    // Instrumentation policy of every pass; fast = zero-overhead hot loop.
+    sweep_instrumentation instrumentation{sweep_instrumentation::fast};
 
     // The paper's Table 1 space: S = 2^0..2^14, B = 2^0..2^6, A = 2^0..2^4.
     [[nodiscard]] static sweep_request paper() {

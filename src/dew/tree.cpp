@@ -1,6 +1,8 @@
 #include "dew/tree.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
 
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
@@ -9,41 +11,74 @@ namespace dew::core {
 
 namespace {
 
-// Nodes of level l live at flat offsets [2^l - 1, 2^(l+1) - 1): the classic
-// implicit layout for a complete binary hierarchy of levels.
-constexpr std::uint64_t level_offset(unsigned level) noexcept {
-    return (std::uint64_t{1} << level) - 1;
+// Preconditions must run before the member initializers: node_count_ shifts
+// by max_level + 1, which is undefined for max_level >= 63, so the contract
+// has to fire first (the class promises misuse throws, never corrupts).
+unsigned checked_max_level(unsigned max_level) {
+    DEW_EXPECTS(max_level < 32);
+    return max_level;
 }
 
 } // namespace
 
 dew_tree::dew_tree(unsigned max_level, std::uint32_t associativity,
                    std::uint32_t victim_depth)
-    : max_level_{max_level},
+    : max_level_{checked_max_level(max_level)},
       assoc_{associativity},
-      victim_depth_{victim_depth} {
-    DEW_EXPECTS(max_level < 32);
+      victim_depth_{victim_depth},
+      node_count_{level_offset(max_level + 1)},
+      stride_{static_cast<std::size_t>(
+          align_up(sizeof(node_header) +
+                       sizeof(way_entry) * (std::size_t{associativity} +
+                                            victim_depth),
+                   32))},
+      victim_offset_{sizeof(node_header) +
+                     sizeof(way_entry) * std::size_t{associativity}} {
     DEW_EXPECTS(is_pow2(associativity));
-    const std::uint64_t nodes = level_offset(max_level + 1);
-    headers_.resize(nodes);
-    ways_.resize(nodes * assoc_);
-    victims_.resize(nodes * victim_depth_);
+    arena_bytes_ = node_count_ * stride_;
+    mra_.resize(node_count_);
+    storage_ = allocate_arena(arena_bytes_);
+    clear();
 }
 
-node_ref dew_tree::node(unsigned level, std::uint64_t index) noexcept {
-    const std::uint64_t slot = level_offset(level) + index;
-    return {headers_[slot], &ways_[slot * assoc_],
-            victim_depth_ == 0 ? nullptr : &victims_[slot * victim_depth_]};
+dew_tree::dew_tree(const dew_tree& other)
+    : max_level_{other.max_level_},
+      assoc_{other.assoc_},
+      victim_depth_{other.victim_depth_},
+      node_count_{other.node_count_},
+      stride_{other.stride_},
+      victim_offset_{other.victim_offset_},
+      arena_bytes_{other.arena_bytes_},
+      mra_{other.mra_},
+      storage_{allocate_arena(other.arena_bytes_)} {
+    // Records are trivially copyable implicit-lifetime types, so memcpy
+    // both clones the bytes and (formally) creates the objects in the new
+    // storage.
+    std::memcpy(storage_.get(), other.storage_.get(), arena_bytes_);
 }
 
-std::uint64_t dew_tree::node_count() const noexcept {
-    return headers_.size();
+dew_tree& dew_tree::operator=(const dew_tree& other) {
+    if (this != &other) {
+        *this = dew_tree{other}; // copy-construct, then move-assign
+    }
+    return *this;
 }
 
 void dew_tree::clear() {
-    std::fill(headers_.begin(), headers_.end(), node_header{});
-    std::fill(ways_.begin(), ways_.end(), way_entry{});
-    std::fill(victims_.begin(), victims_.end(), way_entry{});
+    std::fill(mra_.begin(), mra_.end(), cache::invalid_tag);
+    // (Re)construct every record in place.  node_header and way_entry are
+    // trivially destructible, so placement-new over live entries is a plain
+    // reset; on the first call it also starts the objects' lifetimes inside
+    // the raw arena bytes.
+    const std::uint32_t entries = assoc_ + victim_depth_;
+    std::byte* base = storage_.get();
+    for (std::uint64_t slot = 0; slot < node_count_; ++slot, base += stride_) {
+        ::new (base) node_header{};
+        auto* entry = base + sizeof(node_header);
+        for (std::uint32_t i = 0; i < entries; ++i, entry += sizeof(way_entry)) {
+            ::new (entry) way_entry{};
+        }
+    }
 }
 
 std::uint64_t dew_tree::paper_bits_per_level(unsigned level) const noexcept {

@@ -13,6 +13,31 @@
 // unknown.  FIFO never moves a resident block between ways, which is what
 // makes a stored way index trustworthy until eviction.
 //
+// Storage layout — two planes, engineered around the walk's access pattern:
+//
+//  * The MRA plane: one dense std::uint64_t per node.  The Property-2 probe
+//    reads (and on a DM miss writes) the MRA tag of every node the walk
+//    visits — it is by far the hottest field, and most visits touch nothing
+//    else.  Packing the tags densely fits eight per cache line, so the
+//    shallow levels stay resident and the deep, sparsely-hit levels cost
+//    the fewest possible line fills.
+//
+//  * The record arena: one packed per-node record of everything else —
+//    the FIFO/victim cursors, the A way entries, then the victim buffer —
+//    at a fixed runtime stride.  A record is only touched when the walk has
+//    to resolve an A-way set (a DM miss at that node), and then the cursor,
+//    tag list and victim buffer are needed together: one stride computation
+//    into one allocation, one or two adjacent lines.  The stride rounds the
+//    record up to 32 bytes inside a 64-byte-aligned arena; rounding all the
+//    way to 64 was measured slower (a 4-way record is 88 bytes — padding to
+//    128 costs a third more footprint and misses than it saves in
+//    alignment).
+//
+// The seed layout segmented one logical node across three parallel vectors
+// (headers, ways, victims), so resolving one set gathered three distant
+// lines; bench/seed_baseline.hpp preserves that layout as the perf
+// baseline.
+//
 // Extension over the paper: the single MRE entry generalises to a small
 // per-node *victim buffer* of `victim_depth` (tag, wave) entries holding
 // the most recently evicted tags.  Depth 1 is exactly the paper's MRE
@@ -23,7 +48,10 @@
 #ifndef DEW_DEW_TREE_HPP
 #define DEW_DEW_TREE_HPP
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <new>
 #include <vector>
 
 #include "cache/set_model.hpp" // invalid_tag
@@ -37,15 +65,22 @@ struct way_entry {
     std::uint32_t wave{empty_wave};
 };
 
+// The non-MRA scalar state of one node, leading its record in the arena.
 struct node_header {
-    std::uint64_t mra{cache::invalid_tag}; // most recently accessed tag
-    std::uint32_t cursor{0};               // FIFO insertion pointer (ways)
-    std::uint32_t victim_cursor{0};        // round-robin victim-buffer slot
+    std::uint32_t cursor{0};        // FIFO insertion pointer (ways)
+    std::uint32_t victim_cursor{0}; // round-robin victim-buffer slot
 };
 
-// Mutable view of one node: its header, its A-entry tag list, and its
-// victim buffer (nullptr when victim_depth == 0).
+// The record layout below hard-codes these sizes when computing strides
+// and offsets.
+static_assert(sizeof(node_header) == 8);
+static_assert(sizeof(way_entry) == 16);
+
+// Mutable view of one node: its MRA tag (dense plane), its cursor header,
+// its A-entry tag list, and its victim buffer (nullptr when
+// victim_depth == 0).
 struct node_ref {
+    std::uint64_t& mra; // most recently accessed tag
     node_header& header;
     way_entry* ways;    // [associativity]
     way_entry* victims; // [victim_depth], most recently evicted tags
@@ -58,14 +93,76 @@ public:
     dew_tree(unsigned max_level, std::uint32_t associativity,
              std::uint32_t victim_depth = 1);
 
-    [[nodiscard]] node_ref node(unsigned level, std::uint64_t index) noexcept;
+    // The record arena is a raw aligned allocation, so copying must clone
+    // it by hand (all record types are trivially copyable); moves transfer
+    // the buffer.
+    dew_tree(const dew_tree& other);
+    dew_tree& operator=(const dew_tree& other);
+    dew_tree(dew_tree&&) noexcept = default;
+    dew_tree& operator=(dew_tree&&) noexcept = default;
+    ~dew_tree() = default;
+
+    // Register-resident view of the tree's layout for the walk's inner
+    // loop.  The walk stores block numbers (std::uint64_t) through node
+    // references, and under type-based aliasing such a store may alias any
+    // same-typed member (stride_, arena_bytes_ are 64-bit unsigned too) —
+    // so going through the dew_tree members would reload them after every
+    // node mutation.  A walker snapshots the plane pointers and stride
+    // into locals once, making the per-level lookup pure arithmetic.
+    class walker {
+    public:
+        explicit walker(dew_tree& tree) noexcept
+            : mra_{tree.mra_.data()},
+              base_{tree.storage_.get()},
+              stride_{tree.stride_},
+              victim_offset_{tree.victim_offset_},
+              has_victims_{tree.victim_depth_ != 0} {}
+
+        // Node at a flat slot (level_offset(level) + index).
+        [[nodiscard]] node_ref at(std::uint64_t slot) const noexcept {
+            std::byte* const base = base_ + slot * stride_;
+            return {mra_[slot],
+                    *std::launder(reinterpret_cast<node_header*>(base)),
+                    std::launder(reinterpret_cast<way_entry*>(
+                        base + sizeof(node_header))),
+                    has_victims_
+                        ? std::launder(reinterpret_cast<way_entry*>(
+                              base + victim_offset_))
+                        : nullptr};
+        }
+
+    private:
+        std::uint64_t* mra_;
+        std::byte* base_;
+        std::size_t stride_;
+        std::size_t victim_offset_;
+        bool has_victims_;
+    };
+
+    [[nodiscard]] walker make_walker() noexcept { return walker{*this}; }
+
+    [[nodiscard]] node_ref node(unsigned level, std::uint64_t index) noexcept {
+        return make_walker().at(level_offset(level) + index);
+    }
 
     [[nodiscard]] unsigned max_level() const noexcept { return max_level_; }
     [[nodiscard]] std::uint32_t associativity() const noexcept { return assoc_; }
     [[nodiscard]] std::uint32_t victim_depth() const noexcept {
         return victim_depth_;
     }
-    [[nodiscard]] std::uint64_t node_count() const noexcept;
+    [[nodiscard]] std::uint64_t node_count() const noexcept {
+        return node_count_;
+    }
+
+    // Bytes between consecutive records in the arena (the packed record
+    // rounded up to 32 bytes).
+    [[nodiscard]] std::size_t node_stride_bytes() const noexcept {
+        return stride_;
+    }
+    // Total footprint in bytes: the dense MRA plane plus the record arena.
+    [[nodiscard]] std::size_t storage_bytes() const noexcept {
+        return mra_.size() * sizeof(std::uint64_t) + arena_bytes_;
+    }
 
     // Reset all nodes to the cold state.
     void clear();
@@ -86,13 +183,39 @@ public:
     [[nodiscard]] std::uint64_t paper_bits_total() const noexcept;
 
 private:
+    // Nodes of level l live at flat offsets [2^l - 1, 2^(l+1) - 1): the
+    // classic implicit layout for a complete binary hierarchy of levels.
+    [[nodiscard]] static constexpr std::uint64_t
+    level_offset(unsigned level) noexcept {
+        return (std::uint64_t{1} << level) - 1;
+    }
+
+    static constexpr std::size_t arena_alignment = 64;
+
+    struct arena_delete {
+        void operator()(std::byte* p) const noexcept {
+            ::operator delete[](p, std::align_val_t{arena_alignment});
+        }
+    };
+    using arena_ptr = std::unique_ptr<std::byte[], arena_delete>;
+
+    [[nodiscard]] static arena_ptr allocate_arena(std::size_t bytes) {
+        return arena_ptr{static_cast<std::byte*>(::operator new[](
+            bytes, std::align_val_t{arena_alignment}))};
+    }
+
     unsigned max_level_;
     std::uint32_t assoc_;
     std::uint32_t victim_depth_;
-    // Flat per-level storage; level l starts at offset 2^l - 1 node slots.
-    std::vector<node_header> headers_;
-    std::vector<way_entry> ways_;
-    std::vector<way_entry> victims_;
+    std::uint64_t node_count_;
+    std::size_t stride_;        // bytes per node record, multiple of 32
+    std::size_t victim_offset_; // byte offset of the victim buffer in a record
+    std::size_t arena_bytes_;   // node_count_ * stride_
+    std::vector<std::uint64_t> mra_; // dense MRA plane, invalid_tag when cold
+    // Packed records: one contiguous 64-byte-aligned byte allocation (a
+    // single provided-storage region, so a record never straddles distinct
+    // storage objects).
+    arena_ptr storage_;
 };
 
 } // namespace dew::core

@@ -37,6 +37,21 @@ struct mem_access {
 // span-like view over this; file formats stream into/out of it.
 using mem_trace = std::vector<mem_access>;
 
+// Pre-decoded block-number stream of a trace at one block size: element i is
+// trace[i].address >> block_bits.  This is the contract of
+// basic_dew_simulator::simulate_blocks — the sweep computes the stream once
+// per block size and shares it across every associativity pass, so the
+// per-pass working set is 8-byte block numbers instead of 16-byte records.
+[[nodiscard]] inline std::vector<std::uint64_t>
+block_numbers(const mem_trace& trace, unsigned block_bits) {
+    std::vector<std::uint64_t> blocks;
+    blocks.reserve(trace.size());
+    for (const mem_access& reference : trace) {
+        blocks.push_back(reference.address >> block_bits);
+    }
+    return blocks;
+}
+
 } // namespace dew::trace
 
 #endif // DEW_TRACE_RECORD_HPP

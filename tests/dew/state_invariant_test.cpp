@@ -77,7 +77,7 @@ private:
                     tree.node(level, set);
 
                 // I2: MRA truthfulness.
-                ASSERT_EQ(node.header.mra, last_request_[slot(level, set)])
+                ASSERT_EQ(node.mra, last_request_[slot(level, set)])
                     << "level " << level << " set " << set;
 
                 for (std::uint32_t way = 0; way < assoc; ++way) {

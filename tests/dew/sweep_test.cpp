@@ -111,11 +111,44 @@ TEST(Sweep, UncoveredConfigurationThrows) {
     EXPECT_THROW((void)result.misses_of({64, 16, 8}), std::out_of_range);
 }
 
+TEST(Sweep, FastAndCountedInstrumentationAgreeOnMisses) {
+    const trace::mem_trace trace = workload();
+    sweep_request fast_request = small_request(); // default: fast
+    sweep_request counted_request = small_request();
+    counted_request.instrumentation = sweep_instrumentation::full_counters;
+
+    const sweep_result fast = run_sweep(trace, fast_request);
+    const sweep_result counted = run_sweep(trace, counted_request);
+    ASSERT_EQ(fast.passes.size(), counted.passes.size());
+    for (std::size_t i = 0; i < fast.passes.size(); ++i) {
+        for (unsigned level = 0; level <= fast.passes[i].max_level();
+             ++level) {
+            EXPECT_EQ(fast.passes[i].misses(level,
+                                            fast.passes[i].associativity()),
+                      counted.passes[i].misses(
+                          level, counted.passes[i].associativity()));
+            EXPECT_EQ(fast.passes[i].misses(level, 1),
+                      counted.passes[i].misses(level, 1));
+        }
+    }
+    // Only the counted sweep carries per-property bookkeeping; the fast
+    // sweep still aggregates exact request totals.
+    EXPECT_EQ(fast.total_counters().tag_comparisons, 0u);
+    EXPECT_GT(counted.total_counters().tag_comparisons, 0u);
+    EXPECT_EQ(fast.total_counters().requests,
+              counted.total_counters().requests);
+}
+
 TEST(Sweep, OptionsPropagateToPasses) {
     sweep_request request = small_request();
     request.options = dew_options::unoptimized();
+    // Counted instrumentation, so the per-property counters can prove the
+    // options actually reached the simulators (under the fast default the
+    // counters would be vacuously zero).
+    request.instrumentation = sweep_instrumentation::full_counters;
     const sweep_result result = run_sweep(workload(), request);
     for (const dew_result& pass : result.passes) {
+        EXPECT_GT(pass.counters().searches, 0u);
         EXPECT_EQ(pass.counters().wave_checks, 0u);
         EXPECT_EQ(pass.counters().mre_determinations, 0u);
     }

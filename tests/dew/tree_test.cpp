@@ -19,7 +19,7 @@ TEST(DewTree, FreshNodesAreCold) {
     for (unsigned level = 0; level <= 3; ++level) {
         for (std::uint64_t index = 0; index < (1u << level); ++index) {
             const node_ref node = tree.node(level, index);
-            EXPECT_EQ(node.header.mra, dew::cache::invalid_tag);
+            EXPECT_EQ(node.mra, dew::cache::invalid_tag);
             EXPECT_EQ(node.header.cursor, 0u);
             EXPECT_EQ(node.header.victim_cursor, 0u);
             EXPECT_EQ(node.victims[0].tag, dew::cache::invalid_tag);
@@ -33,21 +33,21 @@ TEST(DewTree, FreshNodesAreCold) {
 
 TEST(DewTree, NodesAreDistinctStorage) {
     dew_tree tree{2, 2};
-    tree.node(1, 0).header.mra = 111;
-    tree.node(1, 1).header.mra = 222;
+    tree.node(1, 0).mra = 111;
+    tree.node(1, 1).mra = 222;
     tree.node(2, 0).ways[0].tag = 333;
-    EXPECT_EQ(tree.node(1, 0).header.mra, 111u);
-    EXPECT_EQ(tree.node(1, 1).header.mra, 222u);
+    EXPECT_EQ(tree.node(1, 0).mra, 111u);
+    EXPECT_EQ(tree.node(1, 1).mra, 222u);
     EXPECT_EQ(tree.node(2, 0).ways[0].tag, 333u);
     EXPECT_EQ(tree.node(2, 1).ways[0].tag, dew::cache::invalid_tag);
 }
 
 TEST(DewTree, ClearRestoresColdState) {
     dew_tree tree{2, 2};
-    tree.node(0, 0).header.mra = 5;
+    tree.node(0, 0).mra = 5;
     tree.node(2, 3).ways[1] = {42, 1};
     tree.clear();
-    EXPECT_EQ(tree.node(0, 0).header.mra, dew::cache::invalid_tag);
+    EXPECT_EQ(tree.node(0, 0).mra, dew::cache::invalid_tag);
     EXPECT_EQ(tree.node(2, 3).ways[1].tag, dew::cache::invalid_tag);
     EXPECT_EQ(tree.node(2, 3).ways[1].wave, empty_wave);
 }
@@ -70,6 +70,42 @@ TEST(DewTree, PaperBitsPerLevelScalesWithSets) {
 TEST(DewTree, RejectsInvalidGeometry) {
     EXPECT_THROW(dew_tree(32, 4), dew::contract_violation);
     EXPECT_THROW(dew_tree(2, 3), dew::contract_violation);
+}
+
+TEST(DewTree, RecordStrideIsPackedAndRounded) {
+    // Record = 8-byte header + 16 bytes per (way or victim) entry, rounded
+    // up to 32 bytes.
+    EXPECT_EQ(dew_tree(2, 4, 1).node_stride_bytes(), 96u);   // 8+80 -> 96
+    EXPECT_EQ(dew_tree(2, 2, 1).node_stride_bytes(), 64u);   // 8+48 -> 64
+    EXPECT_EQ(dew_tree(2, 1, 0).node_stride_bytes(), 32u);   // 8+16 -> 32
+    EXPECT_EQ(dew_tree(2, 8, 4).node_stride_bytes(), 224u); // 8+192 -> 224
+}
+
+TEST(DewTree, StorageCoversMraPlanePlusRecords) {
+    dew_tree tree{3, 4, 1};
+    const std::uint64_t nodes = tree.node_count();
+    EXPECT_GE(tree.storage_bytes(),
+              nodes * (8 + tree.node_stride_bytes()));
+}
+
+TEST(DewTree, NodeFieldsOfOneRecordAreContiguous) {
+    dew_tree tree{4, 4, 2};
+    const node_ref node = tree.node(3, 5);
+    const auto* header_bytes =
+        reinterpret_cast<const std::byte*>(&node.header);
+    const auto* ways_bytes = reinterpret_cast<const std::byte*>(node.ways);
+    const auto* victims_bytes =
+        reinterpret_cast<const std::byte*>(node.victims);
+    EXPECT_EQ(ways_bytes - header_bytes,
+              static_cast<std::ptrdiff_t>(sizeof(node_header)));
+    EXPECT_EQ(victims_bytes - ways_bytes,
+              static_cast<std::ptrdiff_t>(4 * sizeof(way_entry)));
+}
+
+TEST(DewTree, ZeroVictimDepthYieldsNullVictimView) {
+    dew_tree tree{2, 2, 0};
+    EXPECT_EQ(tree.node(1, 1).victims, nullptr);
+    EXPECT_EQ(tree.victim_depth(), 0u);
 }
 
 } // namespace
