@@ -21,6 +21,7 @@
 
 #include "baseline/dinero_sim.hpp"
 #include "cache/set_model.hpp"
+#include "dew/session.hpp"
 #include "dew/simulator.hpp"
 #include "dew/sweep.hpp"
 #include "lru/janapsatya_sim.hpp"
@@ -28,6 +29,7 @@
 #include "trace/binary_io.hpp"
 #include "trace/compressed_io.hpp"
 #include "trace/mediabench.hpp"
+#include "trace/source.hpp"
 
 namespace {
 
@@ -250,6 +252,84 @@ micro_measurement measure(const trace::mem_trace& trace) {
     return m;
 }
 
+// Peak resident bytes per reference of the whole-space sweep, eager versus
+// streaming.  The eager sweep holds the 16-byte-per-reference trace plus the
+// session's chunk-bounded stream buffers; the streaming sweep pulls the same
+// workload out of a generator_source and never materialises the trace, so
+// its peak is the session buffers alone — the memory win the streaming
+// redesign exists for, tracked alongside throughput.
+struct sweep_measurement {
+    double accesses_per_sec{0.0};
+    double peak_bytes_per_ref{0.0};
+};
+
+struct sweep_comparison {
+    sweep_measurement eager;
+    sweep_measurement streaming;
+};
+
+sweep_comparison measure_sweeps() {
+    const trace::mem_trace& trace = bench_trace();
+    core::sweep_request request;
+    request.max_set_exp = 10;
+    request.block_sizes = {16, 32, 64};
+    request.associativities = {4, 8};
+    const core::session_options options{}; // default chunk
+
+    sweep_comparison result;
+    core::sweep_result eager_result;
+    core::sweep_result streaming_result;
+
+    double best = 1e300;
+    for (int rep = 0; rep < json_repetitions; ++rep) {
+        trace::span_source src{{trace.data(), trace.size()}};
+        core::session session{src, request, options};
+        const auto t0 = std::chrono::steady_clock::now();
+        session.run();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+        result.eager.peak_bytes_per_ref =
+            static_cast<double>(trace.size() * sizeof(trace::mem_access) +
+                                session.buffer_bytes()) /
+            static_cast<double>(trace.size());
+        eager_result = session.result();
+    }
+    result.eager.accesses_per_sec =
+        static_cast<double>(trace.size()) / best;
+
+    best = 1e300;
+    for (int rep = 0; rep < json_repetitions; ++rep) {
+        trace::generator_source src{
+            trace::mediabench_profile(trace::mediabench_app::cjpeg),
+            trace::default_seed(trace::mediabench_app::cjpeg), trace.size()};
+        core::session session{src, request, options};
+        const auto t0 = std::chrono::steady_clock::now();
+        session.run();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+        result.streaming.peak_bytes_per_ref =
+            static_cast<double>(session.buffer_bytes()) /
+            static_cast<double>(trace.size());
+        streaming_result = session.result();
+    }
+    result.streaming.accesses_per_sec =
+        static_cast<double>(trace.size()) / best;
+
+    // Exactness first: the streamed sweep must agree with the eager sweep on
+    // every miss count before the memory numbers mean anything.
+    DEW_ASSERT(eager_result.passes.size() == streaming_result.passes.size());
+    for (std::size_t i = 0; i < eager_result.passes.size(); ++i) {
+        const core::dew_result& a = eager_result.passes[i];
+        const core::dew_result& b = streaming_result.passes[i];
+        for (unsigned level = 0; level <= a.max_level(); ++level) {
+            DEW_ASSERT(a.misses(level, a.associativity()) ==
+                       b.misses(level, b.associativity()));
+            DEW_ASSERT(a.misses(level, 1) == b.misses(level, 1));
+        }
+    }
+    return result;
+}
+
 void write_micro_json() {
     const trace::mem_trace& trace = bench_trace();
 
@@ -275,6 +355,7 @@ void write_micro_json() {
         measure<bench::seed::counted_simulator>(trace);
     const micro_measurement counted = measure<core::dew_simulator>(trace);
     const micro_measurement fast = measure<core::fast_dew_simulator>(trace);
+    const sweep_comparison sweeps = measure_sweeps();
 
     std::FILE* out = std::fopen("BENCH_micro.json", "w");
     if (out == nullptr) {
@@ -300,19 +381,38 @@ void write_micro_json() {
                  fast.construct_ms);
     std::fprintf(out, "  \"speedup_arena_counted_vs_seed\": %.3f,\n",
                  counted.accesses_per_sec / seed.accesses_per_sec);
-    std::fprintf(out, "  \"speedup_arena_fast_vs_seed\": %.3f\n",
+    std::fprintf(out, "  \"speedup_arena_fast_vs_seed\": %.3f,\n",
                  fast.accesses_per_sec / seed.accesses_per_sec);
+    std::fprintf(out, "  \"eager_sweep_accesses_per_sec\": %.0f,\n",
+                 sweeps.eager.accesses_per_sec);
+    std::fprintf(out, "  \"streaming_sweep_accesses_per_sec\": %.0f,\n",
+                 sweeps.streaming.accesses_per_sec);
+    std::fprintf(out, "  \"eager_sweep_peak_bytes_per_ref\": %.3f,\n",
+                 sweeps.eager.peak_bytes_per_ref);
+    std::fprintf(out, "  \"streaming_sweep_peak_bytes_per_ref\": %.3f,\n",
+                 sweeps.streaming.peak_bytes_per_ref);
+    std::fprintf(out, "  \"sweep_memory_ratio_eager_vs_streaming\": %.3f\n",
+                 sweeps.eager.peak_bytes_per_ref /
+                     sweeps.streaming.peak_bytes_per_ref);
     std::fprintf(out, "}\n");
     std::fclose(out);
 
     std::printf("BENCH_micro.json: seed %.2fM acc/s, arena+counted %.2fM "
                 "acc/s (x%.2f), arena+fast %.2fM acc/s (x%.2f); construct "
-                "seed %.2fms vs arena %.2fms\n\n",
+                "seed %.2fms vs arena %.2fms\n",
                 seed.accesses_per_sec / 1e6, counted.accesses_per_sec / 1e6,
                 counted.accesses_per_sec / seed.accesses_per_sec,
                 fast.accesses_per_sec / 1e6,
                 fast.accesses_per_sec / seed.accesses_per_sec,
                 seed.construct_ms, fast.construct_ms);
+    std::printf("sweep memory: eager %.1f B/ref vs streaming %.2f B/ref "
+                "(x%.0f smaller), throughput %.2fM vs %.2fM acc/s\n\n",
+                sweeps.eager.peak_bytes_per_ref,
+                sweeps.streaming.peak_bytes_per_ref,
+                sweeps.eager.peak_bytes_per_ref /
+                    sweeps.streaming.peak_bytes_per_ref,
+                sweeps.eager.accesses_per_sec / 1e6,
+                sweeps.streaming.accesses_per_sec / 1e6);
 }
 
 } // namespace

@@ -1,40 +1,55 @@
 // Quickstart: the smallest complete use of the library.
 //
-//   1. synthesise (or load) a memory trace;
-//   2. run ONE single-pass DEW simulation covering every set count at two
-//      associativities;
+//   1. open a trace as a streaming source (here: a synthetic generator;
+//      swap in trace::din_source{"trace.din"} or trace::lackey_source{...}
+//      for a real program — the trace is never loaded whole);
+//   2. run a chunked simulation session covering a grid of set counts,
+//      associativities and block sizes in a handful of single-pass DEW
+//      simulations;
 //   3. read exact per-configuration miss rates out of the result;
 //   4. cross-check one configuration against a classic one-at-a-time
 //      simulation.
 //
+// docs/API.md describes the source → session → result pipeline in full.
+//
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
-#include <iostream>
 
 #include "baseline/dinero_sim.hpp"
-#include "dew/result.hpp"
-#include "dew/simulator.hpp"
+#include "dew/session.hpp"
+#include "dew/sweep.hpp"
 #include "trace/mediabench.hpp"
+#include "trace/source.hpp"
 
 int main() {
     using namespace dew;
 
-    // 1. A JPEG-encoder-like workload of 500k references.  Swap in
-    //    trace::read_din_file("trace.din") or trace::read_lackey_file(...)
-    //    to simulate a real program.
-    const trace::mem_trace trace =
-        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 500'000);
-    std::printf("trace: %zu references (CJPEG-like synthetic workload)\n\n",
-                trace.size());
+    // 1. A JPEG-encoder-like workload of 500k references as a streaming
+    //    source.  Only one chunk is ever resident.
+    constexpr std::size_t references = 500'000;
+    trace::generator_source source{
+        trace::mediabench_profile(trace::mediabench_app::cjpeg),
+        trace::default_seed(trace::mediabench_app::cjpeg), references};
+    std::printf("trace: %zu references (CJPEG-like synthetic workload, "
+                "streamed)\n\n",
+                references);
 
-    // 2. One pass: set counts 2^0 .. 2^10, associativities {1, 4}, 32-byte
-    //    blocks.  FIFO replacement — the policy DEW exists for.
-    core::dew_simulator simulator{/*max_level=*/10, /*assoc=*/4,
-                                  /*block_size=*/32};
-    simulator.simulate(trace);
-    const core::dew_result result = simulator.result();
+    // 2. One session: set counts 2^0 .. 2^10, associativities {1, 4},
+    //    block sizes {16, 32} bytes.  FIFO replacement — the policy DEW
+    //    exists for.  Two DEW passes cover all 44 configurations.
+    core::sweep_request request;
+    request.max_set_exp = 10;
+    request.block_sizes = {16, 32};
+    request.associativities = {4};
+    core::session session{source, request};
+    session.run();
+    const core::sweep_result result = session.result();
+    std::printf("simulated %llu references in %zu chunked steps, peak "
+                "buffer %zu KiB\n\n",
+                static_cast<unsigned long long>(session.requests()),
+                session.steps(), session.buffer_bytes() / 1024);
 
-    // 3. Every covered configuration, exact miss rates, from that one pass.
+    // 3. Every covered configuration, exact miss rates, from those passes.
     std::printf("%-22s %12s %12s\n", "configuration", "misses", "miss rate");
     for (const core::config_outcome& outcome : result.outcomes()) {
         std::printf("%-22s %12llu %11.3f%%\n",
@@ -43,7 +58,10 @@ int main() {
                     100.0 * outcome.miss_rate());
     }
 
-    // 4. Spot-check one configuration the classic way.
+    // 4. Spot-check one configuration the classic way (eager, in-memory —
+    //    the adapters still exist for exactly this kind of small job).
+    const trace::mem_trace trace = trace::make_mediabench_trace(
+        trace::mediabench_app::cjpeg, references);
     const cache::cache_config probe{256, 4, 32};
     baseline::dinero_sim reference{probe};
     reference.simulate(trace);
@@ -54,14 +72,5 @@ int main() {
                 result.misses_of(probe) == reference.stats().misses
                     ? "(exact match)"
                     : "(MISMATCH — please file a bug)");
-
-    // The instrumentation the paper reports (Tables 3 and 4).
-    const core::dew_counters& counters = simulator.counters();
-    std::printf("\nwork done: %llu node evaluations (%llu would be needed "
-                "per-config), %llu tag comparisons\n",
-                static_cast<unsigned long long>(counters.node_evaluations),
-                static_cast<unsigned long long>(
-                    counters.unoptimized_evaluations),
-                static_cast<unsigned long long>(counters.tag_comparisons));
     return 0;
 }

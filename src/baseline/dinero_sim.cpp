@@ -153,10 +153,14 @@ void dinero_sim::flush_dirty() {
     stats_.dirty_blocks = 0;
 }
 
-void dinero_sim::simulate(const trace::mem_trace& trace) {
-    for (const trace::mem_access& reference : trace) {
+void dinero_sim::simulate_chunk(std::span<const trace::mem_access> chunk) {
+    for (const trace::mem_access& reference : chunk) {
         access(reference);
     }
+}
+
+void dinero_sim::simulate(const trace::mem_trace& trace) {
+    simulate_chunk({trace.data(), trace.size()});
 }
 
 std::uint64_t count_misses(const trace::mem_trace& trace,

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <list>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -93,6 +94,10 @@ public:
 
     // Simulate a single reference.
     void access(const trace::mem_access& reference);
+
+    // Uniform incremental step: chunked feeding is bit-identical to one
+    // whole-trace simulate() call (per-reference state only).
+    void simulate_chunk(std::span<const trace::mem_access> chunk);
 
     // Simulate a whole trace.
     void simulate(const trace::mem_trace& trace);

@@ -1,0 +1,268 @@
+#include "dew/session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "dew/simulator.hpp"
+
+namespace dew::core {
+
+namespace detail {
+
+// Type-erased pass: the session holds both instrumentation policies behind
+// one virtual feed() so the chunk loop is policy-agnostic.  The virtual call
+// is per chunk per pass, far off the per-access hot path.
+class sweep_pass {
+public:
+    virtual ~sweep_pass() = default;
+    virtual void feed(std::span<const std::uint64_t> blocks) = 0;
+    [[nodiscard]] virtual dew_result result() const = 0;
+};
+
+template <class Instrumentation>
+class sim_pass final : public sweep_pass {
+public:
+    sim_pass(unsigned max_set_exp, std::uint32_t assoc,
+             std::uint32_t block_size, const dew_options& options)
+        : sim_{max_set_exp, assoc, block_size, options} {}
+
+    void feed(std::span<const std::uint64_t> blocks) override {
+        sim_.simulate_blocks(blocks);
+    }
+
+    [[nodiscard]] dew_result result() const override { return sim_.result(); }
+
+private:
+    basic_dew_simulator<Instrumentation> sim_;
+};
+
+} // namespace detail
+
+namespace {
+
+void decode_blocks(std::span<const trace::mem_access> chunk,
+                   unsigned block_bits, std::vector<std::uint64_t>& out) {
+    out.resize(chunk.size());
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+        out[i] = chunk[i].address >> block_bits;
+    }
+}
+
+} // namespace
+
+// Chunk-generation barrier: the owning thread bumps `generation` and waits
+// on done_cv; each worker processes passes off the shared cursor for that
+// generation, and the last one to finish signals completion.  The mutexed
+// generation handoff orders the stream writes before the workers' reads,
+// and the completion wait orders the workers' simulator writes before the
+// owner reads results.
+struct session::worker_pool {
+    std::mutex mutex;
+    std::condition_variable start_cv;
+    std::condition_variable done_cv;
+    std::uint64_t generation{0};
+    std::size_t running{0}; // workers still on the current generation
+    bool stop{false};
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::thread> workers;
+
+    ~worker_pool() {
+        {
+            const std::lock_guard<std::mutex> lock{mutex};
+            stop = true;
+        }
+        start_cv.notify_all();
+        for (std::thread& worker : workers) {
+            worker.join();
+        }
+    }
+};
+
+session::session(trace::source& src, const sweep_request& request,
+                 session_options options)
+    : request_{request}, options_{options}, source_{&src} {
+    validate(request_);
+    if (options_.chunk_records == 0) {
+        throw std::invalid_argument{
+            "session_options::chunk_records must be > 0"};
+    }
+
+    keys_.reserve(request_.block_sizes.size() *
+                  request_.associativities.size());
+    stream_block_sizes_.reserve(request_.block_sizes.size());
+    for (const std::uint32_t block : request_.block_sizes) {
+        // One shared stream per distinct block size, first-listing order.
+        std::size_t stream = 0;
+        while (stream < stream_block_sizes_.size() &&
+               stream_block_sizes_[stream] != block) {
+            ++stream;
+        }
+        if (stream == stream_block_sizes_.size()) {
+            stream_block_sizes_.push_back(block);
+        }
+        for (const std::uint32_t assoc : request_.associativities) {
+            keys_.push_back({block, assoc, stream});
+        }
+    }
+
+    passes_.reserve(keys_.size());
+    for (const pass_key& key : keys_) {
+        if (request_.instrumentation == sweep_instrumentation::full_counters) {
+            passes_.push_back(std::make_unique<detail::sim_pass<full_counters>>(
+                request_.max_set_exp, key.assoc, key.block_size,
+                request_.options));
+        } else {
+            passes_.push_back(std::make_unique<detail::sim_pass<fast>>(
+                request_.max_set_exp, key.assoc, key.block_size,
+                request_.options));
+        }
+    }
+
+    const bool threaded = request_.threads > 0 && passes_.size() > 1;
+    streams_.resize(threaded ? stream_block_sizes_.size() : 1);
+
+    if (threaded) {
+        pool_ = std::make_unique<worker_pool>();
+        const unsigned worker_count = std::min<unsigned>(
+            request_.threads, static_cast<unsigned>(passes_.size()));
+        pool_->workers.reserve(worker_count);
+        for (unsigned w = 0; w < worker_count; ++w) {
+            pool_->workers.emplace_back([this] {
+                worker_pool& pool = *pool_;
+                std::uint64_t seen = 0;
+                for (;;) {
+                    {
+                        std::unique_lock<std::mutex> lock{pool.mutex};
+                        pool.start_cv.wait(lock, [&] {
+                            return pool.stop || pool.generation != seen;
+                        });
+                        if (pool.stop) {
+                            return;
+                        }
+                        seen = pool.generation;
+                    }
+                    for (;;) {
+                        const std::size_t index =
+                            pool.cursor.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                        if (index >= passes_.size()) {
+                            break;
+                        }
+                        passes_[index]->feed(streams_[keys_[index].stream]);
+                    }
+                    {
+                        const std::lock_guard<std::mutex> lock{pool.mutex};
+                        if (--pool.running == 0) {
+                            pool.done_cv.notify_one();
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+session::~session() = default;
+
+void session::feed_serial(std::span<const trace::mem_access> chunk) {
+    // One stream buffer is live at a time: decode this chunk at one block
+    // size, feed every pass of that block size, then reuse the buffer for
+    // the next block size.
+    std::vector<std::uint64_t>& stream = streams_.front();
+    for (std::size_t s = 0; s < stream_block_sizes_.size(); ++s) {
+        decode_blocks(chunk, log2_exact(stream_block_sizes_[s]), stream);
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i].stream == s) {
+                passes_[i]->feed(stream);
+            }
+        }
+    }
+}
+
+void session::feed_threaded(std::span<const trace::mem_access> chunk) {
+    // Passes of different block sizes run concurrently, so every distinct
+    // stream of this chunk is decoded upfront — chunk * 8 bytes per distinct
+    // block size, the O(chunk) threaded memory bound.
+    for (std::size_t s = 0; s < stream_block_sizes_.size(); ++s) {
+        decode_blocks(chunk, log2_exact(stream_block_sizes_[s]), streams_[s]);
+    }
+    // Hand the chunk to the persistent pool and wait for the barrier: the
+    // atomic cursor balances pass costs; passes are independent, so the
+    // assignment order cannot affect results.
+    worker_pool& pool = *pool_;
+    {
+        const std::lock_guard<std::mutex> lock{pool.mutex};
+        pool.cursor.store(0, std::memory_order_relaxed);
+        pool.running = pool.workers.size();
+        ++pool.generation;
+    }
+    pool.start_cv.notify_all();
+    {
+        std::unique_lock<std::mutex> lock{pool.mutex};
+        pool.done_cv.wait(lock, [&] { return pool.running == 0; });
+    }
+}
+
+bool session::step() {
+    if (exhausted_) {
+        return false;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const std::span<const trace::mem_access> chunk =
+        source_->next_view(options_.chunk_records, chunk_buffer_);
+    if (chunk.empty()) {
+        exhausted_ = true;
+        return false;
+    }
+    requests_ += chunk.size();
+    ++steps_;
+    if (request_.threads > 0 && passes_.size() > 1) {
+        feed_threaded(chunk);
+    } else {
+        feed_serial(chunk);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    seconds_ += std::chrono::duration<double>(stop - start).count();
+    return true;
+}
+
+void session::run() {
+    while (step()) {
+    }
+}
+
+std::size_t session::buffer_bytes() const noexcept {
+    std::size_t total =
+        chunk_buffer_.capacity() * sizeof(trace::mem_access);
+    for (const std::vector<std::uint64_t>& stream : streams_) {
+        total += stream.capacity() * sizeof(std::uint64_t);
+    }
+    return total;
+}
+
+sweep_result session::result() const {
+    sweep_result out;
+    out.requests = requests_;
+    out.seconds = seconds_;
+    out.passes.reserve(passes_.size());
+    for (const std::unique_ptr<detail::sweep_pass>& p : passes_) {
+        out.passes.push_back(p->result());
+    }
+    return out;
+}
+
+sweep_result run_sweep(trace::source& src, const sweep_request& request,
+                       session_options options) {
+    session s{src, request, options};
+    s.run();
+    return s.result();
+}
+
+} // namespace dew::core

@@ -1,0 +1,129 @@
+// dew::session — the chunked decode→simulate pipeline behind every sweep.
+//
+// A session owns one sweep over one trace::source: each step() pulls a chunk
+// of records (zero-copy for in-memory sources), decodes it once per distinct
+// block size into a block-number stream, and feeds that stream to every
+// associativity pass of the block size before the next chunk is pulled.
+// DEW's single-pass algorithm is inherently incremental — the tree carries
+// all state between chunks — so results are bit-identical to a one-shot
+// simulation while peak memory is O(chunk × block sizes) instead of
+// O(trace): the trace itself is never resident.
+//
+// With request.threads > 0 the passes of one chunk are distributed over
+// worker threads (passes are independent, each owns its tree), which keeps
+// the memory bound and the bit-identical-results guarantee intact; the only
+// difference from the serial path is that every distinct block size's stream
+// of the current chunk is live at once instead of one at a time.
+//
+// run_sweep (dew/sweep.hpp) and explore::explore are thin wrappers over this
+// class; use a session directly to interleave simulation with other work, to
+// observe results mid-stream (result() is exact after every step), or to
+// bound memory explicitly via session_options::chunk_records.
+#ifndef DEW_DEW_SESSION_HPP
+#define DEW_DEW_SESSION_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dew/sweep.hpp"
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace dew::core {
+
+namespace detail {
+// Type-erased simulator pass (one basic_dew_simulator instantiation);
+// defined in session.cpp.
+class sweep_pass;
+} // namespace detail
+
+struct session_options {
+    // Records pulled from the source per step().  Bounds the session's
+    // resident buffers at roughly
+    //   chunk_records * (sizeof(mem_access) + 8 * live streams)
+    // bytes (see buffer_bytes()); simulator trees are O(2^max_set_exp) and
+    // independent of both the chunk and the trace length.  Must be > 0.
+    std::size_t chunk_records{std::size_t{64} * 1024};
+};
+
+class session {
+public:
+    // Validates the request (see validate(sweep_request) — throws
+    // std::invalid_argument) and builds one simulator pass per
+    // (block size, associativity) pair.  The source must outlive the session.
+    session(trace::source& src, const sweep_request& request,
+            session_options options = {});
+    ~session();
+
+    session(const session&) = delete;
+    session& operator=(const session&) = delete;
+
+    // Pulls and simulates one chunk; returns false once the source is
+    // exhausted (and never simulates again after that).
+    bool step();
+
+    // Drains the source: step() until end-of-stream.
+    void run();
+
+    // Records simulated so far / steps taken / end-of-stream flag.
+    [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+    [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+    [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+
+    // Current resident bytes of the session's chunk and stream buffers —
+    // the quantity session_options::chunk_records bounds.  Independent of
+    // how many records have streamed through.  Zero-copy sources keep the
+    // chunk buffer empty, so in-memory sweeps only pay for the streams.
+    [[nodiscard]] std::size_t buffer_bytes() const noexcept;
+
+    [[nodiscard]] const sweep_request& request() const noexcept {
+        return request_;
+    }
+
+    // Exact results of everything simulated so far, in the same pass order
+    // run_sweep reports (block-major, then associativity).
+    [[nodiscard]] sweep_result result() const;
+
+private:
+    struct pass_key {
+        std::uint32_t block_size;
+        std::uint32_t assoc;
+        std::size_t stream; // index into the distinct block-size streams
+    };
+
+    // Persistent worker pool for the threaded path: threads are spawned once
+    // per session and handed one chunk generation at a time, so per-chunk
+    // cost is a wakeup, not a spawn+join cycle.  Defined in session.cpp.
+    struct worker_pool;
+
+    void feed_serial(std::span<const trace::mem_access> chunk);
+    void feed_threaded(std::span<const trace::mem_access> chunk);
+
+    sweep_request request_;
+    session_options options_;
+    trace::source* source_;
+    std::vector<pass_key> keys_;                    // block-major pass order
+    std::vector<std::uint32_t> stream_block_sizes_; // distinct, first-listed
+    std::vector<std::unique_ptr<detail::sweep_pass>> passes_;
+    trace::mem_trace chunk_buffer_; // scratch for source::next_view
+    // Serial: one stream buffer reused across block sizes.  Threaded: one
+    // per distinct block size, all live for the current chunk.
+    std::vector<std::vector<std::uint64_t>> streams_;
+    std::unique_ptr<worker_pool> pool_; // engaged iff the session is threaded
+    std::uint64_t requests_{0};
+    std::size_t steps_{0};
+    bool exhausted_{false};
+    double seconds_{0.0};
+};
+
+// One-call convenience: drain the source through a session.  This is what
+// run_sweep(const trace::mem_trace&, ...) is built on.
+[[nodiscard]] sweep_result run_sweep(trace::source& src,
+                                     const sweep_request& request,
+                                     session_options options = {});
+
+} // namespace dew::core
+
+#endif // DEW_DEW_SESSION_HPP

@@ -70,7 +70,16 @@ public:
     // Simulate a single byte address / reference / whole trace.
     void access(std::uint64_t address) { access_block(address >> block_bits_); }
     void access(const trace::mem_access& reference) { access(reference.address); }
-    void simulate(const trace::mem_trace& trace);
+    void simulate(const trace::mem_trace& trace) {
+        simulate_chunk({trace.data(), trace.size()});
+    }
+
+    // The uniform incremental step of the streaming pipeline: simulating a
+    // trace in chunks of any size — through any interleaving of
+    // simulate_chunk, simulate_blocks and access calls — yields bit-identical
+    // state and results to one whole-trace simulate() call.  The tree carries
+    // all state between chunks; nothing is finalised until result() is read.
+    void simulate_chunk(std::span<const trace::mem_access> chunk);
 
     // The hot entry points on pre-decoded block numbers (address >>
     // log2(block size)).  run_sweep computes one such stream per block size
@@ -518,14 +527,14 @@ void basic_dew_simulator<Instrumentation>::access_block_impl(
 }
 
 template <class Instrumentation>
-void basic_dew_simulator<Instrumentation>::simulate(
-    const trace::mem_trace& trace) {
-    // Resolve the static-associativity dispatch once for the whole trace.
-    note_requests(trace.size());
+void basic_dew_simulator<Instrumentation>::simulate_chunk(
+    std::span<const trace::mem_access> chunk) {
+    // Resolve the static-associativity dispatch once for the whole chunk.
+    note_requests(chunk.size());
     with_static_assoc(assoc_, [&](auto a) {
         with_static_depth(mre_depth_, [&](auto d) {
             with_static_options(options_, [&](auto o) {
-                for (const trace::mem_access& reference : trace) {
+                for (const trace::mem_access& reference : chunk) {
                     this->template access_block_impl<a(), d(), o()>(
                         reference.address >> block_bits_);
                 }

@@ -1,134 +1,13 @@
 #include "dew/sweep.hpp"
 
-#include <atomic>
-#include <chrono>
 #include <stdexcept>
-#include <thread>
+#include <string>
 
 #include "common/bits.hpp"
-#include "common/contracts.hpp"
-#include "dew/simulator.hpp"
+#include "dew/session.hpp"
+#include "trace/source.hpp"
 
 namespace dew::core {
-
-namespace {
-
-struct pass_key {
-    std::uint32_t block_size;
-    std::uint32_t assoc;
-    std::size_t stream; // index into the shared block-number streams
-};
-
-struct sweep_plan {
-    std::vector<pass_key> passes; // block-major, matching result order
-    std::vector<std::uint32_t> stream_block_sizes; // one per distinct block
-};
-
-sweep_plan plan_passes(const sweep_request& request) {
-    DEW_EXPECTS(!request.block_sizes.empty());
-    DEW_EXPECTS(!request.associativities.empty());
-    sweep_plan plan;
-    plan.passes.reserve(request.block_sizes.size() *
-                        request.associativities.size());
-    plan.stream_block_sizes.reserve(request.block_sizes.size());
-    for (const std::uint32_t block : request.block_sizes) {
-        DEW_EXPECTS(is_pow2(block));
-        // One shared stream per distinct block size, first-listing order.
-        std::size_t stream = 0;
-        while (stream < plan.stream_block_sizes.size() &&
-               plan.stream_block_sizes[stream] != block) {
-            ++stream;
-        }
-        if (stream == plan.stream_block_sizes.size()) {
-            plan.stream_block_sizes.push_back(block);
-        }
-        for (const std::uint32_t assoc : request.associativities) {
-            DEW_EXPECTS(is_pow2(assoc));
-            plan.passes.push_back({block, assoc, stream});
-        }
-    }
-    return plan;
-}
-
-template <class Instrumentation>
-std::vector<dew_result>
-run_passes(const trace::mem_trace& trace, const sweep_request& request,
-           const sweep_plan& plan) {
-    const auto run_one = [&](const pass_key& key,
-                             const std::vector<std::uint64_t>& stream) {
-        basic_dew_simulator<Instrumentation> sim{
-            request.max_set_exp, key.assoc, key.block_size, request.options};
-        sim.simulate_blocks(stream);
-        return sim.result();
-    };
-
-    if (request.threads == 0 || plan.passes.size() <= 1) {
-        // Serial: the plan is block-major, so one stream is live at a time —
-        // decode when the block size changes, share across its
-        // associativity passes, and let the next decode release it.
-        std::vector<dew_result> results;
-        results.reserve(plan.passes.size());
-        std::vector<std::uint64_t> stream;
-        std::size_t built = plan.stream_block_sizes.size(); // none yet
-        for (const pass_key& key : plan.passes) {
-            if (key.stream != built) {
-                stream = trace::block_numbers(trace,
-                                              log2_exact(key.block_size));
-                built = key.stream;
-            }
-            results.push_back(run_one(key, stream));
-        }
-        return results;
-    }
-
-    // Threaded: passes of different block sizes run concurrently, so every
-    // distinct stream is decoded upfront and stays live for the whole
-    // sweep — 8 bytes per request per distinct block size of peak memory,
-    // bought back as pure parallelism.
-    std::vector<std::vector<std::uint64_t>> streams;
-    streams.reserve(plan.stream_block_sizes.size());
-    for (const std::uint32_t block : plan.stream_block_sizes) {
-        streams.push_back(trace::block_numbers(trace, log2_exact(block)));
-    }
-
-    // Static slot assignment keeps the result order deterministic; the
-    // atomic cursor balances pass costs (passes over the same trace differ
-    // only by tree size, so imbalance is mild).
-    std::vector<dew_result> slots;
-    slots.reserve(plan.passes.size());
-    for (const pass_key& key : plan.passes) {
-        // Placeholder construction; overwritten by the workers.
-        slots.push_back(dew_result{
-            request.max_set_exp, key.assoc, key.block_size, 0,
-            std::vector<std::uint64_t>(request.max_set_exp + 1, 0),
-            std::vector<std::uint64_t>(request.max_set_exp + 1, 0),
-            dew_counters{}});
-    }
-    std::atomic<std::size_t> cursor{0};
-    const unsigned worker_count = std::min<unsigned>(
-        request.threads, static_cast<unsigned>(plan.passes.size()));
-    std::vector<std::thread> workers;
-    workers.reserve(worker_count);
-    for (unsigned w = 0; w < worker_count; ++w) {
-        workers.emplace_back([&] {
-            for (;;) {
-                const std::size_t index =
-                    cursor.fetch_add(1, std::memory_order_relaxed);
-                if (index >= plan.passes.size()) {
-                    return;
-                }
-                const pass_key& key = plan.passes[index];
-                slots[index] = run_one(key, streams[key.stream]);
-            }
-        });
-    }
-    for (std::thread& worker : workers) {
-        worker.join();
-    }
-    return slots;
-}
-
-} // namespace
 
 std::uint64_t sweep_result::misses_of(const cache::cache_config& config) const {
     for (const dew_result& pass : passes) {
@@ -194,21 +73,47 @@ std::vector<config_outcome> sweep_result::outcomes() const {
     return all;
 }
 
+void validate(const sweep_request& request) {
+    if (request.block_sizes.empty()) {
+        throw std::invalid_argument{
+            "sweep_request.block_sizes must not be empty"};
+    }
+    if (request.associativities.empty()) {
+        throw std::invalid_argument{
+            "sweep_request.associativities must not be empty"};
+    }
+    if (request.max_set_exp >= 32) {
+        throw std::invalid_argument{
+            "sweep_request.max_set_exp must be < 32, got " +
+            std::to_string(request.max_set_exp)};
+    }
+    for (const std::uint32_t block : request.block_sizes) {
+        if (!is_pow2(block)) {
+            throw std::invalid_argument{
+                "sweep_request block size " + std::to_string(block) +
+                " is not a power of two"};
+        }
+    }
+    for (const std::uint32_t assoc : request.associativities) {
+        if (!is_pow2(assoc)) {
+            throw std::invalid_argument{
+                "sweep_request associativity " + std::to_string(assoc) +
+                " is not a power of two"};
+        }
+    }
+    if (request.options.use_mre && request.options.mre_depth == 0) {
+        throw std::invalid_argument{
+            "sweep_request.options.mre_depth must be >= 1 when use_mre is "
+            "set"};
+    }
+}
+
 sweep_result run_sweep(const trace::mem_trace& trace,
                        const sweep_request& request) {
-    const sweep_plan plan = plan_passes(request);
-
-    sweep_result result;
-    result.requests = trace.size();
-
-    const auto start = std::chrono::steady_clock::now();
-    result.passes =
-        request.instrumentation == sweep_instrumentation::full_counters
-            ? run_passes<full_counters>(trace, request, plan)
-            : run_passes<fast>(trace, request, plan);
-    const auto stop = std::chrono::steady_clock::now();
-    result.seconds = std::chrono::duration<double>(stop - start).count();
-    return result;
+    // The session pulls zero-copy chunks straight out of the resident trace,
+    // so this adapter costs no copy over the pre-session eager sweep.
+    trace::span_source src{{trace.data(), trace.size()}};
+    return run_sweep(src, request);
 }
 
 } // namespace dew::core

@@ -6,10 +6,14 @@
 // threads.  Passes are completely independent (each owns its tree), so
 // parallelism is deterministic: results are identical to the serial sweep.
 //
-// The raw trace is decoded exactly once per block size: every pass of one
-// block size consumes the same shared block-number stream
-// (trace::block_numbers) through simulate_blocks, on the serial and the
-// threaded path alike.
+// Sweeps run on the chunked dew::session pipeline (dew/session.hpp): each
+// chunk of the trace is decoded exactly once per distinct block size and the
+// shared block-number stream is fed to every associativity pass through
+// simulate_blocks before the next chunk is pulled, on the serial and the
+// threaded path alike.  Peak memory is therefore bounded by the chunk, not
+// the trace; run_sweep over an in-memory trace pulls zero-copy chunks out of
+// it, and run_sweep over a trace::source (see session.hpp) never materialises
+// the trace at all.
 #ifndef DEW_DEW_SWEEP_HPP
 #define DEW_DEW_SWEEP_HPP
 
@@ -77,9 +81,19 @@ struct sweep_result {
     [[nodiscard]] std::vector<config_outcome> outcomes() const;
 };
 
-// Runs the sweep over the trace.  Every (block, assoc) pair in the request
-// becomes one single-pass simulation; with request.threads > 0 the passes
-// are distributed over that many workers.
+// Rejects an ill-formed request with std::invalid_argument naming the
+// offending field: empty block-size or associativity grids, non-power-of-two
+// block sizes or associativities, max_set_exp >= 32, and mre_depth == 0
+// while use_mre is set.  Every sweep entry point (run_sweep, dew::session,
+// explore::explore) validates up front, so a bad request fails here with a
+// clear message instead of deep inside a simulator contract check.
+void validate(const sweep_request& request);
+
+// Runs the sweep over an in-memory trace.  Every (block, assoc) pair in the
+// request becomes one single-pass simulation; with request.threads > 0 the
+// passes are distributed over that many workers.  Throws
+// std::invalid_argument on an ill-formed request (see validate).  A
+// source-based overload for streaming ingestion lives in dew/session.hpp.
 [[nodiscard]] sweep_result run_sweep(const trace::mem_trace& trace,
                                      const sweep_request& request);
 

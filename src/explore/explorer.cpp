@@ -7,6 +7,7 @@
 
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
+#include "dew/session.hpp"
 #include "dew/sweep.hpp"
 
 namespace dew::explore {
@@ -71,11 +72,10 @@ std::vector<explored_config> exploration_result::pareto_energy_amat() const {
     return frontier;
 }
 
-exploration_result explore(const trace::mem_trace& trace,
+exploration_result explore(trace::source& src,
                            const explorer_options& options) {
     const config_space& space = options.space;
     exploration_result result;
-    result.requests = trace.size();
 
     // Build the sweep request: one DEW pass per (block size, A != 1) pair;
     // associativity-1 misses ride along on the first pass of each block
@@ -97,7 +97,8 @@ exploration_result explore(const trace::mem_trace& trace,
     }
     request.threads = options.threads;
 
-    const core::sweep_result sweep = core::run_sweep(trace, request);
+    const core::sweep_result sweep = core::run_sweep(src, request);
+    result.requests = sweep.requests;
     result.dew_passes = sweep.passes.size();
     result.simulation_seconds = sweep.seconds;
 
@@ -133,6 +134,12 @@ exploration_result explore(const trace::mem_trace& trace,
             options.model.amat_ns(entry.config, result.requests, entry.misses);
     }
     return result;
+}
+
+exploration_result explore(const trace::mem_trace& trace,
+                           const explorer_options& options) {
+    trace::span_source src{{trace.data(), trace.size()}};
+    return explore(src, options);
 }
 
 } // namespace dew::explore

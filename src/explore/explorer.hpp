@@ -14,6 +14,7 @@
 #include "explore/config_space.hpp"
 #include "explore/energy_model.hpp"
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace dew::explore {
 
@@ -52,6 +53,14 @@ struct explorer_options {
     unsigned threads{0};
 };
 
+// Explores the space over a streaming trace source: the underlying sweep
+// runs on the chunked dew::session pipeline, so peak memory is bounded by
+// the chunk and the trace is never materialised.  Throws
+// std::invalid_argument when the space produces an ill-formed sweep request.
+[[nodiscard]] exploration_result explore(trace::source& src,
+                                         const explorer_options& options = {});
+
+// In-memory convenience: wraps the trace in a zero-copy source.
 [[nodiscard]] exploration_result explore(const trace::mem_trace& trace,
                                          const explorer_options& options = {});
 

@@ -33,10 +33,14 @@ void forest_sim::access(std::uint64_t address) {
     }
 }
 
-void forest_sim::simulate(const trace::mem_trace& trace) {
-    for (const trace::mem_access& reference : trace) {
+void forest_sim::simulate_chunk(std::span<const trace::mem_access> chunk) {
+    for (const trace::mem_access& reference : chunk) {
         access(reference.address);
     }
+}
+
+void forest_sim::simulate(const trace::mem_trace& trace) {
+    simulate_chunk({trace.data(), trace.size()});
 }
 
 std::uint64_t forest_sim::misses(unsigned level) const {

@@ -11,6 +11,7 @@
 #define DEW_LRU_FOREST_SIM_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "trace/record.hpp"
@@ -22,6 +23,9 @@ public:
     forest_sim(unsigned max_level, std::uint32_t block_size);
 
     void access(std::uint64_t address);
+    // Uniform incremental step: chunked feeding is bit-identical to one
+    // whole-trace simulate() call.
+    void simulate_chunk(std::span<const trace::mem_access> chunk);
     void simulate(const trace::mem_trace& trace);
 
     // Misses of the direct-mapped cache with 2^level sets.

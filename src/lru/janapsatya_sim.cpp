@@ -105,10 +105,14 @@ void janapsatya_sim::access(std::uint64_t address) {
     }
 }
 
-void janapsatya_sim::simulate(const trace::mem_trace& trace) {
-    for (const trace::mem_access& reference : trace) {
+void janapsatya_sim::simulate_chunk(std::span<const trace::mem_access> chunk) {
+    for (const trace::mem_access& reference : chunk) {
         access(reference.address);
     }
+}
+
+void janapsatya_sim::simulate(const trace::mem_trace& trace) {
+    simulate_chunk({trace.data(), trace.size()});
 }
 
 std::uint64_t janapsatya_sim::misses(unsigned level,

@@ -27,6 +27,7 @@
 #define DEW_LRU_JANAPSATYA_SIM_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cache/config.hpp"
@@ -70,6 +71,9 @@ public:
                    std::uint32_t block_size, janapsatya_options options = {});
 
     void access(std::uint64_t address);
+    // Uniform incremental step: chunked feeding is bit-identical to one
+    // whole-trace simulate() call.
+    void simulate_chunk(std::span<const trace::mem_access> chunk);
     void simulate(const trace::mem_trace& trace);
 
     // Exact miss count for (2^level sets, assoc, block size); any

@@ -41,10 +41,14 @@ void stack_sim::access(std::uint64_t address) {
     std::rotate(stack.begin(), it, it + 1);
 }
 
-void stack_sim::simulate(const trace::mem_trace& trace) {
-    for (const trace::mem_access& reference : trace) {
+void stack_sim::simulate_chunk(std::span<const trace::mem_access> chunk) {
+    for (const trace::mem_access& reference : chunk) {
         access(reference.address);
     }
+}
+
+void stack_sim::simulate(const trace::mem_trace& trace) {
+    simulate_chunk({trace.data(), trace.size()});
 }
 
 std::uint64_t stack_sim::misses(std::uint32_t assoc) const {

@@ -11,6 +11,7 @@
 #define DEW_LRU_STACK_SIM_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cache/config.hpp"
@@ -26,6 +27,9 @@ public:
               std::uint32_t max_tracked_assoc = 64);
 
     void access(std::uint64_t address);
+    // Uniform incremental step: chunked feeding is bit-identical to one
+    // whole-trace simulate() call.
+    void simulate_chunk(std::span<const trace::mem_access> chunk);
     void simulate(const trace::mem_trace& trace);
 
     // Exact miss count for (set_count, assoc, block_size); requires

@@ -1,5 +1,6 @@
 #include "trace/binary_io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -70,9 +71,22 @@ std::ofstream open_output(const std::string& path) {
     return out;
 }
 
-} // namespace
+mem_access read_record(std::istream& in) {
+    const std::uint64_t address = get_u64(in);
+    char type_byte = 0;
+    in.read(&type_byte, 1);
+    if (!in) {
+        throw format_error{"truncated binary trace (record)"};
+    }
+    const auto raw_type = static_cast<std::uint8_t>(type_byte);
+    if (raw_type > static_cast<std::uint8_t>(access_type::ifetch)) {
+        throw format_error{"invalid access type byte " +
+                           std::to_string(raw_type)};
+    }
+    return {address, static_cast<access_type>(raw_type)};
+}
 
-mem_trace read_binary(std::istream& in) {
+std::uint64_t read_header(std::istream& in) {
     char magic[4];
     in.read(magic, sizeof magic);
     if (!in || std::memcmp(magic, binary_magic, sizeof magic) != 0) {
@@ -83,23 +97,32 @@ mem_trace read_binary(std::istream& in) {
         throw format_error{"unsupported DEWT version " +
                            std::to_string(version)};
     }
-    const std::uint64_t count = get_u64(in);
-    mem_trace trace;
-    trace.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const std::uint64_t address = get_u64(in);
-        char type_byte = 0;
-        in.read(&type_byte, 1);
-        if (!in) {
-            throw format_error{"truncated binary trace (record)"};
-        }
-        const auto raw_type = static_cast<std::uint8_t>(type_byte);
-        if (raw_type > static_cast<std::uint8_t>(access_type::ifetch)) {
-            throw format_error{"invalid access type byte " +
-                               std::to_string(raw_type)};
-        }
-        trace.push_back({address, static_cast<access_type>(raw_type)});
+    return get_u64(in);
+}
+
+} // namespace
+
+binary_source::binary_source(std::istream& in)
+    : in_{&in}, remaining_{read_header(in)} {}
+
+binary_source::binary_source(const std::string& path)
+    : file_{open_input(path)}, in_{&*file_}, remaining_{read_header(*in_)} {}
+
+std::size_t binary_source::next(std::span<mem_access> out) {
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(out.size(), remaining_));
+    for (std::size_t i = 0; i < count; ++i) {
+        out[i] = read_record(*in_);
     }
+    remaining_ -= count;
+    return count;
+}
+
+mem_trace read_binary(std::istream& in) {
+    binary_source src{in};
+    mem_trace trace;
+    read_exactly(src, trace,
+                 static_cast<std::size_t>(src.remaining()));
     return trace;
 }
 

@@ -11,11 +11,13 @@
 #ifndef DEW_TRACE_BINARY_IO_HPP
 #define DEW_TRACE_BINARY_IO_HPP
 
-#include <iosfwd>
+#include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace dew::trace {
 
@@ -25,6 +27,26 @@ inline constexpr std::uint32_t binary_version = 1;
 class format_error : public std::runtime_error {
 public:
     using std::runtime_error::runtime_error;
+};
+
+// Streaming reader: validates the header on construction (throwing the same
+// format_error as read_binary), then produces the declared records in
+// pull-based chunks.  Truncation or a corrupt record surfaces from next().
+class binary_source final : public source {
+public:
+    explicit binary_source(std::istream& in);
+    explicit binary_source(const std::string& path);
+    std::size_t next(std::span<mem_access> out) override;
+
+    // Records the header declared but next() has not yet produced.
+    [[nodiscard]] std::uint64_t remaining() const noexcept {
+        return remaining_;
+    }
+
+private:
+    std::optional<std::ifstream> file_;
+    std::istream* in_{nullptr};
+    std::uint64_t remaining_{0};
 };
 
 [[nodiscard]] mem_trace read_binary(std::istream& in);

@@ -1,5 +1,6 @@
 #include "trace/compressed_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -98,9 +99,7 @@ std::uint64_t encode_record(std::uint64_t previous, const mem_access& access) {
            static_cast<std::uint64_t>(access.type);
 }
 
-} // namespace
-
-mem_trace read_compressed(std::istream& in) {
+std::uint64_t read_header(std::istream& in) {
     char magic[4];
     in.read(magic, sizeof magic);
     if (!in || std::memcmp(magic, compressed_magic, sizeof magic) != 0) {
@@ -111,29 +110,56 @@ mem_trace read_compressed(std::istream& in) {
         throw format_error{"unsupported DEWC version " +
                            std::to_string(version)};
     }
-    const std::uint64_t count = get_u64(in);
-    mem_trace trace;
-    trace.reserve(count);
-    std::uint64_t previous = 0;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const std::uint64_t payload = get_varint(in);
+    return get_u64(in);
+}
+
+std::ifstream open_input(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+        throw std::runtime_error{"cannot open trace file for reading: " + path};
+    }
+    return in;
+}
+
+} // namespace
+
+compressed_source::compressed_source(std::istream& in)
+    : in_{&in}, remaining_{read_header(in)} {}
+
+compressed_source::compressed_source(const std::string& path)
+    : file_{open_input(path)}, in_{&*file_}, remaining_{read_header(*in_)} {}
+
+std::size_t compressed_source::next(std::span<mem_access> out) {
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(out.size(), remaining_));
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t payload = get_varint(*in_);
         const auto raw_type = static_cast<std::uint8_t>(payload & 0x3);
         if (raw_type > static_cast<std::uint8_t>(access_type::ifetch)) {
             throw format_error{"invalid access type in compressed trace"};
         }
         const std::int64_t delta = zigzag_decode(payload >> 2);
-        previous += static_cast<std::uint64_t>(delta);
-        trace.push_back({previous, static_cast<access_type>(raw_type)});
+        previous_ += static_cast<std::uint64_t>(delta);
+        out[i] = {previous_, static_cast<access_type>(raw_type)};
     }
+    remaining_ -= count;
+    return count;
+}
+
+mem_trace read_compressed(std::istream& in) {
+    compressed_source src{in};
+    mem_trace trace;
+    read_exactly(src, trace,
+                 static_cast<std::size_t>(src.remaining()));
     return trace;
 }
 
 mem_trace read_compressed_file(const std::string& path) {
-    std::ifstream in{path, std::ios::binary};
-    if (!in) {
-        throw std::runtime_error{"cannot open trace file for reading: " + path};
-    }
-    return read_compressed(in);
+    compressed_source src{path};
+    mem_trace trace;
+    read_exactly(src, trace,
+                 static_cast<std::size_t>(src.remaining()));
+    return trace;
 }
 
 void write_compressed(std::ostream& out, const mem_trace& trace) {

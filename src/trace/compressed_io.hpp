@@ -18,11 +18,13 @@
 #ifndef DEW_TRACE_COMPRESSED_IO_HPP
 #define DEW_TRACE_COMPRESSED_IO_HPP
 
-#include <iosfwd>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "trace/binary_io.hpp" // format_error
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace dew::trace {
 
@@ -39,6 +41,28 @@ inline constexpr std::uint32_t compressed_version = 1;
     return static_cast<std::int64_t>(value >> 1) ^
            -static_cast<std::int64_t>(value & 1);
 }
+
+// Streaming reader: validates the header on construction (throwing the same
+// format_error as read_compressed), then decodes the delta-compressed
+// records in pull-based chunks, carrying the running previous address across
+// pulls.  Truncation or a corrupt varint surfaces from next().
+class compressed_source final : public source {
+public:
+    explicit compressed_source(std::istream& in);
+    explicit compressed_source(const std::string& path);
+    std::size_t next(std::span<mem_access> out) override;
+
+    // Records the header declared but next() has not yet produced.
+    [[nodiscard]] std::uint64_t remaining() const noexcept {
+        return remaining_;
+    }
+
+private:
+    std::optional<std::ifstream> file_;
+    std::istream* in_{nullptr};
+    std::uint64_t remaining_{0};
+    std::uint64_t previous_{0};
+};
 
 [[nodiscard]] mem_trace read_compressed(std::istream& in);
 [[nodiscard]] mem_trace read_compressed_file(const std::string& path);

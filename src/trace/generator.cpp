@@ -170,6 +170,26 @@ mem_trace workload_generator::make(std::size_t count) {
     return trace;
 }
 
+std::size_t generator_source::next(std::span<mem_access> out) {
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(out.size(), remaining_));
+    staging_.clear();
+    generator_.generate(staging_, count);
+    std::copy(staging_.begin(), staging_.end(), out.begin());
+    remaining_ -= count;
+    return count;
+}
+
+std::span<const mem_access> generator_source::next_view(
+    std::size_t max_records, mem_trace& scratch) {
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_records, remaining_));
+    scratch.clear();
+    generator_.generate(scratch, count);
+    remaining_ -= count;
+    return {scratch.data(), count};
+}
+
 mem_trace make_sequential_trace(std::uint64_t base, std::size_t count,
                                 std::uint32_t stride) {
     DEW_EXPECTS(stride > 0);

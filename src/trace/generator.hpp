@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace dew::trace {
 
@@ -113,6 +114,34 @@ private:
     std::vector<std::uint64_t> cumulative_weight_;
     std::uint64_t total_weight_{0};
     std::mt19937_64 rng_;
+};
+
+// Streaming view of a synthetic workload: the first `count` accesses of a
+// workload_generator, produced in pull-based chunks.  Record-for-record
+// identical to workload_generator{spec, seed}.make(count) — generation is
+// deterministic and chunking does not perturb the stream — so arbitrarily
+// long workloads can drive a simulation without ever being materialised.
+class generator_source final : public source {
+public:
+    generator_source(workload_spec spec, std::uint64_t seed,
+                     std::uint64_t count)
+        : generator_{std::move(spec), seed}, remaining_{count} {}
+
+    std::size_t next(std::span<mem_access> out) override;
+
+    // Generates straight into `scratch` and returns a view of it, skipping
+    // next()'s staging copy — the path dew::session consumes.
+    std::span<const mem_access> next_view(std::size_t max_records,
+                                          mem_trace& scratch) override;
+
+    [[nodiscard]] std::uint64_t remaining() const noexcept {
+        return remaining_;
+    }
+
+private:
+    workload_generator generator_;
+    std::uint64_t remaining_;
+    mem_trace staging_; // next()'s generate() target; reused across pulls
 };
 
 // Single-stream convenience wrappers used throughout tests.

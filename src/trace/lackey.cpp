@@ -40,71 +40,91 @@ bool parse_payload(const std::string& line, std::size_t offset,
 
 } // namespace
 
-lackey_parse_stats read_lackey(std::istream& in, mem_trace& out) {
-    lackey_parse_stats stats;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.size() < 3) {
-            ++stats.skipped_lines;
+lackey_source::lackey_source(const std::string& path) {
+    file_.emplace(path);
+    if (!*file_) {
+        throw std::runtime_error{"cannot open lackey trace: " + path};
+    }
+    in_ = &*file_;
+}
+
+std::size_t lackey_source::next(std::span<mem_access> out) {
+    std::size_t filled = 0;
+    if (pending_store_ && filled < out.size()) {
+        out[filled++] = {pending_address_, access_type::write};
+        pending_store_ = false;
+    }
+    while (filled < out.size() && std::getline(*in_, line_)) {
+        if (line_.size() < 3) {
+            ++stats_.skipped_lines;
             continue;
         }
         // "I  addr,size" starts at column 0; " L addr,size", " S ..." and
         // " M ..." start with one space.  Anything else is chatter.
         char kind = 0;
         std::size_t payload = 0;
-        if (line[0] == 'I') {
+        if (line_[0] == 'I') {
             kind = 'I';
             payload = 1;
-        } else if (line[0] == ' ' &&
-                   (line[1] == 'L' || line[1] == 'S' || line[1] == 'M')) {
-            kind = line[1];
+        } else if (line_[0] == ' ' &&
+                   (line_[1] == 'L' || line_[1] == 'S' || line_[1] == 'M')) {
+            kind = line_[1];
             payload = 2;
         } else {
-            ++stats.skipped_lines;
+            ++stats_.skipped_lines;
             continue;
         }
         std::uint64_t address = 0;
-        if (!parse_payload(line, payload, address)) {
-            ++stats.skipped_lines;
+        if (!parse_payload(line_, payload, address)) {
+            ++stats_.skipped_lines;
             continue;
         }
         switch (kind) {
         case 'I':
-            ++stats.instruction_fetches;
-            out.push_back({address, access_type::ifetch});
+            ++stats_.instruction_fetches;
+            out[filled++] = {address, access_type::ifetch};
             break;
         case 'L':
-            ++stats.loads;
-            out.push_back({address, access_type::read});
+            ++stats_.loads;
+            out[filled++] = {address, access_type::read};
             break;
         case 'S':
-            ++stats.stores;
-            out.push_back({address, access_type::write});
+            ++stats_.stores;
+            out[filled++] = {address, access_type::write};
             break;
         case 'M':
             // A modify is a load immediately followed by a store at the
             // same address — two accesses from the cache's point of view.
-            ++stats.modifies;
-            out.push_back({address, access_type::read});
-            out.push_back({address, access_type::write});
+            // The store half waits for the next pull when the chunk is full.
+            ++stats_.modifies;
+            out[filled++] = {address, access_type::read};
+            if (filled < out.size()) {
+                out[filled++] = {address, access_type::write};
+            } else {
+                pending_store_ = true;
+                pending_address_ = address;
+            }
             break;
         default:
             break;
         }
     }
-    return stats;
+    return filled;
+}
+
+lackey_parse_stats read_lackey(std::istream& in, mem_trace& out) {
+    lackey_source src{in};
+    drain_into(src, out);
+    return src.stats();
 }
 
 mem_trace read_lackey_file(const std::string& path,
                            lackey_parse_stats* stats) {
-    std::ifstream in{path};
-    if (!in) {
-        throw std::runtime_error{"cannot open lackey trace: " + path};
-    }
+    lackey_source src{path};
     mem_trace trace;
-    const lackey_parse_stats parsed = read_lackey(in, trace);
+    drain_into(src, trace);
     if (stats != nullptr) {
-        *stats = parsed;
+        *stats = src.stats();
     }
     return trace;
 }

@@ -22,10 +22,12 @@
 #define DEW_TRACE_LACKEY_HPP
 
 #include <cstdint>
-#include <iosfwd>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace dew::trace {
 
@@ -39,6 +41,30 @@ struct lackey_parse_stats {
     [[nodiscard]] std::uint64_t total_accesses() const noexcept {
         return instruction_fetches + loads + stores + 2 * modifies;
     }
+};
+
+// Streaming lackey parser: produces the same records as read_lackey in
+// pull-based chunks.  An `M` record expands to two accesses; when a chunk
+// boundary splits the pair, the store half is carried into the next pull, so
+// any chunk size yields the identical record stream.
+class lackey_source final : public source {
+public:
+    explicit lackey_source(std::istream& in) noexcept : in_{&in} {}
+    explicit lackey_source(const std::string& path);
+    std::size_t next(std::span<mem_access> out) override;
+
+    // Totals of everything parsed so far; final once next() returned 0.
+    [[nodiscard]] const lackey_parse_stats& stats() const noexcept {
+        return stats_;
+    }
+
+private:
+    std::optional<std::ifstream> file_;
+    std::istream* in_;
+    std::string line_;
+    lackey_parse_stats stats_;
+    bool pending_store_{false}; // store half of a chunk-split M record
+    std::uint64_t pending_address_{0};
 };
 
 // Parses a lackey stream, appending to `out`.  Returns what was parsed.

@@ -1,0 +1,88 @@
+#include "trace/source.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace dew::trace {
+
+std::span<const mem_access> source::next_view(std::size_t max_records,
+                                              mem_trace& scratch) {
+    scratch.resize(max_records);
+    const std::size_t produced =
+        next(std::span<mem_access>{scratch.data(), max_records});
+    DEW_ASSERT(produced <= max_records);
+    return {scratch.data(), produced};
+}
+
+std::size_t span_source::next(std::span<mem_access> out) {
+    const std::size_t count =
+        std::min(out.size(), records_.size() - cursor_);
+    std::copy_n(records_.begin() + static_cast<std::ptrdiff_t>(cursor_), count,
+                out.begin());
+    cursor_ += count;
+    return count;
+}
+
+std::span<const mem_access> span_source::next_view(std::size_t max_records,
+                                                   mem_trace& /*scratch*/) {
+    const std::size_t count =
+        std::min(max_records, records_.size() - cursor_);
+    const std::span<const mem_access> view =
+        records_.subspan(cursor_, count);
+    cursor_ += count;
+    return view;
+}
+
+std::size_t drain_into(source& src, mem_trace& out,
+                       std::size_t chunk_records) {
+    DEW_EXPECTS(chunk_records > 0);
+    std::size_t total = 0;
+    for (;;) {
+        const std::size_t begin = out.size();
+        out.resize(begin + chunk_records);
+        std::size_t produced = 0;
+        try {
+            produced = src.next(
+                std::span<mem_access>{out.data() + begin, chunk_records});
+        } catch (...) {
+            // Drop the unfilled tail so a parse error does not leave
+            // value-initialised garbage records behind the valid prefix.
+            out.resize(begin);
+            throw;
+        }
+        out.resize(begin + produced);
+        if (produced == 0) {
+            return total;
+        }
+        total += produced;
+    }
+}
+
+std::size_t read_exactly(source& src, mem_trace& out, std::size_t count) {
+    const std::size_t begin = out.size();
+    out.resize(begin + count);
+    std::span<mem_access> rest{out.data() + begin, count};
+    try {
+        while (!rest.empty()) {
+            const std::size_t produced = src.next(rest);
+            if (produced == 0) {
+                break; // stream ended short of the requested count
+            }
+            rest = rest.subspan(produced);
+        }
+    } catch (...) {
+        out.resize(out.size() - rest.size());
+        throw;
+    }
+    out.resize(out.size() - rest.size());
+    return count - rest.size();
+}
+
+mem_trace drain(source& src, std::size_t chunk_records) {
+    mem_trace trace;
+    drain_into(src, trace, chunk_records);
+    return trace;
+}
+
+} // namespace dew::trace

@@ -1,0 +1,79 @@
+// Pull-based streaming trace ingestion.
+//
+// A `source` is a chunked producer of mem_access records: next(out) fills up
+// to out.size() records and returns how many it produced, returning 0 exactly
+// once the stream is exhausted.  This is the library's ingestion contract for
+// larger-than-RAM workloads — every file reader, the synthetic generators and
+// plain in-memory traces implement it, and dew::session consumes it — so the
+// peak footprint of a simulation is one chunk, not one trace.
+//
+// The eager readers (read_din_file & co.) are thin adapters that drain the
+// matching source into a mem_trace; record-for-record equivalence between the
+// two paths is therefore definitional, and the test suite asserts it anyway.
+#ifndef DEW_TRACE_SOURCE_HPP
+#define DEW_TRACE_SOURCE_HPP
+
+#include <cstddef>
+#include <span>
+
+#include "trace/record.hpp"
+
+namespace dew::trace {
+
+class source {
+public:
+    virtual ~source() = default;
+
+    // Produces up to out.size() records into the front of `out`; returns the
+    // number produced.  A return of 0 means end-of-stream (a source never
+    // returns 0 while records remain); short non-zero fills are allowed.
+    // Parse errors surface as the same exceptions the eager readers throw.
+    virtual std::size_t next(std::span<mem_access> out) = 0;
+
+    // Zero-copy chunk view: up to max_records records, advancing the stream.
+    // The returned span is valid until the next call on this source or until
+    // `scratch` is touched, whichever comes first.  The default fills
+    // `scratch` through next(); contiguous in-memory sources override it to
+    // hand out direct subspans so chunked consumption costs no copy.
+    virtual std::span<const mem_access> next_view(std::size_t max_records,
+                                                  mem_trace& scratch);
+};
+
+// A source over records already in memory.  The viewed storage must outlive
+// the source.  next_view() is zero-copy.
+class span_source final : public source {
+public:
+    explicit span_source(std::span<const mem_access> records) noexcept
+        : records_{records} {}
+
+    std::size_t next(std::span<mem_access> out) override;
+    std::span<const mem_access> next_view(std::size_t max_records,
+                                          mem_trace& scratch) override;
+
+    // Rewinds to the first record (supported here because the storage is
+    // resident; file sources are single-shot).
+    void rewind() noexcept { cursor_ = 0; }
+
+private:
+    std::span<const mem_access> records_;
+    std::size_t cursor_{0};
+};
+
+// Appends the source's remaining records to `out`, pulling `chunk_records`
+// at a time; returns the number of records appended.
+std::size_t drain_into(source& src, mem_trace& out,
+                       std::size_t chunk_records = 4096);
+
+// Appends exactly `count` records to `out` with a single up-front resize —
+// the right call when the record count is known (DEWT/DEWC headers,
+// generator budgets), where drain_into's probing growth would reallocate
+// past an exact reserve.  Stops early (shrinking `out` back) if the stream
+// ends first; returns the number of records appended.
+std::size_t read_exactly(source& src, mem_trace& out, std::size_t count);
+
+// Drains a whole source into a fresh trace.
+[[nodiscard]] mem_trace drain(source& src, std::size_t chunk_records = 4096);
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_SOURCE_HPP

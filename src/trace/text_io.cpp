@@ -51,6 +51,27 @@ std::ifstream open_input(const std::string& path) {
     return in;
 }
 
+mem_access parse_din_line(std::string_view line, std::size_t line_number) {
+    const std::size_t space = line.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+        throw parse_error{line_number, "expected '<label> <address>'"};
+    }
+    const std::string_view label = line.substr(0, space);
+    const std::string_view addr = trim(line.substr(space + 1));
+    access_type type{};
+    if (label == "0") {
+        type = access_type::read;
+    } else if (label == "1") {
+        type = access_type::write;
+    } else if (label == "2") {
+        type = access_type::ifetch;
+    } else {
+        throw parse_error{line_number,
+                          "unknown din label '" + std::string{label} + "'"};
+    }
+    return {parse_hex(addr, line_number), type};
+}
+
 std::ofstream open_output(const std::string& path) {
     std::ofstream out{path};
     if (!out) {
@@ -65,19 +86,41 @@ parse_error::parse_error(std::size_t line, const std::string& what)
     : std::runtime_error{"line " + std::to_string(line) + ": " + what},
       line_{line} {}
 
-mem_trace read_hex(std::istream& in) {
-    mem_trace trace;
-    std::string raw;
-    std::size_t line_number = 0;
-    while (std::getline(in, raw)) {
-        ++line_number;
-        const std::string_view line = trim(raw);
+hex_source::hex_source(const std::string& path)
+    : file_{open_input(path)}, in_{&*file_} {}
+
+std::size_t hex_source::next(std::span<mem_access> out) {
+    std::size_t filled = 0;
+    while (filled < out.size() && std::getline(*in_, line_)) {
+        ++line_number_;
+        const std::string_view line = trim(line_);
         if (is_comment_or_blank(line)) {
             continue;
         }
-        trace.push_back({parse_hex(line, line_number), access_type::read});
+        out[filled++] = {parse_hex(line, line_number_), access_type::read};
     }
-    return trace;
+    return filled;
+}
+
+din_source::din_source(const std::string& path)
+    : file_{open_input(path)}, in_{&*file_} {}
+
+std::size_t din_source::next(std::span<mem_access> out) {
+    std::size_t filled = 0;
+    while (filled < out.size() && std::getline(*in_, line_)) {
+        ++line_number_;
+        const std::string_view line = trim(line_);
+        if (is_comment_or_blank(line)) {
+            continue;
+        }
+        out[filled++] = parse_din_line(line, line_number_);
+    }
+    return filled;
+}
+
+mem_trace read_hex(std::istream& in) {
+    hex_source src{in};
+    return drain(src);
 }
 
 mem_trace read_hex_file(const std::string& path) {
@@ -101,35 +144,8 @@ void write_hex_file(const std::string& path, const mem_trace& trace) {
 }
 
 mem_trace read_din(std::istream& in) {
-    mem_trace trace;
-    std::string raw;
-    std::size_t line_number = 0;
-    while (std::getline(in, raw)) {
-        ++line_number;
-        const std::string_view line = trim(raw);
-        if (is_comment_or_blank(line)) {
-            continue;
-        }
-        const std::size_t space = line.find_first_of(" \t");
-        if (space == std::string_view::npos) {
-            throw parse_error{line_number, "expected '<label> <address>'"};
-        }
-        const std::string_view label = line.substr(0, space);
-        const std::string_view addr = trim(line.substr(space + 1));
-        access_type type{};
-        if (label == "0") {
-            type = access_type::read;
-        } else if (label == "1") {
-            type = access_type::write;
-        } else if (label == "2") {
-            type = access_type::ifetch;
-        } else {
-            throw parse_error{line_number,
-                              "unknown din label '" + std::string{label} + "'"};
-        }
-        trace.push_back({parse_hex(addr, line_number), type});
-    }
-    return trace;
+    din_source src{in};
+    return drain(src);
 }
 
 mem_trace read_din_file(const std::string& path) {

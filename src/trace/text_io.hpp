@@ -9,11 +9,13 @@
 #ifndef DEW_TRACE_TEXT_IO_HPP
 #define DEW_TRACE_TEXT_IO_HPP
 
-#include <iosfwd>
+#include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace dew::trace {
 
@@ -25,6 +27,36 @@ public:
 
 private:
     std::size_t line_;
+};
+
+// Streaming counterparts of the eager readers below: pull-based sources
+// producing the same records and throwing the same parse_error on malformed
+// input at the same line.  The stream constructors borrow the stream (it
+// must outlive the source); the path constructors open and own the file.
+class hex_source final : public source {
+public:
+    explicit hex_source(std::istream& in) noexcept : in_{&in} {}
+    explicit hex_source(const std::string& path);
+    std::size_t next(std::span<mem_access> out) override;
+
+private:
+    std::optional<std::ifstream> file_;
+    std::istream* in_;
+    std::string line_;
+    std::size_t line_number_{0};
+};
+
+class din_source final : public source {
+public:
+    explicit din_source(std::istream& in) noexcept : in_{&in} {}
+    explicit din_source(const std::string& path);
+    std::size_t next(std::span<mem_access> out) override;
+
+private:
+    std::optional<std::ifstream> file_;
+    std::istream* in_;
+    std::string line_;
+    std::size_t line_number_{0};
 };
 
 // Reads a hex-per-line trace.  Blank lines and lines starting with '#' are

@@ -1,0 +1,188 @@
+// The chunked simulation session: streaming sweeps are bit-identical to
+// in-memory sweeps on the full paper grid, peak memory is bounded by the
+// chunk (not the trace), and the stepping API reports exact results
+// mid-stream.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dew/session.hpp"
+#include "dew/sweep.hpp"
+#include "trace/mediabench.hpp"
+#include "trace/source.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::core;
+
+constexpr std::size_t trace_records = 100'000;
+
+trace::generator_source streaming_workload() {
+    return trace::generator_source{
+        trace::mediabench_profile(trace::mediabench_app::cjpeg),
+        trace::default_seed(trace::mediabench_app::cjpeg), trace_records};
+}
+
+trace::mem_trace eager_workload() {
+    return trace::make_mediabench_trace(trace::mediabench_app::cjpeg,
+                                        trace_records);
+}
+
+void expect_identical(const sweep_result& a, const sweep_result& b) {
+    EXPECT_EQ(a.requests, b.requests);
+    ASSERT_EQ(a.passes.size(), b.passes.size());
+    for (std::size_t i = 0; i < a.passes.size(); ++i) {
+        ASSERT_EQ(a.passes[i].block_size(), b.passes[i].block_size());
+        ASSERT_EQ(a.passes[i].associativity(), b.passes[i].associativity());
+        for (unsigned level = 0; level <= a.passes[i].max_level(); ++level) {
+            EXPECT_EQ(a.passes[i].misses(level, a.passes[i].associativity()),
+                      b.passes[i].misses(level, b.passes[i].associativity()))
+                << "pass " << i << " level " << level;
+            EXPECT_EQ(a.passes[i].misses(level, 1),
+                      b.passes[i].misses(level, 1))
+                << "pass " << i << " level " << level;
+        }
+        EXPECT_EQ(a.passes[i].counters().tag_comparisons,
+                  b.passes[i].counters().tag_comparisons);
+    }
+}
+
+TEST(Session, StreamingSweepMatchesInMemorySweepOnPaperGrid) {
+    const sweep_request request = sweep_request::paper();
+    const sweep_result eager = run_sweep(eager_workload(), request);
+
+    trace::generator_source src = streaming_workload();
+    session_options options;
+    options.chunk_records = 4096; // force many chunks
+    const sweep_result streamed = run_sweep(src, request, options);
+
+    expect_identical(streamed, eager);
+    EXPECT_EQ(streamed.requests, trace_records);
+}
+
+TEST(Session, ThreadedStreamingSweepIsBitIdentical) {
+    sweep_request request;
+    request.max_set_exp = 8;
+    request.block_sizes = {16, 32, 64};
+    request.associativities = {2, 8};
+    const sweep_result eager = run_sweep(eager_workload(), request);
+
+    request.threads = 4;
+    trace::generator_source src = streaming_workload();
+    session_options options;
+    options.chunk_records = 8192;
+    const sweep_result streamed = run_sweep(src, request, options);
+    expect_identical(streamed, eager);
+}
+
+TEST(Session, MemoryBoundedByChunkNotTrace) {
+    sweep_request request;
+    request.max_set_exp = 8;
+    request.block_sizes = {16, 32, 64};
+    request.associativities = {2, 8};
+
+    session_options options;
+    options.chunk_records = 4096;
+
+    // The trace is 100k records = 1.6 MB of mem_access payload, streamed
+    // through a 4096-record window; the session's resident buffers must be
+    // bounded by the chunk, not the trace.
+    trace::generator_source src = streaming_workload();
+    session s{src, request, options};
+    s.run();
+    EXPECT_EQ(s.requests(), trace_records);
+    EXPECT_GT(s.steps(), std::size_t{20}); // genuinely chunked
+
+    // Serial pipeline: one chunk of records staged plus one live
+    // block-number stream (vector growth may round capacities up, so allow
+    // 2x headroom on the analytic bound).
+    const std::size_t analytic_bound =
+        options.chunk_records *
+        (sizeof(trace::mem_access) + sizeof(std::uint64_t));
+    EXPECT_LE(s.buffer_bytes(), 2 * analytic_bound);
+
+    const std::size_t trace_bytes =
+        trace_records * sizeof(trace::mem_access);
+    EXPECT_LT(s.buffer_bytes(), trace_bytes / 10);
+}
+
+TEST(Session, InMemorySweepStagesNoChunkCopies) {
+    // span_source hands out zero-copy views: the session's chunk buffer
+    // stays empty and only the decoded streams occupy memory.
+    const trace::mem_trace trace = eager_workload();
+    trace::span_source src{{trace.data(), trace.size()}};
+    sweep_request request;
+    request.max_set_exp = 6;
+    request.block_sizes = {32};
+    request.associativities = {4};
+
+    session_options options;
+    options.chunk_records = 4096;
+    session s{src, request, options};
+    s.run();
+    EXPECT_EQ(s.requests(), trace.size());
+    EXPECT_LE(s.buffer_bytes(),
+              2 * options.chunk_records * sizeof(std::uint64_t));
+}
+
+TEST(Session, StepReportsExactResultsMidStream) {
+    sweep_request request;
+    request.max_set_exp = 6;
+    request.block_sizes = {32};
+    request.associativities = {4};
+
+    trace::generator_source src = streaming_workload();
+    session_options options;
+    options.chunk_records = 10'000;
+    session s{src, request, options};
+
+    ASSERT_TRUE(s.step());
+    EXPECT_EQ(s.requests(), 10'000u);
+    const sweep_result partial = s.result();
+    EXPECT_EQ(partial.requests, 10'000u);
+
+    // The partial result equals a one-shot sweep of the trace prefix.
+    trace::mem_trace prefix = eager_workload();
+    prefix.resize(10'000);
+    expect_identical(partial, run_sweep(prefix, request));
+
+    s.run();
+    EXPECT_TRUE(s.exhausted());
+    EXPECT_FALSE(s.step()); // idempotent once drained
+    EXPECT_EQ(s.requests(), trace_records);
+    expect_identical(s.result(), run_sweep(eager_workload(), request));
+}
+
+TEST(Session, CountedInstrumentationStreamsIdentically) {
+    sweep_request request;
+    request.max_set_exp = 6;
+    request.block_sizes = {16, 32};
+    request.associativities = {2, 4};
+    request.instrumentation = sweep_instrumentation::full_counters;
+
+    const sweep_result eager = run_sweep(eager_workload(), request);
+    trace::generator_source src = streaming_workload();
+    session_options options;
+    options.chunk_records = 4096;
+    const sweep_result streamed = run_sweep(src, request, options);
+    expect_identical(streamed, eager);
+    EXPECT_EQ(streamed.total_counters().node_evaluations,
+              eager.total_counters().node_evaluations);
+    EXPECT_EQ(streamed.total_counters().searches,
+              eager.total_counters().searches);
+}
+
+TEST(Session, RejectsInvalidRequestsUpFront) {
+    trace::generator_source src = streaming_workload();
+    sweep_request bad;
+    bad.block_sizes = {12};
+    EXPECT_THROW((session{src, bad}), std::invalid_argument);
+
+    sweep_request good;
+    session_options zero_chunk;
+    zero_chunk.chunk_records = 0;
+    EXPECT_THROW((session{src, good, zero_chunk}), std::invalid_argument);
+}
+
+} // namespace

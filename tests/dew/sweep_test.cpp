@@ -139,6 +139,59 @@ TEST(Sweep, FastAndCountedInstrumentationAgreeOnMisses) {
               counted.total_counters().requests);
 }
 
+TEST(SweepValidate, AcceptsTheDefaultAndPaperRequests) {
+    EXPECT_NO_THROW(validate(sweep_request{}));
+    EXPECT_NO_THROW(validate(sweep_request::paper()));
+}
+
+TEST(SweepValidate, RejectsNonPowerOfTwoBlockSize) {
+    sweep_request request = small_request();
+    request.block_sizes = {8, 24};
+    EXPECT_THROW(validate(request), std::invalid_argument);
+    EXPECT_THROW((void)run_sweep(workload(), request),
+                 std::invalid_argument);
+}
+
+TEST(SweepValidate, RejectsZeroBlockSize) {
+    sweep_request request = small_request();
+    request.block_sizes = {0};
+    EXPECT_THROW(validate(request), std::invalid_argument);
+}
+
+TEST(SweepValidate, RejectsNonPowerOfTwoAssociativity) {
+    sweep_request request = small_request();
+    request.associativities = {2, 3};
+    EXPECT_THROW(validate(request), std::invalid_argument);
+    EXPECT_THROW((void)run_sweep(workload(), request),
+                 std::invalid_argument);
+}
+
+TEST(SweepValidate, RejectsEmptyGrids) {
+    sweep_request no_blocks = small_request();
+    no_blocks.block_sizes.clear();
+    EXPECT_THROW(validate(no_blocks), std::invalid_argument);
+
+    sweep_request no_assocs = small_request();
+    no_assocs.associativities.clear();
+    EXPECT_THROW(validate(no_assocs), std::invalid_argument);
+}
+
+TEST(SweepValidate, RejectsMreDepthZeroWithUseMre) {
+    sweep_request request = small_request();
+    request.options.use_mre = true;
+    request.options.mre_depth = 0;
+    EXPECT_THROW(validate(request), std::invalid_argument);
+    // Depth 0 with the property disabled is a valid (ignored) setting.
+    request.options.use_mre = false;
+    EXPECT_NO_THROW(validate(request));
+}
+
+TEST(SweepValidate, RejectsOversizedSetExponent) {
+    sweep_request request = small_request();
+    request.max_set_exp = 32;
+    EXPECT_THROW(validate(request), std::invalid_argument);
+}
+
 TEST(Sweep, OptionsPropagateToPasses) {
     sweep_request request = small_request();
     request.options = dew_options::unoptimized();

@@ -1,0 +1,255 @@
+// The pull-based source abstraction: every streaming reader matches its
+// eager counterpart record-for-record — on well-formed, truncated and
+// malformed inputs alike — and chunking never perturbs the stream.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/binary_io.hpp"
+#include "trace/compressed_io.hpp"
+#include "trace/generator.hpp"
+#include "trace/lackey.hpp"
+#include "trace/mediabench.hpp"
+#include "trace/source.hpp"
+#include "trace/text_io.hpp"
+
+namespace {
+
+using namespace dew::trace;
+
+mem_trace sample_trace() {
+    return make_mediabench_trace(mediabench_app::g721_enc, 5000);
+}
+
+// Pulls everything out of `src` in chunks of `chunk` records.
+mem_trace pull_all(source& src, std::size_t chunk) {
+    return drain(src, chunk);
+}
+
+constexpr std::size_t pull_sizes[] = {1, 7, 4096};
+
+TEST(SpanSource, ProducesTheViewedRecordsAndRewinds) {
+    const mem_trace trace = sample_trace();
+    span_source src{{trace.data(), trace.size()}};
+    for (const std::size_t chunk : pull_sizes) {
+        EXPECT_EQ(pull_all(src, chunk), trace) << "chunk " << chunk;
+        EXPECT_EQ(drain(src).size(), 0u); // exhausted stays exhausted
+        src.rewind();
+    }
+}
+
+TEST(SpanSource, NextViewIsZeroCopy) {
+    const mem_trace trace = sample_trace();
+    span_source src{{trace.data(), trace.size()}};
+    mem_trace scratch;
+    const std::span<const mem_access> view = src.next_view(100, scratch);
+    ASSERT_EQ(view.size(), 100u);
+    EXPECT_EQ(view.data(), trace.data()); // a window, not a copy
+    EXPECT_TRUE(scratch.empty());
+    // The tail view is clipped to what remains.
+    src.rewind();
+    (void)src.next_view(trace.size() - 3, scratch);
+    EXPECT_EQ(src.next_view(100, scratch).size(), 3u);
+    EXPECT_EQ(src.next_view(100, scratch).size(), 0u);
+}
+
+TEST(DinSource, MatchesEagerReaderRecordForRecord) {
+    const mem_trace trace = sample_trace();
+    std::ostringstream encoded;
+    write_din(encoded, trace);
+    const std::string payload = encoded.str();
+
+    for (const std::size_t chunk : pull_sizes) {
+        std::istringstream in{payload};
+        din_source src{in};
+        EXPECT_EQ(pull_all(src, chunk), trace) << "chunk " << chunk;
+    }
+}
+
+TEST(DinSource, MalformedLineThrowsTheSameParseErrorAsEagerReader) {
+    const std::string payload = "0 1000\n1 2000\nbogus\n";
+    std::size_t eager_line = 0;
+    try {
+        std::istringstream in{payload};
+        (void)read_din(in);
+        FAIL() << "eager reader accepted malformed input";
+    } catch (const parse_error& error) {
+        eager_line = error.line();
+    }
+
+    std::istringstream in{payload};
+    din_source src{in};
+    mem_access out[2];
+    EXPECT_EQ(src.next(out), 2u); // the valid prefix parses
+    try {
+        (void)src.next(out);
+        FAIL() << "source accepted malformed input";
+    } catch (const parse_error& error) {
+        EXPECT_EQ(error.line(), eager_line);
+    }
+}
+
+TEST(HexSource, MatchesEagerReaderIncludingCommentsAndBlanks) {
+    const std::string payload = "# header\n1000\n\nfff8\n  20\n";
+    std::istringstream eager_in{payload};
+    const mem_trace expected = read_hex(eager_in);
+    ASSERT_EQ(expected.size(), 3u);
+
+    for (const std::size_t chunk : pull_sizes) {
+        std::istringstream in{payload};
+        hex_source src{in};
+        EXPECT_EQ(pull_all(src, chunk), expected) << "chunk " << chunk;
+    }
+}
+
+TEST(HexSource, MalformedAddressThrowsParseError) {
+    std::istringstream in{"12g4\n"};
+    hex_source src{in};
+    mem_access out[1];
+    EXPECT_THROW((void)src.next(out), parse_error);
+}
+
+TEST(LackeySource, MatchesEagerReaderAndStats) {
+    const std::string payload =
+        "==123== lackey banner\n"
+        "I  0400d7d4,8\n"
+        " L 04842028,4\n"
+        " S 04842030,8\n"
+        " M 0484a3a8,8\n"
+        "garbage line\n"
+        "I  0400d7e0,4\n";
+    std::istringstream eager_in{payload};
+    mem_trace expected;
+    const lackey_parse_stats expected_stats =
+        read_lackey(eager_in, expected);
+
+    for (const std::size_t chunk : pull_sizes) {
+        std::istringstream in{payload};
+        lackey_source src{in};
+        EXPECT_EQ(pull_all(src, chunk), expected) << "chunk " << chunk;
+        EXPECT_EQ(src.stats().total_accesses(),
+                  expected_stats.total_accesses());
+        EXPECT_EQ(src.stats().modifies, expected_stats.modifies);
+        EXPECT_EQ(src.stats().skipped_lines, expected_stats.skipped_lines);
+    }
+}
+
+TEST(LackeySource, ModifySplitAcrossChunkBoundaryKeepsBothHalves) {
+    // One M record = load + store; a 1-record pull forces the split.
+    std::istringstream in{" M 1000,4\n"};
+    lackey_source src{in};
+    mem_access out[1];
+    ASSERT_EQ(src.next({out, 1}), 1u);
+    EXPECT_EQ(out[0].type, access_type::read);
+    ASSERT_EQ(src.next({out, 1}), 1u);
+    EXPECT_EQ(out[0].type, access_type::write);
+    EXPECT_EQ(out[0].address, 0x1000u);
+    EXPECT_EQ(src.next({out, 1}), 0u);
+    EXPECT_EQ(src.stats().modifies, 1u);
+}
+
+TEST(BinarySource, MatchesEagerReaderRecordForRecord) {
+    const mem_trace trace = sample_trace();
+    std::ostringstream encoded;
+    write_binary(encoded, trace);
+    const std::string payload = encoded.str();
+
+    for (const std::size_t chunk : pull_sizes) {
+        std::istringstream in{payload};
+        binary_source src{in};
+        EXPECT_EQ(src.remaining(), trace.size());
+        EXPECT_EQ(pull_all(src, chunk), trace) << "chunk " << chunk;
+        EXPECT_EQ(src.remaining(), 0u);
+    }
+}
+
+TEST(BinarySource, BadMagicAndTruncationThrowLikeEagerReader) {
+    {
+        std::istringstream in{"NOPE"};
+        EXPECT_THROW((binary_source{in}), format_error);
+    }
+    // Valid header, truncated records: the eager reader and the source must
+    // fail identically.
+    const mem_trace trace = sample_trace();
+    std::ostringstream encoded;
+    write_binary(encoded, trace);
+    const std::string truncated =
+        encoded.str().substr(0, encoded.str().size() / 2);
+    {
+        std::istringstream in{truncated};
+        EXPECT_THROW((void)read_binary(in), format_error);
+    }
+    {
+        std::istringstream in{truncated};
+        binary_source src{in};
+        mem_trace out;
+        // Small pulls, so whole chunks decode before the failing one; the
+        // error must not corrupt the already-produced prefix.
+        EXPECT_THROW(drain_into(src, out, 100), format_error);
+        EXPECT_GT(out.size(), 0u);
+        EXPECT_TRUE(std::equal(out.begin(), out.end(), trace.begin()));
+    }
+}
+
+TEST(CompressedSource, MatchesEagerReaderRecordForRecord) {
+    const mem_trace trace = sample_trace();
+    std::ostringstream encoded;
+    write_compressed(encoded, trace);
+    const std::string payload = encoded.str();
+
+    for (const std::size_t chunk : pull_sizes) {
+        std::istringstream in{payload};
+        compressed_source src{in};
+        EXPECT_EQ(pull_all(src, chunk), trace) << "chunk " << chunk;
+    }
+}
+
+TEST(CompressedSource, BadMagicAndTruncationThrowLikeEagerReader) {
+    {
+        std::istringstream in{"XXXX"};
+        EXPECT_THROW((compressed_source{in}), format_error);
+    }
+    const mem_trace trace = sample_trace();
+    std::ostringstream encoded;
+    write_compressed(encoded, trace);
+    const std::string truncated =
+        encoded.str().substr(0, encoded.str().size() / 2);
+    {
+        std::istringstream in{truncated};
+        EXPECT_THROW((void)read_compressed(in), format_error);
+    }
+    {
+        std::istringstream in{truncated};
+        compressed_source src{in};
+        mem_trace out;
+        EXPECT_THROW(drain_into(src, out, 100), format_error);
+        EXPECT_GT(out.size(), 0u);
+        EXPECT_TRUE(std::equal(out.begin(), out.end(), trace.begin()));
+    }
+}
+
+TEST(GeneratorSource, MatchesEagerGenerationAtEveryChunking) {
+    const workload_spec spec = mediabench_profile(mediabench_app::cjpeg);
+    const std::uint64_t seed = default_seed(mediabench_app::cjpeg);
+    workload_generator eager{spec, seed};
+    const mem_trace expected = eager.make(5000);
+
+    for (const std::size_t chunk : pull_sizes) {
+        generator_source src{spec, seed, 5000};
+        EXPECT_EQ(pull_all(src, chunk), expected) << "chunk " << chunk;
+    }
+}
+
+TEST(MissingFile, SourceConstructorsThrowLikeEagerReaders) {
+    EXPECT_THROW((din_source{"/nonexistent/trace.din"}), std::runtime_error);
+    EXPECT_THROW((hex_source{"/nonexistent/trace.hex"}), std::runtime_error);
+    EXPECT_THROW((lackey_source{"/nonexistent/trace.lk"}),
+                 std::runtime_error);
+    EXPECT_THROW((binary_source{"/nonexistent/trace.dewt"}),
+                 std::runtime_error);
+    EXPECT_THROW((compressed_source{"/nonexistent/trace.dewc"}),
+                 std::runtime_error);
+}
+
+} // namespace
