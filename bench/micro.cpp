@@ -21,6 +21,7 @@
 
 #include "baseline/dinero_sim.hpp"
 #include "cache/set_model.hpp"
+#include "cipar/simulator.hpp"
 #include "dew/session.hpp"
 #include "dew/simulator.hpp"
 #include "dew/sweep.hpp"
@@ -127,6 +128,42 @@ void BM_DewPassFastBlocks(benchmark::State& state) {
 BENCHMARK(BM_DewPassFastBlocks)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The CIPARSim-style engine over the same column: one hash probe per access
+// instead of a tree walk.  Counted and fast instrumentation policies.
+void BM_CiparPass(benchmark::State& state) {
+    const auto assoc = static_cast<std::uint32_t>(state.range(0));
+    const trace::mem_trace& trace = bench_trace();
+    for (auto _ : state) {
+        cipar::cipar_simulator sim{14, assoc, 32};
+        sim.simulate(trace);
+        benchmark::DoNotOptimize(sim.counters().full_hits);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_CiparPass)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CiparPassFast(benchmark::State& state) {
+    const auto assoc = static_cast<std::uint32_t>(state.range(0));
+    const trace::mem_trace& trace = bench_trace();
+    for (auto _ : state) {
+        cipar::fast_cipar_simulator sim{14, assoc, 32};
+        sim.simulate(trace);
+        benchmark::DoNotOptimize(sim.result().misses(14, assoc));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_CiparPassFast)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
 // The same coverage the pre-DEW way: 30 independent baseline runs.
@@ -351,10 +388,33 @@ void write_micro_json() {
         }
     }
 
+    // Same exactness gate for the CIPAR engine before its numbers are
+    // trusted: every count must match the DEW fast path.
+    {
+        core::fast_dew_simulator dew_sim{json_max_level, json_assoc,
+                                         json_block};
+        dew_sim.simulate(trace);
+        const core::dew_result dew_result = dew_sim.result();
+        cipar::fast_cipar_simulator cipar_sim{json_max_level, json_assoc,
+                                              json_block};
+        cipar_sim.simulate(trace);
+        const core::dew_result cipar_result = cipar_sim.result();
+        for (unsigned level = 0; level <= json_max_level; ++level) {
+            DEW_ASSERT(cipar_result.misses(level, json_assoc) ==
+                       dew_result.misses(level, json_assoc));
+            DEW_ASSERT(cipar_result.misses(level, 1) ==
+                       dew_result.misses(level, 1));
+        }
+    }
+
     const micro_measurement seed =
         measure<bench::seed::counted_simulator>(trace);
     const micro_measurement counted = measure<core::dew_simulator>(trace);
     const micro_measurement fast = measure<core::fast_dew_simulator>(trace);
+    const micro_measurement cipar_counted =
+        measure<cipar::cipar_simulator>(trace);
+    const micro_measurement cipar_fast =
+        measure<cipar::fast_cipar_simulator>(trace);
     const sweep_comparison sweeps = measure_sweeps();
 
     std::FILE* out = std::fopen("BENCH_micro.json", "w");
@@ -391,9 +451,17 @@ void write_micro_json() {
                  sweeps.eager.peak_bytes_per_ref);
     std::fprintf(out, "  \"streaming_sweep_peak_bytes_per_ref\": %.3f,\n",
                  sweeps.streaming.peak_bytes_per_ref);
-    std::fprintf(out, "  \"sweep_memory_ratio_eager_vs_streaming\": %.3f\n",
+    std::fprintf(out, "  \"sweep_memory_ratio_eager_vs_streaming\": %.3f,\n",
                  sweeps.eager.peak_bytes_per_ref /
                      sweeps.streaming.peak_bytes_per_ref);
+    std::fprintf(out, "  \"cipar_counted_accesses_per_sec\": %.0f,\n",
+                 cipar_counted.accesses_per_sec);
+    std::fprintf(out, "  \"cipar_fast_accesses_per_sec\": %.0f,\n",
+                 cipar_fast.accesses_per_sec);
+    std::fprintf(out, "  \"cipar_construct_ms\": %.3f,\n",
+                 cipar_fast.construct_ms);
+    std::fprintf(out, "  \"ratio_cipar_fast_vs_arena_fast\": %.3f\n",
+                 cipar_fast.accesses_per_sec / fast.accesses_per_sec);
     std::fprintf(out, "}\n");
     std::fclose(out);
 
@@ -405,6 +473,11 @@ void write_micro_json() {
                 fast.accesses_per_sec / 1e6,
                 fast.accesses_per_sec / seed.accesses_per_sec,
                 seed.construct_ms, fast.construct_ms);
+    std::printf("cipar engine: counted %.2fM acc/s, fast %.2fM acc/s "
+                "(x%.2f of dew fast)\n",
+                cipar_counted.accesses_per_sec / 1e6,
+                cipar_fast.accesses_per_sec / 1e6,
+                cipar_fast.accesses_per_sec / fast.accesses_per_sec);
     std::printf("sweep memory: eager %.1f B/ref vs streaming %.2f B/ref "
                 "(x%.0f smaller), throughput %.2fM vs %.2fM acc/s\n\n",
                 sweeps.eager.peak_bytes_per_ref,

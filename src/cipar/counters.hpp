@@ -1,0 +1,57 @@
+// Instrumentation counters of one CIPARSim-style run.
+//
+// The engine's cost model is different from DEW's (hash-probe classification
+// instead of a tree walk), so it reports its own quantities rather than
+// overloading dew_counters: how often a single presence probe certified the
+// request across the whole set-count column, how much per-level insertion
+// work the misses caused, and what the presence map itself cost.
+#ifndef DEW_CIPAR_COUNTERS_HPP
+#define DEW_CIPAR_COUNTERS_HPP
+
+#include <cstdint>
+
+namespace dew::cipar {
+
+struct cipar_counters {
+    std::uint64_t requests{0};
+
+    // One per access: the presence-map probe that classifies the request
+    // against every covered configuration at once.
+    std::uint64_t presence_probes{0};
+    // The probe found the block resident in every covered configuration —
+    // the whole request resolved with zero per-level work (the engine's
+    // analogue of DEW's Property-2 stop, but for the full column).
+    std::uint64_t full_hits{0};
+
+    // Per-level work on the miss path.
+    std::uint64_t level_insertions{0}; // one per (level, column) miss
+    std::uint64_t evictions{0};        // valid victims displaced
+    std::uint64_t victim_updates{0};   // presence-map writes for victims
+
+    // The paper's worst-case convention (Table 4 column 2 of DEW): set
+    // evaluations per-configuration simulation would need for the same
+    // coverage — requests x levels x |{1, A}|.
+    std::uint64_t unoptimized_evaluations{0};
+
+    // Presence-map health: resident entries and growth events.
+    std::uint64_t map_rehashes{0};
+};
+
+// --- Instrumentation policies -----------------------------------------------
+// basic_cipar_simulator is templated on one of these, mirroring the DEW
+// policy pair (dew/counters.hpp): `full_counters` keeps the bookkeeping
+// above, `fast` compiles every counter update to nothing.  Both produce
+// bit-identical miss counts.
+
+struct full_counters {
+    static constexpr bool counted = true;
+    cipar_counters counters{};
+};
+
+struct fast {
+    static constexpr bool counted = false;
+};
+
+} // namespace dew::cipar
+
+#endif // DEW_CIPAR_COUNTERS_HPP

@@ -1,0 +1,139 @@
+// Open-addressing block-number -> presence-mask map: the per-block state at
+// the heart of the CIPARSim-style engine.
+//
+// Keys are block numbers (never cache::invalid_tag — every simulator rejects
+// it at the door), so the all-ones value doubles as the empty-slot sentinel
+// and a slot needs no separate occupancy flag.  Linear probing over a
+// power-of-two table keeps the common probe a single cache line; during a
+// run the table only ever grows (an entry whose mask has gone to zero is a
+// dead block that costs one slot, exactly like dinero_sim's touched-block
+// set); clear() restores the as-constructed capacity.
+#ifndef DEW_CIPAR_PRESENCE_MAP_HPP
+#define DEW_CIPAR_PRESENCE_MAP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cache/set_model.hpp" // cache::invalid_tag
+#include "common/contracts.hpp"
+
+namespace dew::cipar {
+
+class presence_map {
+public:
+    explicit presence_map(std::size_t initial_capacity = 1024)
+        : keys_(round_up(initial_capacity), cache::invalid_tag),
+          values_(keys_.size(), 0),
+          initial_capacity_{keys_.size()},
+          mask_{keys_.size() - 1} {}
+
+    // Value slot of `key`, inserting a zero mask if absent.  The returned
+    // reference is invalidated by the next find_or_insert (which may grow
+    // the table); find() never invalidates anything.
+    std::uint64_t& find_or_insert(std::uint64_t key) {
+        DEW_EXPECTS(key != cache::invalid_tag);
+        if ((size_ + 1) * 4 > keys_.size() * 3) {
+            grow();
+        }
+        std::size_t slot = hash(key) & mask_;
+        while (keys_[slot] != key) {
+            if (keys_[slot] == cache::invalid_tag) {
+                keys_[slot] = key;
+                ++size_;
+                return values_[slot];
+            }
+            slot = (slot + 1) & mask_;
+        }
+        return values_[slot];
+    }
+
+    // Value slot of a key known to be present (victims were inserted when
+    // they first entered a cache); never grows the table.
+    std::uint64_t& find_existing(std::uint64_t key) {
+        std::size_t slot = hash(key) & mask_;
+        while (keys_[slot] != key) {
+            DEW_ASSERT(keys_[slot] != cache::invalid_tag);
+            slot = (slot + 1) & mask_;
+        }
+        return values_[slot];
+    }
+
+    // Restores the cold state exactly: contents, growth history and table
+    // capacity — a cleared map replays a trace with bit-identical
+    // instrumentation to a freshly-constructed one.
+    void clear() {
+        if (keys_.size() != initial_capacity_) {
+            keys_.assign(initial_capacity_, cache::invalid_tag);
+            values_.assign(initial_capacity_, 0);
+            keys_.shrink_to_fit();
+            values_.shrink_to_fit();
+            mask_ = initial_capacity_ - 1;
+        } else {
+            std::fill(keys_.begin(), keys_.end(), cache::invalid_tag);
+            std::fill(values_.begin(), values_.end(), 0);
+        }
+        size_ = 0;
+        rehashes_ = 0;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
+    [[nodiscard]] std::uint64_t rehashes() const noexcept { return rehashes_; }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return keys_.capacity() * sizeof(std::uint64_t) +
+               values_.capacity() * sizeof(std::uint64_t);
+    }
+
+private:
+    static std::size_t round_up(std::size_t n) {
+        std::size_t cap = 16;
+        while (cap < n) {
+            cap <<= 1;
+        }
+        return cap;
+    }
+
+    // splitmix64 finalizer: full-avalanche over the block number, so
+    // stride-heavy traces do not cluster in the low table bits.
+    static std::uint64_t hash(std::uint64_t x) noexcept {
+        x ^= x >> 30;
+        x *= 0xBF58476D1CE4E5B9ull;
+        x ^= x >> 27;
+        x *= 0x94D049BB133111EBull;
+        x ^= x >> 31;
+        return x;
+    }
+
+    void grow() {
+        std::vector<std::uint64_t> old_keys(keys_.size() * 2,
+                                            cache::invalid_tag);
+        std::vector<std::uint64_t> old_values(old_keys.size(), 0);
+        old_keys.swap(keys_);
+        old_values.swap(values_);
+        mask_ = keys_.size() - 1;
+        ++rehashes_;
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] == cache::invalid_tag) {
+                continue;
+            }
+            std::size_t slot = hash(old_keys[i]) & mask_;
+            while (keys_[slot] != cache::invalid_tag) {
+                slot = (slot + 1) & mask_;
+            }
+            keys_[slot] = old_keys[i];
+            values_[slot] = old_values[i];
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> values_;
+    std::size_t initial_capacity_;
+    std::size_t mask_;
+    std::size_t size_{0};
+    std::uint64_t rehashes_{0};
+};
+
+} // namespace dew::cipar
+
+#endif // DEW_CIPAR_PRESENCE_MAP_HPP

@@ -1,0 +1,10 @@
+#include "cipar/simulator.hpp"
+
+namespace dew::cipar {
+
+// The two instrumentation policies, instantiated exactly once (the header
+// declares them extern) so consumer translation units share the code.
+template class basic_cipar_simulator<full_counters>;
+template class basic_cipar_simulator<fast>;
+
+} // namespace dew::cipar

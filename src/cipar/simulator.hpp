@@ -1,0 +1,334 @@
+// A CIPARSim-style single-pass FIFO simulator (Haque, Peddersen,
+// Parameswaran: "CIPARSim: Cache Intersection Property Assisted Rapid
+// Single-pass FIFO Cache Simulation Technique") — the authors' follow-up to
+// DEW, implemented here as an independent engine beside it.
+//
+// Like DEW, one instance simulates every set count S = 2^0 .. 2^max_level at
+// associativities {1, A} and one block size in a single pass.  Unlike DEW,
+// it keeps no tree of MRA tags, wave pointers and victim buffers; its state
+// is per *block*: for every block ever touched, a presence mask recording in
+// exactly which of the covered configurations the block is currently
+// resident.  CIPARSim's intersection property says that on real traces this
+// residency is interval-shaped across the set-count column (a block tends to
+// be resident in a contiguous range of levels), which is what makes a
+// per-block summary effective; this implementation stores the full per-level
+// bitmap, of which the paper's presence interval is the well-behaved special
+// case, so the engine is exact on *every* trace — including the adversarial
+// ones where FIFO violates strict inclusion between set counts — not just
+// those where the interval shape holds.
+//
+// The access path:
+//   1. one hash probe of the presence map classifies the request against
+//      every covered configuration at once — if the block is resident
+//      everywhere (the common case on local traces), the request is a
+//      certified hit in all 2(max_level+1) configurations and, because FIFO
+//      hits never change replacement state, the engine does zero further
+//      work;
+//   2. every cleared mask bit is a miss in that (level, associativity)
+//      configuration: the block is inserted into the level's FIFO set (flat
+//      arrays indexed exactly like dew_tree's walker), the displaced victim
+//      has its own presence bit cleared, and the request's bits are set.
+//
+// Invariant: mask bit (level, column) of block b is set iff b is resident in
+// that exact FIFO configuration.  Insertions set the bit, evictions clear
+// it, and FIFO hits change nothing — so the per-level miss counts are
+// bit-identical to per-configuration simulation by construction.
+//
+// The class implements the library's full simulator contract
+// (simulate / simulate_chunk / simulate_blocks / access / reset, results as
+// core::dew_result) and the instrumentation-policy template of
+// basic_dew_simulator: cipar_simulator keeps cipar_counters, and
+// fast_cipar_simulator compiles every counter update to nothing.
+#ifndef DEW_CIPAR_SIMULATOR_HPP
+#define DEW_CIPAR_SIMULATOR_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/set_model.hpp"
+#include "cipar/counters.hpp"
+#include "cipar/presence_map.hpp"
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "common/hints.hpp"
+#include "dew/result.hpp"
+#include "trace/record.hpp"
+
+namespace dew::cipar {
+
+template <class Instrumentation = full_counters>
+class basic_cipar_simulator {
+public:
+    // True when this instantiation maintains cipar_counters on the hot path.
+    static constexpr bool counted = Instrumentation::counted;
+
+    // Simulates set counts 2^0..2^max_level at associativities {1, assoc}
+    // and block size block_size (bytes, power of two).  max_level < 32 (one
+    // presence-mask column per associativity, 32 bits each).
+    basic_cipar_simulator(unsigned max_level, std::uint32_t assoc,
+                          std::uint32_t block_size);
+
+    // Simulate a single byte address / reference / whole trace.
+    void access(std::uint64_t address) { access_block(address >> block_bits_); }
+    void access(const trace::mem_access& reference) { access(reference.address); }
+    void simulate(const trace::mem_trace& trace) {
+        simulate_chunk({trace.data(), trace.size()});
+    }
+
+    // The uniform incremental step (PR-2 contract): chunked feeding through
+    // any interleaving of simulate_chunk, simulate_blocks and access calls
+    // is bit-identical to one whole-trace simulate() — the presence map and
+    // set arrays carry all state between chunks.
+    void simulate_chunk(std::span<const trace::mem_access> chunk) {
+        note_requests(chunk.size());
+        for (const trace::mem_access& reference : chunk) {
+            access_block_impl(reference.address >> block_bits_);
+        }
+    }
+
+    // The hot entry points on pre-decoded block numbers (address >>
+    // log2(block size)) — what dew::session feeds.
+    void access_block(std::uint64_t block) {
+        note_requests(1);
+        access_block_impl(block);
+    }
+    void simulate_blocks(std::span<const std::uint64_t> blocks) {
+        note_requests(blocks.size());
+        for (const std::uint64_t block : blocks) {
+            access_block_impl(block);
+        }
+    }
+
+    // Exact per-configuration results (valid at any point of the pass), in
+    // the same dew_result shape every other engine reports.  The embedded
+    // dew_counters carry only the fields whose meaning is engine-agnostic:
+    // the request count and the Table-4 worst-case evaluation convention
+    // (so counted sweeps still aggregate comparable totals).  CIPAR's own
+    // cost model — presence probes, full hits, insertions, evictions, map
+    // growth — lives in counters() on a directly-driven simulator.
+    [[nodiscard]] core::dew_result result() const {
+        core::dew_counters snapshot{};
+        snapshot.requests = requests_;
+        if constexpr (counted) {
+            snapshot.unoptimized_evaluations =
+                instrumentation_.counters.unoptimized_evaluations;
+        }
+        return core::dew_result{
+            max_level_,    assoc_,
+            block_size_,   requests_,
+            misses_assoc_, two_columns_ ? misses_dm_ : misses_assoc_,
+            snapshot};
+    }
+
+    // All-zero under the `fast` policy (no bookkeeping exists to report).
+    // Returned by value: the map-growth count is snapshotted here, at read
+    // time, instead of being re-stored on every access of the hot loop.
+    [[nodiscard]] cipar_counters counters() const noexcept {
+        if constexpr (counted) {
+            cipar_counters snapshot = instrumentation_.counters;
+            snapshot.map_rehashes = presence_.rehashes();
+            return snapshot;
+        } else {
+            return cipar_counters{};
+        }
+    }
+
+    [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+    [[nodiscard]] unsigned max_level() const noexcept { return max_level_; }
+    [[nodiscard]] std::uint32_t associativity() const noexcept { return assoc_; }
+    [[nodiscard]] std::uint32_t block_size() const noexcept { return block_size_; }
+    // Distinct blocks ever touched (the presence map's live size).
+    [[nodiscard]] std::size_t tracked_blocks() const noexcept {
+        return presence_.size();
+    }
+
+    // Reset all set arrays, the presence map and every counter to cold.
+    void reset();
+
+private:
+    // DM-column presence bits live in the mask's upper half.
+    static constexpr unsigned dm_shift = 32;
+
+    DEW_NOINLINE static void validate_construction(unsigned max_level,
+                                                   std::uint32_t assoc,
+                                                   std::uint32_t block_size) {
+        DEW_EXPECTS(max_level < 32);
+        DEW_EXPECTS(is_pow2(assoc));
+        DEW_EXPECTS(is_pow2(block_size));
+    }
+
+    void note_requests(std::uint64_t count) {
+        requests_ += count;
+        if constexpr (counted) {
+            instrumentation_.counters.requests += count;
+            instrumentation_.counters.unoptimized_evaluations +=
+                count * (max_level_ + 1) * (two_columns_ ? 2 : 1);
+        }
+    }
+
+    void access_block_impl(std::uint64_t block);
+
+    unsigned max_level_;
+    std::uint32_t assoc_;
+    std::uint32_t way_mask_; // assoc - 1
+    std::uint32_t block_size_;
+    unsigned block_bits_;
+    // assoc == 1 runs one column (the assoc column IS direct-mapped).
+    bool two_columns_;
+    // Presence bits covered by this instance: assoc column in the low half,
+    // DM column in the high half when two_columns_.
+    std::uint64_t full_mask_;
+
+    // Per-level FIFO state in flat level-major arrays, slot-indexed exactly
+    // like dew_tree: level l's set for block b is (2^l - 1) + (b & (2^l -1)).
+    std::vector<std::uint64_t> way_tags_; // slot * assoc + way
+    std::vector<std::uint32_t> cursors_;  // per-slot insertion pointer
+    std::vector<std::uint64_t> dm_tags_;  // per slot; empty when !two_columns_
+
+    presence_map presence_;
+    [[no_unique_address]] Instrumentation instrumentation_{};
+    std::uint64_t requests_{0};
+    std::vector<std::uint64_t> misses_assoc_;
+    std::vector<std::uint64_t> misses_dm_;
+};
+
+// The counted engine (benches, ablations, instrumentation studies) and the
+// zero-overhead production configuration, mirroring dew_simulator /
+// fast_dew_simulator.
+using cipar_simulator = basic_cipar_simulator<full_counters>;
+using fast_cipar_simulator = basic_cipar_simulator<fast>;
+
+// --- implementation ---------------------------------------------------------
+
+template <class Instrumentation>
+basic_cipar_simulator<Instrumentation>::basic_cipar_simulator(
+    unsigned max_level, std::uint32_t assoc, std::uint32_t block_size)
+    : max_level_{max_level},
+      assoc_{assoc},
+      way_mask_{assoc - 1},
+      block_size_{block_size},
+      block_bits_{log2_exact(block_size)},
+      two_columns_{assoc != 1},
+      misses_assoc_(max_level + 1, 0),
+      misses_dm_(max_level + 1, 0) {
+    validate_construction(max_level, assoc, block_size);
+    // max_level < 32, so each column fits its 32-bit half of the mask.
+    const std::uint64_t levels_mask =
+        (std::uint64_t{1} << (max_level + 1)) - 1;
+    full_mask_ = levels_mask;
+    if (two_columns_) {
+        full_mask_ |= levels_mask << dm_shift;
+    }
+    const std::size_t total_slots =
+        (std::size_t{1} << (max_level + 1)) - 1;
+    way_tags_.assign(total_slots * assoc, cache::invalid_tag);
+    cursors_.assign(total_slots, 0);
+    if (two_columns_) {
+        dm_tags_.assign(total_slots, cache::invalid_tag);
+    }
+}
+
+template <class Instrumentation>
+void basic_cipar_simulator<Instrumentation>::access_block_impl(
+    std::uint64_t block) {
+    // The all-ones block number is the empty-way / empty-map sentinel;
+    // accepting it would corrupt both silently (same contract as DEW).
+    DEW_EXPECTS(block != cache::invalid_tag);
+
+    // One probe decides the whole column.  find_or_insert may grow the
+    // table, but only while inserting `block` itself; the victim lookups
+    // below never insert, so `mask` stays valid across them.
+    std::uint64_t& mask = presence_.find_or_insert(block);
+    if constexpr (counted) {
+        ++instrumentation_.counters.presence_probes;
+    }
+    std::uint64_t miss = ~mask & full_mask_;
+    if (miss == 0) {
+        // Resident in every covered configuration: a certified hit
+        // everywhere, and FIFO hits change no replacement state.
+        if constexpr (counted) {
+            ++instrumentation_.counters.full_hits;
+        }
+        return;
+    }
+
+    // Walk only as deep as the lowest-resident information requires: the
+    // flat slot is tracked incrementally exactly like dew_tree's walker,
+    // and the loop ends as soon as every miss bit has been served.
+    std::uint64_t remaining = miss;
+    std::uint64_t slot = 0;
+    std::uint64_t bit = 1;
+    for (unsigned level = 0; remaining != 0;
+         ++level, slot += bit + (block & bit), bit <<= 1) {
+        const std::uint64_t a_bit = std::uint64_t{1} << level;
+        if (miss & a_bit) {
+            // Miss in (S = 2^level, A = assoc): FIFO insert at the
+            // round-robin cursor; the displaced tag leaves this — and only
+            // this — configuration, so exactly its bit is cleared.
+            ++misses_assoc_[level];
+            const std::uint32_t cursor = cursors_[slot];
+            std::uint64_t& way = way_tags_[slot * assoc_ + cursor];
+            if constexpr (counted) {
+                ++instrumentation_.counters.level_insertions;
+            }
+            if (way != cache::invalid_tag) {
+                presence_.find_existing(way) &= ~a_bit;
+                if constexpr (counted) {
+                    ++instrumentation_.counters.evictions;
+                    ++instrumentation_.counters.victim_updates;
+                }
+            }
+            way = block;
+            cursors_[slot] = (cursor + 1) & way_mask_;
+        }
+        if (two_columns_) {
+            const std::uint64_t dm_bit = a_bit << dm_shift;
+            if (miss & dm_bit) {
+                // Miss in (S = 2^level, A = 1): the slot itself is the
+                // direct-mapped way.
+                ++misses_dm_[level];
+                std::uint64_t& way = dm_tags_[slot];
+                if constexpr (counted) {
+                    ++instrumentation_.counters.level_insertions;
+                }
+                if (way != cache::invalid_tag) {
+                    presence_.find_existing(way) &= ~dm_bit;
+                    if constexpr (counted) {
+                        ++instrumentation_.counters.evictions;
+                        ++instrumentation_.counters.victim_updates;
+                    }
+                }
+                way = block;
+            }
+            remaining &= ~(a_bit | dm_bit);
+        } else {
+            remaining &= ~a_bit;
+        }
+    }
+    // The block was resident wherever bits were already set and has just
+    // been inserted everywhere else.
+    mask = full_mask_;
+}
+
+template <class Instrumentation>
+void basic_cipar_simulator<Instrumentation>::reset() {
+    std::fill(way_tags_.begin(), way_tags_.end(), cache::invalid_tag);
+    std::fill(cursors_.begin(), cursors_.end(), 0);
+    std::fill(dm_tags_.begin(), dm_tags_.end(), cache::invalid_tag);
+    presence_.clear();
+    instrumentation_ = {};
+    requests_ = 0;
+    std::fill(misses_assoc_.begin(), misses_assoc_.end(), 0);
+    std::fill(misses_dm_.begin(), misses_dm_.end(), 0);
+}
+
+// The only two policies; instantiated once in simulator.cpp so consumer
+// translation units do not each re-instantiate the engine.
+extern template class basic_cipar_simulator<full_counters>;
+extern template class basic_cipar_simulator<fast>;
+
+} // namespace dew::cipar
+
+#endif // DEW_CIPAR_SIMULATOR_HPP

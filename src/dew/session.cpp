@@ -7,7 +7,9 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
+#include "cipar/simulator.hpp"
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
 #include "dew/simulator.hpp"
@@ -26,12 +28,15 @@ public:
     [[nodiscard]] virtual dew_result result() const = 0;
 };
 
-template <class Instrumentation>
-class sim_pass final : public sweep_pass {
+// One wrapper serves every engine: DEW and CIPAR share the block-stream
+// contract (simulate_blocks on pre-decoded block numbers) and report the
+// same dew_result shape, so the session's chunk loop is engine-agnostic.
+template <class Sim>
+class engine_pass final : public sweep_pass {
 public:
-    sim_pass(unsigned max_set_exp, std::uint32_t assoc,
-             std::uint32_t block_size, const dew_options& options)
-        : sim_{max_set_exp, assoc, block_size, options} {}
+    template <class... Args>
+    explicit engine_pass(Args&&... args)
+        : sim_{std::forward<Args>(args)...} {}
 
     void feed(std::span<const std::uint64_t> blocks) override {
         sim_.simulate_blocks(blocks);
@@ -40,7 +45,7 @@ public:
     [[nodiscard]] dew_result result() const override { return sim_.result(); }
 
 private:
-    basic_dew_simulator<Instrumentation> sim_;
+    Sim sim_;
 };
 
 } // namespace detail
@@ -63,6 +68,13 @@ void decode_blocks(std::span<const trace::mem_access> chunk,
 // generation handoff orders the stream writes before the workers' reads,
 // and the completion wait orders the workers' simulator writes before the
 // owner reads results.
+//
+// A throw from simulate_blocks on a worker must not escape the thread body
+// (that would be std::terminate): the worker captures it here instead, and
+// feed_threaded rethrows it on the owning thread once the generation
+// barrier completes, so the caller sees the same exception the serial path
+// would have thrown.  Only the first exception of a generation is kept;
+// later ones (typically the same fault on sibling passes) are dropped.
 struct session::worker_pool {
     std::mutex mutex;
     std::condition_variable start_cv;
@@ -70,6 +82,7 @@ struct session::worker_pool {
     std::uint64_t generation{0};
     std::size_t running{0}; // workers still on the current generation
     bool stop{false};
+    std::exception_ptr error; // first worker throw of this generation
     std::atomic<std::size_t> cursor{0};
     std::vector<std::thread> workers;
 
@@ -113,13 +126,27 @@ session::session(trace::source& src, const sweep_request& request,
     }
 
     passes_.reserve(keys_.size());
+    const bool counted =
+        request_.instrumentation == sweep_instrumentation::full_counters;
     for (const pass_key& key : keys_) {
-        if (request_.instrumentation == sweep_instrumentation::full_counters) {
-            passes_.push_back(std::make_unique<detail::sim_pass<full_counters>>(
+        if (request_.engine == sweep_engine::cipar) {
+            if (counted) {
+                passes_.push_back(std::make_unique<detail::engine_pass<
+                    cipar::basic_cipar_simulator<cipar::full_counters>>>(
+                    request_.max_set_exp, key.assoc, key.block_size));
+            } else {
+                passes_.push_back(std::make_unique<detail::engine_pass<
+                    cipar::basic_cipar_simulator<cipar::fast>>>(
+                    request_.max_set_exp, key.assoc, key.block_size));
+            }
+        } else if (counted) {
+            passes_.push_back(std::make_unique<
+                detail::engine_pass<basic_dew_simulator<full_counters>>>(
                 request_.max_set_exp, key.assoc, key.block_size,
                 request_.options));
         } else {
-            passes_.push_back(std::make_unique<detail::sim_pass<fast>>(
+            passes_.push_back(std::make_unique<
+                detail::engine_pass<basic_dew_simulator<fast>>>(
                 request_.max_set_exp, key.assoc, key.block_size,
                 request_.options));
         }
@@ -148,14 +175,21 @@ session::session(trace::source& src, const sweep_request& request,
                         }
                         seen = pool.generation;
                     }
-                    for (;;) {
-                        const std::size_t index =
-                            pool.cursor.fetch_add(1,
-                                                  std::memory_order_relaxed);
-                        if (index >= passes_.size()) {
-                            break;
+                    try {
+                        for (;;) {
+                            const std::size_t index = pool.cursor.fetch_add(
+                                1, std::memory_order_relaxed);
+                            if (index >= passes_.size()) {
+                                break;
+                            }
+                            passes_[index]->feed(
+                                streams_[keys_[index].stream]);
                         }
-                        passes_[index]->feed(streams_[keys_[index].stream]);
+                    } catch (...) {
+                        const std::lock_guard<std::mutex> lock{pool.mutex};
+                        if (!pool.error) {
+                            pool.error = std::current_exception();
+                        }
                     }
                     {
                         const std::lock_guard<std::mutex> lock{pool.mutex};
@@ -204,9 +238,17 @@ void session::feed_threaded(std::span<const trace::mem_access> chunk) {
         ++pool.generation;
     }
     pool.start_cv.notify_all();
+    std::exception_ptr error;
     {
         std::unique_lock<std::mutex> lock{pool.mutex};
         pool.done_cv.wait(lock, [&] { return pool.running == 0; });
+        error = std::exchange(pool.error, nullptr);
+    }
+    if (error) {
+        // Surface the worker's exception on the owning thread; step()'s
+        // catch block marks the session exhausted, exactly as it does for
+        // a serial-path throw.
+        std::rethrow_exception(error);
     }
 }
 
@@ -223,10 +265,18 @@ bool session::step() {
     }
     requests_ += chunk.size();
     ++steps_;
-    if (request_.threads > 0 && passes_.size() > 1) {
-        feed_threaded(chunk);
-    } else {
-        feed_serial(chunk);
+    try {
+        if (request_.threads > 0 && passes_.size() > 1) {
+            feed_threaded(chunk);
+        } else {
+            feed_serial(chunk);
+        }
+    } catch (...) {
+        // A partially-fed chunk leaves the passes inconsistent with each
+        // other; refuse further stepping so the fault cannot be papered
+        // over by continuing the stream.
+        exhausted_ = true;
+        throw;
     }
     const auto stop = std::chrono::steady_clock::now();
     seconds_ += std::chrono::duration<double>(stop - start).count();

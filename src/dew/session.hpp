@@ -43,8 +43,11 @@ struct session_options {
     // Records pulled from the source per step().  Bounds the session's
     // resident buffers at roughly
     //   chunk_records * (sizeof(mem_access) + 8 * live streams)
-    // bytes (see buffer_bytes()); simulator trees are O(2^max_set_exp) and
-    // independent of both the chunk and the trace length.  Must be > 0.
+    // bytes (see buffer_bytes()).  DEW-engine simulator state is
+    // O(2^max_set_exp) and independent of both the chunk and the trace
+    // length; the cipar engine additionally keeps one presence map per pass
+    // that grows with the distinct blocks the trace touches (see
+    // sweep_engine in dew/sweep.hpp).  Must be > 0.
     std::size_t chunk_records{std::size_t{64} * 1024};
 };
 

@@ -1,5 +1,7 @@
 #include "dew/split.hpp"
 
+#include "common/contracts.hpp"
+
 namespace dew::core {
 
 split_simulator::split_simulator(const split_config& icache,
@@ -20,8 +22,29 @@ void split_simulator::access(const trace::mem_access& reference) {
 }
 
 void split_simulator::simulate(const trace::mem_trace& trace) {
-    for (const trace::mem_access& reference : trace) {
+    simulate_chunk({trace.data(), trace.size()});
+}
+
+void split_simulator::simulate_chunk(
+    std::span<const trace::mem_access> chunk) {
+    for (const trace::mem_access& reference : chunk) {
         access(reference);
+    }
+}
+
+std::uint64_t split_simulator::simulate(trace::source& src,
+                                        std::size_t chunk_records) {
+    DEW_EXPECTS(chunk_records > 0);
+    trace::mem_trace scratch;
+    std::uint64_t total = 0;
+    for (;;) {
+        const std::span<const trace::mem_access> chunk =
+            src.next_view(chunk_records, scratch);
+        if (chunk.empty()) {
+            return total;
+        }
+        simulate_chunk(chunk);
+        total += chunk.size();
     }
 }
 

@@ -7,12 +7,15 @@
 #ifndef DEW_DEW_SPLIT_HPP
 #define DEW_DEW_SPLIT_HPP
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "dew/options.hpp"
 #include "dew/result.hpp"
 #include "dew/simulator.hpp"
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace dew::core {
 
@@ -32,6 +35,19 @@ public:
     // Routes by access type: ifetch -> I, read/write -> D.
     void access(const trace::mem_access& reference);
     void simulate(const trace::mem_trace& trace);
+
+    // The uniform incremental step (PR-2 contract): feeding the trace in
+    // chunks of any size is bit-identical to one whole-trace simulate() —
+    // both sides' trees carry all state between chunks.
+    void simulate_chunk(std::span<const trace::mem_access> chunk);
+
+    // Drains a streaming source through simulate_chunk, pulling
+    // chunk_records at a time (zero-copy for in-memory sources); returns
+    // the number of records simulated.  The routing decision needs the
+    // access type, so the split driver consumes records — not pre-decoded
+    // block streams — and plugs directly into any trace::source.
+    std::uint64_t simulate(trace::source& src,
+                           std::size_t chunk_records = 4096);
 
     [[nodiscard]] dew_result icache_result() const { return icache_.result(); }
     [[nodiscard]] dew_result dcache_result() const { return dcache_.result(); }

@@ -37,6 +37,23 @@ enum class sweep_instrumentation : std::uint8_t {
     full_counters = 1,
 };
 
+// Which single-pass FIFO engine runs the passes.  `dew` is the paper's
+// tree-walk algorithm (the default); `cipar` is the CIPARSim-style
+// presence-map engine (src/cipar/simulator.hpp).  Both are exact, so miss
+// counts are bit-identical either way — the cross-simulator suite proves it;
+// they differ in cost model (tree probes vs one hash probe per access) and
+// in memory shape: a DEW pass is O(2^max_set_exp) regardless of the trace,
+// while a cipar pass additionally keeps a presence map that grows with the
+// distinct blocks the trace touches (16 bytes per block, per pass).  For
+// larger-than-RAM streaming over huge working sets, prefer `dew`; cipar's
+// engine-specific counters are only readable on a directly-driven
+// basic_cipar_simulator (a counted sweep surfaces its requests and
+// unoptimized_evaluations through the usual dew_counters totals).
+enum class sweep_engine : std::uint8_t {
+    dew = 0,
+    cipar = 1,
+};
+
 struct sweep_request {
     // Set counts 2^0 .. 2^max_set_exp are covered by every pass.
     unsigned max_set_exp{14};
@@ -50,6 +67,10 @@ struct sweep_request {
     unsigned threads{0};
     // Instrumentation policy of every pass; fast = zero-overhead hot loop.
     sweep_instrumentation instrumentation{sweep_instrumentation::fast};
+    // Simulation engine of every pass (see sweep_engine above).  dew_options
+    // apply to the DEW engine only; the CIPAR engine has no property
+    // switches.
+    sweep_engine engine{sweep_engine::dew};
 
     // The paper's Table 1 space: S = 2^0..2^14, B = 2^0..2^6, A = 2^0..2^4.
     [[nodiscard]] static sweep_request paper() {

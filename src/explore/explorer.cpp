@@ -96,6 +96,7 @@ exploration_result explore(trace::source& src,
         request.associativities.push_back(1);
     }
     request.threads = options.threads;
+    request.engine = options.engine;
 
     const core::sweep_result sweep = core::run_sweep(src, request);
     result.requests = sweep.requests;

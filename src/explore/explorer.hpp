@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cache/config.hpp"
+#include "dew/sweep.hpp"
 #include "explore/config_space.hpp"
 #include "explore/energy_model.hpp"
 #include "trace/record.hpp"
@@ -48,9 +49,13 @@ struct explorer_options {
     // Maximum total capacity to include in rankings (0 = no limit) —
     // embedded budgets usually exclude the 16 MiB corner of Table 1.
     std::uint64_t max_capacity_bytes{0};
-    // Worker threads for the underlying DEW sweep (0 = serial).  Results
-    // are identical either way; passes are independent.
+    // Worker threads for the underlying sweep (0 = serial).  Results are
+    // identical either way; passes are independent.
     unsigned threads{0};
+    // Single-pass engine of the underlying sweep (dew | cipar); exact miss
+    // counts either way, so rankings are identical — this selects the cost
+    // model, not the answer.
+    core::sweep_engine engine{core::sweep_engine::dew};
 };
 
 // Explores the space over a streaming trace source: the underlying sweep

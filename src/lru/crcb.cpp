@@ -13,13 +13,19 @@ crcb1_result crcb1_filter(const trace::mem_trace& trace,
 
     crcb1_result result;
     result.filtered.reserve(trace.size());
-    std::uint64_t previous_block = cache::invalid_tag;
+    // "Have previous" is tracked explicitly: seeding previous_block with a
+    // sentinel would silently drop a first reference whose block number
+    // equals the sentinel (address ~0 at small block sizes is invalid_tag),
+    // counting a certified miss as removed.
+    bool have_previous = false;
+    std::uint64_t previous_block = 0;
     for (const trace::mem_access& reference : trace) {
         const std::uint64_t block = reference.address >> block_bits;
-        if (block == previous_block) {
+        if (have_previous && block == previous_block) {
             ++result.removed;
             continue;
         }
+        have_previous = true;
         previous_block = block;
         result.filtered.push_back(reference);
     }

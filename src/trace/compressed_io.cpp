@@ -82,7 +82,13 @@ std::uint64_t get_varint(std::istream& in) {
             throw format_error{"truncated compressed trace (varint)"};
         }
         const auto raw = static_cast<std::uint8_t>(byte);
-        if (shift >= 64) {
+        // The tenth byte (shift 63, the only partial-byte position — shifts
+        // advance in sevens) can contribute exactly one payload bit.  Any
+        // higher payload bit would be shifted out of the 64-bit value, and
+        // a continuation bit would demand an eleventh byte: both decode a
+        // malformed stream to a silently-wrong value, so reject them here
+        // instead of truncating.  This also caps shift at 63.
+        if (shift == 63 && raw > 1) {
             throw format_error{"varint overflow in compressed trace"};
         }
         value |= static_cast<std::uint64_t>(raw & 0x7F) << shift;

@@ -1,0 +1,141 @@
+// Cross-engine exactness: the CIPARSim-style engine must agree bit-for-bit
+// with the DEW tree engine (and, on the full Table-1 grid, with the
+// per-configuration dinero baseline) on every covered configuration, through
+// every feeding mode the PR-2 streaming contract allows.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "baseline/dinero_sim.hpp"
+#include "cipar/simulator.hpp"
+#include "dew/simulator.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using trace::mem_trace;
+
+const mem_trace& workload() {
+    static const mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 20000);
+    return trace;
+}
+
+template <class Sim>
+void feed_in_chunks(Sim& sim, const mem_trace& trace,
+                    std::size_t chunk_records) {
+    std::span<const trace::mem_access> rest{trace.data(), trace.size()};
+    while (!rest.empty()) {
+        const std::size_t take = std::min(chunk_records, rest.size());
+        sim.simulate_chunk(rest.subspan(0, take));
+        rest = rest.subspan(take);
+    }
+}
+
+void expect_same_column(const core::dew_result& a, const core::dew_result& b,
+                        std::uint32_t assoc) {
+    ASSERT_EQ(a.max_level(), b.max_level());
+    ASSERT_EQ(a.requests(), b.requests());
+    for (unsigned level = 0; level <= a.max_level(); ++level) {
+        EXPECT_EQ(a.misses(level, assoc), b.misses(level, assoc))
+            << "level " << level << " assoc " << assoc;
+        EXPECT_EQ(a.misses(level, 1), b.misses(level, 1))
+            << "level " << level << " assoc 1";
+    }
+}
+
+TEST(CiparEquivalence, AgreesWithDewAcrossAssociativitiesAndApps) {
+    for (const auto app : {trace::mediabench_app::cjpeg,
+                           trace::mediabench_app::mpeg2_dec}) {
+        const mem_trace trace = trace::make_mediabench_trace(app, 15000);
+        for (const std::uint32_t assoc : {1u, 2u, 4u, 8u, 16u}) {
+            core::dew_simulator dew_sim{8, assoc, 32};
+            dew_sim.simulate(trace);
+            cipar::cipar_simulator cipar_sim{8, assoc, 32};
+            cipar_sim.simulate(trace);
+            expect_same_column(cipar_sim.result(), dew_sim.result(), assoc);
+        }
+    }
+}
+
+// The full Table-1 space: S = 2^0..2^14, B = 2^0..2^6, A = 2^1..2^4 (A = 1
+// rides along in both engines).  One CIPAR pass per (B, A) column against
+// one DEW pass, with dinero corroborating the extremes of every column.
+TEST(CiparEquivalence, Table1GridBitIdenticalToDewAndDinero) {
+    const mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::g721_enc, 6000);
+    constexpr unsigned max_level = 14;
+    for (const std::uint32_t block : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        for (const std::uint32_t assoc : {2u, 4u, 8u, 16u}) {
+            core::dew_simulator dew_sim{max_level, assoc, block};
+            dew_sim.simulate(trace);
+            cipar::cipar_simulator cipar_sim{max_level, assoc, block};
+            cipar_sim.simulate(trace);
+            expect_same_column(cipar_sim.result(), dew_sim.result(), assoc);
+
+            // Dinero spot-corroboration at the column's corners keeps the
+            // grid affordable while still tying both engines to the
+            // per-configuration ground truth.
+            for (const unsigned level : {0u, 7u, max_level}) {
+                const auto sets = std::uint32_t{1} << level;
+                EXPECT_EQ(cipar_sim.result().misses(level, assoc),
+                          baseline::count_misses(
+                              trace, {sets, assoc, block},
+                              cache::replacement_policy::fifo))
+                    << "S=" << sets << " A=" << assoc << " B=" << block;
+            }
+        }
+    }
+}
+
+TEST(CiparEquivalence, ChunkedFeedingIsBitIdenticalToOneShot) {
+    const mem_trace& trace = workload();
+    for (const std::uint32_t assoc : {1u, 4u}) {
+        cipar::cipar_simulator whole{8, assoc, 32};
+        whole.simulate(trace);
+        for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                        std::size_t{4096}}) {
+            cipar::cipar_simulator chunked{8, assoc, 32};
+            feed_in_chunks(chunked, trace, chunk);
+            expect_same_column(chunked.result(), whole.result(), assoc);
+            // Full counters must be chunk-insensitive too.
+            EXPECT_EQ(chunked.counters().full_hits,
+                      whole.counters().full_hits)
+                << "chunk " << chunk;
+            EXPECT_EQ(chunked.counters().level_insertions,
+                      whole.counters().level_insertions)
+                << "chunk " << chunk;
+        }
+    }
+}
+
+TEST(CiparEquivalence, MixedChunkAndBlockFeedingMatches) {
+    // Interleaving simulate_chunk with pre-decoded simulate_blocks spans —
+    // exactly what a session does — is equivalent to one simulate() call.
+    const mem_trace& trace = workload();
+    cipar::cipar_simulator whole{8, 4, 32};
+    whole.simulate(trace);
+
+    cipar::cipar_simulator mixed{8, 4, 32};
+    const std::size_t half = trace.size() / 2;
+    mixed.simulate_chunk({trace.data(), half});
+    std::vector<std::uint64_t> blocks;
+    blocks.reserve(trace.size() - half);
+    for (std::size_t i = half; i < trace.size(); ++i) {
+        blocks.push_back(trace[i].address >> 5);
+    }
+    mixed.simulate_blocks(blocks);
+    expect_same_column(mixed.result(), whole.result(), 4);
+}
+
+TEST(CiparEquivalence, FastPolicyMatchesDewFastPolicy) {
+    const mem_trace& trace = workload();
+    core::fast_dew_simulator dew_sim{10, 8, 16};
+    dew_sim.simulate(trace);
+    cipar::fast_cipar_simulator cipar_sim{10, 8, 16};
+    cipar_sim.simulate(trace);
+    expect_same_column(cipar_sim.result(), dew_sim.result(), 8);
+}
+
+} // namespace

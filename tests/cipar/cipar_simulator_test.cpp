@@ -1,0 +1,207 @@
+// The CIPARSim-style engine in isolation: exactness of its per-block
+// presence bookkeeping against the per-configuration oracle, the simulator
+// contract (reset, single-column A = 1 mode, sentinel rejection), the
+// instrumentation-policy pair, and the presence map under growth.
+#include <gtest/gtest.h>
+
+#include "baseline/dinero_sim.hpp"
+#include "cipar/presence_map.hpp"
+#include "cipar/simulator.hpp"
+#include "common/contracts.hpp"
+#include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using cipar::cipar_simulator;
+using cipar::fast_cipar_simulator;
+using trace::mem_trace;
+
+mem_trace workload(std::size_t records = 20000) {
+    return trace::make_mediabench_trace(trace::mediabench_app::cjpeg,
+                                        records);
+}
+
+// Every (level, associativity) count of one pass must equal an independent
+// per-configuration FIFO simulation of the same trace.
+template <class Sim>
+void expect_matches_oracle(Sim& sim, const mem_trace& trace,
+                           std::uint32_t block_size) {
+    const core::dew_result result = sim.result();
+    for (unsigned level = 0; level <= sim.max_level(); ++level) {
+        const auto sets = std::uint32_t{1} << level;
+        EXPECT_EQ(result.misses(level, sim.associativity()),
+                  baseline::count_misses(
+                      trace, {sets, sim.associativity(), block_size},
+                      cache::replacement_policy::fifo))
+            << "S=" << sets << " A=" << sim.associativity();
+        EXPECT_EQ(result.misses(level, 1),
+                  baseline::count_misses(trace, {sets, 1, block_size},
+                                         cache::replacement_policy::fifo))
+            << "S=" << sets << " A=1";
+    }
+}
+
+TEST(CiparSimulator, MatchesPerConfigurationOracleAcrossAssociativities) {
+    const mem_trace trace = workload();
+    for (const std::uint32_t assoc : {1u, 2u, 4u, 8u, 16u}) {
+        cipar_simulator sim{6, assoc, 16};
+        sim.simulate(trace);
+        expect_matches_oracle(sim, trace, 16);
+    }
+}
+
+TEST(CiparSimulator, MatchesOracleAcrossBlockSizes) {
+    const mem_trace trace = workload();
+    for (const std::uint32_t block : {1u, 4u, 32u, 64u}) {
+        cipar_simulator sim{5, 4, block};
+        sim.simulate(trace);
+        expect_matches_oracle(sim, trace, block);
+    }
+}
+
+TEST(CiparSimulator, HandlesAdversarialNonInclusionTraces) {
+    // FIFO violates strict inclusion between set counts on some traces; the
+    // presence *bitmap* (unlike a presence interval) must stay exact there.
+    // A short conflict pattern alternating between aliasing blocks is
+    // exactly the shape that breaks naive smaller-implies-larger reasoning.
+    mem_trace trace;
+    for (const std::uint64_t block :
+         {0ull, 1ull, 2ull, 3ull, 0ull, 4ull, 2ull, 6ull, 0ull, 1ull, 5ull,
+          3ull, 7ull, 2ull, 0ull, 6ull, 4ull, 1ull, 0ull, 2ull}) {
+        trace.push_back({block * 8, trace::access_type::read});
+    }
+    for (const std::uint32_t assoc : {2u, 4u}) {
+        cipar_simulator sim{3, assoc, 8};
+        sim.simulate(trace);
+        expect_matches_oracle(sim, trace, 8);
+    }
+}
+
+TEST(CiparSimulator, DirectMappedModeRunsOneColumn) {
+    // assoc == 1 runs the single-column path (no separate DM arrays); its
+    // counts must still match the per-configuration oracle, and the column
+    // must do strictly less bookkeeping than a two-column instance.
+    const mem_trace trace = workload(5000);
+    cipar_simulator sim{7, 1, 32};
+    sim.simulate(trace);
+    const core::dew_result result = sim.result();
+    for (unsigned level = 0; level <= 7; ++level) {
+        const auto sets = std::uint32_t{1} << level;
+        EXPECT_EQ(result.misses(level, 1),
+                  baseline::count_misses(trace, {sets, 1, 32},
+                                         cache::replacement_policy::fifo))
+            << "S=" << sets;
+    }
+    EXPECT_EQ(sim.counters().unoptimized_evaluations,
+              sim.counters().requests * 8); // levels x |{1}|, one column
+}
+
+TEST(CiparSimulator, CountedAndFastPoliciesAreBitIdentical) {
+    const mem_trace trace = workload();
+    cipar_simulator counted{8, 4, 32};
+    counted.simulate(trace);
+    fast_cipar_simulator fast{8, 4, 32};
+    fast.simulate(trace);
+    for (unsigned level = 0; level <= 8; ++level) {
+        EXPECT_EQ(counted.result().misses(level, 4),
+                  fast.result().misses(level, 4));
+        EXPECT_EQ(counted.result().misses(level, 1),
+                  fast.result().misses(level, 1));
+    }
+    EXPECT_EQ(counted.requests(), fast.requests());
+    // The fast policy keeps no books.
+    EXPECT_EQ(fast.counters().presence_probes, 0u);
+    EXPECT_EQ(counted.counters().presence_probes, trace.size());
+}
+
+TEST(CiparSimulator, CountersPartitionTheRequests) {
+    const mem_trace trace = workload();
+    cipar_simulator sim{8, 4, 32};
+    sim.simulate(trace);
+    const cipar::cipar_counters& c = sim.counters();
+    EXPECT_EQ(c.requests, trace.size());
+    EXPECT_EQ(c.presence_probes, c.requests);
+    // Local traces must resolve mostly through the single-probe fast path.
+    EXPECT_GT(c.full_hits, c.requests / 2);
+    EXPECT_LT(c.full_hits, c.requests); // cold start misses somewhere
+    EXPECT_EQ(c.victim_updates, c.evictions);
+    // Worst-case convention: levels x {1, A} evaluations per request.
+    EXPECT_EQ(c.unoptimized_evaluations, c.requests * 9 * 2);
+    // Per-level insertions happen once per per-configuration miss.
+    std::uint64_t total_misses = 0;
+    for (unsigned level = 0; level <= 8; ++level) {
+        total_misses += sim.result().misses(level, 4);
+        total_misses += sim.result().misses(level, 1);
+    }
+    EXPECT_EQ(c.level_insertions, total_misses);
+}
+
+TEST(CiparSimulator, ResetRestoresTheColdState) {
+    const mem_trace trace = workload(5000);
+    cipar_simulator sim{6, 4, 16};
+    sim.simulate(trace);
+    ASSERT_GT(sim.result().misses(0, 4), 0u);
+    ASSERT_GT(sim.tracked_blocks(), 0u);
+
+    sim.reset();
+    EXPECT_EQ(sim.requests(), 0u);
+    EXPECT_EQ(sim.tracked_blocks(), 0u);
+    EXPECT_EQ(sim.counters().presence_probes, 0u);
+    for (unsigned level = 0; level <= 6; ++level) {
+        EXPECT_EQ(sim.result().misses(level, 4), 0u);
+        EXPECT_EQ(sim.result().misses(level, 1), 0u);
+    }
+
+    // A reset simulator replays to the same counts — and the same
+    // instrumentation, including map-growth events — as a fresh one.
+    sim.simulate(trace);
+    cipar_simulator fresh{6, 4, 16};
+    fresh.simulate(trace);
+    for (unsigned level = 0; level <= 6; ++level) {
+        EXPECT_EQ(sim.result().misses(level, 4),
+                  fresh.result().misses(level, 4));
+    }
+    EXPECT_EQ(sim.counters().map_rehashes, fresh.counters().map_rehashes);
+    EXPECT_EQ(sim.counters().level_insertions,
+              fresh.counters().level_insertions);
+}
+
+TEST(CiparSimulator, RejectsTheSentinelBlockAndBadGeometry) {
+    cipar_simulator sim{4, 4, 1};
+    EXPECT_THROW(sim.access(~std::uint64_t{0}), contract_violation);
+    EXPECT_THROW((cipar_simulator{32, 4, 16}), contract_violation);
+    EXPECT_THROW((cipar_simulator{4, 3, 16}), contract_violation);
+    EXPECT_THROW((cipar_simulator{4, 4, 12}), contract_violation);
+}
+
+TEST(PresenceMap, SurvivesGrowthWithAllEntriesIntact) {
+    cipar::presence_map map{16};
+    constexpr std::uint64_t entries = 10000;
+    for (std::uint64_t key = 0; key < entries; ++key) {
+        map.find_or_insert(key * 0x10001) = key + 1;
+    }
+    EXPECT_EQ(map.size(), entries);
+    EXPECT_GT(map.rehashes(), 0u);
+    for (std::uint64_t key = 0; key < entries; ++key) {
+        EXPECT_EQ(map.find_existing(key * 0x10001), key + 1);
+    }
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find_or_insert(42), 0u); // reinsert after clear
+}
+
+TEST(CiparSimulator, WideWorkingSetForcesMapGrowthAndStaysExact) {
+    // A scattered synthetic workload touches far more distinct blocks than
+    // the map's initial capacity; growth must not perturb any count.
+    const mem_trace trace = trace::make_random_trace(
+        /*base=*/0, /*region_size=*/std::uint64_t{1} << 22,
+        /*count=*/30000, /*seed=*/99);
+    cipar_simulator sim{5, 2, 4};
+    sim.simulate(trace);
+    expect_matches_oracle(sim, trace, 4);
+    EXPECT_GT(sim.tracked_blocks(), 1024u);
+}
+
+} // namespace

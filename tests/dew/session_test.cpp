@@ -6,6 +6,7 @@
 
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "dew/session.hpp"
 #include "dew/sweep.hpp"
 #include "trace/mediabench.hpp"
@@ -171,6 +172,87 @@ TEST(Session, CountedInstrumentationStreamsIdentically) {
               eager.total_counters().node_evaluations);
     EXPECT_EQ(streamed.total_counters().searches,
               eager.total_counters().searches);
+}
+
+TEST(Session, CiparEngineStreamsBitIdenticalToDewEngine) {
+    // Engine selection is a sweep_request field: the same streamed request
+    // through the CIPAR engine must reproduce the DEW engine's counts on
+    // every pass — serial and chunked.
+    sweep_request request;
+    request.max_set_exp = 8;
+    request.block_sizes = {16, 32, 64};
+    request.associativities = {2, 8};
+    const sweep_result dew_result = run_sweep(eager_workload(), request);
+
+    request.engine = sweep_engine::cipar;
+    trace::generator_source src = streaming_workload();
+    session_options options;
+    options.chunk_records = 4096;
+    const sweep_result cipar_result = run_sweep(src, request, options);
+    expect_identical(cipar_result, dew_result);
+}
+
+TEST(Session, CiparEngineThreadedIsBitIdentical) {
+    sweep_request request;
+    request.max_set_exp = 8;
+    request.block_sizes = {16, 32};
+    request.associativities = {2, 4};
+    request.engine = sweep_engine::cipar;
+    const sweep_result serial = run_sweep(eager_workload(), request);
+
+    request.threads = 4;
+    trace::generator_source src = streaming_workload();
+    session_options options;
+    options.chunk_records = 8192;
+    const sweep_result threaded = run_sweep(src, request, options);
+    expect_identical(threaded, serial);
+}
+
+TEST(Session, CiparCountedSweepSurfacesGenericCounters) {
+    // Engine-specific cipar counters live on the simulator, but the
+    // engine-agnostic ones must flow through the sweep result so counted
+    // sweeps stay comparable across engines.
+    sweep_request request;
+    request.max_set_exp = 6;
+    request.block_sizes = {32};
+    request.associativities = {4};
+    request.engine = sweep_engine::cipar;
+    request.instrumentation = sweep_instrumentation::full_counters;
+
+    const sweep_result result = run_sweep(eager_workload(), request);
+    EXPECT_EQ(result.total_counters().requests, trace_records);
+    // Table-4 convention: requests x levels x |{1, A}|.
+    EXPECT_EQ(result.total_counters().unoptimized_evaluations,
+              trace_records * 7 * 2);
+}
+
+TEST(Session, WorkerExceptionRethrownOnOwningThread) {
+    // A block number equal to the invalid-tag sentinel makes
+    // simulate_blocks throw a contract violation.  On the threaded path
+    // that throw happens on a worker thread; it must surface from step()
+    // on the owning thread (it used to escape the thread body and
+    // std::terminate the process), and the session must refuse to
+    // continue afterwards.
+    trace::mem_trace poisoned{{~std::uint64_t{0}, trace::access_type::read}};
+
+    sweep_request request;
+    request.max_set_exp = 4;
+    request.block_sizes = {1}; // block number == address == sentinel
+    request.associativities = {2, 4};
+    request.threads = 2;
+
+    trace::span_source src{{poisoned.data(), poisoned.size()}};
+    session s{src, request};
+    EXPECT_THROW(s.run(), contract_violation);
+    EXPECT_TRUE(s.exhausted());
+    EXPECT_FALSE(s.step()); // no further simulation after the fault
+
+    // The serial path throws the same exception from the same request.
+    trace::span_source serial_src{{poisoned.data(), poisoned.size()}};
+    sweep_request serial_request = request;
+    serial_request.threads = 0;
+    session serial{serial_src, serial_request};
+    EXPECT_THROW(serial.run(), contract_violation);
 }
 
 TEST(Session, RejectsInvalidRequestsUpFront) {

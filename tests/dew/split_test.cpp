@@ -2,8 +2,11 @@
 // simulation, and independent geometries.
 #include <gtest/gtest.h>
 
+#include "common/contracts.hpp"
 #include "dew/split.hpp"
+#include "trace/generator.hpp"
 #include "trace/mediabench.hpp"
+#include "trace/source.hpp"
 
 namespace {
 
@@ -93,6 +96,39 @@ TEST(Split, ResetClearsBothSides) {
     EXPECT_EQ(sim.data_accesses(), 0u);
     EXPECT_EQ(sim.icache_result().requests(), 0u);
     EXPECT_EQ(sim.dcache_result().requests(), 0u);
+}
+
+TEST(Split, DrainsAStreamingSourceWithoutMaterialisingTheTrace) {
+    // A generator_source streams the workload record by record; the split
+    // driver must consume it chunk-wise and land on the same counts as the
+    // eager path over the equivalent in-memory trace.
+    const mem_trace trace = workload();
+    split_simulator eager{{7, 2, 32}, {7, 4, 16}};
+    eager.simulate(trace);
+
+    trace::generator_source src{
+        trace::mediabench_profile(trace::mediabench_app::cjpeg),
+        trace::default_seed(trace::mediabench_app::cjpeg), trace.size()};
+    split_simulator streamed{{7, 2, 32}, {7, 4, 16}};
+    EXPECT_EQ(streamed.simulate(src, 1024), trace.size());
+
+    EXPECT_EQ(streamed.ifetches(), eager.ifetches());
+    EXPECT_EQ(streamed.data_accesses(), eager.data_accesses());
+    for (unsigned level = 0; level <= 7; ++level) {
+        EXPECT_EQ(streamed.icache_result().misses(level, 2),
+                  eager.icache_result().misses(level, 2))
+            << level;
+        EXPECT_EQ(streamed.dcache_result().misses(level, 4),
+                  eager.dcache_result().misses(level, 4))
+            << level;
+    }
+}
+
+TEST(Split, RejectsZeroChunkRecords) {
+    split_simulator sim{{4, 2, 16}, {4, 2, 16}};
+    mem_trace trace{{0x40, access_type::read}};
+    trace::span_source src{{trace.data(), trace.size()}};
+    EXPECT_THROW((void)sim.simulate(src, 0), contract_violation);
 }
 
 TEST(Split, MediabenchProfilesShowTheExpectedIDAsymmetry) {

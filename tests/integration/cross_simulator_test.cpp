@@ -5,17 +5,19 @@
 //
 //   quantity                      computed by
 //   -------------------------     ----------------------------------------
-//   direct-mapped misses          forest_sim, DEW piggyback, dinero (FIFO),
-//                                 dinero (LRU), janapsatya(assoc >= 1),
-//                                 stack_sim(assoc = 1)
-//   FIFO (S, A, B) misses         DEW, dinero_sim(FIFO), bank
+//   direct-mapped misses          forest_sim, DEW piggyback, CIPAR
+//                                 piggyback, dinero (FIFO), dinero (LRU),
+//                                 janapsatya(assoc >= 1), stack_sim(assoc=1)
+//   FIFO (S, A, B) misses         DEW, CIPAR, dinero_sim(FIFO), bank
 //   LRU  (S, A, B) misses         janapsatya, stack_sim, dinero_sim(LRU)
 #include <gtest/gtest.h>
 
 #include "baseline/bank.hpp"
 #include "baseline/dinero_sim.hpp"
+#include "cipar/simulator.hpp"
 #include "dew/result.hpp"
 #include "dew/simulator.hpp"
+#include "dew/sweep.hpp"
 #include "lru/forest_sim.hpp"
 #include "lru/janapsatya_sim.hpp"
 #include "lru/stack_sim.hpp"
@@ -72,11 +74,15 @@ TEST_P(CrossSimulator, SixImplementationsAgreeOnDirectMappedMisses) {
     }
 }
 
-TEST_P(CrossSimulator, FifoTrioAgrees) {
+TEST_P(CrossSimulator, FifoQuartetAgrees) {
     const mem_trace trace = workload();
     core::dew_simulator dew_sim{max_level, 8, block_size};
     dew_sim.simulate(trace);
     const core::dew_result dew_result = dew_sim.result();
+
+    cipar::cipar_simulator cipar_sim{max_level, 8, block_size};
+    cipar_sim.simulate(trace);
+    const core::dew_result cipar_result = cipar_sim.result();
 
     const auto configs =
         baseline::level_sweep_configs(max_level, 8, block_size);
@@ -85,10 +91,40 @@ TEST_P(CrossSimulator, FifoTrioAgrees) {
     for (std::size_t i = 0; i < configs.size(); ++i) {
         EXPECT_EQ(dew_result.misses_of(configs[i]), bank.stats[i].misses)
             << cache::to_string(configs[i]);
+        EXPECT_EQ(cipar_result.misses_of(configs[i]), bank.stats[i].misses)
+            << cache::to_string(configs[i]);
         EXPECT_EQ(bank.stats[i].misses,
                   baseline::count_misses(trace, configs[i],
                                          cache::replacement_policy::fifo))
             << cache::to_string(configs[i]);
+    }
+}
+
+TEST_P(CrossSimulator, EnginesAgreeOnThePaperSweepGrid) {
+    // The two single-pass engines run the whole Table-1 request
+    // (S = 2^0..2^14, B = 2^0..2^6, A = 2^1..2^4, A = 1 piggybacked)
+    // through the same session pipeline and must agree on every pass,
+    // level and associativity.
+    const mem_trace trace = workload();
+    core::sweep_request request = core::sweep_request::paper();
+
+    const core::sweep_result dew_sweep = core::run_sweep(trace, request);
+    request.engine = core::sweep_engine::cipar;
+    const core::sweep_result cipar_sweep = core::run_sweep(trace, request);
+
+    ASSERT_EQ(dew_sweep.passes.size(), cipar_sweep.passes.size());
+    for (std::size_t i = 0; i < dew_sweep.passes.size(); ++i) {
+        const core::dew_result& a = dew_sweep.passes[i];
+        const core::dew_result& b = cipar_sweep.passes[i];
+        ASSERT_EQ(a.block_size(), b.block_size());
+        ASSERT_EQ(a.associativity(), b.associativity());
+        for (unsigned level = 0; level <= a.max_level(); ++level) {
+            EXPECT_EQ(a.misses(level, a.associativity()),
+                      b.misses(level, b.associativity()))
+                << "pass " << i << " level " << level;
+            EXPECT_EQ(a.misses(level, 1), b.misses(level, 1))
+                << "pass " << i << " level " << level;
+        }
     }
 }
 

@@ -121,6 +121,36 @@ TEST(Crcb1, MustUseSmallestBlockSizeOfTheStudy) {
                                      cache::replacement_policy::fifo));
 }
 
+TEST(Crcb1, FirstReferenceAtTheSentinelBlockIsKept) {
+    // Address ~0 at min_block_size 1 has block number == the invalid-tag
+    // sentinel.  Seeding previous_block with that sentinel used to count
+    // the very first reference as a removed duplicate — a certified miss
+    // silently deleted from the trace.
+    mem_trace trace;
+    trace.push_back({~std::uint64_t{0}, trace::access_type::read});
+    const auto result = crcb1_filter(trace, 1);
+    EXPECT_EQ(result.removed, 0u);
+    ASSERT_EQ(result.filtered.size(), 1u);
+    EXPECT_EQ(result.filtered[0].address, ~std::uint64_t{0});
+}
+
+TEST(Crcb1, ExtremeAddressDuplicatesStillCollapse) {
+    // Genuine consecutive duplicates of the extreme address are still
+    // removable hits; only the first reference must survive.
+    mem_trace trace;
+    for (int i = 0; i < 3; ++i) {
+        trace.push_back({~std::uint64_t{0}, trace::access_type::read});
+    }
+    trace.push_back({0x0, trace::access_type::read});
+    trace.push_back({~std::uint64_t{0}, trace::access_type::write});
+    const auto result = crcb1_filter(trace, 1);
+    EXPECT_EQ(result.removed, 2u);
+    ASSERT_EQ(result.filtered.size(), 3u);
+    EXPECT_EQ(result.filtered[0].address, ~std::uint64_t{0});
+    EXPECT_EQ(result.filtered[1].address, 0x0u);
+    EXPECT_EQ(result.filtered[2].address, ~std::uint64_t{0});
+}
+
 TEST(Crcb1, RejectsNonPowerOfTwoBlockSize) {
     EXPECT_THROW((void)crcb1_filter({}, 3), contract_violation);
 }

@@ -77,6 +77,61 @@ TEST(CompressedFormat, RejectsTruncatedPayload) {
     EXPECT_THROW((void)read_compressed(truncated), format_error);
 }
 
+namespace {
+
+// A syntactically complete DEWC stream declaring one record whose payload
+// varint is the given bytes.
+std::string dewc_with_payload(std::initializer_list<unsigned char> varint) {
+    std::string bytes{"DEWC", 4};
+    bytes.append("\x01\x00\x00\x00", 4);                  // version 1 (LE)
+    bytes.append("\x01\x00\x00\x00\x00\x00\x00\x00", 8);  // count 1 (LE)
+    for (const unsigned char b : varint) {
+        bytes.push_back(static_cast<char>(b));
+    }
+    return bytes;
+}
+
+} // namespace
+
+TEST(CompressedFormat, TenByteVarintWithOnlyBit63Decodes) {
+    // Nine continuation bytes put the tenth byte's payload at shift 63: a
+    // final byte of 0x01 contributes exactly bit 63 and is the largest
+    // encodable varint.  payload bit pattern: type bits 00 (read), delta
+    // zigzag = 1 << 61.
+    std::stringstream stream{dewc_with_payload(
+        {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})};
+    const mem_trace trace = read_compressed(stream);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].type, access_type::read);
+    EXPECT_EQ(trace[0].address,
+              static_cast<std::uint64_t>(
+                  zigzag_decode((std::uint64_t{1} << 63) >> 2)));
+}
+
+TEST(CompressedFormat, RejectsVarintPayloadBitsAboveBit63) {
+    // The tenth byte may contribute one bit; 0x02 (and anything larger)
+    // would shift payload out of the 64-bit value.  This used to decode
+    // silently to a wrong address — it must throw instead.
+    for (const unsigned char final_byte : {0x02, 0x40, 0x7F}) {
+        std::stringstream stream{dewc_with_payload({0x80, 0x80, 0x80, 0x80,
+                                                    0x80, 0x80, 0x80, 0x80,
+                                                    0x80, final_byte})};
+        EXPECT_THROW((void)read_compressed(stream), format_error)
+            << "final byte " << static_cast<int>(final_byte);
+    }
+}
+
+TEST(CompressedFormat, RejectsVarintContinuationPastTenBytes) {
+    // A continuation bit on the tenth byte demands bits beyond 63: overflow
+    // even though the would-be eleventh byte is absent (previously this
+    // surfaced as a misleading truncation error after reading past the
+    // malformed byte — and decoded silently when the high bits happened to
+    // be zero).
+    std::stringstream stream{dewc_with_payload(
+        {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x81})};
+    EXPECT_THROW((void)read_compressed(stream), format_error);
+}
+
 TEST(CompressedFormat, FileRoundTrip) {
     const mem_trace trace = make_sequential_trace(0x7fff0000, 1000, 16);
     const std::string path = testing::TempDir() + "dew_compressed_test.dewc";
