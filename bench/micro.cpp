@@ -26,6 +26,7 @@
 #include "dew/simulator.hpp"
 #include "dew/sweep.hpp"
 #include "lru/janapsatya_sim.hpp"
+#include "phase/representative_sweep.hpp"
 #include "seed_baseline.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/compressed_io.hpp"
@@ -305,12 +306,20 @@ struct sweep_comparison {
     sweep_measurement streaming;
 };
 
-sweep_comparison measure_sweeps() {
-    const trace::mem_trace& trace = bench_trace();
+// The 6-pass request shared by the eager/streaming comparison and the
+// phase measurement, so ratio_phase_rep_vs_streaming_sweep stays an
+// equal-request comparison by construction.
+core::sweep_request json_sweep_request() {
     core::sweep_request request;
     request.max_set_exp = 10;
     request.block_sizes = {16, 32, 64};
     request.associativities = {4, 8};
+    return request;
+}
+
+sweep_comparison measure_sweeps() {
+    const trace::mem_trace& trace = bench_trace();
+    const core::sweep_request request = json_sweep_request();
     const core::session_options options{}; // default chunk
 
     sweep_comparison result;
@@ -367,6 +376,52 @@ sweep_comparison measure_sweeps() {
     return result;
 }
 
+// Representative-interval sweep on the micro trace and the sweep request
+// the eager/streaming comparison uses: effective throughput (trace records
+// per wall second, analysis included — the work not done is the point),
+// simulated fraction, and the calibrated worst-case miss-rate error.
+struct phase_measurement {
+    double accesses_per_sec{0.0}; // total_records / best (analysis + sim)
+    double simulated_fraction{0.0};
+    double max_abs_error_pp{0.0};
+    std::uint64_t phases{0};
+    std::uint64_t intervals{0};
+};
+
+phase_measurement measure_phase() {
+    const trace::mem_trace& trace = bench_trace();
+    phase::representative_sweep_request request;
+    request.sweep = json_sweep_request();
+    request.phase.interval_records = 8192;
+    request.phase.max_phases = 8;
+    request.warmup_records = 4096;
+
+    phase_measurement m;
+    // One calibrated run measures the error; the timed runs skip the exact
+    // pass so the throughput number is the estimator's own cost.
+    request.calibrate = true;
+    {
+        const phase::representative_sweep_result calibrated =
+            phase::representative_sweep(trace, request);
+        m.max_abs_error_pp = calibrated.max_abs_error_pp;
+        m.phases = calibrated.phases.plan.phases.size();
+        m.intervals = calibrated.phases.plan.total_intervals;
+        m.simulated_fraction = calibrated.simulated_fraction();
+    }
+    request.calibrate = false;
+    double best = 1e300;
+    for (int rep = 0; rep < json_repetitions; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const phase::representative_sweep_result result =
+            phase::representative_sweep(trace, request);
+        const auto t1 = std::chrono::steady_clock::now();
+        DEW_ASSERT(result.total_records == trace.size());
+        best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    m.accesses_per_sec = static_cast<double>(trace.size()) / best;
+    return m;
+}
+
 void write_micro_json() {
     const trace::mem_trace& trace = bench_trace();
 
@@ -416,6 +471,7 @@ void write_micro_json() {
     const micro_measurement cipar_fast =
         measure<cipar::fast_cipar_simulator>(trace);
     const sweep_comparison sweeps = measure_sweeps();
+    const phase_measurement phases = measure_phase();
 
     std::FILE* out = std::fopen("BENCH_micro.json", "w");
     if (out == nullptr) {
@@ -460,8 +516,22 @@ void write_micro_json() {
                  cipar_fast.accesses_per_sec);
     std::fprintf(out, "  \"cipar_construct_ms\": %.3f,\n",
                  cipar_fast.construct_ms);
-    std::fprintf(out, "  \"ratio_cipar_fast_vs_arena_fast\": %.3f\n",
+    std::fprintf(out, "  \"ratio_cipar_fast_vs_arena_fast\": %.3f,\n",
                  cipar_fast.accesses_per_sec / fast.accesses_per_sec);
+    std::fprintf(out, "  \"phase_count\": %llu,\n",
+                 static_cast<unsigned long long>(phases.phases));
+    std::fprintf(out, "  \"phase_intervals\": %llu,\n",
+                 static_cast<unsigned long long>(phases.intervals));
+    std::fprintf(out, "  \"phase_simulated_fraction\": %.4f,\n",
+                 phases.simulated_fraction);
+    std::fprintf(out, "  \"phase_rep_sweep_accesses_per_sec\": %.0f,\n",
+                 phases.accesses_per_sec);
+    std::fprintf(out, "  \"phase_max_abs_error_pp\": %.4f,\n",
+                 phases.max_abs_error_pp);
+    std::fprintf(out,
+                 "  \"ratio_phase_rep_vs_streaming_sweep\": %.3f\n",
+                 phases.accesses_per_sec /
+                     sweeps.streaming.accesses_per_sec);
     std::fprintf(out, "}\n");
     std::fclose(out);
 
@@ -478,6 +548,15 @@ void write_micro_json() {
                 cipar_counted.accesses_per_sec / 1e6,
                 cipar_fast.accesses_per_sec / 1e6,
                 cipar_fast.accesses_per_sec / fast.accesses_per_sec);
+    std::printf("phase sweep: %llu phases over %llu intervals, %.1f%% of "
+                "records simulated, %.2fM acc/s effective (x%.2f of the "
+                "streaming sweep), worst error %.3f pp\n",
+                static_cast<unsigned long long>(phases.phases),
+                static_cast<unsigned long long>(phases.intervals),
+                100.0 * phases.simulated_fraction,
+                phases.accesses_per_sec / 1e6,
+                phases.accesses_per_sec / sweeps.streaming.accesses_per_sec,
+                phases.max_abs_error_pp);
     std::printf("sweep memory: eager %.1f B/ref vs streaming %.2f B/ref "
                 "(x%.0f smaller), throughput %.2fM vs %.2fM acc/s\n\n",
                 sweeps.eager.peak_bytes_per_ref,

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cache/set_model.hpp" // cache::invalid_tag
+#include "common/bits.hpp"
 #include "common/contracts.hpp"
 
 namespace dew::cipar {
@@ -94,16 +95,9 @@ private:
         return cap;
     }
 
-    // splitmix64 finalizer: full-avalanche over the block number, so
-    // stride-heavy traces do not cluster in the low table bits.
-    static std::uint64_t hash(std::uint64_t x) noexcept {
-        x ^= x >> 30;
-        x *= 0xBF58476D1CE4E5B9ull;
-        x ^= x >> 27;
-        x *= 0x94D049BB133111EBull;
-        x ^= x >> 31;
-        return x;
-    }
+    // Full-avalanche over the block number, so stride-heavy traces do not
+    // cluster in the low table bits.
+    static std::uint64_t hash(std::uint64_t x) noexcept { return mix64(x); }
 
     void grow() {
         std::vector<std::uint64_t> old_keys(keys_.size() * 2,

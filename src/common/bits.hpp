@@ -57,6 +57,19 @@ namespace dew {
     return value & ~(alignment - 1);
 }
 
+// splitmix64 finalizer: full-avalanche mix of a 64-bit value, so regular
+// strides do not cluster in the low bits.  Shared by every hashed lookup
+// keyed on block numbers (cipar presence map, phase signatures); fixed
+// constants keep those structures reproducible across platforms.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+}
+
 } // namespace dew
 
 #endif // DEW_COMMON_BITS_HPP

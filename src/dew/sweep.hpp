@@ -18,6 +18,8 @@
 #define DEW_DEW_SWEEP_HPP
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "cache/config.hpp"
@@ -25,6 +27,7 @@
 #include "dew/options.hpp"
 #include "dew/result.hpp"
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace dew::core {
 
@@ -54,6 +57,24 @@ enum class sweep_engine : std::uint8_t {
     cipar = 1,
 };
 
+// Ingestion hook of a sweep: given the session's source, produce the source
+// the passes actually consume.  This is the composition point for
+// fractional and phase-aware simulation — wrap the stream in a
+// trace::time_sample_source / set_sample_source (src/trace/sampling.hpp)
+// or any custom filter, and the session, run_sweep and explore all honour
+// it without special-casing; the returned source must read from (and not
+// outlive) the one it is given.  An empty function feeds the stream
+// unfiltered.  A filtered sweep's miss counts cover the filtered stream
+// only (sweep_result::requests is the *kept* record count), and the
+// session owns the wrapper it gets from the hook — destroyed with the
+// session, so a raw pointer kept by the caller dangles once
+// run_sweep/explore return.  A caller who needs the sampler's
+// kept/consumed counters afterwards (trace::extrapolate_misses) should
+// instead construct the sampling adapter around the source directly and
+// pass the adapter as the session's source, leaving this hook empty.
+using stream_filter =
+    std::function<std::unique_ptr<trace::source>(trace::source&)>;
+
 struct sweep_request {
     // Set counts 2^0 .. 2^max_set_exp are covered by every pass.
     unsigned max_set_exp{14};
@@ -71,6 +92,8 @@ struct sweep_request {
     // apply to the DEW engine only; the CIPAR engine has no property
     // switches.
     sweep_engine engine{sweep_engine::dew};
+    // Optional sampling/phase ingestion hook (see stream_filter above).
+    stream_filter filter{};
 
     // The paper's Table 1 space: S = 2^0..2^14, B = 2^0..2^6, A = 2^0..2^4.
     [[nodiscard]] static sweep_request paper() {

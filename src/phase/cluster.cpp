@@ -1,0 +1,143 @@
+#include "phase/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace dew::phase {
+
+namespace {
+
+// Farthest-first seeding: start from interval 0, then repeatedly add the
+// signature farthest from its nearest chosen seed (ties to the lowest
+// index).  Stops early when every remaining signature coincides with a
+// seed, so seeds are always pairwise distinct.
+[[nodiscard]] std::vector<std::size_t>
+seed_indices(const std::vector<interval_signature>& signatures,
+             std::uint32_t k) {
+    std::vector<std::size_t> seeds{0};
+    std::vector<double> nearest(signatures.size(),
+                                std::numeric_limits<double>::infinity());
+    while (seeds.size() < k) {
+        const std::vector<double>& added =
+            signatures[seeds.back()].histogram;
+        for (std::size_t i = 0; i < signatures.size(); ++i) {
+            nearest[i] = std::min(
+                nearest[i], squared_distance(signatures[i].histogram, added));
+        }
+        std::size_t farthest = 0;
+        double best = -1.0;
+        for (std::size_t i = 0; i < signatures.size(); ++i) {
+            if (nearest[i] > best) {
+                best = nearest[i];
+                farthest = i;
+            }
+        }
+        if (best <= 0.0) {
+            break; // every signature equals some seed already
+        }
+        seeds.push_back(farthest);
+    }
+    return seeds;
+}
+
+} // namespace
+
+clustering
+cluster_intervals(const std::vector<interval_signature>& signatures,
+                  const phase_options& options) {
+    validate(options);
+    clustering result;
+    if (signatures.empty()) {
+        return result;
+    }
+    const std::size_t width = signatures.front().histogram.size();
+    for (const interval_signature& sig : signatures) {
+        DEW_EXPECTS(sig.histogram.size() == width);
+    }
+
+    const std::uint32_t k = static_cast<std::uint32_t>(
+        std::min<std::size_t>(options.max_phases, signatures.size()));
+    const std::vector<std::size_t> seeds = seed_indices(signatures, k);
+
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(seeds.size());
+    for (const std::size_t seed : seeds) {
+        centroids.push_back(signatures[seed].histogram);
+    }
+
+    std::vector<std::uint32_t> assignment(signatures.size(), 0);
+    auto assign_all = [&]() -> bool {
+        bool changed = false;
+        for (std::size_t i = 0; i < signatures.size(); ++i) {
+            std::uint32_t best_cluster = 0;
+            double best = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < centroids.size(); ++c) {
+                const double d =
+                    squared_distance(signatures[i].histogram, centroids[c]);
+                if (d < best) { // strict: ties keep the lowest index
+                    best = d;
+                    best_cluster = static_cast<std::uint32_t>(c);
+                }
+            }
+            if (assignment[i] != best_cluster) {
+                assignment[i] = best_cluster;
+                changed = true;
+            }
+        }
+        return changed;
+    };
+
+    assign_all();
+    for (std::uint32_t iter = 0; iter < options.kmeans_iterations; ++iter) {
+        // Recompute centroids as member means.  A cluster emptied by the
+        // previous assignment keeps its old centroid this round; it is
+        // compacted away after convergence.
+        std::vector<std::uint64_t> members(centroids.size(), 0);
+        std::vector<std::vector<double>> sums(
+            centroids.size(), std::vector<double>(width, 0.0));
+        for (std::size_t i = 0; i < signatures.size(); ++i) {
+            const std::uint32_t c = assignment[i];
+            ++members[c];
+            const std::vector<double>& h = signatures[i].histogram;
+            for (std::size_t b = 0; b < width; ++b) {
+                sums[c][b] += h[b];
+            }
+        }
+        for (std::size_t c = 0; c < centroids.size(); ++c) {
+            if (members[c] == 0) {
+                continue;
+            }
+            const double norm = 1.0 / static_cast<double>(members[c]);
+            for (std::size_t b = 0; b < width; ++b) {
+                centroids[c][b] = sums[c][b] * norm;
+            }
+        }
+        if (!assign_all()) {
+            break; // fixed point
+        }
+    }
+
+    // Compact away empty clusters so phase ids are dense and every phase
+    // has at least one member.
+    std::vector<std::uint64_t> members(centroids.size(), 0);
+    for (const std::uint32_t c : assignment) {
+        ++members[c];
+    }
+    std::vector<std::uint32_t> remap(centroids.size(), 0);
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+        if (members[c] > 0) {
+            remap[c] = result.phases;
+            result.centroids.push_back(std::move(centroids[c]));
+            ++result.phases;
+        }
+    }
+    result.assignment.resize(assignment.size());
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        result.assignment[i] = remap[assignment[i]];
+    }
+    return result;
+}
+
+} // namespace dew::phase

@@ -1,0 +1,44 @@
+// Deterministic interval clustering: the second stage of the phase-analysis
+// pipeline.  Groups interval signatures (phase/signature.hpp) into at most
+// phase_options::max_phases phases with a k-means variant engineered for
+// reproducibility rather than statistical polish:
+//
+//  * seeding is farthest-first traversal from interval 0 (no RNG), which
+//    also guarantees the seeds are pairwise distinct signatures;
+//  * assignment ties break to the lowest cluster index, Lloyd iterations
+//    are bounded by kmeans_iterations and stop at the first fixed point;
+//  * clusters left empty by an iteration are dropped and the labels
+//    compacted, so every reported phase has at least one member interval.
+//
+// The same input therefore always produces the same clustering, on every
+// platform — the property the representative-sweep error accounting and
+// the chunk-size-determinism tests rest on.
+#ifndef DEW_PHASE_CLUSTER_HPP
+#define DEW_PHASE_CLUSTER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "phase/options.hpp"
+#include "phase/signature.hpp"
+
+namespace dew::phase {
+
+struct clustering {
+    std::uint32_t phases{0};               // non-empty clusters
+    std::vector<std::uint32_t> assignment; // interval index -> phase id
+    // One centroid per phase (signature_width entries each): the mean of
+    // the member signatures' histograms.
+    std::vector<std::vector<double>> centroids;
+};
+
+// Clusters the signatures; phases <= min(max_phases, distinct signatures).
+// An empty input produces an empty clustering.  Throws
+// std::invalid_argument on ill-formed options.
+[[nodiscard]] clustering
+cluster_intervals(const std::vector<interval_signature>& signatures,
+                  const phase_options& options);
+
+} // namespace dew::phase
+
+#endif // DEW_PHASE_CLUSTER_HPP

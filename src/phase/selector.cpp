@@ -1,0 +1,60 @@
+#include "phase/selector.hpp"
+
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace dew::phase {
+
+phase_plan
+select_representatives(const std::vector<interval_signature>& signatures,
+                       const clustering& clusters) {
+    DEW_EXPECTS(clusters.assignment.size() == signatures.size());
+    phase_plan plan;
+    plan.total_intervals = signatures.size();
+    if (signatures.empty()) {
+        return plan;
+    }
+
+    plan.phases.resize(clusters.phases);
+    std::vector<double> best_distance(
+        clusters.phases, std::numeric_limits<double>::infinity());
+    for (std::uint32_t p = 0; p < clusters.phases; ++p) {
+        plan.phases[p].phase = p;
+    }
+    for (std::size_t i = 0; i < signatures.size(); ++i) {
+        const std::uint32_t p = clusters.assignment[i];
+        DEW_ASSERT(p < clusters.phases);
+        phase_info& info = plan.phases[p];
+        ++info.intervals;
+        info.records += signatures[i].records;
+        plan.total_records += signatures[i].records;
+        const double d = squared_distance(signatures[i].histogram,
+                                          clusters.centroids[p]);
+        if (d < best_distance[p]) { // strict: ties keep the lowest index
+            best_distance[p] = d;
+            info.representative = signatures[i].index;
+        }
+    }
+    for (phase_info& info : plan.phases) {
+        DEW_ENSURES(info.intervals > 0);
+        info.weight = static_cast<double>(info.records) /
+                      static_cast<double>(plan.total_records);
+    }
+    return plan;
+}
+
+analysis analyze(trace::source& src, const phase_options& options) {
+    analysis result;
+    result.signatures = compute_signatures(src, options);
+    result.clusters = cluster_intervals(result.signatures, options);
+    result.plan = select_representatives(result.signatures, result.clusters);
+    return result;
+}
+
+analysis analyze(const trace::mem_trace& trace, const phase_options& options) {
+    trace::span_source src{{trace.data(), trace.size()}};
+    return analyze(src, options);
+}
+
+} // namespace dew::phase

@@ -1,0 +1,58 @@
+// Representative selection: the third stage of the phase-analysis pipeline.
+// For every phase of a clustering, picks the member interval closest to the
+// phase centroid (ties to the lowest interval index) as the phase's
+// representative, and weights the phase by the records its members cover.
+//
+// Weights are record-exact: phase_info::records sums over phases to the
+// trace's total record count (integer conservation — the tail interval's
+// short length is accounted, not rounded), so the double weights sum to 1
+// up to floating normalisation and the representative sweep's
+// extrapolation conserves the trace length by construction.
+#ifndef DEW_PHASE_SELECTOR_HPP
+#define DEW_PHASE_SELECTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "phase/cluster.hpp"
+#include "phase/options.hpp"
+#include "phase/signature.hpp"
+#include "trace/source.hpp"
+
+namespace dew::phase {
+
+struct phase_info {
+    std::uint32_t phase{0};          // dense phase id
+    std::uint64_t representative{0}; // interval index of the representative
+    std::uint64_t intervals{0};      // member intervals
+    std::uint64_t records{0};        // records covered by the members
+    double weight{0.0};              // records / total_records
+};
+
+struct phase_plan {
+    std::vector<phase_info> phases; // ordered by phase id
+    std::uint64_t total_intervals{0};
+    std::uint64_t total_records{0};
+};
+
+// Builds the plan for a clustering over `signatures`; the two must come
+// from the same trace (assignment size == signatures size).
+[[nodiscard]] phase_plan
+select_representatives(const std::vector<interval_signature>& signatures,
+                       const clustering& clusters);
+
+// The whole analysis front half in one call: signatures, clustering, plan.
+struct analysis {
+    std::vector<interval_signature> signatures;
+    clustering clusters;
+    phase_plan plan;
+};
+
+[[nodiscard]] analysis analyze(trace::source& src,
+                               const phase_options& options);
+[[nodiscard]] analysis analyze(const trace::mem_trace& trace,
+                               const phase_options& options);
+
+} // namespace dew::phase
+
+#endif // DEW_PHASE_SELECTOR_HPP

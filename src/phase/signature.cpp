@@ -1,0 +1,104 @@
+#include "phase/signature.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace dew::phase {
+
+void validate(const phase_options& options) {
+    if (options.interval_records == 0) {
+        throw std::invalid_argument{
+            "phase_options::interval_records must be > 0"};
+    }
+    if (!is_pow2(options.signature_block_size)) {
+        throw std::invalid_argument{
+            "phase_options::signature_block_size must be a power of two"};
+    }
+    if (options.signature_width == 0) {
+        throw std::invalid_argument{
+            "phase_options::signature_width must be > 0"};
+    }
+    if (options.max_phases == 0) {
+        throw std::invalid_argument{"phase_options::max_phases must be > 0"};
+    }
+    if (options.chunk_records == 0) {
+        throw std::invalid_argument{
+            "phase_options::chunk_records must be > 0"};
+    }
+}
+
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+    DEW_EXPECTS(a.size() == b.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        total += d * d;
+    }
+    return total;
+}
+
+std::vector<interval_signature>
+compute_signatures(trace::source& src, const phase_options& options) {
+    validate(options);
+    const unsigned block_bits = log2_exact(options.signature_block_size);
+
+    std::vector<interval_signature> signatures;
+    std::vector<std::uint64_t> counts(options.signature_width, 0);
+    std::uint64_t in_interval = 0; // records accumulated into `counts`
+    std::uint64_t consumed = 0;    // absolute record index
+
+    auto finalize = [&] {
+        interval_signature sig;
+        sig.index = signatures.size();
+        sig.start = consumed - in_interval;
+        sig.records = in_interval;
+        sig.histogram.resize(counts.size());
+        const double norm = 1.0 / static_cast<double>(in_interval);
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            sig.histogram[i] = static_cast<double>(counts[i]) * norm;
+            counts[i] = 0;
+        }
+        signatures.push_back(std::move(sig));
+        in_interval = 0;
+    };
+
+    trace::mem_trace scratch;
+    for (;;) {
+        const std::span<const trace::mem_access> chunk =
+            src.next_view(options.chunk_records, scratch);
+        if (chunk.empty()) {
+            break;
+        }
+        // Same block-number convention as the sweep pipeline
+        // (trace::block_numbers), inlined: this pass is the only consumer
+        // of the decode, so staging a stream vector per chunk would buy
+        // nothing but allocations.
+        for (const trace::mem_access& reference : chunk) {
+            const std::uint64_t block = reference.address >> block_bits;
+            // mix64 spreads block numbers over the buckets so regular
+            // strides cannot alias into one bucket.
+            ++counts[mix64(block) % options.signature_width];
+            ++in_interval;
+            ++consumed;
+            if (in_interval == options.interval_records) {
+                finalize();
+            }
+        }
+    }
+    if (in_interval > 0) {
+        finalize(); // short tail interval keeps its true record count
+    }
+    return signatures;
+}
+
+std::vector<interval_signature>
+compute_signatures(const trace::mem_trace& trace,
+                   const phase_options& options) {
+    trace::span_source src{{trace.data(), trace.size()}};
+    return compute_signatures(src, options);
+}
+
+} // namespace dew::phase

@@ -1,0 +1,57 @@
+// Interval signatures: the first stage of the phase-analysis pipeline.
+//
+// The trace is cut into fixed-size intervals of phase_options::
+// interval_records records.  Each interval is summarised by a fixed-width
+// block-touch histogram: every record's block number (address >>
+// log2(signature_block_size), the same convention as
+// trace::block_numbers) hashes into one of signature_width buckets, and
+// the bucket counts are L1-normalised over the interval's records.  Two intervals that touch the
+// same working set with the same intensity therefore have (near-)identical
+// signatures regardless of where in the trace they sit — the property the
+// clustering stage (phase/cluster.hpp) relies on, following the
+// basic-block-vector idea of SimPoint as adapted to address traces by
+// Bueno et al. (PAPERS.md).
+//
+// Extraction is streaming: it pulls chunks from a trace::source and never
+// materialises the trace.  Buckets are keyed by absolute record index, so
+// the signatures are bit-identical for every chunk size a source happens
+// to serve.
+#ifndef DEW_PHASE_SIGNATURE_HPP
+#define DEW_PHASE_SIGNATURE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "phase/options.hpp"
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace dew::phase {
+
+struct interval_signature {
+    std::uint64_t index{0};   // interval ordinal, 0-based
+    std::uint64_t start{0};   // absolute record index of the first record
+    std::uint64_t records{0}; // records in the interval (tail may be short)
+    // L1-normalised block-touch histogram, signature_width entries summing
+    // to 1 (for a non-empty interval).
+    std::vector<double> histogram;
+};
+
+// Squared Euclidean distance between two signature histograms (the metric
+// of the clustering stage).  The histograms must have equal width.
+[[nodiscard]] double squared_distance(const std::vector<double>& a,
+                                      const std::vector<double>& b);
+
+// Streams the source to exhaustion and returns one signature per interval,
+// in trace order.  Throws std::invalid_argument on ill-formed options.
+[[nodiscard]] std::vector<interval_signature>
+compute_signatures(trace::source& src, const phase_options& options);
+
+// In-memory convenience: wraps the trace in a zero-copy span_source.
+[[nodiscard]] std::vector<interval_signature>
+compute_signatures(const trace::mem_trace& trace,
+                   const phase_options& options);
+
+} // namespace dew::phase
+
+#endif // DEW_PHASE_SIGNATURE_HPP

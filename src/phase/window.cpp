@@ -1,0 +1,62 @@
+#include "phase/window.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace dew::phase {
+
+namespace {
+constexpr std::size_t skip_chunk = std::size_t{64} * 1024;
+} // namespace
+
+fenced_window_source::fenced_window_source(trace::source& upstream,
+                                           std::uint64_t start,
+                                           std::uint64_t end,
+                                           std::uint64_t fence)
+    : upstream_{&upstream}, start_{start}, end_{end}, fence_{fence},
+      cursor_{0} {
+    DEW_EXPECTS(start <= end);
+    DEW_EXPECTS(fence >= start && fence <= end);
+}
+
+void fenced_window_source::skip_prefix() {
+    skipped_ = true;
+    while (cursor_ < start_) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(skip_chunk, start_ - cursor_));
+        discard_.resize(want);
+        const std::size_t got =
+            upstream_->next({discard_.data(), discard_.size()});
+        if (got == 0) {
+            upstream_done_ = true;
+            break;
+        }
+        cursor_ += got;
+    }
+    discard_.clear();
+    discard_.shrink_to_fit();
+}
+
+std::size_t fenced_window_source::next(std::span<trace::mem_access> out) {
+    if (!skipped_) {
+        skip_prefix();
+    }
+    if (upstream_done_ || cursor_ >= end_ || out.empty()) {
+        return 0;
+    }
+    // Truncate the pull at the fence (from below) and at the window end.
+    const std::uint64_t limit = cursor_ < fence_ ? fence_ : end_;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(out.size(), limit - cursor_));
+    const std::size_t got = upstream_->next(out.first(want));
+    if (got == 0) {
+        upstream_done_ = true;
+        return 0;
+    }
+    cursor_ += got;
+    served_ += got;
+    return got;
+}
+
+} // namespace dew::phase

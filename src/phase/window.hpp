@@ -1,0 +1,55 @@
+// A fenced window over a trace::source: serves records [start, end) of the
+// upstream stream, refusing to let a single pull straddle the `fence`
+// record index.
+//
+// The fence is what makes per-interval miss measurement exact through an
+// unmodified dew::session: the representative sweep places the fence at
+// the boundary between an interval's warmup prefix and the interval
+// proper, so — whatever chunk size the session pulls with — some step()
+// ends with session.requests() equal to the warmup length exactly, and
+// result() read at that step is the pre-interval state to diff against.
+// A source is allowed to return short non-zero fills, so the fence is
+// contract-clean; it never returns 0 before the window truly ends.
+#ifndef DEW_PHASE_WINDOW_HPP
+#define DEW_PHASE_WINDOW_HPP
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace dew::phase {
+
+class fenced_window_source final : public trace::source {
+public:
+    // Window [start, end) of `upstream` with a fence at absolute record
+    // index `fence` (start <= fence <= end; pass fence == start or == end
+    // for an unfenced window).  The upstream records before `start` are
+    // pulled and discarded on the first read.  The upstream source must
+    // outlive this wrapper.  If the upstream stream ends before `end`, the
+    // window simply ends with it.
+    fenced_window_source(trace::source& upstream, std::uint64_t start,
+                         std::uint64_t end, std::uint64_t fence);
+
+    std::size_t next(std::span<trace::mem_access> out) override;
+
+    // Records served so far (relative to `start`).
+    [[nodiscard]] std::uint64_t served() const noexcept { return served_; }
+
+private:
+    void skip_prefix();
+
+    trace::source* upstream_;
+    std::uint64_t start_;
+    std::uint64_t end_;
+    std::uint64_t fence_;
+    std::uint64_t cursor_; // absolute upstream record index
+    std::uint64_t served_{0};
+    bool skipped_{false};
+    bool upstream_done_{false};
+    trace::mem_trace discard_; // skip buffer, freed after the skip
+};
+
+} // namespace dew::phase
+
+#endif // DEW_PHASE_WINDOW_HPP

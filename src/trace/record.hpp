@@ -6,6 +6,7 @@
 #define DEW_TRACE_RECORD_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace dew::trace {
@@ -43,7 +44,7 @@ using mem_trace = std::vector<mem_access>;
 // per block size and shares it across every associativity pass, so the
 // per-pass working set is 8-byte block numbers instead of 16-byte records.
 [[nodiscard]] inline std::vector<std::uint64_t>
-block_numbers(const mem_trace& trace, unsigned block_bits) {
+block_numbers(std::span<const mem_access> trace, unsigned block_bits) {
     std::vector<std::uint64_t> blocks;
     blocks.reserve(trace.size());
     for (const mem_access& reference : trace) {

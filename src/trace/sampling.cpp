@@ -53,4 +53,60 @@ std::uint64_t extrapolate_misses(std::uint64_t sampled_misses,
         std::llround(static_cast<double>(sampled_misses) / kept_fraction));
 }
 
+std::size_t sample_source_base::next(std::span<mem_access> out) {
+    if (out.empty()) {
+        return 0;
+    }
+    // Pull straight into `out` and compact the survivors forward in place
+    // (filled <= i always holds) — no staging buffer, each record written
+    // once.  Keep pulling until at least one record survives the filter (a
+    // source must not return 0 while records remain) or the upstream ends.
+    std::size_t filled = 0;
+    while (filled == 0) {
+        const std::size_t got = upstream_->next(out);
+        if (got == 0) {
+            return filled;
+        }
+        for (std::size_t i = 0; i < got; ++i) {
+            const std::uint64_t index = consumed_++;
+            if (keep(out[i], index)) {
+                out[filled++] = out[i];
+                ++kept_;
+            }
+        }
+    }
+    return filled;
+}
+
+time_sample_source::time_sample_source(source& upstream,
+                                       const time_sample_spec& spec)
+    : sample_source_base{upstream}, spec_{spec} {
+    DEW_EXPECTS(spec.period > 0);
+    DEW_EXPECTS(spec.window > 0);
+    DEW_EXPECTS(spec.window <= spec.period);
+}
+
+bool time_sample_source::keep(const mem_access& /*record*/,
+                              std::uint64_t index) const {
+    return index >= spec_.offset &&
+           (index - spec_.offset) % spec_.period < spec_.window;
+}
+
+set_sample_source::set_sample_source(source& upstream,
+                                     const set_sample_spec& spec)
+    : sample_source_base{upstream}, spec_{spec} {
+    DEW_EXPECTS(is_pow2(spec.set_count));
+    DEW_EXPECTS(is_pow2(spec.block_size));
+    DEW_EXPECTS(spec.keep_one_in > 0);
+    DEW_EXPECTS(spec.phase < spec.keep_one_in);
+    block_bits_ = log2_exact(spec.block_size);
+    index_mask_ = spec.set_count - 1;
+}
+
+bool set_sample_source::keep(const mem_access& record,
+                             std::uint64_t /*index*/) const {
+    const std::uint64_t set = (record.address >> block_bits_) & index_mask_;
+    return set % spec_.keep_one_in == spec_.phase;
+}
+
 } // namespace dew::trace

@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace dew::trace {
 
@@ -73,6 +74,77 @@ struct set_sample_result {
 // the sampler's kept fraction scales the estimate linearly.
 [[nodiscard]] std::uint64_t extrapolate_misses(std::uint64_t sampled_misses,
                                                double kept_fraction);
+
+// --- Streaming sampler adapters ---------------------------------------
+//
+// The same two samplers as trace::source filters, so fractional simulation
+// composes with the chunked dew::session pipeline instead of requiring a
+// materialised mem_trace: wrap any source (file reader, generator,
+// in-memory span) and feed the wrapper to a session — or let the session
+// do the wrapping via sweep_request::filter (dew/sweep.hpp).  Records kept
+// are exactly the records the eager samplers keep, for every upstream
+// chunking (tests/trace/sampling_test.cpp proves drained == eager).  The
+// upstream source must outlive the adapter.
+
+// Common machinery of the two filters: the pull-until-one-record-survives
+// loop (a source must not return 0 while records remain) and the
+// consumed/kept bookkeeping.  Derived classes supply only the predicate.
+class sample_source_base : public source {
+public:
+    std::size_t next(std::span<mem_access> out) final;
+
+    // Upstream records consumed / records kept so far.
+    [[nodiscard]] std::uint64_t source_requests() const noexcept {
+        return consumed_;
+    }
+    [[nodiscard]] std::uint64_t kept() const noexcept { return kept_; }
+    [[nodiscard]] double kept_fraction() const noexcept {
+        return consumed_ == 0 ? 0.0
+                              : static_cast<double>(kept_) /
+                                    static_cast<double>(consumed_);
+    }
+
+protected:
+    explicit sample_source_base(source& upstream) noexcept
+        : upstream_{&upstream} {}
+
+    // True iff the record at absolute upstream index `index` is kept.
+    [[nodiscard]] virtual bool keep(const mem_access& record,
+                                    std::uint64_t index) const = 0;
+
+private:
+    source* upstream_;
+    std::uint64_t consumed_{0};
+    std::uint64_t kept_{0};
+};
+
+class time_sample_source final : public sample_source_base {
+public:
+    // Precondition (contract_violation otherwise): period > 0,
+    // 0 < window <= period.
+    time_sample_source(source& upstream, const time_sample_spec& spec);
+
+private:
+    [[nodiscard]] bool keep(const mem_access& record,
+                            std::uint64_t index) const override;
+
+    time_sample_spec spec_;
+};
+
+class set_sample_source final : public sample_source_base {
+public:
+    // Precondition (contract_violation otherwise): power-of-two set_count
+    // and block_size, keep_one_in > 0, phase < keep_one_in.
+    set_sample_source(source& upstream, const set_sample_spec& spec);
+
+private:
+    [[nodiscard]] bool keep(const mem_access& record,
+                            std::uint64_t index) const override;
+
+    set_sample_spec spec_;
+    unsigned block_bits_;
+    std::uint64_t index_mask_;
+};
 
 } // namespace dew::trace
 

@@ -1,6 +1,8 @@
 #include "trace/stats.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <span>
 #include <unordered_set>
 
 #include "common/bits.hpp"
@@ -8,45 +10,95 @@
 
 namespace dew::trace {
 
-trace_stats compute_stats(const mem_trace& trace, std::uint32_t block_size) {
+namespace {
+
+// One accumulator serves the eager and the streaming overload, so their
+// equivalence is definitional: state carried across chunk boundaries is
+// exactly the state carried across loop iterations (previous block for the
+// same-block pair count, the distinct-block set, min/max).
+struct stats_accumulator {
+    // `expected_requests` sizes the distinct-block set up front (the eager
+    // overload knows the trace length; the streaming one passes 0 and the
+    // set grows on demand).
+    stats_accumulator(unsigned block_bits, std::size_t expected_requests)
+        : block_bits_{block_bits} {
+        stats_.min_address = std::numeric_limits<std::uint64_t>::max();
+        blocks_.reserve(expected_requests / 4);
+    }
+
+    void consume(std::span<const mem_access> chunk) {
+        for (const mem_access& access : chunk) {
+            switch (access.type) {
+            case access_type::read: ++stats_.reads; break;
+            case access_type::write: ++stats_.writes; break;
+            case access_type::ifetch: ++stats_.ifetches; break;
+            }
+            const std::uint64_t block = access.address >> block_bits_;
+            if (block == previous_block_) {
+                ++stats_.same_block_pairs;
+            }
+            previous_block_ = block;
+            blocks_.insert(block);
+            stats_.min_address = std::min(stats_.min_address, access.address);
+            stats_.max_address = std::max(stats_.max_address, access.address);
+        }
+        stats_.requests += chunk.size();
+    }
+
+    [[nodiscard]] trace_stats finish(std::uint32_t block_size) {
+        if (stats_.requests == 0) {
+            return trace_stats{};
+        }
+        stats_.unique_blocks = blocks_.size();
+        stats_.footprint_bytes = stats_.unique_blocks * block_size;
+        stats_.same_block_fraction =
+            stats_.requests <= 1
+                ? 0.0
+                : static_cast<double>(stats_.same_block_pairs) /
+                      static_cast<double>(stats_.requests - 1);
+        return stats_;
+    }
+
+private:
+    unsigned block_bits_;
+    trace_stats stats_;
+    std::unordered_set<std::uint64_t> blocks_;
+    std::uint64_t previous_block_{std::numeric_limits<std::uint64_t>::max()};
+};
+
+} // namespace
+
+namespace {
+
+trace_stats stream_stats(source& src, std::uint32_t block_size,
+                         std::size_t chunk_records,
+                         std::size_t expected_requests) {
     DEW_EXPECTS(is_pow2(block_size));
-    const unsigned block_bits = log2_exact(block_size);
-
-    trace_stats stats;
-    stats.requests = trace.size();
-    if (trace.empty()) {
-        return stats;
-    }
-
-    std::unordered_set<std::uint64_t> blocks;
-    blocks.reserve(trace.size() / 4);
-    std::uint64_t previous_block = std::numeric_limits<std::uint64_t>::max();
-    stats.min_address = std::numeric_limits<std::uint64_t>::max();
-
-    for (const mem_access& access : trace) {
-        switch (access.type) {
-        case access_type::read: ++stats.reads; break;
-        case access_type::write: ++stats.writes; break;
-        case access_type::ifetch: ++stats.ifetches; break;
+    DEW_EXPECTS(chunk_records > 0);
+    stats_accumulator accumulator{log2_exact(block_size), expected_requests};
+    mem_trace scratch;
+    for (;;) {
+        const std::span<const mem_access> chunk =
+            src.next_view(chunk_records, scratch);
+        if (chunk.empty()) {
+            break;
         }
-        const std::uint64_t block = access.address >> block_bits;
-        if (block == previous_block) {
-            ++stats.same_block_pairs;
-        }
-        previous_block = block;
-        blocks.insert(block);
-        stats.min_address = std::min(stats.min_address, access.address);
-        stats.max_address = std::max(stats.max_address, access.address);
+        accumulator.consume(chunk);
     }
+    return accumulator.finish(block_size);
+}
 
-    stats.unique_blocks = blocks.size();
-    stats.footprint_bytes = stats.unique_blocks * block_size;
-    stats.same_block_fraction =
-        trace.size() <= 1
-            ? 0.0
-            : static_cast<double>(stats.same_block_pairs) /
-                  static_cast<double>(trace.size() - 1);
-    return stats;
+} // namespace
+
+trace_stats compute_stats(const mem_trace& trace, std::uint32_t block_size) {
+    span_source src{{trace.data(), trace.size()}};
+    return stream_stats(src, block_size, std::max<std::size_t>(trace.size(), 1),
+                        trace.size());
+}
+
+trace_stats compute_stats(source& src, std::uint32_t block_size,
+                          std::size_t chunk_records) {
+    return stream_stats(src, block_size, chunk_records, 0);
 }
 
 std::uint64_t unique_block_count(const mem_trace& trace,

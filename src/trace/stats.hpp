@@ -4,9 +4,11 @@
 #ifndef DEW_TRACE_STATS_HPP
 #define DEW_TRACE_STATS_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 #include "trace/record.hpp"
+#include "trace/source.hpp"
 
 namespace dew::trace {
 
@@ -26,6 +28,14 @@ struct trace_stats {
 // Computes statistics with blocks of `block_size` bytes (power of two).
 [[nodiscard]] trace_stats compute_stats(const mem_trace& trace,
                                         std::uint32_t block_size);
+
+// Streaming overload: drains the source chunk by chunk, so traces larger
+// than RAM can be characterised without being materialised (the distinct-
+// block set still grows with the trace's footprint).  Identical results to
+// the eager overload for every chunking — the eager overload is this one
+// over a zero-copy span_source.
+[[nodiscard]] trace_stats compute_stats(source& src, std::uint32_t block_size,
+                                        std::size_t chunk_records = 4096);
 
 // Number of distinct blocks only (cheaper than full stats).
 [[nodiscard]] std::uint64_t unique_block_count(const mem_trace& trace,

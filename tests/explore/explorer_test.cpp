@@ -3,12 +3,15 @@
 // must be consistent with the raw results.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <stdexcept>
 
 #include "baseline/dinero_sim.hpp"
 #include "explore/explorer.hpp"
 #include "explore/report.hpp"
 #include "trace/mediabench.hpp"
+#include "trace/sampling.hpp"
 
 #include <sstream>
 
@@ -127,6 +130,112 @@ TEST(Explorer, MissRatesAreConsistent) {
                              static_cast<double>(result.requests));
         EXPECT_LE(entry.miss_rate, 1.0);
     }
+}
+
+TEST(Explorer, BestSelectorsThrowOnEmptyResult) {
+    // A capacity filter can exclude the entire space; the selectors must
+    // fail loudly (std::logic_error naming the selector), not read past
+    // an empty vector.
+    explorer_options options;
+    options.space = small_space();
+    options.max_capacity_bytes = 1; // below every configuration
+    const exploration_result result = dew::explore::explore(workload(), options);
+    ASSERT_TRUE(result.configs.empty());
+
+    EXPECT_THROW((void)result.best_energy(), std::logic_error);
+    EXPECT_THROW((void)result.best_amat(), std::logic_error);
+    EXPECT_THROW((void)result.best_miss_rate(), std::logic_error);
+    EXPECT_TRUE(result.pareto_energy_amat().empty());
+
+    const exploration_result empty{};
+    EXPECT_THROW((void)empty.best_energy(), std::logic_error);
+}
+
+TEST(Explorer, RepresentativeModeCoversTheSpaceWithinBudget) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 40000);
+    explorer_options options;
+    options.space = small_space();
+    options.mode = exploration_mode::representative;
+    options.phase.interval_records = 4096;
+    options.phase.max_phases = 6;
+    options.warmup_records = 2048;
+    options.calibrate = true;
+    options.error_budget_pp = 2.0;
+
+    const exploration_result estimated =
+        dew::explore::explore(trace, options);
+    EXPECT_TRUE(estimated.estimated);
+    EXPECT_TRUE(estimated.calibrated);
+    EXPECT_EQ(estimated.configs.size(), small_space().count());
+    EXPECT_EQ(estimated.requests, trace.size());
+    EXPECT_TRUE(estimated.within_error_budget)
+        << "max error " << estimated.max_abs_error_pp << " pp";
+    EXPECT_LE(estimated.max_abs_error_pp, options.error_budget_pp);
+
+    // The estimated ranking is built over the same configurations as the
+    // exact one, and every estimated miss rate sits within the budget of
+    // the exact rate.
+    options.mode = exploration_mode::exact;
+    const exploration_result exact = dew::explore::explore(trace, options);
+    ASSERT_EQ(estimated.configs.size(), exact.configs.size());
+    EXPECT_FALSE(exact.estimated);
+    EXPECT_DOUBLE_EQ(exact.max_abs_error_pp, 0.0);
+    for (std::size_t i = 0; i < exact.configs.size(); ++i) {
+        EXPECT_EQ(estimated.configs[i].config.set_count,
+                  exact.configs[i].config.set_count);
+        EXPECT_EQ(estimated.configs[i].config.associativity,
+                  exact.configs[i].config.associativity);
+        EXPECT_EQ(estimated.configs[i].config.block_size,
+                  exact.configs[i].config.block_size);
+        EXPECT_NEAR(estimated.configs[i].miss_rate,
+                    exact.configs[i].miss_rate, 0.02)
+            << cache::to_string(exact.configs[i].config);
+    }
+}
+
+TEST(Explorer, RepresentativeModeRejectsSingleShotSources) {
+    const trace::mem_trace trace = workload();
+    trace::span_source src{{trace.data(), trace.size()}};
+    explorer_options options;
+    options.space = small_space();
+    options.mode = exploration_mode::representative;
+    EXPECT_THROW((void)dew::explore::explore(src, options),
+                 std::invalid_argument);
+}
+
+TEST(Explorer, FilterForwardsToTheUnderlyingSweep) {
+    // explorer_options::filter composes sampling with exploration: the
+    // filtered exact exploration must match exploring the eagerly-sampled
+    // trace outright.
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::mpeg2_dec, 20000);
+    const trace::set_sample_spec spec{16, 8, 4, 1};
+
+    explorer_options options;
+    options.space = small_space();
+    const exploration_result eager =
+        dew::explore::explore(trace::set_sample(trace, spec).sampled, options);
+
+    options.filter =
+        [&spec](trace::source& upstream) -> std::unique_ptr<trace::source> {
+        return std::make_unique<trace::set_sample_source>(upstream, spec);
+    };
+    const exploration_result filtered =
+        dew::explore::explore(trace, options);
+
+    EXPECT_EQ(filtered.requests, eager.requests);
+    ASSERT_EQ(filtered.configs.size(), eager.configs.size());
+    for (std::size_t i = 0; i < eager.configs.size(); ++i) {
+        EXPECT_EQ(filtered.configs[i].misses, eager.configs[i].misses)
+            << cache::to_string(eager.configs[i].config);
+    }
+
+    // Representative mode rejects a filter: the phase pipeline's record
+    // accounting assumes the unfiltered stream.
+    options.mode = exploration_mode::representative;
+    EXPECT_THROW((void)dew::explore::explore(trace, options),
+                 std::invalid_argument);
 }
 
 TEST(ExplorerReport, SummaryAndCsvRender) {

@@ -1,0 +1,141 @@
+// Deterministic interval clustering: structural invariants (dense labels,
+// non-empty phases, k bounded by max_phases and distinct signatures) and
+// reproducibility — identical input always yields identical output.
+#include <gtest/gtest.h>
+
+#include "phase/cluster.hpp"
+#include "phase/signature.hpp"
+#include "trace/mediabench.hpp"
+#include "trace/record.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::phase;
+
+phase_options options_with(std::uint32_t max_phases,
+                           std::uint64_t interval_records = 1000) {
+    phase_options options;
+    options.interval_records = interval_records;
+    options.signature_width = 32;
+    options.max_phases = max_phases;
+    return options;
+}
+
+// A trace whose first half grinds region A and whose second half grinds a
+// disjoint region B — two unambiguous phases.  The cycle length divides
+// the interval length, so every interval of a half has the identical
+// signature and the halves are the only structure to find.
+trace::mem_trace two_phase_trace(std::size_t half = 4000) {
+    trace::mem_trace trace;
+    for (std::uint64_t i = 0; i < half; ++i) {
+        trace.push_back({(i % 500) * 64, trace::access_type::read});
+    }
+    for (std::uint64_t i = 0; i < half; ++i) {
+        trace.push_back(
+            {0x8000'0000 + (i % 500) * 64, trace::access_type::read});
+    }
+    return trace;
+}
+
+TEST(Cluster, StructuralInvariants) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 16000);
+    const phase_options options = options_with(4);
+    const std::vector<interval_signature> signatures =
+        compute_signatures(trace, options);
+    const clustering clusters = cluster_intervals(signatures, options);
+
+    EXPECT_GT(clusters.phases, 0u);
+    EXPECT_LE(clusters.phases, 4u);
+    ASSERT_EQ(clusters.assignment.size(), signatures.size());
+    ASSERT_EQ(clusters.centroids.size(), clusters.phases);
+
+    // Labels are dense: every phase id below `phases` has a member.
+    std::vector<std::uint64_t> members(clusters.phases, 0);
+    for (const std::uint32_t phase : clusters.assignment) {
+        ASSERT_LT(phase, clusters.phases);
+        ++members[phase];
+    }
+    for (const std::uint64_t count : members) {
+        EXPECT_GT(count, 0u);
+    }
+    for (const std::vector<double>& centroid : clusters.centroids) {
+        EXPECT_EQ(centroid.size(), 32u);
+    }
+}
+
+TEST(Cluster, PhaseCountRespectsDistinctSignatures) {
+    // A perfectly periodic trace: every interval touches the identical
+    // working set, so all signatures coincide and one phase remains, no
+    // matter how large max_phases is.
+    trace::mem_trace trace;
+    for (std::uint64_t i = 0; i < 8000; ++i) {
+        trace.push_back({(i % 1000) * 64, trace::access_type::read});
+    }
+    const phase_options options = options_with(8);
+    const std::vector<interval_signature> signatures =
+        compute_signatures(trace, options);
+    ASSERT_EQ(signatures.size(), 8u);
+    const clustering clusters = cluster_intervals(signatures, options);
+    EXPECT_EQ(clusters.phases, 1u);
+    for (const std::uint32_t phase : clusters.assignment) {
+        EXPECT_EQ(phase, 0u);
+    }
+}
+
+TEST(Cluster, SeparatesDisjointWorkingSets) {
+    const trace::mem_trace trace = two_phase_trace();
+    const phase_options options = options_with(4);
+    const std::vector<interval_signature> signatures =
+        compute_signatures(trace, options);
+    ASSERT_EQ(signatures.size(), 8u);
+    const clustering clusters = cluster_intervals(signatures, options);
+
+    EXPECT_GE(clusters.phases, 2u);
+    // The two halves land in different phases, and each half is pure.
+    for (std::size_t i = 1; i < 4; ++i) {
+        EXPECT_EQ(clusters.assignment[i], clusters.assignment[0]) << i;
+        EXPECT_EQ(clusters.assignment[4 + i], clusters.assignment[4]) << i;
+    }
+    EXPECT_NE(clusters.assignment[0], clusters.assignment[4]);
+}
+
+TEST(Cluster, DeterministicAcrossRuns) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::mpeg2_enc, 20000);
+    const phase_options options = options_with(6);
+    const std::vector<interval_signature> signatures =
+        compute_signatures(trace, options);
+
+    const clustering first = cluster_intervals(signatures, options);
+    const clustering second = cluster_intervals(signatures, options);
+    EXPECT_EQ(first.phases, second.phases);
+    EXPECT_EQ(first.assignment, second.assignment);
+    ASSERT_EQ(first.centroids.size(), second.centroids.size());
+    for (std::size_t c = 0; c < first.centroids.size(); ++c) {
+        EXPECT_EQ(first.centroids[c], second.centroids[c]);
+    }
+}
+
+TEST(Cluster, EmptyInput) {
+    const clustering clusters =
+        cluster_intervals({}, options_with(4));
+    EXPECT_EQ(clusters.phases, 0u);
+    EXPECT_TRUE(clusters.assignment.empty());
+    EXPECT_TRUE(clusters.centroids.empty());
+}
+
+TEST(Cluster, SingleInterval) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::g721_dec, 500);
+    const phase_options options = options_with(8);
+    const std::vector<interval_signature> signatures =
+        compute_signatures(trace, options);
+    ASSERT_EQ(signatures.size(), 1u);
+    const clustering clusters = cluster_intervals(signatures, options);
+    EXPECT_EQ(clusters.phases, 1u);
+    EXPECT_EQ(clusters.assignment, std::vector<std::uint32_t>{0});
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+// Representative selection and phase weights: weight conservation (the
+// acceptance invariant — phase record counts partition the trace exactly
+// and the double weights sum to 1), representative validity, and the
+// closest-to-centroid selection rule.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "phase/selector.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::phase;
+
+phase_options test_options() {
+    phase_options options;
+    options.interval_records = 1500;
+    options.signature_width = 48;
+    options.max_phases = 5;
+    return options;
+}
+
+TEST(Selector, WeightsConserveRecordsOnEveryMediabenchProfile) {
+    for (const trace::mediabench_app app : trace::all_mediabench_apps) {
+        const trace::mem_trace trace =
+            trace::make_mediabench_trace(app, 20050); // short tail interval
+        const analysis result = analyze(trace, test_options());
+
+        std::uint64_t records = 0;
+        std::uint64_t intervals = 0;
+        double weight = 0.0;
+        for (const phase_info& info : result.plan.phases) {
+            EXPECT_GT(info.intervals, 0u) << trace::short_name(app);
+            records += info.records;
+            intervals += info.intervals;
+            weight += info.weight;
+        }
+        // Integer conservation is exact; the double weights sum to 1 up to
+        // accumulated rounding.
+        EXPECT_EQ(records, trace.size()) << trace::short_name(app);
+        EXPECT_EQ(records, result.plan.total_records);
+        EXPECT_EQ(intervals, result.plan.total_intervals);
+        EXPECT_NEAR(weight, 1.0, 1e-12) << trace::short_name(app);
+    }
+}
+
+TEST(Selector, RepresentativeBelongsToItsPhaseAndMinimisesDistance) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 24000);
+    const analysis result = analyze(trace, test_options());
+
+    for (const phase_info& info : result.plan.phases) {
+        ASSERT_LT(info.representative, result.signatures.size());
+        EXPECT_EQ(result.clusters.assignment[info.representative],
+                  info.phase);
+
+        const double rep_distance = squared_distance(
+            result.signatures[info.representative].histogram,
+            result.clusters.centroids[info.phase]);
+        for (std::size_t i = 0; i < result.signatures.size(); ++i) {
+            if (result.clusters.assignment[i] != info.phase) {
+                continue;
+            }
+            const double d =
+                squared_distance(result.signatures[i].histogram,
+                                 result.clusters.centroids[info.phase]);
+            EXPECT_LE(rep_distance, d) << "interval " << i;
+            // Ties resolve to the lowest interval index.
+            if (d == rep_distance) {
+                EXPECT_LE(info.representative, i);
+            }
+        }
+    }
+}
+
+TEST(Selector, SingleIntervalTraceHasOnePhaseWithFullWeight) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::g721_enc, 800);
+    const analysis result = analyze(trace, test_options());
+    ASSERT_EQ(result.plan.phases.size(), 1u);
+    EXPECT_EQ(result.plan.phases[0].representative, 0u);
+    EXPECT_EQ(result.plan.phases[0].records, trace.size());
+    EXPECT_DOUBLE_EQ(result.plan.phases[0].weight, 1.0);
+}
+
+TEST(Selector, EmptyTrace) {
+    const analysis result = analyze(trace::mem_trace{}, test_options());
+    EXPECT_TRUE(result.plan.phases.empty());
+    EXPECT_EQ(result.plan.total_records, 0u);
+    EXPECT_EQ(result.plan.total_intervals, 0u);
+}
+
+} // namespace

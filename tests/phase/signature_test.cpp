@@ -1,0 +1,167 @@
+// Interval signatures: interval geometry, normalisation, and the
+// determinism guarantee the rest of the pipeline rests on — signatures
+// (and therefore cluster assignments) are bit-identical no matter how the
+// source chunks its stream, mirroring the chunked_equivalence discipline
+// of the simulators.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "phase/cluster.hpp"
+#include "phase/signature.hpp"
+#include "support/throttled_source.hpp"
+#include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+#include "trace/source.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::phase;
+using test_support::throttled_source;
+
+phase_options small_options() {
+    phase_options options;
+    options.interval_records = 1000;
+    options.signature_width = 32;
+    options.max_phases = 4;
+    return options;
+}
+
+TEST(Signature, IntervalGeometry) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 4500);
+    const std::vector<interval_signature> signatures =
+        compute_signatures(trace, small_options());
+
+    ASSERT_EQ(signatures.size(), 5u); // 4 full intervals + 500-record tail
+    for (std::size_t i = 0; i < signatures.size(); ++i) {
+        EXPECT_EQ(signatures[i].index, i);
+        EXPECT_EQ(signatures[i].start, i * 1000);
+        EXPECT_EQ(signatures[i].histogram.size(), 32u);
+    }
+    EXPECT_EQ(signatures.back().records, 500u);
+    for (std::size_t i = 0; i + 1 < signatures.size(); ++i) {
+        EXPECT_EQ(signatures[i].records, 1000u);
+    }
+}
+
+TEST(Signature, HistogramsAreL1Normalised) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::mpeg2_dec, 3100);
+    for (const interval_signature& sig :
+         compute_signatures(trace, small_options())) {
+        double total = 0.0;
+        for (const double bucket : sig.histogram) {
+            EXPECT_GE(bucket, 0.0);
+            total += bucket;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST(Signature, IdenticalAcrossSourceChunkSizes) {
+    // The satellite guarantee: chunk sizes 1, 7 and 4096 produce identical
+    // signatures and identical cluster assignments.
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::djpeg, 12000);
+    const phase_options options = small_options();
+
+    const std::vector<interval_signature> expected =
+        compute_signatures(trace, options);
+    const clustering expected_clusters =
+        cluster_intervals(expected, options);
+
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{4096}}) {
+        trace::span_source upstream{{trace.data(), trace.size()}};
+        throttled_source throttled{upstream, chunk};
+        const std::vector<interval_signature> actual =
+            compute_signatures(throttled, options);
+
+        ASSERT_EQ(actual.size(), expected.size()) << "chunk " << chunk;
+        for (std::size_t i = 0; i < actual.size(); ++i) {
+            EXPECT_EQ(actual[i].start, expected[i].start);
+            EXPECT_EQ(actual[i].records, expected[i].records);
+            // Bit-identical, not approximately equal: accumulation order
+            // inside an interval does not depend on chunking.
+            EXPECT_EQ(actual[i].histogram, expected[i].histogram)
+                << "chunk " << chunk << " interval " << i;
+        }
+        const clustering clusters = cluster_intervals(actual, options);
+        EXPECT_EQ(clusters.phases, expected_clusters.phases)
+            << "chunk " << chunk;
+        EXPECT_EQ(clusters.assignment, expected_clusters.assignment)
+            << "chunk " << chunk;
+    }
+}
+
+TEST(Signature, EagerOverloadMatchesStreaming) {
+    const trace::mem_trace trace =
+        trace::make_mediabench_trace(trace::mediabench_app::g721_enc, 7000);
+    trace::span_source src{{trace.data(), trace.size()}};
+    const std::vector<interval_signature> streamed =
+        compute_signatures(src, small_options());
+    const std::vector<interval_signature> eager =
+        compute_signatures(trace, small_options());
+    ASSERT_EQ(streamed.size(), eager.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+        EXPECT_EQ(streamed[i].histogram, eager[i].histogram);
+    }
+}
+
+TEST(Signature, DistinctWorkingSetsProduceDistantSignatures) {
+    // First interval walks region A, second walks a disjoint region B: the
+    // signatures must be clearly separated while two same-region intervals
+    // stay close.
+    trace::mem_trace trace;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        trace.push_back({(i % 1000) * 64, trace::access_type::read});
+    }
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        trace.push_back({0x4000'0000 + i * 64, trace::access_type::read});
+    }
+
+    phase_options options = small_options();
+    options.interval_records = 1000;
+    const std::vector<interval_signature> signatures =
+        compute_signatures(trace, options);
+    ASSERT_EQ(signatures.size(), 3u);
+
+    const double same_region = squared_distance(signatures[0].histogram,
+                                                signatures[1].histogram);
+    const double cross_region = squared_distance(signatures[0].histogram,
+                                                 signatures[2].histogram);
+    EXPECT_GT(cross_region, 10.0 * same_region + 1e-3);
+}
+
+TEST(Signature, EmptyTraceProducesNoIntervals) {
+    EXPECT_TRUE(compute_signatures(trace::mem_trace{}, small_options())
+                    .empty());
+}
+
+TEST(Signature, RejectsIllFormedOptions) {
+    const trace::mem_trace trace;
+    phase_options options;
+    options.interval_records = 0;
+    EXPECT_THROW((void)compute_signatures(trace, options),
+                 std::invalid_argument);
+    options = {};
+    options.signature_block_size = 48;
+    EXPECT_THROW((void)compute_signatures(trace, options),
+                 std::invalid_argument);
+    options = {};
+    options.signature_width = 0;
+    EXPECT_THROW((void)compute_signatures(trace, options),
+                 std::invalid_argument);
+    options = {};
+    options.max_phases = 0;
+    EXPECT_THROW((void)compute_signatures(trace, options),
+                 std::invalid_argument);
+    options = {};
+    options.chunk_records = 0;
+    EXPECT_THROW((void)compute_signatures(trace, options),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,33 @@
+// Test helper: caps every fill of an upstream trace::source at `max_fill`
+// records, so a consumer sees the stream in chunks of that size whatever
+// it asks for.  This is how the suites exercise chunk-seam behaviour
+// (signatures, sampling adapters) at the repo's standard 1/7/4096 sizes.
+#ifndef DEW_TESTS_SUPPORT_THROTTLED_SOURCE_HPP
+#define DEW_TESTS_SUPPORT_THROTTLED_SOURCE_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace dew::test_support {
+
+class throttled_source final : public trace::source {
+public:
+    throttled_source(trace::source& upstream, std::size_t max_fill)
+        : upstream_{&upstream}, max_fill_{max_fill} {}
+
+    std::size_t next(std::span<trace::mem_access> out) override {
+        return upstream_->next(out.first(std::min(out.size(), max_fill_)));
+    }
+
+private:
+    trace::source* upstream_;
+    std::size_t max_fill_;
+};
+
+} // namespace dew::test_support
+
+#endif // DEW_TESTS_SUPPORT_THROTTLED_SOURCE_HPP

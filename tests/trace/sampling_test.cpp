@@ -2,16 +2,23 @@
 // claims the related-work contrast rests on.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "baseline/dinero_sim.hpp"
 #include "common/contracts.hpp"
+#include "dew/session.hpp"
+#include "dew/sweep.hpp"
+#include "support/throttled_source.hpp"
 #include "trace/generator.hpp"
 #include "trace/mediabench.hpp"
 #include "trace/sampling.hpp"
+#include "trace/source.hpp"
 
 namespace {
 
 using namespace dew;
 using namespace dew::trace;
+using test_support::throttled_source;
 
 TEST(TimeSampling, KeepsSystematicWindows) {
     const mem_trace trace = make_sequential_trace(0, 20, 4);
@@ -132,6 +139,88 @@ TEST(TimeSampling, SmallWindowsOverestimateMissRateOfBigCaches) {
     const double sampled_rate = static_cast<double>(sim.stats().misses) /
                                 static_cast<double>(sample.sampled.size());
     EXPECT_GT(sampled_rate, exact_rate);
+}
+
+TEST(TimeSampleSource, ChunkedEqualsEagerAcrossChunkSizes) {
+    const mem_trace trace =
+        make_mediabench_trace(mediabench_app::cjpeg, 20000);
+    const time_sample_spec spec{10, 3, 4};
+    const time_sample_result eager = time_sample(trace, spec);
+
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+        span_source upstream{{trace.data(), trace.size()}};
+        throttled_source throttled{upstream, chunk};
+        time_sample_source sampled{throttled, spec};
+        EXPECT_EQ(drain(sampled), eager.sampled) << "chunk " << chunk;
+        EXPECT_EQ(sampled.source_requests(), trace.size());
+        EXPECT_EQ(sampled.kept(), eager.sampled.size());
+        EXPECT_DOUBLE_EQ(sampled.kept_fraction(), eager.kept_fraction());
+    }
+}
+
+TEST(SetSampleSource, ChunkedEqualsEagerAcrossChunkSizes) {
+    const mem_trace trace =
+        make_mediabench_trace(mediabench_app::mpeg2_dec, 20000);
+    const set_sample_spec spec{256, 16, 8, 5};
+    const set_sample_result eager = set_sample(trace, spec);
+
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+        span_source upstream{{trace.data(), trace.size()}};
+        throttled_source throttled{upstream, chunk};
+        set_sample_source sampled{throttled, spec};
+        EXPECT_EQ(drain(sampled), eager.sampled) << "chunk " << chunk;
+        EXPECT_EQ(sampled.kept(), eager.sampled.size());
+        EXPECT_DOUBLE_EQ(sampled.kept_fraction(), eager.kept_fraction());
+    }
+}
+
+TEST(SampleSources, RejectIllFormedSpecs) {
+    span_source upstream{{}};
+    EXPECT_THROW((time_sample_source{upstream, {0, 1, 0}}),
+                 contract_violation);
+    EXPECT_THROW((time_sample_source{upstream, {4, 5, 0}}),
+                 contract_violation);
+    EXPECT_THROW((set_sample_source{upstream, {60, 32, 8, 0}}),
+                 contract_violation);
+    EXPECT_THROW((set_sample_source{upstream, {64, 32, 8, 9}}),
+                 contract_violation);
+}
+
+TEST(SampleSources, ComposeWithTheChunkedSessionViaTheFilterHook) {
+    // The sweep_request ingestion hook: a session over the full trace with
+    // a set-sampling filter must produce exactly the misses of an eager
+    // sweep over the eagerly-sampled trace.
+    const mem_trace trace =
+        make_mediabench_trace(mediabench_app::djpeg, 25000);
+    const set_sample_spec spec{64, 32, 4, 1};
+
+    core::sweep_request request;
+    request.max_set_exp = 6;
+    request.block_sizes = {16, 32};
+    request.associativities = {2, 4};
+    const core::sweep_result eager =
+        core::run_sweep(set_sample(trace, spec).sampled, request);
+
+    request.filter = [&spec](source& upstream) {
+        return std::make_unique<set_sample_source>(upstream, spec);
+    };
+    const core::sweep_result filtered = core::run_sweep(trace, request);
+
+    ASSERT_EQ(filtered.passes.size(), eager.passes.size());
+    EXPECT_EQ(filtered.requests, eager.requests);
+    for (std::size_t i = 0; i < eager.passes.size(); ++i) {
+        for (unsigned level = 0; level <= 6; ++level) {
+            EXPECT_EQ(filtered.passes[i].misses(
+                          level, filtered.passes[i].associativity()),
+                      eager.passes[i].misses(
+                          level, eager.passes[i].associativity()))
+                << "pass " << i << " level " << level;
+            EXPECT_EQ(filtered.passes[i].misses(level, 1),
+                      eager.passes[i].misses(level, 1));
+        }
+    }
 }
 
 TEST(Extrapolation, ScalesByKeptFraction) {

@@ -2,12 +2,29 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
 #include "trace/generator.hpp"
+#include "trace/mediabench.hpp"
+#include "trace/source.hpp"
 
 namespace {
 
 using namespace dew::trace;
+
+void expect_stats_equal(const trace_stats& a, const trace_stats& b) {
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.ifetches, b.ifetches);
+    EXPECT_EQ(a.unique_blocks, b.unique_blocks);
+    EXPECT_EQ(a.footprint_bytes, b.footprint_bytes);
+    EXPECT_EQ(a.same_block_pairs, b.same_block_pairs);
+    EXPECT_DOUBLE_EQ(a.same_block_fraction, b.same_block_fraction);
+    EXPECT_EQ(a.min_address, b.min_address);
+    EXPECT_EQ(a.max_address, b.max_address);
+}
 
 TEST(Stats, EmptyTrace) {
     const trace_stats stats = compute_stats({}, 4);
@@ -68,6 +85,37 @@ TEST(Stats, UniqueBlockCountMatchesFullStats) {
     const mem_trace trace = make_random_trace(0, 1 << 16, 5000, 3, 4);
     EXPECT_EQ(unique_block_count(trace, 32),
               compute_stats(trace, 32).unique_blocks);
+}
+
+TEST(Stats, StreamingOverloadMatchesEager) {
+    // The streaming overload must agree field for field with the eager one
+    // — including the cross-chunk state (same-block pairs at chunk seams,
+    // the distinct-block set) — at chunk sizes down to one record.
+    const mem_trace trace =
+        make_mediabench_trace(mediabench_app::mpeg2_dec, 20000);
+    const trace_stats eager = compute_stats(trace, 32);
+
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+        span_source src{{trace.data(), trace.size()}};
+        expect_stats_equal(compute_stats(src, 32, chunk), eager);
+    }
+}
+
+TEST(Stats, StreamingOverloadNeverMaterialisesTheTrace) {
+    // A generator source drives the same workload; the streamed stats must
+    // match the eager stats of the materialised equivalent.
+    const mem_trace trace =
+        make_mediabench_trace(mediabench_app::cjpeg, 15000);
+    generator_source src{mediabench_profile(mediabench_app::cjpeg),
+                         default_seed(mediabench_app::cjpeg), trace.size()};
+    expect_stats_equal(compute_stats(src, 16), compute_stats(trace, 16));
+}
+
+TEST(Stats, StreamingRejectsBadArguments) {
+    span_source src{{}};
+    EXPECT_THROW((void)compute_stats(src, 3), dew::contract_violation);
+    EXPECT_THROW((void)compute_stats(src, 32, 0), dew::contract_violation);
 }
 
 TEST(Stats, RejectsNonPow2BlockSize) {
