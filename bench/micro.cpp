@@ -19,6 +19,9 @@
 #include <sstream>
 #include <string_view>
 
+#include <future>
+#include <vector>
+
 #include "baseline/dinero_sim.hpp"
 #include "cache/set_model.hpp"
 #include "cipar/simulator.hpp"
@@ -28,6 +31,7 @@
 #include "lru/janapsatya_sim.hpp"
 #include "phase/representative_sweep.hpp"
 #include "seed_baseline.hpp"
+#include "serve/service.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/compressed_io.hpp"
 #include "trace/mediabench.hpp"
@@ -422,6 +426,91 @@ phase_measurement measure_phase() {
     return m;
 }
 
+// The sweep service under a duplicate-heavy storm: three distinct requests
+// (the shared 6-pass sweep at three depths), each submitted 8x with the
+// workers gated so the duplicates provably coalesce, then the whole storm
+// replayed against the warm cache.  Requests/sec covers both waves —
+// absorption, not raw simulation, is what the service adds; bench_service
+// breaks the same quantities down per phase.
+struct service_measurement {
+    double requests_per_sec{0.0};
+    double cache_hit_rate{0.0};
+    double coalesce_factor{0.0};
+};
+
+service_measurement measure_service() {
+    const trace::mem_trace& trace = bench_trace();
+    serve::service service{
+        {2, 256, serve::overflow_policy::block, {8, 256}}};
+    service.add_trace("micro", trace);
+
+    std::vector<serve::service_request> requests;
+    for (const unsigned exp : {8u, 9u, 10u}) {
+        serve::service_request request;
+        request.sweep = json_sweep_request();
+        request.sweep.max_set_exp = exp;
+        requests.push_back(request);
+    }
+
+    // Exactness first: the service's answer must equal the direct sweep
+    // bit for bit before its throughput means anything.
+    {
+        const serve::service_result answer =
+            service.submit("micro", requests.back()).get();
+        const core::sweep_result direct =
+            core::run_sweep(trace, requests.back().sweep);
+        DEW_ASSERT(answer.sweep->passes.size() == direct.passes.size());
+        for (std::size_t i = 0; i < direct.passes.size(); ++i) {
+            for (unsigned level = 0;
+                 level <= direct.passes[i].max_level(); ++level) {
+                DEW_ASSERT(
+                    answer.sweep->passes[i].misses(
+                        level, direct.passes[i].associativity()) ==
+                    direct.passes[i].misses(
+                        level, direct.passes[i].associativity()));
+                DEW_ASSERT(answer.sweep->passes[i].misses(level, 1) ==
+                           direct.passes[i].misses(level, 1));
+            }
+        }
+    }
+
+    serve::service storm{{2, 256, serve::overflow_policy::block, {8, 256}}};
+    storm.add_trace("micro", trace);
+    constexpr std::size_t storm_duplicates = 8;
+    std::vector<std::future<serve::service_result>> futures;
+    futures.reserve(requests.size() * storm_duplicates * 2);
+    const auto t0 = std::chrono::steady_clock::now();
+    storm.pause();
+    for (std::size_t d = 0; d < storm_duplicates; ++d) {
+        for (const serve::service_request& request : requests) {
+            futures.push_back(storm.submit("micro", request));
+        }
+    }
+    storm.resume();
+    for (std::future<serve::service_result>& future : futures) {
+        (void)future.get();
+    }
+    futures.clear(); // a future is single-get; the replay wave starts fresh
+    for (std::size_t d = 0; d < storm_duplicates; ++d) {
+        for (const serve::service_request& request : requests) {
+            futures.push_back(storm.submit("micro", request));
+        }
+    }
+    for (std::future<serve::service_result>& future : futures) {
+        (void)future.get();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const serve::service_stats stats = storm.stats();
+    service_measurement m;
+    m.requests_per_sec =
+        static_cast<double>(stats.submitted) /
+        std::chrono::duration<double>(t1 - t0).count();
+    m.cache_hit_rate = stats.cache_hit_rate();
+    m.coalesce_factor = stats.coalesce_factor();
+    return m;
+}
+
 void write_micro_json() {
     const trace::mem_trace& trace = bench_trace();
 
@@ -472,6 +561,7 @@ void write_micro_json() {
         measure<cipar::fast_cipar_simulator>(trace);
     const sweep_comparison sweeps = measure_sweeps();
     const phase_measurement phases = measure_phase();
+    const service_measurement serve = measure_service();
 
     std::FILE* out = std::fopen("BENCH_micro.json", "w");
     if (out == nullptr) {
@@ -529,9 +619,15 @@ void write_micro_json() {
     std::fprintf(out, "  \"phase_max_abs_error_pp\": %.4f,\n",
                  phases.max_abs_error_pp);
     std::fprintf(out,
-                 "  \"ratio_phase_rep_vs_streaming_sweep\": %.3f\n",
+                 "  \"ratio_phase_rep_vs_streaming_sweep\": %.3f,\n",
                  phases.accesses_per_sec /
                      sweeps.streaming.accesses_per_sec);
+    std::fprintf(out, "  \"serve_requests_per_sec\": %.1f,\n",
+                 serve.requests_per_sec);
+    std::fprintf(out, "  \"serve_cache_hit_rate\": %.4f,\n",
+                 serve.cache_hit_rate);
+    std::fprintf(out, "  \"serve_coalesce_factor\": %.3f\n",
+                 serve.coalesce_factor);
     std::fprintf(out, "}\n");
     std::fclose(out);
 
@@ -557,6 +653,10 @@ void write_micro_json() {
                 phases.accesses_per_sec / 1e6,
                 phases.accesses_per_sec / sweeps.streaming.accesses_per_sec,
                 phases.max_abs_error_pp);
+    std::printf("sweep service: %.0f req/s over the duplicate storm, cache "
+                "hit rate %.2f, coalesce factor %.2f\n",
+                serve.requests_per_sec, serve.cache_hit_rate,
+                serve.coalesce_factor);
     std::printf("sweep memory: eager %.1f B/ref vs streaming %.2f B/ref "
                 "(x%.0f smaller), throughput %.2fM vs %.2fM acc/s\n\n",
                 sweeps.eager.peak_bytes_per_ref,

@@ -1,0 +1,209 @@
+// bench_service — throughput and absorption of the sweep service under a
+// duplicate-heavy request storm, the regime a design-space-exploration
+// front end produces (many tools asking overlapping questions about a
+// shared trace corpus).
+//
+// Three workload phases over one corpus trace:
+//   cold     every distinct request once — pure simulation, the floor;
+//   storm    every distinct request duplicated D-fold, submitted with the
+//            workers gated so all duplicates are provably in flight —
+//            coalescing absorbs D-1 of every D;
+//   replay   the whole storm again — the cache absorbs everything.
+// Each phase reports requests/sec plus the service's own counters, and an
+// exactness gate first proves a served answer bit-identical to a direct
+// run_sweep.  The serve_* fields of BENCH_micro.json are the same three
+// quantities measured by bench_micro's harness (docs/PERF.md).
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_support/table.hpp"
+#include "common/contracts.hpp"
+#include "dew/sweep.hpp"
+#include "serve/service.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+
+constexpr std::size_t trace_records = 200'000;
+constexpr std::size_t duplicates = 8;
+
+std::vector<serve::service_request> distinct_requests() {
+    std::vector<serve::service_request> requests;
+    for (const core::sweep_engine engine :
+         {core::sweep_engine::dew, core::sweep_engine::cipar}) {
+        for (const unsigned exp : {8u, 10u}) {
+            serve::service_request request;
+            request.sweep.max_set_exp = exp;
+            request.sweep.block_sizes = {16, 32, 64};
+            request.sweep.associativities = {4, 8};
+            request.sweep.engine = engine;
+            requests.push_back(request);
+        }
+    }
+    return requests;
+}
+
+struct phase_numbers {
+    double requests_per_sec{0.0};
+    double cache_hit_rate{0.0};
+    double coalesce_factor{0.0};
+    std::uint64_t computations{0};
+};
+
+phase_numbers run_phase(serve::service& service,
+                        const std::vector<serve::service_request>& requests,
+                        std::size_t repeats, bool gate) {
+    const serve::service_stats before = service.stats();
+    if (gate) {
+        service.pause();
+    }
+    std::vector<std::future<serve::service_result>> futures;
+    futures.reserve(requests.size() * repeats);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t repeat = 0; repeat < repeats; ++repeat) {
+        for (const serve::service_request& request : requests) {
+            futures.push_back(service.submit("corpus", request));
+        }
+    }
+    if (gate) {
+        service.resume();
+    }
+    for (std::future<serve::service_result>& future : futures) {
+        (void)future.get();
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    const serve::service_stats after = service.stats();
+    phase_numbers numbers;
+    numbers.requests_per_sec =
+        static_cast<double>(futures.size()) / seconds;
+    const std::uint64_t submitted = after.submitted - before.submitted;
+    numbers.cache_hit_rate =
+        submitted == 0 ? 0.0
+                       : static_cast<double>(after.cache_hits -
+                                             before.cache_hits) /
+                             static_cast<double>(submitted);
+    const std::uint64_t computations =
+        after.computations - before.computations;
+    numbers.computations = computations;
+    numbers.coalesce_factor =
+        computations == 0
+            ? 1.0
+            : static_cast<double>(computations +
+                                  (after.coalesced - before.coalesced)) /
+                  static_cast<double>(computations);
+    return numbers;
+}
+
+std::string fixed(double value, int digits) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+    return buffer;
+}
+
+} // namespace
+
+int main() {
+    const std::vector<serve::service_request> requests = distinct_requests();
+
+    serve::service service{{2, 256, serve::overflow_policy::block, {8, 256}}};
+    service.add_trace(
+        "corpus",
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg,
+                                     trace_records));
+
+    // Exactness gate: a served answer must equal the direct sweep bit for
+    // bit before any throughput number means anything.
+    {
+        const serve::service_result answer =
+            service.submit("corpus", requests.front()).get();
+        const core::sweep_result direct = core::run_sweep(
+            trace::make_mediabench_trace(trace::mediabench_app::cjpeg,
+                                         trace_records),
+            serve::canonical(requests.front()).sweep);
+        DEW_ASSERT(answer.sweep->passes.size() == direct.passes.size());
+        for (std::size_t i = 0; i < direct.passes.size(); ++i) {
+            for (unsigned level = 0;
+                 level <= direct.passes[i].max_level(); ++level) {
+                DEW_ASSERT(
+                    answer.sweep->passes[i].misses(
+                        level, direct.passes[i].associativity()) ==
+                    direct.passes[i].misses(
+                        level, direct.passes[i].associativity()));
+                DEW_ASSERT(answer.sweep->passes[i].misses(level, 1) ==
+                           direct.passes[i].misses(level, 1));
+            }
+        }
+    }
+
+    std::printf("sweep service: %zu distinct requests (2 engines x 2 "
+                "depths, 6 passes each) over a %zu-record corpus trace, "
+                "x%zu duplicate storm\n\n",
+                requests.size(), trace_records, duplicates);
+
+    // The gate run above already cached requests.front(); fresh services
+    // keep the phases honest: `cold_service` measures pure simulation, and
+    // `storm_service` starts cold so the gated storm is absorbed by
+    // coalescing (not the cache), then replays against its own warm cache.
+    const auto fresh_service = [] {
+        auto service = std::make_unique<serve::service>(
+            serve::service_options{2, 256, serve::overflow_policy::block,
+                                   {8, 256}});
+        service->add_trace(
+            "corpus",
+            trace::make_mediabench_trace(trace::mediabench_app::cjpeg,
+                                         trace_records));
+        return service;
+    };
+    const auto cold_service = fresh_service();
+    const auto storm_service = fresh_service();
+
+    const phase_numbers cold =
+        run_phase(*cold_service, requests, 1, /*gate=*/false);
+    const phase_numbers storm =
+        run_phase(*storm_service, requests, duplicates, /*gate=*/true);
+    const phase_numbers replay =
+        run_phase(*storm_service, requests, duplicates, /*gate=*/false);
+
+    bench::text_table table{{"phase", "requests", "req/s", "hit rate",
+                             "coalesce", "computations"}};
+    table.add_row({"cold", std::to_string(requests.size()),
+                   fixed(cold.requests_per_sec, 1),
+                   fixed(cold.cache_hit_rate, 2),
+                   fixed(cold.coalesce_factor, 2),
+                   std::to_string(cold.computations)});
+    table.add_row({"storm", std::to_string(requests.size() * duplicates),
+                   fixed(storm.requests_per_sec, 1),
+                   fixed(storm.cache_hit_rate, 2),
+                   fixed(storm.coalesce_factor, 2),
+                   std::to_string(storm.computations)});
+    table.add_row({"replay", std::to_string(requests.size() * duplicates),
+                   fixed(replay.requests_per_sec, 1),
+                   fixed(replay.cache_hit_rate, 2),
+                   fixed(replay.coalesce_factor, 2),
+                   std::to_string(replay.computations)});
+    table.print(std::cout);
+
+    const serve::service_stats stats = storm_service->stats();
+    std::printf("\nstorm+replay totals: %llu submitted, %llu computations, "
+                "%llu shard jobs, streams built %llu / reused %llu\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.computations),
+                static_cast<unsigned long long>(stats.shard_jobs),
+                static_cast<unsigned long long>(stats.stream_builds),
+                static_cast<unsigned long long>(stats.stream_reuses));
+    std::printf("storm phase duplicates coalesce %.0f-to-1; replay phase "
+                "answers everything from the cache (hit rate %.2f)\n",
+                storm.coalesce_factor, replay.cache_hit_rate);
+    return 0;
+}

@@ -1,0 +1,355 @@
+// dew_serve — the sweep service as a command-line tool: replay a request
+// workload file against a trace corpus and watch the cache, coalescing and
+// tiers absorb it.
+//
+//   dew_serve <workload-file> [options]
+//     --workers N         worker threads of the pool     (default 2)
+//     --queue N           bounded job-queue capacity     (default 256)
+//     --cache N           result-cache entry capacity    (default 1024)
+//     --save FILE         persist the exact result cache on exit
+//     --load FILE         warm the cache from a previous --save
+//     --demo              run a built-in workload instead of a file
+//
+// Workload file format (one directive per line, '#' comments):
+//   trace <name> <mediabench-app> <records>
+//       registers a generated trace under <name> (apps: cjpeg djpeg
+//       g721_enc g721_dec mpeg2_enc mpeg2_dec)
+//   request <trace> <mode> <engine> <max-set-exp> <blocks> <assocs> [xN]
+//       submits a sweep request (repeated N times with xN): mode is
+//       exact|representative, engine is dew|cipar, blocks/assocs are
+//       comma-separated power-of-two lists
+//
+// Example:
+//   trace jpeg cjpeg 200000
+//   request jpeg exact dew 10 16,32,64 2,4 x8
+//   request jpeg representative dew 10 16,32,64 2,4
+//
+// All requests are submitted asynchronously in file order, then drained;
+// the summary shows how many answers came from simulation, the cache, or a
+// coalesced neighbour.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "trace/digest.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage: dew_serve <workload-file> [--workers N] "
+                 "[--queue N] [--cache N] [--save FILE] [--load FILE] "
+                 "| dew_serve --demo\n");
+    std::exit(2);
+}
+
+std::vector<std::uint32_t> parse_list(const std::string& text) {
+    std::vector<std::uint32_t> values;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item =
+            text.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        // stoul alone accepts "16x" as 16; a typo silently changing the
+        // replayed workload would corrupt every absorption number, so the
+        // whole element must parse.
+        std::size_t consumed = 0;
+        const unsigned long value = std::stoul(item, &consumed);
+        if (consumed != item.size()) {
+            throw std::invalid_argument{"bad list element: " + item};
+        }
+        values.push_back(static_cast<std::uint32_t>(value));
+        if (comma == std::string::npos) {
+            break;
+        }
+        start = comma + 1;
+    }
+    if (values.empty()) {
+        throw std::invalid_argument{"empty list: " + text};
+    }
+    return values;
+}
+
+trace::mediabench_app parse_app(const std::string& name) {
+    const auto lowered = [](std::string text) {
+        for (char& c : text) {
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        return text;
+    };
+    for (const trace::mediabench_app app : trace::all_mediabench_apps) {
+        if (lowered(name) == lowered(trace::short_name(app))) {
+            return app;
+        }
+    }
+    throw std::invalid_argument{"unknown mediabench app: " + name};
+}
+
+const char* demo_workload = R"(# built-in demo: one corpus, duplicate-heavy request storm
+trace jpeg cjpeg 200000
+trace mpeg mpeg2_enc 200000
+request jpeg exact dew 10 16,32,64 2,4 x6
+request jpeg exact cipar 10 16,32,64 2,4 x3
+request jpeg exact dew 8 16,32 2 x4
+request mpeg exact dew 10 16,32,64 2,4 x6
+request jpeg representative dew 10 16,32,64 2,4 x3
+# respelled duplicates of the first request: same cache entries
+request jpeg exact dew 10 64,32,16 4,2 x4
+)";
+
+struct pending {
+    std::string line;
+    std::future<serve::service_result> future;
+};
+
+void replay(std::istream& workload, serve::service& service,
+            std::vector<pending>& submitted) {
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(workload, line)) {
+        ++line_number;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.resize(hash);
+        }
+        std::istringstream fields{line};
+        std::string directive;
+        if (!(fields >> directive)) {
+            continue; // blank or comment
+        }
+        try {
+            if (directive == "trace") {
+                std::string name;
+                std::string app;
+                std::uint64_t records = 0;
+                if (!(fields >> name >> app >> records)) {
+                    throw std::invalid_argument{"malformed trace directive"};
+                }
+                const trace::trace_digest digest = service.add_trace(
+                    name, trace::make_mediabench_trace(
+                              parse_app(app),
+                              static_cast<std::size_t>(records)));
+                std::printf("trace    %-8s %8llu records  digest %s\n",
+                            name.c_str(),
+                            static_cast<unsigned long long>(records),
+                            to_string(digest).c_str());
+            } else if (directive == "request") {
+                std::string trace_name;
+                std::string mode;
+                std::string engine;
+                unsigned max_set_exp = 0;
+                std::string blocks;
+                std::string assocs;
+                if (!(fields >> trace_name >> mode >> engine >> max_set_exp >>
+                      blocks >> assocs)) {
+                    throw std::invalid_argument{
+                        "malformed request directive"};
+                }
+                // The optional tail must be exactly xN with N >= 1; a typo
+                // silently changing the replayed workload would corrupt
+                // every absorption number downstream.
+                std::size_t repeat = 1;
+                std::string tail;
+                if (fields >> tail) {
+                    if (tail.size() < 2 || tail[0] != 'x' ||
+                        tail.find_first_not_of("0123456789", 1) !=
+                            std::string::npos) {
+                        throw std::invalid_argument{
+                            "bad repeat suffix (want xN): " + tail};
+                    }
+                    repeat = std::stoul(tail.substr(1));
+                    if (repeat == 0) {
+                        throw std::invalid_argument{
+                            "repeat suffix x0 would submit nothing"};
+                    }
+                    std::string extra;
+                    if (fields >> extra) {
+                        throw std::invalid_argument{
+                            "trailing fields after repeat suffix: " + extra};
+                    }
+                }
+                serve::service_request request;
+                request.sweep.max_set_exp = max_set_exp;
+                request.sweep.block_sizes = parse_list(blocks);
+                request.sweep.associativities = parse_list(assocs);
+                if (engine == "cipar") {
+                    request.sweep.engine = core::sweep_engine::cipar;
+                } else if (engine != "dew") {
+                    throw std::invalid_argument{"unknown engine: " + engine};
+                }
+                if (mode == "representative") {
+                    request.mode = serve::service_mode::representative;
+                    request.phase.interval_records = 8192;
+                    request.warmup_records = 4096;
+                } else if (mode != "exact") {
+                    throw std::invalid_argument{"unknown mode: " + mode};
+                }
+                for (std::size_t i = 0; i < repeat; ++i) {
+                    submitted.push_back(
+                        {line, service.submit(trace_name, request)});
+                }
+            } else {
+                throw std::invalid_argument{"unknown directive: " +
+                                            directive};
+            }
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "dew_serve: line %zu: %s\n", line_number,
+                         error.what());
+            std::exit(1);
+        }
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string workload_path;
+    std::string save_path;
+    std::string load_path;
+    bool demo = false;
+    serve::service_options options;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const auto value = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    usage();
+                }
+                return argv[++i];
+            };
+            if (arg == "--workers") {
+                options.workers =
+                    static_cast<unsigned>(std::stoul(value()));
+            } else if (arg == "--queue") {
+                options.queue_capacity = std::stoul(value());
+            } else if (arg == "--cache") {
+                options.cache.capacity = std::stoul(value());
+            } else if (arg == "--save") {
+                save_path = value();
+            } else if (arg == "--load") {
+                load_path = value();
+            } else if (arg == "--demo") {
+                demo = true;
+            } else if (!arg.empty() && arg[0] == '-') {
+                usage();
+            } else {
+                workload_path = arg;
+            }
+        }
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "dew_serve: bad option value: %s\n",
+                     error.what());
+        return 2;
+    }
+    // Exactly one workload: a file, or the built-in demo.
+    if (demo ? !workload_path.empty() : workload_path.empty()) {
+        usage();
+    }
+
+    std::optional<serve::service> service_storage;
+    try {
+        service_storage.emplace(options);
+    } catch (const std::exception& error) {
+        // e.g. --workers 0 / --queue 0 / --cache 0.
+        std::fprintf(stderr, "dew_serve: %s\n", error.what());
+        return 2;
+    }
+    serve::service& service = *service_storage;
+    if (!load_path.empty()) {
+        std::ifstream in{load_path, std::ios::binary};
+        if (!in) {
+            std::fprintf(stderr, "dew_serve: cannot read %s\n",
+                         load_path.c_str());
+            return 1;
+        }
+        try {
+            std::printf("cache    warmed with %zu entries from %s\n",
+                        service.load_cache(in), load_path.c_str());
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "dew_serve: %s: %s\n", load_path.c_str(),
+                         error.what());
+            return 1;
+        }
+    }
+
+    std::vector<pending> submitted;
+    const auto start = std::chrono::steady_clock::now();
+    if (demo) {
+        std::istringstream workload{demo_workload};
+        replay(workload, service, submitted);
+    } else {
+        std::ifstream workload{workload_path};
+        if (!workload) {
+            std::fprintf(stderr, "dew_serve: cannot read %s\n",
+                         workload_path.c_str());
+            return 1;
+        }
+        replay(workload, service, submitted);
+    }
+
+    std::size_t simulated = 0;
+    std::size_t from_cache = 0;
+    std::size_t from_coalescing = 0;
+    std::size_t estimates = 0;
+    std::size_t fallbacks = 0;
+    for (pending& p : submitted) {
+        try {
+            const serve::service_result answer = p.future.get();
+            simulated += !answer.cache_hit && !answer.coalesced;
+            from_cache += answer.cache_hit;
+            from_coalescing += answer.coalesced;
+            estimates += answer.estimated;
+            fallbacks += answer.fell_back_exact;
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "dew_serve: request failed (%s): %s\n",
+                         p.line.c_str(), error.what());
+            return 1;
+        }
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    const serve::service_stats stats = service.stats();
+    std::printf("\nanswered %zu requests in %.3f s (%.0f req/s)\n",
+                submitted.size(), seconds,
+                static_cast<double>(submitted.size()) / seconds);
+    std::printf("  simulated %zu, cache hits %zu (rate %.2f), coalesced %zu "
+                "(factor %.2f)\n",
+                simulated, from_cache, stats.cache_hit_rate(),
+                from_coalescing, stats.coalesce_factor());
+    std::printf("  estimates served %zu (exact fallbacks %zu)\n", estimates,
+                fallbacks);
+    std::printf("  computations %llu over %llu shard jobs; streams built "
+                "%llu, reused %llu; evictions %llu\n",
+                static_cast<unsigned long long>(stats.computations),
+                static_cast<unsigned long long>(stats.shard_jobs),
+                static_cast<unsigned long long>(stats.stream_builds),
+                static_cast<unsigned long long>(stats.stream_reuses),
+                static_cast<unsigned long long>(stats.cache_evictions));
+
+    if (!save_path.empty()) {
+        std::ofstream out{save_path, std::ios::binary};
+        if (!out) {
+            std::fprintf(stderr, "dew_serve: cannot write %s\n",
+                         save_path.c_str());
+            return 1;
+        }
+        service.save_cache(out);
+        std::printf("cache    saved to %s\n", save_path.c_str());
+    }
+    return 0;
+}

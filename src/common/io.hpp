@@ -1,0 +1,36 @@
+// Little-endian integer stream writers shared by every binary format in
+// the library (DEWT/DEWC traces, DSWR result records, DSCF cache files).
+// Readers stay format-local: their error types and fault messages differ
+// materially (format_error vs byte-offset-naming runtime_error), and a
+// shared reader would flatten exactly the diagnostics the formats are
+// hardened to give.
+#ifndef DEW_COMMON_IO_HPP
+#define DEW_COMMON_IO_HPP
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+namespace dew {
+
+inline void put_u32_le(std::ostream& out, std::uint32_t value) {
+    std::array<char, 4> bytes{};
+    for (int i = 0; i < 4; ++i) {
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<char>((value >> (8 * i)) & 0xFF);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+inline void put_u64_le(std::ostream& out, std::uint64_t value) {
+    std::array<char, 8> bytes{};
+    for (int i = 0; i < 8; ++i) {
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<char>((value >> (8 * i)) & 0xFF);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace dew
+
+#endif // DEW_COMMON_IO_HPP

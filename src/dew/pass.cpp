@@ -1,0 +1,58 @@
+#include "dew/pass.hpp"
+
+#include <utility>
+
+#include "cipar/simulator.hpp"
+#include "dew/simulator.hpp"
+
+namespace dew::core::detail {
+
+namespace {
+
+// One wrapper serves every engine: DEW and CIPAR share the block-stream
+// contract (simulate_blocks on pre-decoded block numbers) and report the
+// same dew_result shape.
+template <class Sim>
+class engine_pass final : public sweep_pass {
+public:
+    template <class... Args>
+    explicit engine_pass(Args&&... args)
+        : sim_{std::forward<Args>(args)...} {}
+
+    void feed(std::span<const std::uint64_t> blocks) override {
+        sim_.simulate_blocks(blocks);
+    }
+
+    [[nodiscard]] dew_result result() const override { return sim_.result(); }
+
+private:
+    Sim sim_;
+};
+
+} // namespace
+
+std::unique_ptr<sweep_pass> make_sweep_pass(const sweep_request& request,
+                                            std::uint32_t block_size,
+                                            std::uint32_t assoc) {
+    const bool counted =
+        request.instrumentation == sweep_instrumentation::full_counters;
+    if (request.engine == sweep_engine::cipar) {
+        if (counted) {
+            return std::make_unique<engine_pass<
+                cipar::basic_cipar_simulator<cipar::full_counters>>>(
+                request.max_set_exp, assoc, block_size);
+        }
+        return std::make_unique<
+            engine_pass<cipar::basic_cipar_simulator<cipar::fast>>>(
+            request.max_set_exp, assoc, block_size);
+    }
+    if (counted) {
+        return std::make_unique<
+            engine_pass<basic_dew_simulator<full_counters>>>(
+            request.max_set_exp, assoc, block_size, request.options);
+    }
+    return std::make_unique<engine_pass<basic_dew_simulator<fast>>>(
+        request.max_set_exp, assoc, block_size, request.options);
+}
+
+} // namespace dew::core::detail

@@ -1,0 +1,46 @@
+// Type-erased single-pass simulator: one (block size, associativity) pair of
+// a sweep, behind a virtual feed() so chunk loops are engine- and
+// instrumentation-agnostic.  The virtual call is per chunk per pass, far off
+// the per-access hot path.
+//
+// dew::session builds its passes through make_sweep_pass, and the sweep
+// service's shard jobs (src/serve/service.cpp) build the *same* passes over
+// shared pre-decoded block streams — both paths therefore run the identical
+// simulator instantiations, which is what makes "service results are
+// bit-identical to run_sweep" hold by construction rather than by accident.
+#ifndef DEW_DEW_PASS_HPP
+#define DEW_DEW_PASS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "dew/result.hpp"
+#include "dew/sweep.hpp"
+
+namespace dew::core::detail {
+
+class sweep_pass {
+public:
+    virtual ~sweep_pass() = default;
+
+    // Feeds one chunk of the pre-decoded block-number stream (the
+    // simulate_blocks contract).  Chunked feeding is bit-identical to
+    // one-shot feeding, full instrumentation included
+    // (tests/dew/chunked_equivalence_test.cpp).
+    virtual void feed(std::span<const std::uint64_t> blocks) = 0;
+
+    [[nodiscard]] virtual dew_result result() const = 0;
+};
+
+// Instantiates the pass the request selects: engine (dew | cipar) crossed
+// with instrumentation (fast | full_counters), covering set counts
+// 2^0..2^max_set_exp at the given block size and associativity.
+// request.options apply to the DEW engine only.
+[[nodiscard]] std::unique_ptr<sweep_pass>
+make_sweep_pass(const sweep_request& request, std::uint32_t block_size,
+                std::uint32_t assoc);
+
+} // namespace dew::core::detail
+
+#endif // DEW_DEW_PASS_HPP

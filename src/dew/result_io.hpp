@@ -1,6 +1,7 @@
-// Serialisation of DEW results: CSV for spreadsheets/scripts and an
-// aligned text table for terminals.  Kept separate from dew_result so the
-// core stays I/O-free.
+// Serialisation of DEW results: CSV for spreadsheets/scripts, an aligned
+// text table for terminals, and a binary round-trip format for result
+// persistence (the sweep service's on-disk cache).  Kept separate from
+// dew_result so the core stays I/O-free.
 #ifndef DEW_DEW_RESULT_IO_HPP
 #define DEW_DEW_RESULT_IO_HPP
 
@@ -21,6 +22,32 @@ void write_table(std::ostream& out, const dew_result& result);
 
 // One-line instrumentation summary (the Table 3/4 quantities).
 void write_counters(std::ostream& out, const dew_counters& counters);
+
+// --- Binary round trip ------------------------------------------------------
+// Layout (all integers little-endian):
+//   magic         4 bytes  "DSWR"
+//   version       u32      currently 1
+//   payload_bytes u64      bytes following this field
+//   payload:
+//     requests u64, seconds f64 (IEEE-754 bit pattern), pass_count u32,
+//     pass_count x { max_level u32, assoc u32, block u32, requests u64,
+//                    (max_level + 1) x u64 misses_assoc,
+//                    (max_level + 1) x u64 misses_dm,
+//                    11 x u64 dew_counters fields in declaration order }
+//
+// The read path is strict: a truncated stream, a bad magic/version, an
+// implausible field (max_level >= 32, assoc/block of 0, pass_count beyond
+// the declared payload) or a payload_bytes that disagrees with the decoded
+// structure — short *or* over-long — throws std::runtime_error naming the
+// byte offset of the fault.  It never returns a partial result.  Trailing
+// bytes after the declared payload are left unread in the stream, so
+// results can be concatenated (the service's cache file does exactly
+// that).
+inline constexpr char result_magic[4] = {'D', 'S', 'W', 'R'};
+inline constexpr std::uint32_t result_version = 1;
+
+void write_binary_result(std::ostream& out, const sweep_result& result);
+[[nodiscard]] sweep_result read_binary_result(std::istream& in);
 
 } // namespace dew::core
 

@@ -9,46 +9,11 @@
 #include <thread>
 #include <utility>
 
-#include "cipar/simulator.hpp"
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
-#include "dew/simulator.hpp"
+#include "dew/pass.hpp"
 
 namespace dew::core {
-
-namespace detail {
-
-// Type-erased pass: the session holds both instrumentation policies behind
-// one virtual feed() so the chunk loop is policy-agnostic.  The virtual call
-// is per chunk per pass, far off the per-access hot path.
-class sweep_pass {
-public:
-    virtual ~sweep_pass() = default;
-    virtual void feed(std::span<const std::uint64_t> blocks) = 0;
-    [[nodiscard]] virtual dew_result result() const = 0;
-};
-
-// One wrapper serves every engine: DEW and CIPAR share the block-stream
-// contract (simulate_blocks on pre-decoded block numbers) and report the
-// same dew_result shape, so the session's chunk loop is engine-agnostic.
-template <class Sim>
-class engine_pass final : public sweep_pass {
-public:
-    template <class... Args>
-    explicit engine_pass(Args&&... args)
-        : sim_{std::forward<Args>(args)...} {}
-
-    void feed(std::span<const std::uint64_t> blocks) override {
-        sim_.simulate_blocks(blocks);
-    }
-
-    [[nodiscard]] dew_result result() const override { return sim_.result(); }
-
-private:
-    Sim sim_;
-};
-
-} // namespace detail
 
 namespace {
 
@@ -134,30 +99,9 @@ session::session(trace::source& src, const sweep_request& request,
     }
 
     passes_.reserve(keys_.size());
-    const bool counted =
-        request_.instrumentation == sweep_instrumentation::full_counters;
     for (const pass_key& key : keys_) {
-        if (request_.engine == sweep_engine::cipar) {
-            if (counted) {
-                passes_.push_back(std::make_unique<detail::engine_pass<
-                    cipar::basic_cipar_simulator<cipar::full_counters>>>(
-                    request_.max_set_exp, key.assoc, key.block_size));
-            } else {
-                passes_.push_back(std::make_unique<detail::engine_pass<
-                    cipar::basic_cipar_simulator<cipar::fast>>>(
-                    request_.max_set_exp, key.assoc, key.block_size));
-            }
-        } else if (counted) {
-            passes_.push_back(std::make_unique<
-                detail::engine_pass<basic_dew_simulator<full_counters>>>(
-                request_.max_set_exp, key.assoc, key.block_size,
-                request_.options));
-        } else {
-            passes_.push_back(std::make_unique<
-                detail::engine_pass<basic_dew_simulator<fast>>>(
-                request_.max_set_exp, key.assoc, key.block_size,
-                request_.options));
-        }
+        passes_.push_back(
+            detail::make_sweep_pass(request_, key.block_size, key.assoc));
     }
 
     const bool threaded = request_.threads > 0 && passes_.size() > 1;
@@ -261,6 +205,14 @@ void session::feed_threaded(std::span<const trace::mem_access> chunk) {
 }
 
 bool session::step() {
+    // Post-exhaustion stepping is well-defined either way the stream ended:
+    // a drained session keeps returning false, a failed session keeps
+    // rethrowing the fault that stopped it.  A scheduler re-polling sessions
+    // therefore observes the original error on every poll instead of a
+    // silent end-of-stream.
+    if (error_) {
+        std::rethrow_exception(error_);
+    }
     if (exhausted_) {
         return false;
     }
@@ -281,9 +233,10 @@ bool session::step() {
         }
     } catch (...) {
         // A partially-fed chunk leaves the passes inconsistent with each
-        // other; refuse further stepping so the fault cannot be papered
-        // over by continuing the stream.
+        // other; refuse further simulation and store the fault so every
+        // later step() rethrows it instead of reporting end-of-stream.
         exhausted_ = true;
+        error_ = std::current_exception();
         throw;
     }
     const auto stop = std::chrono::steady_clock::now();
@@ -306,6 +259,12 @@ std::size_t session::buffer_bytes() const noexcept {
 }
 
 sweep_result session::result() const {
+    // A failed step leaves the passes inconsistent with each other (the
+    // chunk was partially fed); handing out a result would paper over
+    // exactly the fault step() stores.  Rethrow it here too.
+    if (error_) {
+        std::rethrow_exception(error_);
+    }
     sweep_result out;
     out.requests = requests_;
     out.seconds = seconds_;

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <vector>
 
@@ -34,8 +35,8 @@
 namespace dew::core {
 
 namespace detail {
-// Type-erased simulator pass (one basic_dew_simulator instantiation);
-// defined in session.cpp.
+// Type-erased simulator pass (one engine x instrumentation instantiation);
+// defined in dew/pass.hpp.
 class sweep_pass;
 } // namespace detail
 
@@ -66,7 +67,11 @@ public:
     session& operator=(const session&) = delete;
 
     // Pulls and simulates one chunk; returns false once the source is
-    // exhausted (and never simulates again after that).
+    // exhausted (and never simulates again after that).  Post-exhaustion
+    // stepping is idempotent: a drained session keeps returning false and a
+    // failed session rethrows the stored fault on every call — schedulers
+    // that re-poll sessions see the original error, never a silent
+    // end-of-stream.
     bool step();
 
     // Drains the source: step() until end-of-stream.
@@ -76,6 +81,12 @@ public:
     [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
     [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
     [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+
+    // True iff a step threw: the session is exhausted and every further
+    // step() rethrows the stored exception.
+    [[nodiscard]] bool failed() const noexcept {
+        return error_ != nullptr;
+    }
 
     // Current resident bytes of the session's chunk and stream buffers —
     // the quantity session_options::chunk_records bounds.  Independent of
@@ -88,7 +99,10 @@ public:
     }
 
     // Exact results of everything simulated so far, in the same pass order
-    // run_sweep reports (block-major, then associativity).
+    // run_sweep reports (block-major, then associativity).  On a failed
+    // session this rethrows the stored fault instead of returning
+    // cross-pass-inconsistent counts (a partially-fed chunk advanced some
+    // passes but not others).
     [[nodiscard]] sweep_result result() const;
 
 private:
@@ -123,6 +137,7 @@ private:
     std::uint64_t requests_{0};
     std::size_t steps_{0};
     bool exhausted_{false};
+    std::exception_ptr error_; // set iff a step threw; rethrown on re-step
     double seconds_{0.0};
 };
 

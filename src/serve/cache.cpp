@@ -1,0 +1,217 @@
+#include "serve/cache.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/io.hpp"
+#include "dew/result_io.hpp"
+
+namespace dew::serve {
+
+// Cache file layout (all integers little-endian):
+//   magic   4 bytes  "DSCF"
+//   version u32      currently 1
+//   count   u64      number of entries
+//   entries count x { key 4 x u64 (trace digest words, fingerprint words),
+//                     one dew::core result record ("DSWR", self-delimiting) }
+// Trailing bytes after the last entry are rejected: the file is the whole
+// stream, so anything after `count` entries is corruption, not framing.
+namespace {
+
+constexpr char cache_magic[4] = {'D', 'S', 'C', 'F'};
+constexpr std::uint32_t cache_version = 1;
+
+// Little-endian writers shared with every other binary format.
+using dew::put_u32_le;
+using dew::put_u64_le;
+
+// `where` names the field and, for fixed-offset header fields, its byte
+// offset; entry-relative faults are located by the entry ordinal the
+// caller prefixes.
+std::uint64_t get_u64(std::istream& in, const char* where) {
+    std::array<char, 8> bytes{};
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (in.gcount() != static_cast<std::streamsize>(bytes.size())) {
+        throw std::runtime_error{"truncated cache file: " +
+                                 std::string{where} + " needs 8 bytes"};
+    }
+    std::uint64_t value = 0;
+    for (std::size_t i = 8; i-- > 0;) {
+        value = (value << 8) | static_cast<unsigned char>(bytes[i]);
+    }
+    return value;
+}
+
+} // namespace
+
+result_cache::result_cache(cache_options options) {
+    if (options.shards == 0) {
+        throw std::invalid_argument{"cache_options::shards must be > 0"};
+    }
+    if (options.capacity == 0) {
+        throw std::invalid_argument{"cache_options::capacity must be > 0"};
+    }
+    const std::size_t shard_count = std::bit_ceil(options.shards);
+    shard_capacity_ =
+        (options.capacity + shard_count - 1) / shard_count; // >= 1
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+        shards_.push_back(std::make_unique<shard>());
+    }
+}
+
+result_cache::shard&
+result_cache::shard_of(const request_key& key) noexcept {
+    return *shards_[request_key_hash{}(key) & (shards_.size() - 1)];
+}
+
+const result_cache::shard&
+result_cache::shard_of(const request_key& key) const noexcept {
+    return *shards_[request_key_hash{}(key) & (shards_.size() - 1)];
+}
+
+std::shared_ptr<const cached_value>
+result_cache::find(const request_key& key) {
+    shard& s = shard_of(key);
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void result_cache::insert(const request_key& key,
+                          std::shared_ptr<const cached_value> value) {
+    shard& s = shard_of(key);
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    const auto [it, inserted] = s.map.try_emplace(key, std::move(value));
+    if (!inserted) {
+        // A duplicate of an existing answer (two racing computations of the
+        // same key compute bit-identical payloads); keep the incumbent and
+        // its FIFO position.
+        return;
+    }
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    s.fifo.push_back(key);
+    while (s.map.size() > shard_capacity_) {
+        s.map.erase(s.fifo.front());
+        s.fifo.pop_front();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+cache_stats result_cache::stats() const {
+    cache_stats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.insertions = insertions_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    out.entries = size();
+    return out;
+}
+
+std::size_t result_cache::size() const {
+    std::size_t total = 0;
+    for (const std::unique_ptr<shard>& s : shards_) {
+        const std::lock_guard<std::mutex> lock{s->mutex};
+        total += s->map.size();
+    }
+    return total;
+}
+
+void result_cache::clear() {
+    for (const std::unique_ptr<shard>& s : shards_) {
+        const std::lock_guard<std::mutex> lock{s->mutex};
+        s->map.clear();
+        s->fifo.clear();
+    }
+}
+
+void result_cache::save(std::ostream& out) const {
+    // Snapshot the exact entries shard by shard; persistence is an offline
+    // operation, so briefly holding each shard lock in turn is fine.
+    std::vector<std::pair<request_key, std::shared_ptr<const cached_value>>>
+        entries;
+    for (const std::unique_ptr<shard>& s : shards_) {
+        const std::lock_guard<std::mutex> lock{s->mutex};
+        for (const request_key& key : s->fifo) {
+            const auto it = s->map.find(key);
+            if (it != s->map.end() && it->second->sweep &&
+                !it->second->estimated) {
+                entries.emplace_back(key, it->second);
+            }
+        }
+    }
+    out.write(cache_magic, sizeof(cache_magic));
+    put_u32_le(out, cache_version);
+    put_u64_le(out, entries.size());
+    for (const auto& [key, value] : entries) {
+        put_u64_le(out, key.trace.words[0]);
+        put_u64_le(out, key.trace.words[1]);
+        put_u64_le(out, key.request[0]);
+        put_u64_le(out, key.request[1]);
+        core::write_binary_result(out, *value->sweep);
+    }
+}
+
+std::size_t result_cache::load(std::istream& in) {
+    std::array<char, 8> header{};
+    in.read(header.data(), static_cast<std::streamsize>(header.size()));
+    if (in.gcount() != static_cast<std::streamsize>(header.size())) {
+        throw std::runtime_error{
+            "truncated cache file: header needs 8 bytes, stream ended at "
+            "byte offset " + std::to_string(in.gcount())};
+    }
+    if (std::memcmp(header.data(), cache_magic, sizeof(cache_magic)) != 0) {
+        throw std::runtime_error{
+            "bad cache file magic at byte offset 0 (want \"DSCF\")"};
+    }
+    std::uint32_t version = 0;
+    for (std::size_t i = 8; i-- > 4;) {
+        version = (version << 8) | static_cast<unsigned char>(header[i]);
+    }
+    if (version != cache_version) {
+        throw std::runtime_error{"unsupported cache file version " +
+                                 std::to_string(version) +
+                                 " at byte offset 4"};
+    }
+    const std::uint64_t count = get_u64(in, "entry count at byte offset 8");
+    std::size_t loaded = 0;
+    for (std::uint64_t entry = 0; entry < count; ++entry) {
+        request_key key;
+        // Offsets of later entries depend on variable-length payloads; the
+        // entry ordinal locates the fault, the nested reader the byte.
+        try {
+            key.trace.words[0] = get_u64(in, "trace digest");
+            key.trace.words[1] = get_u64(in, "trace digest");
+            key.request[0] = get_u64(in, "request fingerprint");
+            key.request[1] = get_u64(in, "request fingerprint");
+            auto value = std::make_shared<cached_value>();
+            value->sweep = std::make_shared<const core::sweep_result>(
+                core::read_binary_result(in));
+            insert(key, std::move(value));
+        } catch (const std::runtime_error& error) {
+            throw std::runtime_error{
+                "cache file entry " + std::to_string(entry) + " of " +
+                std::to_string(count) + ": " + error.what()};
+        }
+        ++loaded;
+    }
+    if (in.peek() != std::istream::traits_type::eof()) {
+        throw std::runtime_error{
+            "over-long cache file: trailing bytes after the declared " +
+            std::to_string(count) + " entries"};
+    }
+    return loaded;
+}
+
+} // namespace dew::serve

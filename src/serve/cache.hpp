@@ -1,0 +1,114 @@
+// Sharded, capacity-bounded result cache of the sweep service.
+//
+// The map is (trace digest, request fingerprint) -> answered result.  Keys
+// spread over independently-locked shards (the key hash is already
+// avalanche-mixed, so the low bits shard evenly) and each shard evicts in
+// FIFO order once its slice of the capacity fills — the same replacement
+// discipline the simulated caches use, and the right one here too: sweep
+// answers do not age, they are either still asked for or not.
+//
+// Values are shared_ptr-to-const: a hit hands out a reference to the cached
+// payload, eviction never invalidates a result a caller still holds, and
+// concurrent readers share one immutable object.  Hit/miss/insert/evict
+// counters are atomics readable while the cache is hot.
+//
+// Persistence reuses dew::result_io's hardened binary round trip: save()
+// writes every *exact* entry (estimates are cheap to recompute and carry
+// analysis state that is not worth freezing), load() re-inserts them and
+// rejects malformed input with the byte-offset-naming errors of
+// read_binary_result.
+#ifndef DEW_SERVE_CACHE_HPP
+#define DEW_SERVE_CACHE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dew/sweep.hpp"
+#include "phase/representative_sweep.hpp"
+#include "serve/key.hpp"
+
+namespace dew::serve {
+
+struct cache_options {
+    // Independently-locked shards; rounded up to a power of two, >= 1.
+    std::size_t shards{8};
+    // Maximum cached entries across all shards (split evenly; each shard
+    // holds at least one).  Must be > 0.
+    std::size_t capacity{1024};
+};
+
+// One answered request.  Exactly one of `sweep` / `estimate` is the primary
+// payload; a representative answer that fell back to exact carries the
+// exact sweep (that is what was served) with fell_back_exact set.
+struct cached_value {
+    std::shared_ptr<const core::sweep_result> sweep;
+    std::shared_ptr<const phase::representative_sweep_result> estimate;
+    bool estimated{false};
+    bool fell_back_exact{false};
+    double max_abs_error_pp{0.0};
+};
+
+struct cache_stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t insertions{0};
+    std::uint64_t evictions{0};
+    std::uint64_t entries{0}; // current
+};
+
+class result_cache {
+public:
+    // Throws std::invalid_argument on zero shards or capacity.
+    explicit result_cache(cache_options options = {});
+
+    // nullptr on miss.  Counts a hit or a miss.
+    [[nodiscard]] std::shared_ptr<const cached_value>
+    find(const request_key& key);
+
+    // Inserts (or replaces — idempotent for identical keys, which concurrent
+    // duplicate computations can produce) and evicts the shard's oldest
+    // entry when its slice of the capacity is full.
+    void insert(const request_key& key,
+                std::shared_ptr<const cached_value> value);
+
+    [[nodiscard]] cache_stats stats() const;
+    [[nodiscard]] std::size_t size() const;
+    void clear();
+
+    // Exact entries only; format documented in cache.cpp.  load() returns
+    // the number of entries inserted and throws std::runtime_error on
+    // malformed input (byte-offset-naming, via read_binary_result) without
+    // mutating the cache for entries past the fault.
+    void save(std::ostream& out) const;
+    std::size_t load(std::istream& in);
+
+private:
+    struct shard {
+        mutable std::mutex mutex;
+        std::unordered_map<request_key, std::shared_ptr<const cached_value>,
+                           request_key_hash>
+            map;
+        std::deque<request_key> fifo; // insertion order, oldest first
+    };
+
+    [[nodiscard]] shard& shard_of(const request_key& key) noexcept;
+    [[nodiscard]] const shard& shard_of(const request_key& key) const noexcept;
+
+    std::size_t shard_capacity_;
+    std::vector<std::unique_ptr<shard>> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> insertions_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace dew::serve
+
+#endif // DEW_SERVE_CACHE_HPP

@@ -1,0 +1,104 @@
+// Content-addressed request identity for the sweep service.
+//
+// A service request is answered from cache, or coalesced with an in-flight
+// duplicate, iff it is *semantically* the same question about the same
+// trace.  Two layers make that precise:
+//
+//   1. canonical() — the request normal form.  Grids are sorted and
+//      deduplicated (a sweep's answer is a set of configurations, not a
+//      listing order) and `threads` is zeroed (parallelism is the service's
+//      concern and results are bit-identical regardless — the session test
+//      suite proves it).  Everything that can change a single answered bit
+//      — engine, instrumentation policy, dew_options, max_set_exp, the
+//      grids, the service tier and its phase/warmup/error-budget knobs — is
+//      preserved.  The service executes the canonical form, so the result
+//      handed back is exactly run_sweep(trace, canonical(request.sweep)).
+//   2. fingerprint() — a 128-bit hash of the canonical form.  Keys compare
+//      by full (trace digest, fingerprint) value, 256 bits total, so a
+//      collision needs simultaneous 128+128-bit coincidence.
+//
+// Requests carrying a stream_filter are rejected (std::invalid_argument):
+// a filter is an opaque callable, two of them cannot be proven equal, and
+// caching under an unprovable identity would serve wrong answers.  Filtered
+// sweeps stay on the direct run_sweep path.
+#ifndef DEW_SERVE_KEY_HPP
+#define DEW_SERVE_KEY_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "dew/sweep.hpp"
+#include "phase/options.hpp"
+#include "trace/digest.hpp"
+
+namespace dew::serve {
+
+// Which tier answers the request: `exact` simulates every reference through
+// the engine the sweep names; `representative` serves phase-analysis
+// estimates (src/phase/) and falls back to exact when the calibrated error
+// exceeds the request's budget.
+enum class service_mode : std::uint8_t {
+    exact = 0,
+    representative = 1,
+};
+
+struct service_request {
+    // The configuration grid, engine, instrumentation and dew_options of
+    // the sweep.  `threads` is ignored (the service owns parallelism) and
+    // `filter` must be empty (see above).
+    core::sweep_request sweep{};
+    service_mode mode{service_mode::exact};
+
+    // Representative tier only (ignored — and excluded from the request
+    // identity — in exact mode):
+    phase::phase_options phase{};
+    std::uint64_t warmup_records{2048};
+    // > 0: the representative sweep runs calibrated and the service falls
+    // back to the exact result when the measured error exceeds this budget
+    // (miss-rate percentage points).  <= 0: the estimate is served
+    // uncalibrated — the cheap tier, no accuracy statement.
+    double error_budget_pp{2.0};
+};
+
+// Normal forms (see above).  Throws std::invalid_argument on an ill-formed
+// sweep grid (validate(sweep_request)) or a non-empty stream filter.
+[[nodiscard]] core::sweep_request canonical(const core::sweep_request& sweep);
+[[nodiscard]] service_request canonical(const service_request& request);
+
+// 128-bit fingerprint of canonical(request).  phase_options::chunk_records
+// is excluded: like `threads`, it is a buffering knob proven not to change
+// a single output bit.
+[[nodiscard]] std::array<std::uint64_t, 2>
+fingerprint(const service_request& request);
+
+// The same fingerprint for a request already in canonical form — skips the
+// normalisation copy/sort/validate, which matters on the service's
+// cache-hit fast path.  Precondition: request came from canonical().
+[[nodiscard]] std::array<std::uint64_t, 2>
+fingerprint_canonical(const service_request& request);
+
+// The cache / coalescing key: what trace, what question.
+struct request_key {
+    trace::trace_digest trace{};
+    std::array<std::uint64_t, 2> request{};
+
+    friend bool operator==(const request_key&, const request_key&) = default;
+};
+
+struct request_key_hash {
+    [[nodiscard]] std::size_t
+    operator()(const request_key& key) const noexcept {
+        // The fingerprint words are already avalanche-mixed; fold all four.
+        return static_cast<std::size_t>(
+            key.trace.words[0] ^ (key.trace.words[1] << 1) ^
+            key.request[0] ^ (key.request[1] >> 1));
+    }
+};
+
+[[nodiscard]] request_key make_key(const trace::trace_digest& digest,
+                                   const service_request& request);
+
+} // namespace dew::serve
+
+#endif // DEW_SERVE_KEY_HPP

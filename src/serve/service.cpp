@@ -1,0 +1,617 @@
+#include "serve/service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "dew/pass.hpp"
+#include "phase/representative_sweep.hpp"
+#include "trace/digest.hpp"
+
+namespace dew::serve {
+
+namespace {
+
+service_result to_result(const cached_value& value) {
+    service_result out;
+    out.sweep = value.sweep;
+    out.estimate = value.estimate;
+    out.estimated = value.estimated;
+    out.fell_back_exact = value.fell_back_exact;
+    out.max_abs_error_pp = value.max_abs_error_pp;
+    return out;
+}
+
+} // namespace
+
+// One registered trace: the records, their content digest, and the lazily-
+// built block-number streams shared by every request that touches the trace.
+struct service::trace_entry {
+    std::string name;
+    trace::mem_trace records;
+    trace::trace_digest digest;
+    // Guards the `streams` map only — never a decode.  Each slot is a
+    // shared_future so a (trace, block size) stream is built exactly once
+    // no matter how many jobs race for it, while decodes of *different*
+    // block sizes run in parallel (the whole point of the one-shard-per-
+    // block-size fan-out on a cold trace).
+    std::mutex stream_mutex;
+    std::unordered_map<
+        unsigned,
+        std::shared_future<std::shared_ptr<const std::vector<std::uint64_t>>>>
+        streams; // keyed by log2(block size)
+};
+
+// One coalesced computation: every submit of the same key while this flight
+// is in the air appends a promise instead of new work.
+struct service::flight {
+    service_request request; // canonical form — what actually runs
+    request_key key;
+    std::shared_ptr<trace_entry> trace;
+    std::chrono::steady_clock::time_point start;
+
+    std::mutex mutex; // guards waiters / shard_results / value / error
+    std::vector<std::promise<service_result>> waiters; // [0] = initiator
+    // Exact tier: one slot per distinct block size (canonical grids are
+    // sorted and unique), each filled by one shard job.
+    std::vector<std::vector<core::dew_result>> shard_results;
+    cached_value value;
+    std::exception_ptr error; // first failing job wins
+
+    std::atomic<std::size_t> remaining{0}; // jobs not yet finished
+};
+
+struct service::job {
+    std::shared_ptr<flight> target;
+    std::size_t shard{0}; // exact tier: index into sweep.block_sizes
+};
+
+struct service::state {
+    service_options options;
+    result_cache cache;
+
+    mutable std::mutex traces_mutex;
+    std::unordered_map<std::string, std::shared_ptr<trace_entry>> traces;
+
+    std::mutex flights_mutex;
+    std::unordered_map<request_key, std::shared_ptr<flight>,
+                       request_key_hash>
+        flights;
+
+    std::mutex queue_mutex;
+    std::condition_variable queue_space_cv; // submitters wait for room
+    std::condition_variable queue_work_cv;  // workers wait for jobs
+    std::condition_variable idle_cv;        // drain() waits here
+    std::deque<job> queue;
+    std::size_t active_jobs{0};
+    // Flights registered but not yet finished/failed — guarded by
+    // queue_mutex so drain() can wait on it.  Covers the window where a
+    // blocking-mode submit is still pushing a flight's later shard jobs
+    // while the earlier ones already ran (queue empty + no active job does
+    // NOT imply that flight is done).
+    std::size_t open_flights{0};
+    bool paused{false};
+    bool stop{false};
+    std::vector<std::thread> workers;
+
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> coalesced{0};
+    std::atomic<std::uint64_t> computations{0};
+    std::atomic<std::uint64_t> shard_jobs{0};
+    std::atomic<std::uint64_t> stream_builds{0};
+    std::atomic<std::uint64_t> stream_reuses{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> representative_served{0};
+    std::atomic<std::uint64_t> exact_fallbacks{0};
+
+    explicit state(const service_options& opts)
+        : options{opts}, cache{opts.cache} {}
+
+    // An already-ready future answering from the cache.
+    [[nodiscard]] std::future<service_result>
+    answer_from_cache(const std::shared_ptr<const cached_value>& cached) {
+        std::promise<service_result> promise;
+        service_result result = to_result(*cached);
+        result.cache_hit = true;
+        std::future<service_result> future = promise.get_future();
+        promise.set_value(std::move(result));
+        cache_hits.fetch_add(1, std::memory_order_relaxed);
+        completed.fetch_add(1, std::memory_order_relaxed);
+        return future;
+    }
+
+    [[nodiscard]] std::shared_ptr<const std::vector<std::uint64_t>>
+    block_stream(trace_entry& entry, std::uint32_t block_size) {
+        const unsigned bits = log2_exact(block_size);
+        std::promise<std::shared_ptr<const std::vector<std::uint64_t>>>
+            promise;
+        std::shared_future<std::shared_ptr<const std::vector<std::uint64_t>>>
+            future;
+        bool builder = false;
+        {
+            const std::lock_guard<std::mutex> lock{entry.stream_mutex};
+            const auto it = entry.streams.find(bits);
+            if (it != entry.streams.end()) {
+                future = it->second;
+            } else {
+                future = promise.get_future().share();
+                entry.streams.emplace(bits, future);
+                builder = true;
+            }
+        }
+        if (!builder) {
+            // Either already decoded or being decoded by another worker;
+            // both count as a decode avoided.
+            stream_reuses.fetch_add(1, std::memory_order_relaxed);
+            return future.get();
+        }
+        stream_builds.fetch_add(1, std::memory_order_relaxed);
+        try {
+            auto stream =
+                std::make_shared<const std::vector<std::uint64_t>>(
+                    trace::block_numbers(
+                        {entry.records.data(), entry.records.size()}, bits));
+            promise.set_value(stream);
+            return stream;
+        } catch (...) {
+            // Unpublish the slot so a later job retries the decode; jobs
+            // already waiting on the future see this failure.
+            promise.set_exception(std::current_exception());
+            const std::lock_guard<std::mutex> lock{entry.stream_mutex};
+            entry.streams.erase(bits);
+            throw;
+        }
+    }
+
+    // One shard of an exact flight: every associativity pass of one block
+    // size, fed the shared pre-decoded stream in one shot (chunked feeding
+    // is bit-identical, so this equals the session's chunk loop).
+    void run_exact_shard(flight& f, std::size_t shard) {
+        const std::uint32_t block = f.request.sweep.block_sizes[shard];
+        const auto stream = block_stream(*f.trace, block);
+        std::vector<core::dew_result> results;
+        results.reserve(f.request.sweep.associativities.size());
+        for (const std::uint32_t assoc : f.request.sweep.associativities) {
+            const auto pass =
+                core::detail::make_sweep_pass(f.request.sweep, block, assoc);
+            pass->feed({stream->data(), stream->size()});
+            results.push_back(pass->result());
+        }
+        const std::lock_guard<std::mutex> lock{f.mutex};
+        f.shard_results[shard] = std::move(results);
+    }
+
+    // Serial exact sweep over the shared streams — the representative
+    // tier's fallback path.  Same passes, same order as the shard path.
+    [[nodiscard]] std::shared_ptr<const core::sweep_result>
+    exact_sweep(flight& f) {
+        auto sweep = std::make_shared<core::sweep_result>();
+        sweep->requests = f.trace->records.size();
+        for (const std::uint32_t block : f.request.sweep.block_sizes) {
+            const auto stream = block_stream(*f.trace, block);
+            for (const std::uint32_t assoc :
+                 f.request.sweep.associativities) {
+                const auto pass = core::detail::make_sweep_pass(
+                    f.request.sweep, block, assoc);
+                pass->feed({stream->data(), stream->size()});
+                sweep->passes.push_back(pass->result());
+            }
+        }
+        sweep->seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - f.start)
+                             .count();
+        return sweep;
+    }
+
+    void run_representative(flight& f) {
+        phase::representative_sweep_request rep;
+        rep.sweep = f.request.sweep;
+        rep.phase = f.request.phase;
+        rep.warmup_records = f.request.warmup_records;
+        rep.calibrate = f.request.error_budget_pp > 0.0;
+        auto estimate =
+            std::make_shared<const phase::representative_sweep_result>(
+                phase::representative_sweep(f.trace->records, rep));
+        cached_value value;
+        value.estimate = estimate;
+        value.estimated = true;
+        value.max_abs_error_pp = estimate->max_abs_error_pp;
+        if (rep.calibrate &&
+            estimate->max_abs_error_pp > f.request.error_budget_pp) {
+            value.sweep = exact_sweep(f);
+            value.fell_back_exact = true;
+            exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            representative_served.fetch_add(1, std::memory_order_relaxed);
+        }
+        const std::lock_guard<std::mutex> lock{f.mutex};
+        f.value = std::move(value);
+    }
+
+    void run_job(const job& j) {
+        shard_jobs.fetch_add(1, std::memory_order_relaxed);
+        flight& f = *j.target;
+        try {
+            if (f.request.mode == service_mode::representative) {
+                run_representative(f);
+            } else {
+                run_exact_shard(f, j.shard);
+            }
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock{f.mutex};
+            if (!f.error) {
+                f.error = std::current_exception();
+            }
+        }
+        if (f.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            finish(j.target);
+        }
+    }
+
+    // Last job of a flight: assemble, cache, unmap, fulfil every waiter —
+    // in that order.  The result enters the cache *before* the flight
+    // leaves the in-flight map, so a submit racing with completion either
+    // coalesces (flight still mapped) or hits the cache: there is no window
+    // in which a duplicate restarts an already-answered computation.
+    // (A failed flight is the exception: it is unmapped without caching,
+    // so the next submit retries rather than being served a poisoned
+    // entry.)
+    void finish(const std::shared_ptr<flight>& f) {
+        std::exception_ptr error;
+        cached_value value;
+        {
+            const std::lock_guard<std::mutex> lock{f->mutex};
+            error = f->error;
+            if (!error && f->request.mode == service_mode::exact) {
+                auto sweep = std::make_shared<core::sweep_result>();
+                sweep->requests = f->trace->records.size();
+                sweep->passes.reserve(
+                    f->request.sweep.block_sizes.size() *
+                    f->request.sweep.associativities.size());
+                for (std::vector<core::dew_result>& shard :
+                     f->shard_results) {
+                    for (core::dew_result& pass : shard) {
+                        sweep->passes.push_back(std::move(pass));
+                    }
+                }
+                sweep->seconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - f->start)
+                        .count();
+                f->value.sweep = std::move(sweep);
+            }
+            value = f->value; // shared payload; waiters and cache alias it
+        }
+        if (!error) {
+            computations.fetch_add(1, std::memory_order_relaxed);
+            cache.insert(f->key,
+                         std::make_shared<const cached_value>(value));
+        }
+        {
+            const std::lock_guard<std::mutex> lock{flights_mutex};
+            flights.erase(f->key);
+        }
+        std::vector<std::promise<service_result>> waiters;
+        {
+            // No joiner can arrive past this point (the flight is
+            // unmapped); everyone who did is in this vector.
+            const std::lock_guard<std::mutex> lock{f->mutex};
+            waiters = std::move(f->waiters);
+        }
+        // Counted before the promises fire: a caller returning from get()
+        // must observe itself in `completed`.
+        completed.fetch_add(waiters.size(), std::memory_order_relaxed);
+        if (error) {
+            for (std::promise<service_result>& waiter : waiters) {
+                waiter.set_exception(error);
+            }
+        } else {
+            for (std::size_t i = 0; i < waiters.size(); ++i) {
+                service_result result = to_result(value);
+                result.coalesced = i > 0;
+                waiters[i].set_value(std::move(result));
+            }
+        }
+        close_flight();
+    }
+
+    void close_flight() {
+        const std::lock_guard<std::mutex> lock{queue_mutex};
+        --open_flights;
+        if (open_flights == 0 && queue.empty() && active_jobs == 0) {
+            idle_cv.notify_all();
+        }
+    }
+
+    // Queue the flight's jobs under the backpressure policy.  Throws
+    // service_overloaded (fail-fast, or a request wider than the whole
+    // queue); the caller unwinds the flight.
+    void enqueue(const std::shared_ptr<flight>& f, std::size_t jobs) {
+        std::unique_lock<std::mutex> lock{queue_mutex};
+        if (options.overflow == overflow_policy::fail_fast) {
+            if (queue.size() + jobs > options.queue_capacity) {
+                rejected.fetch_add(1, std::memory_order_relaxed);
+                throw service_overloaded{
+                    "serve: job queue full (" +
+                    std::to_string(queue.size()) + " of " +
+                    std::to_string(options.queue_capacity) +
+                    " slots taken, request needs " + std::to_string(jobs) +
+                    ")"};
+            }
+            for (std::size_t i = 0; i < jobs; ++i) {
+                queue.push_back({f, i});
+            }
+        } else {
+            for (std::size_t i = 0; i < jobs; ++i) {
+                queue_space_cv.wait(lock, [&] {
+                    return queue.size() < options.queue_capacity;
+                });
+                queue.push_back({f, i});
+                queue_work_cv.notify_one();
+            }
+        }
+        queue_work_cv.notify_all();
+    }
+
+    // Unwind a flight whose jobs could not be queued: out of the in-flight
+    // map first (no new joiners), then every waiter — including coalescers
+    // that joined while we were trying — sees the failure.
+    void fail_flight(const std::shared_ptr<flight>& f,
+                     const std::exception_ptr& error) {
+        {
+            const std::lock_guard<std::mutex> lock{flights_mutex};
+            flights.erase(f->key);
+        }
+        std::vector<std::promise<service_result>> waiters;
+        {
+            const std::lock_guard<std::mutex> lock{f->mutex};
+            waiters = std::move(f->waiters);
+        }
+        // Unwound submissions are still completed submissions: the
+        // submitted/completed balance must survive a rejection.
+        completed.fetch_add(waiters.size(), std::memory_order_relaxed);
+        for (std::promise<service_result>& waiter : waiters) {
+            waiter.set_exception(error);
+        }
+        close_flight();
+    }
+
+    void worker_loop() {
+        for (;;) {
+            job j;
+            {
+                std::unique_lock<std::mutex> lock{queue_mutex};
+                queue_work_cv.wait(lock, [&] {
+                    return stop || (!paused && !queue.empty());
+                });
+                // pause/stop only mutate under queue_mutex, so an empty
+                // queue here implies stop (drained; exit), and a non-empty
+                // one is ours to pop — stop overrides pause.
+                if (queue.empty()) {
+                    return;
+                }
+                j = std::move(queue.front());
+                queue.pop_front();
+                ++active_jobs;
+            }
+            queue_space_cv.notify_one();
+            run_job(j);
+            {
+                const std::lock_guard<std::mutex> lock{queue_mutex};
+                --active_jobs;
+                if (open_flights == 0 && queue.empty() &&
+                    active_jobs == 0) {
+                    idle_cv.notify_all();
+                }
+            }
+        }
+    }
+};
+
+service::service(service_options options) {
+    if (options.workers == 0) {
+        throw std::invalid_argument{"service_options::workers must be > 0"};
+    }
+    if (options.queue_capacity == 0) {
+        throw std::invalid_argument{
+            "service_options::queue_capacity must be > 0"};
+    }
+    state_ = std::make_unique<state>(options);
+    state_->workers.reserve(options.workers);
+    for (unsigned w = 0; w < options.workers; ++w) {
+        state_->workers.emplace_back([s = state_.get()] { s->worker_loop(); });
+    }
+}
+
+service::~service() {
+    {
+        const std::lock_guard<std::mutex> lock{state_->queue_mutex};
+        state_->stop = true; // workers drain the queue, then exit
+    }
+    state_->queue_work_cv.notify_all();
+    for (std::thread& worker : state_->workers) {
+        worker.join();
+    }
+}
+
+trace::trace_digest service::add_trace(std::string name,
+                                       trace::mem_trace records) {
+    const trace::trace_digest digest = trace::compute_digest(records);
+    const std::lock_guard<std::mutex> lock{state_->traces_mutex};
+    const auto it = state_->traces.find(name);
+    if (it != state_->traces.end()) {
+        if (it->second->digest == digest) {
+            return digest; // same content, idempotent
+        }
+        throw std::invalid_argument{
+            "serve: trace \"" + name +
+            "\" is already registered with different content (digest " +
+            to_string(it->second->digest) + " vs " + to_string(digest) +
+            "); names are aliases, not versions"};
+    }
+    // A new name for already-registered content aliases the existing
+    // entry: one copy of the records, one stream cache — streams decoded
+    // under the first name serve every alias, keeping the decode-once
+    // contract corpus-wide.  (Linear scan: a corpus holds tens of traces,
+    // not thousands.)
+    for (const auto& [existing_name, existing] : state_->traces) {
+        if (existing->digest == digest) {
+            state_->traces.emplace(std::move(name), existing);
+            return digest;
+        }
+    }
+    auto entry = std::make_shared<trace_entry>();
+    entry->name = name;
+    entry->records = std::move(records);
+    entry->digest = digest;
+    state_->traces.emplace(std::move(name), std::move(entry));
+    return digest;
+}
+
+bool service::has_trace(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock{state_->traces_mutex};
+    return state_->traces.find(std::string{name}) != state_->traces.end();
+}
+
+std::future<service_result>
+service::submit(std::string_view trace_name,
+                const service_request& request) {
+    state& s = *state_;
+    const service_request normal = canonical(request); // throws up front
+
+    std::shared_ptr<trace_entry> entry;
+    {
+        const std::lock_guard<std::mutex> lock{s.traces_mutex};
+        const auto it = s.traces.find(std::string{trace_name});
+        if (it == s.traces.end()) {
+            throw std::invalid_argument{
+                "serve: unknown trace \"" + std::string{trace_name} +
+                "\" (register it with add_trace first)"};
+        }
+        entry = it->second;
+    }
+    s.submitted.fetch_add(1, std::memory_order_relaxed);
+
+    // `normal` is already canonical; the plain fingerprint()/make_key path
+    // would re-normalise (copy + sort + validate) on every submit.
+    const request_key key{entry->digest, fingerprint_canonical(normal)};
+    if (const auto cached = s.cache.find(key)) {
+        // Answered without touching a simulator or the queue.
+        return s.answer_from_cache(cached);
+    }
+
+    std::shared_ptr<flight> f;
+    std::future<service_result> future;
+    {
+        const std::lock_guard<std::mutex> lock{s.flights_mutex};
+        const auto it = s.flights.find(key);
+        if (it != s.flights.end()) {
+            // Identical question already in the air: one computation, one
+            // more future.
+            const std::lock_guard<std::mutex> fl{it->second->mutex};
+            it->second->waiters.emplace_back();
+            future = it->second->waiters.back().get_future();
+            s.coalesced.fetch_add(1, std::memory_order_relaxed);
+            return future;
+        }
+        // The flight may have finished between the cache probe above and
+        // this map lookup.  finish() caches *before* unmapping, so an
+        // absent flight whose answer exists is always visible to this
+        // second probe — without it, a duplicate landing in that window
+        // would restart an already-answered computation.  (finish() never
+        // holds a cache shard lock while taking flights_mutex, so probing
+        // the cache here cannot deadlock.)
+        if (const auto cached = s.cache.find(key)) {
+            return s.answer_from_cache(cached);
+        }
+        f = std::make_shared<flight>();
+        f->request = normal;
+        f->key = key;
+        f->trace = entry;
+        f->start = std::chrono::steady_clock::now();
+        f->waiters.emplace_back();
+        future = f->waiters.back().get_future();
+        const std::size_t jobs =
+            normal.mode == service_mode::representative
+                ? 1
+                : normal.sweep.block_sizes.size();
+        f->remaining.store(jobs, std::memory_order_relaxed);
+        if (normal.mode == service_mode::exact) {
+            f->shard_results.resize(jobs);
+        }
+        s.flights.emplace(key, f);
+        // Registered from drain()'s point of view before any job is
+        // queued, so a drain racing a blocking enqueue waits for this
+        // flight even while its later shards are still being pushed.
+        const std::lock_guard<std::mutex> qlock{s.queue_mutex};
+        ++s.open_flights;
+    }
+    try {
+        s.enqueue(f, normal.mode == service_mode::representative
+                         ? 1
+                         : normal.sweep.block_sizes.size());
+    } catch (...) {
+        s.fail_flight(f, std::current_exception());
+        throw;
+    }
+    return future;
+}
+
+void service::drain() {
+    std::unique_lock<std::mutex> lock{state_->queue_mutex};
+    state_->idle_cv.wait(lock, [s = state_.get()] {
+        return s->open_flights == 0 && s->queue.empty() &&
+               s->active_jobs == 0;
+    });
+}
+
+void service::pause() {
+    const std::lock_guard<std::mutex> lock{state_->queue_mutex};
+    state_->paused = true;
+}
+
+void service::resume() {
+    {
+        const std::lock_guard<std::mutex> lock{state_->queue_mutex};
+        state_->paused = false;
+    }
+    state_->queue_work_cv.notify_all();
+}
+
+service_stats service::stats() const {
+    const state& s = *state_;
+    service_stats out;
+    out.submitted = s.submitted.load(std::memory_order_relaxed);
+    out.completed = s.completed.load(std::memory_order_relaxed);
+    out.cache_hits = s.cache_hits.load(std::memory_order_relaxed);
+    out.coalesced = s.coalesced.load(std::memory_order_relaxed);
+    out.computations = s.computations.load(std::memory_order_relaxed);
+    out.shard_jobs = s.shard_jobs.load(std::memory_order_relaxed);
+    out.stream_builds = s.stream_builds.load(std::memory_order_relaxed);
+    out.stream_reuses = s.stream_reuses.load(std::memory_order_relaxed);
+    out.rejected = s.rejected.load(std::memory_order_relaxed);
+    out.representative_served =
+        s.representative_served.load(std::memory_order_relaxed);
+    out.exact_fallbacks = s.exact_fallbacks.load(std::memory_order_relaxed);
+    out.cache_evictions = s.cache.stats().evictions;
+    return out;
+}
+
+void service::save_cache(std::ostream& out) const {
+    state_->cache.save(out);
+}
+
+std::size_t service::load_cache(std::istream& in) {
+    return state_->cache.load(in);
+}
+
+} // namespace dew::serve

@@ -1,0 +1,187 @@
+// serve::service — an in-process, multi-tenant sweep query engine over the
+// exact engines.
+//
+// The service turns the session pipeline into something that can absorb a
+// design-space-exploration workload: thousands of sweep requests against a
+// shared trace corpus, most of them duplicates or near-duplicates of
+// questions already answered.  Four mechanisms carry the load:
+//
+//   * Content addressing.  Traces are registered once and identified by a
+//     streaming 128-bit digest (trace/digest.hpp); requests are normalised
+//     and fingerprinted (serve/key.hpp).  Identity is semantic: the same
+//     question about the same records addresses the same entry no matter
+//     how the trace was produced or how the grids were spelled.
+//   * Result cache.  A sharded FIFO-bounded map (serve/cache.hpp) answers
+//     repeated questions without touching a simulator; save_cache /
+//     load_cache persist exact entries through dew::result_io.
+//   * Scheduler.  submit() is async (returns a std::future) and never
+//     simulates on the calling thread.  Identical in-flight requests
+//     coalesce into one computation — N callers, one simulation, N futures.
+//     An exact request's grid is split into one shard job per distinct
+//     block size; shard jobs of all requests interleave on a fixed worker
+//     pool above a bounded queue (overflow_policy: callers block, or fail
+//     fast with service_overloaded).  Shard jobs pull their block-number
+//     stream from a per-trace stream cache, so a trace is decoded at a
+//     given block size once — across requests, not just within one (the
+//     PR-1 decode-once contract lifted to the corpus level).  The stream
+//     cache is a deliberate space-time trade: it retains 8 bytes/record
+//     per distinct block size requested against a trace, for the trace's
+//     lifetime — bounded by corpus size x block-size grid (the records
+//     themselves already cost 16 B/record), NOT by request volume.  A
+//     corpus whose traces are too large for that product belongs on the
+//     direct streaming run_sweep path, which never materialises anything.
+//   * Tiers.  service_mode::exact runs the engine the request names (dew |
+//     cipar) and is bit-identical to run_sweep(trace, canonical(request))
+//     by construction — shard jobs run the same detail::make_sweep_pass
+//     instantiations the session would.  service_mode::representative
+//     serves phase-analysis estimates (src/phase/): with a positive error
+//     budget the estimate is calibrated and the service falls back to the
+//     exact result when the measured error exceeds the budget, so a served
+//     estimate always carries a true accuracy statement.
+//
+// Threading: every public method is safe to call from any thread.  Results
+// are immutable and shared; stats() is a relaxed snapshot.
+#ifndef DEW_SERVE_SERVICE_HPP
+#define DEW_SERVE_SERVICE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "serve/cache.hpp"
+#include "serve/key.hpp"
+#include "trace/record.hpp"
+
+namespace dew::serve {
+
+// Thrown by submit() under overflow_policy::fail_fast when the job queue
+// cannot take the request's jobs.
+class service_overloaded : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+enum class overflow_policy : std::uint8_t {
+    block = 0,     // submit() waits for queue space (default)
+    fail_fast = 1, // submit() throws service_overloaded
+};
+
+struct service_options {
+    // Worker threads executing jobs; >= 1.
+    unsigned workers{2};
+    // Bounded job queue: the backpressure surface.  A request needs one
+    // queue slot per distinct block size (exact) or one slot
+    // (representative).  Must be >= 1.
+    std::size_t queue_capacity{256};
+    overflow_policy overflow{overflow_policy::block};
+    cache_options cache{};
+};
+
+struct service_result {
+    // Exact tier (and representative fallback): the full sweep, equal to
+    // run_sweep(trace, canonical(request).sweep) bit for bit.
+    std::shared_ptr<const core::sweep_result> sweep;
+    // Representative tier: the phase estimate (also set alongside `sweep`
+    // when the service fell back, so the caller can see both).
+    std::shared_ptr<const phase::representative_sweep_result> estimate;
+    bool cache_hit{false};  // answered without any computation
+    bool coalesced{false};  // joined another caller's in-flight computation
+    bool estimated{false};  // served by the representative tier
+    bool fell_back_exact{false}; // estimate exceeded the budget; sweep served
+    double max_abs_error_pp{0.0}; // calibrated representative answers only
+};
+
+struct service_stats {
+    std::uint64_t submitted{0};
+    std::uint64_t completed{0};
+    std::uint64_t cache_hits{0};   // submit-time cache answers
+    std::uint64_t coalesced{0};    // submits folded into an in-flight flight
+    std::uint64_t computations{0}; // flights actually simulated
+    std::uint64_t shard_jobs{0};   // jobs executed by the pool
+    std::uint64_t stream_builds{0}; // (trace, block size) decodes performed
+    std::uint64_t stream_reuses{0}; // decodes avoided by the stream cache
+    std::uint64_t rejected{0};      // fail-fast overflow rejections
+    std::uint64_t representative_served{0};
+    std::uint64_t exact_fallbacks{0};
+    std::uint64_t cache_evictions{0};
+
+    // Fraction of submits answered straight from the cache.
+    [[nodiscard]] double cache_hit_rate() const noexcept {
+        return submitted == 0 ? 0.0
+                              : static_cast<double>(cache_hits) /
+                                    static_cast<double>(submitted);
+    }
+
+    // Average submits folded into one computation: (computations +
+    // coalesced) / computations.  1.0 = no duplicate in-flight work.
+    [[nodiscard]] double coalesce_factor() const noexcept {
+        return computations == 0
+                   ? 1.0
+                   : static_cast<double>(computations + coalesced) /
+                         static_cast<double>(computations);
+    }
+};
+
+class service {
+public:
+    // Spawns the worker pool.  Throws std::invalid_argument on zero
+    // workers/queue capacity (cache options validate in result_cache).
+    explicit service(service_options options = {});
+
+    // Completes all queued work, then stops the workers: destruction never
+    // breaks an outstanding future.
+    ~service();
+
+    service(const service&) = delete;
+    service& operator=(const service&) = delete;
+
+    // Registers `records` under `name` and returns the content digest.
+    // Re-registering a name with identical content is a no-op; different
+    // content throws std::invalid_argument (a name is an alias, not a
+    // version).  Two names with equal content share cache entries — the
+    // digest, not the name, is the identity.
+    trace::trace_digest add_trace(std::string name, trace::mem_trace records);
+    [[nodiscard]] bool has_trace(std::string_view name) const;
+
+    // Asynchronously answers `request` against the named trace.  Throws
+    // std::invalid_argument (unknown trace, ill-formed or filtered request)
+    // and service_overloaded (fail-fast overflow); any fault inside the
+    // computation surfaces through the future.  The returned future's
+    // result flags say how the answer was produced.
+    [[nodiscard]] std::future<service_result>
+    submit(std::string_view trace_name, const service_request& request);
+
+    // Blocks until every submitted request has completed.  (With pause()
+    // in effect, waits for resume() first.)
+    void drain();
+
+    // Holds workers before their next job / releases them.  Lets tests and
+    // operators stage a burst of submissions and observe coalescing
+    // deterministically, or quiesce the pool before save_cache.
+    void pause();
+    void resume();
+
+    [[nodiscard]] service_stats stats() const;
+
+    // Cache persistence (serve/cache.hpp); call on a quiesced service or
+    // accept a racy-but-consistent snapshot.
+    void save_cache(std::ostream& out) const;
+    std::size_t load_cache(std::istream& in);
+
+private:
+    struct trace_entry;
+    struct flight;
+    struct job;
+    struct state;
+
+    std::unique_ptr<state> state_;
+};
+
+} // namespace dew::serve
+
+#endif // DEW_SERVE_SERVICE_HPP

@@ -7,27 +7,15 @@
 #include <istream>
 #include <ostream>
 
+#include "common/io.hpp"
+
 namespace dew::trace {
 
 namespace {
 
-void put_u32(std::ostream& out, std::uint32_t value) {
-    std::array<unsigned char, 4> bytes{};
-    for (int i = 0; i < 4; ++i) {
-        bytes[static_cast<std::size_t>(i)] =
-            static_cast<unsigned char>(value >> (8 * i));
-    }
-    out.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
-}
-
-void put_u64(std::ostream& out, std::uint64_t value) {
-    std::array<unsigned char, 8> bytes{};
-    for (int i = 0; i < 8; ++i) {
-        bytes[static_cast<std::size_t>(i)] =
-            static_cast<unsigned char>(value >> (8 * i));
-    }
-    out.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
-}
+// Little-endian writers shared with every other binary format.
+using dew::put_u32_le;
+using dew::put_u64_le;
 
 std::uint32_t get_u32(std::istream& in) {
     std::array<unsigned char, 4> bytes{};
@@ -133,10 +121,10 @@ mem_trace read_binary_file(const std::string& path) {
 
 void write_binary(std::ostream& out, const mem_trace& trace) {
     out.write(binary_magic, sizeof binary_magic);
-    put_u32(out, binary_version);
-    put_u64(out, trace.size());
+    put_u32_le(out, binary_version);
+    put_u64_le(out, trace.size());
     for (const mem_access& access : trace) {
-        put_u64(out, access.address);
+        put_u64_le(out, access.address);
         const char type_byte = static_cast<char>(access.type);
         out.write(&type_byte, 1);
     }

@@ -6,25 +6,15 @@
 #include <istream>
 #include <ostream>
 
+#include "common/io.hpp"
+
 namespace dew::trace {
 
 namespace {
 
-void put_u32(std::ostream& out, std::uint32_t value) {
-    char bytes[4];
-    for (int i = 0; i < 4; ++i) {
-        bytes[i] = static_cast<char>(value >> (8 * i));
-    }
-    out.write(bytes, sizeof bytes);
-}
-
-void put_u64(std::ostream& out, std::uint64_t value) {
-    char bytes[8];
-    for (int i = 0; i < 8; ++i) {
-        bytes[i] = static_cast<char>(value >> (8 * i));
-    }
-    out.write(bytes, sizeof bytes);
-}
+// Little-endian writers shared with every other binary format.
+using dew::put_u32_le;
+using dew::put_u64_le;
 
 std::uint32_t get_u32(std::istream& in) {
     unsigned char bytes[4];
@@ -170,8 +160,8 @@ mem_trace read_compressed_file(const std::string& path) {
 
 void write_compressed(std::ostream& out, const mem_trace& trace) {
     out.write(compressed_magic, sizeof compressed_magic);
-    put_u32(out, compressed_version);
-    put_u64(out, trace.size());
+    put_u32_le(out, compressed_version);
+    put_u64_le(out, trace.size());
     std::uint64_t previous = 0;
     for (const mem_access& access : trace) {
         put_varint(out, encode_record(previous, access));

@@ -1,0 +1,39 @@
+#include "trace/digest.hpp"
+
+#include <vector>
+
+namespace dew::trace {
+
+std::string to_string(const trace_digest& digest) {
+    static constexpr char hex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(32);
+    for (const std::uint64_t word : digest.words) {
+        for (int shift = 60; shift >= 0; shift -= 4) {
+            out.push_back(hex[(word >> shift) & 0xF]);
+        }
+    }
+    return out;
+}
+
+trace_digest compute_digest(source& src, std::size_t chunk_records) {
+    digest_builder builder;
+    mem_trace scratch;
+    for (;;) {
+        const std::span<const mem_access> chunk =
+            src.next_view(chunk_records, scratch);
+        if (chunk.empty()) {
+            break;
+        }
+        builder.update(chunk);
+    }
+    return builder.finish();
+}
+
+trace_digest compute_digest(const mem_trace& trace) noexcept {
+    digest_builder builder;
+    builder.update({trace.data(), trace.size()});
+    return builder.finish();
+}
+
+} // namespace dew::trace

@@ -1,0 +1,102 @@
+// Content addressing of traces: a streaming 128-bit digest of the record
+// stream.
+//
+// The digest is a pure function of the record *sequence* — every record's
+// address and access type folded in trace order, with the record count mixed
+// into the final value — so it is bit-identical no matter how a source chunks
+// its stream (the same invariance contract as phase signatures; the test
+// suite proves chunk sizes 1/7/4096 agree).  Record-for-record equal traces
+// always share a digest; unequal traces collide only if both independently-
+// keyed 64-bit lanes collide at once — negligible for accidental
+// corruption, though this is splitmix-based content hashing, not a
+// cryptographic MAC.  That is what lets the sweep service (src/serve/) key
+// cached results by content instead of by file name: the same workload
+// regenerated, re-read from a different format, or re-registered under
+// another name addresses the same cache entries.
+//
+// The mixing is splitmix64-based (common/bits.hpp) with fixed constants, so
+// digests are reproducible across platforms and library versions; the
+// format carries a version tag that must be bumped if the mixing ever
+// changes.
+#ifndef DEW_TRACE_DIGEST_HPP
+#define DEW_TRACE_DIGEST_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/bits.hpp"
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace dew::trace {
+
+struct trace_digest {
+    std::array<std::uint64_t, 2> words{};
+
+    friend bool operator==(const trace_digest&,
+                           const trace_digest&) = default;
+};
+
+// 32-hex-character rendering, word 0 first.
+[[nodiscard]] std::string to_string(const trace_digest& digest);
+
+// Incremental digest computation: feed records in trace order through any
+// number of update() calls (chunk boundaries do not matter), then read the
+// digest with finish().  finish() is const — updating may continue after a
+// mid-stream probe, exactly like session::result().
+class digest_builder {
+public:
+    void update(std::span<const mem_access> records) noexcept {
+        for (const mem_access& record : records) {
+            update(record);
+        }
+    }
+
+    void update(const mem_access& record) noexcept {
+        // Each lane absorbs its own independently-keyed avalanche mix of
+        // (address, type) — one additive-keyed, one xor-keyed with a
+        // different constant.  A single record alias would have to satisfy
+        // both keying equations at once, so no one-word collision collapses
+        // the whole 128-bit state (which a shared word would allow).
+        const std::uint64_t type_key =
+            static_cast<std::uint64_t>(record.type) + 1;
+        lane0_ = mix64(lane0_ ^
+                       mix64(record.address +
+                             0x9E3779B97F4A7C15ull * type_key));
+        lane1_ = mix64(lane1_ +
+                       (mix64(record.address ^
+                              (0xC2B2AE3D27D4EB4Full * type_key)) |
+                        1));
+        ++count_;
+    }
+
+    // Records folded in so far.
+    [[nodiscard]] std::uint64_t records() const noexcept { return count_; }
+
+    // Digest of everything folded in so far (the record count is part of
+    // the digest, so a prefix never collides with its extension).
+    [[nodiscard]] trace_digest finish() const noexcept {
+        return {{mix64(lane0_ ^ count_), mix64(lane1_ + count_)}};
+    }
+
+private:
+    std::uint64_t lane0_{0x8000000080001000ull}; // lane seeds; arbitrary,
+    std::uint64_t lane1_{0x243F6A8885A308D3ull}; // fixed for reproducibility
+    std::uint64_t count_{0};
+};
+
+// Streams the source to exhaustion and digests every record; the source is
+// consumed.  chunk_records is purely a buffering knob (the digest is
+// chunking-invariant).
+[[nodiscard]] trace_digest
+compute_digest(source& src, std::size_t chunk_records = std::size_t{64} * 1024);
+
+// In-memory convenience.
+[[nodiscard]] trace_digest compute_digest(const mem_trace& trace) noexcept;
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_DIGEST_HPP

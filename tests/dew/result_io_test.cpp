@@ -1,7 +1,10 @@
 // CSV/table serialisation of DEW results.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "dew/result_io.hpp"
 #include "dew/simulator.hpp"
@@ -87,6 +90,151 @@ TEST(ResultIo, TableMentionsEveryConfiguration) {
                   std::string::npos)
             << cache::to_string(outcome.config);
     }
+}
+
+// --- Binary round trip ------------------------------------------------------
+
+sweep_result make_sweep_result() {
+    sweep_request request;
+    request.max_set_exp = 4;
+    request.block_sizes = {16, 32};
+    request.associativities = {2, 4};
+    request.instrumentation = sweep_instrumentation::full_counters;
+    return run_sweep(
+        trace::make_mediabench_trace(trace::mediabench_app::djpeg, 4000),
+        request);
+}
+
+void expect_equal_results(const sweep_result& a, const sweep_result& b) {
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    ASSERT_EQ(a.passes.size(), b.passes.size());
+    for (std::size_t i = 0; i < a.passes.size(); ++i) {
+        const dew_result& x = a.passes[i];
+        const dew_result& y = b.passes[i];
+        ASSERT_EQ(x.max_level(), y.max_level());
+        EXPECT_EQ(x.associativity(), y.associativity());
+        EXPECT_EQ(x.block_size(), y.block_size());
+        EXPECT_EQ(x.requests(), y.requests());
+        for (unsigned level = 0; level <= x.max_level(); ++level) {
+            EXPECT_EQ(x.misses(level, x.associativity()),
+                      y.misses(level, y.associativity()));
+            EXPECT_EQ(x.misses(level, 1), y.misses(level, 1));
+        }
+        EXPECT_EQ(x.counters().node_evaluations,
+                  y.counters().node_evaluations);
+        EXPECT_EQ(x.counters().tag_comparisons, y.counters().tag_comparisons);
+        EXPECT_EQ(x.counters().mre_swaps, y.counters().mre_swaps);
+    }
+}
+
+TEST(ResultIo, BinaryRoundTripsEveryField) {
+    const sweep_result original = make_sweep_result();
+    std::ostringstream out;
+    write_binary_result(out, original);
+    std::istringstream in{out.str()};
+    expect_equal_results(read_binary_result(in), original);
+}
+
+TEST(ResultIo, BinaryRecordsConcatenate) {
+    // Trailing bytes after one record stay unread: the cache file format
+    // writes records back to back.
+    const sweep_result original = make_sweep_result();
+    std::ostringstream out;
+    write_binary_result(out, original);
+    write_binary_result(out, original);
+    std::istringstream in{out.str()};
+    expect_equal_results(read_binary_result(in), original);
+    expect_equal_results(read_binary_result(in), original);
+    EXPECT_EQ(in.peek(), std::istringstream::traits_type::eof());
+}
+
+TEST(ResultIo, BinaryRejectsBadMagicAndVersion) {
+    const sweep_result original = make_sweep_result();
+    std::ostringstream out;
+    write_binary_result(out, original);
+    std::string payload = out.str();
+
+    std::string bad_magic = payload;
+    bad_magic[0] = 'X';
+    std::istringstream magic_in{bad_magic};
+    EXPECT_THROW((void)read_binary_result(magic_in), std::runtime_error);
+
+    std::string bad_version = payload;
+    bad_version[4] = 9;
+    std::istringstream version_in{bad_version};
+    EXPECT_THROW((void)read_binary_result(version_in), std::runtime_error);
+}
+
+TEST(ResultIo, BinaryRejectsTruncationAtEveryLength) {
+    // No prefix of a valid record may parse: every truncation point must
+    // throw (naming a byte offset), never return a silently partial result.
+    const sweep_result original = make_sweep_result();
+    std::ostringstream out;
+    write_binary_result(out, original);
+    const std::string payload = out.str();
+    ASSERT_GT(payload.size(), 64u);
+    // Cutting inside the header, inside the first pass, and one byte short.
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{3}, std::size_t{15}, std::size_t{16},
+          std::size_t{40}, payload.size() / 2, payload.size() - 1}) {
+        std::istringstream in{payload.substr(0, cut)};
+        try {
+            (void)read_binary_result(in);
+            FAIL() << "cut at " << cut << " parsed";
+        } catch (const std::runtime_error& error) {
+            EXPECT_NE(std::string{error.what()}.find("byte offset"),
+                      std::string::npos)
+                << "cut at " << cut << ": " << error.what();
+        }
+    }
+}
+
+TEST(ResultIo, BinaryRejectsOverLongPayload) {
+    // A declared payload longer than the decoded structure is corruption:
+    // the reader must not silently skip bytes it cannot attribute.
+    const sweep_result original = make_sweep_result();
+    std::ostringstream out;
+    write_binary_result(out, original);
+    std::string payload = out.str();
+    // Grow the declared payload length by 8 and append 8 junk bytes.
+    std::uint64_t declared = 0;
+    for (std::size_t i = 16; i-- > 8;) {
+        declared =
+            (declared << 8) | static_cast<unsigned char>(payload[i]);
+    }
+    declared += 8;
+    for (std::size_t i = 8; i < 16; ++i) {
+        payload[i] = static_cast<char>((declared >> (8 * (i - 8))) & 0xFF);
+    }
+    payload.append(8, '\0');
+    std::istringstream in{payload};
+    try {
+        (void)read_binary_result(in);
+        FAIL() << "over-long payload parsed";
+    } catch (const std::runtime_error& error) {
+        EXPECT_NE(std::string{error.what()}.find("over-long"),
+                  std::string::npos)
+            << error.what();
+        EXPECT_NE(std::string{error.what()}.find("byte offset"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(ResultIo, BinaryRejectsImplausibleFields) {
+    const sweep_result original = make_sweep_result();
+    std::ostringstream out;
+    write_binary_result(out, original);
+    std::string payload = out.str();
+    // Pass count lives at payload offset 16 (requests u64 + seconds u64)
+    // past the 16-byte header; poison it to a value the payload cannot fit.
+    const std::size_t pass_count_at = 16 + 16;
+    payload[pass_count_at] = '\xFF';
+    payload[pass_count_at + 1] = '\xFF';
+    payload[pass_count_at + 2] = '\xFF';
+    std::istringstream in{payload};
+    EXPECT_THROW((void)read_binary_result(in), std::runtime_error);
 }
 
 TEST(ResultIo, CountersLineIsComplete) {

@@ -150,7 +150,11 @@ TEST(Session, StepReportsExactResultsMidStream) {
 
     s.run();
     EXPECT_TRUE(s.exhausted());
-    EXPECT_FALSE(s.step()); // idempotent once drained
+    EXPECT_FALSE(s.failed());
+    // Post-exhaustion stepping is idempotent: a scheduler may re-poll a
+    // drained session any number of times.
+    EXPECT_FALSE(s.step());
+    EXPECT_FALSE(s.step());
     EXPECT_EQ(s.requests(), trace_records);
     expect_identical(s.result(), run_sweep(eager_workload(), request));
 }
@@ -245,14 +249,25 @@ TEST(Session, WorkerExceptionRethrownOnOwningThread) {
     session s{src, request};
     EXPECT_THROW(s.run(), contract_violation);
     EXPECT_TRUE(s.exhausted());
-    EXPECT_FALSE(s.step()); // no further simulation after the fault
+    EXPECT_TRUE(s.failed());
+    // A failed session never simulates again, and a scheduler re-polling it
+    // sees the stored fault on every step — not a silent end-of-stream.
+    EXPECT_THROW(s.step(), contract_violation);
+    EXPECT_THROW(s.step(), contract_violation);
+    EXPECT_THROW(s.run(), contract_violation);
+    // The partially-fed passes are inconsistent with each other; results
+    // are refused the same way.
+    EXPECT_THROW((void)s.result(), contract_violation);
 
-    // The serial path throws the same exception from the same request.
+    // The serial path throws the same exception from the same request, and
+    // stores it the same way.
     trace::span_source serial_src{{poisoned.data(), poisoned.size()}};
     sweep_request serial_request = request;
     serial_request.threads = 0;
     session serial{serial_src, serial_request};
     EXPECT_THROW(serial.run(), contract_violation);
+    EXPECT_TRUE(serial.failed());
+    EXPECT_THROW(serial.step(), contract_violation);
 }
 
 TEST(Session, RejectsInvalidRequestsUpFront) {

@@ -1,0 +1,153 @@
+// The sharded result cache: hit/miss/eviction accounting, shared immutable
+// values, and the hardened persistence round trip.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "dew/sweep.hpp"
+#include "serve/cache.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::serve;
+
+request_key key_of(std::uint64_t n) {
+    return {{{n, n * 3 + 1}}, {mix64(n), mix64(n + 1)}};
+}
+
+std::shared_ptr<const cached_value> exact_value() {
+    core::sweep_request request;
+    request.max_set_exp = 3;
+    request.block_sizes = {16};
+    request.associativities = {2};
+    auto value = std::make_shared<cached_value>();
+    value->sweep = std::make_shared<const core::sweep_result>(core::run_sweep(
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 2000),
+        request));
+    return value;
+}
+
+TEST(ServeCache, HitsMissesAndEntriesAreCounted) {
+    result_cache cache{{4, 64}};
+    EXPECT_EQ(cache.find(key_of(1)), nullptr);
+    cache.insert(key_of(1), exact_value());
+    const auto hit = cache.find(key_of(1));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_NE(hit->sweep, nullptr);
+    EXPECT_EQ(cache.find(key_of(2)), nullptr);
+
+    const cache_stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ServeCache, CapacityBoundsEntriesWithFifoEviction) {
+    // One shard, capacity 4: the fifth insert evicts the oldest.
+    result_cache cache{{1, 4}};
+    const auto value = exact_value();
+    for (std::uint64_t n = 0; n < 5; ++n) {
+        cache.insert(key_of(n), value);
+    }
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.find(key_of(0)), nullptr); // oldest gone
+    EXPECT_NE(cache.find(key_of(4)), nullptr); // newest present
+
+    // Eviction never invalidates a value a caller still holds.
+    const auto held = cache.find(key_of(1));
+    ASSERT_NE(held, nullptr);
+    for (std::uint64_t n = 5; n < 20; ++n) {
+        cache.insert(key_of(n), value);
+    }
+    EXPECT_EQ(cache.find(key_of(1)), nullptr);
+    EXPECT_NE(held->sweep, nullptr); // still alive through our reference
+}
+
+TEST(ServeCache, DuplicateInsertKeepsIncumbent) {
+    result_cache cache{{2, 16}};
+    const auto first = exact_value();
+    cache.insert(key_of(7), first);
+    cache.insert(key_of(7), exact_value());
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+    EXPECT_EQ(cache.find(key_of(7)), first);
+}
+
+TEST(ServeCache, RejectsZeroShardsOrCapacity) {
+    EXPECT_THROW((result_cache{{0, 16}}), std::invalid_argument);
+    EXPECT_THROW((result_cache{{4, 0}}), std::invalid_argument);
+}
+
+TEST(ServeCache, PersistenceRoundTripsExactEntries) {
+    result_cache cache{{4, 64}};
+    cache.insert(key_of(1), exact_value());
+    cache.insert(key_of(2), exact_value());
+    // An estimated entry must not be persisted.
+    auto estimated = std::make_shared<cached_value>();
+    estimated->estimated = true;
+    cache.insert(key_of(3), estimated);
+
+    std::ostringstream out;
+    cache.save(out);
+
+    result_cache restored{{4, 64}};
+    std::istringstream in{out.str()};
+    EXPECT_EQ(restored.load(in), 2u);
+    EXPECT_EQ(restored.size(), 2u);
+    const auto hit = restored.find(key_of(1));
+    ASSERT_NE(hit, nullptr);
+    ASSERT_NE(hit->sweep, nullptr);
+    const auto original = cache.find(key_of(1));
+    EXPECT_EQ(hit->sweep->passes.size(), original->sweep->passes.size());
+    EXPECT_EQ(hit->sweep->passes[0].misses(3, 2),
+              original->sweep->passes[0].misses(3, 2));
+    EXPECT_EQ(restored.find(key_of(3)), nullptr);
+}
+
+TEST(ServeCache, LoadRejectsMalformedPayloads) {
+    result_cache cache{{4, 64}};
+    cache.insert(key_of(1), exact_value());
+    std::ostringstream out;
+    cache.save(out);
+    const std::string payload = out.str();
+
+    // Truncations at the header, mid-key, and mid-result all throw and
+    // leave no partial entry behind.
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{5}, std::size_t{20},
+          payload.size() / 2, payload.size() - 1}) {
+        result_cache victim{{4, 64}};
+        std::istringstream in{payload.substr(0, cut)};
+        EXPECT_THROW((void)victim.load(in), std::runtime_error)
+            << "cut at " << cut;
+    }
+
+    // Trailing garbage after the declared entries is rejected.
+    result_cache victim{{4, 64}};
+    std::istringstream in{payload + "junk"};
+    try {
+        (void)victim.load(in);
+        FAIL() << "trailing bytes accepted";
+    } catch (const std::runtime_error& error) {
+        EXPECT_NE(std::string{error.what()}.find("over-long"),
+                  std::string::npos)
+            << error.what();
+    }
+
+    // Bad magic.
+    std::string bad = payload;
+    bad[0] = 'X';
+    result_cache magic_victim{{4, 64}};
+    std::istringstream magic_in{bad};
+    EXPECT_THROW((void)magic_victim.load(magic_in), std::runtime_error);
+}
+
+} // namespace

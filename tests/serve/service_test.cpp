@@ -1,0 +1,340 @@
+// The sweep service's functional contract: exact answers bit-identical to
+// run_sweep on both engines, cache hits without recomputation,
+// deterministic coalescing, tiers, backpressure, and persistence.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "dew/session.hpp"
+#include "dew/sweep.hpp"
+#include "serve/service.hpp"
+#include "trace/mediabench.hpp"
+#include "trace/source.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::serve;
+
+constexpr std::size_t trace_records = 30'000;
+
+trace::mem_trace workload(trace::mediabench_app app =
+                              trace::mediabench_app::cjpeg) {
+    return trace::make_mediabench_trace(app, trace_records);
+}
+
+service_request exact_request(core::sweep_engine engine =
+                                  core::sweep_engine::dew) {
+    service_request request;
+    request.sweep.max_set_exp = 7;
+    request.sweep.block_sizes = {16, 32};
+    request.sweep.associativities = {2, 4};
+    request.sweep.engine = engine;
+    return request;
+}
+
+void expect_identical(const core::sweep_result& a,
+                      const core::sweep_result& b) {
+    EXPECT_EQ(a.requests, b.requests);
+    ASSERT_EQ(a.passes.size(), b.passes.size());
+    for (std::size_t i = 0; i < a.passes.size(); ++i) {
+        ASSERT_EQ(a.passes[i].block_size(), b.passes[i].block_size());
+        ASSERT_EQ(a.passes[i].associativity(), b.passes[i].associativity());
+        for (unsigned level = 0; level <= a.passes[i].max_level(); ++level) {
+            EXPECT_EQ(a.passes[i].misses(level, a.passes[i].associativity()),
+                      b.passes[i].misses(level, b.passes[i].associativity()))
+                << "pass " << i << " level " << level;
+            EXPECT_EQ(a.passes[i].misses(level, 1),
+                      b.passes[i].misses(level, 1))
+                << "pass " << i << " level " << level;
+        }
+        EXPECT_EQ(a.passes[i].counters().tag_comparisons,
+                  b.passes[i].counters().tag_comparisons);
+    }
+}
+
+TEST(Service, ExactAnswersAreBitIdenticalToRunSweepOnBothEngines) {
+    service svc{{2, 64, overflow_policy::block, {4, 64}}};
+    svc.add_trace("cjpeg", workload());
+    const trace::mem_trace trace = workload();
+
+    for (const core::sweep_engine engine :
+         {core::sweep_engine::dew, core::sweep_engine::cipar}) {
+        const service_request request = exact_request(engine);
+        service_result answer = svc.submit("cjpeg", request).get();
+        ASSERT_NE(answer.sweep, nullptr);
+        EXPECT_FALSE(answer.cache_hit);
+        EXPECT_FALSE(answer.estimated);
+        expect_identical(*answer.sweep,
+                         core::run_sweep(trace, canonical(request).sweep));
+    }
+}
+
+TEST(Service, CountedInstrumentationFlowsThrough) {
+    service svc{};
+    svc.add_trace("cjpeg", workload());
+    service_request request = exact_request();
+    request.sweep.instrumentation =
+        core::sweep_instrumentation::full_counters;
+    const service_result answer = svc.submit("cjpeg", request).get();
+    expect_identical(*answer.sweep,
+                     core::run_sweep(workload(), canonical(request).sweep));
+    EXPECT_EQ(answer.sweep->total_counters().requests,
+              trace_records * answer.sweep->passes.size());
+}
+
+TEST(Service, CacheHitsNeverRecomputeAndSpellingDoesNotMatter) {
+    service svc{};
+    svc.add_trace("cjpeg", workload());
+    const service_request request = exact_request();
+    const service_result first = svc.submit("cjpeg", request).get();
+    EXPECT_FALSE(first.cache_hit);
+    ASSERT_EQ(svc.stats().computations, 1u);
+
+    // Same question, different spelling: reversed grids, duplicates,
+    // threads set.  Must be a cache hit, not a new computation.
+    service_request respelled = request;
+    respelled.sweep.block_sizes = {32, 16, 32};
+    respelled.sweep.associativities = {4, 2};
+    respelled.sweep.threads = 3;
+    const service_result second = svc.submit("cjpeg", respelled).get();
+    EXPECT_TRUE(second.cache_hit);
+    EXPECT_EQ(second.sweep, first.sweep); // literally the same object
+    const service_stats stats = svc.stats();
+    EXPECT_EQ(stats.computations, 1u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.shard_jobs, 2u); // two block sizes, once
+
+    // A different trace name with identical content shares the entry:
+    // identity is the digest, not the name.
+    svc.add_trace("alias", workload());
+    EXPECT_TRUE(svc.submit("alias", request).get().cache_hit);
+
+    // The alias shares the block-stream cache too: an *uncached* request
+    // under the alias reuses the streams decoded under the first name.
+    const std::uint64_t builds_before = svc.stats().stream_builds;
+    service_request fresh = request;
+    fresh.sweep.max_set_exp = 6;
+    EXPECT_FALSE(svc.submit("alias", fresh).get().cache_hit);
+    EXPECT_EQ(svc.stats().stream_builds, builds_before);
+}
+
+TEST(Service, DuplicateInFlightRequestsCoalesceDeterministically) {
+    service svc{{2, 64, overflow_policy::block, {4, 64}}};
+    svc.add_trace("cjpeg", workload());
+    const service_request request = exact_request();
+
+    // With the workers held, every duplicate submitted is provably
+    // in-flight at once; the coalescing counter must equal the duplicate
+    // count exactly and only one computation may run.
+    svc.pause();
+    constexpr std::size_t duplicates = 7;
+    std::vector<std::future<service_result>> futures;
+    for (std::size_t i = 0; i < duplicates + 1; ++i) {
+        futures.push_back(svc.submit("cjpeg", request));
+    }
+    EXPECT_EQ(svc.stats().coalesced, duplicates);
+    EXPECT_EQ(svc.stats().computations, 0u); // nothing ran yet
+    svc.resume();
+
+    const core::sweep_result reference =
+        core::run_sweep(workload(), canonical(request).sweep);
+    std::size_t coalesced_count = 0;
+    std::shared_ptr<const core::sweep_result> shared;
+    for (std::future<service_result>& future : futures) {
+        const service_result answer = future.get();
+        ASSERT_NE(answer.sweep, nullptr);
+        expect_identical(*answer.sweep, reference);
+        coalesced_count += answer.coalesced ? 1 : 0;
+        if (!shared) {
+            shared = answer.sweep;
+        } else {
+            EXPECT_EQ(answer.sweep, shared); // one payload for everyone
+        }
+    }
+    EXPECT_EQ(coalesced_count, duplicates);
+    const service_stats stats = svc.stats();
+    EXPECT_EQ(stats.computations, 1u);
+    EXPECT_EQ(stats.coalesced, duplicates);
+    EXPECT_EQ(stats.cache_hits, 0u);
+    EXPECT_DOUBLE_EQ(stats.coalesce_factor(), duplicates + 1.0);
+}
+
+TEST(Service, SharedStreamsDecodeOncePerBlockSizeAcrossRequests) {
+    service svc{};
+    svc.add_trace("cjpeg", workload());
+    service_request a = exact_request(); // blocks {16, 32}
+    service_request b = exact_request();
+    b.sweep.max_set_exp = 6; // distinct request, same trace, same blocks
+    service_request c = exact_request();
+    c.sweep.block_sizes = {16, 64}; // one shared stream, one new
+    (void)svc.submit("cjpeg", a).get();
+    (void)svc.submit("cjpeg", b).get();
+    (void)svc.submit("cjpeg", c).get();
+    const service_stats stats = svc.stats();
+    EXPECT_EQ(stats.stream_builds, 3u);  // 16, 32, 64: decoded once each
+    EXPECT_EQ(stats.stream_reuses, 3u);  // b's two shards + c's 16 shard
+}
+
+TEST(Service, RepresentativeTierReportsErrorOrFallsBack) {
+    service svc{};
+    svc.add_trace("cjpeg", workload());
+
+    service_request request = exact_request();
+    request.mode = service_mode::representative;
+    request.phase.interval_records = 2048;
+    request.warmup_records = 4096;
+    request.error_budget_pp = 2.0;
+    const service_result answer = svc.submit("cjpeg", request).get();
+    EXPECT_TRUE(answer.estimated);
+    ASSERT_NE(answer.estimate, nullptr);
+    EXPECT_TRUE(answer.estimate->calibrated);
+    if (answer.fell_back_exact) {
+        // Budget exceeded: the exact sweep was served instead.
+        ASSERT_NE(answer.sweep, nullptr);
+        expect_identical(*answer.sweep,
+                         core::run_sweep(workload(),
+                                         canonical(request).sweep));
+    } else {
+        // Budget met: the estimate's own accuracy statement proves it.
+        EXPECT_LE(answer.max_abs_error_pp, request.error_budget_pp);
+        EXPECT_EQ(answer.sweep, nullptr);
+    }
+
+    // A non-positive budget serves the cheap uncalibrated estimate.
+    service_request uncalibrated = request;
+    uncalibrated.error_budget_pp = 0.0;
+    const service_result cheap = svc.submit("cjpeg", uncalibrated).get();
+    EXPECT_TRUE(cheap.estimated);
+    ASSERT_NE(cheap.estimate, nullptr);
+    EXPECT_FALSE(cheap.estimate->calibrated);
+    EXPECT_FALSE(cheap.fell_back_exact);
+
+    // The two tiers never share cache entries with each other or with the
+    // exact mode.
+    EXPECT_FALSE(svc.submit("cjpeg", exact_request()).get().cache_hit);
+    EXPECT_TRUE(svc.submit("cjpeg", request).get().cache_hit);
+}
+
+TEST(Service, FailFastBackpressureThrowsServiceOverloaded) {
+    // One worker, one queue slot, workers held: the first submit takes the
+    // slot, the second must be rejected without breaking the first.
+    service svc{{1, 1, overflow_policy::fail_fast, {2, 16}}};
+    svc.add_trace("cjpeg", workload());
+    svc.pause();
+    service_request narrow = exact_request();
+    narrow.sweep.block_sizes = {16}; // one shard job
+    std::future<service_result> accepted = svc.submit("cjpeg", narrow);
+    service_request other = narrow;
+    other.sweep.max_set_exp = 6;
+    EXPECT_THROW((void)svc.submit("cjpeg", other), service_overloaded);
+    EXPECT_EQ(svc.stats().rejected, 1u);
+    svc.resume();
+    EXPECT_NE(accepted.get().sweep, nullptr); // survivor completes
+
+    // A request needing more slots than the whole queue can never fit.
+    svc.drain();
+    EXPECT_THROW((void)svc.submit("cjpeg", exact_request()),
+                 service_overloaded);
+}
+
+TEST(Service, RejectsUnknownTracesFiltersAndContentConflicts) {
+    service svc{};
+    EXPECT_THROW((void)svc.submit("nope", exact_request()),
+                 std::invalid_argument);
+
+    svc.add_trace("cjpeg", workload());
+    EXPECT_TRUE(svc.has_trace("cjpeg"));
+    EXPECT_FALSE(svc.has_trace("nope"));
+
+    service_request filtered = exact_request();
+    filtered.sweep.filter =
+        [](trace::source&) -> std::unique_ptr<trace::source> {
+        return std::make_unique<trace::span_source>(
+            std::span<const trace::mem_access>{});
+    };
+    EXPECT_THROW((void)svc.submit("cjpeg", filtered),
+                 std::invalid_argument);
+
+    // Same name, same content: idempotent.  Different content: rejected.
+    EXPECT_NO_THROW((void)svc.add_trace("cjpeg", workload()));
+    EXPECT_THROW(
+        (void)svc.add_trace("cjpeg",
+                            workload(trace::mediabench_app::mpeg2_enc)),
+        std::invalid_argument);
+}
+
+TEST(Service, ComputationFaultsSurfaceThroughEveryFuture) {
+    // The sentinel block number makes simulate_blocks throw inside a
+    // worker; the initiator and every coalesced waiter must see it.
+    trace::mem_trace poisoned{{~std::uint64_t{0}, trace::access_type::read}};
+    service svc{};
+    svc.add_trace("poison", std::move(poisoned));
+    service_request request;
+    request.sweep.max_set_exp = 4;
+    request.sweep.block_sizes = {1};
+    request.sweep.associativities = {2};
+
+    svc.pause();
+    std::future<service_result> first = svc.submit("poison", request);
+    std::future<service_result> second = svc.submit("poison", request);
+    svc.resume();
+    EXPECT_THROW((void)first.get(), std::exception);
+    EXPECT_THROW((void)second.get(), std::exception);
+    // A failed flight is not cached: the next submit computes (and fails)
+    // again rather than serving a poisoned entry.
+    EXPECT_THROW((void)svc.submit("poison", request).get(), std::exception);
+    EXPECT_EQ(svc.stats().cache_hits, 0u);
+}
+
+TEST(Service, CachePersistsAcrossServiceInstances) {
+    std::ostringstream saved;
+    const service_request request = exact_request();
+    core::sweep_result reference;
+    {
+        service svc{};
+        svc.add_trace("cjpeg", workload());
+        const service_result answer = svc.submit("cjpeg", request).get();
+        reference = *answer.sweep;
+        svc.drain();
+        svc.save_cache(saved);
+    }
+    service restored{};
+    restored.add_trace("cjpeg", workload());
+    std::istringstream in{saved.str()};
+    EXPECT_EQ(restored.load_cache(in), 1u);
+    const service_result answer = restored.submit("cjpeg", request).get();
+    EXPECT_TRUE(answer.cache_hit);
+    ASSERT_NE(answer.sweep, nullptr);
+    expect_identical(*answer.sweep, reference);
+    EXPECT_EQ(restored.stats().computations, 0u);
+}
+
+TEST(Service, DrainWaitsForAllOutstandingWork) {
+    service svc{};
+    svc.add_trace("cjpeg", workload());
+    std::vector<std::future<service_result>> futures;
+    for (unsigned exp = 4; exp < 8; ++exp) {
+        service_request request = exact_request();
+        request.sweep.max_set_exp = exp;
+        futures.push_back(svc.submit("cjpeg", request));
+    }
+    svc.drain();
+    for (std::future<service_result>& future : futures) {
+        EXPECT_EQ(future.wait_for(std::chrono::seconds{0}),
+                  std::future_status::ready);
+    }
+}
+
+TEST(Service, RejectsZeroWorkersOrQueue) {
+    EXPECT_THROW((service{{0, 16, overflow_policy::block, {}}}),
+                 std::invalid_argument);
+    EXPECT_THROW((service{{2, 0, overflow_policy::block, {}}}),
+                 std::invalid_argument);
+}
+
+} // namespace
