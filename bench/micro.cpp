@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <sstream>
 #include <string_view>
+#include <thread>
 
 #include <future>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "serve/service.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/compressed_io.hpp"
+#include "trace/fault.hpp"
 #include "trace/mediabench.hpp"
 #include "trace/source.hpp"
 
@@ -436,6 +438,14 @@ struct service_measurement {
     double requests_per_sec{0.0};
     double cache_hit_rate{0.0};
     double coalesce_factor{0.0};
+    // Robustness quantities, each measured on a dedicated small service
+    // with a by-construction expected value (asserted below): half the
+    // deadline wave expires → timeout_rate 0.5; every injected transient
+    // fault recovers on its first retry → retry_success_rate 1.0; every
+    // over-watermark exact request sheds → degraded_served counts them.
+    double timeout_rate{0.0};
+    double retry_success_rate{0.0};
+    std::uint64_t degraded_served{0};
 };
 
 service_measurement measure_service() {
@@ -477,27 +487,27 @@ service_measurement measure_service() {
     serve::service storm{{2, 256, serve::overflow_policy::block, {8, 256}}};
     storm.add_trace("micro", trace);
     constexpr std::size_t storm_duplicates = 8;
-    std::vector<std::future<serve::service_result>> futures;
-    futures.reserve(requests.size() * storm_duplicates * 2);
+    std::vector<serve::submission> handles;
+    handles.reserve(requests.size() * storm_duplicates * 2);
     const auto t0 = std::chrono::steady_clock::now();
     storm.pause();
     for (std::size_t d = 0; d < storm_duplicates; ++d) {
         for (const serve::service_request& request : requests) {
-            futures.push_back(storm.submit("micro", request));
+            handles.push_back(storm.submit("micro", request));
         }
     }
     storm.resume();
-    for (std::future<serve::service_result>& future : futures) {
-        (void)future.get();
+    for (serve::submission& handle : handles) {
+        (void)handle.get();
     }
-    futures.clear(); // a future is single-get; the replay wave starts fresh
+    handles.clear(); // a future is single-get; the replay wave starts fresh
     for (std::size_t d = 0; d < storm_duplicates; ++d) {
         for (const serve::service_request& request : requests) {
-            futures.push_back(storm.submit("micro", request));
+            handles.push_back(storm.submit("micro", request));
         }
     }
-    for (std::future<serve::service_result>& future : futures) {
-        (void)future.get();
+    for (serve::submission& handle : handles) {
+        (void)handle.get();
     }
     const auto t1 = std::chrono::steady_clock::now();
 
@@ -508,6 +518,85 @@ service_measurement measure_service() {
         std::chrono::duration<double>(t1 - t0).count();
     m.cache_hit_rate = stats.cache_hit_rate();
     m.coalesce_factor = stats.coalesce_factor();
+
+    // Timeout rate, by construction 0.5: half of a gated wave carries an
+    // already-impossible 1 ns deadline, the other half none.
+    {
+        serve::service deadlines{
+            {2, 256, serve::overflow_policy::block, {4, 64}}};
+        deadlines.add_trace("micro", trace);
+        deadlines.pause();
+        std::vector<serve::submission> wave;
+        for (std::size_t i = 0; i < 2 * requests.size(); ++i) {
+            serve::service_request request = requests[i % requests.size()];
+            request.deadline = i % 2 == 0 ? std::chrono::nanoseconds{1}
+                                          : std::chrono::nanoseconds{0};
+            wave.push_back(deadlines.submit("micro", request));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{1});
+        deadlines.resume();
+        std::uint64_t expired = 0;
+        for (serve::submission& handle : wave) {
+            try {
+                (void)handle.get();
+            } catch (const serve::service_timeout&) {
+                ++expired;
+            }
+        }
+        DEW_ASSERT(expired == requests.size());
+        m.timeout_rate = deadlines.stats().timeout_rate();
+        DEW_ASSERT(m.timeout_rate == 0.5);
+    }
+
+    // Retry success rate, by construction 1.0: the injection hook fails
+    // every flight's first attempt, and every retry then succeeds.
+    {
+        serve::service_options faulty_options{
+            2, 256, serve::overflow_policy::block, {4, 64}};
+        faulty_options.retry_backoff = std::chrono::nanoseconds{0};
+        faulty_options.fault_hook = [](std::size_t, unsigned attempt) {
+            if (attempt == 0) {
+                throw trace::io_fault{"bench: injected transient fault"};
+            }
+        };
+        serve::service faulty{faulty_options};
+        faulty.add_trace("micro", trace);
+        std::vector<serve::submission> wave;
+        for (const serve::service_request& request : requests) {
+            wave.push_back(faulty.submit("micro", request));
+        }
+        for (serve::submission& handle : wave) {
+            DEW_ASSERT(handle.get().flight_retries == 1);
+        }
+        const serve::service_stats faulty_stats = faulty.stats();
+        DEW_ASSERT(faulty_stats.retries == requests.size());
+        m.retry_success_rate = faulty_stats.retry_success_rate();
+        DEW_ASSERT(m.retry_success_rate == 1.0);
+    }
+
+    // Degraded serves, by construction |requests| - 1: with the watermark
+    // at 1, everything submitted behind the first gated exact request
+    // sheds to the estimate tier.
+    {
+        serve::service_options degrade_options{
+            2, 256, serve::overflow_policy::degrade, {4, 64}};
+        degrade_options.degrade_watermark = 1;
+        serve::service degrade{degrade_options};
+        degrade.add_trace("micro", trace);
+        degrade.pause();
+        std::vector<serve::submission> wave;
+        for (const serve::service_request& request : requests) {
+            wave.push_back(degrade.submit("micro", request));
+        }
+        degrade.resume();
+        std::uint64_t shed = 0;
+        for (serve::submission& handle : wave) {
+            shed += handle.get().degraded ? 1 : 0;
+        }
+        DEW_ASSERT(shed == requests.size() - 1);
+        m.degraded_served = degrade.stats().degraded_served;
+        DEW_ASSERT(m.degraded_served == shed);
+    }
     return m;
 }
 
@@ -626,8 +715,14 @@ void write_micro_json() {
                  serve.requests_per_sec);
     std::fprintf(out, "  \"serve_cache_hit_rate\": %.4f,\n",
                  serve.cache_hit_rate);
-    std::fprintf(out, "  \"serve_coalesce_factor\": %.3f\n",
+    std::fprintf(out, "  \"serve_coalesce_factor\": %.3f,\n",
                  serve.coalesce_factor);
+    std::fprintf(out, "  \"serve_timeout_rate\": %.4f,\n",
+                 serve.timeout_rate);
+    std::fprintf(out, "  \"serve_degraded_served\": %llu,\n",
+                 static_cast<unsigned long long>(serve.degraded_served));
+    std::fprintf(out, "  \"serve_retry_success_rate\": %.4f\n",
+                 serve.retry_success_rate);
     std::fprintf(out, "}\n");
     std::fclose(out);
 
@@ -657,6 +752,11 @@ void write_micro_json() {
                 "hit rate %.2f, coalesce factor %.2f\n",
                 serve.requests_per_sec, serve.cache_hit_rate,
                 serve.coalesce_factor);
+    std::printf("sweep service robustness: timeout rate %.2f (half-expired "
+                "wave), retry success rate %.2f (first-attempt faults), "
+                "%llu requests shed to the estimate tier\n",
+                serve.timeout_rate, serve.retry_success_rate,
+                static_cast<unsigned long long>(serve.degraded_served));
     std::printf("sweep memory: eager %.1f B/ref vs streaming %.2f B/ref "
                 "(x%.0f smaller), throughput %.2fM vs %.2fM acc/s\n\n",
                 sweeps.eager.peak_bytes_per_ref,

@@ -3,15 +3,21 @@
 // front end produces (many tools asking overlapping questions about a
 // shared trace corpus).
 //
-// Three workload phases over one corpus trace:
+// Five workload phases over one corpus trace:
 //   cold     every distinct request once — pure simulation, the floor;
 //   storm    every distinct request duplicated D-fold, submitted with the
 //            workers gated so all duplicates are provably in flight —
 //            coalescing absorbs D-1 of every D;
-//   replay   the whole storm again — the cache absorbs everything.
+//   replay   the whole storm again — the cache absorbs everything;
+//   deadline the cold phase with a generous deadline on every request —
+//            the deadline bookkeeping's overhead against `cold` (nothing
+//            may actually time out);
+//   degrade  the storm against an overflow_policy::degrade service with a
+//            low watermark — queued-up exact requests shed to the
+//            estimate tier instead of waiting.
 // Each phase reports requests/sec plus the service's own counters, and an
 // exactness gate first proves a served answer bit-identical to a direct
-// run_sweep.  The serve_* fields of BENCH_micro.json are the same three
+// run_sweep.  The serve_* fields of BENCH_micro.json are the same
 // quantities measured by bench_micro's harness (docs/PERF.md).
 #include <chrono>
 #include <cstdio>
@@ -55,28 +61,38 @@ struct phase_numbers {
     double cache_hit_rate{0.0};
     double coalesce_factor{0.0};
     std::uint64_t computations{0};
+    std::uint64_t degraded{0};
+    std::uint64_t timeouts{0};
 };
 
 phase_numbers run_phase(serve::service& service,
                         const std::vector<serve::service_request>& requests,
-                        std::size_t repeats, bool gate) {
+                        std::size_t repeats, bool gate,
+                        std::chrono::nanoseconds deadline =
+                            std::chrono::nanoseconds{0}) {
     const serve::service_stats before = service.stats();
     if (gate) {
         service.pause();
     }
-    std::vector<std::future<serve::service_result>> futures;
-    futures.reserve(requests.size() * repeats);
+    std::vector<serve::submission> handles;
+    handles.reserve(requests.size() * repeats);
     const auto start = std::chrono::steady_clock::now();
     for (std::size_t repeat = 0; repeat < repeats; ++repeat) {
-        for (const serve::service_request& request : requests) {
-            futures.push_back(service.submit("corpus", request));
+        for (serve::service_request request : requests) {
+            request.deadline = deadline;
+            handles.push_back(service.submit("corpus", request));
         }
     }
     if (gate) {
         service.resume();
     }
-    for (std::future<serve::service_result>& future : futures) {
-        (void)future.get();
+    phase_numbers numbers;
+    for (serve::submission& handle : handles) {
+        try {
+            numbers.degraded += handle.get().degraded ? 1 : 0;
+        } catch (const serve::service_timeout&) {
+            ++numbers.timeouts;
+        }
     }
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -84,9 +100,8 @@ phase_numbers run_phase(serve::service& service,
             .count();
 
     const serve::service_stats after = service.stats();
-    phase_numbers numbers;
     numbers.requests_per_sec =
-        static_cast<double>(futures.size()) / seconds;
+        static_cast<double>(handles.size()) / seconds;
     const std::uint64_t submitted = after.submitted - before.submitted;
     numbers.cache_hit_rate =
         submitted == 0 ? 0.0
@@ -167,6 +182,7 @@ int main() {
     };
     const auto cold_service = fresh_service();
     const auto storm_service = fresh_service();
+    const auto deadline_service = fresh_service();
 
     const phase_numbers cold =
         run_phase(*cold_service, requests, 1, /*gate=*/false);
@@ -174,24 +190,57 @@ int main() {
         run_phase(*storm_service, requests, duplicates, /*gate=*/true);
     const phase_numbers replay =
         run_phase(*storm_service, requests, duplicates, /*gate=*/false);
+    // Deadline overhead: same cold workload, every submission carrying a
+    // deadline far beyond the runtime.  Nothing may time out — the phase
+    // measures the pure cost of the deadline sweeps being armed.
+    const phase_numbers deadline =
+        run_phase(*deadline_service, requests, 1, /*gate=*/false,
+                  std::chrono::minutes{10});
+    DEW_ASSERT(deadline.timeouts == 0);
+
+    // Graceful degradation: the storm against a degrade-policy service
+    // with the watermark at 1, so everything behind the first exact
+    // request sheds to the estimate tier instead of queueing.
+    serve::service_options degrade_options{2, 256,
+                                           serve::overflow_policy::degrade,
+                                           {8, 256}};
+    degrade_options.degrade_watermark = 1;
+    serve::service degrade_service{degrade_options};
+    degrade_service.add_trace(
+        "corpus",
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg,
+                                     trace_records));
+    const phase_numbers degrade =
+        run_phase(degrade_service, requests, duplicates, /*gate=*/true);
 
     bench::text_table table{{"phase", "requests", "req/s", "hit rate",
-                             "coalesce", "computations"}};
+                             "coalesce", "computations", "degraded"}};
     table.add_row({"cold", std::to_string(requests.size()),
                    fixed(cold.requests_per_sec, 1),
                    fixed(cold.cache_hit_rate, 2),
                    fixed(cold.coalesce_factor, 2),
-                   std::to_string(cold.computations)});
+                   std::to_string(cold.computations), "0"});
     table.add_row({"storm", std::to_string(requests.size() * duplicates),
                    fixed(storm.requests_per_sec, 1),
                    fixed(storm.cache_hit_rate, 2),
                    fixed(storm.coalesce_factor, 2),
-                   std::to_string(storm.computations)});
+                   std::to_string(storm.computations), "0"});
     table.add_row({"replay", std::to_string(requests.size() * duplicates),
                    fixed(replay.requests_per_sec, 1),
                    fixed(replay.cache_hit_rate, 2),
                    fixed(replay.coalesce_factor, 2),
-                   std::to_string(replay.computations)});
+                   std::to_string(replay.computations), "0"});
+    table.add_row({"deadline", std::to_string(requests.size()),
+                   fixed(deadline.requests_per_sec, 1),
+                   fixed(deadline.cache_hit_rate, 2),
+                   fixed(deadline.coalesce_factor, 2),
+                   std::to_string(deadline.computations), "0"});
+    table.add_row({"degrade", std::to_string(requests.size() * duplicates),
+                   fixed(degrade.requests_per_sec, 1),
+                   fixed(degrade.cache_hit_rate, 2),
+                   fixed(degrade.coalesce_factor, 2),
+                   std::to_string(degrade.computations),
+                   std::to_string(degrade.degraded)});
     table.print(std::cout);
 
     const serve::service_stats stats = storm_service->stats();
@@ -205,5 +254,13 @@ int main() {
     std::printf("storm phase duplicates coalesce %.0f-to-1; replay phase "
                 "answers everything from the cache (hit rate %.2f)\n",
                 storm.coalesce_factor, replay.cache_hit_rate);
+    std::printf("deadline phase overhead vs cold: %.1f%%; degrade phase "
+                "shed %llu of %zu requests to the estimate tier\n",
+                cold.requests_per_sec <= 0.0
+                    ? 0.0
+                    : (cold.requests_per_sec - deadline.requests_per_sec) /
+                          cold.requests_per_sec * 100.0,
+                static_cast<unsigned long long>(degrade.degraded),
+                requests.size() * duplicates);
     return 0;
 }

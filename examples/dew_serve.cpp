@@ -6,8 +6,14 @@
 //     --workers N         worker threads of the pool     (default 2)
 //     --queue N           bounded job-queue capacity     (default 256)
 //     --cache N           result-cache entry capacity    (default 1024)
+//     --deadline-ms N     per-request deadline in milliseconds (0 = none)
+//     --max-retries N     transient-fault retries per flight (default 2)
+//     --degrade           shed exact load to the estimate tier past the
+//                         queue high-watermark (overflow_policy::degrade)
 //     --save FILE         persist the exact result cache on exit
-//     --load FILE         warm the cache from a previous --save
+//                         (written atomically: FILE.tmp then rename)
+//     --load FILE         warm the cache from a previous --save; a damaged
+//                         file is salvaged, not fatal
 //     --demo              run a built-in workload instead of a file
 //
 // Workload file format (one directive per line, '#' comments):
@@ -18,21 +24,31 @@
 //       submits a sweep request (repeated N times with xN): mode is
 //       exact|representative, engine is dew|cipar, blocks/assocs are
 //       comma-separated power-of-two lists
+//   fault <count>
+//       arms the fault-injection hook: the next <count> first-attempt
+//       shard-job executions throw a transient I/O fault, exercising the
+//       retry policy (retries are never re-faulted, so --max-retries >= 1
+//       keeps the workload succeeding)
 //
 // Example:
 //   trace jpeg cjpeg 200000
 //   request jpeg exact dew 10 16,32,64 2,4 x8
+//   fault 2
 //   request jpeg representative dew 10 16,32,64 2,4
 //
 // All requests are submitted asynchronously in file order, then drained;
 // the summary shows how many answers came from simulation, the cache, or a
-// coalesced neighbour.
+// coalesced neighbour, how many were degraded, retried, timed out or
+// failed.  Failed requests are tallied and reported, not fatal: one bad
+// line must not discard the rest of the replay's answers.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -40,6 +56,7 @@
 
 #include "serve/service.hpp"
 #include "trace/digest.hpp"
+#include "trace/fault.hpp"
 #include "trace/mediabench.hpp"
 
 namespace {
@@ -49,10 +66,19 @@ using namespace dew;
 [[noreturn]] void usage() {
     std::fprintf(stderr,
                  "usage: dew_serve <workload-file> [--workers N] "
-                 "[--queue N] [--cache N] [--save FILE] [--load FILE] "
-                 "| dew_serve --demo\n");
+                 "[--queue N] [--cache N] [--deadline-ms N] "
+                 "[--max-retries N] [--degrade] [--save FILE] "
+                 "[--load FILE] | dew_serve --demo\n");
     std::exit(2);
 }
+
+// The `fault` directive's ammunition: how many flights still owe their
+// first attempt a transient fault.  Shared with the service's fault hook,
+// which runs on worker threads.
+struct fault_plan {
+    std::atomic<std::int64_t> remaining{0};
+    std::atomic<std::uint64_t> injected{0};
+};
 
 std::vector<std::uint32_t> parse_list(const std::string& text) {
     std::vector<std::uint32_t> values;
@@ -111,10 +137,16 @@ request jpeg exact dew 10 64,32,16 4,2 x4
 
 struct pending {
     std::string line;
-    std::future<serve::service_result> future;
+    serve::submission handle;
+};
+
+struct replay_options {
+    std::chrono::nanoseconds deadline{0};
+    std::shared_ptr<fault_plan> faults;
 };
 
 void replay(std::istream& workload, serve::service& service,
+            const replay_options& replay_opts,
             std::vector<pending>& submitted) {
     std::string line;
     std::size_t line_number = 0;
@@ -196,10 +228,20 @@ void replay(std::istream& workload, serve::service& service,
                 } else if (mode != "exact") {
                     throw std::invalid_argument{"unknown mode: " + mode};
                 }
+                request.deadline = replay_opts.deadline;
                 for (std::size_t i = 0; i < repeat; ++i) {
                     submitted.push_back(
                         {line, service.submit(trace_name, request)});
                 }
+            } else if (directive == "fault") {
+                std::int64_t count = 0;
+                if (!(fields >> count) || count < 0) {
+                    throw std::invalid_argument{"malformed fault directive"};
+                }
+                replay_opts.faults->remaining.fetch_add(count);
+                std::printf("fault    armed for %lld shard-job "
+                            "executions\n",
+                            static_cast<long long>(count));
             } else {
                 throw std::invalid_argument{"unknown directive: " +
                                             directive};
@@ -220,6 +262,7 @@ int main(int argc, char** argv) {
     std::string load_path;
     bool demo = false;
     serve::service_options options;
+    replay_options replay_opts;
     try {
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -236,6 +279,14 @@ int main(int argc, char** argv) {
                 options.queue_capacity = std::stoul(value());
             } else if (arg == "--cache") {
                 options.cache.capacity = std::stoul(value());
+            } else if (arg == "--deadline-ms") {
+                replay_opts.deadline = std::chrono::milliseconds{
+                    std::stoul(value())};
+            } else if (arg == "--max-retries") {
+                options.max_retries =
+                    static_cast<unsigned>(std::stoul(value()));
+            } else if (arg == "--degrade") {
+                options.overflow = serve::overflow_policy::degrade;
             } else if (arg == "--save") {
                 save_path = value();
             } else if (arg == "--load") {
@@ -258,6 +309,22 @@ int main(int argc, char** argv) {
         usage();
     }
 
+    // The injection hook is always installed; it costs one relaxed load
+    // per shard job until a `fault` directive arms it.
+    replay_opts.faults = std::make_shared<fault_plan>();
+    options.fault_hook = [plan = replay_opts.faults](std::size_t,
+                                                     unsigned attempt) {
+        if (attempt != 0 ||
+            plan->remaining.load(std::memory_order_relaxed) <= 0) {
+            return;
+        }
+        if (plan->remaining.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+            return; // another job took the last round
+        }
+        plan->injected.fetch_add(1, std::memory_order_relaxed);
+        throw trace::io_fault{"dew_serve: injected transient fault"};
+    };
+
     std::optional<serve::service> service_storage;
     try {
         service_storage.emplace(options);
@@ -274,13 +341,18 @@ int main(int argc, char** argv) {
                          load_path.c_str());
             return 1;
         }
-        try {
-            std::printf("cache    warmed with %zu entries from %s\n",
-                        service.load_cache(in), load_path.c_str());
-        } catch (const std::exception& error) {
-            std::fprintf(stderr, "dew_serve: %s: %s\n", load_path.c_str(),
-                         error.what());
-            return 1;
+        // Salvage mode: a cache file damaged by a crash mid-save warms the
+        // cache with its verified prefix instead of killing the replay.
+        const serve::cache_load_report report =
+            service.load_cache(in, serve::load_mode::salvage);
+        std::printf("cache    warmed with %zu entries from %s\n",
+                    report.loaded, load_path.c_str());
+        if (report.salvaged) {
+            std::fprintf(stderr,
+                         "dew_serve: %s was damaged: salvaged %zu entries, "
+                         "skipped %zu (first fault at byte %zu)\n",
+                         load_path.c_str(), report.loaded, report.skipped,
+                         report.salvaged_at);
         }
     }
 
@@ -288,7 +360,7 @@ int main(int argc, char** argv) {
     const auto start = std::chrono::steady_clock::now();
     if (demo) {
         std::istringstream workload{demo_workload};
-        replay(workload, service, submitted);
+        replay(workload, service, replay_opts, submitted);
     } else {
         std::ifstream workload{workload_path};
         if (!workload) {
@@ -296,7 +368,7 @@ int main(int argc, char** argv) {
                          workload_path.c_str());
             return 1;
         }
-        replay(workload, service, submitted);
+        replay(workload, service, replay_opts, submitted);
     }
 
     std::size_t simulated = 0;
@@ -304,18 +376,26 @@ int main(int argc, char** argv) {
     std::size_t from_coalescing = 0;
     std::size_t estimates = 0;
     std::size_t fallbacks = 0;
+    std::size_t degraded = 0;
+    std::size_t timed_out = 0;
+    std::size_t failed = 0;
     for (pending& p : submitted) {
+        // A failed request is tallied, not fatal: one expired deadline or
+        // exhausted retry must not discard every other answer's books.
         try {
-            const serve::service_result answer = p.future.get();
+            const serve::service_result answer = p.handle.get();
             simulated += !answer.cache_hit && !answer.coalesced;
             from_cache += answer.cache_hit;
             from_coalescing += answer.coalesced;
             estimates += answer.estimated;
             fallbacks += answer.fell_back_exact;
+            degraded += answer.degraded;
+        } catch (const serve::service_timeout&) {
+            ++timed_out;
         } catch (const std::exception& error) {
+            ++failed;
             std::fprintf(stderr, "dew_serve: request failed (%s): %s\n",
                          p.line.c_str(), error.what());
-            return 1;
         }
     }
     const double seconds =
@@ -331,8 +411,9 @@ int main(int argc, char** argv) {
                 "(factor %.2f)\n",
                 simulated, from_cache, stats.cache_hit_rate(),
                 from_coalescing, stats.coalesce_factor());
-    std::printf("  estimates served %zu (exact fallbacks %zu)\n", estimates,
-                fallbacks);
+    std::printf("  estimates served %zu (exact fallbacks %zu), degraded "
+                "%zu\n",
+                estimates, fallbacks, degraded);
     std::printf("  computations %llu over %llu shard jobs; streams built "
                 "%llu, reused %llu; evictions %llu\n",
                 static_cast<unsigned long long>(stats.computations),
@@ -340,16 +421,40 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.stream_builds),
                 static_cast<unsigned long long>(stats.stream_reuses),
                 static_cast<unsigned long long>(stats.cache_evictions));
+    std::printf("  faults injected %llu; retries %llu (recovered %llu "
+                "flights); timed out %zu, failed %zu\n",
+                static_cast<unsigned long long>(
+                    replay_opts.faults->injected.load()),
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.retry_successes),
+                timed_out, failed);
 
     if (!save_path.empty()) {
-        std::ofstream out{save_path, std::ios::binary};
-        if (!out) {
-            std::fprintf(stderr, "dew_serve: cannot write %s\n",
-                         save_path.c_str());
+        // Atomic save: stage into FILE.tmp and rename over FILE, so a
+        // crash mid-save can corrupt only the staging file — the previous
+        // snapshot survives intact (and even a torn FILE.tmp salvages).
+        const std::string staging = save_path + ".tmp";
+        {
+            std::ofstream out{staging, std::ios::binary | std::ios::trunc};
+            if (!out) {
+                std::fprintf(stderr, "dew_serve: cannot write %s\n",
+                             staging.c_str());
+                return 1;
+            }
+            service.save_cache(out);
+            out.flush();
+            if (!out) {
+                std::fprintf(stderr, "dew_serve: write to %s failed\n",
+                             staging.c_str());
+                return 1;
+            }
+        }
+        if (std::rename(staging.c_str(), save_path.c_str()) != 0) {
+            std::fprintf(stderr, "dew_serve: cannot rename %s to %s\n",
+                         staging.c_str(), save_path.c_str());
             return 1;
         }
-        service.save_cache(out);
         std::printf("cache    saved to %s\n", save_path.c_str());
     }
-    return 0;
+    return failed == 0 ? 0 : 1;
 }

@@ -4,32 +4,52 @@
 #include <bit>
 #include <cstring>
 #include <istream>
+#include <iterator>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 
+#include "common/bits.hpp"
 #include "common/io.hpp"
 #include "dew/result_io.hpp"
 
 namespace dew::serve {
 
-// Cache file layout (all integers little-endian):
+// Cache file layout, version 2 (all integers little-endian):
 //   magic   4 bytes  "DSCF"
-//   version u32      currently 1
+//   version u32      currently 2
 //   count   u64      number of entries
 //   entries count x { key 4 x u64 (trace digest words, fingerprint words),
-//                     one dew::core result record ("DSWR", self-delimiting) }
-// Trailing bytes after the last entry are rejected: the file is the whole
-// stream, so anything after `count` entries is corruption, not framing.
+//                     one dew::core result record ("DSWR", self-delimiting),
+//                     checksum u64 of this entry's key + record bytes }
+//   footer  u64      checksum of every preceding byte of the file
+// The per-entry checksums are what make salvage loading safe: an entry
+// whose bytes rotted but still happen to frame is caught entry-precisely,
+// so recovery keeps exactly the verified prefix.  The footer catches
+// header/count damage and (in strict mode) any trailing garbage.
 namespace {
 
 constexpr char cache_magic[4] = {'D', 'S', 'C', 'F'};
-constexpr std::uint32_t cache_version = 1;
+constexpr std::uint32_t cache_version = 2;
 
 // Little-endian writers shared with every other binary format.
 using dew::put_u32_le;
 using dew::put_u64_le;
+
+// FNV-1a over the bytes, splitmix-finalised so short/regular inputs still
+// avalanche.  Not cryptographic — it detects truncation and bit rot, not
+// adversaries (the cache file is a local artifact, not an input channel).
+std::uint64_t checksum64(std::string_view data) noexcept {
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    for (const char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001B3ull;
+    }
+    return mix64(hash);
+}
 
 // `where` names the field and, for fixed-offset header fields, its byte
 // offset; entry-relative faults are located by the entry ordinal the
@@ -151,67 +171,167 @@ void result_cache::save(std::ostream& out) const {
             }
         }
     }
-    out.write(cache_magic, sizeof(cache_magic));
-    put_u32_le(out, cache_version);
-    put_u64_le(out, entries.size());
+    // Stage the whole file so the footer checksum can cover every byte
+    // before it; the staging cost is the file itself, which persistence
+    // pays anyway.
+    std::ostringstream buffer;
+    buffer.write(cache_magic, sizeof(cache_magic));
+    put_u32_le(buffer, cache_version);
+    put_u64_le(buffer, entries.size());
     for (const auto& [key, value] : entries) {
-        put_u64_le(out, key.trace.words[0]);
-        put_u64_le(out, key.trace.words[1]);
-        put_u64_le(out, key.request[0]);
-        put_u64_le(out, key.request[1]);
-        core::write_binary_result(out, *value->sweep);
+        std::ostringstream entry;
+        put_u64_le(entry, key.trace.words[0]);
+        put_u64_le(entry, key.trace.words[1]);
+        put_u64_le(entry, key.request[0]);
+        put_u64_le(entry, key.request[1]);
+        core::write_binary_result(entry, *value->sweep);
+        const std::string bytes = entry.str();
+        buffer.write(bytes.data(),
+                     static_cast<std::streamsize>(bytes.size()));
+        put_u64_le(buffer, checksum64(bytes));
     }
+    const std::string body = buffer.str();
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    put_u64_le(out, checksum64(body));
 }
 
-std::size_t result_cache::load(std::istream& in) {
-    std::array<char, 8> header{};
-    in.read(header.data(), static_cast<std::streamsize>(header.size()));
-    if (in.gcount() != static_cast<std::streamsize>(header.size())) {
-        throw std::runtime_error{
-            "truncated cache file: header needs 8 bytes, stream ended at "
-            "byte offset " + std::to_string(in.gcount())};
-    }
-    if (std::memcmp(header.data(), cache_magic, sizeof(cache_magic)) != 0) {
-        throw std::runtime_error{
-            "bad cache file magic at byte offset 0 (want \"DSCF\")"};
-    }
-    std::uint32_t version = 0;
-    for (std::size_t i = 8; i-- > 4;) {
-        version = (version << 8) | static_cast<unsigned char>(header[i]);
-    }
-    if (version != cache_version) {
-        throw std::runtime_error{"unsupported cache file version " +
-                                 std::to_string(version) +
-                                 " at byte offset 4"};
-    }
-    const std::uint64_t count = get_u64(in, "entry count at byte offset 8");
-    std::size_t loaded = 0;
-    for (std::uint64_t entry = 0; entry < count; ++entry) {
-        request_key key;
-        // Offsets of later entries depend on variable-length payloads; the
-        // entry ordinal locates the fault, the nested reader the byte.
-        try {
-            key.trace.words[0] = get_u64(in, "trace digest");
-            key.trace.words[1] = get_u64(in, "trace digest");
-            key.request[0] = get_u64(in, "request fingerprint");
-            key.request[1] = get_u64(in, "request fingerprint");
-            auto value = std::make_shared<cached_value>();
-            value->sweep = std::make_shared<const core::sweep_result>(
-                core::read_binary_result(in));
-            insert(key, std::move(value));
-        } catch (const std::runtime_error& error) {
-            throw std::runtime_error{
-                "cache file entry " + std::to_string(entry) + " of " +
-                std::to_string(count) + ": " + error.what()};
+cache_load_report result_cache::load(std::istream& in, load_mode mode) {
+    // The whole stream is read up front: salvage needs byte-exact fault
+    // offsets, strict needs all-or-nothing semantics, and the footer
+    // checksum covers every byte — all three want a resident image.
+    const std::string bytes{std::istreambuf_iterator<char>{in},
+                            std::istreambuf_iterator<char>{}};
+    const std::string_view view{bytes};
+    cache_load_report report;
+    // Entries parse and verify into here first; nothing touches the cache
+    // until the mode's acceptance rule has run (strict: the whole file;
+    // salvage: the verified prefix).
+    std::vector<std::pair<request_key, std::shared_ptr<const cached_value>>>
+        staged;
+
+    // In salvage mode a fault ends parsing instead of escaping; `fail`
+    // routes every fault through one place so the two modes cannot drift.
+    const auto fail = [&](std::uint64_t offset, const std::string& what) {
+        if (mode == load_mode::strict) {
+            throw std::runtime_error{what};
         }
-        ++loaded;
+        report.salvaged = true;
+        report.salvaged_at = offset;
+        report.checksum_ok = false;
+    };
+
+    std::istringstream parse{bytes};
+    std::uint64_t count = 0;
+    bool header_ok = false;
+    try {
+        std::array<char, 8> header{};
+        parse.read(header.data(),
+                   static_cast<std::streamsize>(header.size()));
+        if (parse.gcount() != static_cast<std::streamsize>(header.size())) {
+            throw std::runtime_error{
+                "truncated cache file: header needs 8 bytes, stream ended "
+                "at byte offset " + std::to_string(parse.gcount())};
+        }
+        if (std::memcmp(header.data(), cache_magic, sizeof(cache_magic)) !=
+            0) {
+            throw std::runtime_error{
+                "bad cache file magic at byte offset 0 (want \"DSCF\")"};
+        }
+        std::uint32_t version = 0;
+        for (std::size_t i = 8; i-- > 4;) {
+            version = (version << 8) | static_cast<unsigned char>(header[i]);
+        }
+        if (version != cache_version) {
+            throw std::runtime_error{"unsupported cache file version " +
+                                     std::to_string(version) +
+                                     " at byte offset 4"};
+        }
+        count = get_u64(parse, "entry count at byte offset 8");
+        header_ok = true;
+    } catch (const std::runtime_error& error) {
+        fail(0, error.what());
     }
-    if (in.peek() != std::istream::traits_type::eof()) {
-        throw std::runtime_error{
-            "over-long cache file: trailing bytes after the declared " +
-            std::to_string(count) + " entries"};
+
+    if (header_ok) {
+        for (std::uint64_t entry = 0; entry < count; ++entry) {
+            const std::uint64_t start =
+                static_cast<std::uint64_t>(parse.tellg());
+            try {
+                request_key key;
+                key.trace.words[0] = get_u64(parse, "trace digest");
+                key.trace.words[1] = get_u64(parse, "trace digest");
+                key.request[0] = get_u64(parse, "request fingerprint");
+                key.request[1] = get_u64(parse, "request fingerprint");
+                auto value = std::make_shared<cached_value>();
+                value->sweep = std::make_shared<const core::sweep_result>(
+                    core::read_binary_result(parse));
+                const std::uint64_t end =
+                    static_cast<std::uint64_t>(parse.tellg());
+                const std::uint64_t want =
+                    get_u64(parse, "entry checksum");
+                const std::uint64_t got = checksum64(
+                    view.substr(static_cast<std::size_t>(start),
+                                static_cast<std::size_t>(end - start)));
+                if (want != got) {
+                    throw std::runtime_error{
+                        "entry checksum mismatch over bytes [" +
+                        std::to_string(start) + ", " + std::to_string(end) +
+                        ")"};
+                }
+                staged.emplace_back(key, std::move(value));
+            } catch (const std::runtime_error& error) {
+                // Offsets of later entries depend on variable-length
+                // payloads; the entry ordinal locates the fault, the
+                // nested reader the byte.
+                fail(start, "cache file entry " + std::to_string(entry) +
+                                " of " + std::to_string(count) + ": " +
+                                error.what());
+                break;
+            }
+        }
     }
-    return loaded;
+
+    if (header_ok && !report.salvaged) {
+        // Footer: 8 bytes checksumming everything before them.
+        const std::uint64_t footer_at =
+            static_cast<std::uint64_t>(parse.tellg());
+        try {
+            const std::uint64_t want = get_u64(parse, "footer checksum");
+            const std::uint64_t got = checksum64(
+                view.substr(0, static_cast<std::size_t>(footer_at)));
+            if (want != got) {
+                throw std::runtime_error{
+                    "footer checksum mismatch at byte offset " +
+                    std::to_string(footer_at) +
+                    " (header or entry framing bytes are damaged)"};
+            }
+            report.checksum_ok = true;
+        } catch (const std::runtime_error& error) {
+            fail(footer_at, error.what());
+        }
+        if (!report.salvaged &&
+            static_cast<std::uint64_t>(footer_at) + 8 < bytes.size()) {
+            // Entries and footer verified but bytes follow: corruption by
+            // construction (the file is the whole stream).  Strict rejects;
+            // salvage keeps the verified entries and flags the tail.
+            if (mode == load_mode::strict) {
+                throw std::runtime_error{
+                    "over-long cache file: trailing bytes after the "
+                    "declared " + std::to_string(count) + " entries"};
+            }
+            report.salvaged = true;
+            report.salvaged_at = footer_at + 8;
+        }
+    }
+
+    for (auto& [key, value] : staged) {
+        insert(key, std::move(value));
+    }
+    report.loaded = staged.size();
+    report.skipped = static_cast<std::size_t>(count) > report.loaded
+                         ? static_cast<std::size_t>(count) - report.loaded
+                         : 0;
+    return report;
 }
 
 } // namespace dew::serve

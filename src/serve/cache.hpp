@@ -14,9 +14,12 @@
 //
 // Persistence reuses dew::result_io's hardened binary round trip: save()
 // writes every *exact* entry (estimates are cheap to recompute and carry
-// analysis state that is not worth freezing), load() re-inserts them and
-// rejects malformed input with the byte-offset-naming errors of
-// read_binary_result.
+// analysis state that is not worth freezing) and checksums each entry plus
+// the whole file.  load() is transactional in strict mode — a malformed or
+// checksum-failing file throws the byte-offset-naming errors of
+// read_binary_result and inserts NOTHING — and crash-tolerant in salvage
+// mode: every entry framed and checksummed before the first fault byte is
+// recovered, the rest reported, never a partial or unverified entry.
 #ifndef DEW_SERVE_CACHE_HPP
 #define DEW_SERVE_CACHE_HPP
 
@@ -55,6 +58,33 @@ struct cached_value {
     double max_abs_error_pp{0.0};
 };
 
+// How load() treats a damaged file.
+enum class load_mode : std::uint8_t {
+    // All-or-nothing: any framing fault, checksum mismatch or trailing
+    // garbage throws std::runtime_error (byte-offset-naming) and the cache
+    // is left exactly as it was — no partially-loaded state.
+    strict = 0,
+    // Crash recovery: keep every entry up to the first fault byte, skip
+    // the rest, report what happened instead of throwing.  Entries are
+    // inserted only after their framing AND per-entry checksum verify, so
+    // a salvaged cache never serves a damaged answer.
+    salvage = 1,
+};
+
+struct cache_load_report {
+    std::size_t loaded{0};  // entries inserted into the cache
+    std::size_t skipped{0}; // declared entries not recovered (salvage only)
+    // True iff a fault was tolerated (salvage mode); salvaged_at is then
+    // the byte offset of the first byte that could not be used — every
+    // loaded entry was framed entirely inside [0, salvaged_at).
+    bool salvaged{false};
+    std::uint64_t salvaged_at{0};
+    // Whole-file footer checksum verified.  Always true in strict mode (a
+    // mismatch throws); in salvage mode false means the file was damaged
+    // even if every recovered entry passed its own checksum.
+    bool checksum_ok{true};
+};
+
 struct cache_stats {
     std::uint64_t hits{0};
     std::uint64_t misses{0};
@@ -82,12 +112,14 @@ public:
     [[nodiscard]] std::size_t size() const;
     void clear();
 
-    // Exact entries only; format documented in cache.cpp.  load() returns
-    // the number of entries inserted and throws std::runtime_error on
-    // malformed input (byte-offset-naming, via read_binary_result) without
-    // mutating the cache for entries past the fault.
+    // Exact entries only; format documented in cache.cpp (version 2: per-
+    // entry checksums + a whole-file footer checksum).  load() stages every
+    // entry before inserting any: strict mode is transactional (throws on
+    // any fault, cache untouched), salvage mode recovers the verified
+    // prefix and reports the rest (see load_mode / cache_load_report).
     void save(std::ostream& out) const;
-    std::size_t load(std::istream& in);
+    cache_load_report load(std::istream& in,
+                           load_mode mode = load_mode::strict);
 
 private:
     struct shard {

@@ -64,6 +64,10 @@ core::sweep_request canonical(const core::sweep_request& sweep) {
 service_request canonical(const service_request& request) {
     service_request normal = request;
     normal.sweep = canonical(request.sweep);
+    // A deadline is a property of one submission, not of the question; two
+    // requests differing only there are the same cache entry and the same
+    // in-flight computation.
+    normal.deadline = std::chrono::nanoseconds{0};
     if (normal.mode == service_mode::representative) {
         phase::validate(normal.phase);
         if (normal.error_budget_pp <= 0.0) {

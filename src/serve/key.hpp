@@ -25,6 +25,7 @@
 #define DEW_SERVE_KEY_HPP
 
 #include <array>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 
@@ -59,6 +60,15 @@ struct service_request {
     // (miss-rate percentage points).  <= 0: the estimate is served
     // uncalibrated — the cheap tier, no accuracy statement.
     double error_budget_pp{2.0};
+
+    // Per-submission answer deadline, relative to submit(); <= 0 (the
+    // default) means none.  A request past its deadline fails with
+    // service_timeout, and a flight none of whose waiters are still live
+    // never starts further shard work.  Excluded from the request identity
+    // (canonical() zeroes it): a deadline changes when the answer is
+    // useful, never what the answer is — so requests differing only in
+    // deadline still coalesce and share cache entries.
+    std::chrono::nanoseconds deadline{0};
 };
 
 // Normal forms (see above).  Throws std::invalid_argument on an ill-formed

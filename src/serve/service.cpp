@@ -1,10 +1,12 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <system_error>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -14,10 +16,41 @@
 #include "dew/pass.hpp"
 #include "phase/representative_sweep.hpp"
 #include "trace/digest.hpp"
+#include "trace/fault.hpp"
 
 namespace dew::serve {
 
+fault_class classify_fault(const std::exception_ptr& error) noexcept {
+    // Most-derived first; the generic std::runtime_error and the catch-all
+    // land on permanent — when in doubt, do not retry.
+    try {
+        std::rethrow_exception(error);
+    } catch (const trace::io_fault&) {
+        return fault_class::transient;
+    } catch (const service_overloaded&) {
+        return fault_class::transient;
+    } catch (const service_timeout&) {
+        return fault_class::permanent; // a terminal outcome, not a hiccup
+    } catch (const service_cancelled&) {
+        return fault_class::permanent;
+    } catch (const std::system_error&) {
+        // std::ios_base::failure derives from here since C++11: stream and
+        // OS-level I/O trouble is the canonical retryable fault.
+        return fault_class::transient;
+    } catch (const std::logic_error&) {
+        // invalid_argument, contract_violation, ...: the request or the
+        // code is wrong; the retry would fail identically.
+        return fault_class::permanent;
+    } catch (...) {
+        return fault_class::permanent;
+    }
+}
+
 namespace {
+
+using clock = std::chrono::steady_clock;
+
+constexpr clock::time_point no_deadline = clock::time_point::max();
 
 service_result to_result(const cached_value& value) {
     service_result out;
@@ -28,6 +61,40 @@ service_result to_result(const cached_value& value) {
     out.max_abs_error_pp = value.max_abs_error_pp;
     return out;
 }
+
+// Every stat the service counts, in one shared block: submission handles
+// (whose cancel() must keep counting after the service is destroyed) and
+// the service itself update the same atomics through a shared_ptr.
+struct counters {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> coalesced{0};
+    std::atomic<std::uint64_t> computations{0};
+    std::atomic<std::uint64_t> shard_jobs{0};
+    std::atomic<std::uint64_t> stream_builds{0};
+    std::atomic<std::uint64_t> stream_reuses{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> representative_served{0};
+    std::atomic<std::uint64_t> exact_fallbacks{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> cancellations{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> retry_successes{0};
+    std::atomic<std::uint64_t> transient_faults{0};
+    std::atomic<std::uint64_t> permanent_faults{0};
+    std::atomic<std::uint64_t> degraded_served{0};
+    std::atomic<std::uint64_t> expired_flights{0};
+};
+
+// One caller of one flight.  `deadline` is absolute (no_deadline = none);
+// `settled` flips exactly once — whichever of answer / fault / timeout /
+// cancel gets there first owns the promise.
+struct waiter {
+    std::promise<service_result> promise;
+    clock::time_point deadline{no_deadline};
+    bool settled{false};
+};
 
 } // namespace
 
@@ -50,21 +117,33 @@ struct service::trace_entry {
 };
 
 // One coalesced computation: every submit of the same key while this flight
-// is in the air appends a promise instead of new work.
+// is in the air appends a waiter instead of new work.
 struct service::flight {
     service_request request; // canonical form — what actually runs
     request_key key;
     std::shared_ptr<trace_entry> trace;
-    std::chrono::steady_clock::time_point start;
+    clock::time_point start;
+    // Degraded flights answer an exact question from the estimate tier;
+    // they never enter the in-flight map (coalescing would hand one
+    // caller's degraded answer to another who might have been served
+    // exactly) and never enter the cache.
+    bool degraded{false};
 
-    std::mutex mutex; // guards waiters / shard_results / value / error
-    std::vector<std::promise<service_result>> waiters; // [0] = initiator
+    std::mutex mutex; // guards waiters/live/earliest_deadline/results/error
+    std::vector<waiter> waiters; // [0] = initiator; indices never move
+    std::size_t live{0};         // waiters not yet settled
+    clock::time_point earliest_deadline{no_deadline};
     // Exact tier: one slot per distinct block size (canonical grids are
     // sorted and unique), each filled by one shard job.
     std::vector<std::vector<core::dew_result>> shard_results;
     cached_value value;
     std::exception_ptr error; // first failing job wins
 
+    // No live waiters left (all timed out / cancelled): queued jobs skip,
+    // running ones are discarded, nothing is cached.  Set under `mutex`,
+    // read lock-free by the job runner; never unset.
+    std::atomic<bool> abandoned{false};
+    std::atomic<unsigned> attempt{0};      // 0 = first try
     std::atomic<std::size_t> remaining{0}; // jobs not yet finished
 };
 
@@ -76,6 +155,7 @@ struct service::job {
 struct service::state {
     service_options options;
     result_cache cache;
+    std::shared_ptr<counters> ctrs = std::make_shared<counters>();
 
     mutable std::mutex traces_mutex;
     std::unordered_map<std::string, std::shared_ptr<trace_entry>> traces;
@@ -101,32 +181,99 @@ struct service::state {
     bool stop{false};
     std::vector<std::thread> workers;
 
-    std::atomic<std::uint64_t> submitted{0};
-    std::atomic<std::uint64_t> completed{0};
-    std::atomic<std::uint64_t> cache_hits{0};
-    std::atomic<std::uint64_t> coalesced{0};
-    std::atomic<std::uint64_t> computations{0};
-    std::atomic<std::uint64_t> shard_jobs{0};
-    std::atomic<std::uint64_t> stream_builds{0};
-    std::atomic<std::uint64_t> stream_reuses{0};
-    std::atomic<std::uint64_t> rejected{0};
-    std::atomic<std::uint64_t> representative_served{0};
-    std::atomic<std::uint64_t> exact_fallbacks{0};
+    // True once any submission ever carried a deadline; gates the deadline
+    // sweeps so a deadline-free workload pays one relaxed load per job.
+    std::atomic<bool> has_deadlines{false};
 
     explicit state(const service_options& opts)
         : options{opts}, cache{opts.cache} {}
 
-    // An already-ready future answering from the cache.
-    [[nodiscard]] std::future<service_result>
+    [[nodiscard]] std::size_t degrade_watermark() const noexcept {
+        if (options.degrade_watermark != 0) {
+            return options.degrade_watermark;
+        }
+        return options.queue_capacity / 2 == 0 ? 1
+                                               : options.queue_capacity / 2;
+    }
+
+    // An already-answered submission from the cache (no cancel lever —
+    // there is nothing left to withdraw).
+    [[nodiscard]] submission
     answer_from_cache(const std::shared_ptr<const cached_value>& cached) {
         std::promise<service_result> promise;
         service_result result = to_result(*cached);
         result.cache_hit = true;
         std::future<service_result> future = promise.get_future();
         promise.set_value(std::move(result));
-        cache_hits.fetch_add(1, std::memory_order_relaxed);
-        completed.fetch_add(1, std::memory_order_relaxed);
-        return future;
+        ctrs->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        ctrs->completed.fetch_add(1, std::memory_order_relaxed);
+        return submission{std::move(future), {}};
+    }
+
+    // The cancel lever for waiter `index` of `f`.  Captures only the
+    // flight and the counters (both shared), so it outlives the service.
+    [[nodiscard]] std::function<bool()>
+    make_cancel(std::shared_ptr<flight> f, std::size_t index) {
+        return [f = std::move(f), index, c = ctrs]() -> bool {
+            const std::lock_guard<std::mutex> lock{f->mutex};
+            waiter& w = f->waiters[index];
+            if (w.settled) {
+                return false;
+            }
+            w.settled = true;
+            w.promise.set_exception(std::make_exception_ptr(
+                service_cancelled{"serve: submission cancelled"}));
+            --f->live;
+            c->cancellations.fetch_add(1, std::memory_order_relaxed);
+            c->completed.fetch_add(1, std::memory_order_relaxed);
+            if (f->live == 0) {
+                f->abandoned.store(true, std::memory_order_release);
+            }
+            return true;
+        };
+    }
+
+    // Settles every waiter whose deadline has passed.  Called at the two
+    // scheduling points (job pickup, flight completion); gated on
+    // has_deadlines so deadline-free workloads skip even the clock read.
+    void sweep_deadlines(flight& f) {
+        if (!has_deadlines.load(std::memory_order_relaxed)) {
+            return;
+        }
+        const clock::time_point now = clock::now();
+        const std::lock_guard<std::mutex> lock{f.mutex};
+        if (now < f.earliest_deadline) {
+            return;
+        }
+        clock::time_point next = no_deadline;
+        for (waiter& w : f.waiters) {
+            if (w.settled) {
+                continue;
+            }
+            if (now < w.deadline) {
+                next = std::min(next, w.deadline);
+                continue;
+            }
+            w.settled = true;
+            w.promise.set_exception(std::make_exception_ptr(service_timeout{
+                "serve: submission deadline passed before the answer was "
+                "ready"}));
+            --f.live;
+            ctrs->timeouts.fetch_add(1, std::memory_order_relaxed);
+            ctrs->completed.fetch_add(1, std::memory_order_relaxed);
+        }
+        f.earliest_deadline = next;
+        if (f.live == 0 && !f.abandoned.load(std::memory_order_relaxed)) {
+            f.abandoned.store(true, std::memory_order_release);
+            ctrs->expired_flights.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    [[nodiscard]] static std::size_t job_count(const flight& f) noexcept {
+        return f.degraded ||
+                       f.request.mode == service_mode::representative
+                   ? 1
+                   : f.request.sweep.block_sizes.size();
     }
 
     [[nodiscard]] std::shared_ptr<const std::vector<std::uint64_t>>
@@ -151,10 +298,10 @@ struct service::state {
         if (!builder) {
             // Either already decoded or being decoded by another worker;
             // both count as a decode avoided.
-            stream_reuses.fetch_add(1, std::memory_order_relaxed);
+            ctrs->stream_reuses.fetch_add(1, std::memory_order_relaxed);
             return future.get();
         }
-        stream_builds.fetch_add(1, std::memory_order_relaxed);
+        ctrs->stream_builds.fetch_add(1, std::memory_order_relaxed);
         try {
             auto stream =
                 std::make_shared<const std::vector<std::uint64_t>>(
@@ -207,7 +354,7 @@ struct service::state {
             }
         }
         sweep->seconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - f.start)
+                             clock::now() - f.start)
                              .count();
         return sweep;
     }
@@ -217,7 +364,9 @@ struct service::state {
         rep.sweep = f.request.sweep;
         rep.phase = f.request.phase;
         rep.warmup_records = f.request.warmup_records;
-        rep.calibrate = f.request.error_budget_pp > 0.0;
+        // A degraded flight is shedding load: always the uncalibrated
+        // estimate, never a calibration run or an exact fallback.
+        rep.calibrate = !f.degraded && f.request.error_budget_pp > 0.0;
         auto estimate =
             std::make_shared<const phase::representative_sweep_result>(
                 phase::representative_sweep(f.trace->records, rep));
@@ -229,19 +378,35 @@ struct service::state {
             estimate->max_abs_error_pp > f.request.error_budget_pp) {
             value.sweep = exact_sweep(f);
             value.fell_back_exact = true;
-            exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+            ctrs->exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        } else if (f.degraded) {
+            ctrs->degraded_served.fetch_add(1, std::memory_order_relaxed);
         } else {
-            representative_served.fetch_add(1, std::memory_order_relaxed);
+            ctrs->representative_served.fetch_add(1,
+                                                  std::memory_order_relaxed);
         }
         const std::lock_guard<std::mutex> lock{f.mutex};
         f.value = std::move(value);
     }
 
     void run_job(const job& j) {
-        shard_jobs.fetch_add(1, std::memory_order_relaxed);
         flight& f = *j.target;
+        sweep_deadlines(f);
+        if (f.abandoned.load(std::memory_order_acquire)) {
+            // Skipped, never started: nobody is waiting for this work.
+            if (f.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                finish(j.target);
+            }
+            return;
+        }
+        ctrs->shard_jobs.fetch_add(1, std::memory_order_relaxed);
         try {
-            if (f.request.mode == service_mode::representative) {
+            if (options.fault_hook) {
+                options.fault_hook(
+                    j.shard, f.attempt.load(std::memory_order_relaxed));
+            }
+            if (f.degraded ||
+                f.request.mode == service_mode::representative) {
                 run_representative(f);
             } else {
                 run_exact_shard(f, j.shard);
@@ -257,21 +422,92 @@ struct service::state {
         }
     }
 
-    // Last job of a flight: assemble, cache, unmap, fulfil every waiter —
-    // in that order.  The result enters the cache *before* the flight
-    // leaves the in-flight map, so a submit racing with completion either
-    // coalesces (flight still mapped) or hits the cache: there is no window
-    // in which a duplicate restarts an already-answered computation.
-    // (A failed flight is the exception: it is unmapped without caching,
-    // so the next submit retries rather than being served a poisoned
-    // entry.)
+    // Retried flights jump the queue: pushed at the FRONT (ahead of new
+    // work — their waiters have been waiting longest) and exempt from the
+    // capacity bound.  The exemption is a deadlock matter, not a
+    // convenience: the requeue runs on a worker, and a worker blocking on
+    // queue space it is itself responsible for freeing never wakes.
+    void requeue_front(const std::shared_ptr<flight>& f, std::size_t jobs) {
+        {
+            const std::lock_guard<std::mutex> lock{queue_mutex};
+            for (std::size_t i = jobs; i-- > 0;) {
+                queue.push_front({f, i});
+            }
+        }
+        queue_work_cv.notify_all();
+    }
+
+    // Last job of a flight: classify faults and retry transient ones,
+    // then assemble, cache, unmap, fulfil every live waiter — in that
+    // order.  The result enters the cache *before* the flight leaves the
+    // in-flight map, so a submit racing with completion either coalesces
+    // (flight still mapped) or hits the cache: there is no window in
+    // which a duplicate restarts an already-answered computation.  (A
+    // failed or abandoned flight is the exception: it is unmapped without
+    // caching, so the next submit retries rather than being served a
+    // poisoned or partial entry.)
     void finish(const std::shared_ptr<flight>& f) {
+        // A waiter whose deadline passed while the flight computed gets
+        // service_timeout even though an answer exists now: a deadline
+        // bounds when the answer is useful, not whether it is computable.
+        sweep_deadlines(*f);
+        const bool abandoned = f->abandoned.load(std::memory_order_acquire);
+
         std::exception_ptr error;
-        cached_value value;
         {
             const std::lock_guard<std::mutex> lock{f->mutex};
             error = f->error;
-            if (!error && f->request.mode == service_mode::exact) {
+        }
+
+        if (error) {
+            const fault_class cls = classify_fault(error);
+            if (cls == fault_class::transient) {
+                ctrs->transient_faults.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            } else {
+                ctrs->permanent_faults.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            }
+            const unsigned attempt =
+                f->attempt.load(std::memory_order_relaxed);
+            if (cls == fault_class::transient && !abandoned &&
+                attempt < options.max_retries) {
+                ctrs->retries.fetch_add(1, std::memory_order_relaxed);
+                // Capped exponential backoff, slept on this worker: the
+                // cap bounds how long one transient fault can idle a
+                // worker thread (default 50 ms).
+                std::chrono::nanoseconds delay = options.retry_backoff;
+                for (unsigned i = 0;
+                     i < attempt && delay < options.retry_backoff_cap;
+                     ++i) {
+                    delay *= 2;
+                }
+                delay = std::min(delay, options.retry_backoff_cap);
+                if (delay.count() > 0) {
+                    std::this_thread::sleep_for(delay);
+                }
+                const std::size_t jobs = job_count(*f);
+                {
+                    const std::lock_guard<std::mutex> lock{f->mutex};
+                    f->error = nullptr;
+                    f->value = {};
+                    if (!f->degraded &&
+                        f->request.mode == service_mode::exact) {
+                        f->shard_results.clear();
+                        f->shard_results.resize(jobs);
+                    }
+                }
+                f->attempt.fetch_add(1, std::memory_order_relaxed);
+                f->remaining.store(jobs, std::memory_order_release);
+                requeue_front(f, jobs);
+                return; // the flight stays open and mapped
+            }
+        }
+
+        cached_value value;
+        if (!error && !abandoned) {
+            const std::lock_guard<std::mutex> lock{f->mutex};
+            if (f->request.mode == service_mode::exact && !f->degraded) {
                 auto sweep = std::make_shared<core::sweep_result>();
                 sweep->requests = f->trace->records.size();
                 sweep->passes.reserve(
@@ -283,42 +519,65 @@ struct service::state {
                         sweep->passes.push_back(std::move(pass));
                     }
                 }
-                sweep->seconds =
-                    std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - f->start)
-                        .count();
+                sweep->seconds = std::chrono::duration<double>(
+                                     clock::now() - f->start)
+                                     .count();
                 f->value.sweep = std::move(sweep);
             }
             value = f->value; // shared payload; waiters and cache alias it
         }
-        if (!error) {
-            computations.fetch_add(1, std::memory_order_relaxed);
-            cache.insert(f->key,
-                         std::make_shared<const cached_value>(value));
+        if (!error && !abandoned) {
+            ctrs->computations.fetch_add(1, std::memory_order_relaxed);
+            if (f->attempt.load(std::memory_order_relaxed) > 0) {
+                ctrs->retry_successes.fetch_add(1,
+                                                std::memory_order_relaxed);
+            }
+            if (!f->degraded) {
+                cache.insert(f->key,
+                             std::make_shared<const cached_value>(value));
+            }
         }
-        {
+        if (!f->degraded) {
+            // Conditional unmap: an abandoned flight may already have been
+            // replaced in the map by a fresh one for the same key — that
+            // newcomer must not be evicted by its predecessor's funeral.
             const std::lock_guard<std::mutex> lock{flights_mutex};
-            flights.erase(f->key);
+            const auto it = flights.find(f->key);
+            if (it != flights.end() && it->second == f) {
+                flights.erase(it);
+            }
         }
-        std::vector<std::promise<service_result>> waiters;
+        // Settle the live waiters.  Promises are moved out one by one so
+        // the vector's shape — which outstanding cancel() closures index
+        // into — survives; a moved-from promise behind a `settled` flag is
+        // never touched again.
+        std::vector<std::pair<std::promise<service_result>, bool>> fulfil;
         {
-            // No joiner can arrive past this point (the flight is
-            // unmapped); everyone who did is in this vector.
             const std::lock_guard<std::mutex> lock{f->mutex};
-            waiters = std::move(f->waiters);
+            fulfil.reserve(f->live);
+            for (std::size_t i = 0; i < f->waiters.size(); ++i) {
+                waiter& w = f->waiters[i];
+                if (w.settled) {
+                    continue;
+                }
+                w.settled = true;
+                fulfil.emplace_back(std::move(w.promise), i > 0);
+            }
+            f->live = 0;
         }
         // Counted before the promises fire: a caller returning from get()
         // must observe itself in `completed`.
-        completed.fetch_add(waiters.size(), std::memory_order_relaxed);
-        if (error) {
-            for (std::promise<service_result>& waiter : waiters) {
-                waiter.set_exception(error);
-            }
-        } else {
-            for (std::size_t i = 0; i < waiters.size(); ++i) {
+        ctrs->completed.fetch_add(fulfil.size(), std::memory_order_relaxed);
+        for (auto& [promise, joined] : fulfil) {
+            if (error) {
+                promise.set_exception(error);
+            } else {
                 service_result result = to_result(value);
-                result.coalesced = i > 0;
-                waiters[i].set_value(std::move(result));
+                result.coalesced = joined;
+                result.degraded = f->degraded;
+                result.flight_retries =
+                    f->attempt.load(std::memory_order_relaxed);
+                promise.set_value(std::move(result));
             }
         }
         close_flight();
@@ -334,12 +593,14 @@ struct service::state {
 
     // Queue the flight's jobs under the backpressure policy.  Throws
     // service_overloaded (fail-fast, or a request wider than the whole
-    // queue); the caller unwinds the flight.
+    // queue); the caller unwinds the flight.  overflow_policy::degrade
+    // blocks here like `block` — the load-shedding decision was already
+    // taken at submit time.
     void enqueue(const std::shared_ptr<flight>& f, std::size_t jobs) {
         std::unique_lock<std::mutex> lock{queue_mutex};
         if (options.overflow == overflow_policy::fail_fast) {
             if (queue.size() + jobs > options.queue_capacity) {
-                rejected.fetch_add(1, std::memory_order_relaxed);
+                ctrs->rejected.fetch_add(1, std::memory_order_relaxed);
                 throw service_overloaded{
                     "serve: job queue full (" +
                     std::to_string(queue.size()) + " of " +
@@ -363,24 +624,35 @@ struct service::state {
     }
 
     // Unwind a flight whose jobs could not be queued: out of the in-flight
-    // map first (no new joiners), then every waiter — including coalescers
-    // that joined while we were trying — sees the failure.
+    // map first (no new joiners), then every live waiter — including
+    // coalescers that joined while we were trying — sees the failure.
     void fail_flight(const std::shared_ptr<flight>& f,
                      const std::exception_ptr& error) {
-        {
+        if (!f->degraded) {
             const std::lock_guard<std::mutex> lock{flights_mutex};
-            flights.erase(f->key);
+            const auto it = flights.find(f->key);
+            if (it != flights.end() && it->second == f) {
+                flights.erase(it);
+            }
         }
-        std::vector<std::promise<service_result>> waiters;
+        std::vector<std::promise<service_result>> fulfil;
         {
             const std::lock_guard<std::mutex> lock{f->mutex};
-            waiters = std::move(f->waiters);
+            fulfil.reserve(f->live);
+            for (waiter& w : f->waiters) {
+                if (w.settled) {
+                    continue;
+                }
+                w.settled = true;
+                fulfil.push_back(std::move(w.promise));
+            }
+            f->live = 0;
         }
         // Unwound submissions are still completed submissions: the
         // submitted/completed balance must survive a rejection.
-        completed.fetch_add(waiters.size(), std::memory_order_relaxed);
-        for (std::promise<service_result>& waiter : waiters) {
-            waiter.set_exception(error);
+        ctrs->completed.fetch_add(fulfil.size(), std::memory_order_relaxed);
+        for (std::promise<service_result>& promise : fulfil) {
+            promise.set_exception(error);
         }
         close_flight();
     }
@@ -482,11 +754,16 @@ bool service::has_trace(std::string_view name) const {
     return state_->traces.find(std::string{name}) != state_->traces.end();
 }
 
-std::future<service_result>
-service::submit(std::string_view trace_name,
-                const service_request& request) {
+submission service::submit(std::string_view trace_name,
+                           const service_request& request) {
     state& s = *state_;
     const service_request normal = canonical(request); // throws up front
+    // Relative deadline -> absolute, pinned at submit time (before any
+    // queueing): the deadline clock starts when the caller asked, not when
+    // the service got around to it.
+    const clock::time_point deadline_at =
+        request.deadline.count() > 0 ? clock::now() + request.deadline
+                                     : no_deadline;
 
     std::shared_ptr<trace_entry> entry;
     {
@@ -499,7 +776,10 @@ service::submit(std::string_view trace_name,
         }
         entry = it->second;
     }
-    s.submitted.fetch_add(1, std::memory_order_relaxed);
+    s.ctrs->submitted.fetch_add(1, std::memory_order_relaxed);
+    if (deadline_at != no_deadline) {
+        s.has_deadlines.store(true, std::memory_order_relaxed);
+    }
 
     // `normal` is already canonical; the plain fingerprint()/make_key path
     // would re-normalise (copy + sort + validate) on every submit.
@@ -511,17 +791,32 @@ service::submit(std::string_view trace_name,
 
     std::shared_ptr<flight> f;
     std::future<service_result> future;
+    bool degrade = false;
     {
         const std::lock_guard<std::mutex> lock{s.flights_mutex};
         const auto it = s.flights.find(key);
         if (it != s.flights.end()) {
-            // Identical question already in the air: one computation, one
-            // more future.
-            const std::lock_guard<std::mutex> fl{it->second->mutex};
-            it->second->waiters.emplace_back();
-            future = it->second->waiters.back().get_future();
-            s.coalesced.fetch_add(1, std::memory_order_relaxed);
-            return future;
+            const std::shared_ptr<flight>& current = it->second;
+            const std::lock_guard<std::mutex> fl{current->mutex};
+            // An abandoned flight still in the map is a corpse: its jobs
+            // will be skipped and it cannot answer anyone.  Joining it
+            // would trade a computable answer for a guaranteed
+            // service_cancelled, so fall through and replace it instead.
+            if (!current->abandoned.load(std::memory_order_acquire)) {
+                // Identical question already in the air: one computation,
+                // one more future.
+                current->waiters.emplace_back();
+                waiter& w = current->waiters.back();
+                w.deadline = deadline_at;
+                current->earliest_deadline =
+                    std::min(current->earliest_deadline, deadline_at);
+                ++current->live;
+                future = w.promise.get_future();
+                s.ctrs->coalesced.fetch_add(1, std::memory_order_relaxed);
+                return submission{
+                    std::move(future),
+                    s.make_cancel(current, current->waiters.size() - 1)};
+            }
         }
         // The flight may have finished between the cache probe above and
         // this map lookup.  finish() caches *before* unmapping, so an
@@ -533,22 +828,36 @@ service::submit(std::string_view trace_name,
         if (const auto cached = s.cache.find(key)) {
             return s.answer_from_cache(cached);
         }
+        // Load shedding: past the high-watermark an exact request gets the
+        // estimate tier, one job, no cache entry — but only after the
+        // cache and coalesce probes above failed, because a hit on either
+        // is strictly better than degrading and costs no queue slot.
+        if (s.options.overflow == overflow_policy::degrade &&
+            normal.mode == service_mode::exact) {
+            const std::lock_guard<std::mutex> qlock{s.queue_mutex};
+            degrade = s.queue.size() >= s.degrade_watermark();
+        }
         f = std::make_shared<flight>();
         f->request = normal;
         f->key = key;
         f->trace = entry;
-        f->start = std::chrono::steady_clock::now();
+        f->start = clock::now();
+        f->degraded = degrade;
         f->waiters.emplace_back();
-        future = f->waiters.back().get_future();
-        const std::size_t jobs =
-            normal.mode == service_mode::representative
-                ? 1
-                : normal.sweep.block_sizes.size();
+        f->waiters.back().deadline = deadline_at;
+        f->earliest_deadline = deadline_at;
+        f->live = 1;
+        future = f->waiters.back().promise.get_future();
+        const std::size_t jobs = state::job_count(*f);
         f->remaining.store(jobs, std::memory_order_relaxed);
-        if (normal.mode == service_mode::exact) {
+        if (normal.mode == service_mode::exact && !degrade) {
             f->shard_results.resize(jobs);
         }
-        s.flights.emplace(key, f);
+        if (!degrade) {
+            // insert_or_assign, not emplace: the slot may hold the
+            // abandoned corpse detected above.
+            s.flights.insert_or_assign(key, f);
+        }
         // Registered from drain()'s point of view before any job is
         // queued, so a drain racing a blocking enqueue waits for this
         // flight even while its later shards are still being pushed.
@@ -556,14 +865,12 @@ service::submit(std::string_view trace_name,
         ++s.open_flights;
     }
     try {
-        s.enqueue(f, normal.mode == service_mode::representative
-                         ? 1
-                         : normal.sweep.block_sizes.size());
+        s.enqueue(f, state::job_count(*f));
     } catch (...) {
         s.fail_flight(f, std::current_exception());
         throw;
     }
-    return future;
+    return submission{std::move(future), s.make_cancel(f, 0)};
 }
 
 void service::drain() {
@@ -588,21 +895,31 @@ void service::resume() {
 }
 
 service_stats service::stats() const {
-    const state& s = *state_;
+    const counters& c = *state_->ctrs;
     service_stats out;
-    out.submitted = s.submitted.load(std::memory_order_relaxed);
-    out.completed = s.completed.load(std::memory_order_relaxed);
-    out.cache_hits = s.cache_hits.load(std::memory_order_relaxed);
-    out.coalesced = s.coalesced.load(std::memory_order_relaxed);
-    out.computations = s.computations.load(std::memory_order_relaxed);
-    out.shard_jobs = s.shard_jobs.load(std::memory_order_relaxed);
-    out.stream_builds = s.stream_builds.load(std::memory_order_relaxed);
-    out.stream_reuses = s.stream_reuses.load(std::memory_order_relaxed);
-    out.rejected = s.rejected.load(std::memory_order_relaxed);
+    out.submitted = c.submitted.load(std::memory_order_relaxed);
+    out.completed = c.completed.load(std::memory_order_relaxed);
+    out.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
+    out.coalesced = c.coalesced.load(std::memory_order_relaxed);
+    out.computations = c.computations.load(std::memory_order_relaxed);
+    out.shard_jobs = c.shard_jobs.load(std::memory_order_relaxed);
+    out.stream_builds = c.stream_builds.load(std::memory_order_relaxed);
+    out.stream_reuses = c.stream_reuses.load(std::memory_order_relaxed);
+    out.rejected = c.rejected.load(std::memory_order_relaxed);
     out.representative_served =
-        s.representative_served.load(std::memory_order_relaxed);
-    out.exact_fallbacks = s.exact_fallbacks.load(std::memory_order_relaxed);
-    out.cache_evictions = s.cache.stats().evictions;
+        c.representative_served.load(std::memory_order_relaxed);
+    out.exact_fallbacks = c.exact_fallbacks.load(std::memory_order_relaxed);
+    out.cache_evictions = state_->cache.stats().evictions;
+    out.timeouts = c.timeouts.load(std::memory_order_relaxed);
+    out.cancellations = c.cancellations.load(std::memory_order_relaxed);
+    out.retries = c.retries.load(std::memory_order_relaxed);
+    out.retry_successes = c.retry_successes.load(std::memory_order_relaxed);
+    out.transient_faults =
+        c.transient_faults.load(std::memory_order_relaxed);
+    out.permanent_faults =
+        c.permanent_faults.load(std::memory_order_relaxed);
+    out.degraded_served = c.degraded_served.load(std::memory_order_relaxed);
+    out.expired_flights = c.expired_flights.load(std::memory_order_relaxed);
     return out;
 }
 
@@ -610,8 +927,8 @@ void service::save_cache(std::ostream& out) const {
     state_->cache.save(out);
 }
 
-std::size_t service::load_cache(std::istream& in) {
-    return state_->cache.load(in);
+cache_load_report service::load_cache(std::istream& in, load_mode mode) {
+    return state_->cache.load(in, mode);
 }
 
 } // namespace dew::serve

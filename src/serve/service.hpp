@@ -13,23 +13,27 @@
 //     how the trace was produced or how the grids were spelled.
 //   * Result cache.  A sharded FIFO-bounded map (serve/cache.hpp) answers
 //     repeated questions without touching a simulator; save_cache /
-//     load_cache persist exact entries through dew::result_io.
-//   * Scheduler.  submit() is async (returns a std::future) and never
-//     simulates on the calling thread.  Identical in-flight requests
-//     coalesce into one computation — N callers, one simulation, N futures.
-//     An exact request's grid is split into one shard job per distinct
-//     block size; shard jobs of all requests interleave on a fixed worker
-//     pool above a bounded queue (overflow_policy: callers block, or fail
-//     fast with service_overloaded).  Shard jobs pull their block-number
-//     stream from a per-trace stream cache, so a trace is decoded at a
-//     given block size once — across requests, not just within one (the
-//     PR-1 decode-once contract lifted to the corpus level).  The stream
-//     cache is a deliberate space-time trade: it retains 8 bytes/record
-//     per distinct block size requested against a trace, for the trace's
-//     lifetime — bounded by corpus size x block-size grid (the records
-//     themselves already cost 16 B/record), NOT by request volume.  A
-//     corpus whose traces are too large for that product belongs on the
-//     direct streaming run_sweep path, which never materialises anything.
+//     load_cache persist exact entries through dew::result_io — now with
+//     per-entry and whole-file checksums and a salvage mode that recovers
+//     the verified prefix of a crash-truncated file.
+//   * Scheduler.  submit() is async (returns a submission handle wrapping a
+//     std::future) and never simulates on the calling thread.  Identical
+//     in-flight requests coalesce into one computation — N callers, one
+//     simulation, N futures.  An exact request's grid is split into one
+//     shard job per distinct block size; shard jobs of all requests
+//     interleave on a fixed worker pool above a bounded queue
+//     (overflow_policy: callers block, fail fast with service_overloaded,
+//     or degrade to the estimate tier past a high-watermark).  Shard jobs
+//     pull their block-number stream from a per-trace stream cache, so a
+//     trace is decoded at a given block size once — across requests, not
+//     just within one (the PR-1 decode-once contract lifted to the corpus
+//     level).  The stream cache is a deliberate space-time trade: it
+//     retains 8 bytes/record per distinct block size requested against a
+//     trace, for the trace's lifetime — bounded by corpus size x
+//     block-size grid (the records themselves already cost 16 B/record),
+//     NOT by request volume.  A corpus whose traces are too large for that
+//     product belongs on the direct streaming run_sweep path, which never
+//     materialises anything.
 //   * Tiers.  service_mode::exact runs the engine the request names (dew |
 //     cipar) and is bit-identical to run_sweep(trace, canonical(request))
 //     by construction — shard jobs run the same detail::make_sweep_pass
@@ -39,13 +43,41 @@
 //     exact result when the measured error exceeds the budget, so a served
 //     estimate always carries a true accuracy statement.
 //
+// Failure semantics (the robustness layer):
+//
+//   * Deadlines.  service_request::deadline (> 0) bounds how long a
+//     submission's answer is useful.  Deadlines are enforced at scheduling
+//     points — when a flight's job is picked up and when a flight
+//     completes — not preemptively: a waiter past its deadline gets
+//     service_timeout through its future, and a flight none of whose
+//     waiters are still live is *abandoned*: its queued jobs are skipped
+//     (never started), its running jobs finish and are discarded, and its
+//     result is never cached.  Coalesced waiters on a still-live flight
+//     are unaffected by their neighbours' deadlines.
+//   * Cancellation.  submission::cancel() withdraws one waiter: its future
+//     fails with service_cancelled, and a flight with no live waiters left
+//     is abandoned exactly as above.
+//   * Fault taxonomy + retry.  A failing flight's fault is classified
+//     (classify_fault): trace::io_fault, service_overloaded and system/IO
+//     stream failures are *transient*; invalid arguments, contract
+//     violations and everything unrecognised are *permanent*.  Transient
+//     flights retry in place up to service_options::max_retries times with
+//     capped exponential backoff; permanent faults fail every waiter
+//     immediately.  Neither kind of failed flight is ever cached.
+//   * Fault injection.  service_options::fault_hook, if set, runs at the
+//     start of every shard-job execution and may throw — the deterministic
+//     seam the fault tests and the retry benchmarks drive.
+//
 // Threading: every public method is safe to call from any thread.  Results
 // are immutable and shared; stats() is a relaxed snapshot.
 #ifndef DEW_SERVE_SERVICE_HPP
 #define DEW_SERVE_SERVICE_HPP
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <future>
 #include <iosfwd>
 #include <memory>
@@ -60,8 +92,22 @@
 namespace dew::serve {
 
 // Thrown by submit() under overflow_policy::fail_fast when the job queue
-// cannot take the request's jobs.
+// cannot take the request's jobs.  Classified transient: the same request
+// resubmitted later may well fit.
 class service_overloaded : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+// Surfaced through a submission's future when its deadline passed before
+// the answer was ready.
+class service_timeout : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+// Surfaced through a submission's future after submission::cancel().
+class service_cancelled : public std::runtime_error {
 public:
     using std::runtime_error::runtime_error;
 };
@@ -69,17 +115,52 @@ public:
 enum class overflow_policy : std::uint8_t {
     block = 0,     // submit() waits for queue space (default)
     fail_fast = 1, // submit() throws service_overloaded
+    // Graceful degradation: once the queue is at/above the high-watermark
+    // (service_options::degrade_watermark), exact-mode requests are served
+    // by the representative tier instead — an uncalibrated estimate,
+    // flagged `degraded` in the result, never cached and never coalesced
+    // with exact flights.  Below the watermark behaves like `block`.
+    degrade = 2,
 };
+
+// How a failed flight's fault is treated (see classify_fault).
+enum class fault_class : std::uint8_t {
+    transient = 0, // worth retrying: I/O hiccups, overload, stream failures
+    permanent = 1, // retry cannot help: bad input, contract violations
+};
+
+// Classifies the exception behind `error`.  Transient: trace::io_fault,
+// service_overloaded, std::ios_base::failure and other std::system_error.
+// Permanent: std::logic_error (invalid_argument, contract_violation, ...),
+// service_timeout / service_cancelled, and anything unrecognised — when in
+// doubt, do not retry.
+[[nodiscard]] fault_class
+classify_fault(const std::exception_ptr& error) noexcept;
 
 struct service_options {
     // Worker threads executing jobs; >= 1.
     unsigned workers{2};
     // Bounded job queue: the backpressure surface.  A request needs one
     // queue slot per distinct block size (exact) or one slot
-    // (representative).  Must be >= 1.
+    // (representative / degraded).  Must be >= 1.
     std::size_t queue_capacity{256};
     overflow_policy overflow{overflow_policy::block};
     cache_options cache{};
+    // Transient-fault retries per flight (0 = fail on first fault).  The
+    // n-th retry sleeps min(retry_backoff * 2^n, retry_backoff_cap) on the
+    // finishing worker before the flight's jobs requeue at the FRONT of
+    // the queue (ahead of new work, and exempt from the capacity bound so
+    // a full queue cannot deadlock a retry).
+    unsigned max_retries{2};
+    std::chrono::nanoseconds retry_backoff{std::chrono::milliseconds{1}};
+    std::chrono::nanoseconds retry_backoff_cap{std::chrono::milliseconds{50}};
+    // overflow_policy::degrade only: queue length at/above which exact
+    // requests degrade.  0 = half the queue capacity (at least 1).
+    std::size_t degrade_watermark{0};
+    // Fault-injection seam: if set, runs at the start of every shard-job
+    // execution as fault_hook(shard_index, attempt) and may throw — the
+    // exception fails the flight exactly as a real engine fault would.
+    std::function<void(std::size_t, unsigned)> fault_hook{};
 };
 
 struct service_result {
@@ -93,6 +174,12 @@ struct service_result {
     bool coalesced{false};  // joined another caller's in-flight computation
     bool estimated{false};  // served by the representative tier
     bool fell_back_exact{false}; // estimate exceeded the budget; sweep served
+    // overflow_policy::degrade served this exact request from the estimate
+    // tier.  A degraded answer is never cached: the caller asked an exact
+    // question and must be able to ask it again under less load.
+    bool degraded{false};
+    // Transient-fault retries this flight needed before succeeding.
+    unsigned flight_retries{0};
     double max_abs_error_pp{0.0}; // calibrated representative answers only
 };
 
@@ -109,6 +196,14 @@ struct service_stats {
     std::uint64_t representative_served{0};
     std::uint64_t exact_fallbacks{0};
     std::uint64_t cache_evictions{0};
+    std::uint64_t timeouts{0};      // waiters settled with service_timeout
+    std::uint64_t cancellations{0}; // waiters settled via cancel()
+    std::uint64_t retries{0};       // retry attempts scheduled
+    std::uint64_t retry_successes{0}; // flights that recovered via retry
+    std::uint64_t transient_faults{0}; // flight faults classified transient
+    std::uint64_t permanent_faults{0}; // flight faults classified permanent
+    std::uint64_t degraded_served{0};  // exact requests answered degraded
+    std::uint64_t expired_flights{0};  // flights abandoned (no live waiters)
 
     // Fraction of submits answered straight from the cache.
     [[nodiscard]] double cache_hit_rate() const noexcept {
@@ -125,6 +220,58 @@ struct service_stats {
                    : static_cast<double>(computations + coalesced) /
                          static_cast<double>(computations);
     }
+
+    // Fraction of submissions that timed out.
+    [[nodiscard]] double timeout_rate() const noexcept {
+        return submitted == 0 ? 0.0
+                              : static_cast<double>(timeouts) /
+                                    static_cast<double>(submitted);
+    }
+
+    // Fraction of retry attempts that resolved their flight.  1.0 means
+    // every retried flight recovered on its first retry.
+    [[nodiscard]] double retry_success_rate() const noexcept {
+        return retries == 0 ? 0.0
+                            : static_cast<double>(retry_successes) /
+                                  static_cast<double>(retries);
+    }
+};
+
+// The handle submit() returns: the result future plus the lever to withdraw
+// the submission.  Movable, not copyable (it owns the future).
+class submission {
+public:
+    submission() = default;
+
+    // Future accessors, forwarded.  get() blocks and either returns the
+    // result or rethrows the flight's fault / service_timeout /
+    // service_cancelled.
+    [[nodiscard]] service_result get() { return future_.get(); }
+    void wait() const { future_.wait(); }
+    template <class Rep, class Period>
+    [[nodiscard]] std::future_status
+    wait_for(const std::chrono::duration<Rep, Period>& timeout) const {
+        return future_.wait_for(timeout);
+    }
+    [[nodiscard]] bool valid() const noexcept { return future_.valid(); }
+
+    // Withdraws this submission: its future fails with service_cancelled,
+    // and a flight left with no live waiters is abandoned — queued jobs
+    // are skipped, running ones are discarded, nothing is cached.  Returns
+    // true iff this call did the cancelling; false when the submission
+    // already settled (answered, failed, timed out, or cancelled before) —
+    // a settled answer stays readable through get().  Safe to call after
+    // the service is gone; never blocks on a simulation.
+    bool cancel() { return cancel_ && cancel_(); }
+
+private:
+    friend class service;
+    submission(std::future<service_result> future,
+               std::function<bool()> cancel)
+        : future_{std::move(future)}, cancel_{std::move(cancel)} {}
+
+    std::future<service_result> future_;
+    std::function<bool()> cancel_;
 };
 
 class service {
@@ -134,7 +281,8 @@ public:
     explicit service(service_options options = {});
 
     // Completes all queued work, then stops the workers: destruction never
-    // breaks an outstanding future.
+    // breaks an outstanding future.  (Abandoned flights' queued jobs are
+    // skipped, so a cancelled backlog drains in bookkeeping time.)
     ~service();
 
     service(const service&) = delete;
@@ -151,10 +299,11 @@ public:
     // Asynchronously answers `request` against the named trace.  Throws
     // std::invalid_argument (unknown trace, ill-formed or filtered request)
     // and service_overloaded (fail-fast overflow); any fault inside the
-    // computation surfaces through the future.  The returned future's
-    // result flags say how the answer was produced.
-    [[nodiscard]] std::future<service_result>
-    submit(std::string_view trace_name, const service_request& request);
+    // computation surfaces through the submission's future after the retry
+    // policy is exhausted.  The result flags say how the answer was
+    // produced; the handle's cancel() withdraws it.
+    [[nodiscard]] submission submit(std::string_view trace_name,
+                                    const service_request& request);
 
     // Blocks until every submitted request has completed.  (With pause()
     // in effect, waits for resume() first.)
@@ -169,9 +318,12 @@ public:
     [[nodiscard]] service_stats stats() const;
 
     // Cache persistence (serve/cache.hpp); call on a quiesced service or
-    // accept a racy-but-consistent snapshot.
+    // accept a racy-but-consistent snapshot.  load_cache in strict mode is
+    // transactional (throws, cache untouched); salvage mode recovers the
+    // verified prefix of a damaged file and reports what happened.
     void save_cache(std::ostream& out) const;
-    std::size_t load_cache(std::istream& in);
+    cache_load_report load_cache(std::istream& in,
+                                 load_mode mode = load_mode::strict);
 
 private:
     struct trace_entry;

@@ -1,0 +1,65 @@
+#include "trace/fault.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/bits.hpp"
+
+namespace dew::trace {
+
+std::size_t fault_source::next(std::span<mem_access> out) {
+    if (out.empty()) {
+        return 0;
+    }
+    if (faulted_) {
+        if (spec_.kind == fault_kind::throw_after) {
+            throw io_fault{"injected I/O fault after record " +
+                           std::to_string(spec_.after_records) +
+                           " (re-read of a dead stream)"};
+        }
+        return 0; // truncate_after: the stream stays ended
+    }
+
+    std::size_t want = out.size();
+    if (spec_.kind == fault_kind::throw_after ||
+        spec_.kind == fault_kind::truncate_after) {
+        const std::uint64_t before_fault = spec_.after_records - delivered_;
+        if (before_fault == 0) {
+            // At the fault point: only an upstream that still has records
+            // faults — a stream that genuinely ends here ends cleanly.
+            // The probe record is consumed either way (it is exactly the
+            // record the fault destroys).
+            mem_access probe;
+            if (upstream_->next({&probe, 1}) == 0) {
+                return 0;
+            }
+            faulted_ = true;
+            if (spec_.kind == fault_kind::throw_after) {
+                throw io_fault{"injected I/O fault after record " +
+                               std::to_string(spec_.after_records)};
+            }
+            return 0;
+        }
+        want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(want, before_fault));
+    }
+
+    const std::size_t got = upstream_->next(out.first(want));
+    if (got == 0) {
+        return 0;
+    }
+    if (spec_.kind == fault_kind::corrupt_after) {
+        for (std::size_t i = 0; i < got; ++i) {
+            const std::uint64_t index = delivered_ + i;
+            if (index >= spec_.after_records) {
+                // (seed, absolute index) → perturbation; | 1 so a corrupted
+                // address always differs from the original.
+                out[i].address ^= mix64(spec_.seed ^ (index + 1)) | 1;
+            }
+        }
+    }
+    delivered_ += got;
+    return got;
+}
+
+} // namespace dew::trace

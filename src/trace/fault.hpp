@@ -1,0 +1,87 @@
+// Deterministic fault injection for the ingestion pipeline.
+//
+// A fault_source decorates any trace::source and misbehaves on cue: after
+// delivering `after_records` records faithfully it either throws an
+// io_fault (a read error mid-stream), silently ends the stream (a truncated
+// file), or starts corrupting addresses (bit rot past a point).  Every
+// failure mode is deterministic — the same spec over the same upstream
+// produces the same delivered records, the same corrupted bits and the same
+// fault point for every downstream chunking — so recovery paths are driven
+// by tests, not by hoping production fails conveniently.
+//
+// io_fault is also the canonical *transient* fault of the sweep service's
+// taxonomy (serve::classify_fault): throw it from an injected hook to mean
+// "an I/O-shaped failure a retry may cure", as opposed to logic errors,
+// which no retry cures.
+#ifndef DEW_TRACE_FAULT_HPP
+#define DEW_TRACE_FAULT_HPP
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace dew::trace {
+
+// A transient, I/O-shaped failure: the disk hiccupped, the pipe closed, the
+// injected fault fired.  Retrying the whole operation is reasonable.
+class io_fault : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+enum class fault_kind : std::uint8_t {
+    none = 0,           // pass-through (a disarmed decorator)
+    throw_after = 1,    // io_fault once `after_records` have been delivered
+    truncate_after = 2, // silent early end-of-stream after `after_records`
+    corrupt_after = 3,  // deterministic address corruption past the point
+};
+
+struct fault_spec {
+    fault_kind kind{fault_kind::none};
+    // Records delivered faithfully before the fault fires.  A stream that
+    // genuinely ends at or before this point never faults: the fault
+    // replaces the record after it, and there is none.
+    std::uint64_t after_records{0};
+    // Seeds the corrupt_after bit pattern; corruption of record i depends
+    // only on (seed, i), so it is invariant under downstream chunking.
+    std::uint64_t seed{0};
+};
+
+// The decorator.  The upstream source must outlive it.
+//
+//   * throw_after: next() throws io_fault (naming the record index) the
+//     first time a record past the fault point would be produced, and
+//     keeps throwing on every later call — a dead stream stays dead.
+//   * truncate_after: next() returns 0 from the fault point on, exactly as
+//     a truncated file would, deliberately violating the "never 0 while
+//     records remain" contract — that violation is the injected fault.
+//   * corrupt_after: records from the fault point on have their addresses
+//     XOR-perturbed by a splitmix64 stream of (seed, absolute index);
+//     record count and access types are preserved.
+class fault_source final : public source {
+public:
+    fault_source(source& upstream, const fault_spec& spec) noexcept
+        : upstream_{&upstream}, spec_{spec} {}
+
+    std::size_t next(std::span<mem_access> out) override;
+
+    // Records handed downstream so far (faithful + corrupted).
+    [[nodiscard]] std::uint64_t delivered() const noexcept {
+        return delivered_;
+    }
+    // True once the fault has fired (throw_after / truncate_after only;
+    // corruption is continuous, not an event).
+    [[nodiscard]] bool faulted() const noexcept { return faulted_; }
+
+private:
+    source* upstream_;
+    fault_spec spec_;
+    std::uint64_t delivered_{0};
+    bool faulted_{false};
+};
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_FAULT_HPP

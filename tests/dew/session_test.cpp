@@ -9,6 +9,7 @@
 #include "common/contracts.hpp"
 #include "dew/session.hpp"
 #include "dew/sweep.hpp"
+#include "trace/fault.hpp"
 #include "trace/mediabench.hpp"
 #include "trace/source.hpp"
 
@@ -268,6 +269,66 @@ TEST(Session, WorkerExceptionRethrownOnOwningThread) {
     EXPECT_THROW(serial.run(), contract_violation);
     EXPECT_TRUE(serial.failed());
     EXPECT_THROW(serial.step(), contract_violation);
+}
+
+TEST(Session, SourceFaultMidStreamLeavesExactPrefixAndSessionServiceable) {
+    // An io_fault from the source is an input failure, not a session
+    // failure: the session has faithfully simulated every record it was
+    // fed, so failed() stays false, the prefix results stay readable and
+    // bit-exact, and only the dead source keeps rethrowing.
+    sweep_request request;
+    request.max_set_exp = 6;
+    request.block_sizes = {32};
+    request.associativities = {4};
+
+    const trace::mem_trace full = eager_workload();
+    trace::span_source upstream{{full.data(), full.size()}};
+    trace::fault_source faulty{upstream,
+                               {trace::fault_kind::throw_after, 10'000, 0}};
+
+    session_options options;
+    options.chunk_records = 4096;
+    session s{faulty, request, options};
+    EXPECT_THROW(s.run(), trace::io_fault);
+    EXPECT_FALSE(s.failed()); // the engine never misbehaved
+    EXPECT_EQ(s.requests(), 10'000u); // 4096 + 4096 + 1808
+
+    // The fed prefix is exactly the first 10'000 records, simulated
+    // bit-identically to a one-shot sweep of that prefix.
+    trace::mem_trace prefix = full;
+    prefix.resize(10'000);
+    expect_identical(s.result(), run_sweep(prefix, request));
+
+    // Re-stepping rereads the dead source: the fault fires again, the
+    // session stays un-poisoned and its results stay readable.
+    EXPECT_THROW(s.step(), trace::io_fault);
+    EXPECT_FALSE(s.failed());
+    expect_identical(s.result(), run_sweep(prefix, request));
+}
+
+TEST(Session, TruncationFaultIsIndistinguishableFromAShortTrace) {
+    // truncate_after ends the stream silently; the session must complete
+    // cleanly with the same answer as a genuinely shorter trace — through
+    // the convenience run_sweep(source&) path too.
+    sweep_request request;
+    request.max_set_exp = 6;
+    request.block_sizes = {16, 32};
+    request.associativities = {2, 4};
+    request.threads = 2; // exercise the threaded path as well
+
+    const trace::mem_trace full = eager_workload();
+    trace::span_source upstream{{full.data(), full.size()}};
+    trace::fault_source truncated{
+        upstream, {trace::fault_kind::truncate_after, 25'000, 0}};
+
+    session_options options;
+    options.chunk_records = 4096;
+    const sweep_result streamed = run_sweep(truncated, request, options);
+    EXPECT_EQ(streamed.requests, 25'000u);
+
+    trace::mem_trace prefix = full;
+    prefix.resize(25'000);
+    expect_identical(streamed, run_sweep(prefix, request));
 }
 
 TEST(Session, RejectsInvalidRequestsUpFront) {

@@ -100,7 +100,11 @@ TEST(ServeCache, PersistenceRoundTripsExactEntries) {
 
     result_cache restored{{4, 64}};
     std::istringstream in{out.str()};
-    EXPECT_EQ(restored.load(in), 2u);
+    const cache_load_report report = restored.load(in);
+    EXPECT_EQ(report.loaded, 2u);
+    EXPECT_EQ(report.skipped, 0u);
+    EXPECT_FALSE(report.salvaged);
+    EXPECT_TRUE(report.checksum_ok);
     EXPECT_EQ(restored.size(), 2u);
     const auto hit = restored.find(key_of(1));
     ASSERT_NE(hit, nullptr);
@@ -148,6 +152,157 @@ TEST(ServeCache, LoadRejectsMalformedPayloads) {
     result_cache magic_victim{{4, 64}};
     std::istringstream magic_in{bad};
     EXPECT_THROW((void)magic_victim.load(magic_in), std::runtime_error);
+}
+
+// A three-entry file truncated at EVERY byte boundary: strict mode must
+// throw and leave the cache completely empty — no partial mutation, the
+// crash-recovery contract's transactional half.
+TEST(ServeCache, StrictLoadIsTransactionalAtEveryCutPoint) {
+    result_cache cache{{2, 16}};
+    for (std::uint64_t n = 1; n <= 3; ++n) {
+        cache.insert(key_of(n), exact_value());
+    }
+    std::ostringstream out;
+    cache.save(out);
+    const std::string payload = out.str();
+
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+        result_cache victim{{2, 16}};
+        std::istringstream in{payload.substr(0, cut)};
+        EXPECT_THROW((void)victim.load(in, load_mode::strict),
+                     std::runtime_error)
+            << "cut at " << cut;
+        EXPECT_EQ(victim.size(), 0u)
+            << "strict load left partial state behind at cut " << cut;
+    }
+}
+
+// The same file, same cuts, salvage mode: never throws, recovers exactly
+// the entries framed and checksummed before the cut, and reports a fault
+// offset no later than the cut itself.
+TEST(ServeCache, SalvageLoadRecoversVerifiedPrefixAtEveryCutPoint) {
+    result_cache cache{{2, 16}};
+    for (std::uint64_t n = 1; n <= 3; ++n) {
+        cache.insert(key_of(n), exact_value());
+    }
+    std::ostringstream out;
+    cache.save(out);
+    const std::string payload = out.str();
+    const auto reference = cache.find(key_of(1));
+    ASSERT_NE(reference, nullptr);
+
+    std::size_t best = 0; // recovery must be monotone in the cut point
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+        result_cache victim{{2, 16}};
+        std::istringstream in{payload.substr(0, cut)};
+        cache_load_report report;
+        ASSERT_NO_THROW(report = victim.load(in, load_mode::salvage))
+            << "cut at " << cut;
+        EXPECT_TRUE(report.salvaged) << "cut at " << cut;
+        EXPECT_FALSE(report.checksum_ok) << "cut at " << cut;
+        EXPECT_LE(report.salvaged_at, cut) << "cut at " << cut;
+        EXPECT_EQ(victim.size(), report.loaded) << "cut at " << cut;
+        EXPECT_LE(report.loaded, 3u);
+        if (cut >= 16) {
+            // Header intact: the declared count is known, so loaded +
+            // skipped must account for every declared entry.
+            EXPECT_EQ(report.loaded + report.skipped, 3u)
+                << "cut at " << cut;
+        } else {
+            EXPECT_EQ(report.loaded, 0u) << "cut at " << cut;
+            EXPECT_EQ(report.skipped, 0u) << "cut at " << cut;
+        }
+        EXPECT_GE(report.loaded, best) << "cut at " << cut;
+        best = report.loaded;
+        // Every recovered entry is bit-identical to what was saved.  The
+        // file's entry order is the save's shard order, so any subset of
+        // the three keys may be the surviving prefix.
+        std::size_t found = 0;
+        for (std::uint64_t n = 1; n <= 3; ++n) {
+            const auto hit = victim.find(key_of(n));
+            if (hit == nullptr) {
+                continue;
+            }
+            ++found;
+            ASSERT_NE(hit->sweep, nullptr) << "cut at " << cut;
+            EXPECT_EQ(hit->sweep->passes[0].misses(3, 2),
+                      reference->sweep->passes[0].misses(3, 2));
+        }
+        EXPECT_EQ(found, report.loaded) << "cut at " << cut;
+    }
+    EXPECT_EQ(best, 3u); // near-complete files recover everything
+
+    // The undamaged file salvages losslessly and reports clean.
+    result_cache whole{{2, 16}};
+    std::istringstream in{payload};
+    const cache_load_report report = whole.load(in, load_mode::salvage);
+    EXPECT_EQ(report.loaded, 3u);
+    EXPECT_FALSE(report.salvaged);
+    EXPECT_TRUE(report.checksum_ok);
+}
+
+// Bit rot inside an entry's payload (framing intact): the per-entry
+// checksum catches it — strict throws, salvage keeps only the entries
+// before the damage.
+TEST(ServeCache, ChecksumsCatchBitRotThatStillFrames) {
+    result_cache cache{{2, 16}};
+    for (std::uint64_t n = 1; n <= 3; ++n) {
+        cache.insert(key_of(n), exact_value());
+    }
+    std::ostringstream out;
+    cache.save(out);
+    std::string payload = out.str();
+
+    // Flip one byte in the middle of the file body (inside some entry's
+    // record bytes, past the 16-byte header).
+    const std::size_t victim_byte = payload.size() / 2;
+    payload[victim_byte] = static_cast<char>(payload[victim_byte] ^ 0x40);
+
+    result_cache strict_victim{{2, 16}};
+    std::istringstream strict_in{payload};
+    EXPECT_THROW((void)strict_victim.load(strict_in, load_mode::strict),
+                 std::runtime_error);
+    EXPECT_EQ(strict_victim.size(), 0u);
+
+    result_cache salvage_victim{{2, 16}};
+    std::istringstream salvage_in{payload};
+    const cache_load_report report =
+        salvage_victim.load(salvage_in, load_mode::salvage);
+    EXPECT_TRUE(report.salvaged);
+    EXPECT_LT(report.loaded, 3u);
+    EXPECT_LE(report.salvaged_at, victim_byte);
+    EXPECT_EQ(salvage_victim.size(), report.loaded);
+}
+
+// Damage confined to the footer: every entry verifies individually, so
+// salvage recovers all of them but still reports the file as damaged.
+TEST(ServeCache, FooterDamageSalvagesEverythingButReportsIt) {
+    result_cache cache{{2, 16}};
+    cache.insert(key_of(1), exact_value());
+    std::ostringstream out;
+    cache.save(out);
+    std::string payload = out.str();
+    payload.back() = static_cast<char>(payload.back() ^ 0x01);
+
+    result_cache strict_victim{{2, 16}};
+    std::istringstream strict_in{payload};
+    try {
+        (void)strict_victim.load(strict_in, load_mode::strict);
+        FAIL() << "corrupt footer accepted";
+    } catch (const std::runtime_error& error) {
+        EXPECT_NE(std::string{error.what()}.find("footer"),
+                  std::string::npos)
+            << error.what();
+    }
+
+    result_cache salvage_victim{{2, 16}};
+    std::istringstream salvage_in{payload};
+    const cache_load_report report =
+        salvage_victim.load(salvage_in, load_mode::salvage);
+    EXPECT_EQ(report.loaded, 1u);
+    EXPECT_EQ(report.skipped, 0u);
+    EXPECT_TRUE(report.salvaged);
+    EXPECT_FALSE(report.checksum_ok);
 }
 
 } // namespace

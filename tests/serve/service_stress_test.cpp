@@ -81,9 +81,8 @@ TEST(ServiceStress, ConcurrentMixedSubmissionsStayExactAndNeverRecompute) {
     constexpr std::size_t submitters = 4;
     constexpr std::size_t rounds = 3;
     std::vector<std::thread> threads;
-    std::vector<std::vector<std::pair<std::size_t,
-                                      std::future<service_result>>>>
-        futures{submitters};
+    std::vector<std::vector<std::pair<std::size_t, submission>>> futures{
+        submitters};
     for (std::size_t t = 0; t < submitters; ++t) {
         threads.emplace_back([&, t] {
             for (std::size_t round = 0; round < rounds; ++round) {
@@ -147,7 +146,7 @@ TEST(ServiceStress, GatedDuplicateStormCoalescesToOneComputationExactly) {
     constexpr std::size_t submitters = 4;
     constexpr std::size_t per_thread = 8;
     std::vector<std::thread> threads;
-    std::vector<std::vector<std::future<service_result>>> futures{submitters};
+    std::vector<std::vector<submission>> futures{submitters};
     for (std::size_t t = 0; t < submitters; ++t) {
         threads.emplace_back([&, t] {
             for (std::size_t i = 0; i < per_thread; ++i) {
@@ -168,7 +167,7 @@ TEST(ServiceStress, GatedDuplicateStormCoalescesToOneComputationExactly) {
         canonical(request).sweep);
     std::uint64_t coalesced_count = 0;
     for (auto& per : futures) {
-        for (std::future<service_result>& future : per) {
+        for (submission& future : per) {
             const service_result answer = future.get();
             ASSERT_NE(answer.sweep, nullptr);
             expect_identical(*answer.sweep, reference);
@@ -208,9 +207,8 @@ TEST(ServiceStress, MixedTiersAndTracesUnderConcurrency) {
 
     constexpr std::size_t submitters = 4;
     std::vector<std::thread> threads;
-    std::vector<std::vector<std::tuple<bool, bool,
-                                       std::future<service_result>>>>
-        futures{submitters};
+    std::vector<std::vector<std::tuple<bool, bool, submission>>> futures{
+        submitters};
     for (std::size_t t = 0; t < submitters; ++t) {
         threads.emplace_back([&, t] {
             for (std::size_t i = 0; i < 6; ++i) {

@@ -133,7 +133,7 @@ TEST(Service, DuplicateInFlightRequestsCoalesceDeterministically) {
     // count exactly and only one computation may run.
     svc.pause();
     constexpr std::size_t duplicates = 7;
-    std::vector<std::future<service_result>> futures;
+    std::vector<submission> futures;
     for (std::size_t i = 0; i < duplicates + 1; ++i) {
         futures.push_back(svc.submit("cjpeg", request));
     }
@@ -145,7 +145,7 @@ TEST(Service, DuplicateInFlightRequestsCoalesceDeterministically) {
         core::run_sweep(workload(), canonical(request).sweep);
     std::size_t coalesced_count = 0;
     std::shared_ptr<const core::sweep_result> shared;
-    for (std::future<service_result>& future : futures) {
+    for (submission& future : futures) {
         const service_result answer = future.get();
         ASSERT_NE(answer.sweep, nullptr);
         expect_identical(*answer.sweep, reference);
@@ -228,7 +228,7 @@ TEST(Service, FailFastBackpressureThrowsServiceOverloaded) {
     svc.pause();
     service_request narrow = exact_request();
     narrow.sweep.block_sizes = {16}; // one shard job
-    std::future<service_result> accepted = svc.submit("cjpeg", narrow);
+    submission accepted = svc.submit("cjpeg", narrow);
     service_request other = narrow;
     other.sweep.max_set_exp = 6;
     EXPECT_THROW((void)svc.submit("cjpeg", other), service_overloaded);
@@ -280,8 +280,8 @@ TEST(Service, ComputationFaultsSurfaceThroughEveryFuture) {
     request.sweep.associativities = {2};
 
     svc.pause();
-    std::future<service_result> first = svc.submit("poison", request);
-    std::future<service_result> second = svc.submit("poison", request);
+    submission first = svc.submit("poison", request);
+    submission second = svc.submit("poison", request);
     svc.resume();
     EXPECT_THROW((void)first.get(), std::exception);
     EXPECT_THROW((void)second.get(), std::exception);
@@ -306,7 +306,11 @@ TEST(Service, CachePersistsAcrossServiceInstances) {
     service restored{};
     restored.add_trace("cjpeg", workload());
     std::istringstream in{saved.str()};
-    EXPECT_EQ(restored.load_cache(in), 1u);
+    const cache_load_report report = restored.load_cache(in);
+    EXPECT_EQ(report.loaded, 1u);
+    EXPECT_EQ(report.skipped, 0u);
+    EXPECT_FALSE(report.salvaged);
+    EXPECT_TRUE(report.checksum_ok);
     const service_result answer = restored.submit("cjpeg", request).get();
     EXPECT_TRUE(answer.cache_hit);
     ASSERT_NE(answer.sweep, nullptr);
@@ -317,14 +321,14 @@ TEST(Service, CachePersistsAcrossServiceInstances) {
 TEST(Service, DrainWaitsForAllOutstandingWork) {
     service svc{};
     svc.add_trace("cjpeg", workload());
-    std::vector<std::future<service_result>> futures;
+    std::vector<submission> futures;
     for (unsigned exp = 4; exp < 8; ++exp) {
         service_request request = exact_request();
         request.sweep.max_set_exp = exp;
         futures.push_back(svc.submit("cjpeg", request));
     }
     svc.drain();
-    for (std::future<service_result>& future : futures) {
+    for (submission& future : futures) {
         EXPECT_EQ(future.wait_for(std::chrono::seconds{0}),
                   std::future_status::ready);
     }

@@ -1,0 +1,155 @@
+// Deterministic fault injection: fault_source fires at an exact record
+// count, identically under every downstream chunking, and the faithful
+// prefix it delivers is bit-identical to the pristine stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/fault.hpp"
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::trace;
+
+mem_trace make_trace(std::size_t n) {
+    mem_trace out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back({0x1000 + 64 * static_cast<std::uint64_t>(i),
+                       i % 4 == 0 ? access_type::write : access_type::read});
+    }
+    return out;
+}
+
+struct drained {
+    mem_trace records;
+    bool threw{false};
+};
+
+// Pulls everything from `src` in `chunk`-sized calls; stops at end-of-
+// stream or the first io_fault.
+drained pull_all(source& src, std::size_t chunk) {
+    drained out;
+    std::vector<mem_access> buf(chunk);
+    try {
+        for (;;) {
+            const std::size_t got = src.next({buf.data(), buf.size()});
+            if (got == 0) {
+                break;
+            }
+            out.records.insert(out.records.end(), buf.begin(),
+                               buf.begin() + static_cast<std::ptrdiff_t>(got));
+        }
+    } catch (const io_fault&) {
+        out.threw = true;
+    }
+    return out;
+}
+
+TEST(FaultSource, ThrowAfterFiresAtTheExactRecordUnderEveryChunking) {
+    const mem_trace pristine = make_trace(1000);
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{7}, std::size_t{256},
+          std::size_t{1000}, std::size_t{4096}}) {
+        span_source upstream{{pristine.data(), pristine.size()}};
+        fault_source faulty{upstream, {fault_kind::throw_after, 600, 0}};
+        const drained got = pull_all(faulty, chunk);
+        EXPECT_TRUE(got.threw) << "chunk " << chunk;
+        ASSERT_EQ(got.records.size(), 600u) << "chunk " << chunk;
+        for (std::size_t i = 0; i < got.records.size(); ++i) {
+            ASSERT_EQ(got.records[i].address, pristine[i].address)
+                << "chunk " << chunk << " record " << i;
+        }
+        EXPECT_EQ(faulty.delivered(), 600u);
+        EXPECT_TRUE(faulty.faulted());
+        // A dead stream stays dead: every re-read faults again.
+        mem_access one;
+        EXPECT_THROW((void)faulty.next({&one, 1}), io_fault);
+        EXPECT_THROW((void)faulty.next({&one, 1}), io_fault);
+    }
+}
+
+TEST(FaultSource, TruncateAfterEndsTheStreamSilently) {
+    const mem_trace pristine = make_trace(1000);
+    span_source upstream{{pristine.data(), pristine.size()}};
+    fault_source faulty{upstream, {fault_kind::truncate_after, 600, 0}};
+    const drained got = pull_all(faulty, 64);
+    EXPECT_FALSE(got.threw); // truncation is silent — that IS the fault
+    EXPECT_EQ(got.records.size(), 600u);
+    EXPECT_TRUE(faulty.faulted());
+    // The ended stream stays ended.
+    mem_access one;
+    EXPECT_EQ(faulty.next({&one, 1}), 0u);
+    EXPECT_EQ(faulty.next({&one, 1}), 0u);
+}
+
+TEST(FaultSource, StreamEndingBeforeTheFaultPointNeverFaults) {
+    // The fault replaces the record after `after_records`; a stream that
+    // genuinely ends at or before that point ends cleanly.
+    const mem_trace pristine = make_trace(600);
+    for (const std::uint64_t after : {std::uint64_t{600},
+                                      std::uint64_t{1000}}) {
+        span_source upstream{{pristine.data(), pristine.size()}};
+        fault_source faulty{upstream, {fault_kind::throw_after, after, 0}};
+        const drained got = pull_all(faulty, 64);
+        EXPECT_FALSE(got.threw) << "after " << after;
+        EXPECT_EQ(got.records.size(), 600u);
+        EXPECT_FALSE(faulty.faulted());
+    }
+}
+
+TEST(FaultSource, CorruptAfterIsDeterministicAndChunkInvariant) {
+    const mem_trace pristine = make_trace(1000);
+
+    const auto corrupt = [&](std::uint64_t seed, std::size_t chunk) {
+        span_source upstream{{pristine.data(), pristine.size()}};
+        fault_source faulty{upstream,
+                            {fault_kind::corrupt_after, 300, seed}};
+        return pull_all(faulty, chunk).records;
+    };
+
+    const mem_trace a = corrupt(42, 64);
+    ASSERT_EQ(a.size(), 1000u);
+    for (std::size_t i = 0; i < 300; ++i) {
+        ASSERT_EQ(a[i].address, pristine[i].address) << "record " << i;
+    }
+    for (std::size_t i = 300; i < 1000; ++i) {
+        ASSERT_NE(a[i].address, pristine[i].address) << "record " << i;
+        ASSERT_EQ(a[i].type, pristine[i].type); // only addresses rot
+    }
+
+    // Same seed, different chunking: the identical corrupted stream.
+    const mem_trace b = corrupt(42, 17);
+    ASSERT_EQ(b.size(), a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].address, b[i].address) << "record " << i;
+    }
+
+    // A different seed corrupts differently.
+    const mem_trace c = corrupt(43, 64);
+    bool differs = false;
+    for (std::size_t i = 300; i < 1000 && !differs; ++i) {
+        differs = a[i].address != c[i].address;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultSource, DisarmedDecoratorPassesThrough) {
+    const mem_trace pristine = make_trace(500);
+    span_source upstream{{pristine.data(), pristine.size()}};
+    fault_source disarmed{upstream, {}};
+    const drained got = pull_all(disarmed, 33);
+    EXPECT_FALSE(got.threw);
+    ASSERT_EQ(got.records.size(), 500u);
+    for (std::size_t i = 0; i < got.records.size(); ++i) {
+        ASSERT_EQ(got.records[i].address, pristine[i].address);
+    }
+    EXPECT_FALSE(disarmed.faulted());
+    EXPECT_EQ(disarmed.delivered(), 500u);
+}
+
+} // namespace
