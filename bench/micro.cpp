@@ -14,6 +14,7 @@
 // readable perf trajectory.  docs/PERF.md explains the fields.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -30,6 +31,8 @@
 #include "dew/simulator.hpp"
 #include "dew/sweep.hpp"
 #include "lru/janapsatya_sim.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "phase/representative_sweep.hpp"
 #include "seed_baseline.hpp"
 #include "serve/service.hpp"
@@ -600,6 +603,95 @@ service_measurement measure_service() {
     return m;
 }
 
+// The service behind the wire: a loopback net::server wrapping its own
+// service, a net::client submitting by content digest.  Requests/sec is
+// the pipelined drain of a duplicate storm against the warm cache; the
+// percentiles are sequential round-trip latencies of warm (cache-hit)
+// answers — they price the "DSNW" protocol and the loopback hop, not the
+// simulation (which the serve_* fields already cover).
+struct net_measurement {
+    double requests_per_sec{0.0};
+    double p50_ms{0.0};
+    double p95_ms{0.0};
+    double p99_ms{0.0};
+};
+
+net_measurement measure_net() {
+    const trace::mem_trace& trace = bench_trace();
+    net::server_options server_options;
+    server_options.service =
+        serve::service_options{2, 256, serve::overflow_policy::block,
+                               {8, 256}};
+    net::server server{server_options};
+    net::client client{"127.0.0.1", server.port()};
+    const trace::trace_digest digest = client.register_trace(trace);
+
+    std::vector<serve::service_request> requests;
+    for (const unsigned exp : {8u, 9u, 10u}) {
+        serve::service_request request;
+        request.sweep = json_sweep_request();
+        request.sweep.max_set_exp = exp;
+        requests.push_back(request);
+    }
+
+    // Exactness across the wire first (this also warms the cache): the
+    // served answer must equal the direct sweep count for count.
+    for (const serve::service_request& request : requests) {
+        const serve::service_result answer =
+            client.submit(digest, request).get();
+        const core::sweep_result direct = core::run_sweep(trace,
+                                                          request.sweep);
+        DEW_ASSERT(answer.sweep != nullptr);
+        DEW_ASSERT(answer.sweep->passes.size() == direct.passes.size());
+        for (std::size_t i = 0; i < direct.passes.size(); ++i) {
+            for (unsigned level = 0; level <= direct.passes[i].max_level();
+                 ++level) {
+                DEW_ASSERT(answer.sweep->passes[i].misses(
+                               level, direct.passes[i].associativity()) ==
+                           direct.passes[i].misses(
+                               level, direct.passes[i].associativity()));
+            }
+        }
+    }
+
+    net_measurement m;
+
+    // Pipelined storm: every submission in flight before the first drain,
+    // so the number is the wire's capacity, not one round trip at a time.
+    constexpr std::size_t storm_duplicates = 16;
+    std::vector<net::submission> handles;
+    handles.reserve(requests.size() * storm_duplicates);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t d = 0; d < storm_duplicates; ++d) {
+        for (const serve::service_request& request : requests) {
+            handles.push_back(client.submit(digest, request));
+        }
+    }
+    for (net::submission& handle : handles) {
+        DEW_ASSERT(handle.get().cache_hit);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    m.requests_per_sec = static_cast<double>(handles.size()) /
+                         std::chrono::duration<double>(t1 - t0).count();
+
+    // Sequential round trips for the latency distribution.
+    std::vector<double> latencies;
+    constexpr std::size_t probes = 96;
+    latencies.reserve(probes);
+    for (std::size_t i = 0; i < probes; ++i) {
+        const auto s0 = std::chrono::steady_clock::now();
+        (void)client.submit(digest, requests[i % requests.size()]).get();
+        const auto s1 = std::chrono::steady_clock::now();
+        latencies.push_back(
+            std::chrono::duration<double, std::milli>(s1 - s0).count());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    m.p50_ms = latencies[latencies.size() / 2];
+    m.p95_ms = latencies[latencies.size() * 95 / 100];
+    m.p99_ms = latencies[latencies.size() * 99 / 100];
+    return m;
+}
+
 void write_micro_json() {
     const trace::mem_trace& trace = bench_trace();
 
@@ -651,6 +743,7 @@ void write_micro_json() {
     const sweep_comparison sweeps = measure_sweeps();
     const phase_measurement phases = measure_phase();
     const service_measurement serve = measure_service();
+    const net_measurement net = measure_net();
 
     std::FILE* out = std::fopen("BENCH_micro.json", "w");
     if (out == nullptr) {
@@ -721,8 +814,13 @@ void write_micro_json() {
                  serve.timeout_rate);
     std::fprintf(out, "  \"serve_degraded_served\": %llu,\n",
                  static_cast<unsigned long long>(serve.degraded_served));
-    std::fprintf(out, "  \"serve_retry_success_rate\": %.4f\n",
+    std::fprintf(out, "  \"serve_retry_success_rate\": %.4f,\n",
                  serve.retry_success_rate);
+    std::fprintf(out, "  \"net_requests_per_sec\": %.1f,\n",
+                 net.requests_per_sec);
+    std::fprintf(out, "  \"net_p50_ms\": %.3f,\n", net.p50_ms);
+    std::fprintf(out, "  \"net_p95_ms\": %.3f,\n", net.p95_ms);
+    std::fprintf(out, "  \"net_p99_ms\": %.3f\n", net.p99_ms);
     std::fprintf(out, "}\n");
     std::fclose(out);
 
@@ -757,6 +855,9 @@ void write_micro_json() {
                 "%llu requests shed to the estimate tier\n",
                 serve.timeout_rate, serve.retry_success_rate,
                 static_cast<unsigned long long>(serve.degraded_served));
+    std::printf("networked service (loopback): %.0f req/s pipelined, warm "
+                "round trip p50 %.3f ms / p95 %.3f ms / p99 %.3f ms\n",
+                net.requests_per_sec, net.p50_ms, net.p95_ms, net.p99_ms);
     std::printf("sweep memory: eager %.1f B/ref vs streaming %.2f B/ref "
                 "(x%.0f smaller), throughput %.2fM vs %.2fM acc/s\n\n",
                 sweeps.eager.peak_bytes_per_ref,

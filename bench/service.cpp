@@ -15,10 +15,14 @@
 //   degrade  the storm against an overflow_policy::degrade service with a
 //            low watermark — queued-up exact requests shed to the
 //            estimate tier instead of waiting.
+//   net      the storm and its replay again, but through the "DSNW" wire:
+//            a loopback net::server wrapping a fresh service, a
+//            net::client submitting by content digest — the delta against
+//            `storm`/`replay` is the protocol + round-trip cost.
 // Each phase reports requests/sec plus the service's own counters, and an
 // exactness gate first proves a served answer bit-identical to a direct
-// run_sweep.  The serve_* fields of BENCH_micro.json are the same
-// quantities measured by bench_micro's harness (docs/PERF.md).
+// run_sweep.  The serve_* and net_* fields of BENCH_micro.json are the
+// same quantities measured by bench_micro's harness (docs/PERF.md).
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -30,7 +34,10 @@
 #include "bench_support/table.hpp"
 #include "common/contracts.hpp"
 #include "dew/sweep.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "serve/service.hpp"
+#include "trace/digest.hpp"
 #include "trace/mediabench.hpp"
 
 namespace {
@@ -100,6 +107,60 @@ phase_numbers run_phase(serve::service& service,
             .count();
 
     const serve::service_stats after = service.stats();
+    numbers.requests_per_sec =
+        static_cast<double>(handles.size()) / seconds;
+    const std::uint64_t submitted = after.submitted - before.submitted;
+    numbers.cache_hit_rate =
+        submitted == 0 ? 0.0
+                       : static_cast<double>(after.cache_hits -
+                                             before.cache_hits) /
+                             static_cast<double>(submitted);
+    const std::uint64_t computations =
+        after.computations - before.computations;
+    numbers.computations = computations;
+    numbers.coalesce_factor =
+        computations == 0
+            ? 1.0
+            : static_cast<double>(computations +
+                                  (after.coalesced - before.coalesced)) /
+                  static_cast<double>(computations);
+    return numbers;
+}
+
+// The storm through the wire: same request mix, same stats deltas, but
+// every submission is a "DSNW" frame over loopback and every answer a
+// result frame back.  The server's own service is paused for the gated
+// wave exactly like run_phase does in-process.
+phase_numbers run_net_phase(net::client& client, net::server& server,
+                            const trace::trace_digest& digest,
+                            const std::vector<serve::service_request>&
+                                requests,
+                            std::size_t repeats, bool gate) {
+    const serve::service_stats before = server.local_service().stats();
+    if (gate) {
+        server.local_service().pause();
+    }
+    std::vector<net::submission> handles;
+    handles.reserve(requests.size() * repeats);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t repeat = 0; repeat < repeats; ++repeat) {
+        for (const serve::service_request& request : requests) {
+            handles.push_back(client.submit(digest, request));
+        }
+    }
+    if (gate) {
+        server.local_service().resume();
+    }
+    phase_numbers numbers;
+    for (net::submission& handle : handles) {
+        (void)handle.get();
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    const serve::service_stats after = server.local_service().stats();
     numbers.requests_per_sec =
         static_cast<double>(handles.size()) / seconds;
     const std::uint64_t submitted = after.submitted - before.submitted;
@@ -213,6 +274,24 @@ int main() {
     const phase_numbers degrade =
         run_phase(degrade_service, requests, duplicates, /*gate=*/true);
 
+    // The networked phases: a fresh service behind a loopback server, the
+    // corpus shipped once over the wire, then the same gated storm and
+    // warm replay as the in-process phases.
+    net::server_options net_options;
+    net_options.service = serve::service_options{
+        2, 256, serve::overflow_policy::block, {8, 256}};
+    net::server net_server{net_options};
+    net::client net_client{"127.0.0.1", net_server.port()};
+    const trace::trace_digest digest = net_client.register_trace(
+        trace::make_mediabench_trace(trace::mediabench_app::cjpeg,
+                                     trace_records));
+    const phase_numbers net_storm =
+        run_net_phase(net_client, net_server, digest, requests, duplicates,
+                      /*gate=*/true);
+    const phase_numbers net_replay =
+        run_net_phase(net_client, net_server, digest, requests, duplicates,
+                      /*gate=*/false);
+
     bench::text_table table{{"phase", "requests", "req/s", "hit rate",
                              "coalesce", "computations", "degraded"}};
     table.add_row({"cold", std::to_string(requests.size()),
@@ -241,6 +320,18 @@ int main() {
                    fixed(degrade.coalesce_factor, 2),
                    std::to_string(degrade.computations),
                    std::to_string(degrade.degraded)});
+    table.add_row({"net-storm",
+                   std::to_string(requests.size() * duplicates),
+                   fixed(net_storm.requests_per_sec, 1),
+                   fixed(net_storm.cache_hit_rate, 2),
+                   fixed(net_storm.coalesce_factor, 2),
+                   std::to_string(net_storm.computations), "0"});
+    table.add_row({"net-replay",
+                   std::to_string(requests.size() * duplicates),
+                   fixed(net_replay.requests_per_sec, 1),
+                   fixed(net_replay.cache_hit_rate, 2),
+                   fixed(net_replay.coalesce_factor, 2),
+                   std::to_string(net_replay.computations), "0"});
     table.print(std::cout);
 
     const serve::service_stats stats = storm_service->stats();
@@ -262,5 +353,10 @@ int main() {
                           cold.requests_per_sec * 100.0,
                 static_cast<unsigned long long>(degrade.degraded),
                 requests.size() * duplicates);
+    std::printf("networked phases (loopback wire): storm %.1f req/s vs "
+                "in-process %.1f; warm replay %.1f req/s vs %.1f — the gap "
+                "is the protocol + round trip\n",
+                net_storm.requests_per_sec, storm.requests_per_sec,
+                net_replay.requests_per_sec, replay.requests_per_sec);
     return 0;
 }

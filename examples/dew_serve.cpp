@@ -15,6 +15,19 @@
 //     --load FILE         warm the cache from a previous --save; a damaged
 //                         file is salvaged, not fatal
 //     --demo              run a built-in workload instead of a file
+//     --serve PORT        no workload: expose the service on a TCP port
+//                         ("DSNW" wire protocol, src/net/).  PORT 0 picks
+//                         an ephemeral port; the bound port is printed on
+//                         stdout.  Blocks until SIGINT/SIGTERM, then drains,
+//                         honours --save and exits
+//     --corpus DIR        with --serve: digest-addressed trace store
+//                         (trace/corpus.hpp); traces registered over the
+//                         wire are persisted there, and a submit for an
+//                         unknown digest is hydrated from it
+//     --connect HOST:PORT replay the workload against a remote
+//                         dew_serve --serve instance instead of an
+//                         in-process service; `fault` directives need the
+//                         local injection hook and are rejected
 //
 // Workload file format (one directive per line, '#' comments):
 //   trace <name> <mediabench-app> <records>
@@ -43,17 +56,24 @@
 // line must not discard the rest of the replay's answers.
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <future>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
 #include "serve/service.hpp"
 #include "trace/digest.hpp"
 #include "trace/fault.hpp"
@@ -68,9 +88,17 @@ using namespace dew;
                  "usage: dew_serve <workload-file> [--workers N] "
                  "[--queue N] [--cache N] [--deadline-ms N] "
                  "[--max-retries N] [--degrade] [--save FILE] "
-                 "[--load FILE] | dew_serve --demo\n");
+                 "[--load FILE] [--connect HOST:PORT]\n"
+                 "       dew_serve --demo [--connect HOST:PORT]\n"
+                 "       dew_serve --serve PORT [--corpus DIR] "
+                 "[service options]\n");
     std::exit(2);
 }
+
+// --serve blocks until one of these arrives; the handler only sets a flag
+// so the drain/save/stop sequence runs on the main thread.
+volatile std::sig_atomic_t g_stop_requested = 0;
+void handle_stop_signal(int) { g_stop_requested = 1; }
 
 // The `fault` directive's ammunition: how many flights still owe their
 // first attempt a transient fault.  Shared with the service's fault hook,
@@ -137,7 +165,22 @@ request jpeg exact dew 10 64,32,16 4,2 x4
 
 struct pending {
     std::string line;
-    serve::submission handle;
+    // Blocks for the answer; copyable so one drain loop serves both the
+    // in-process serve::submission and the wire's net::submission.
+    std::function<serve::service_result()> get;
+};
+
+// Where the replayed workload goes: the in-process service, or a remote
+// one over --connect.  Both shapes return the trace's content digest from
+// add_trace and a blocking getter from submit, so replay() cannot tell
+// them apart — which is the point of the wire protocol.
+struct sweep_sink {
+    std::function<trace::trace_digest(const std::string&, trace::mem_trace)>
+        add_trace;
+    std::function<std::function<serve::service_result()>(
+        const std::string&, const serve::service_request&)>
+        submit;
+    bool local{true};
 };
 
 struct replay_options {
@@ -145,7 +188,7 @@ struct replay_options {
     std::shared_ptr<fault_plan> faults;
 };
 
-void replay(std::istream& workload, serve::service& service,
+void replay(std::istream& workload, const sweep_sink& sink,
             const replay_options& replay_opts,
             std::vector<pending>& submitted) {
     std::string line;
@@ -169,7 +212,7 @@ void replay(std::istream& workload, serve::service& service,
                 if (!(fields >> name >> app >> records)) {
                     throw std::invalid_argument{"malformed trace directive"};
                 }
-                const trace::trace_digest digest = service.add_trace(
+                const trace::trace_digest digest = sink.add_trace(
                     name, trace::make_mediabench_trace(
                               parse_app(app),
                               static_cast<std::size_t>(records)));
@@ -231,12 +274,17 @@ void replay(std::istream& workload, serve::service& service,
                 request.deadline = replay_opts.deadline;
                 for (std::size_t i = 0; i < repeat; ++i) {
                     submitted.push_back(
-                        {line, service.submit(trace_name, request)});
+                        {line, sink.submit(trace_name, request)});
                 }
             } else if (directive == "fault") {
                 std::int64_t count = 0;
                 if (!(fields >> count) || count < 0) {
                     throw std::invalid_argument{"malformed fault directive"};
+                }
+                if (!sink.local) {
+                    throw std::invalid_argument{
+                        "fault injection needs the local hook; "
+                        "drop --connect"};
                 }
                 replay_opts.faults->remaining.fetch_add(count);
                 std::printf("fault    armed for %lld shard-job "
@@ -254,12 +302,120 @@ void replay(std::istream& workload, serve::service& service,
     }
 }
 
+// Warm the cache from --load.  Salvage mode: a cache file damaged by a
+// crash mid-save warms the cache with its verified prefix instead of
+// killing the run.  Returns an exit code, 0 on success.
+int warm_cache(serve::service& service, const std::string& load_path) {
+    std::ifstream in{load_path, std::ios::binary};
+    if (!in) {
+        std::fprintf(stderr, "dew_serve: cannot read %s\n",
+                     load_path.c_str());
+        return 1;
+    }
+    const serve::cache_load_report report =
+        service.load_cache(in, serve::load_mode::salvage);
+    std::printf("cache    warmed with %zu entries from %s\n", report.loaded,
+                load_path.c_str());
+    if (report.salvaged) {
+        std::fprintf(stderr,
+                     "dew_serve: %s was damaged: salvaged %zu entries, "
+                     "skipped %zu (first fault at byte %zu)\n",
+                     load_path.c_str(), report.loaded, report.skipped,
+                     report.salvaged_at);
+    }
+    return 0;
+}
+
+// Atomic --save: stage into FILE.tmp and rename over FILE, so a crash
+// mid-save can corrupt only the staging file — the previous snapshot
+// survives intact (and even a torn FILE.tmp salvages).  Returns an exit
+// code, 0 on success.
+int save_cache(serve::service& service, const std::string& save_path) {
+    const std::string staging = save_path + ".tmp";
+    {
+        std::ofstream out{staging, std::ios::binary | std::ios::trunc};
+        if (!out) {
+            std::fprintf(stderr, "dew_serve: cannot write %s\n",
+                         staging.c_str());
+            return 1;
+        }
+        service.save_cache(out);
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "dew_serve: write to %s failed\n",
+                         staging.c_str());
+            return 1;
+        }
+    }
+    if (std::rename(staging.c_str(), save_path.c_str()) != 0) {
+        std::fprintf(stderr, "dew_serve: cannot rename %s to %s\n",
+                     staging.c_str(), save_path.c_str());
+        return 1;
+    }
+    std::printf("cache    saved to %s\n", save_path.c_str());
+    return 0;
+}
+
+// --serve: expose the service on a TCP port until SIGINT/SIGTERM.
+int run_server(const serve::service_options& options, std::uint16_t port,
+               const std::string& corpus_dir, const std::string& load_path,
+               const std::string& save_path) {
+    net::server_options server_opts;
+    server_opts.port = port;
+    server_opts.service = options;
+    server_opts.corpus_dir = corpus_dir;
+    std::optional<net::server> server_storage;
+    try {
+        server_storage.emplace(std::move(server_opts));
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "dew_serve: %s\n", error.what());
+        return 1;
+    }
+    net::server& server = *server_storage;
+    if (!load_path.empty()) {
+        if (const int code = warm_cache(server.local_service(), load_path)) {
+            return code;
+        }
+    }
+    // The port line is the startup handshake: scripts run `--serve 0`,
+    // read the ephemeral pick from stdout, and connect to it.
+    std::printf("dew_serve: listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    while (!g_stop_requested) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{100});
+    }
+
+    // Drain: stop() settles every in-flight submission before returning,
+    // so the saved cache holds everything the server answered.
+    server.stop();
+    if (!save_path.empty()) {
+        if (const int code = save_cache(server.local_service(), save_path)) {
+            return code;
+        }
+    }
+    const serve::service_stats stats = server.local_service().stats();
+    std::printf("served   %llu submissions: %llu cache hits, %llu "
+                "coalesced, %llu computations\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.computations));
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     std::string workload_path;
     std::string save_path;
     std::string load_path;
+    std::string connect_spec;
+    std::string corpus_dir;
+    std::optional<std::uint16_t> serve_port;
     bool demo = false;
     serve::service_options options;
     replay_options replay_opts;
@@ -291,6 +447,16 @@ int main(int argc, char** argv) {
                 save_path = value();
             } else if (arg == "--load") {
                 load_path = value();
+            } else if (arg == "--serve") {
+                const unsigned long port = std::stoul(value());
+                if (port > 65535) {
+                    throw std::invalid_argument{"port out of range"};
+                }
+                serve_port = static_cast<std::uint16_t>(port);
+            } else if (arg == "--connect") {
+                connect_spec = value();
+            } else if (arg == "--corpus") {
+                corpus_dir = value();
             } else if (arg == "--demo") {
                 demo = true;
             } else if (!arg.empty() && arg[0] == '-') {
@@ -304,55 +470,127 @@ int main(int argc, char** argv) {
                      error.what());
         return 2;
     }
-    // Exactly one workload: a file, or the built-in demo.
+    // Mode selection: --serve takes no workload; otherwise exactly one —
+    // a file, or the built-in demo.  --corpus only means something to a
+    // server.
+    if (serve_port) {
+        if (demo || !workload_path.empty() || !connect_spec.empty()) {
+            usage();
+        }
+        return run_server(options, *serve_port, corpus_dir, load_path,
+                          save_path);
+    }
     if (demo ? !workload_path.empty() : workload_path.empty()) {
         usage();
     }
-
-    // The injection hook is always installed; it costs one relaxed load
-    // per shard job until a `fault` directive arms it.
-    replay_opts.faults = std::make_shared<fault_plan>();
-    options.fault_hook = [plan = replay_opts.faults](std::size_t,
-                                                     unsigned attempt) {
-        if (attempt != 0 ||
-            plan->remaining.load(std::memory_order_relaxed) <= 0) {
-            return;
-        }
-        if (plan->remaining.fetch_sub(1, std::memory_order_relaxed) <= 0) {
-            return; // another job took the last round
-        }
-        plan->injected.fetch_add(1, std::memory_order_relaxed);
-        throw trace::io_fault{"dew_serve: injected transient fault"};
-    };
-
-    std::optional<serve::service> service_storage;
-    try {
-        service_storage.emplace(options);
-    } catch (const std::exception& error) {
-        // e.g. --workers 0 / --queue 0 / --cache 0.
-        std::fprintf(stderr, "dew_serve: %s\n", error.what());
-        return 2;
+    if (!corpus_dir.empty()) {
+        usage();
     }
-    serve::service& service = *service_storage;
-    if (!load_path.empty()) {
-        std::ifstream in{load_path, std::ios::binary};
-        if (!in) {
-            std::fprintf(stderr, "dew_serve: cannot read %s\n",
-                         load_path.c_str());
+
+    replay_opts.faults = std::make_shared<fault_plan>();
+    std::optional<serve::service> service_storage;
+    std::optional<net::client> client_storage;
+    sweep_sink sink;
+    if (!connect_spec.empty()) {
+        // Remote replay: the workload goes over the wire.  Trace names are
+        // a client-side convenience — the server only knows digests.
+        const std::size_t colon = connect_spec.rfind(':');
+        if (colon == std::string::npos || colon == 0) {
+            usage();
+        }
+        try {
+            const unsigned long port =
+                std::stoul(connect_spec.substr(colon + 1));
+            if (port == 0 || port > 65535) {
+                throw std::invalid_argument{"port out of range"};
+            }
+            client_storage.emplace(connect_spec.substr(0, colon),
+                                   static_cast<std::uint16_t>(port));
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "dew_serve: cannot connect to %s: %s\n",
+                         connect_spec.c_str(), error.what());
             return 1;
         }
-        // Salvage mode: a cache file damaged by a crash mid-save warms the
-        // cache with its verified prefix instead of killing the replay.
-        const serve::cache_load_report report =
-            service.load_cache(in, serve::load_mode::salvage);
-        std::printf("cache    warmed with %zu entries from %s\n",
-                    report.loaded, load_path.c_str());
-        if (report.salvaged) {
-            std::fprintf(stderr,
-                         "dew_serve: %s was damaged: salvaged %zu entries, "
-                         "skipped %zu (first fault at byte %zu)\n",
-                         load_path.c_str(), report.loaded, report.skipped,
-                         report.salvaged_at);
+        net::client* remote = &*client_storage;
+        auto names = std::make_shared<
+            std::map<std::string, trace::trace_digest>>();
+        sink.local = false;
+        sink.add_trace = [remote, names](const std::string& name,
+                                         trace::mem_trace records) {
+            const trace::trace_digest digest =
+                remote->register_trace(records);
+            (*names)[name] = digest;
+            return digest;
+        };
+        sink.submit = [remote, names](const std::string& name,
+                                      const serve::service_request& request) {
+            const auto found = names->find(name);
+            if (found == names->end()) {
+                throw std::invalid_argument{"unknown trace: " + name};
+            }
+            auto handle = std::make_shared<net::submission>(
+                remote->submit(found->second, request));
+            return std::function<serve::service_result()>{
+                [handle] { return handle->get(); }};
+        };
+    } else {
+        // The injection hook is always installed on a local service; it
+        // costs one relaxed load per shard job until a `fault` directive
+        // arms it.
+        options.fault_hook = [plan = replay_opts.faults](std::size_t,
+                                                         unsigned attempt) {
+            if (attempt != 0 ||
+                plan->remaining.load(std::memory_order_relaxed) <= 0) {
+                return;
+            }
+            if (plan->remaining.fetch_sub(1, std::memory_order_relaxed) <=
+                0) {
+                return; // another job took the last round
+            }
+            plan->injected.fetch_add(1, std::memory_order_relaxed);
+            throw trace::io_fault{"dew_serve: injected transient fault"};
+        };
+        try {
+            service_storage.emplace(options);
+        } catch (const std::exception& error) {
+            // e.g. --workers 0 / --queue 0 / --cache 0.
+            std::fprintf(stderr, "dew_serve: %s\n", error.what());
+            return 2;
+        }
+        serve::service* local = &*service_storage;
+        sink.add_trace = [local](const std::string& name,
+                                 trace::mem_trace records) {
+            return local->add_trace(name, std::move(records));
+        };
+        sink.submit = [local](const std::string& name,
+                              const serve::service_request& request) {
+            auto handle = std::make_shared<serve::submission>(
+                local->submit(name, request));
+            return std::function<serve::service_result()>{
+                [handle] { return handle->get(); }};
+        };
+    }
+    if (!load_path.empty()) {
+        if (sink.local) {
+            if (const int code = warm_cache(*service_storage, load_path)) {
+                return code;
+            }
+        } else {
+            // Remote warm-up: ship the file as a DSCF image; the server
+            // salvages a torn one, same as the local path.
+            std::ifstream in{load_path, std::ios::binary};
+            if (!in) {
+                std::fprintf(stderr, "dew_serve: cannot read %s\n",
+                             load_path.c_str());
+                return 1;
+            }
+            std::ostringstream image;
+            image << in.rdbuf();
+            const serve::cache_load_report report =
+                client_storage->load_cache(serve::load_mode::salvage,
+                                           image.str());
+            std::printf("cache    warmed remote with %zu entries from %s\n",
+                        report.loaded, load_path.c_str());
         }
     }
 
@@ -360,7 +598,7 @@ int main(int argc, char** argv) {
     const auto start = std::chrono::steady_clock::now();
     if (demo) {
         std::istringstream workload{demo_workload};
-        replay(workload, service, replay_opts, submitted);
+        replay(workload, sink, replay_opts, submitted);
     } else {
         std::ifstream workload{workload_path};
         if (!workload) {
@@ -368,7 +606,7 @@ int main(int argc, char** argv) {
                          workload_path.c_str());
             return 1;
         }
-        replay(workload, service, replay_opts, submitted);
+        replay(workload, sink, replay_opts, submitted);
     }
 
     std::size_t simulated = 0;
@@ -383,7 +621,7 @@ int main(int argc, char** argv) {
         // A failed request is tallied, not fatal: one expired deadline or
         // exhausted retry must not discard every other answer's books.
         try {
-            const serve::service_result answer = p.handle.get();
+            const serve::service_result answer = p.get();
             simulated += !answer.cache_hit && !answer.coalesced;
             from_cache += answer.cache_hit;
             from_coalescing += answer.coalesced;
@@ -403,7 +641,10 @@ int main(int argc, char** argv) {
                                       start)
             .count();
 
-    const serve::service_stats stats = service.stats();
+    // Over --connect the books are the server's lifetime totals, which is
+    // what a shared service's absorption numbers mean anyway.
+    const serve::service_stats stats =
+        sink.local ? service_storage->stats() : client_storage->stats();
     std::printf("\nanswered %zu requests in %.3f s (%.0f req/s)\n",
                 submitted.size(), seconds,
                 static_cast<double>(submitted.size()) / seconds);
@@ -430,31 +671,34 @@ int main(int argc, char** argv) {
                 timed_out, failed);
 
     if (!save_path.empty()) {
-        // Atomic save: stage into FILE.tmp and rename over FILE, so a
-        // crash mid-save can corrupt only the staging file — the previous
-        // snapshot survives intact (and even a torn FILE.tmp salvages).
-        const std::string staging = save_path + ".tmp";
-        {
-            std::ofstream out{staging, std::ios::binary | std::ios::trunc};
-            if (!out) {
-                std::fprintf(stderr, "dew_serve: cannot write %s\n",
-                             staging.c_str());
+        if (sink.local) {
+            if (const int code = save_cache(*service_storage, save_path)) {
+                return code;
+            }
+        } else {
+            // The remote cache as a DSCF image, staged and renamed like
+            // the local save.
+            const std::string image = client_storage->save_cache();
+            const std::string staging = save_path + ".tmp";
+            {
+                std::ofstream out{staging,
+                                  std::ios::binary | std::ios::trunc};
+                out.write(image.data(),
+                          static_cast<std::streamsize>(image.size()));
+                out.flush();
+                if (!out) {
+                    std::fprintf(stderr, "dew_serve: cannot write %s\n",
+                                 staging.c_str());
+                    return 1;
+                }
+            }
+            if (std::rename(staging.c_str(), save_path.c_str()) != 0) {
+                std::fprintf(stderr, "dew_serve: cannot rename %s to %s\n",
+                             staging.c_str(), save_path.c_str());
                 return 1;
             }
-            service.save_cache(out);
-            out.flush();
-            if (!out) {
-                std::fprintf(stderr, "dew_serve: write to %s failed\n",
-                             staging.c_str());
-                return 1;
-            }
+            std::printf("cache    saved to %s\n", save_path.c_str());
         }
-        if (std::rename(staging.c_str(), save_path.c_str()) != 0) {
-            std::fprintf(stderr, "dew_serve: cannot rename %s to %s\n",
-                         staging.c_str(), save_path.c_str());
-            return 1;
-        }
-        std::printf("cache    saved to %s\n", save_path.c_str());
     }
     return failed == 0 ? 0 : 1;
 }

@@ -8,6 +8,11 @@
 //   trace_tools stats <file> [block]      locality statistics of a trace
 //   trace_tools gen <app> <count> <out>   synthesise a Mediabench-like trace
 //   trace_tools head <file> [n]           print the first n records
+//   trace_tools ingest <file> <corpus>    store a trace in a digest-addressed
+//                                         corpus directory (trace/corpus.hpp);
+//                                         the printed digest is the name a
+//                                         dew_serve --serve --corpus instance
+//                                         will serve it under
 //
 // Real-trace workflow (the offline substitute for the paper's SimpleScalar
 // flow):
@@ -20,6 +25,8 @@
 
 #include "trace/binary_io.hpp"
 #include "trace/compressed_io.hpp"
+#include "trace/corpus.hpp"
+#include "trace/digest.hpp"
 #include "trace/lackey.hpp"
 #include "trace/mediabench.hpp"
 #include "trace/stats.hpp"
@@ -37,6 +44,7 @@ using trace::mem_trace;
                  "  trace_tools stats <file> [block_size]\n"
                  "  trace_tools gen <app> <count> <out>\n"
                  "  trace_tools head <file> [count]\n"
+                 "  trace_tools ingest <file> <corpus-dir>\n"
                  "formats by extension: .din .hex .dewt .dewc; lackey input "
                  "as .lackey/.vg\n"
                  "apps: cjpeg djpeg g721_enc g721_dec mpeg2_enc mpeg2_dec\n");
@@ -145,6 +153,16 @@ int run_gen(const std::string& app_name, std::size_t count,
     return 2;
 }
 
+int run_ingest(const std::string& path, const std::string& corpus_dir) {
+    const mem_trace trace = load(path);
+    trace::corpus_registry registry{corpus_dir};
+    const trace::ingest_report report = registry.ingest(trace);
+    std::printf("%s %s (%zu records%s)\n", to_string(report.digest).c_str(),
+                report.path.c_str(), trace.size(),
+                report.deduplicated ? ", already present" : "");
+    return 0;
+}
+
 int run_head(const std::string& path, std::size_t count) {
     const mem_trace trace = load(path);
     const std::size_t n = std::min(count, trace.size());
@@ -177,6 +195,9 @@ int main(int argc, char** argv) {
             return run_gen(argv[2],
                            static_cast<std::size_t>(std::stoull(argv[3])),
                            argv[4]);
+        }
+        if (command == "ingest" && argc == 4) {
+            return run_ingest(argv[2], argv[3]);
         }
         if (command == "head" && (argc == 3 || argc == 4)) {
             const auto count = argc == 4

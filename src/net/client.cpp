@@ -1,0 +1,263 @@
+#include "net/client.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "net/socket.hpp"
+
+namespace dew::net {
+
+// Shared by the client facade and every outstanding submission, so a
+// submission (and its cancel lever) stays usable after the client object
+// moved on — the same after-the-service-is-gone safety serve::submission
+// gives.
+class client_core : public std::enable_shared_from_this<client_core> {
+public:
+    client_core(const std::string& host, std::uint16_t port)
+        : fd_{connect_to(host, port)} {}
+
+    ~client_core() { shutdown(); }
+
+    void start_reader() {
+        reader_ = std::thread{[self = shared_from_this()] {
+            self->read_loop();
+        }};
+    }
+
+    void shutdown() {
+        fd_.close();
+        if (reader_.joinable() &&
+            reader_.get_id() != std::this_thread::get_id()) {
+            reader_.join();
+        }
+        fail_pending(std::make_exception_ptr(
+            socket_error{ENOTCONN, "connection closed"}));
+    }
+
+    // Registers a response slot, sends the frame, returns the future the
+    // reader thread will settle.  Any number of threads may call this
+    // concurrently; frames are serialised by the write mutex.
+    std::future<frame> send_request(message_type type,
+                                    std::string_view payload,
+                                    std::uint64_t& id_out) {
+        const std::uint64_t id =
+            next_id_.fetch_add(1, std::memory_order_relaxed);
+        id_out = id;
+        std::future<frame> response;
+        {
+            const std::lock_guard lock{pending_mutex_};
+            if (dead_) {
+                std::rethrow_exception(death_);
+            }
+            response = pending_
+                           .emplace(id, std::promise<frame>{})
+                           .first->second.get_future();
+        }
+        const std::string bytes = encode_frame(type, id, payload);
+        try {
+            const std::lock_guard lock{write_mutex_};
+            write_all(fd_, bytes.data(), bytes.size());
+        } catch (...) {
+            const std::lock_guard lock{pending_mutex_};
+            pending_.erase(id);
+            throw;
+        }
+        return response;
+    }
+
+    // Synchronous round trip: expects exactly `expected` back, rethrows
+    // error frames as their fault, rejects anything else as wire_error.
+    frame roundtrip(message_type type, std::string_view payload,
+                    message_type expected) {
+        std::uint64_t id = 0;
+        return expect(send_request(type, payload, id).get(), expected);
+    }
+
+    static frame expect(frame response, message_type expected) {
+        if (response.header.type == message_type::error) {
+            rethrow_fault(decode_error(response.payload));
+        }
+        if (response.header.type != expected) {
+            throw wire_error{"unexpected response type " +
+                             std::string{to_string(response.header.type)} +
+                             " (want " + to_string(expected) + ")"};
+        }
+        return response;
+    }
+
+private:
+    void read_loop() {
+        std::string header_bytes(frame_header_bytes, '\0');
+        std::exception_ptr death;
+        try {
+            for (;;) {
+                const std::size_t got = read_exact(
+                    fd_, header_bytes.data(), header_bytes.size());
+                if (got != header_bytes.size()) {
+                    death = std::make_exception_ptr(socket_error{
+                        ECONNRESET, "connection closed by server"});
+                    break;
+                }
+                const frame_header header = parse_header(header_bytes);
+                frame response;
+                response.header = header;
+                response.payload.resize(
+                    static_cast<std::size_t>(header.payload_bytes));
+                if (read_exact(fd_, response.payload.data(),
+                               response.payload.size()) !=
+                    response.payload.size()) {
+                    death = std::make_exception_ptr(socket_error{
+                        ECONNRESET,
+                        "connection closed mid-frame by server"});
+                    break;
+                }
+                settle(header.id, std::move(response));
+            }
+        } catch (...) {
+            // wire_error (the server is speaking garbage) or socket_error:
+            // either way this conversation is over.
+            death = std::current_exception();
+        }
+        fd_.close();
+        fail_pending(death);
+    }
+
+    void settle(std::uint64_t id, frame response) {
+        std::promise<frame> slot;
+        {
+            const std::lock_guard lock{pending_mutex_};
+            const auto found = pending_.find(id);
+            if (found == pending_.end()) {
+                return; // e.g. the server's id-0 protocol report
+            }
+            slot = std::move(found->second);
+            pending_.erase(found);
+        }
+        slot.set_value(std::move(response));
+    }
+
+    void fail_pending(std::exception_ptr error) {
+        std::unordered_map<std::uint64_t, std::promise<frame>> orphans;
+        {
+            const std::lock_guard lock{pending_mutex_};
+            if (!dead_) {
+                dead_ = true;
+                death_ = error ? error
+                               : std::make_exception_ptr(socket_error{
+                                     ENOTCONN, "connection closed"});
+            }
+            orphans.swap(pending_);
+        }
+        for (auto& [id, slot] : orphans) {
+            (void)id;
+            slot.set_exception(death_);
+        }
+    }
+
+    socket_fd fd_;
+    std::mutex write_mutex_;
+    std::thread reader_;
+    std::atomic<std::uint64_t> next_id_{1};
+
+    std::mutex pending_mutex_;
+    std::unordered_map<std::uint64_t, std::promise<frame>> pending_;
+    bool dead_{false};
+    std::exception_ptr death_;
+};
+
+// --- submission --------------------------------------------------------------
+
+submission::submission(std::future<frame> response,
+                       std::shared_ptr<client_core> core, std::uint64_t id)
+    : frame_{std::move(response)}, core_{std::move(core)}, id_{id} {}
+
+serve::service_result submission::get() {
+    const frame response =
+        client_core::expect(frame_.get(), message_type::result);
+    return decode_result(response.payload);
+}
+
+bool submission::cancel() {
+    if (!core_) {
+        return false;
+    }
+    const frame response = core_->roundtrip(message_type::cancel,
+                                            encode_cancel_target(id_),
+                                            message_type::cancel_ok);
+    return decode_flag(response.payload);
+}
+
+// --- client ------------------------------------------------------------------
+
+client::client(const std::string& host, std::uint16_t port)
+    : core_{std::make_shared<client_core>(host, port)} {
+    core_->start_reader();
+}
+
+client::~client() {
+    if (core_) {
+        core_->shutdown();
+    }
+}
+
+void client::ping() {
+    (void)core_->roundtrip(message_type::ping, {}, message_type::pong);
+}
+
+trace::trace_digest client::register_trace(const trace::mem_trace& records) {
+    const frame response =
+        core_->roundtrip(message_type::register_trace,
+                         encode_records(records), message_type::register_ok);
+    return decode_digest(response.payload);
+}
+
+bool client::has_trace(const trace::trace_digest& digest) {
+    const frame response = core_->roundtrip(
+        message_type::has_trace, encode_digest(digest), message_type::has_ok);
+    return decode_flag(response.payload);
+}
+
+submission client::submit(const trace::trace_digest& digest,
+                          const serve::service_request& request) {
+    std::uint64_t id = 0;
+    std::future<frame> response = core_->send_request(
+        message_type::submit, encode_submit({digest, request}), id);
+    return submission{std::move(response), core_, id};
+}
+
+serve::service_stats client::stats() {
+    const frame response =
+        core_->roundtrip(message_type::stats, {}, message_type::stats_ok);
+    return decode_stats(response.payload);
+}
+
+std::string client::save_cache() {
+    frame response = core_->roundtrip(message_type::cache_save, {},
+                                      message_type::cache_contents);
+    return std::move(response.payload);
+}
+
+serve::cache_load_report client::load_cache(serve::load_mode mode,
+                                            std::string_view cache_file) {
+    const frame response =
+        core_->roundtrip(message_type::cache_load,
+                         encode_cache_load(mode, cache_file),
+                         message_type::cache_loaded);
+    return decode_load_report(response.payload);
+}
+
+void client::pause() {
+    (void)core_->roundtrip(message_type::pause, {}, message_type::ok);
+}
+
+void client::resume() {
+    (void)core_->roundtrip(message_type::resume, {}, message_type::ok);
+}
+
+void client::close() { core_->shutdown(); }
+
+} // namespace dew::net

@@ -1,0 +1,251 @@
+#include "net/router.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bits.hpp"
+#include "net/socket.hpp"
+
+namespace dew::net {
+
+namespace {
+
+struct backend {
+    backend_address address;
+    std::unique_ptr<client> connection;
+    std::atomic<bool> healthy{true};
+    std::atomic<std::size_t> inflight{0};
+};
+
+struct ring_point {
+    std::uint64_t point;
+    std::size_t backend_index;
+
+    friend bool operator<(const ring_point& a, const ring_point& b) {
+        // Total order even on point collisions, so the ring layout is
+        // deterministic across runs.
+        return a.point != b.point ? a.point < b.point
+                                  : a.backend_index < b.backend_index;
+    }
+};
+
+// One avalanche-mixed word out of the full 256-bit request identity; the
+// fingerprint words are already mixed, so folding plus one more mix64
+// spreads keys uniformly over the ring.
+std::uint64_t key_point(const trace::trace_digest& digest,
+                        const std::array<std::uint64_t, 2>& fingerprint) {
+    return mix64(digest.words[0] ^ mix64(digest.words[1] ^
+                                         mix64(fingerprint[0] ^
+                                               mix64(fingerprint[1]))));
+}
+
+} // namespace
+
+struct router::state {
+    router_options options;
+    std::vector<std::unique_ptr<backend>> backends;
+    std::vector<ring_point> ring;
+
+    explicit state(router_options opts) : options{std::move(opts)} {
+        if (options.backends.empty()) {
+            throw std::invalid_argument{"router needs at least one backend"};
+        }
+        if (options.virtual_nodes == 0) {
+            throw std::invalid_argument{
+                "router needs at least one virtual node per backend"};
+        }
+        for (const backend_address& address : options.backends) {
+            auto node = std::make_unique<backend>();
+            node->address = address;
+            node->connection =
+                std::make_unique<client>(address.host, address.port);
+            backends.push_back(std::move(node));
+        }
+        for (std::size_t index = 0; index < backends.size(); ++index) {
+            for (std::size_t replica = 0; replica < options.virtual_nodes;
+                 ++replica) {
+                // Fixed-constant mixing, same reproducibility contract as
+                // the digests: the ring depends only on (index, replica).
+                const std::uint64_t point =
+                    mix64((index + 1) * 0x9E3779B97F4A7C15ull +
+                          mix64(replica + 0xC2B2AE3D27D4EB4Full));
+                ring.push_back({point, index});
+            }
+        }
+        std::sort(ring.begin(), ring.end());
+    }
+
+    backend& at(std::size_t index) const {
+        if (index >= backends.size()) {
+            throw std::invalid_argument{"no backend " + std::to_string(index)};
+        }
+        return *backends[index];
+    }
+
+    [[nodiscard]] bool usable(const backend& node) const {
+        if (!node.healthy.load(std::memory_order_acquire)) {
+            return false;
+        }
+        const std::size_t cap = options.max_inflight_per_backend;
+        return cap == 0 ||
+               node.inflight.load(std::memory_order_acquire) < cap;
+    }
+
+    // Clockwise walk from the key's ring position to the first usable
+    // backend.  Throws service_overloaded when the whole fleet is down or
+    // saturated — transient by classify_fault, exactly like a full queue.
+    std::size_t pick(std::uint64_t point) const {
+        const auto start = std::upper_bound(
+            ring.begin(), ring.end(),
+            ring_point{point, backends.size()});
+        // Distinct backends encountered in arc order; at most all of them.
+        std::size_t examined = 0;
+        std::vector<bool> seen(backends.size(), false);
+        for (std::size_t step = 0;
+             step < ring.size() && examined < backends.size(); ++step) {
+            const std::size_t slot =
+                (static_cast<std::size_t>(start - ring.begin()) + step) %
+                ring.size();
+            const std::size_t index = ring[slot].backend_index;
+            if (seen[index]) {
+                continue;
+            }
+            seen[index] = true;
+            ++examined;
+            if (usable(at(index))) {
+                return index;
+            }
+        }
+        throw serve::service_overloaded{
+            "no healthy, unsaturated backend for this key"};
+    }
+};
+
+router::router(router_options options)
+    : state_{std::make_unique<state>(std::move(options))} {}
+
+router::~router() = default;
+
+std::size_t router::backend_count() const noexcept {
+    return state_->backends.size();
+}
+
+trace::trace_digest router::register_trace(const trace::mem_trace& records) {
+    bool any = false;
+    trace::trace_digest digest{};
+    std::exception_ptr last_fault;
+    for (const auto& node : state_->backends) {
+        if (!node->healthy.load(std::memory_order_acquire)) {
+            continue;
+        }
+        try {
+            digest = node->connection->register_trace(records);
+            any = true;
+        } catch (const socket_error&) {
+            node->healthy.store(false, std::memory_order_release);
+            last_fault = std::current_exception();
+        }
+    }
+    if (!any) {
+        if (last_fault) {
+            std::rethrow_exception(last_fault);
+        }
+        throw serve::service_overloaded{"no healthy backend to register on"};
+    }
+    return digest;
+}
+
+routed_submission router::submit(const trace::trace_digest& digest,
+                                 const serve::service_request& request) {
+    const std::uint64_t point =
+        key_point(digest, serve::fingerprint(request));
+    for (;;) {
+        const std::size_t index = state_->pick(point);
+        backend& node = state_->at(index);
+        node.inflight.fetch_add(1, std::memory_order_acq_rel);
+        // The guard outlives the submission handle the caller holds, so
+        // "in flight" means "answer not yet consumed" — the load measure
+        // the saturation skip needs.
+        std::shared_ptr<void> guard{
+            static_cast<void*>(&node), [&node](void*) {
+                node.inflight.fetch_sub(1, std::memory_order_acq_rel);
+            }};
+        try {
+            return routed_submission{
+                node.connection->submit(digest, request), std::move(guard),
+                index};
+        } catch (const socket_error&) {
+            // Connection died at send time: mark it down and re-walk — the
+            // key now belongs to the next arc.
+            node.healthy.store(false, std::memory_order_release);
+        }
+    }
+}
+
+std::size_t router::backend_of(const trace::trace_digest& digest,
+                               const serve::service_request& request) const {
+    return state_->pick(key_point(digest, serve::fingerprint(request)));
+}
+
+bool router::healthy(std::size_t index) const {
+    return state_->at(index).healthy.load(std::memory_order_acquire);
+}
+
+void router::mark_healthy(std::size_t index) {
+    backend& node = state_->at(index);
+    // A marked-down backend's client is dead (its reader failed every
+    // pending call); recovery means reconnecting, not just flipping the
+    // flag.
+    node.connection =
+        std::make_unique<client>(node.address.host, node.address.port);
+    node.healthy.store(true, std::memory_order_release);
+}
+
+std::size_t router::inflight(std::size_t index) const {
+    return state_->at(index).inflight.load(std::memory_order_acquire);
+}
+
+serve::service_stats router::stats_of(std::size_t index) {
+    return state_->at(index).connection->stats();
+}
+
+serve::service_stats router::total_stats() {
+    serve::service_stats total{};
+    for (std::size_t index = 0; index < state_->backends.size(); ++index) {
+        if (!healthy(index)) {
+            continue;
+        }
+        const serve::service_stats stats = stats_of(index);
+        total.submitted += stats.submitted;
+        total.completed += stats.completed;
+        total.cache_hits += stats.cache_hits;
+        total.coalesced += stats.coalesced;
+        total.computations += stats.computations;
+        total.shard_jobs += stats.shard_jobs;
+        total.stream_builds += stats.stream_builds;
+        total.stream_reuses += stats.stream_reuses;
+        total.rejected += stats.rejected;
+        total.representative_served += stats.representative_served;
+        total.exact_fallbacks += stats.exact_fallbacks;
+        total.cache_evictions += stats.cache_evictions;
+        total.timeouts += stats.timeouts;
+        total.cancellations += stats.cancellations;
+        total.retries += stats.retries;
+        total.retry_successes += stats.retry_successes;
+        total.transient_faults += stats.transient_faults;
+        total.permanent_faults += stats.permanent_faults;
+        total.degraded_served += stats.degraded_served;
+        total.expired_flights += stats.expired_flights;
+    }
+    return total;
+}
+
+serve::cache_load_report router::handoff(std::size_t from, std::size_t to) {
+    const std::string image = state_->at(from).connection->save_cache();
+    return state_->at(to).connection->load_cache(serve::load_mode::salvage,
+                                                 image);
+}
+
+} // namespace dew::net

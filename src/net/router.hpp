@@ -1,0 +1,134 @@
+// net::router — a consistent-hash front over N backend servers.
+//
+// The routing key is the request identity itself: the (trace digest,
+// request fingerprint) pair that keys the backends' caches and coalescing
+// (serve/key.hpp).  Hashing exactly that key means every resubmission of a
+// semantically-equal question lands on the same backend, so the corpus of
+// answered questions partitions across the fleet and each backend's result
+// cache and in-flight coalescing keep working at full strength — a random
+// or round-robin spray would dilute both by the backend count.
+//
+// The hash ring carries `virtual_nodes` mix64 points per backend, so
+// keyspace shares stay near-even and removing one backend redistributes
+// only its own arc.  A submit walks the ring clockwise from the key's
+// point and takes the first backend that is (a) healthy — a backend whose
+// connection died is marked down and skipped until mark_healthy() — and
+// (b) not saturated — each backend carries an outstanding-submission count,
+// and one at/above max_inflight_per_backend is passed over, which is
+// backpressure-aware routing: load spills to the next arc instead of
+// queueing behind a struggling node.
+//
+// Warm handoff: handoff(from, to) ships `from`'s result cache as a "DSCF"
+// image into `to` (salvage mode — a partially-useful image is still worth
+// loading), so a backend about to take over an arc starts with the answers
+// the old owner already computed.
+#ifndef DEW_NET_ROUTER_HPP
+#define DEW_NET_ROUTER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "serve/key.hpp"
+#include "serve/service.hpp"
+#include "trace/digest.hpp"
+#include "trace/record.hpp"
+
+namespace dew::net {
+
+struct backend_address {
+    std::string host{"127.0.0.1"};
+    std::uint16_t port{0};
+};
+
+struct router_options {
+    std::vector<backend_address> backends;
+    // Ring points per backend; more points = smoother keyspace shares.
+    std::size_t virtual_nodes{64};
+    // Outstanding submissions at/above which a backend is skipped.
+    // 0 = unlimited.
+    std::size_t max_inflight_per_backend{0};
+};
+
+// The handle router::submit returns: the backend submission plus the RAII
+// in-flight accounting the saturation check reads.
+class routed_submission {
+public:
+    routed_submission() = default;
+
+    [[nodiscard]] serve::service_result get() { return inner_.get(); }
+    void wait() const { inner_.wait(); }
+    [[nodiscard]] bool valid() const noexcept { return inner_.valid(); }
+    bool cancel() { return inner_.cancel(); }
+
+    // Which backend (index into router_options::backends) answered.
+    [[nodiscard]] std::size_t backend() const noexcept { return backend_; }
+
+private:
+    friend class router;
+    routed_submission(submission inner, std::shared_ptr<void> guard,
+                      std::size_t backend)
+        : inner_{std::move(inner)}, guard_{std::move(guard)},
+          backend_{backend} {}
+
+    submission inner_;
+    std::shared_ptr<void> guard_; // decrements the backend's in-flight count
+    std::size_t backend_{0};
+};
+
+class router {
+public:
+    // Connects to every backend.  Throws std::invalid_argument on an empty
+    // backend list, socket_error when a backend is unreachable.
+    explicit router(router_options options);
+    ~router();
+
+    router(const router&) = delete;
+    router& operator=(const router&) = delete;
+
+    [[nodiscard]] std::size_t backend_count() const noexcept;
+
+    // Registers the trace on every healthy backend (each answers from its
+    // own corpus-of-record) and returns the digest.  A backend whose
+    // connection dies during the broadcast is marked down; throws only
+    // when NO backend accepted.
+    trace::trace_digest register_trace(const trace::mem_trace& records);
+
+    // Routes by (digest, fingerprint(request)) and submits to the chosen
+    // backend.  A backend that fails at send time is marked down and the
+    // walk continues; serve::service_overloaded (transient — the fleet may
+    // recover) when no healthy, unsaturated backend remains.
+    [[nodiscard]] routed_submission
+    submit(const trace::trace_digest& digest,
+           const serve::service_request& request);
+
+    // The backend submit() would choose right now for this key — exposed
+    // so tests can predict the partition.  Throws like submit on an
+    // exhausted fleet.
+    [[nodiscard]] std::size_t
+    backend_of(const trace::trace_digest& digest,
+               const serve::service_request& request) const;
+
+    [[nodiscard]] bool healthy(std::size_t backend) const;
+    void mark_healthy(std::size_t backend);
+    [[nodiscard]] std::size_t inflight(std::size_t backend) const;
+
+    // Per-backend and fleet-summed service counters.
+    [[nodiscard]] serve::service_stats stats_of(std::size_t backend);
+    [[nodiscard]] serve::service_stats total_stats();
+
+    // Ships `from`'s cache image into `to` (salvage mode) and reports what
+    // loaded.
+    serve::cache_load_report handoff(std::size_t from, std::size_t to);
+
+private:
+    struct state;
+    std::unique_ptr<state> state_;
+};
+
+} // namespace dew::net
+
+#endif // DEW_NET_ROUTER_HPP

@@ -1,0 +1,341 @@
+#include "net/server.hpp"
+
+#include <atomic>
+#include <exception>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "trace/corpus.hpp"
+#include "trace/digest.hpp"
+
+namespace dew::net {
+
+namespace {
+
+// One accepted connection: its socket, the serialised write side (the
+// handler and every waiter thread respond on the same stream), and the
+// in-flight submissions addressable by `cancel` frames.
+struct connection {
+    socket_fd fd;
+    std::mutex write_mutex;
+    std::thread handler;
+
+    std::mutex pending_mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<serve::submission>>
+        pending;
+    std::vector<std::thread> waiters;
+
+    void send(message_type type, std::uint64_t id, std::string_view payload) {
+        const std::string bytes = encode_frame(type, id, payload);
+        const std::lock_guard lock{write_mutex};
+        write_all(fd, bytes.data(), bytes.size());
+    }
+
+    void send_fault(std::uint64_t id, const std::exception_ptr& error) {
+        send(message_type::error, id, encode_error(describe_fault(error)));
+    }
+};
+
+} // namespace
+
+struct server::state {
+    server_options options;
+    serve::service service;
+    std::optional<trace::corpus_registry> corpus;
+
+    socket_fd listener;
+    std::uint16_t bound_port{0};
+    std::thread acceptor;
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> stopped{false};
+
+    std::mutex connections_mutex;
+    std::list<std::shared_ptr<connection>> connections;
+
+    explicit state(server_options opts)
+        : options{std::move(opts)}, service{options.service} {
+        if (!options.corpus_dir.empty()) {
+            corpus.emplace(options.corpus_dir);
+        }
+        listener = listen_on(options.host, options.port, bound_port);
+    }
+
+    // Registers `records` with the service (and the corpus, if one is
+    // configured) and returns the digest.  The service-side trace name IS
+    // the digest string: content addressing end to end.
+    trace::trace_digest register_records(trace::mem_trace records) {
+        const trace::trace_digest digest = trace::compute_digest(records);
+        if (corpus) {
+            corpus->ingest(records);
+        }
+        if (!service.has_trace(to_string(digest))) {
+            service.add_trace(to_string(digest), std::move(records));
+        }
+        return digest;
+    }
+
+    // True once the digest is submittable: already registered, or hydrated
+    // from the corpus just now.
+    bool ensure_trace(const trace::trace_digest& digest) {
+        if (service.has_trace(to_string(digest))) {
+            return true;
+        }
+        if (corpus && corpus->contains(digest)) {
+            service.add_trace(to_string(digest), corpus->load(digest));
+            return true;
+        }
+        return false;
+    }
+
+    void dispatch(connection& conn, const frame_header& header,
+                  const std::string& payload) {
+        const std::uint64_t id = header.id;
+        switch (header.type) {
+        case message_type::ping:
+            conn.send(message_type::pong, id, {});
+            return;
+        case message_type::register_trace: {
+            const trace::trace_digest digest =
+                register_records(decode_records(payload));
+            conn.send(message_type::register_ok, id, encode_digest(digest));
+            return;
+        }
+        case message_type::has_trace: {
+            const trace::trace_digest digest = decode_digest(payload);
+            const bool present = service.has_trace(to_string(digest)) ||
+                                 (corpus && corpus->contains(digest));
+            conn.send(message_type::has_ok, id, encode_flag(present));
+            return;
+        }
+        case message_type::submit:
+            start_submission(conn, id, decode_submit(payload));
+            return;
+        case message_type::cancel: {
+            const std::uint64_t target = decode_cancel_target(payload);
+            std::shared_ptr<serve::submission> pending;
+            {
+                const std::lock_guard lock{conn.pending_mutex};
+                const auto found = conn.pending.find(target);
+                if (found != conn.pending.end()) {
+                    pending = found->second;
+                }
+            }
+            // The waiter thread still answers the submit frame (with the
+            // cancellation fault); this only acks the withdrawal.
+            const bool cancelled = pending && pending->cancel();
+            conn.send(message_type::cancel_ok, id, encode_flag(cancelled));
+            return;
+        }
+        case message_type::stats:
+            conn.send(message_type::stats_ok, id,
+                      encode_stats(service.stats()));
+            return;
+        case message_type::cache_save: {
+            std::ostringstream image;
+            service.save_cache(image);
+            conn.send(message_type::cache_contents, id, image.str());
+            return;
+        }
+        case message_type::cache_load: {
+            const cache_load_message message = decode_cache_load(payload);
+            std::istringstream image{message.cache_file};
+            const serve::cache_load_report report =
+                service.load_cache(image, message.mode);
+            conn.send(message_type::cache_loaded, id,
+                      encode_load_report(report));
+            return;
+        }
+        case message_type::pause:
+            service.pause();
+            conn.send(message_type::ok, id, {});
+            return;
+        case message_type::resume:
+            service.resume();
+            conn.send(message_type::ok, id, {});
+            return;
+        default:
+            // A response type arriving as a request: well-framed nonsense.
+            throw wire_error{"unexpected request type " +
+                             std::string{to_string(header.type)}};
+        }
+    }
+
+    void start_submission(connection& conn, std::uint64_t id,
+                          const submit_message& message) {
+        if (!ensure_trace(message.digest)) {
+            throw std::invalid_argument{
+                "unknown trace digest " + to_string(message.digest) +
+                " (register_trace it, or configure a corpus that holds it)"};
+        }
+        auto pending = std::make_shared<serve::submission>(
+            service.submit(to_string(message.digest), message.request));
+        const std::lock_guard lock{conn.pending_mutex};
+        conn.pending.emplace(id, pending);
+        conn.waiters.emplace_back([this, &conn, id, pending] {
+            wait_and_respond(conn, id, *pending);
+        });
+    }
+
+    void wait_and_respond(connection& conn, std::uint64_t id,
+                          serve::submission& pending) {
+        std::string payload;
+        message_type type = message_type::result;
+        try {
+            payload = encode_result(pending.get());
+        } catch (...) {
+            type = message_type::error;
+            payload = encode_error(describe_fault(std::current_exception()));
+        }
+        {
+            const std::lock_guard lock{conn.pending_mutex};
+            conn.pending.erase(id);
+        }
+        try {
+            conn.send(type, id, payload);
+        } catch (const socket_error&) {
+            // Connection died while the flight ran; the handler's read side
+            // sees the same death and tears the connection down.
+        }
+    }
+
+    void serve_connection(connection& conn) {
+        std::string header_bytes(frame_header_bytes, '\0');
+        for (;;) {
+            const std::size_t got =
+                read_socket(conn.fd, header_bytes.data(), header_bytes.size());
+            if (got != header_bytes.size()) {
+                break; // clean or torn EOF, or stop() closed us
+            }
+            frame_header header;
+            try {
+                header = parse_header(header_bytes);
+            } catch (const wire_error&) {
+                // Framing is lost: no way to know where the next frame
+                // starts.  Report and close (error frames use id 0 — no
+                // request id is trustworthy).
+                try_send_fault(conn, 0, std::current_exception());
+                break;
+            }
+            std::string payload(
+                static_cast<std::size_t>(header.payload_bytes), '\0');
+            if (read_socket(conn.fd, payload.data(), payload.size()) !=
+                payload.size()) {
+                break;
+            }
+            try {
+                dispatch(conn, header, payload);
+            } catch (const socket_error&) {
+                break; // write side died; nothing more to say
+            } catch (...) {
+                // A malformed payload or a service-side fault under intact
+                // framing: answer on the request's id and keep serving.
+                if (!try_send_fault(conn, header.id,
+                                    std::current_exception())) {
+                    break;
+                }
+            }
+        }
+        conn.fd.close();
+    }
+
+    static std::size_t read_socket(const socket_fd& fd, void* data,
+                                   std::size_t size) {
+        try {
+            return read_exact(fd, data, size);
+        } catch (const socket_error&) {
+            return 0; // closed under us (stop()) or reset: both mean EOF here
+        }
+    }
+
+    static bool try_send_fault(connection& conn, std::uint64_t id,
+                               const std::exception_ptr& error) {
+        try {
+            conn.send_fault(id, error);
+            return true;
+        } catch (const socket_error&) {
+            return false;
+        }
+    }
+
+    void accept_loop() {
+        while (!stopping.load(std::memory_order_acquire)) {
+            socket_fd accepted;
+            try {
+                accepted = accept_on(listener);
+            } catch (const socket_error&) {
+                break; // listener closed by stop()
+            }
+            auto conn = std::make_shared<connection>();
+            conn->fd = std::move(accepted);
+            {
+                const std::lock_guard lock{connections_mutex};
+                connections.push_back(conn);
+            }
+            conn->handler = std::thread{[this, conn] {
+                serve_connection(*conn);
+            }};
+        }
+    }
+
+    void stop() {
+        if (stopped.exchange(true)) {
+            return;
+        }
+        stopping.store(true, std::memory_order_release);
+        listener.close();
+        if (acceptor.joinable()) {
+            acceptor.join();
+        }
+        // A paused service would park the waiter threads on futures that
+        // can never settle; release it before joining anything.
+        service.resume();
+        std::list<std::shared_ptr<connection>> to_join;
+        {
+            const std::lock_guard lock{connections_mutex};
+            to_join.swap(connections);
+        }
+        for (const auto& conn : to_join) {
+            conn->fd.close();
+        }
+        for (const auto& conn : to_join) {
+            if (conn->handler.joinable()) {
+                conn->handler.join();
+            }
+            // The handler is down, so `waiters` is stable now.
+            for (std::thread& waiter : conn->waiters) {
+                if (waiter.joinable()) {
+                    waiter.join();
+                }
+            }
+        }
+    }
+};
+
+server::server(server_options options) {
+    state_ = std::make_unique<state>(std::move(options));
+    state_->acceptor = std::thread{[state = state_.get()] {
+        state->accept_loop();
+    }};
+}
+
+server::~server() {
+    if (state_) {
+        state_->stop();
+    }
+}
+
+std::uint16_t server::port() const noexcept { return state_->bound_port; }
+
+void server::stop() { state_->stop(); }
+
+serve::service& server::local_service() noexcept { return state_->service; }
+
+} // namespace dew::net

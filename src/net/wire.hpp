@@ -1,0 +1,201 @@
+// The DEW serving wire protocol: length-prefixed binary frames carrying
+// typed messages between a net::client and a net::server (and between the
+// router and its backends).
+//
+// Frame layout (all integers little-endian):
+//   magic         4 bytes  "DSNW"
+//   version       u32      currently 1
+//   type          u8       message_type
+//   id            u64      correlation id — echoed by the response frame(s)
+//   payload_bytes u64      bytes following this field (<= max_frame_payload)
+//   payload       payload_bytes bytes, layout per message type (wire.cpp)
+//
+// The decode path follows the hardened "DSWR"/"DSCF" discipline of
+// dew::result_io and serve::cache: a truncated buffer, a bad magic or
+// version, an unknown type, an implausible field, or a payload whose size
+// disagrees with its decoded structure — short *or* over-long — throws
+// net::wire_error naming the byte offset of the fault (payload offsets are
+// frame-relative: payload byte 0 is frame byte 25).  A decoder never
+// returns a partial message.  The test suite truncates every message type
+// at every byte cut point and expects a precise reject at each.
+//
+// Fault mapping: a request that fails server-side is answered by an `error`
+// frame whose fault_code round-trips the exception's type, so
+// client.submit(...).get() throws the same exception a local
+// serve::service::submit would — and serve::classify_fault() classifies the
+// rethrown fault exactly as the server did (the PR-6 transient/permanent
+// taxonomy crosses the process boundary intact).
+#ifndef DEW_NET_WIRE_HPP
+#define DEW_NET_WIRE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "serve/cache.hpp"
+#include "serve/key.hpp"
+#include "serve/service.hpp"
+#include "trace/digest.hpp"
+#include "trace/record.hpp"
+
+namespace dew::net {
+
+// A malformed frame or payload.  Distinct from socket_error (transport) and
+// from the service's domain exceptions (which travel as `error` frames):
+// wire_error means the bytes themselves are not a protocol conversation.
+class wire_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+inline constexpr char frame_magic[4] = {'D', 'S', 'N', 'W'};
+inline constexpr std::uint32_t wire_version = 1;
+// magic + version + type + id + payload_bytes.
+inline constexpr std::size_t frame_header_bytes = 4 + 4 + 1 + 8 + 8;
+// Upper bound a receiver enforces before allocating: a 1 GiB payload holds
+// a ~119M-record trace registration, far beyond any sane frame, and a
+// declared size above it is certainly garbage framing, not a big message.
+inline constexpr std::uint64_t max_frame_payload = std::uint64_t{1} << 30;
+
+enum class message_type : std::uint8_t {
+    // Requests (client -> server)        // Responses (server -> client)
+    ping = 0,                             pong = 1,
+    register_trace = 2,                   register_ok = 3,
+    has_trace = 4,                        has_ok = 5,
+    submit = 6,                           result = 7,
+    cancel = 8,                           cancel_ok = 9,
+    stats = 10,                           stats_ok = 11,
+    cache_save = 12,                      cache_contents = 13,
+    cache_load = 14,                      cache_loaded = 15,
+    pause = 16,
+    resume = 17,
+    ok = 18,    // ack of pause/resume
+    error = 19, // failure response to any request; payload = error_message
+};
+
+[[nodiscard]] const char* to_string(message_type type) noexcept;
+
+struct frame_header {
+    message_type type{message_type::ping};
+    std::uint64_t id{0};
+    std::uint64_t payload_bytes{0};
+};
+
+struct frame {
+    frame_header header{};
+    std::string payload;
+};
+
+// --- Framing ----------------------------------------------------------------
+
+[[nodiscard]] std::string encode_frame(message_type type, std::uint64_t id,
+                                       std::string_view payload);
+
+// Parses exactly the 25 header bytes; rejects short buffers, bad magic /
+// version, unknown type and an over-limit payload_bytes with byte-offset-
+// naming wire_error.
+[[nodiscard]] frame_header parse_header(std::string_view bytes);
+
+// Parses one whole frame from an in-memory buffer: the header plus exactly
+// payload_bytes of payload must be present (no more, no less) — the
+// all-at-once form the tests and the cache handoff use.  Socket paths read
+// the header and payload separately with parse_header.
+[[nodiscard]] frame parse_frame(std::string_view bytes);
+
+// --- Fault taxonomy over the wire -------------------------------------------
+
+// Which exception an `error` frame reproduces client-side.  protocol is the
+// server rejecting *our* frame (rethrown as wire_error); the rest mirror
+// the service's domain exceptions so classify_fault agrees across the wire.
+enum class fault_code : std::uint8_t {
+    protocol = 0,         // wire_error — malformed frame or payload
+    invalid_argument = 1, // std::invalid_argument (permanent)
+    overloaded = 2,       // serve::service_overloaded (transient)
+    timeout = 3,          // serve::service_timeout
+    cancelled = 4,        // serve::service_cancelled
+    io = 5,               // trace::io_fault (transient)
+    logic = 6,            // other std::logic_error (permanent)
+    runtime = 7,          // anything else (permanent by classify_fault)
+};
+
+struct error_message {
+    fault_code code{fault_code::runtime};
+    std::string what;
+};
+
+// Maps a caught exception onto the code that reproduces it (by dynamic
+// type, most specific first).
+[[nodiscard]] error_message describe_fault(const std::exception_ptr& error);
+
+// Throws the exception `message` describes — the client's side of the
+// mapping.
+[[noreturn]] void rethrow_fault(const error_message& message);
+
+std::string encode_error(const error_message& message);
+[[nodiscard]] error_message decode_error(std::string_view payload);
+
+// --- Typed payload codecs ---------------------------------------------------
+// Every decode_* consumes the whole payload and throws wire_error (frame-
+// relative byte offsets, see above) on truncation, implausible fields, or
+// trailing bytes.
+
+// register_trace: the record sequence.
+std::string encode_records(const trace::mem_trace& records);
+[[nodiscard]] trace::mem_trace decode_records(std::string_view payload);
+
+// register_ok / has_trace / cache-handoff addressing: one trace digest.
+std::string encode_digest(const trace::trace_digest& digest);
+[[nodiscard]] trace::trace_digest decode_digest(std::string_view payload);
+
+// has_ok / cancel_ok: one boolean.
+std::string encode_flag(bool value);
+[[nodiscard]] bool decode_flag(std::string_view payload);
+
+// cancel: the id of the submit frame to withdraw.
+std::string encode_cancel_target(std::uint64_t submit_id);
+[[nodiscard]] std::uint64_t decode_cancel_target(std::string_view payload);
+
+// submit: which trace (by digest), what question.  The request's
+// stream_filter must be empty (it cannot travel) and `threads` is not
+// carried (the serving side owns parallelism) — both exactly as
+// serve::canonical demands.
+struct submit_message {
+    trace::trace_digest digest{};
+    serve::service_request request{};
+};
+std::string encode_submit(const submit_message& message);
+[[nodiscard]] submit_message decode_submit(std::string_view payload);
+
+// result: the service_result, flags and payloads.  The exact sweep travels
+// as a self-delimiting "DSWR" record; a representative estimate travels as
+// its per-configuration numbers and accuracy statement (the phase-analysis
+// internals — signatures, clustering — stay server-side; they are analysis
+// state, not the answer).
+std::string encode_result(const serve::service_result& result);
+[[nodiscard]] serve::service_result decode_result(std::string_view payload);
+
+// stats_ok: the 20 service_stats counters in declaration order.
+std::string encode_stats(const serve::service_stats& stats);
+[[nodiscard]] serve::service_stats decode_stats(std::string_view payload);
+
+// cache_load: load mode + the "DSCF" cache-file image (the image itself is
+// validated by serve::result_cache::load, checksums and all).
+std::string encode_cache_load(serve::load_mode mode,
+                              std::string_view cache_file);
+struct cache_load_message {
+    serve::load_mode mode{serve::load_mode::strict};
+    std::string cache_file;
+};
+[[nodiscard]] cache_load_message decode_cache_load(std::string_view payload);
+
+// cache_loaded: the load report.
+std::string encode_load_report(const serve::cache_load_report& report);
+[[nodiscard]] serve::cache_load_report
+decode_load_report(std::string_view payload);
+
+} // namespace dew::net
+
+#endif // DEW_NET_WIRE_HPP

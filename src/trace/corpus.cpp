@@ -1,0 +1,94 @@
+#include "trace/corpus.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "trace/binary_io.hpp"
+
+namespace dew::trace {
+
+namespace fs = std::filesystem;
+
+corpus_registry::corpus_registry(std::string directory)
+    : directory_{std::move(directory)} {
+    std::error_code ec;
+    fs::create_directories(directory_, ec);
+    if (ec || !fs::is_directory(directory_)) {
+        throw std::runtime_error{"corpus registry: cannot open directory " +
+                                 directory_ +
+                                 (ec ? ": " + ec.message() : "")};
+    }
+}
+
+std::string corpus_registry::path_of(const trace_digest& digest) const {
+    return (fs::path{directory_} / (to_string(digest) + ".dewt")).string();
+}
+
+bool corpus_registry::contains(const trace_digest& digest) const {
+    std::error_code ec;
+    return fs::is_regular_file(path_of(digest), ec);
+}
+
+ingest_report corpus_registry::ingest(const mem_trace& records) {
+    ingest_report report;
+    report.digest = compute_digest(records);
+    report.path = path_of(report.digest);
+    if (contains(report.digest)) {
+        // Content-addressed dedupe: the name is the digest, the digest is
+        // the content, so an existing file IS this trace already.
+        report.deduplicated = true;
+        return report;
+    }
+    // Atomic store: a crash between the staging write and the rename
+    // leaves only a .tmp file, which list() ignores and a re-ingest
+    // overwrites.
+    const std::string staging = report.path + ".tmp";
+    try {
+        write_binary_file(staging, records);
+    } catch (...) {
+        std::remove(staging.c_str());
+        throw;
+    }
+    if (std::rename(staging.c_str(), report.path.c_str()) != 0) {
+        std::remove(staging.c_str());
+        throw std::runtime_error{"corpus registry: cannot rename " + staging +
+                                 " to " + report.path};
+    }
+    return report;
+}
+
+mem_trace corpus_registry::load(const trace_digest& digest) const {
+    if (!contains(digest)) {
+        throw std::invalid_argument{"corpus registry: unknown trace digest " +
+                                    to_string(digest)};
+    }
+    mem_trace records = read_binary_file(path_of(digest));
+    if (compute_digest(records) != digest) {
+        throw std::runtime_error{
+            "corpus registry: " + path_of(digest) +
+            " does not re-digest to its name (file damaged or tampered)"};
+    }
+    return records;
+}
+
+std::vector<trace_digest> corpus_registry::list() const {
+    std::vector<trace_digest> digests;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator{directory_}) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".dewt") {
+            continue;
+        }
+        try {
+            digests.push_back(parse_digest(entry.path().stem().string()));
+        } catch (const std::invalid_argument&) {
+            // Not a digest-named file; the directory tolerates strangers.
+        }
+    }
+    return digests;
+}
+
+} // namespace dew::trace

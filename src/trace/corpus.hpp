@@ -1,0 +1,76 @@
+// Digest-addressed trace corpus registry: ingest once, name by content.
+//
+// The registry is a directory of DEWT trace files named by their streaming
+// content digest (trace/digest.hpp): `<32-hex-digest>.dewt`.  Ingesting a
+// trace computes its digest and stores the records under that name — unless
+// the file already exists, in which case the ingest is a dedupe no-op (the
+// digest IS the identity, so record-for-record equal traces collapse to one
+// file no matter how many times or under how many names they arrive).
+// Writes are atomic (staging file + rename), so a crash mid-ingest can
+// never leave a half-written trace under a valid digest name.
+//
+// This is the serving tier's corpus store (src/net/): clients register a
+// trace once — over the wire or via `trace_tools ingest` — and every later
+// request names it by digest instead of shipping the bytes again.  load()
+// re-digests what it read and refuses a mismatch, so a rotted file can
+// never impersonate the trace its name claims.
+#ifndef DEW_TRACE_CORPUS_HPP
+#define DEW_TRACE_CORPUS_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/digest.hpp"
+#include "trace/record.hpp"
+
+namespace dew::trace {
+
+struct ingest_report {
+    trace_digest digest{};
+    // True iff the corpus already held this content and nothing was written.
+    bool deduplicated{false};
+    // Path of the stored trace file.
+    std::string path;
+};
+
+class corpus_registry {
+public:
+    // Opens (creating if missing) the registry directory.  Throws
+    // std::runtime_error when the directory cannot be created or is not a
+    // directory.
+    explicit corpus_registry(std::string directory);
+
+    // Digests `records` and stores them under the digest name; a re-ingest
+    // of identical content is a dedupe no-op.  Throws std::runtime_error on
+    // I/O failure (the staging file is removed; the registry never keeps a
+    // partial trace).
+    ingest_report ingest(const mem_trace& records);
+
+    [[nodiscard]] bool contains(const trace_digest& digest) const;
+
+    // Loads and verifies: the records read back must re-digest to `digest`,
+    // else std::runtime_error (bit rot or tampering — the registry refuses
+    // to serve content its name disowns).  Throws std::invalid_argument for
+    // a digest the registry does not hold.
+    [[nodiscard]] mem_trace load(const trace_digest& digest) const;
+
+    // Digests currently stored, in unspecified order.  Files whose names do
+    // not parse as digests are ignored (the directory may hold staging
+    // leftovers or unrelated files).
+    [[nodiscard]] std::vector<trace_digest> list() const;
+
+    [[nodiscard]] const std::string& directory() const noexcept {
+        return directory_;
+    }
+
+    // `<directory>/<32-hex-digest>.dewt` — where the digest's trace is (or
+    // would be) stored.
+    [[nodiscard]] std::string path_of(const trace_digest& digest) const;
+
+private:
+    std::string directory_;
+};
+
+} // namespace dew::trace
+
+#endif // DEW_TRACE_CORPUS_HPP

@@ -1,5 +1,7 @@
 #include "trace/digest.hpp"
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace dew::trace {
@@ -14,6 +16,32 @@ std::string to_string(const trace_digest& digest) {
         }
     }
     return out;
+}
+
+trace_digest parse_digest(std::string_view text) {
+    if (text.size() != 32) {
+        throw std::invalid_argument{
+            "trace digest must be exactly 32 hex characters, got " +
+            std::to_string(text.size())};
+    }
+    trace_digest digest;
+    for (std::size_t i = 0; i < 32; ++i) {
+        const char c = text[i];
+        std::uint64_t nibble = 0;
+        if (c >= '0' && c <= '9') {
+            nibble = static_cast<std::uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+        } else if (c >= 'A' && c <= 'F') {
+            nibble = static_cast<std::uint64_t>(c - 'A' + 10);
+        } else {
+            throw std::invalid_argument{
+                "trace digest has a non-hex character at position " +
+                std::to_string(i)};
+        }
+        digest.words[i / 16] = (digest.words[i / 16] << 4) | nibble;
+    }
+    return digest;
 }
 
 trace_digest compute_digest(source& src, std::size_t chunk_records) {

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "common/bits.hpp"
 #include "trace/record.hpp"
@@ -42,6 +43,12 @@ struct trace_digest {
 
 // 32-hex-character rendering, word 0 first.
 [[nodiscard]] std::string to_string(const trace_digest& digest);
+
+// Inverse of to_string: exactly 32 hex characters (either case), word 0
+// first.  Throws std::invalid_argument naming what is wrong — the length or
+// the first non-hex character's position — so registry CLIs and wire text
+// forms reject a mistyped digest instead of addressing a phantom trace.
+[[nodiscard]] trace_digest parse_digest(std::string_view text);
 
 // Incremental digest computation: feed records in trace order through any
 // number of update() calls (chunk boundaries do not matter), then read the

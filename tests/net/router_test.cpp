@@ -1,0 +1,227 @@
+// The consistent-hash front-end over two live backends: keys partition
+// deterministically, resubmissions land on the same backend's warm cache,
+// coalescing still accrues in the backend's service_stats, saturation and
+// death reroute to the surviving arc, and the warm handoff carries a cache
+// across backends.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "dew/result_io.hpp"
+#include "dew/sweep.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "serve/service.hpp"
+#include "trace/digest.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+using namespace dew::net;
+
+trace::mem_trace workload() {
+    return trace::make_mediabench_trace(trace::mediabench_app::cjpeg, 3000);
+}
+
+// Distinct questions: mre_depth is part of the request identity for the
+// DEW engine (canonical() zeroes dew_options for cipar, which has no
+// property switches), so every index is a different fingerprint — and so a
+// different ring point — while the sweeps stay small.
+serve::service_request request_number(std::size_t index) {
+    serve::service_request request;
+    request.sweep.max_set_exp = 3 + index % 2;
+    request.sweep.block_sizes = {16};
+    request.sweep.associativities = {2, 4};
+    request.sweep.options.mre_depth = 1 + static_cast<std::uint32_t>(index);
+    return request;
+}
+
+// Canonical image for bit-identity comparison; wall-clock seconds zeroed
+// (it is a measurement, not part of the answer).
+std::string sweep_bytes(core::sweep_result result) {
+    result.seconds = 0.0;
+    std::ostringstream out;
+    core::write_binary_result(out, result);
+    return out.str();
+}
+
+struct fleet {
+    server a{server_options{}};
+    server b{server_options{}};
+
+    router_options options() const {
+        router_options opts;
+        opts.backends = {{"127.0.0.1", a.port()}, {"127.0.0.1", b.port()}};
+        return opts;
+    }
+};
+
+TEST(Router, KeysPartitionConsistentlyAndResubmissionsHitTheSameCache) {
+    fleet servers;
+    router front{servers.options()};
+    ASSERT_EQ(front.backend_count(), 2u);
+
+    const trace::mem_trace records = workload();
+    const trace::trace_digest digest = front.register_trace(records);
+    EXPECT_EQ(digest, trace::compute_digest(records));
+
+    constexpr std::size_t key_count = 18;
+    std::vector<std::size_t> owner(key_count);
+    std::set<std::size_t> used;
+    for (std::size_t i = 0; i < key_count; ++i) {
+        owner[i] = front.backend_of(digest, request_number(i));
+        used.insert(owner[i]);
+
+        routed_submission pending =
+            front.submit(digest, request_number(i));
+        EXPECT_EQ(pending.backend(), owner[i]);
+        const serve::service_result result = pending.get();
+        ASSERT_NE(result.sweep, nullptr);
+        EXPECT_EQ(sweep_bytes(*result.sweep),
+                  sweep_bytes(core::run_sweep(
+                      records,
+                      serve::canonical(request_number(i)).sweep)));
+    }
+    // 18 mix64-spread keys across 2 backends with 64 virtual nodes each:
+    // both sides of the ring must be exercised.
+    EXPECT_EQ(used.size(), 2u);
+
+    // Round two: every key routes to the same backend as before, and that
+    // backend answers from its result cache — the partition IS the cache
+    // affinity.
+    for (std::size_t i = 0; i < key_count; ++i) {
+        EXPECT_EQ(front.backend_of(digest, request_number(i)), owner[i]);
+        routed_submission pending =
+            front.submit(digest, request_number(i));
+        EXPECT_EQ(pending.backend(), owner[i]);
+        EXPECT_TRUE(pending.get().cache_hit) << "key " << i;
+    }
+
+    const serve::service_stats total = front.total_stats();
+    EXPECT_EQ(total.submitted, 2 * key_count);
+    EXPECT_GE(total.cache_hits, key_count);
+    EXPECT_GT(front.stats_of(0).submitted, 0u);
+    EXPECT_GT(front.stats_of(1).submitted, 0u);
+}
+
+TEST(Router, CoalescingStillAccruesOnTheOwningBackend) {
+    fleet servers;
+    router front{servers.options()};
+    const trace::trace_digest digest = front.register_trace(workload());
+    const serve::service_request request = request_number(0);
+    const std::size_t owner = front.backend_of(digest, request);
+
+    // Hold both backends so the duplicates provably arrive while the first
+    // flight is still in the queue.
+    servers.a.local_service().pause();
+    servers.b.local_service().pause();
+    std::vector<routed_submission> pending;
+    for (int i = 0; i < 3; ++i) {
+        pending.push_back(front.submit(digest, request));
+        EXPECT_EQ(pending.back().backend(), owner);
+    }
+    servers.a.local_service().resume();
+    servers.b.local_service().resume();
+
+    for (routed_submission& submission : pending) {
+        EXPECT_NE(submission.get().sweep, nullptr);
+    }
+    const serve::service_stats stats = front.stats_of(owner);
+    EXPECT_EQ(stats.computations, 1u);
+    EXPECT_EQ(stats.coalesced, 2u);
+}
+
+TEST(Router, SaturatedBackendIsSkippedUntilItsAnswerIsConsumed) {
+    fleet servers;
+    router_options options = servers.options();
+    options.max_inflight_per_backend = 1;
+    router front{options};
+    const trace::trace_digest digest = front.register_trace(workload());
+    const serve::service_request request = request_number(1);
+    const std::size_t owner = front.backend_of(digest, request);
+    const std::size_t other = 1 - owner;
+
+    // Hold the fleet so the first submission stays in flight.
+    servers.a.local_service().pause();
+    servers.b.local_service().pause();
+    routed_submission first = front.submit(digest, request);
+    EXPECT_EQ(first.backend(), owner);
+    EXPECT_EQ(front.inflight(owner), 1u);
+
+    // The owner is at its cap: the same key spills to the next arc.
+    EXPECT_EQ(front.backend_of(digest, request), other);
+    routed_submission second = front.submit(digest, request);
+    EXPECT_EQ(second.backend(), other);
+
+    servers.a.local_service().resume();
+    servers.b.local_service().resume();
+    EXPECT_NE(first.get().sweep, nullptr);
+    EXPECT_NE(second.get().sweep, nullptr);
+
+    // Drop the handles: in-flight counts return to zero and the key goes
+    // home.
+    first = routed_submission{};
+    second = routed_submission{};
+    EXPECT_EQ(front.inflight(owner), 0u);
+    EXPECT_EQ(front.inflight(other), 0u);
+    EXPECT_EQ(front.backend_of(digest, request), owner);
+}
+
+TEST(Router, DeadBackendFailsOverAndRecoversAfterMarkHealthy) {
+    fleet servers;
+    router front{servers.options()};
+    const trace::trace_digest digest = front.register_trace(workload());
+
+    // A key owned by backend 0.
+    std::size_t key = 0;
+    while (front.backend_of(digest, request_number(key)) != 0) {
+        ++key;
+    }
+    const serve::service_request request = request_number(key);
+
+    servers.a.stop();
+    // Give the router's client a moment to observe the close.
+    std::this_thread::sleep_for(std::chrono::milliseconds{100});
+
+    routed_submission pending = front.submit(digest, request);
+    EXPECT_EQ(pending.backend(), 1u);
+    EXPECT_NE(pending.get().sweep, nullptr);
+    EXPECT_FALSE(front.healthy(0));
+    EXPECT_EQ(front.backend_of(digest, request), 1u);
+}
+
+TEST(Router, WarmHandoffCarriesAnswersToTheSurvivingBackend) {
+    fleet servers;
+    router front{servers.options()};
+    const trace::mem_trace records = workload();
+    const trace::trace_digest digest = front.register_trace(records);
+
+    std::size_t key = 0;
+    while (front.backend_of(digest, request_number(key)) != 0) {
+        ++key;
+    }
+    const serve::service_request request = request_number(key);
+    const std::string expected =
+        sweep_bytes(*front.submit(digest, request).get().sweep);
+
+    // Ship backend 0's cache into backend 1, then lose backend 0.
+    const serve::cache_load_report report = front.handoff(0, 1);
+    EXPECT_GE(report.loaded, 1u);
+    servers.a.stop();
+    std::this_thread::sleep_for(std::chrono::milliseconds{100});
+
+    routed_submission pending = front.submit(digest, request);
+    EXPECT_EQ(pending.backend(), 1u);
+    const serve::service_result result = pending.get();
+    // The surviving backend answers from the handed-off cache — no
+    // recomputation, bit-identical bytes.
+    EXPECT_TRUE(result.cache_hit);
+    EXPECT_EQ(sweep_bytes(*result.sweep), expected);
+}
+
+} // namespace

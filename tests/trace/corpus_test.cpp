@@ -1,0 +1,115 @@
+// The digest-addressed corpus registry: content-addressed storage with
+// dedupe, load-time verification, and tolerance for stranger files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "trace/corpus.hpp"
+#include "trace/digest.hpp"
+#include "trace/mediabench.hpp"
+
+namespace {
+
+using namespace dew;
+namespace fs = std::filesystem;
+
+class CorpusTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        directory_ = testing::TempDir() + "dew_corpus_test";
+        fs::remove_all(directory_);
+    }
+    void TearDown() override { fs::remove_all(directory_); }
+
+    std::string directory_;
+};
+
+trace::mem_trace workload(trace::mediabench_app app, std::size_t records) {
+    return trace::make_mediabench_trace(app, records);
+}
+
+TEST_F(CorpusTest, IngestStoresUnderDigestAndDedupes) {
+    trace::corpus_registry registry{directory_};
+    const trace::mem_trace records =
+        workload(trace::mediabench_app::cjpeg, 2000);
+
+    const trace::ingest_report first = registry.ingest(records);
+    EXPECT_EQ(first.digest, trace::compute_digest(records));
+    EXPECT_FALSE(first.deduplicated);
+    EXPECT_TRUE(fs::is_regular_file(first.path));
+    EXPECT_EQ(fs::path{first.path}.filename().string(),
+              to_string(first.digest) + ".dewt");
+    EXPECT_TRUE(registry.contains(first.digest));
+
+    // The name is the content: re-ingesting is a no-op, not a copy.
+    const trace::ingest_report again = registry.ingest(records);
+    EXPECT_TRUE(again.deduplicated);
+    EXPECT_EQ(again.digest, first.digest);
+    EXPECT_EQ(again.path, first.path);
+    EXPECT_EQ(registry.list().size(), 1u);
+
+    const trace::ingest_report other = registry.ingest(
+        workload(trace::mediabench_app::mpeg2_enc, 1000));
+    EXPECT_FALSE(other.deduplicated);
+    EXPECT_NE(other.digest, first.digest);
+    EXPECT_EQ(registry.list().size(), 2u);
+}
+
+TEST_F(CorpusTest, LoadRoundTripsAndReVerifiesTheDigest) {
+    trace::corpus_registry registry{directory_};
+    const trace::mem_trace records =
+        workload(trace::mediabench_app::djpeg, 1500);
+    const trace::ingest_report report = registry.ingest(records);
+
+    EXPECT_EQ(registry.load(report.digest), records);
+
+    // An absent digest is an invalid argument, not a damaged file.
+    trace::trace_digest absent{{1, 2}};
+    EXPECT_THROW((void)registry.load(absent), std::invalid_argument);
+
+    // Flip one stored byte: the file no longer re-digests to its name and
+    // must never be served.
+    {
+        std::fstream file{report.path,
+                          std::ios::in | std::ios::out | std::ios::binary};
+        file.seekp(64);
+        char byte = 0;
+        file.seekg(64);
+        file.get(byte);
+        file.seekp(64);
+        file.put(static_cast<char>(byte ^ 0x01));
+    }
+    EXPECT_THROW((void)registry.load(report.digest), std::runtime_error);
+}
+
+TEST_F(CorpusTest, ListIgnoresFilesThatAreNotDigestNamed) {
+    trace::corpus_registry registry{directory_};
+    const trace::ingest_report report =
+        registry.ingest(workload(trace::mediabench_app::cjpeg, 500));
+
+    std::ofstream{directory_ + "/README.txt"} << "not a trace";
+    std::ofstream{directory_ + "/not-a-digest.dewt"} << "stranger";
+    std::ofstream{directory_ + "/" + to_string(report.digest) + ".dewt.tmp"}
+        << "staging leftover";
+
+    const std::vector<trace::trace_digest> listed = registry.list();
+    ASSERT_EQ(listed.size(), 1u);
+    EXPECT_EQ(listed[0], report.digest);
+}
+
+TEST_F(CorpusTest, SecondRegistryOverSameDirectorySeesTheCorpus) {
+    const trace::mem_trace records =
+        workload(trace::mediabench_app::mpeg2_enc, 800);
+    trace::trace_digest digest{};
+    {
+        trace::corpus_registry writer{directory_};
+        digest = writer.ingest(records).digest;
+    }
+    trace::corpus_registry reader{directory_};
+    EXPECT_TRUE(reader.contains(digest));
+    EXPECT_EQ(reader.load(digest), records);
+}
+
+} // namespace

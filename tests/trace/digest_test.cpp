@@ -93,4 +93,49 @@ TEST(Digest, RendersAs32HexCharacters) {
     EXPECT_EQ(text.find_first_not_of("0123456789abcdef"), std::string::npos);
 }
 
+TEST(Digest, ParseRoundTripsToString) {
+    const trace::trace_digest digest = trace::compute_digest(workload(100));
+    EXPECT_EQ(trace::parse_digest(to_string(digest)), digest);
+
+    // Extremes and both hex cases.
+    const trace::trace_digest zero{};
+    EXPECT_EQ(trace::parse_digest(to_string(zero)), zero);
+    const trace::trace_digest ones{{~0ull, ~0ull}};
+    EXPECT_EQ(trace::parse_digest(to_string(ones)), ones);
+    EXPECT_EQ(trace::parse_digest("FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF"), ones);
+
+    // Word order: word 0 renders first.
+    const trace::trace_digest ordered{{0x0123456789ABCDEFull,
+                                       0xFEDCBA9876543210ull}};
+    EXPECT_EQ(to_string(ordered), "0123456789abcdeffedcba9876543210");
+    EXPECT_EQ(trace::parse_digest("0123456789abcdeffedcba9876543210"),
+              ordered);
+}
+
+TEST(Digest, ParseRejectsMalformedText) {
+    EXPECT_THROW((void)trace::parse_digest(""), std::invalid_argument);
+    EXPECT_THROW((void)trace::parse_digest("abc"), std::invalid_argument);
+    // 31 and 33 characters straddle the only valid length.
+    const std::string valid(32, 'a');
+    EXPECT_NO_THROW((void)trace::parse_digest(valid));
+    EXPECT_THROW((void)trace::parse_digest(valid.substr(0, 31)),
+                 std::invalid_argument);
+    EXPECT_THROW((void)trace::parse_digest(valid + "a"),
+                 std::invalid_argument);
+    // A non-hex character at every position is named and rejected.
+    for (std::size_t position = 0; position < 32; ++position) {
+        std::string text = valid;
+        text[position] = 'g';
+        try {
+            (void)trace::parse_digest(text);
+            FAIL() << "accepted non-hex at position " << position;
+        } catch (const std::invalid_argument& fault) {
+            EXPECT_NE(std::string{fault.what()}.find(
+                          std::to_string(position)),
+                      std::string::npos)
+                << fault.what();
+        }
+    }
+}
+
 } // namespace
