@@ -32,6 +32,11 @@ public:
     // Value slot of `key`, inserting a zero mask if absent.  The returned
     // reference is invalidated by the next find_or_insert (which may grow
     // the table); find() never invalidates anything.
+    //
+    // The probe loops run once per trace reference; the hot-loop region
+    // deliberately excludes grow() below, which is the one sanctioned
+    // allocation site (amortised doubling, counted in rehashes()).
+    // dewlint: hot-loop begin presence-probe
     std::uint64_t& find_or_insert(std::uint64_t key) {
         DEW_EXPECTS(key != cache::invalid_tag);
         if ((size_ + 1) * 4 > keys_.size() * 3) {
@@ -59,6 +64,7 @@ public:
         }
         return values_[slot];
     }
+    // dewlint: hot-loop end presence-probe
 
     // Restores the cold state exactly: contents, growth history and table
     // capacity — a cleared map replays a trace with bit-identical

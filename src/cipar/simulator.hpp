@@ -81,6 +81,7 @@ public:
     // any interleaving of simulate_chunk, simulate_blocks and access calls
     // is bit-identical to one whole-trace simulate() — the presence map and
     // set arrays carry all state between chunks.
+    // dewlint: hot-loop begin cipar-stream
     void simulate_chunk(std::span<const trace::mem_access> chunk) {
         note_requests(chunk.size());
         for (const trace::mem_access& reference : chunk) {
@@ -100,6 +101,7 @@ public:
             access_block_impl(block);
         }
     }
+    // dewlint: hot-loop end cipar-stream
 
     // Exact per-configuration results (valid at any point of the pass), in
     // the same dew_result shape every other engine reports.  The embedded
@@ -230,6 +232,12 @@ basic_cipar_simulator<Instrumentation>::basic_cipar_simulator(
     }
 }
 
+// The per-access classification walk: runs once per trace reference.
+// dewlint's hot-loop rule bans allocation, container growth, formatted I/O
+// and wall-clock reads here; the one permitted growth path (the presence
+// map doubling) lives behind find_or_insert's noinline grow() in
+// presence_map.hpp, outside any marked region.
+// dewlint: hot-loop begin cipar-walk
 template <class Instrumentation>
 void basic_cipar_simulator<Instrumentation>::access_block_impl(
     std::uint64_t block) {
@@ -311,6 +319,7 @@ void basic_cipar_simulator<Instrumentation>::access_block_impl(
     // been inserted everywhere else.
     mask = full_mask_;
 }
+// dewlint: hot-loop end cipar-walk
 
 template <class Instrumentation>
 void basic_cipar_simulator<Instrumentation>::reset() {

@@ -9,6 +9,11 @@
 
 namespace dew::core {
 
+// Part of the service's request identity via sweep_request::options —
+// dewlint's identity-completeness rule checks every field against
+// serve::fingerprint (each switch changes the walk, never the misses, but
+// Table-4 instrumentation differs, so they all must be folded).
+// dewlint: identity-struct
 struct dew_options {
     // Property 2: a request matching a node's MRA tag is a certified hit at
     // this and every deeper level, so the walk stops.

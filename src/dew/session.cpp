@@ -41,12 +41,13 @@ void decode_blocks(std::span<const trace::mem_access> chunk,
 // would have thrown.  Only the first exception of a generation is kept;
 // later ones (typically the same fault on sibling passes) are dropped.
 struct session::worker_pool {
-    std::mutex mutex;
+    std::mutex mutex; // dewlint: lock-order session-pool 10
     std::condition_variable start_cv;
     std::condition_variable done_cv;
     std::uint64_t generation{0};
     std::size_t running{0}; // workers still on the current generation
     bool stop{false};
+    bool dead{false};         // a worker's barrier machinery itself threw
     std::exception_ptr error; // first worker throw of this generation
     std::atomic<std::size_t> cursor{0};
     std::vector<std::thread> workers;
@@ -115,40 +116,58 @@ session::session(trace::source& src, const sweep_request& request,
         for (unsigned w = 0; w < worker_count; ++w) {
             pool_->workers.emplace_back([this] {
                 worker_pool& pool = *pool_;
-                std::uint64_t seen = 0;
-                for (;;) {
-                    {
-                        std::unique_lock<std::mutex> lock{pool.mutex};
-                        pool.start_cv.wait(lock, [&] {
-                            return pool.stop || pool.generation != seen;
-                        });
-                        if (pool.stop) {
-                            return;
-                        }
-                        seen = pool.generation;
-                    }
-                    try {
-                        for (;;) {
-                            const std::size_t index = pool.cursor.fetch_add(
-                                1, std::memory_order_relaxed);
-                            if (index >= passes_.size()) {
-                                break;
+                // The inner try turns a simulate fault into pool.error and
+                // a normal barrier exit.  The outer one covers the barrier
+                // machinery itself (the lock/wait calls can in principle
+                // throw): it marks the pool dead so feed_threaded's wait
+                // wakes and rethrows instead of hanging on a worker that
+                // will never decrement `running`.
+                try {
+                    std::uint64_t seen = 0;
+                    for (;;) {
+                        {
+                            std::unique_lock<std::mutex> lock{pool.mutex};
+                            pool.start_cv.wait(lock, [&] {
+                                return pool.stop || pool.generation != seen;
+                            });
+                            if (pool.stop) {
+                                return;
                             }
-                            passes_[index]->feed(
-                                streams_[keys_[index].stream]);
+                            seen = pool.generation;
                         }
-                    } catch (...) {
-                        const std::lock_guard<std::mutex> lock{pool.mutex};
-                        if (!pool.error) {
-                            pool.error = std::current_exception();
+                        try {
+                            for (;;) {
+                                const std::size_t index =
+                                    pool.cursor.fetch_add(
+                                        1, std::memory_order_relaxed);
+                                if (index >= passes_.size()) {
+                                    break;
+                                }
+                                passes_[index]->feed(
+                                    streams_[keys_[index].stream]);
+                            }
+                        } catch (...) {
+                            const std::lock_guard<std::mutex> lock{
+                                pool.mutex};
+                            if (!pool.error) {
+                                pool.error = std::current_exception();
+                            }
+                        }
+                        {
+                            const std::lock_guard<std::mutex> lock{
+                                pool.mutex};
+                            if (--pool.running == 0) {
+                                pool.done_cv.notify_one();
+                            }
                         }
                     }
-                    {
-                        const std::lock_guard<std::mutex> lock{pool.mutex};
-                        if (--pool.running == 0) {
-                            pool.done_cv.notify_one();
-                        }
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock{pool.mutex};
+                    if (!pool.error) {
+                        pool.error = std::current_exception();
                     }
+                    pool.dead = true;
+                    pool.done_cv.notify_all();
                 }
             });
         }
@@ -193,7 +212,10 @@ void session::feed_threaded(std::span<const trace::mem_access> chunk) {
     std::exception_ptr error;
     {
         std::unique_lock<std::mutex> lock{pool.mutex};
-        pool.done_cv.wait(lock, [&] { return pool.running == 0; });
+        // `dead` unblocks the barrier when a worker died outside a
+        // generation and `running` can therefore never reach zero.
+        pool.done_cv.wait(lock,
+                          [&] { return pool.running == 0 || pool.dead; });
         error = std::exchange(pool.error, nullptr);
     }
     if (error) {

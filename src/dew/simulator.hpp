@@ -196,6 +196,7 @@ private:
 
     // The whole-stream loop of one static-assoc specialisation.  noinline
     // keeps each specialisation a compact standalone function.
+    // dewlint: hot-loop begin dew-stream
     template <std::uint32_t StaticAssoc, std::uint32_t StaticDepth,
               bool AllOpts>
     DEW_NOINLINE void run_blocks(const std::uint64_t* first,
@@ -220,6 +221,7 @@ private:
                 count * (max_level_ + 1) * (assoc_ == 1 ? 1 : 2);
         }
     }
+    // dewlint: hot-loop end dew-stream
 
     // Scans the node's victim buffer for `block` (Property 4, generalised
     // to mre_depth entries), counting comparisons under `full_counters`.
@@ -278,6 +280,11 @@ basic_dew_simulator<Instrumentation>::basic_dew_simulator(
     validate_construction(max_level, assoc, block_size, options);
 }
 
+// The per-access walk and the chunk/block stream loops: every instruction
+// here runs once per trace reference.  dewlint's hot-loop rule bans
+// allocation, container growth, formatted I/O and wall-clock reads inside
+// the region — the walk must stay pure loads, stores and compares.
+// dewlint: hot-loop begin dew-walk
 // Scans the node's victim buffer for `block`, counting one tag comparison
 // per valid entry examined.  Returns the matching slot or `no_victim_match`.
 template <class Instrumentation>
@@ -555,6 +562,7 @@ void basic_dew_simulator<Instrumentation>::simulate_blocks(
         });
     });
 }
+// dewlint: hot-loop end dew-walk
 
 template <class Instrumentation>
 dew_result basic_dew_simulator<Instrumentation>::result() const {

@@ -75,6 +75,9 @@ enum class sweep_engine : std::uint8_t {
 using stream_filter =
     std::function<std::unique_ptr<trace::source>(trace::source&)>;
 
+// Every semantic field here feeds serve::fingerprint (dewlint's
+// identity-completeness rule cross-checks this against serve/key.cpp).
+// dewlint: identity-struct
 struct sweep_request {
     // Set counts 2^0 .. 2^max_set_exp are covered by every pass.
     unsigned max_set_exp{14};
@@ -84,7 +87,9 @@ struct sweep_request {
     std::vector<std::uint32_t> associativities{2, 4, 8, 16};
     dew_options options{};
     // Worker threads; 0 = serial in the calling thread.  Results are
-    // bit-identical regardless.
+    // bit-identical regardless (the session suite proves it), hence
+    // excluded from the cache identity.
+    // dewlint: identity-exempt threads parallelism never changes an answered bit; canonical() zeroes it
     unsigned threads{0};
     // Instrumentation policy of every pass; fast = zero-overhead hot loop.
     sweep_instrumentation instrumentation{sweep_instrumentation::fast};
@@ -93,6 +98,9 @@ struct sweep_request {
     // switches.
     sweep_engine engine{sweep_engine::dew};
     // Optional sampling/phase ingestion hook (see stream_filter above).
+    // Two opaque callables cannot be proven equal, so serve::canonical()
+    // rejects filtered requests outright — they are never cached.
+    // dewlint: identity-exempt filter canonical() throws on a non-empty filter; filtered sweeps are uncacheable
     stream_filter filter{};
 
     // The paper's Table 1 space: S = 2^0..2^14, B = 2^0..2^6, A = 2^0..2^4.

@@ -23,6 +23,8 @@ public:
     ~client_core() { shutdown(); }
 
     void start_reader() {
+        // The lambda delegates to read_loop, whose top-level catch routes
+        // every fault into death_ / the pending promises.
         reader_ = std::thread{[self = shared_from_this()] {
             self->read_loop();
         }};
@@ -90,10 +92,11 @@ public:
     }
 
 private:
+    // dewlint: thread-body read_loop
     void read_loop() {
-        std::string header_bytes(frame_header_bytes, '\0');
         std::exception_ptr death;
         try {
+            std::string header_bytes(frame_header_bytes, '\0');
             for (;;) {
                 const std::size_t got = read_exact(
                     fd_, header_bytes.data(), header_bytes.size());
@@ -159,11 +162,11 @@ private:
     }
 
     socket_fd fd_;
-    std::mutex write_mutex_;
+    std::mutex write_mutex_; // dewlint: lock-order net-client-write 120
     std::thread reader_;
     std::atomic<std::uint64_t> next_id_{1};
 
-    std::mutex pending_mutex_;
+    std::mutex pending_mutex_; // dewlint: lock-order net-client-pending 110
     std::unordered_map<std::uint64_t, std::promise<frame>> pending_;
     bool dead_{false};
     std::exception_ptr death_;

@@ -25,10 +25,10 @@ namespace {
 // in-flight submissions addressable by `cancel` frames.
 struct connection {
     socket_fd fd;
-    std::mutex write_mutex;
+    std::mutex write_mutex; // dewlint: lock-order net-conn-write 100
     std::thread handler;
 
-    std::mutex pending_mutex;
+    std::mutex pending_mutex; // dewlint: lock-order net-conn-pending 90
     std::unordered_map<std::uint64_t, std::shared_ptr<serve::submission>>
         pending;
     std::vector<std::thread> waiters;
@@ -57,7 +57,7 @@ struct server::state {
     std::atomic<bool> stopping{false};
     std::atomic<bool> stopped{false};
 
-    std::mutex connections_mutex;
+    std::mutex connections_mutex; // dewlint: lock-order net-connections 80
     std::list<std::shared_ptr<connection>> connections;
 
     explicit state(server_options opts)
@@ -184,64 +184,77 @@ struct server::state {
         });
     }
 
+    // dewlint: thread-body wait_and_respond
     void wait_and_respond(connection& conn, std::uint64_t id,
                           serve::submission& pending) {
-        std::string payload;
-        message_type type = message_type::result;
         try {
-            payload = encode_result(pending.get());
-        } catch (...) {
-            type = message_type::error;
-            payload = encode_error(describe_fault(std::current_exception()));
-        }
-        {
-            const std::lock_guard lock{conn.pending_mutex};
-            conn.pending.erase(id);
-        }
-        try {
+            std::string payload;
+            message_type type = message_type::result;
+            try {
+                payload = encode_result(pending.get());
+            } catch (...) {
+                type = message_type::error;
+                payload =
+                    encode_error(describe_fault(std::current_exception()));
+            }
+            {
+                const std::lock_guard lock{conn.pending_mutex};
+                conn.pending.erase(id);
+            }
             conn.send(type, id, payload);
-        } catch (const socket_error&) {
-            // Connection died while the flight ran; the handler's read side
-            // sees the same death and tears the connection down.
+        } catch (...) {
+            // socket_error: the connection died while the flight ran; the
+            // handler's read side sees the same death and tears the
+            // connection down.  Anything else (an allocation failure
+            // building the reply) equally ends this response — a waiter
+            // thread must never leak a throw into std::terminate.
         }
     }
 
+    // dewlint: thread-body serve_connection
     void serve_connection(connection& conn) {
-        std::string header_bytes(frame_header_bytes, '\0');
-        for (;;) {
-            const std::size_t got =
-                read_socket(conn.fd, header_bytes.data(), header_bytes.size());
-            if (got != header_bytes.size()) {
-                break; // clean or torn EOF, or stop() closed us
-            }
-            frame_header header;
-            try {
-                header = parse_header(header_bytes);
-            } catch (const wire_error&) {
-                // Framing is lost: no way to know where the next frame
-                // starts.  Report and close (error frames use id 0 — no
-                // request id is trustworthy).
-                try_send_fault(conn, 0, std::current_exception());
-                break;
-            }
-            std::string payload(
-                static_cast<std::size_t>(header.payload_bytes), '\0');
-            if (read_socket(conn.fd, payload.data(), payload.size()) !=
-                payload.size()) {
-                break;
-            }
-            try {
-                dispatch(conn, header, payload);
-            } catch (const socket_error&) {
-                break; // write side died; nothing more to say
-            } catch (...) {
-                // A malformed payload or a service-side fault under intact
-                // framing: answer on the request's id and keep serving.
-                if (!try_send_fault(conn, header.id,
-                                    std::current_exception())) {
+        try {
+            std::string header_bytes(frame_header_bytes, '\0');
+            for (;;) {
+                const std::size_t got = read_socket(
+                    conn.fd, header_bytes.data(), header_bytes.size());
+                if (got != header_bytes.size()) {
+                    break; // clean or torn EOF, or stop() closed us
+                }
+                frame_header header;
+                try {
+                    header = parse_header(header_bytes);
+                } catch (const wire_error&) {
+                    // Framing is lost: no way to know where the next frame
+                    // starts.  Report and close (error frames use id 0 —
+                    // no request id is trustworthy).
+                    try_send_fault(conn, 0, std::current_exception());
                     break;
                 }
+                std::string payload(
+                    static_cast<std::size_t>(header.payload_bytes), '\0');
+                if (read_socket(conn.fd, payload.data(), payload.size()) !=
+                    payload.size()) {
+                    break;
+                }
+                try {
+                    dispatch(conn, header, payload);
+                } catch (const socket_error&) {
+                    break; // write side died; nothing more to say
+                } catch (...) {
+                    // A malformed payload or a service-side fault under
+                    // intact framing: answer on the request's id and keep
+                    // serving.
+                    if (!try_send_fault(conn, header.id,
+                                        std::current_exception())) {
+                        break;
+                    }
+                }
             }
+        } catch (...) {
+            // Allocating a frame buffer or an error reply failed: there is
+            // nothing useful left to say on this connection, and a handler
+            // thread must never leak a throw into std::terminate.
         }
         conn.fd.close();
     }
@@ -265,23 +278,31 @@ struct server::state {
         }
     }
 
+    // dewlint: thread-body accept_loop
     void accept_loop() {
-        while (!stopping.load(std::memory_order_acquire)) {
-            socket_fd accepted;
-            try {
-                accepted = accept_on(listener);
-            } catch (const socket_error&) {
-                break; // listener closed by stop()
+        try {
+            while (!stopping.load(std::memory_order_acquire)) {
+                socket_fd accepted;
+                try {
+                    accepted = accept_on(listener);
+                } catch (const socket_error&) {
+                    break; // listener closed by stop()
+                }
+                auto conn = std::make_shared<connection>();
+                conn->fd = std::move(accepted);
+                {
+                    const std::lock_guard lock{connections_mutex};
+                    connections.push_back(conn);
+                }
+                conn->handler = std::thread{[this, conn] {
+                    serve_connection(*conn);
+                }};
             }
-            auto conn = std::make_shared<connection>();
-            conn->fd = std::move(accepted);
-            {
-                const std::lock_guard lock{connections_mutex};
-                connections.push_back(conn);
-            }
-            conn->handler = std::thread{[this, conn] {
-                serve_connection(*conn);
-            }};
+        } catch (...) {
+            // Out of memory or out of threads while wiring a fresh
+            // connection: stop accepting.  Established connections keep
+            // being served, and stop() still closes and joins everything
+            // (a handler that was never started is simply not joinable).
         }
     }
 

@@ -679,8 +679,12 @@ serve::service_stats decode_stats(std::string_view payload) {
 std::string encode_cache_load(serve::load_mode mode,
                               std::string_view cache_file) {
     std::string out;
-    out.reserve(1 + cache_file.size());
+    out.reserve(1 + 8 + cache_file.size());
     put_u8(out, static_cast<std::uint8_t>(mode));
+    // Length-prefixed so the payload is self-delimiting like every other
+    // codec: a truncated or padded image is rejected here, before the
+    // cache's own loader ever sees the bytes.
+    put_u64(out, cache_file.size());
     out.append(cache_file);
     return out;
 }
@@ -695,9 +699,18 @@ cache_load_message decode_cache_load(std::string_view payload) {
                          std::to_string(in.offset() - 1)};
     }
     message.mode = static_cast<serve::load_mode>(mode);
-    // The rest is the "DSCF" image, validated entry-by-entry by the cache's
-    // own hardened loader.
-    message.cache_file = std::string{in.rest()};
+    const std::uint64_t length = in.get_u64("cache image length");
+    if (in.remaining() < length) {
+        throw wire_error{
+            "truncated cache_load payload: image declares " +
+            std::to_string(length) + " bytes at byte offset " +
+            std::to_string(in.offset()) + " but the payload ends at byte "
+            "offset " +
+            std::to_string(in.offset() + in.remaining())};
+    }
+    // The image itself is validated entry-by-entry by the cache's own
+    // hardened "DSCF" loader.
+    message.cache_file = std::string{in.rest().substr(0, length)};
     in.advance(message.cache_file.size());
     in.finish();
     return message;

@@ -60,20 +60,37 @@ inline constexpr std::size_t frame_header_bytes = 4 + 4 + 1 + 8 + 8;
 // declared size above it is certainly garbage framing, not a big message.
 inline constexpr std::uint64_t max_frame_payload = std::uint64_t{1} << 30;
 
+// One entry per line: dewlint's wire-completeness rule reads the per-entry
+// codec annotation (`wire <codec>` names the encode_/decode_ pair, `none`
+// an empty payload, `raw` an opaque byte payload) and fails the build
+// unless the codec exists, the entry has a to_string case, and the decoder
+// keeps its cut-point truncation coverage in tests/net/wire_test.cpp.
+// dewlint: wire-enum
 enum class message_type : std::uint8_t {
-    // Requests (client -> server)        // Responses (server -> client)
-    ping = 0,                             pong = 1,
-    register_trace = 2,                   register_ok = 3,
-    has_trace = 4,                        has_ok = 5,
-    submit = 6,                           result = 7,
-    cancel = 8,                           cancel_ok = 9,
-    stats = 10,                           stats_ok = 11,
-    cache_save = 12,                      cache_contents = 13,
-    cache_load = 14,                      cache_loaded = 15,
-    pause = 16,
-    resume = 17,
-    ok = 18,    // ack of pause/resume
-    error = 19, // failure response to any request; payload = error_message
+    // Requests (client -> server), interleaved with their responses
+    // (server -> client).
+    ping = 0,            // dewlint: wire none
+    pong = 1,            // dewlint: wire none
+    register_trace = 2,  // dewlint: wire records
+    register_ok = 3,     // dewlint: wire digest
+    has_trace = 4,       // dewlint: wire digest
+    has_ok = 5,          // dewlint: wire flag
+    submit = 6,          // dewlint: wire submit
+    result = 7,          // dewlint: wire result
+    cancel = 8,          // dewlint: wire cancel_target
+    cancel_ok = 9,       // dewlint: wire flag
+    stats = 10,          // dewlint: wire none
+    stats_ok = 11,       // dewlint: wire stats
+    cache_save = 12,     // dewlint: wire none
+    cache_contents = 13, // dewlint: wire raw
+    cache_load = 14,     // dewlint: wire cache_load
+    cache_loaded = 15,   // dewlint: wire load_report
+    pause = 16,          // dewlint: wire none
+    resume = 17,         // dewlint: wire none
+    // Ack of pause/resume.
+    ok = 18,             // dewlint: wire none
+    // Failure response to any request; payload = error_message.
+    error = 19,          // dewlint: wire error
 };
 
 [[nodiscard]] const char* to_string(message_type type) noexcept;

@@ -123,7 +123,7 @@ public:
 
 private:
     struct shard {
-        mutable std::mutex mutex;
+        mutable std::mutex mutex; // dewlint: lock-order serve-cache-shard 70
         std::unordered_map<request_key, std::shared_ptr<const cached_value>,
                            request_key_hash>
             map;

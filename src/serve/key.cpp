@@ -91,6 +91,9 @@ std::array<std::uint64_t, 2> fingerprint(const service_request& request) {
     return fingerprint_canonical(canonical(request));
 }
 
+// The one true fold: dewlint's identity-completeness rule requires every
+// identity-struct field to be named in this body or exempt-listed.
+// dewlint: identity-hash
 std::array<std::uint64_t, 2>
 fingerprint_canonical(const service_request& normal) {
     folder fold;

@@ -44,6 +44,10 @@ enum class service_mode : std::uint8_t {
     representative = 1,
 };
 
+// Cross-checked by dewlint's identity-completeness rule: every field must
+// be folded by fingerprint_canonical (key.cpp) or carry an exempt
+// annotation naming why it cannot change the answer.
+// dewlint: identity-struct
 struct service_request {
     // The configuration grid, engine, instrumentation and dew_options of
     // the sweep.  `threads` is ignored (the service owns parallelism) and
@@ -68,6 +72,7 @@ struct service_request {
     // (canonical() zeroes it): a deadline changes when the answer is
     // useful, never what the answer is — so requests differing only in
     // deadline still coalesce and share cache entries.
+    // dewlint: identity-exempt deadline bounds when the answer is useful, never what it is; canonical() zeroes it
     std::chrono::nanoseconds deadline{0};
 };
 

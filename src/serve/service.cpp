@@ -109,7 +109,7 @@ struct service::trace_entry {
     // no matter how many jobs race for it, while decodes of *different*
     // block sizes run in parallel (the whole point of the one-shard-per-
     // block-size fan-out on a cold trace).
-    std::mutex stream_mutex;
+    std::mutex stream_mutex; // dewlint: lock-order serve-stream 50
     std::unordered_map<
         unsigned,
         std::shared_future<std::shared_ptr<const std::vector<std::uint64_t>>>>
@@ -129,7 +129,8 @@ struct service::flight {
     // exactly) and never enter the cache.
     bool degraded{false};
 
-    std::mutex mutex; // guards waiters/live/earliest_deadline/results/error
+    // Guards waiters/live/earliest_deadline/results/error.
+    std::mutex mutex; // dewlint: lock-order serve-flight 40
     std::vector<waiter> waiters; // [0] = initiator; indices never move
     std::size_t live{0};         // waiters not yet settled
     clock::time_point earliest_deadline{no_deadline};
@@ -157,15 +158,15 @@ struct service::state {
     result_cache cache;
     std::shared_ptr<counters> ctrs = std::make_shared<counters>();
 
-    mutable std::mutex traces_mutex;
+    mutable std::mutex traces_mutex; // dewlint: lock-order serve-traces 20
     std::unordered_map<std::string, std::shared_ptr<trace_entry>> traces;
 
-    std::mutex flights_mutex;
+    std::mutex flights_mutex; // dewlint: lock-order serve-flights 30
     std::unordered_map<request_key, std::shared_ptr<flight>,
                        request_key_hash>
         flights;
 
-    std::mutex queue_mutex;
+    std::mutex queue_mutex; // dewlint: lock-order serve-queue 60
     std::condition_variable queue_space_cv; // submitters wait for room
     std::condition_variable queue_work_cv;  // workers wait for jobs
     std::condition_variable idle_cv;        // drain() waits here
@@ -179,6 +180,9 @@ struct service::state {
     std::size_t open_flights{0};
     bool paused{false};
     bool stop{false};
+    // First unrecoverable worker-thread fault (the settling machinery
+    // itself failed); rethrown by drain().  Guarded by queue_mutex.
+    std::exception_ptr worker_error;
     std::vector<std::thread> workers;
 
     // True once any submission ever carried a deadline; gates the deadline
@@ -657,33 +661,64 @@ struct service::state {
         close_flight();
     }
 
+    // dewlint: thread-body worker_loop
     void worker_loop() {
-        for (;;) {
-            job j;
-            {
-                std::unique_lock<std::mutex> lock{queue_mutex};
-                queue_work_cv.wait(lock, [&] {
-                    return stop || (!paused && !queue.empty());
-                });
-                // pause/stop only mutate under queue_mutex, so an empty
-                // queue here implies stop (drained; exit), and a non-empty
-                // one is ours to pop — stop overrides pause.
-                if (queue.empty()) {
-                    return;
+        // `counted` tracks whether this worker holds an active_jobs slot,
+        // so the trap below can release it without double-counting.
+        bool counted = false;
+        try {
+            for (;;) {
+                job j;
+                {
+                    std::unique_lock<std::mutex> lock{queue_mutex};
+                    queue_work_cv.wait(lock, [&] {
+                        return stop || (!paused && !queue.empty());
+                    });
+                    // pause/stop only mutate under queue_mutex, so an
+                    // empty queue here implies stop (drained; exit), and a
+                    // non-empty one is ours to pop — stop overrides pause.
+                    if (queue.empty()) {
+                        return;
+                    }
+                    j = std::move(queue.front());
+                    queue.pop_front();
+                    ++active_jobs;
+                    counted = true;
                 }
-                j = std::move(queue.front());
-                queue.pop_front();
-                ++active_jobs;
+                queue_space_cv.notify_one();
+                try {
+                    run_job(j);
+                } catch (...) {
+                    // run_job settles engine faults into the flight, so a
+                    // throw here is the settling machinery itself failing
+                    // (e.g. an allocation mid-finish, always before the
+                    // flight's close_flight).  Fail the flight so its
+                    // waiters see the fault instead of a hung future.
+                    fail_flight(j.target, std::current_exception());
+                }
+                {
+                    const std::lock_guard<std::mutex> lock{queue_mutex};
+                    --active_jobs;
+                    counted = false;
+                    if (open_flights == 0 && queue.empty() &&
+                        active_jobs == 0) {
+                        idle_cv.notify_all();
+                    }
+                }
             }
-            queue_space_cv.notify_one();
-            run_job(j);
-            {
-                const std::lock_guard<std::mutex> lock{queue_mutex};
+        } catch (...) {
+            // Even the flight-failure path threw (or the queue machinery
+            // did): record the fault for drain() and retire this worker —
+            // an escape would std::terminate the whole process.
+            const std::lock_guard<std::mutex> lock{queue_mutex};
+            if (!worker_error) {
+                worker_error = std::current_exception();
+            }
+            if (counted) {
                 --active_jobs;
-                if (open_flights == 0 && queue.empty() &&
-                    active_jobs == 0) {
-                    idle_cv.notify_all();
-                }
+            }
+            if (open_flights == 0 && queue.empty() && active_jobs == 0) {
+                idle_cv.notify_all();
             }
         }
     }
@@ -879,6 +914,13 @@ void service::drain() {
         return s->open_flights == 0 && s->queue.empty() &&
                s->active_jobs == 0;
     });
+    // A worker that died on an unrecoverable fault (see worker_loop's
+    // outer catch) has already settled or failed its flight; drain is the
+    // supervision point where the loss of the thread itself surfaces.
+    if (state_->worker_error) {
+        std::rethrow_exception(
+            std::exchange(state_->worker_error, nullptr));
+    }
 }
 
 void service::pause() {

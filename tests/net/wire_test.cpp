@@ -378,6 +378,9 @@ TEST(Wire, EveryMessagePayloadRejectsEveryTruncation) {
                     [](std::string_view b) { (void)decode_submit(b); });
     expect_hardened("stats", encode_stats(sample_stats()),
                     [](std::string_view b) { (void)decode_stats(b); });
+    expect_hardened("cache_load",
+                    encode_cache_load(serve::load_mode::salvage, "dscf-image"),
+                    [](std::string_view b) { (void)decode_cache_load(b); });
     expect_hardened("cache_loaded", encode_load_report({}),
                     [](std::string_view b) { (void)decode_load_report(b); });
 }

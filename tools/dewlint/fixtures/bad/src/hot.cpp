@@ -1,0 +1,22 @@
+// Bad fixture: hot-loop violations — container growth inside a region, a
+// region that never closes, an end with no begin, and a reason-less allow.
+#include <cstdint>
+#include <vector>
+
+namespace bad {
+
+// dewlint: hot-loop begin walk
+void step(std::vector<std::uint64_t>& trail, std::uint64_t block) {
+    // The allow below names no reason: the finding stays, and the bare
+    // suppression is itself reported.
+    // dewlint-allow(hot-loop)
+    trail.push_back(block); // allocation on the per-record path
+}
+// dewlint: hot-loop end walk
+
+// dewlint: hot-loop begin forever
+void spin() {}
+
+// dewlint: hot-loop end nowhere
+
+} // namespace bad

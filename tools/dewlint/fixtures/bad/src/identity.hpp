@@ -1,0 +1,22 @@
+// Bad fixture: identity-completeness violations — a field the hash forgot,
+// and a field that is exempt-listed yet still folded.
+#ifndef BAD_IDENTITY_HPP
+#define BAD_IDENTITY_HPP
+
+#include <cstdint>
+
+namespace bad {
+
+// dewlint: identity-struct
+struct query {
+    std::uint64_t folded{0};
+    std::uint64_t forgotten{0}; // neither folded nor exempt
+    // dewlint: identity-exempt both claimed exempt yet folded by fingerprint below
+    std::uint64_t both{0};
+};
+
+std::uint64_t fingerprint(const query& q);
+
+} // namespace bad
+
+#endif // BAD_IDENTITY_HPP

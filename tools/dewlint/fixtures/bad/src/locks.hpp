@@ -1,0 +1,40 @@
+// Bad fixture: lock-order violations — inversion (which also closes a
+// cycle in the acquisition graph), an unannotated acquisition, and a
+// re-acquire of a held lock.
+#ifndef BAD_LOCKS_HPP
+#define BAD_LOCKS_HPP
+
+#include <mutex>
+
+namespace bad {
+
+struct state {
+    // dewlint: lock-order first 10
+    std::mutex first;
+    // dewlint: lock-order second 20
+    std::mutex second;
+    std::mutex unranked;
+
+    void forward() {
+        std::lock_guard<std::mutex> a{first};
+        std::lock_guard<std::mutex> b{second};
+    }
+
+    void backward() {
+        std::lock_guard<std::mutex> a{second};
+        std::lock_guard<std::mutex> b{first}; // rank 10 while holding 20
+    }
+
+    void naked() {
+        std::lock_guard<std::mutex> g{unranked}; // no lock-order annotation
+    }
+
+    void twice() {
+        std::lock_guard<std::mutex> a{first};
+        std::lock_guard<std::mutex> b{first}; // re-acquire while held
+    }
+};
+
+} // namespace bad
+
+#endif // BAD_LOCKS_HPP

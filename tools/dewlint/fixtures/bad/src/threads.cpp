@@ -1,0 +1,30 @@
+// Bad fixture: every thread-hygiene violation dewlint knows about.
+#include <thread>
+#include <vector>
+
+namespace bad {
+
+void do_work();
+
+// dewlint: thread-body missing_body
+
+// dewlint: thread-body leaky_body
+void leaky_body() {
+    do_work(); // no top-level catch(...): the annotation's promise is broken
+}
+
+struct runner {
+    std::vector<std::thread> workers;
+    std::thread runaway;
+
+    void launch() {
+        workers.emplace_back([] {
+            do_work(); // bare lambda: nothing traps an escaping exception
+        });
+        workers.push_back(std::thread(do_work)); // entry not annotated
+        runaway = std::thread{[] { do_work(); }};
+        runaway.detach(); // detach is banned outright
+    }
+};
+
+} // namespace bad

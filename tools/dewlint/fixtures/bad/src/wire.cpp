@@ -1,0 +1,29 @@
+#include "wire.hpp"
+
+namespace bad {
+
+// msg::ghost has no case anywhere: dead or unhandled vocabulary.
+const char* to_string(msg m) {
+    switch (m) {
+    case msg::hello: return "hello";
+    case msg::stray: return "stray";
+    case msg::quiet: return "quiet";
+    default: return "?";
+    }
+}
+
+std::string encode_greeting(std::string_view text) {
+    return std::string{text};
+}
+
+std::string decode_greeting(std::string_view payload) {
+    return std::string{payload};
+}
+
+std::string encode_soft(std::string_view text) { return std::string{text}; }
+
+std::string decode_soft(std::string_view payload) {
+    return std::string{payload};
+}
+
+} // namespace bad

@@ -1,0 +1,30 @@
+// Bad fixture: wire-completeness violations — an unannotated entry, an
+// entry whose codec has no encoder/decoder, an entry nothing references,
+// and a decoder with no cut-point coverage.
+#ifndef BAD_WIRE_HPP
+#define BAD_WIRE_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bad {
+
+// dewlint: wire-enum
+enum class msg : std::uint8_t {
+    hello = 0, // dewlint: wire greeting
+    stray = 1,
+    ghost = 2, // dewlint: wire phantom
+    quiet = 3, // dewlint: wire soft
+};
+
+std::string encode_greeting(std::string_view text);
+std::string decode_greeting(std::string_view payload);
+std::string encode_soft(std::string_view text);
+std::string decode_soft(std::string_view payload);
+
+const char* to_string(msg m);
+
+} // namespace bad
+
+#endif // BAD_WIRE_HPP

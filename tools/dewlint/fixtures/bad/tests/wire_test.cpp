@@ -1,0 +1,15 @@
+// Bad fixture wire tests: decode_greeting is hardened, decode_soft is not.
+#include <string>
+#include <string_view>
+
+namespace bad {
+
+void expect_hardened(const char* name, const std::string& payload,
+                     void (*decode)(std::string_view));
+
+void wire_coverage() {
+    expect_hardened("greeting", "payload",
+                    [](std::string_view b) { (void)decode_greeting(b); });
+}
+
+} // namespace bad

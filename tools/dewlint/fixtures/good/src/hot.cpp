@@ -1,0 +1,22 @@
+// Good fixture: a clean hot-loop region; the growth path stays outside it.
+#include <cstdint>
+#include <vector>
+
+namespace good {
+
+// dewlint: hot-loop begin walk
+std::uint64_t step(const std::vector<std::uint64_t>& table,
+                   std::uint64_t block) {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t entry : table) {
+        sum += entry ^ block;
+    }
+    return sum;
+}
+// dewlint: hot-loop end walk
+
+void warm(std::vector<std::uint64_t>& table) {
+    table.reserve(1024);
+}
+
+} // namespace good

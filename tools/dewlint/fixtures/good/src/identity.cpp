@@ -1,0 +1,10 @@
+#include "identity.hpp"
+
+namespace good {
+
+// dewlint: identity-hash
+std::uint64_t fingerprint(const query& q) {
+    return q.folded ^ (static_cast<std::uint64_t>(q.shape.width) << 32);
+}
+
+} // namespace good

@@ -1,0 +1,27 @@
+// Good fixture: a complete identity — every field folded, exempt with a
+// reason, or a nested identity-struct whose own fields are folded.
+#ifndef GOOD_IDENTITY_HPP
+#define GOOD_IDENTITY_HPP
+
+#include <cstdint>
+
+namespace good {
+
+// dewlint: identity-struct
+struct inner {
+    std::uint32_t width{0};
+};
+
+// dewlint: identity-struct
+struct query {
+    inner shape{};
+    std::uint64_t folded{0};
+    // dewlint: identity-exempt padding scratch space; never observable in an answer
+    std::uint64_t padding{0};
+};
+
+std::uint64_t fingerprint(const query& q);
+
+} // namespace good
+
+#endif // GOOD_IDENTITY_HPP

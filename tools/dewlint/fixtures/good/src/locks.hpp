@@ -1,0 +1,34 @@
+// Good fixture: rank-ordered acquisitions, including a multi-mutex
+// scoped_lock taken in rank order.
+#ifndef GOOD_LOCKS_HPP
+#define GOOD_LOCKS_HPP
+
+#include <mutex>
+
+namespace good {
+
+struct registry {
+    // dewlint: lock-order registry-index 10
+    std::mutex index_mutex;
+    // dewlint: lock-order registry-entries 20
+    mutable std::mutex entries_mutex;
+
+    void update() {
+        std::scoped_lock guard{index_mutex, entries_mutex};
+    }
+
+    void read() const {
+        std::lock_guard<std::mutex> guard{entries_mutex};
+    }
+
+    void nested() {
+        std::lock_guard<std::mutex> outer{index_mutex};
+        {
+            std::lock_guard<std::mutex> inner{entries_mutex};
+        }
+    }
+};
+
+} // namespace good
+
+#endif // GOOD_LOCKS_HPP

@@ -1,0 +1,44 @@
+// Good fixture: every conforming thread shape — a trapped lambda, a lambda
+// delegating to an annotated thread body, a non-lambda annotated entry,
+// and a reasoned dewlint-allow suppressing a deliberate detach.
+#include <thread>
+#include <vector>
+
+namespace good {
+
+void compute();
+
+// dewlint: thread-body pump
+void pump() {
+    try {
+        compute();
+    } catch (...) {
+        // swallowed: the fixture only needs the conforming shape
+    }
+}
+
+struct runner {
+    std::vector<std::thread> workers;
+    std::thread solo;
+
+    void launch() {
+        workers.emplace_back([] {
+            try {
+                compute();
+            } catch (...) {
+            }
+        });
+        solo = std::thread{[] { pump(); }};
+        workers.push_back(std::thread(pump));
+    }
+
+    void stop() {
+        // dewlint-allow(thread-hygiene): fixture proves a reasoned allow suppresses the ban
+        solo.detach();
+        for (std::thread& w : workers) {
+            w.join();
+        }
+    }
+};
+
+} // namespace good

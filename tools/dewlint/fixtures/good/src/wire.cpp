@@ -1,0 +1,22 @@
+#include "wire.hpp"
+
+namespace good {
+
+const char* to_string(msg m) {
+    switch (m) {
+    case msg::hello: return "hello";
+    case msg::nudge: return "nudge";
+    case msg::blob: return "blob";
+    default: return "?";
+    }
+}
+
+std::string encode_greeting(std::string_view text) {
+    return std::string{text};
+}
+
+std::string decode_greeting(std::string_view payload) {
+    return std::string{payload};
+}
+
+} // namespace good

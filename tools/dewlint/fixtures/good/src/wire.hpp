@@ -1,0 +1,26 @@
+// Good fixture: a complete wire vocabulary — every entry annotated,
+// referenced, and its decoder hardened in the wire tests.
+#ifndef GOOD_WIRE_HPP
+#define GOOD_WIRE_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace good {
+
+// dewlint: wire-enum
+enum class msg : std::uint8_t {
+    hello = 0, // dewlint: wire greeting
+    nudge = 1, // dewlint: wire none
+    blob = 2,  // dewlint: wire raw
+};
+
+std::string encode_greeting(std::string_view text);
+std::string decode_greeting(std::string_view payload);
+
+const char* to_string(msg m);
+
+} // namespace good
+
+#endif // GOOD_WIRE_HPP

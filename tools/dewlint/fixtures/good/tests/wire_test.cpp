@@ -1,0 +1,15 @@
+// Good fixture wire tests: the one named decoder keeps cut-point coverage.
+#include <string>
+#include <string_view>
+
+namespace good {
+
+void expect_hardened(const char* name, const std::string& payload,
+                     void (*decode)(std::string_view));
+
+void wire_coverage() {
+    expect_hardened("greeting", "payload",
+                    [](std::string_view b) { (void)decode_greeting(b); });
+}
+
+} // namespace good

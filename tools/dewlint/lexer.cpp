@@ -1,0 +1,184 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace dewlint {
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_digit(char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+} // namespace
+
+lex_result lex(std::string_view text) {
+    lex_result out;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    int line = 1;
+
+    auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count && i < n; ++k) {
+            if (text[i] == '\n') { ++line; }
+            ++i;
+        }
+    };
+
+    while (i < n) {
+        const char c = text[i];
+
+        if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+            c == '\v') {
+            advance(1);
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            const int start_line = line;
+            advance(2);
+            std::string body;
+            while (i < n && text[i] != '\n') {
+                body.push_back(text[i]);
+                advance(1);
+            }
+            out.comments.push_back({start_line, std::move(body)});
+            continue;
+        }
+
+        // Block comment.  May span lines; annotations inside are parsed
+        // per comment line downstream, so keep the raw body.
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            const int start_line = line;
+            advance(2);
+            std::string body;
+            while (i < n && !(text[i] == '*' && i + 1 < n && text[i + 1] == '/')) {
+                body.push_back(text[i]);
+                advance(1);
+            }
+            advance(2); // closing */ (no-op at EOF)
+            out.comments.push_back({start_line, std::move(body)});
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+            const int start_line = line;
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && text[j] != '(' && text[j] != '"' &&
+                   text[j] != '\n' && delim.size() < 16) {
+                delim.push_back(text[j]);
+                ++j;
+            }
+            if (j < n && text[j] == '(') {
+                const std::string closer = ")" + delim + "\"";
+                const std::size_t end = text.find(closer, j + 1);
+                const std::size_t stop =
+                    end == std::string_view::npos ? n : end + closer.size();
+                token t;
+                t.kind = token_kind::string;
+                t.text.assign(text.substr(i, stop - i));
+                t.line = start_line;
+                out.tokens.push_back(std::move(t));
+                advance(stop - i);
+                continue;
+            }
+            // 'R' not followed by a raw string: fall through as identifier.
+        }
+
+        // String or character literal.
+        if (c == '"' || c == '\'') {
+            // A ' immediately after a number token is a digit separator;
+            // numbers consume those themselves, so here it is a char literal.
+            const int start_line = line;
+            const char quote = c;
+            std::string body(1, quote);
+            advance(1);
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\' && i + 1 < n) {
+                    body.push_back(text[i]);
+                    advance(1);
+                }
+                if (i < n) {
+                    body.push_back(text[i]);
+                    advance(1);
+                }
+            }
+            if (i < n) {
+                body.push_back(quote);
+                advance(1);
+            }
+            token t;
+            t.kind = token_kind::string;
+            t.text = std::move(body);
+            t.line = start_line;
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+
+        if (is_ident_start(c)) {
+            const int start_line = line;
+            std::string body;
+            while (i < n && is_ident_char(text[i])) {
+                body.push_back(text[i]);
+                advance(1);
+            }
+            token t;
+            t.kind = token_kind::ident;
+            t.text = std::move(body);
+            t.line = start_line;
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+
+        if (is_digit(c)) {
+            const int start_line = line;
+            std::string body;
+            while (i < n &&
+                   (is_ident_char(text[i]) || text[i] == '\'' ||
+                    ((text[i] == '+' || text[i] == '-') && !body.empty() &&
+                     (body.back() == 'e' || body.back() == 'E' ||
+                      body.back() == 'p' || body.back() == 'P')) ||
+                    text[i] == '.')) {
+                body.push_back(text[i]);
+                advance(1);
+            }
+            token t;
+            t.kind = token_kind::number;
+            t.text = std::move(body);
+            t.line = start_line;
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+
+        // Punctuation.  Only the two sequences the rules match through
+        // member chains are fused; everything else is one character.
+        token t;
+        t.kind = token_kind::punct;
+        t.line = line;
+        if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+            t.text = "::";
+            advance(2);
+        } else if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+            t.text = "->";
+            advance(2);
+        } else {
+            t.text.assign(1, c);
+            advance(1);
+        }
+        out.tokens.push_back(std::move(t));
+    }
+
+    return out;
+}
+
+} // namespace dewlint

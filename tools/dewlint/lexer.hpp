@@ -1,0 +1,47 @@
+// A C++ token stream good enough for invariant checking: identifiers,
+// numbers, strings and punctuation with line numbers, plus every comment
+// (the annotation carrier) kept separately.  This is deliberately not a
+// compiler front end — dewlint's rules are token patterns over one file at
+// a time, which keeps the analyzer dependency-free and fast enough to run
+// as a ctest on every build (see docs/ANALYSIS.md for the trade-offs).
+#ifndef DEW_TOOLS_DEWLINT_LEXER_HPP
+#define DEW_TOOLS_DEWLINT_LEXER_HPP
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dewlint {
+
+enum class token_kind {
+    ident,   // identifiers and keywords (new, delete, try, catch, ...)
+    number,  // numeric literals, including separators and suffixes
+    string,  // string / char / raw-string literals, quotes included
+    punct,   // everything else; "::" and "->" are single tokens
+};
+
+struct token {
+    token_kind kind{token_kind::punct};
+    std::string text;
+    int line{0}; // 1-based
+};
+
+struct comment {
+    int line{0};      // 1-based line of the first character
+    std::string text; // without the // or /* */ markers
+};
+
+struct lex_result {
+    std::vector<token> tokens;
+    std::vector<comment> comments;
+};
+
+// Tokenises `text`.  Never throws on malformed input (an unterminated
+// string or comment simply ends at EOF): dewlint must be able to look at
+// any file a build can contain.
+[[nodiscard]] lex_result lex(std::string_view text);
+
+} // namespace dewlint
+
+#endif // DEW_TOOLS_DEWLINT_LEXER_HPP

@@ -1,0 +1,83 @@
+// dewlint — the repo's architecture invariants as machine-checked rules.
+//
+//   dewlint [<repo root>] [--rule <name>]... [--list-rules]
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.  Diagnostics are
+// one per line in the compiler-style `path:line: [rule] message` shape so
+// editors and CI annotate them for free.
+#include "analyze.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+    std::string root = ".";
+    std::vector<std::string> only;
+    bool saw_root = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const dewlint::rule& r : dewlint::all_rules()) {
+                std::printf("%-22s %s\n", std::string(r.name).c_str(),
+                            std::string(r.summary).c_str());
+            }
+            return 0;
+        }
+        if (arg == "--rule") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "dewlint: --rule needs a name\n");
+                return 2;
+            }
+            only.emplace_back(argv[++i]);
+            continue;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::printf("usage: dewlint [<repo root>] [--rule <name>]... "
+                        "[--list-rules]\n");
+            return 0;
+        }
+        if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "dewlint: unknown option '%s'\n", arg.c_str());
+            return 2;
+        }
+        if (saw_root) {
+            std::fprintf(stderr, "dewlint: more than one root given\n");
+            return 2;
+        }
+        root = arg;
+        saw_root = true;
+    }
+
+    for (const std::string& name : only) {
+        bool known = false;
+        for (const dewlint::rule& r : dewlint::all_rules()) {
+            if (r.name == name) { known = true; break; }
+        }
+        if (!known) {
+            std::fprintf(stderr, "dewlint: unknown rule '%s' "
+                                 "(see --list-rules)\n", name.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<dewlint::diagnostic> findings;
+    try {
+        findings = dewlint::analyze_project(root, only);
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+    }
+
+    for (const dewlint::diagnostic& d : findings) {
+        std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+    }
+    if (!findings.empty()) {
+        std::fprintf(stderr, "dewlint: %zu finding(s)\n", findings.size());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,214 @@
+// wire-completeness: the enum annotated `dewlint: wire-enum` is the
+// protocol's message vocabulary.  Every entry must
+//   * carry a `dewlint: wire <codec>` annotation naming its payload codec
+//     (`none` for empty payloads, `raw` for opaque byte payloads),
+//   * appear as `message_type::<entry>` somewhere else in src/ (the
+//     to_string/dispatch switch — an entry nothing mentions is dead or,
+//     worse, unhandled),
+//   * for a named codec: have encode_<codec> and decode_<codec> defined in
+//     src/, and decode_<codec> exercised inside an expect_hardened(...)
+//     call in the wire tests, so every decoder keeps its cut-point
+//     truncation coverage.
+#include "rules.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace dewlint::rules {
+namespace {
+
+struct enum_entry {
+    std::string name;
+    int line{0};
+    std::string codec; // empty when unannotated
+};
+
+// Entries of the annotated enum plus their per-line codec annotations.
+[[nodiscard]] std::vector<enum_entry>
+parse_enum(const source_file& file, const annotation& a,
+           const source_file** decl_file, std::vector<diagnostic>& out) {
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].line < a.line) { continue; }
+        if (tokens[i].text != "enum") { continue; }
+        std::size_t j = i + 1;
+        while (j < tokens.size() && tokens[j].text != "{" &&
+               tokens[j].text != ";") {
+            ++j;
+        }
+        if (j >= tokens.size() || tokens[j].text == ";") { break; }
+        const std::size_t close = match_close(tokens, j);
+
+        std::map<int, std::string> codec_by_line;
+        for (const annotation& w : file.annotations) {
+            if (w.kind == annotation_kind::wire) {
+                if (w.args.empty()) {
+                    emit(out, file, w.line, "annotation",
+                         "'dewlint: wire' needs a codec name, 'none' or "
+                         "'raw'");
+                } else {
+                    codec_by_line[w.line] = w.args[0];
+                }
+            }
+        }
+
+        std::vector<enum_entry> entries;
+        bool expect_name = true;
+        for (std::size_t k = j + 1; k < close; ++k) {
+            if (tokens[k].text == ",") { expect_name = true; continue; }
+            if (expect_name && tokens[k].kind == token_kind::ident) {
+                enum_entry e;
+                e.name = tokens[k].text;
+                e.line = tokens[k].line;
+                const auto it = codec_by_line.find(e.line);
+                if (it != codec_by_line.end()) { e.codec = it->second; }
+                entries.push_back(std::move(e));
+                expect_name = false;
+            }
+        }
+        *decl_file = &file;
+        return entries;
+    }
+    emit(out, file, a.line, "wire-completeness",
+         "wire-enum annotation is not followed by an enum definition");
+    return {};
+}
+
+// Identifiers referenced inside expect_hardened(...) argument lists across
+// the test files — the set of decoders with cut-point coverage.
+[[nodiscard]] std::set<std::string> hardened_decoders(const project& proj) {
+    std::set<std::string> hardened;
+    for (const source_file& file : proj.files) {
+        if (file.category != file_category::test) { continue; }
+        const auto& tokens = file.tokens;
+        for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+            if (tokens[i].kind != token_kind::ident ||
+                tokens[i].text != "expect_hardened" ||
+                tokens[i + 1].text != "(") {
+                continue;
+            }
+            const std::size_t close = match_close(tokens, i + 1);
+            for (std::size_t k = i + 2; k < close; ++k) {
+                if (tokens[k].kind == token_kind::ident) {
+                    hardened.insert(tokens[k].text);
+                }
+            }
+        }
+    }
+    return hardened;
+}
+
+[[nodiscard]] bool src_defines_or_calls(const project& proj,
+                                        const std::string& ident) {
+    for (const source_file& file : proj.files) {
+        if (file.category != file_category::source) { continue; }
+        if (range_mentions(file.tokens, 0, file.tokens.size(), ident)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// True when `enum_name :: entry` appears in src outside [skip_lo, skip_hi]
+// of `decl_file` (the enum definition itself does not count as a use).
+[[nodiscard]] bool entry_referenced(const project& proj,
+                                    const source_file* decl_file,
+                                    const std::string& enum_name,
+                                    const enum_entry& e) {
+    for (const source_file& file : proj.files) {
+        if (file.category != file_category::source) { continue; }
+        const auto& tokens = file.tokens;
+        for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+            if (tokens[i].kind == token_kind::ident &&
+                tokens[i].text == enum_name && tokens[i + 1].text == "::" &&
+                tokens[i + 2].text == e.name) {
+                if (&file == decl_file && tokens[i + 2].line == e.line) {
+                    continue;
+                }
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+void wire_completeness(const project& proj, std::vector<diagnostic>& out) {
+    const source_file* decl_file = nullptr;
+    std::vector<enum_entry> entries;
+    std::string enum_name;
+
+    for (const source_file& file : proj.files) {
+        if (file.category != file_category::source) { continue; }
+        for (const annotation& a : file.annotations) {
+            if (a.kind != annotation_kind::wire_enum) { continue; }
+            if (decl_file != nullptr) {
+                emit(out, file, a.line, "wire-completeness",
+                     "more than one wire-enum annotated; expected exactly "
+                     "one message vocabulary");
+                continue;
+            }
+            entries = parse_enum(file, a, &decl_file, out);
+            if (decl_file != nullptr) {
+                // Recover the enum's name for reference scanning.
+                const auto& tokens = decl_file->tokens;
+                for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+                    if (tokens[i].line >= a.line && tokens[i].text == "enum") {
+                        std::size_t j = i + 1;
+                        if (j < tokens.size() && tokens[j].text == "class") {
+                            ++j;
+                        }
+                        if (j < tokens.size() &&
+                            tokens[j].kind == token_kind::ident) {
+                            enum_name = tokens[j].text;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if (decl_file == nullptr) { return; } // rule not in use
+
+    const std::set<std::string> hardened = hardened_decoders(proj);
+
+    for (const enum_entry& e : entries) {
+        if (e.codec.empty()) {
+            emit(out, *decl_file, e.line, "wire-completeness",
+                 "enum entry '" + e.name +
+                     "' has no 'dewlint: wire <codec>' annotation on its "
+                     "line");
+            continue;
+        }
+        if (!entry_referenced(proj, decl_file, enum_name, e)) {
+            emit(out, *decl_file, e.line, "wire-completeness",
+                 "enum entry '" + e.name + "' is never referenced as " +
+                     enum_name + "::" + e.name +
+                     " outside its declaration (missing to_string/dispatch "
+                     "case?)");
+        }
+        if (e.codec == "none" || e.codec == "raw") { continue; }
+        const std::string encoder = "encode_" + e.codec;
+        const std::string decoder = "decode_" + e.codec;
+        if (!src_defines_or_calls(proj, encoder)) {
+            emit(out, *decl_file, e.line, "wire-completeness",
+                 "entry '" + e.name + "' names codec '" + e.codec +
+                     "' but src/ has no " + encoder);
+        }
+        if (!src_defines_or_calls(proj, decoder)) {
+            emit(out, *decl_file, e.line, "wire-completeness",
+                 "entry '" + e.name + "' names codec '" + e.codec +
+                     "' but src/ has no " + decoder);
+        }
+        if (hardened.count(decoder) == 0) {
+            emit(out, *decl_file, e.line, "wire-completeness",
+                 decoder + " (payload of '" + e.name +
+                     "') has no expect_hardened(...) cut-point coverage in "
+                     "the wire tests");
+        }
+    }
+}
+
+} // namespace dewlint::rules

@@ -1,0 +1,21 @@
+#include "rules.hpp"
+
+namespace dewlint {
+
+const std::vector<rule>& all_rules() {
+    static const std::vector<rule> rules{
+        {"thread-hygiene",
+         "no detach(); every thread body traps exceptions", &rules::thread_hygiene},
+        {"lock-order",
+         "annotated mutex ranks must strictly increase per scope", &rules::lock_order},
+        {"identity-completeness",
+         "every request field is hashed or explicitly exempt", &rules::identity_completeness},
+        {"wire-completeness",
+         "every message type has codec, dispatch case and cut-point test", &rules::wire_completeness},
+        {"hot-loop",
+         "no allocation/IO/clock identifiers in marked hot regions", &rules::hot_loop},
+    };
+    return rules;
+}
+
+} // namespace dewlint
