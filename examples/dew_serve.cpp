@@ -28,6 +28,15 @@
 //                         dew_serve --serve instance instead of an
 //                         in-process service; `fault` directives need the
 //                         local injection hook and are rejected
+//     --stats-interval-ms N
+//                         with --serve: print a one-line stats/latency
+//                         summary every N ms (0 = off, the default)
+//     --trace FILE        with --serve: on shutdown, dump the collected
+//                         spans as a Chrome trace_event JSON file
+//                         (Perfetto / chrome://tracing loadable)
+//     --metrics           with --connect: fetch the server's metrics
+//                         snapshot over the wire (get_metrics), print it
+//                         in the stable text format, and exit
 //
 // Workload file format (one directive per line, '#' comments):
 //   trace <name> <mediabench-app> <records>
@@ -74,6 +83,9 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
 #include "serve/service.hpp"
 #include "trace/digest.hpp"
 #include "trace/fault.hpp"
@@ -91,7 +103,9 @@ using namespace dew;
                  "[--load FILE] [--connect HOST:PORT]\n"
                  "       dew_serve --demo [--connect HOST:PORT]\n"
                  "       dew_serve --serve PORT [--corpus DIR] "
-                 "[service options]\n");
+                 "[--stats-interval-ms N] [--trace FILE] "
+                 "[service options]\n"
+                 "       dew_serve --metrics --connect HOST:PORT\n");
     std::exit(2);
 }
 
@@ -356,10 +370,59 @@ int save_cache(serve::service& service, const std::string& save_path) {
     return 0;
 }
 
+// One line of operational truth: the counters that say whether the server
+// is absorbing (cache/coalescing), queueing, or drowning, plus the submit
+// latency percentiles from the registry's merged surface.
+void print_stats_line(const serve::service& service) {
+    const serve::service_stats stats = service.stats();
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    for (const obs::metric& m : obs::registry::instance().snapshot()) {
+        if (m.name == "serve.submit_ns") {
+            p50 = m.p50_ns;
+            p95 = m.p95_ns;
+            p99 = m.p99_ns;
+        }
+    }
+    std::printf("stats    submitted %llu, completed %llu, cache hits %llu, "
+                "coalesced %llu, queue depth %llu, inflight %llu, "
+                "submit p50/p95/p99 %llu/%llu/%llu ns\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.queue_depth),
+                static_cast<unsigned long long>(stats.inflight_flights),
+                static_cast<unsigned long long>(p50),
+                static_cast<unsigned long long>(p95),
+                static_cast<unsigned long long>(p99));
+    std::fflush(stdout);
+}
+
+// --trace: the collected spans as one Perfetto-loadable document.
+// Returns an exit code, 0 on success.
+int dump_trace(const std::string& trace_path) {
+    const std::string json = obs::chrome_trace_json(
+        obs::recorder::instance().collect(), "dew_serve");
+    std::ofstream out{trace_path, std::ios::binary | std::ios::trunc};
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "dew_serve: cannot write %s\n",
+                     trace_path.c_str());
+        return 1;
+    }
+    std::printf("trace    %zu bytes of spans written to %s\n", json.size(),
+                trace_path.c_str());
+    return 0;
+}
+
 // --serve: expose the service on a TCP port until SIGINT/SIGTERM.
 int run_server(const serve::service_options& options, std::uint16_t port,
                const std::string& corpus_dir, const std::string& load_path,
-               const std::string& save_path) {
+               const std::string& save_path, unsigned stats_interval_ms,
+               const std::string& trace_path) {
     net::server_options server_opts;
     server_opts.port = port;
     server_opts.service = options;
@@ -385,15 +448,30 @@ int run_server(const serve::service_options& options, std::uint16_t port,
 
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
+    unsigned since_stats_ms = 0;
     while (!g_stop_requested) {
         std::this_thread::sleep_for(std::chrono::milliseconds{100});
+        if (stats_interval_ms == 0) {
+            continue;
+        }
+        since_stats_ms += 100;
+        if (since_stats_ms >= stats_interval_ms) {
+            since_stats_ms = 0;
+            print_stats_line(server.local_service());
+        }
     }
 
     // Drain: stop() settles every in-flight submission before returning,
-    // so the saved cache holds everything the server answered.
+    // so the saved cache holds everything the server answered — and the
+    // trace dump holds every span.
     server.stop();
     if (!save_path.empty()) {
         if (const int code = save_cache(server.local_service(), save_path)) {
+            return code;
+        }
+    }
+    if (!trace_path.empty()) {
+        if (const int code = dump_trace(trace_path)) {
             return code;
         }
     }
@@ -417,6 +495,9 @@ int main(int argc, char** argv) {
     std::string corpus_dir;
     std::optional<std::uint16_t> serve_port;
     bool demo = false;
+    bool metrics_only = false;
+    unsigned stats_interval_ms = 0;
+    std::string trace_path;
     serve::service_options options;
     replay_options replay_opts;
     try {
@@ -459,6 +540,13 @@ int main(int argc, char** argv) {
                 corpus_dir = value();
             } else if (arg == "--demo") {
                 demo = true;
+            } else if (arg == "--stats-interval-ms") {
+                stats_interval_ms =
+                    static_cast<unsigned>(std::stoul(value()));
+            } else if (arg == "--trace") {
+                trace_path = value();
+            } else if (arg == "--metrics") {
+                metrics_only = true;
             } else if (!arg.empty() && arg[0] == '-') {
                 usage();
             } else {
@@ -474,11 +562,38 @@ int main(int argc, char** argv) {
     // a file, or the built-in demo.  --corpus only means something to a
     // server.
     if (serve_port) {
-        if (demo || !workload_path.empty() || !connect_spec.empty()) {
+        if (demo || metrics_only || !workload_path.empty() ||
+            !connect_spec.empty()) {
             usage();
         }
         return run_server(options, *serve_port, corpus_dir, load_path,
-                          save_path);
+                          save_path, stats_interval_ms, trace_path);
+    }
+    // --metrics is a one-shot remote scrape: no workload, no replay.
+    if (metrics_only) {
+        if (demo || !workload_path.empty() || connect_spec.empty()) {
+            usage();
+        }
+        const std::size_t colon = connect_spec.rfind(':');
+        if (colon == std::string::npos || colon == 0) {
+            usage();
+        }
+        try {
+            const unsigned long port =
+                std::stoul(connect_spec.substr(colon + 1));
+            if (port == 0 || port > 65535) {
+                throw std::invalid_argument{"port out of range"};
+            }
+            net::client remote{connect_spec.substr(0, colon),
+                               static_cast<std::uint16_t>(port)};
+            std::fputs(obs::metrics_text(remote.metrics()).c_str(), stdout);
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "dew_serve: metrics fetch from %s "
+                         "failed: %s\n",
+                         connect_spec.c_str(), error.what());
+            return 1;
+        }
+        return 0;
     }
     if (demo ? !workload_path.empty() : workload_path.empty()) {
         usage();

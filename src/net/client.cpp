@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "net/socket.hpp"
+#include "obs/recorder.hpp"
 
 namespace dew::net {
 
@@ -42,13 +43,20 @@ public:
 
     // Registers a response slot, sends the frame, returns the future the
     // reader thread will settle.  Any number of threads may call this
-    // concurrently; frames are serialised by the write mutex.
+    // concurrently; frames are serialised by the write mutex.  A non-null
+    // span_name asks for an obs span covering send -> response arrival,
+    // recorded by the reader thread under this frame's id — the client half
+    // of the cross-socket stitch (the server stamps the same id into the
+    // request's obs_correlation).
     std::future<frame> send_request(message_type type,
                                     std::string_view payload,
-                                    std::uint64_t& id_out) {
+                                    std::uint64_t& id_out,
+                                    const char* span_name = nullptr) {
         const std::uint64_t id =
             next_id_.fetch_add(1, std::memory_order_relaxed);
         id_out = id;
+        const std::uint64_t sent_ns =
+            span_name != nullptr ? obs::timestamp_if_enabled() : 0;
         std::future<frame> response;
         {
             const std::lock_guard lock{pending_mutex_};
@@ -58,6 +66,12 @@ public:
             response = pending_
                            .emplace(id, std::promise<frame>{})
                            .first->second.get_future();
+            if (sent_ns != 0) {
+                // Registered atomically with the promise, so the reader's
+                // settle() cannot observe the response first and miss it.
+                inflight_spans_.emplace(id,
+                                        inflight_span{span_name, sent_ns});
+            }
         }
         const std::string bytes = encode_frame(type, id, payload);
         try {
@@ -66,6 +80,7 @@ public:
         } catch (...) {
             const std::lock_guard lock{pending_mutex_};
             pending_.erase(id);
+            inflight_spans_.erase(id);
             throw;
         }
         return response;
@@ -131,6 +146,7 @@ private:
 
     void settle(std::uint64_t id, frame response) {
         std::promise<frame> slot;
+        inflight_span span{};
         {
             const std::lock_guard lock{pending_mutex_};
             const auto found = pending_.find(id);
@@ -139,6 +155,15 @@ private:
             }
             slot = std::move(found->second);
             pending_.erase(found);
+            const auto span_found = inflight_spans_.find(id);
+            if (span_found != inflight_spans_.end()) {
+                span = span_found->second;
+                inflight_spans_.erase(span_found);
+            }
+        }
+        if (span.name != nullptr) {
+            obs::recorder::instance().record(
+                span.name, span.sent_ns, obs::now_ns() - span.sent_ns, id, 0);
         }
         slot.set_value(std::move(response));
     }
@@ -154,6 +179,9 @@ private:
                                      ENOTCONN, "connection closed"});
             }
             orphans.swap(pending_);
+            // Orphaned requests get their fault, not a span — a torn
+            // connection's duration measures nothing.
+            inflight_spans_.clear();
         }
         for (auto& [id, slot] : orphans) {
             (void)id;
@@ -166,8 +194,16 @@ private:
     std::thread reader_;
     std::atomic<std::uint64_t> next_id_{1};
 
+    // A request the reader should close a span for on arrival (submit
+    // only, today).  Guarded by pending_mutex_, same lifecycle as pending_.
+    struct inflight_span {
+        const char* name{nullptr};
+        std::uint64_t sent_ns{0};
+    };
+
     std::mutex pending_mutex_; // dewlint: lock-order net-client-pending 110
     std::unordered_map<std::uint64_t, std::promise<frame>> pending_;
+    std::unordered_map<std::uint64_t, inflight_span> inflight_spans_;
     bool dead_{false};
     std::exception_ptr death_;
 };
@@ -227,9 +263,17 @@ bool client::has_trace(const trace::trace_digest& digest) {
 submission client::submit(const trace::trace_digest& digest,
                           const serve::service_request& request) {
     std::uint64_t id = 0;
-    std::future<frame> response = core_->send_request(
-        message_type::submit, encode_submit({digest, request}), id);
+    std::future<frame> response =
+        core_->send_request(message_type::submit,
+                            encode_submit({digest, request}), id,
+                            "net.client.submit");
     return submission{std::move(response), core_, id};
+}
+
+std::vector<obs::metric> client::metrics() {
+    const frame response = core_->roundtrip(message_type::get_metrics, {},
+                                            message_type::metrics_ok);
+    return decode_metrics(response.payload);
 }
 
 serve::service_stats client::stats() {

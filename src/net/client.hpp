@@ -22,8 +22,10 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/wire.hpp"
+#include "obs/registry.hpp"
 #include "serve/cache.hpp"
 #include "serve/key.hpp"
 #include "serve/service.hpp"
@@ -95,6 +97,10 @@ public:
                                     const serve::service_request& request);
 
     [[nodiscard]] serve::service_stats stats();
+
+    // The server's obs::registry snapshot (counters, gauges, stage-latency
+    // percentiles), stable name order.
+    [[nodiscard]] std::vector<obs::metric> metrics();
 
     // Warm-cache handoff: the server's cache as a "DSCF" image, and the
     // inverse (load_mode semantics are the service's — strict faults are

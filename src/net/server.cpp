@@ -13,6 +13,7 @@
 
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/registry.hpp"
 #include "trace/corpus.hpp"
 #include "trace/digest.hpp"
 
@@ -138,6 +139,10 @@ struct server::state {
             conn.send(message_type::stats_ok, id,
                       encode_stats(service.stats()));
             return;
+        case message_type::get_metrics:
+            conn.send(message_type::metrics_ok, id,
+                      encode_metrics(obs::registry::instance().snapshot()));
+            return;
         case message_type::cache_save: {
             std::ostringstream image;
             service.save_cache(image);
@@ -169,12 +174,16 @@ struct server::state {
     }
 
     void start_submission(connection& conn, std::uint64_t id,
-                          const submit_message& message) {
+                          submit_message message) {
         if (!ensure_trace(message.digest)) {
             throw std::invalid_argument{
                 "unknown trace digest " + to_string(message.digest) +
                 " (register_trace it, or configure a corpus that holds it)"};
         }
+        // Stamp the frame id as the request's span-correlation tag: the
+        // client recorded its submit span under the same id, so the two
+        // timelines stitch without the id travelling in the payload.
+        message.request.obs_correlation = id;
         auto pending = std::make_shared<serve::submission>(
             service.submit(to_string(message.digest), message.request));
         const std::lock_guard lock{conn.pending_mutex};

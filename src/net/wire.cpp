@@ -154,6 +154,8 @@ const char* to_string(message_type type) noexcept {
     case message_type::resume: return "resume";
     case message_type::ok: return "ok";
     case message_type::error: return "error";
+    case message_type::get_metrics: return "get_metrics";
+    case message_type::metrics_ok: return "metrics_ok";
     }
     return "unknown";
 }
@@ -193,7 +195,7 @@ frame_header parse_header(std::string_view bytes) {
                          std::to_string(version) + " at byte offset 4"};
     }
     const auto raw_type = static_cast<unsigned char>(bytes[8]);
-    if (raw_type > static_cast<unsigned char>(message_type::error)) {
+    if (raw_type > max_message_type) {
         throw wire_error{"unknown message type " + std::to_string(raw_type) +
                          " at byte offset 8"};
     }
@@ -641,7 +643,8 @@ std::string encode_stats(const serve::service_stats& stats) {
           stats.exact_fallbacks, stats.cache_evictions, stats.timeouts,
           stats.cancellations, stats.retries, stats.retry_successes,
           stats.transient_faults, stats.permanent_faults,
-          stats.degraded_served, stats.expired_flights}) {
+          stats.degraded_served, stats.expired_flights, stats.queue_depth,
+          stats.inflight_flights}) {
         put_u64(out, value);
     }
     return out;
@@ -670,8 +673,90 @@ serve::service_stats decode_stats(std::string_view payload) {
     stats.permanent_faults = in.get_u64("permanent_faults");
     stats.degraded_served = in.get_u64("degraded_served");
     stats.expired_flights = in.get_u64("expired_flights");
+    stats.queue_depth = in.get_u64("queue_depth");
+    stats.inflight_flights = in.get_u64("inflight_flights");
     in.finish();
     return stats;
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+namespace {
+
+// A registry snapshot holds tens of entries; thousands would already be a
+// misconfigured provider, and anything past these bounds is garbage
+// framing, not a big snapshot.
+constexpr std::uint32_t max_metric_entries = 1u << 16;
+constexpr std::uint32_t max_metric_name_bytes = 1u << 12;
+
+} // namespace
+
+std::string encode_metrics(const std::vector<obs::metric>& metrics) {
+    std::string out;
+    out.reserve(4 + metrics.size() * 64);
+    put_u32(out, static_cast<std::uint32_t>(metrics.size()));
+    for (const obs::metric& m : metrics) {
+        put_u32(out, static_cast<std::uint32_t>(m.name.size()));
+        out.append(m.name);
+        put_u8(out, static_cast<std::uint8_t>(m.kind));
+        // Fixed shape for every kind: value for counters/gauges, the
+        // latency reduction for histograms, zeros for the other half —
+        // self-delimiting without a per-kind branch in the cut-point
+        // tests.
+        put_u64(out, m.value);
+        put_u64(out, m.count);
+        put_u64(out, m.p50_ns);
+        put_u64(out, m.p95_ns);
+        put_u64(out, m.p99_ns);
+    }
+    return out;
+}
+
+std::vector<obs::metric> decode_metrics(std::string_view payload) {
+    cursor in{payload, "metrics"};
+    const std::uint32_t count = in.get_u32("metric count");
+    if (count > max_metric_entries) {
+        throw wire_error{"metrics payload: implausible metric count " +
+                         std::to_string(count) + " at byte offset " +
+                         std::to_string(frame_header_bytes)};
+    }
+    std::vector<obs::metric> metrics;
+    metrics.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        obs::metric m;
+        const std::uint32_t name_bytes = in.get_u32("metric name length");
+        if (name_bytes > max_metric_name_bytes) {
+            throw wire_error{
+                "metrics payload: implausible name length " +
+                std::to_string(name_bytes) + " at byte offset " +
+                std::to_string(in.offset() - 4)};
+        }
+        if (in.remaining() < name_bytes) {
+            throw wire_error{
+                "truncated metrics payload: name declares " +
+                std::to_string(name_bytes) + " bytes at byte offset " +
+                std::to_string(in.offset()) +
+                " but the payload ends at byte offset " +
+                std::to_string(in.offset() + in.remaining())};
+        }
+        m.name = std::string{in.rest().substr(0, name_bytes)};
+        in.advance(name_bytes);
+        const std::uint8_t kind = in.get_u8("metric kind");
+        if (kind > static_cast<std::uint8_t>(obs::metric_kind::latency)) {
+            throw wire_error{"metrics payload: unknown metric kind " +
+                             std::to_string(kind) + " at byte offset " +
+                             std::to_string(in.offset() - 1)};
+        }
+        m.kind = static_cast<obs::metric_kind>(kind);
+        m.value = in.get_u64("metric value");
+        m.count = in.get_u64("metric count");
+        m.p50_ns = in.get_u64("metric p50");
+        m.p95_ns = in.get_u64("metric p95");
+        m.p99_ns = in.get_u64("metric p99");
+        metrics.push_back(std::move(m));
+    }
+    in.finish();
+    return metrics;
 }
 
 // --- Cache handoff ----------------------------------------------------------

@@ -34,7 +34,9 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "obs/registry.hpp"
 #include "serve/cache.hpp"
 #include "serve/key.hpp"
 #include "serve/service.hpp"
@@ -91,7 +93,16 @@ enum class message_type : std::uint8_t {
     ok = 18,             // dewlint: wire none
     // Failure response to any request; payload = error_message.
     error = 19,          // dewlint: wire error
+    // Observability: the server's obs::registry snapshot (counters,
+    // gauges, stage-latency percentiles) in stable name order.
+    get_metrics = 20,    // dewlint: wire none
+    metrics_ok = 21,     // dewlint: wire metrics
 };
+
+// The highest assigned entry — parse_header's unknown-type bound.  Keep in
+// step when the enum grows.
+inline constexpr std::uint8_t max_message_type =
+    static_cast<std::uint8_t>(message_type::metrics_ok);
 
 [[nodiscard]] const char* to_string(message_type type) noexcept;
 
@@ -194,9 +205,18 @@ std::string encode_submit(const submit_message& message);
 std::string encode_result(const serve::service_result& result);
 [[nodiscard]] serve::service_result decode_result(std::string_view payload);
 
-// stats_ok: the 20 service_stats counters in declaration order.
+// stats_ok: the 20 service_stats counters plus the queue_depth /
+// inflight_flights gauges, in declaration order.
 std::string encode_stats(const serve::service_stats& stats);
 [[nodiscard]] serve::service_stats decode_stats(std::string_view payload);
+
+// metrics_ok: the obs::registry snapshot — per entry the name
+// (length-prefixed), kind, counter/gauge value and latency reduction
+// (count + p50/p95/p99 ns).  The stable name-sorted order the registry
+// produces travels as-is.
+std::string encode_metrics(const std::vector<obs::metric>& metrics);
+[[nodiscard]] std::vector<obs::metric>
+decode_metrics(std::string_view payload);
 
 // cache_load: load mode + the "DSCF" cache-file image (the image itself is
 // validated by serve::result_cache::load, checksums and all).

@@ -1,0 +1,125 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+namespace dew::obs {
+
+namespace {
+
+// Span and metric names are identifier-like literals, but escape anyway —
+// a malformed name must corrupt one string, not the document.
+void append_json_string(std::string& out, const std::string& text) {
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+// Microseconds with nanosecond residue, the trace_event time unit.
+void append_us(std::string& out, std::uint64_t ns) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    out += buf;
+}
+
+} // namespace
+
+std::string chrome_trace_json(const std::vector<span_event>& events,
+                              const std::string& process_name) {
+    std::string out;
+    out.reserve(128 + events.size() * 160);
+    out += "{\"traceEvents\":[";
+    out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+           "\"args\":{\"name\":";
+    append_json_string(out, process_name);
+    out += "}}";
+    for (const span_event& event : events) {
+        if (event.name == nullptr) {
+            continue;
+        }
+        out += ",{\"ph\":\"X\",\"pid\":1,\"tid\":";
+        out += std::to_string(event.tid);
+        out += ",\"name\":";
+        append_json_string(out, event.name);
+        out += ",\"ts\":";
+        append_us(out, event.start_ns);
+        out += ",\"dur\":";
+        append_us(out, event.dur_ns);
+        out += ",\"args\":{\"correlation\":";
+        out += std::to_string(event.correlation);
+        out += ",\"fingerprint\":";
+        out += std::to_string(event.fingerprint);
+        out += "}}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string metrics_text(const std::vector<metric>& metrics) {
+    std::string out;
+    for (const metric& m : metrics) {
+        out += m.name;
+        out += ' ';
+        out += to_string(m.kind);
+        if (m.kind == metric_kind::latency) {
+            out += " count=" + std::to_string(m.count);
+            out += " p50_ns=" + std::to_string(m.p50_ns);
+            out += " p95_ns=" + std::to_string(m.p95_ns);
+            out += " p99_ns=" + std::to_string(m.p99_ns);
+        } else {
+            out += ' ';
+            out += std::to_string(m.value);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string metrics_json(const std::vector<metric>& metrics) {
+    std::string out;
+    out.reserve(2 + metrics.size() * 96);
+    out += '[';
+    bool first = true;
+    for (const metric& m : metrics) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += "{\"name\":";
+        append_json_string(out, m.name);
+        out += ",\"kind\":\"";
+        out += to_string(m.kind);
+        out += '"';
+        if (m.kind == metric_kind::latency) {
+            out += ",\"count\":" + std::to_string(m.count);
+            out += ",\"p50_ns\":" + std::to_string(m.p50_ns);
+            out += ",\"p95_ns\":" + std::to_string(m.p95_ns);
+            out += ",\"p99_ns\":" + std::to_string(m.p99_ns);
+        } else {
+            out += ",\"value\":" + std::to_string(m.value);
+        }
+        out += '}';
+    }
+    out += ']';
+    return out;
+}
+
+} // namespace dew::obs

@@ -1,0 +1,36 @@
+// obs exporters — the two serialised faces of the observability layer.
+//
+//   * chrome_trace_json: the collected spans as a Chrome trace_event
+//     document ({"traceEvents": [...]}, "X" complete events, microsecond
+//     ts/dur), loadable directly in Perfetto / chrome://tracing.  Spans
+//     keep their correlation id and request fingerprint in args, so a
+//     stitched client+server timeline can be filtered to one submit.
+//   * metrics_text / metrics_json: the registry snapshot in the stable
+//     name-sorted order — text as one `name kind value...` line per
+//     metric (what dew_serve's periodic summary and CI's grep consume),
+//     JSON as an array of objects (machine-side scrapes).
+//
+// Both formats are plain serialisations: deterministic for a given input,
+// no locale, no allocation surprises, no clock reads.
+#ifndef DEW_OBS_EXPORT_HPP
+#define DEW_OBS_EXPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
+
+namespace dew::obs {
+
+// `process_name` labels the trace's single pid row (e.g. "dew_serve").
+[[nodiscard]] std::string
+chrome_trace_json(const std::vector<span_event>& events,
+                  const std::string& process_name = "dew");
+
+[[nodiscard]] std::string metrics_text(const std::vector<metric>& metrics);
+[[nodiscard]] std::string metrics_json(const std::vector<metric>& metrics);
+
+} // namespace dew::obs
+
+#endif // DEW_OBS_EXPORT_HPP

@@ -1,0 +1,135 @@
+// obs::histogram — fixed-bucket log-scale latency histograms.
+//
+// The recording side is one std::bit_width plus one relaxed fetch_add: no
+// locks, no allocation, no clock reads — cheap enough to sit on every
+// service stage without perturbing what it measures (the overhead
+// methodology is docs/OBSERVABILITY.md).  Buckets are powers of two:
+// bucket 0 holds the value 0 and bucket i >= 1 holds [2^(i-1), 2^i - 1],
+// so 65 buckets cover the full u64 range and a nanosecond-denominated
+// recording spans 1 ns .. ~584 years with ~2x resolution per octave.
+//
+// Reading happens through value-type snapshots: snapshots merge by bucket
+// addition (shard histograms, client + server histograms, successive
+// scrapes — merging snapshots is exact, not approximate), and percentiles
+// are answered conservatively as the inclusive upper bound of the bucket
+// containing the requested rank, so a reported p99 never understates the
+// true p99 by more than the bucket's width.
+#ifndef DEW_OBS_HISTOGRAM_HPP
+#define DEW_OBS_HISTOGRAM_HPP
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace dew::obs {
+
+inline constexpr std::size_t histogram_buckets = 65;
+
+struct histogram_snapshot {
+    std::array<std::uint64_t, histogram_buckets> counts{};
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+        std::uint64_t sum = 0;
+        for (const std::uint64_t c : counts) {
+            sum += c;
+        }
+        return sum;
+    }
+
+    // Exact merge: bucket-wise addition.
+    void merge(const histogram_snapshot& other) noexcept {
+        for (std::size_t i = 0; i < histogram_buckets; ++i) {
+            counts[i] += other.counts[i];
+        }
+    }
+
+    // Inclusive upper bound of bucket `index`: 0, 1, 3, 7, ... 2^i - 1.
+    [[nodiscard]] static std::uint64_t
+    bucket_upper_bound(std::size_t index) noexcept {
+        if (index == 0) {
+            return 0;
+        }
+        if (index >= 64) {
+            return ~std::uint64_t{0};
+        }
+        return (std::uint64_t{1} << index) - 1;
+    }
+
+    // The smallest bucket upper bound at or above the value of rank
+    // ceil(p * total), p in (0, 1].  An empty histogram answers 0.
+    [[nodiscard]] std::uint64_t percentile(double p) const noexcept {
+        const std::uint64_t n = total();
+        if (n == 0 || p <= 0.0) {
+            return 0;
+        }
+        std::uint64_t rank =
+            static_cast<std::uint64_t>(p * static_cast<double>(n));
+        if (static_cast<double>(rank) < p * static_cast<double>(n)) {
+            ++rank; // ceil
+        }
+        if (rank == 0) {
+            rank = 1;
+        }
+        if (rank > n) {
+            rank = n;
+        }
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < histogram_buckets; ++i) {
+            seen += counts[i];
+            if (seen >= rank) {
+                return bucket_upper_bound(i);
+            }
+        }
+        return bucket_upper_bound(histogram_buckets - 1);
+    }
+
+    [[nodiscard]] std::uint64_t p50() const noexcept {
+        return percentile(0.50);
+    }
+    [[nodiscard]] std::uint64_t p95() const noexcept {
+        return percentile(0.95);
+    }
+    [[nodiscard]] std::uint64_t p99() const noexcept {
+        return percentile(0.99);
+    }
+};
+
+// The writable side: relaxed atomics, shareable by any number of recording
+// threads.  Not copyable — read it through snapshot().
+class histogram {
+public:
+    histogram() = default;
+    histogram(const histogram&) = delete;
+    histogram& operator=(const histogram&) = delete;
+
+    [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept {
+        return static_cast<std::size_t>(std::bit_width(value));
+    }
+
+    void record(std::uint64_t value) noexcept {
+        counts_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] histogram_snapshot snapshot() const noexcept {
+        histogram_snapshot out;
+        for (std::size_t i = 0; i < histogram_buckets; ++i) {
+            out.counts[i] = counts_[i].load(std::memory_order_relaxed);
+        }
+        return out;
+    }
+
+    void reset() noexcept {
+        for (std::atomic<std::uint64_t>& c : counts_) {
+            c.store(0, std::memory_order_relaxed);
+        }
+    }
+
+private:
+    std::array<std::atomic<std::uint64_t>, histogram_buckets> counts_{};
+};
+
+} // namespace dew::obs
+
+#endif // DEW_OBS_HISTOGRAM_HPP

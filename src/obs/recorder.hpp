@@ -1,0 +1,183 @@
+// obs::recorder — a lock-free, preallocated per-thread span ring buffer.
+//
+// Every thread that records gets its own fixed-size ring of slots,
+// preallocated once at registration (the only point that takes a lock or
+// allocates); recording a span is then a handful of relaxed atomic stores
+// bracketed by a per-slot sequence counter — no locks, no allocation, no
+// contention with other writers, wraparound overwrites the oldest events.
+// collect() walks every ring from any thread and keeps exactly the slots
+// whose sequence counter proves them stable (the classic seqlock read,
+// done entirely through atomics so the TSan job stays clean).
+//
+// Span taxonomy, correlation and fingerprint semantics: docs/OBSERVABILITY.md.
+// Spans cross the socket by *id*, not by bytes: the client records its
+// span under the DSNW frame id it allocated, the server stamps the same id
+// into service_request::obs_correlation, and the serve-side spans inherit
+// it — so a loopback timeline stitches without any wire-format change.
+//
+// Two off switches:
+//   * runtime — recorder::set_enabled(false) turns every record into one
+//     relaxed load (the default is enabled);
+//   * compile time — building with DEW_OBS=OFF (-DDEW_OBS_ENABLED=0, the
+//     PR-1 instrumentation-policy style) compiles span{} and record() to
+//     empty inline bodies: no clock reads, no ring, no storage.
+#ifndef DEW_OBS_RECORDER_HPP
+#define DEW_OBS_RECORDER_HPP
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+#ifndef DEW_OBS_ENABLED
+#define DEW_OBS_ENABLED 1
+#endif
+
+namespace dew::obs {
+
+// True when the layer is compiled in (DEW_OBS=ON, the default).
+inline constexpr bool compiled_in = DEW_OBS_ENABLED != 0;
+
+// One completed span: [start_ns, start_ns + dur_ns) on the steady clock,
+// tagged with the stage name (a static string literal — never owned), the
+// cross-socket correlation id (DSNW frame id; 0 = none) and the request
+// fingerprint's first word (0 = none).  `tid` is the recorder's own dense
+// thread index, stable for the thread's lifetime.
+struct span_event {
+    const char* name{nullptr};
+    std::uint64_t start_ns{0};
+    std::uint64_t dur_ns{0};
+    std::uint64_t correlation{0};
+    std::uint64_t fingerprint{0};
+    std::uint32_t tid{0};
+};
+
+// Steady-clock nanoseconds; the time base of every span and histogram.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+class recorder {
+public:
+    // Spans retained per recording thread; wraparound drops oldest-first.
+    static constexpr std::size_t ring_capacity = 4096;
+
+    // The process-wide recorder.  Deliberately leaked: threads may record
+    // during static destruction and must never race a destructor.
+    [[nodiscard]] static recorder& instance();
+
+    void set_enabled(bool on) noexcept;
+    [[nodiscard]] bool enabled() const noexcept;
+
+    // Records one completed span on the calling thread's ring.  Lock-free
+    // after the thread's first call; a disabled or compiled-out recorder
+    // returns immediately.
+    void record(const char* name, std::uint64_t start_ns,
+                std::uint64_t dur_ns, std::uint64_t correlation,
+                std::uint64_t fingerprint) noexcept;
+
+    // Every stable span across every thread's ring, in no particular
+    // order.  Safe to call concurrently with writers: a slot mid-write is
+    // skipped, never torn.
+    [[nodiscard]] std::vector<span_event> collect() const;
+
+    // Empties every ring (tests and between-bench-phases hygiene).  Call
+    // quiesced or accept that concurrent writers immediately refill.
+    void clear() noexcept;
+
+private:
+    recorder();
+    struct impl;
+    impl* impl_; // leaked with the singleton
+};
+
+// Convenience: now_ns() when recording would actually happen, else 0 — the
+// "is a timestamp worth taking" probe instrumentation sites share.
+[[nodiscard]] inline std::uint64_t timestamp_if_enabled() noexcept {
+    if constexpr (!compiled_in) {
+        return 0;
+    }
+    return recorder::instance().enabled() ? now_ns() : 0;
+}
+
+// RAII span: captures the start on construction (when enabled), records
+// the completed event on finish()/destruction, and optionally feeds the
+// duration to a stage histogram.  When DEW_OBS is compiled out this is an
+// empty object and every member is a no-op.
+class span {
+public:
+    explicit span(const char* name, histogram* stage = nullptr,
+                  std::uint64_t correlation = 0,
+                  std::uint64_t fingerprint = 0) noexcept {
+#if DEW_OBS_ENABLED
+        if (recorder::instance().enabled()) {
+            name_ = name;
+            stage_ = stage;
+            correlation_ = correlation;
+            fingerprint_ = fingerprint;
+            start_ns_ = now_ns();
+        }
+#else
+        (void)name;
+        (void)stage;
+        (void)correlation;
+        (void)fingerprint;
+#endif
+    }
+
+    span(const span&) = delete;
+    span& operator=(const span&) = delete;
+    ~span() { finish(); }
+
+    // Late identity: sites that only learn the ids mid-span (submit
+    // computes the fingerprint after canonicalising) patch them in before
+    // the span closes.
+    void set_correlation(std::uint64_t id) noexcept {
+#if DEW_OBS_ENABLED
+        correlation_ = id;
+#else
+        (void)id;
+#endif
+    }
+    void set_fingerprint(std::uint64_t fp) noexcept {
+#if DEW_OBS_ENABLED
+        fingerprint_ = fp;
+#else
+        (void)fp;
+#endif
+    }
+
+    // Records the span now; idempotent.
+    void finish() noexcept {
+#if DEW_OBS_ENABLED
+        if (name_ == nullptr) {
+            return;
+        }
+        const std::uint64_t dur = now_ns() - start_ns_;
+        if (stage_ != nullptr) {
+            stage_->record(dur);
+        }
+        recorder::instance().record(name_, start_ns_, dur, correlation_,
+                                    fingerprint_);
+        name_ = nullptr;
+#endif
+    }
+
+private:
+#if DEW_OBS_ENABLED
+    const char* name_{nullptr};
+    histogram* stage_{nullptr};
+    std::uint64_t start_ns_{0};
+    std::uint64_t correlation_{0};
+    std::uint64_t fingerprint_{0};
+#endif
+};
+
+} // namespace dew::obs
+
+#endif // DEW_OBS_RECORDER_HPP

@@ -1,0 +1,75 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dew::obs {
+
+const char* to_string(metric_kind kind) noexcept {
+    switch (kind) {
+    case metric_kind::counter: return "counter";
+    case metric_kind::gauge: return "gauge";
+    case metric_kind::latency: return "latency";
+    }
+    return "unknown";
+}
+
+registry& registry::instance() {
+    static registry* global = new registry; // leaked, see header
+    return *global;
+}
+
+std::uint64_t registry::add_provider(provider fn) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const std::uint64_t id = next_id_++;
+    providers_.emplace_back(id, std::move(fn));
+    return id;
+}
+
+void registry::remove_provider(std::uint64_t id) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    std::erase_if(providers_,
+                  [id](const auto& entry) { return entry.first == id; });
+}
+
+std::vector<metric> registry::snapshot() const {
+    std::vector<metric_sample> samples;
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        for (const auto& [id, fn] : providers_) {
+            (void)id;
+            fn(samples);
+        }
+    }
+    // Merge duplicates by name (std::map gives the sorted, stable order
+    // for free): counters and gauges add, latency histograms merge
+    // bucket-wise before the percentile reduction.
+    std::map<std::string, metric_sample> merged;
+    for (metric_sample& sample : samples) {
+        const auto [it, inserted] =
+            merged.try_emplace(sample.name, std::move(sample));
+        if (!inserted) {
+            it->second.value += sample.value;
+            it->second.hist.merge(sample.hist);
+        }
+    }
+    std::vector<metric> out;
+    out.reserve(merged.size());
+    for (auto& [name, sample] : merged) {
+        metric m;
+        m.name = name;
+        m.kind = sample.kind;
+        if (sample.kind == metric_kind::latency) {
+            m.count = sample.hist.total();
+            m.p50_ns = sample.hist.p50();
+            m.p95_ns = sample.hist.p95();
+            m.p99_ns = sample.hist.p99();
+        } else {
+            m.value = sample.value;
+        }
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+} // namespace dew::obs

@@ -74,6 +74,15 @@ struct service_request {
     // deadline still coalesce and share cache entries.
     // dewlint: identity-exempt deadline bounds when the answer is useful, never what it is; canonical() zeroes it
     std::chrono::nanoseconds deadline{0};
+
+    // Observability correlation id (the DSNW frame id of the submit that
+    // carried this request; 0 = local / none).  Pure telemetry: it tags
+    // the request's spans so client- and server-side timelines stitch
+    // (docs/OBSERVABILITY.md), and can never change a single answered bit
+    // — two requests differing only here must still coalesce and share
+    // cache entries.
+    // dewlint: identity-exempt obs_correlation telemetry span tag; cannot change any answered bit
+    std::uint64_t obs_correlation{0};
 };
 
 // Normal forms (see above).  Throws std::invalid_argument on an ill-formed

@@ -14,6 +14,8 @@
 
 #include "common/bits.hpp"
 #include "dew/pass.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
 #include "phase/representative_sweep.hpp"
 #include "trace/digest.hpp"
 #include "trace/fault.hpp"
@@ -85,6 +87,17 @@ struct counters {
     std::atomic<std::uint64_t> permanent_faults{0};
     std::atomic<std::uint64_t> degraded_served{0};
     std::atomic<std::uint64_t> expired_flights{0};
+
+    // Stage latency histograms (obs/histogram.hpp): relaxed atomics like
+    // the counters above, recorded at stage granularity — submit, cache
+    // probe, queue wait, stream decode, shard execution, settle — never
+    // per access (the hot loops stay unobserved by construction).
+    obs::histogram submit_ns;
+    obs::histogram cache_probe_ns;
+    obs::histogram queue_wait_ns;
+    obs::histogram stream_build_ns;
+    obs::histogram shard_ns;
+    obs::histogram settle_ns;
 };
 
 // One caller of one flight.  `deadline` is absolute (no_deadline = none);
@@ -146,11 +159,22 @@ struct service::flight {
     std::atomic<bool> abandoned{false};
     std::atomic<unsigned> attempt{0};      // 0 = first try
     std::atomic<std::size_t> remaining{0}; // jobs not yet finished
+
+    // Observability tags, fixed at creation: the submit frame's DSNW id
+    // (0 = local) and the request fingerprint's first word — every span
+    // this flight emits carries both, and start_ns anchors the
+    // whole-flight span (0 when recording is off at creation).
+    std::uint64_t obs_correlation{0};
+    std::uint64_t obs_fingerprint{0};
+    std::uint64_t start_ns{0};
 };
 
 struct service::job {
     std::shared_ptr<flight> target;
     std::size_t shard{0}; // exact tier: index into sweep.block_sizes
+    // When the job entered the queue (0 = recording off): the queue-wait
+    // span/histogram sample is taken by the worker that picks it up.
+    std::uint64_t enqueued_ns{0};
 };
 
 struct service::state {
@@ -161,12 +185,14 @@ struct service::state {
     mutable std::mutex traces_mutex; // dewlint: lock-order serve-traces 20
     std::unordered_map<std::string, std::shared_ptr<trace_entry>> traces;
 
-    std::mutex flights_mutex; // dewlint: lock-order serve-flights 30
+    // Mutable: stats() and the metrics provider read the gauge levels
+    // (flights.size(), queue.size(), active_jobs) from const context.
+    mutable std::mutex flights_mutex; // dewlint: lock-order serve-flights 30
     std::unordered_map<request_key, std::shared_ptr<flight>,
                        request_key_hash>
         flights;
 
-    std::mutex queue_mutex; // dewlint: lock-order serve-queue 60
+    mutable std::mutex queue_mutex; // dewlint: lock-order serve-queue 60
     std::condition_variable queue_space_cv; // submitters wait for room
     std::condition_variable queue_work_cv;  // workers wait for jobs
     std::condition_variable idle_cv;        // drain() waits here
@@ -189,8 +215,86 @@ struct service::state {
     // sweeps so a deadline-free workload pays one relaxed load per job.
     std::atomic<bool> has_deadlines{false};
 
+    // obs::registry::instance() provider handle; 0 = not registered.
+    // Registered by the service constructor, revoked first thing in the
+    // destructor (remove_provider blocks out in-flight snapshots, so the
+    // provider never outlives this state).
+    std::uint64_t obs_provider_id{0};
+
     explicit state(const service_options& opts)
         : options{opts}, cache{opts.cache} {}
+
+    // The obs::registry provider: every counter, gauge and stage
+    // histogram under one "serve." namespace (docs/OBSERVABILITY.md).
+    // Runs with the registry mutex held — takes the gauge locks
+    // sequentially, never nested, and never calls back into obs.
+    void sample_metrics(std::vector<obs::metric_sample>& out) const {
+        const counters& c = *ctrs;
+        const auto counter = [&out](const char* name,
+                                    const std::atomic<std::uint64_t>& v) {
+            out.push_back({name, obs::metric_kind::counter,
+                           v.load(std::memory_order_relaxed), {}});
+        };
+        counter("serve.submitted", c.submitted);
+        counter("serve.completed", c.completed);
+        counter("serve.cache_hits", c.cache_hits);
+        counter("serve.coalesced", c.coalesced);
+        counter("serve.computations", c.computations);
+        counter("serve.shard_jobs", c.shard_jobs);
+        counter("serve.stream_builds", c.stream_builds);
+        counter("serve.stream_reuses", c.stream_reuses);
+        counter("serve.rejected", c.rejected);
+        counter("serve.representative_served", c.representative_served);
+        counter("serve.exact_fallbacks", c.exact_fallbacks);
+        counter("serve.timeouts", c.timeouts);
+        counter("serve.cancellations", c.cancellations);
+        counter("serve.retries", c.retries);
+        counter("serve.retry_successes", c.retry_successes);
+        counter("serve.transient_faults", c.transient_faults);
+        counter("serve.permanent_faults", c.permanent_faults);
+        counter("serve.degraded_served", c.degraded_served);
+        counter("serve.expired_flights", c.expired_flights);
+        const cache_stats cstats = cache.stats();
+        const auto plain = [&out](const char* name, obs::metric_kind kind,
+                                  std::uint64_t value) {
+            out.push_back({name, kind, value, {}});
+        };
+        plain("serve.cache.hits", obs::metric_kind::counter, cstats.hits);
+        plain("serve.cache.misses", obs::metric_kind::counter,
+              cstats.misses);
+        plain("serve.cache.insertions", obs::metric_kind::counter,
+              cstats.insertions);
+        plain("serve.cache.evictions", obs::metric_kind::counter,
+              cstats.evictions);
+        plain("serve.cache.entries", obs::metric_kind::gauge,
+              cstats.entries);
+        std::uint64_t depth = 0;
+        std::uint64_t occupancy = 0;
+        {
+            const std::lock_guard<std::mutex> lock{queue_mutex};
+            depth = queue.size();
+            occupancy = active_jobs;
+        }
+        plain("serve.queue_depth", obs::metric_kind::gauge, depth);
+        plain("serve.pool_occupancy", obs::metric_kind::gauge, occupancy);
+        std::uint64_t inflight = 0;
+        {
+            const std::lock_guard<std::mutex> lock{flights_mutex};
+            inflight = flights.size();
+        }
+        plain("serve.inflight_flights", obs::metric_kind::gauge, inflight);
+        const auto latency = [&out](const char* name,
+                                    const obs::histogram& h) {
+            out.push_back({name, obs::metric_kind::latency, 0,
+                           h.snapshot()});
+        };
+        latency("serve.submit_ns", c.submit_ns);
+        latency("serve.cache_probe_ns", c.cache_probe_ns);
+        latency("serve.queue_wait_ns", c.queue_wait_ns);
+        latency("serve.stream_build_ns", c.stream_build_ns);
+        latency("serve.shard_ns", c.shard_ns);
+        latency("serve.settle_ns", c.settle_ns);
+    }
 
     [[nodiscard]] std::size_t degrade_watermark() const noexcept {
         if (options.degrade_watermark != 0) {
@@ -281,7 +385,8 @@ struct service::state {
     }
 
     [[nodiscard]] std::shared_ptr<const std::vector<std::uint64_t>>
-    block_stream(trace_entry& entry, std::uint32_t block_size) {
+    block_stream(trace_entry& entry, std::uint32_t block_size,
+                 std::uint64_t correlation, std::uint64_t fp) {
         const unsigned bits = log2_exact(block_size);
         std::promise<std::shared_ptr<const std::vector<std::uint64_t>>>
             promise;
@@ -307,6 +412,10 @@ struct service::state {
         }
         ctrs->stream_builds.fetch_add(1, std::memory_order_relaxed);
         try {
+            // Attributed to the request that paid for the decode; every
+            // later request at this (trace, block size) reuses it free.
+            obs::span sp{"serve.stream_build", &ctrs->stream_build_ns,
+                         correlation, fp};
             auto stream =
                 std::make_shared<const std::vector<std::uint64_t>>(
                     trace::block_numbers(
@@ -328,7 +437,9 @@ struct service::state {
     // is bit-identical, so this equals the session's chunk loop).
     void run_exact_shard(flight& f, std::size_t shard) {
         const std::uint32_t block = f.request.sweep.block_sizes[shard];
-        const auto stream = block_stream(*f.trace, block);
+        const auto stream = block_stream(*f.trace, block,
+                                         f.obs_correlation,
+                                         f.obs_fingerprint);
         std::vector<core::dew_result> results;
         results.reserve(f.request.sweep.associativities.size());
         for (const std::uint32_t assoc : f.request.sweep.associativities) {
@@ -348,7 +459,9 @@ struct service::state {
         auto sweep = std::make_shared<core::sweep_result>();
         sweep->requests = f.trace->records.size();
         for (const std::uint32_t block : f.request.sweep.block_sizes) {
-            const auto stream = block_stream(*f.trace, block);
+            const auto stream = block_stream(*f.trace, block,
+                                             f.obs_correlation,
+                                             f.obs_fingerprint);
             for (const std::uint32_t assoc :
                  f.request.sweep.associativities) {
                 const auto pass = core::detail::make_sweep_pass(
@@ -395,6 +508,16 @@ struct service::state {
 
     void run_job(const job& j) {
         flight& f = *j.target;
+        // The queue-wait sample covers enqueue -> pickup, recorded by the
+        // worker that picked the job up (one span per shard job).
+        if (j.enqueued_ns != 0) {
+            const std::uint64_t waited = obs::now_ns() - j.enqueued_ns;
+            ctrs->queue_wait_ns.record(waited);
+            obs::recorder::instance().record("serve.queue_wait",
+                                             j.enqueued_ns, waited,
+                                             f.obs_correlation,
+                                             f.obs_fingerprint);
+        }
         sweep_deadlines(f);
         if (f.abandoned.load(std::memory_order_acquire)) {
             // Skipped, never started: nobody is waiting for this work.
@@ -405,6 +528,8 @@ struct service::state {
         }
         ctrs->shard_jobs.fetch_add(1, std::memory_order_relaxed);
         try {
+            obs::span sp{"serve.shard", &ctrs->shard_ns, f.obs_correlation,
+                         f.obs_fingerprint};
             if (options.fault_hook) {
                 options.fault_hook(
                     j.shard, f.attempt.load(std::memory_order_relaxed));
@@ -432,10 +557,11 @@ struct service::state {
     // convenience: the requeue runs on a worker, and a worker blocking on
     // queue space it is itself responsible for freeing never wakes.
     void requeue_front(const std::shared_ptr<flight>& f, std::size_t jobs) {
+        const std::uint64_t enqueued = obs::timestamp_if_enabled();
         {
             const std::lock_guard<std::mutex> lock{queue_mutex};
             for (std::size_t i = jobs; i-- > 0;) {
-                queue.push_front({f, i});
+                queue.push_front({f, i, enqueued});
             }
         }
         queue_work_cv.notify_all();
@@ -508,6 +634,11 @@ struct service::state {
             }
         }
 
+        // Settle: assemble the sweep, cache it, unmap the flight, fulfil
+        // every live waiter — the tail latency a caller sees after the
+        // last shard finished.
+        obs::span settle_span{"serve.settle", &ctrs->settle_ns,
+                              f->obs_correlation, f->obs_fingerprint};
         cached_value value;
         if (!error && !abandoned) {
             const std::lock_guard<std::mutex> lock{f->mutex};
@@ -584,6 +715,14 @@ struct service::state {
                 promise.set_value(std::move(result));
             }
         }
+        settle_span.finish();
+        // The whole-flight span: creation -> settled, the envelope the
+        // queue/stream/shard spans decompose.
+        if (f->start_ns != 0) {
+            obs::recorder::instance().record(
+                "serve.flight", f->start_ns, obs::now_ns() - f->start_ns,
+                f->obs_correlation, f->obs_fingerprint);
+        }
         close_flight();
     }
 
@@ -601,6 +740,7 @@ struct service::state {
     // blocks here like `block` — the load-shedding decision was already
     // taken at submit time.
     void enqueue(const std::shared_ptr<flight>& f, std::size_t jobs) {
+        const std::uint64_t enqueued = obs::timestamp_if_enabled();
         std::unique_lock<std::mutex> lock{queue_mutex};
         if (options.overflow == overflow_policy::fail_fast) {
             if (queue.size() + jobs > options.queue_capacity) {
@@ -613,14 +753,14 @@ struct service::state {
                     ")"};
             }
             for (std::size_t i = 0; i < jobs; ++i) {
-                queue.push_back({f, i});
+                queue.push_back({f, i, enqueued});
             }
         } else {
             for (std::size_t i = 0; i < jobs; ++i) {
                 queue_space_cv.wait(lock, [&] {
                     return queue.size() < options.queue_capacity;
                 });
-                queue.push_back({f, i});
+                queue.push_back({f, i, enqueued});
                 queue_work_cv.notify_one();
             }
         }
@@ -737,9 +877,18 @@ service::service(service_options options) {
     for (unsigned w = 0; w < options.workers; ++w) {
         state_->workers.emplace_back([s = state_.get()] { s->worker_loop(); });
     }
+    state_->obs_provider_id = obs::registry::instance().add_provider(
+        [s = state_.get()](std::vector<obs::metric_sample>& out) {
+            s->sample_metrics(out);
+        });
 }
 
 service::~service() {
+    // Revoke the metrics provider before anything else dies: once
+    // remove_provider returns, no snapshot can touch this state again.
+    if (state_->obs_provider_id != 0) {
+        obs::registry::instance().remove_provider(state_->obs_provider_id);
+    }
     {
         const std::lock_guard<std::mutex> lock{state_->queue_mutex};
         state_->stop = true; // workers drain the queue, then exit
@@ -792,6 +941,11 @@ bool service::has_trace(std::string_view name) const {
 submission service::submit(std::string_view trace_name,
                            const service_request& request) {
     state& s = *state_;
+    // The submit span covers validation, the cache probes and the
+    // coalesce-or-enqueue decision — everything on the caller's thread.
+    // The fingerprint tag is patched in once the key exists.
+    obs::span submit_span{"serve.submit", &s.ctrs->submit_ns,
+                          request.obs_correlation};
     const service_request normal = canonical(request); // throws up front
     // Relative deadline -> absolute, pinned at submit time (before any
     // queueing): the deadline clock starts when the caller asked, not when
@@ -819,9 +973,14 @@ submission service::submit(std::string_view trace_name,
     // `normal` is already canonical; the plain fingerprint()/make_key path
     // would re-normalise (copy + sort + validate) on every submit.
     const request_key key{entry->digest, fingerprint_canonical(normal)};
-    if (const auto cached = s.cache.find(key)) {
-        // Answered without touching a simulator or the queue.
-        return s.answer_from_cache(cached);
+    submit_span.set_fingerprint(key.request[0]);
+    {
+        obs::span probe{"serve.cache_probe", &s.ctrs->cache_probe_ns,
+                        normal.obs_correlation, key.request[0]};
+        if (const auto cached = s.cache.find(key)) {
+            // Answered without touching a simulator or the queue.
+            return s.answer_from_cache(cached);
+        }
     }
 
     std::shared_ptr<flight> f;
@@ -860,8 +1019,12 @@ submission service::submit(std::string_view trace_name,
         // would restart an already-answered computation.  (finish() never
         // holds a cache shard lock while taking flights_mutex, so probing
         // the cache here cannot deadlock.)
-        if (const auto cached = s.cache.find(key)) {
-            return s.answer_from_cache(cached);
+        {
+            obs::span probe{"serve.cache_probe", &s.ctrs->cache_probe_ns,
+                            normal.obs_correlation, key.request[0]};
+            if (const auto cached = s.cache.find(key)) {
+                return s.answer_from_cache(cached);
+            }
         }
         // Load shedding: past the high-watermark an exact request gets the
         // estimate tier, one job, no cache entry — but only after the
@@ -878,6 +1041,9 @@ submission service::submit(std::string_view trace_name,
         f->trace = entry;
         f->start = clock::now();
         f->degraded = degrade;
+        f->obs_correlation = normal.obs_correlation;
+        f->obs_fingerprint = key.request[0];
+        f->start_ns = obs::timestamp_if_enabled();
         f->waiters.emplace_back();
         f->waiters.back().deadline = deadline_at;
         f->earliest_deadline = deadline_at;
@@ -962,6 +1128,14 @@ service_stats service::stats() const {
         c.permanent_faults.load(std::memory_order_relaxed);
     out.degraded_served = c.degraded_served.load(std::memory_order_relaxed);
     out.expired_flights = c.expired_flights.load(std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock{state_->flights_mutex};
+        out.inflight_flights = state_->flights.size();
+    }
+    {
+        const std::lock_guard<std::mutex> lock{state_->queue_mutex};
+        out.queue_depth = state_->queue.size();
+    }
     return out;
 }
 

@@ -205,6 +205,13 @@ struct service_stats {
     std::uint64_t degraded_served{0};  // exact requests answered degraded
     std::uint64_t expired_flights{0};  // flights abandoned (no live waiters)
 
+    // Gauges — instantaneous levels at the stats() call, not monotone
+    // counts: jobs sitting in the bounded queue and flights in the air
+    // (registered, not yet finished/failed).  Also exported, alongside
+    // the stage latency histograms, through obs::registry::instance().
+    std::uint64_t queue_depth{0};
+    std::uint64_t inflight_flights{0};
+
     // Fraction of submits answered straight from the cache.
     [[nodiscard]] double cache_hit_rate() const noexcept {
         return submitted == 0 ? 0.0

@@ -125,6 +125,11 @@ TEST(Router, CoalescingStillAccruesOnTheOwningBackend) {
         pending.push_back(front.submit(digest, request));
         EXPECT_EQ(pending.back().backend(), owner);
     }
+    // submit() returns once the frame is written, not dispatched; a stats
+    // round trip on the same connection is a dispatch barrier (the server
+    // handles frames in order), so resume() provably happens after every
+    // duplicate reached the paused service.
+    EXPECT_EQ(front.stats_of(owner).submitted, 3u);
     servers.a.local_service().resume();
     servers.b.local_service().resume();
 

@@ -113,7 +113,28 @@ serve::service_stats sample_stats() {
     stats.permanent_faults = 18;
     stats.degraded_served = 19;
     stats.expired_flights = 20;
+    stats.queue_depth = 21;
+    stats.inflight_flights = 22;
     return stats;
+}
+
+std::vector<obs::metric> sample_metrics() {
+    obs::metric submitted;
+    submitted.name = "serve.submitted";
+    submitted.kind = obs::metric_kind::counter;
+    submitted.value = 42;
+    obs::metric depth;
+    depth.name = "serve.queue_depth";
+    depth.kind = obs::metric_kind::gauge;
+    depth.value = 3;
+    obs::metric latency;
+    latency.name = "serve.submit_ns";
+    latency.kind = obs::metric_kind::latency;
+    latency.count = 1000;
+    latency.p50_ns = 1024;
+    latency.p95_ns = 65536;
+    latency.p99_ns = 262144;
+    return {submitted, depth, latency};
 }
 
 std::string sweep_bytes(const core::sweep_result& result) {
@@ -252,6 +273,28 @@ TEST(Wire, StatsRoundTripAllTwentyCounters) {
     EXPECT_EQ(back.permanent_faults, stats.permanent_faults);
     EXPECT_EQ(back.degraded_served, stats.degraded_served);
     EXPECT_EQ(back.expired_flights, stats.expired_flights);
+    EXPECT_EQ(back.queue_depth, stats.queue_depth);
+    EXPECT_EQ(back.inflight_flights, stats.inflight_flights);
+}
+
+TEST(Wire, MetricsRoundTripEveryKindAndOrder) {
+    const std::vector<obs::metric> metrics = sample_metrics();
+    const std::vector<obs::metric> back =
+        decode_metrics(encode_metrics(metrics));
+    // obs::metric is equality-comparable; the registry's stable name order
+    // must travel as-is.
+    EXPECT_EQ(back, metrics);
+    EXPECT_TRUE(decode_metrics(encode_metrics({})).empty());
+}
+
+TEST(Wire, MetricsRejectsImplausibleFields) {
+    // An unknown kind byte: corrupt the encoded kind of the first entry
+    // (u32 count, u32 name length, name bytes, then the kind).
+    std::string bytes = encode_metrics(sample_metrics());
+    const std::size_t kind_at =
+        4 + 4 + std::string{"serve.submitted"}.size();
+    bytes[kind_at] = 7;
+    EXPECT_THROW((void)decode_metrics(bytes), wire_error);
 }
 
 TEST(Wire, CacheLoadAndReportRoundTrip) {
@@ -378,6 +421,8 @@ TEST(Wire, EveryMessagePayloadRejectsEveryTruncation) {
                     [](std::string_view b) { (void)decode_submit(b); });
     expect_hardened("stats", encode_stats(sample_stats()),
                     [](std::string_view b) { (void)decode_stats(b); });
+    expect_hardened("metrics", encode_metrics(sample_metrics()),
+                    [](std::string_view b) { (void)decode_metrics(b); });
     expect_hardened("cache_load",
                     encode_cache_load(serve::load_mode::salvage, "dscf-image"),
                     [](std::string_view b) { (void)decode_cache_load(b); });
@@ -415,7 +460,7 @@ TEST(Wire, HeaderRejectsBadMagicVersionTypeAndSize) {
     EXPECT_THROW((void)parse_header(bad_version), wire_error);
 
     std::string bad_type = good;
-    bad_type[8] = 20; // one past message_type::error
+    bad_type[8] = 22; // one past message_type::metrics_ok
     EXPECT_THROW((void)parse_header(bad_type), wire_error);
     bad_type[8] = static_cast<char>(0xFF);
     EXPECT_THROW((void)parse_header(bad_type), wire_error);

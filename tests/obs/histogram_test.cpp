@@ -1,0 +1,146 @@
+// obs::histogram — bucket geometry, percentile semantics, exact merges.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace {
+
+using namespace dew::obs;
+
+TEST(Histogram, BucketGeometryIsPowerOfTwo) {
+    // Bucket 0 holds exactly the value 0; bucket i >= 1 holds
+    // [2^(i-1), 2^i - 1].
+    EXPECT_EQ(histogram::bucket_of(0), 0u);
+    EXPECT_EQ(histogram::bucket_of(1), 1u);
+    EXPECT_EQ(histogram::bucket_of(2), 2u);
+    EXPECT_EQ(histogram::bucket_of(3), 2u);
+    EXPECT_EQ(histogram::bucket_of(4), 3u);
+    EXPECT_EQ(histogram::bucket_of(1023), 10u);
+    EXPECT_EQ(histogram::bucket_of(1024), 11u);
+    EXPECT_EQ(histogram::bucket_of(~std::uint64_t{0}), 64u);
+
+    EXPECT_EQ(histogram_snapshot::bucket_upper_bound(0), 0u);
+    EXPECT_EQ(histogram_snapshot::bucket_upper_bound(1), 1u);
+    EXPECT_EQ(histogram_snapshot::bucket_upper_bound(2), 3u);
+    EXPECT_EQ(histogram_snapshot::bucket_upper_bound(10), 1023u);
+    EXPECT_EQ(histogram_snapshot::bucket_upper_bound(64), ~std::uint64_t{0});
+
+    // Every recordable value lands in a bucket whose bounds contain it.
+    for (const std::uint64_t value :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{7},
+          std::uint64_t{4096}, std::uint64_t{1} << 40, ~std::uint64_t{0}}) {
+        const std::size_t bucket = histogram::bucket_of(value);
+        EXPECT_LE(value, histogram_snapshot::bucket_upper_bound(bucket));
+        if (bucket > 0) {
+            EXPECT_GT(value,
+                      histogram_snapshot::bucket_upper_bound(bucket - 1));
+        }
+    }
+}
+
+TEST(Histogram, PercentilesAnswerBucketUpperBounds) {
+    histogram h;
+    // 100 samples of exactly 100 ns: every percentile is bucket 7's upper
+    // bound (100 is in [64, 127]).
+    for (int i = 0; i < 100; ++i) {
+        h.record(100);
+    }
+    const histogram_snapshot s = h.snapshot();
+    EXPECT_EQ(s.total(), 100u);
+    EXPECT_EQ(s.p50(), 127u);
+    EXPECT_EQ(s.p95(), 127u);
+    EXPECT_EQ(s.p99(), 127u);
+
+    // Conservative: the reported percentile never understates the true one.
+    EXPECT_GE(s.p50(), 100u);
+}
+
+TEST(Histogram, PercentilesWalkTheDistribution) {
+    histogram h;
+    // 98 fast samples (~1 us), 1 at ~1 ms, 1 at ~1 s: p50/p95 answer the
+    // fast bucket, p99 the millisecond one, p100 the second one.
+    for (int i = 0; i < 98; ++i) {
+        h.record(1000);
+    }
+    h.record(1'000'000);
+    h.record(1'000'000'000);
+    const histogram_snapshot s = h.snapshot();
+    EXPECT_EQ(s.total(), 100u);
+    EXPECT_EQ(s.p50(), 1023u);
+    EXPECT_EQ(s.p95(), 1023u);
+    EXPECT_EQ(s.p99(), (std::uint64_t{1} << 20) - 1); // 1'000'000 bucket
+    EXPECT_EQ(s.percentile(1.0),
+              (std::uint64_t{1} << 30) - 1); // 1'000'000'000 bucket
+}
+
+TEST(Histogram, EmptyAndDegenerateRanks) {
+    const histogram_snapshot empty;
+    EXPECT_EQ(empty.total(), 0u);
+    EXPECT_EQ(empty.p50(), 0u);
+    EXPECT_EQ(empty.percentile(1.0), 0u);
+    EXPECT_EQ(empty.percentile(0.0), 0u);
+
+    histogram h;
+    h.record(5);
+    const histogram_snapshot one = h.snapshot();
+    // A single sample answers every percentile.
+    EXPECT_EQ(one.percentile(0.01), 7u);
+    EXPECT_EQ(one.percentile(0.99), 7u);
+    EXPECT_EQ(one.percentile(1.0), 7u);
+}
+
+TEST(Histogram, MergeIsExactBucketAddition) {
+    histogram a;
+    histogram b;
+    for (int i = 0; i < 10; ++i) {
+        a.record(100);
+        b.record(100'000);
+    }
+    histogram_snapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.total(), 20u);
+    // The merged distribution is exactly the union: half fast, half slow.
+    EXPECT_EQ(merged.p50(), 127u);
+    EXPECT_EQ(merged.percentile(0.75), (std::uint64_t{1} << 17) - 1);
+
+    // Merge equals recording everything into one histogram.
+    histogram both;
+    for (int i = 0; i < 10; ++i) {
+        both.record(100);
+        both.record(100'000);
+    }
+    EXPECT_EQ(merged.counts, both.snapshot().counts);
+}
+
+TEST(Histogram, ConcurrentRecordersLoseNothing) {
+    histogram h;
+    constexpr int threads = 8;
+    constexpr int per_thread = 10'000;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&h, t] {
+            for (int i = 0; i < per_thread; ++i) {
+                h.record(static_cast<std::uint64_t>(t) * 1000 + 1);
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+    EXPECT_EQ(h.snapshot().total(),
+              static_cast<std::uint64_t>(threads) * per_thread);
+}
+
+TEST(Histogram, ResetEmpties) {
+    histogram h;
+    h.record(42);
+    h.reset();
+    EXPECT_EQ(h.snapshot().total(), 0u);
+}
+
+} // namespace

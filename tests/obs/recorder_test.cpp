@@ -1,0 +1,175 @@
+// obs::recorder — per-thread rings: wraparound, the runtime kill switch,
+// and collect() racing live writers (the seqlock contract, TSan-watched).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace {
+
+using namespace dew::obs;
+
+// The recorder is a process-wide singleton; every test starts from an
+// empty, enabled state.
+class Recorder : public ::testing::Test {
+protected:
+    void SetUp() override {
+        recorder::instance().set_enabled(true);
+        recorder::instance().clear();
+    }
+};
+
+std::vector<span_event> events_named(const std::vector<span_event>& all,
+                                     const char* name) {
+    std::vector<span_event> out;
+    for (const span_event& e : all) {
+        if (std::string{e.name} == name) {
+            out.push_back(e);
+        }
+    }
+    return out;
+}
+
+TEST_F(Recorder, RecordsAndCollectsFields) {
+    recorder::instance().record("test.alpha", 100, 50, 7, 9);
+    const auto got =
+        events_named(recorder::instance().collect(), "test.alpha");
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].start_ns, 100u);
+    EXPECT_EQ(got[0].dur_ns, 50u);
+    EXPECT_EQ(got[0].correlation, 7u);
+    EXPECT_EQ(got[0].fingerprint, 9u);
+    EXPECT_NE(got[0].tid, 0u);
+}
+
+TEST_F(Recorder, WraparoundKeepsTheNewestRingCapacityEvents) {
+    constexpr std::uint64_t extra = 100;
+    for (std::uint64_t i = 0; i < recorder::ring_capacity + extra; ++i) {
+        recorder::instance().record("test.wrap", i, 1, i, 0);
+    }
+    const auto got =
+        events_named(recorder::instance().collect(), "test.wrap");
+    // Exactly one ring's worth survives, and it is the newest window:
+    // every kept start_ns is >= extra (the first `extra` were overwritten).
+    EXPECT_EQ(got.size(), recorder::ring_capacity);
+    std::set<std::uint64_t> starts;
+    for (const span_event& e : got) {
+        EXPECT_GE(e.start_ns, extra);
+        EXPECT_LT(e.start_ns, recorder::ring_capacity + extra);
+        starts.insert(e.start_ns);
+    }
+    EXPECT_EQ(starts.size(), recorder::ring_capacity); // all distinct
+}
+
+TEST_F(Recorder, DisabledRecordsNothing) {
+    recorder::instance().set_enabled(false);
+    EXPECT_FALSE(recorder::instance().enabled());
+    EXPECT_EQ(timestamp_if_enabled(), 0u);
+    recorder::instance().record("test.disabled", 1, 1, 0, 0);
+    {
+        // A span constructed while disabled is inert even if recording is
+        // re-enabled before it finishes.
+        span s{"test.disabled"};
+        recorder::instance().set_enabled(true);
+    }
+    EXPECT_TRUE(
+        events_named(recorder::instance().collect(), "test.disabled")
+            .empty());
+    EXPECT_GT(timestamp_if_enabled(), 0u);
+}
+
+TEST_F(Recorder, SpanRecordsDurationAndLateIdentity) {
+    histogram stage;
+    {
+        span s{"test.span", &stage};
+        s.set_correlation(11);
+        s.set_fingerprint(13);
+    }
+    const auto got =
+        events_named(recorder::instance().collect(), "test.span");
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].correlation, 11u);
+    EXPECT_EQ(got[0].fingerprint, 13u);
+    EXPECT_EQ(stage.snapshot().total(), 1u);
+
+    // finish() is idempotent: the destructor does not double-record.
+    {
+        span s{"test.span_finish", &stage};
+        s.finish();
+        s.finish();
+    }
+    EXPECT_EQ(
+        events_named(recorder::instance().collect(), "test.span_finish")
+            .size(),
+        1u);
+}
+
+TEST_F(Recorder, ConcurrentWritersEachKeepTheirOwnRing) {
+    constexpr int threads = 8;
+    constexpr std::uint64_t per_thread = 1000; // < ring_capacity
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([t] {
+            for (std::uint64_t i = 0; i < per_thread; ++i) {
+                recorder::instance().record(
+                    "test.mt", static_cast<std::uint64_t>(t), 1, i, 0);
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+    const auto got = events_named(recorder::instance().collect(), "test.mt");
+    // No thread wrapped, so nothing is lost and rings never interleave.
+    EXPECT_EQ(got.size(), threads * per_thread);
+    std::set<std::uint32_t> tids;
+    for (const span_event& e : got) {
+        tids.insert(e.tid);
+    }
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(threads));
+}
+
+TEST_F(Recorder, CollectRacingWritersNeverTears) {
+    // The seqlock promise: a collect() overlapping live writers returns
+    // only stable events — a torn slot would pair a start with the wrong
+    // correlation.  Writers stamp correlation == start_ns, so any mismatch
+    // is a tear.  (The TSan job runs this test too: obs\. is in its regex.)
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&stop] {
+            std::uint64_t i = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                recorder::instance().record("test.race", i, 1, i, i);
+                ++i;
+            }
+        });
+    }
+    for (int round = 0; round < 50; ++round) {
+        for (const span_event& e :
+             events_named(recorder::instance().collect(), "test.race")) {
+            EXPECT_EQ(e.correlation, e.start_ns);
+            EXPECT_EQ(e.fingerprint, e.start_ns);
+        }
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& w : writers) {
+        w.join();
+    }
+}
+
+TEST_F(Recorder, ClearEmptiesEveryRing) {
+    recorder::instance().record("test.clear", 1, 1, 0, 0);
+    recorder::instance().clear();
+    EXPECT_TRUE(
+        events_named(recorder::instance().collect(), "test.clear").empty());
+}
+
+} // namespace

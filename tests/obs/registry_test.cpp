@@ -1,0 +1,179 @@
+// obs::registry and the exporters — provider merge semantics, the stable
+// name ordering everything downstream relies on, and the three serialised
+// faces (Chrome trace JSON, metrics text, metrics JSON).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+using namespace dew::obs;
+
+metric_sample counter_sample(std::string name, std::uint64_t value) {
+    metric_sample s;
+    s.name = std::move(name);
+    s.kind = metric_kind::counter;
+    s.value = value;
+    return s;
+}
+
+metric_sample latency_sample(std::string name,
+                             const histogram_snapshot& hist) {
+    metric_sample s;
+    s.name = std::move(name);
+    s.kind = metric_kind::latency;
+    s.hist = hist;
+    return s;
+}
+
+TEST(Registry, SnapshotIsSortedAndProvidersAreRevocable) {
+    registry reg;
+    const std::uint64_t id = reg.add_provider([](auto& out) {
+        out.push_back(counter_sample("zeta.last", 1));
+        out.push_back(counter_sample("alpha.first", 2));
+        metric_sample gauge;
+        gauge.name = "mid.level";
+        gauge.kind = metric_kind::gauge;
+        gauge.value = 3;
+        out.push_back(gauge);
+    });
+
+    const std::vector<metric> snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "alpha.first");
+    EXPECT_EQ(snap[1].name, "mid.level");
+    EXPECT_EQ(snap[2].name, "zeta.last");
+    EXPECT_EQ(snap[0].kind, metric_kind::counter);
+    EXPECT_EQ(snap[1].kind, metric_kind::gauge);
+    EXPECT_EQ(snap[1].value, 3u);
+
+    // Identical state -> byte-identical exporter output: the stable
+    // ordering is a determinism contract, not a cosmetic one.
+    EXPECT_EQ(metrics_text(snap), metrics_text(reg.snapshot()));
+
+    reg.remove_provider(id);
+    EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Registry, DuplicateNamesMergeByKind) {
+    registry reg;
+    histogram h1;
+    histogram h2;
+    for (int i = 0; i < 50; ++i) {
+        h1.record(100);
+        h2.record(100'000);
+    }
+    const std::uint64_t a = reg.add_provider([&h1](auto& out) {
+        out.push_back(counter_sample("shared.count", 10));
+        out.push_back(latency_sample("shared.lat_ns", h1.snapshot()));
+    });
+    const std::uint64_t b = reg.add_provider([&h2](auto& out) {
+        out.push_back(counter_sample("shared.count", 32));
+        out.push_back(latency_sample("shared.lat_ns", h2.snapshot()));
+    });
+
+    const std::vector<metric> snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    // Counters add exactly.
+    EXPECT_EQ(snap[0].name, "shared.count");
+    EXPECT_EQ(snap[0].value, 42u);
+    // Latency histograms merge bucket-wise before the percentile
+    // reduction: the merged p50 sees both providers' samples.
+    EXPECT_EQ(snap[1].name, "shared.lat_ns");
+    EXPECT_EQ(snap[1].count, 100u);
+    EXPECT_EQ(snap[1].p50_ns, 127u);
+    EXPECT_EQ(snap[1].p99_ns, (std::uint64_t{1} << 17) - 1);
+
+    reg.remove_provider(a);
+    reg.remove_provider(b);
+}
+
+TEST(Registry, GlobalInstanceServesRegisteredProviders) {
+    const std::uint64_t id =
+        registry::instance().add_provider([](auto& out) {
+            out.push_back(counter_sample("test.registry_global", 5));
+        });
+    bool found = false;
+    for (const metric& m : registry::instance().snapshot()) {
+        if (m.name == "test.registry_global") {
+            found = true;
+            EXPECT_EQ(m.value, 5u);
+        }
+    }
+    EXPECT_TRUE(found);
+    registry::instance().remove_provider(id);
+    for (const metric& m : registry::instance().snapshot()) {
+        EXPECT_NE(m.name, "test.registry_global");
+    }
+}
+
+TEST(Export, MetricsTextOneLinePerMetric) {
+    metric counter;
+    counter.name = "serve.submitted";
+    counter.kind = metric_kind::counter;
+    counter.value = 7;
+    metric lat;
+    lat.name = "serve.submit_ns";
+    lat.kind = metric_kind::latency;
+    lat.count = 3;
+    lat.p50_ns = 127;
+    lat.p95_ns = 1023;
+    lat.p99_ns = 2047;
+
+    EXPECT_EQ(metrics_text({counter, lat}),
+              "serve.submitted counter 7\n"
+              "serve.submit_ns latency count=3 p50_ns=127 p95_ns=1023 "
+              "p99_ns=2047\n");
+    EXPECT_EQ(metrics_json({counter}),
+              "[{\"name\":\"serve.submitted\",\"kind\":\"counter\","
+              "\"value\":7}]");
+    EXPECT_EQ(metrics_text({}), "");
+    EXPECT_EQ(metrics_json({}), "[]");
+}
+
+TEST(Export, ChromeTraceShapesCompleteEvents) {
+    span_event e;
+    e.name = "serve.shard";
+    e.start_ns = 1'234'567;
+    e.dur_ns = 89'012;
+    e.correlation = 42;
+    e.fingerprint = 7;
+    e.tid = 3;
+
+    const std::string json = chrome_trace_json({e}, "unit_test");
+    // The document shell and the one metadata + one complete event.
+    EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"name\":\"unit_test\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"serve.shard\""), std::string::npos);
+    // Nanoseconds render as microseconds with the residue kept.
+    EXPECT_NE(json.find("\"ts\":1234.567"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":89.012"), std::string::npos);
+    EXPECT_NE(json.find("\"correlation\":42"), std::string::npos);
+    EXPECT_EQ(json.back(), '}');
+
+    // An empty collection is still a well-formed document.
+    const std::string empty = chrome_trace_json({}, "empty");
+    EXPECT_NE(empty.find("traceEvents"), std::string::npos);
+}
+
+TEST(Export, JsonStringsEscapeControlCharacters) {
+    metric weird;
+    weird.name = "bad\"name\\with\ncontrol\x01";
+    weird.kind = metric_kind::gauge;
+    weird.value = 1;
+    const std::string json = metrics_json({weird});
+    EXPECT_NE(json.find("bad\\\"name\\\\with\\ncontrol\\u0001"),
+              std::string::npos);
+}
+
+} // namespace
