@@ -927,8 +927,18 @@ void write_micro_json() {
     std::fprintf(out, "  \"serve_p50_ms\": %.3f,\n", serve.p50_ms);
     std::fprintf(out, "  \"serve_p95_ms\": %.3f,\n", serve.p95_ms);
     std::fprintf(out, "  \"serve_p99_ms\": %.3f,\n", serve.p99_ms);
-    std::fprintf(out, "  \"obs_overhead_pct\": %.2f\n",
+    std::fprintf(out, "  \"obs_overhead_pct\": %.2f,\n",
                  serve.obs_overhead_pct);
+    // Microsecond twins of the *_ms percentiles: at %.3f a sub-millisecond
+    // service reports "0.001" or flat zero in milliseconds, which reads as
+    // a precision floor, not a latency.  The _ms names above are frozen
+    // (dashboards key on them); these carry the 3+ significant digits.
+    std::fprintf(out, "  \"net_p50_us\": %.3f,\n", net.p50_ms * 1e3);
+    std::fprintf(out, "  \"net_p95_us\": %.3f,\n", net.p95_ms * 1e3);
+    std::fprintf(out, "  \"net_p99_us\": %.3f,\n", net.p99_ms * 1e3);
+    std::fprintf(out, "  \"serve_p50_us\": %.3f,\n", serve.p50_ms * 1e3);
+    std::fprintf(out, "  \"serve_p95_us\": %.3f,\n", serve.p95_ms * 1e3);
+    std::fprintf(out, "  \"serve_p99_us\": %.3f\n", serve.p99_ms * 1e3);
     std::fprintf(out, "}\n");
     std::fclose(out);
 

@@ -28,15 +28,29 @@
 //                         dew_serve --serve instance instead of an
 //                         in-process service; `fault` directives need the
 //                         local injection hook and are rejected
+//     --route LIST        with --serve: run the consistent-hash router
+//                         front (net/router_server.hpp) over the
+//                         comma-separated HOST:PORT backend list instead
+//                         of a local service.  Clients talk to the fleet
+//                         through the same wire surface; get_metrics
+//                         answers the aggregated per-backend + fleet-total
+//                         scrape
+//     --node-id N         with --serve: this server's node id, stamped
+//                         into every wide per-request event (default 0)
 //     --stats-interval-ms N
 //                         with --serve: print a one-line stats/latency
 //                         summary every N ms (0 = off, the default)
-//     --trace FILE        with --serve: on shutdown, dump the collected
-//                         spans as a Chrome trace_event JSON file
-//                         (Perfetto / chrome://tracing loadable)
+//     --trace FILE        on shutdown (SIGINT and SIGTERM alike) or after
+//                         a replay: dump the collected spans as a Chrome
+//                         trace_event JSON file (Perfetto /
+//                         chrome://tracing loadable), pid-tagged with this
+//                         process's pid so fleet traces concatenate
 //     --metrics           with --connect: fetch the server's metrics
 //                         snapshot over the wire (get_metrics), print it
 //                         in the stable text format, and exit
+//     --events            with --connect: fetch the server's wide
+//                         per-request event ring (get_events), print it
+//                         as JSONL, and exit
 //
 // Workload file format (one directive per line, '#' comments):
 //   trace <name> <mediabench-app> <records>
@@ -80,7 +94,10 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "net/client.hpp"
+#include "net/router_server.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "obs/export.hpp"
@@ -100,12 +117,16 @@ using namespace dew;
                  "usage: dew_serve <workload-file> [--workers N] "
                  "[--queue N] [--cache N] [--deadline-ms N] "
                  "[--max-retries N] [--degrade] [--save FILE] "
-                 "[--load FILE] [--connect HOST:PORT]\n"
-                 "       dew_serve --demo [--connect HOST:PORT]\n"
+                 "[--load FILE] [--connect HOST:PORT] [--trace FILE]\n"
+                 "       dew_serve --demo [--connect HOST:PORT] "
+                 "[--trace FILE]\n"
                  "       dew_serve --serve PORT [--corpus DIR] "
-                 "[--stats-interval-ms N] [--trace FILE] "
+                 "[--node-id N] [--stats-interval-ms N] [--trace FILE] "
                  "[service options]\n"
-                 "       dew_serve --metrics --connect HOST:PORT\n");
+                 "       dew_serve --serve PORT --route H:P,H:P,... "
+                 "[--trace FILE]\n"
+                 "       dew_serve --metrics --connect HOST:PORT\n"
+                 "       dew_serve --events --connect HOST:PORT\n");
     std::exit(2);
 }
 
@@ -401,10 +422,13 @@ void print_stats_line(const serve::service& service) {
 }
 
 // --trace: the collected spans as one Perfetto-loadable document.
+// pid-tagged with the real process id so per-process dumps from a fleet
+// (client, router, backends) concatenate into one cross-hop timeline.
 // Returns an exit code, 0 on success.
-int dump_trace(const std::string& trace_path) {
+int dump_trace(const std::string& trace_path, const char* process_name) {
     const std::string json = obs::chrome_trace_json(
-        obs::recorder::instance().collect(), "dew_serve");
+        obs::recorder::instance().collect(), process_name,
+        static_cast<std::uint64_t>(::getpid()));
     std::ofstream out{trace_path, std::ios::binary | std::ios::trunc};
     out.write(json.data(), static_cast<std::streamsize>(json.size()));
     out.flush();
@@ -416,6 +440,17 @@ int dump_trace(const std::string& trace_path) {
     std::printf("trace    %zu bytes of spans written to %s\n", json.size(),
                 trace_path.c_str());
     return 0;
+}
+
+// The shutdown metrics summary: the whole registry surface in the stable
+// text format, printed on SIGINT and SIGTERM alike so an interactive ^C
+// leaves the same operational record as an orchestrated stop.
+void print_metrics_summary() {
+    std::printf("metrics  final registry snapshot:\n");
+    std::fputs(obs::metrics_text(obs::registry::instance().snapshot())
+                   .c_str(),
+               stdout);
+    std::fflush(stdout);
 }
 
 // --serve: expose the service on a TCP port until SIGINT/SIGTERM.
@@ -471,10 +506,11 @@ int run_server(const serve::service_options& options, std::uint16_t port,
         }
     }
     if (!trace_path.empty()) {
-        if (const int code = dump_trace(trace_path)) {
+        if (const int code = dump_trace(trace_path, "dew_serve")) {
             return code;
         }
     }
+    print_metrics_summary();
     const serve::service_stats stats = server.local_service().stats();
     std::printf("served   %llu submissions: %llu cache hits, %llu "
                 "coalesced, %llu computations\n",
@@ -482,6 +518,68 @@ int run_server(const serve::service_options& options, std::uint16_t port,
                 static_cast<unsigned long long>(stats.cache_hits),
                 static_cast<unsigned long long>(stats.coalesced),
                 static_cast<unsigned long long>(stats.computations));
+    return 0;
+}
+
+// --serve PORT --route H:P,...: the router front over a backend fleet.
+int run_router(std::uint16_t port, const std::string& route_spec,
+               const std::string& trace_path) {
+    net::router_server_options opts;
+    opts.port = port;
+    std::size_t start = 0;
+    while (start <= route_spec.size()) {
+        const std::size_t comma = route_spec.find(',', start);
+        const std::string item = route_spec.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        const std::size_t colon = item.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= item.size()) {
+            std::fprintf(stderr, "dew_serve: bad backend %s in --route "
+                         "(want HOST:PORT)\n",
+                         item.c_str());
+            return 2;
+        }
+        const unsigned long backend_port = std::stoul(item.substr(colon + 1));
+        if (backend_port == 0 || backend_port > 65535) {
+            std::fprintf(stderr, "dew_serve: backend port out of range "
+                         "in %s\n",
+                         item.c_str());
+            return 2;
+        }
+        opts.route.backends.push_back(
+            {item.substr(0, colon),
+             static_cast<std::uint16_t>(backend_port)});
+        if (comma == std::string::npos) {
+            break;
+        }
+        start = comma + 1;
+    }
+    std::optional<net::router_server> front_storage;
+    try {
+        front_storage.emplace(std::move(opts));
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "dew_serve: %s\n", error.what());
+        return 1;
+    }
+    net::router_server& front = *front_storage;
+    std::printf("dew_serve: routing %zu backends on 127.0.0.1:%u\n",
+                front.route().backend_count(),
+                static_cast<unsigned>(front.port()));
+    std::fflush(stdout);
+
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    while (!g_stop_requested) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{100});
+    }
+    front.stop();
+    if (!trace_path.empty()) {
+        if (const int code = dump_trace(trace_path, "dew_route")) {
+            return code;
+        }
+    }
+    print_metrics_summary();
     return 0;
 }
 
@@ -493,9 +591,11 @@ int main(int argc, char** argv) {
     std::string load_path;
     std::string connect_spec;
     std::string corpus_dir;
+    std::string route_spec;
     std::optional<std::uint16_t> serve_port;
     bool demo = false;
     bool metrics_only = false;
+    bool events_only = false;
     unsigned stats_interval_ms = 0;
     std::string trace_path;
     serve::service_options options;
@@ -538,6 +638,10 @@ int main(int argc, char** argv) {
                 connect_spec = value();
             } else if (arg == "--corpus") {
                 corpus_dir = value();
+            } else if (arg == "--route") {
+                route_spec = value();
+            } else if (arg == "--node-id") {
+                options.node_id = std::stoull(value());
             } else if (arg == "--demo") {
                 demo = true;
             } else if (arg == "--stats-interval-ms") {
@@ -547,6 +651,8 @@ int main(int argc, char** argv) {
                 trace_path = value();
             } else if (arg == "--metrics") {
                 metrics_only = true;
+            } else if (arg == "--events") {
+                events_only = true;
             } else if (!arg.empty() && arg[0] == '-') {
                 usage();
             } else {
@@ -562,15 +668,27 @@ int main(int argc, char** argv) {
     // a file, or the built-in demo.  --corpus only means something to a
     // server.
     if (serve_port) {
-        if (demo || metrics_only || !workload_path.empty() ||
+        if (demo || metrics_only || events_only || !workload_path.empty() ||
             !connect_spec.empty()) {
             usage();
+        }
+        if (!route_spec.empty()) {
+            // A router front owns no corpus, cache or service of its own.
+            if (!corpus_dir.empty() || !load_path.empty() ||
+                !save_path.empty()) {
+                usage();
+            }
+            return run_router(*serve_port, route_spec, trace_path);
         }
         return run_server(options, *serve_port, corpus_dir, load_path,
                           save_path, stats_interval_ms, trace_path);
     }
-    // --metrics is a one-shot remote scrape: no workload, no replay.
-    if (metrics_only) {
+    if (!route_spec.empty()) {
+        usage(); // --route only means something with --serve
+    }
+    // --metrics / --events are one-shot remote scrapes: no workload, no
+    // replay.
+    if (metrics_only || events_only) {
         if (demo || !workload_path.empty() || connect_spec.empty()) {
             usage();
         }
@@ -586,10 +704,16 @@ int main(int argc, char** argv) {
             }
             net::client remote{connect_spec.substr(0, colon),
                                static_cast<std::uint16_t>(port)};
-            std::fputs(obs::metrics_text(remote.metrics()).c_str(), stdout);
+            if (metrics_only) {
+                std::fputs(obs::metrics_text(remote.metrics()).c_str(),
+                           stdout);
+            }
+            if (events_only) {
+                std::fputs(obs::events_jsonl(remote.events()).c_str(),
+                           stdout);
+            }
         } catch (const std::exception& error) {
-            std::fprintf(stderr, "dew_serve: metrics fetch from %s "
-                         "failed: %s\n",
+            std::fprintf(stderr, "dew_serve: fetch from %s failed: %s\n",
                          connect_spec.c_str(), error.what());
             return 1;
         }
@@ -813,6 +937,14 @@ int main(int argc, char** argv) {
                 return 1;
             }
             std::printf("cache    saved to %s\n", save_path.c_str());
+        }
+    }
+    // The client-side leg of the trace: submit spans carrying the same
+    // trace ids the server's spans adopted, so the two dumps concatenate
+    // into one cross-hop timeline.
+    if (!trace_path.empty()) {
+        if (const int code = dump_trace(trace_path, "dew_client")) {
+            return code;
         }
     }
     return failed == 0 ? 0 : 1;

@@ -1,12 +1,15 @@
 #include "net/client.hpp"
 
+#include <array>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "common/bits.hpp"
 #include "net/socket.hpp"
 #include "obs/recorder.hpp"
 
@@ -41,6 +44,14 @@ public:
             socket_error{ENOTCONN, "connection closed"}));
     }
 
+    // Reserves the next frame id without sending anything.  submit() uses
+    // this to stamp the id into the payload's trace context *before*
+    // encoding it (the parent span id is the frame id, and the frame id
+    // must therefore exist before the frame does).
+    [[nodiscard]] std::uint64_t allocate_id() {
+        return next_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     // Registers a response slot, sends the frame, returns the future the
     // reader thread will settle.  Any number of threads may call this
     // concurrently; frames are serialised by the write mutex.  A non-null
@@ -52,9 +63,19 @@ public:
                                     std::string_view payload,
                                     std::uint64_t& id_out,
                                     const char* span_name = nullptr) {
-        const std::uint64_t id =
-            next_id_.fetch_add(1, std::memory_order_relaxed);
-        id_out = id;
+        id_out = allocate_id();
+        return send_prepared(type, payload, id_out, span_name);
+    }
+
+    // The allocate_id() half: sends under a caller-reserved id, optionally
+    // tagging the response span with the request's fleet trace id so the
+    // client hop carries the same 128-bit token as the serve-side spans.
+    std::future<frame> send_prepared(message_type type,
+                                     std::string_view payload,
+                                     std::uint64_t id,
+                                     const char* span_name = nullptr,
+                                     std::uint64_t trace_hi = 0,
+                                     std::uint64_t trace_lo = 0) {
         const std::uint64_t sent_ns =
             span_name != nullptr ? obs::timestamp_if_enabled() : 0;
         std::future<frame> response;
@@ -69,8 +90,9 @@ public:
             if (sent_ns != 0) {
                 // Registered atomically with the promise, so the reader's
                 // settle() cannot observe the response first and miss it.
-                inflight_spans_.emplace(id,
-                                        inflight_span{span_name, sent_ns});
+                inflight_spans_.emplace(
+                    id, inflight_span{span_name, sent_ns, trace_hi,
+                                      trace_lo});
             }
         }
         const std::string bytes = encode_frame(type, id, payload);
@@ -163,7 +185,8 @@ private:
         }
         if (span.name != nullptr) {
             obs::recorder::instance().record(
-                span.name, span.sent_ns, obs::now_ns() - span.sent_ns, id, 0);
+                span.name, span.sent_ns, obs::now_ns() - span.sent_ns, id, 0,
+                span.trace_hi, span.trace_lo);
         }
         slot.set_value(std::move(response));
     }
@@ -199,6 +222,8 @@ private:
     struct inflight_span {
         const char* name{nullptr};
         std::uint64_t sent_ns{0};
+        std::uint64_t trace_hi{0};
+        std::uint64_t trace_lo{0};
     };
 
     std::mutex pending_mutex_; // dewlint: lock-order net-client-pending 110
@@ -260,13 +285,45 @@ bool client::has_trace(const trace::trace_digest& digest) {
     return decode_flag(response.payload);
 }
 
+namespace {
+
+// A fresh 128-bit trace id: two splitmix64 avalanches over the clock, the
+// frame id and a per-process counter.  Uniqueness here is statistical, not
+// coordinated — good enough to grep one request's spans out of a fleet
+// trace, which is all a trace id is for.
+std::array<std::uint64_t, 2> generate_trace_id(std::uint64_t frame_id) {
+    static std::atomic<std::uint64_t> sequence{0};
+    const auto now = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    const std::uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t hi = mix64(now ^ mix64(frame_id));
+    const std::uint64_t lo = mix64(seq ^ mix64(hi) ^ 0x9E3779B97F4A7C15ull);
+    return {hi != 0 || lo != 0 ? hi : 1, lo};
+}
+
+} // namespace
+
 submission client::submit(const trace::trace_digest& digest,
                           const serve::service_request& request) {
-    std::uint64_t id = 0;
+    // The frame id is the parent span id, so reserve it before encoding.
+    const std::uint64_t id = core_->allocate_id();
+    serve::service_request stamped = request;
+    if ((stamped.obs_trace_hi | stamped.obs_trace_lo) == 0) {
+        // This client is the trace root.  A request arriving with a trace
+        // id already set (the router's backend hop, or a caller continuing
+        // an upstream trace) keeps it — forwarding never re-stamps.
+        const std::array<std::uint64_t, 2> trace = generate_trace_id(id);
+        stamped.obs_trace_hi = trace[0];
+        stamped.obs_trace_lo = trace[1];
+    }
+    if (stamped.obs_parent_span == 0) {
+        stamped.obs_parent_span = id;
+    }
     std::future<frame> response =
-        core_->send_request(message_type::submit,
-                            encode_submit({digest, request}), id,
-                            "net.client.submit");
+        core_->send_prepared(message_type::submit,
+                             encode_submit({digest, stamped}), id,
+                             "net.client.submit", stamped.obs_trace_hi,
+                             stamped.obs_trace_lo);
     return submission{std::move(response), core_, id};
 }
 
@@ -274,6 +331,12 @@ std::vector<obs::metric> client::metrics() {
     const frame response = core_->roundtrip(message_type::get_metrics, {},
                                             message_type::metrics_ok);
     return decode_metrics(response.payload);
+}
+
+std::vector<obs::request_event> client::events() {
+    const frame response = core_->roundtrip(message_type::get_events, {},
+                                            message_type::events_ok);
+    return decode_events(response.payload);
 }
 
 serve::service_stats client::stats() {

@@ -102,6 +102,10 @@ public:
     // percentiles), stable name order.
     [[nodiscard]] std::vector<obs::metric> metrics();
 
+    // The server's wide per-request event ring, oldest first
+    // (docs/OBSERVABILITY.md, Fleet).  Render with obs::events_jsonl.
+    [[nodiscard]] std::vector<obs::request_event> events();
+
     // Warm-cache handoff: the server's cache as a "DSCF" image, and the
     // inverse (load_mode semantics are the service's — strict faults are
     // rethrown here as the server saw them).

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
 #include "common/bits.hpp"
 #include "net/socket.hpp"
+#include "obs/histogram.hpp"
+#include "obs/recorder.hpp"
 
 namespace dew::net {
 
@@ -17,6 +20,23 @@ struct backend {
     std::unique_ptr<client> connection;
     std::atomic<bool> healthy{true};
     std::atomic<std::size_t> inflight{0};
+    // Submit round trips through this backend: send → answer consumed (the
+    // guard's lifetime, which is what the saturation skip also measures).
+    obs::histogram roundtrip;
+};
+
+// The router's own health/failover/spill tallies, published through the
+// process registry as net.router.* (docs/OBSERVABILITY.md, Fleet).
+struct router_counters {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> failovers{0};    // send failed, next arc took it
+    std::atomic<std::uint64_t> spills{0};       // saturated backend passed over
+    std::atomic<std::uint64_t> skipped_down{0}; // unhealthy backend passed over
+    std::atomic<std::uint64_t> exhausted{0};    // whole fleet down/saturated
+    std::atomic<std::uint64_t> marked_down{0};
+    std::atomic<std::uint64_t> recoveries{0};   // mark_healthy reconnects
+    std::atomic<std::uint64_t> handoffs{0};
+    obs::histogram route_ns; // ring-walk latency per routing decision
 };
 
 struct ring_point {
@@ -47,6 +67,11 @@ struct router::state {
     router_options options;
     std::vector<std::unique_ptr<backend>> backends;
     std::vector<ring_point> ring;
+    // Mutable: pick() is logically const (it decides, it does not route),
+    // but passing over a down or saturated backend is exactly what the
+    // spill/skip counters exist to count.
+    mutable router_counters ctrs;
+    std::uint64_t provider_id{0};
 
     explicit state(router_options opts) : options{std::move(opts)} {
         if (options.backends.empty()) {
@@ -75,6 +100,59 @@ struct router::state {
             }
         }
         std::sort(ring.begin(), ring.end());
+        provider_id = obs::registry::instance().add_provider(
+            [this](std::vector<obs::metric_sample>& out) {
+                sample_metrics(out);
+            });
+    }
+
+    ~state() { obs::registry::instance().remove_provider(provider_id); }
+
+    // The registry provider: the router's own counters plus per-backend
+    // health/load/latency series.  Per-backend names are built from the
+    // "net.router.backend." prefix plus the index — the catalogue
+    // documents the pattern, not 2N concrete names.
+    void sample_metrics(std::vector<obs::metric_sample>& out) const {
+        const auto counter = [&out](const char* name,
+                                    const std::atomic<std::uint64_t>& value) {
+            out.push_back({name, obs::metric_kind::counter,
+                           value.load(std::memory_order_relaxed),
+                           {}});
+        };
+        counter("net.router.submitted", ctrs.submitted);
+        counter("net.router.failovers", ctrs.failovers);
+        counter("net.router.spills", ctrs.spills);
+        counter("net.router.skipped_down", ctrs.skipped_down);
+        counter("net.router.exhausted", ctrs.exhausted);
+        counter("net.router.marked_down", ctrs.marked_down);
+        counter("net.router.recoveries", ctrs.recoveries);
+        counter("net.router.handoffs", ctrs.handoffs);
+        out.push_back({"net.router.backends", obs::metric_kind::gauge,
+                       backends.size(), {}});
+        std::uint64_t healthy_count = 0;
+        obs::histogram_snapshot all_roundtrips;
+        for (std::size_t index = 0; index < backends.size(); ++index) {
+            const backend& node = *backends[index];
+            const bool up = node.healthy.load(std::memory_order_acquire);
+            healthy_count += up ? 1 : 0;
+            const std::string prefix =
+                "net.router.backend." + std::to_string(index) + ".";
+            out.push_back({prefix + "healthy", obs::metric_kind::gauge,
+                           up ? std::uint64_t{1} : std::uint64_t{0}, {}});
+            out.push_back({prefix + "inflight", obs::metric_kind::gauge,
+                           node.inflight.load(std::memory_order_acquire),
+                           {}});
+            const obs::histogram_snapshot rt = node.roundtrip.snapshot();
+            all_roundtrips.merge(rt);
+            out.push_back({prefix + "roundtrip_ns",
+                           obs::metric_kind::latency, 0, rt});
+        }
+        out.push_back({"net.router.healthy_backends", obs::metric_kind::gauge,
+                       healthy_count, {}});
+        out.push_back({"net.router.route_ns", obs::metric_kind::latency, 0,
+                       ctrs.route_ns.snapshot()});
+        out.push_back({"net.router.roundtrip_ns", obs::metric_kind::latency,
+                       0, all_roundtrips});
     }
 
     backend& at(std::size_t index) const {
@@ -84,18 +162,10 @@ struct router::state {
         return *backends[index];
     }
 
-    [[nodiscard]] bool usable(const backend& node) const {
-        if (!node.healthy.load(std::memory_order_acquire)) {
-            return false;
-        }
-        const std::size_t cap = options.max_inflight_per_backend;
-        return cap == 0 ||
-               node.inflight.load(std::memory_order_acquire) < cap;
-    }
-
     // Clockwise walk from the key's ring position to the first usable
-    // backend.  Throws service_overloaded when the whole fleet is down or
-    // saturated — transient by classify_fault, exactly like a full queue.
+    // backend, counting what it passes over (down vs. saturated).  Throws
+    // service_overloaded when the whole fleet is down or saturated —
+    // transient by classify_fault, exactly like a full queue.
     std::size_t pick(std::uint64_t point) const {
         const auto start = std::upper_bound(
             ring.begin(), ring.end(),
@@ -114,10 +184,20 @@ struct router::state {
             }
             seen[index] = true;
             ++examined;
-            if (usable(at(index))) {
-                return index;
+            const backend& node = at(index);
+            if (!node.healthy.load(std::memory_order_acquire)) {
+                ctrs.skipped_down.fetch_add(1, std::memory_order_relaxed);
+                continue;
             }
+            const std::size_t cap = options.max_inflight_per_backend;
+            if (cap != 0 &&
+                node.inflight.load(std::memory_order_acquire) >= cap) {
+                ctrs.spills.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+            return index;
         }
+        ctrs.exhausted.fetch_add(1, std::memory_order_relaxed);
         throw serve::service_overloaded{
             "no healthy, unsaturated backend for this key"};
     }
@@ -159,29 +239,72 @@ trace::trace_digest router::register_trace(const trace::mem_trace& records) {
 
 routed_submission router::submit(const trace::trace_digest& digest,
                                  const serve::service_request& request) {
+    state& s = *state_;
+    s.ctrs.submitted.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t point =
         key_point(digest, serve::fingerprint(request));
+    std::vector<std::size_t> attempted;
     for (;;) {
-        const std::size_t index = state_->pick(point);
-        backend& node = state_->at(index);
+        std::size_t index = 0;
+        {
+            // The routing decision itself, per attempt: a failover re-walk
+            // shows up as a second route span under the same trace.
+            obs::span route_span{"net.router.route", &s.ctrs.route_ns,
+                                 request.obs_correlation};
+            route_span.set_trace(request.obs_trace_hi, request.obs_trace_lo);
+            index = s.pick(point);
+        }
+        backend& node = s.at(index);
         node.inflight.fetch_add(1, std::memory_order_acq_rel);
         // The guard outlives the submission handle the caller holds, so
         // "in flight" means "answer not yet consumed" — the load measure
-        // the saturation skip needs.
+        // the saturation skip needs, and the window the backend round-trip
+        // span covers.
+        const std::uint64_t sent_ns = obs::timestamp_if_enabled();
         std::shared_ptr<void> guard{
-            static_cast<void*>(&node), [&node](void*) {
+            static_cast<void*>(&node),
+            [&node, sent_ns, correlation = request.obs_correlation,
+             trace_hi = request.obs_trace_hi,
+             trace_lo = request.obs_trace_lo](void*) {
                 node.inflight.fetch_sub(1, std::memory_order_acq_rel);
+                if (sent_ns != 0) {
+                    const std::uint64_t dur = obs::now_ns() - sent_ns;
+                    node.roundtrip.record(dur);
+                    obs::recorder::instance().record(
+                        "net.router.backend_rt", sent_ns, dur, correlation,
+                        0, trace_hi, trace_lo);
+                }
             }};
         try {
             return routed_submission{
                 node.connection->submit(digest, request), std::move(guard),
-                index};
+                index, std::move(attempted)};
         } catch (const socket_error&) {
             // Connection died at send time: mark it down and re-walk — the
             // key now belongs to the next arc.
             node.healthy.store(false, std::memory_order_release);
+            attempted.push_back(index);
+            s.ctrs.failovers.fetch_add(1, std::memory_order_relaxed);
+            s.ctrs.marked_down.fetch_add(1, std::memory_order_relaxed);
         }
     }
+}
+
+bool router::has_trace(const trace::trace_digest& digest) {
+    for (const auto& node : state_->backends) {
+        if (!node->healthy.load(std::memory_order_acquire)) {
+            continue;
+        }
+        try {
+            if (node->connection->has_trace(digest)) {
+                return true;
+            }
+        } catch (const socket_error&) {
+            node->healthy.store(false, std::memory_order_release);
+            state_->ctrs.marked_down.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    return false;
 }
 
 std::size_t router::backend_of(const trace::trace_digest& digest,
@@ -201,6 +324,7 @@ void router::mark_healthy(std::size_t index) {
     node.connection =
         std::make_unique<client>(node.address.host, node.address.port);
     node.healthy.store(true, std::memory_order_release);
+    state_->ctrs.recoveries.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t router::inflight(std::size_t index) const {
@@ -244,8 +368,94 @@ serve::service_stats router::total_stats() {
 
 serve::cache_load_report router::handoff(std::size_t from, std::size_t to) {
     const std::string image = state_->at(from).connection->save_cache();
+    state_->ctrs.handoffs.fetch_add(1, std::memory_order_relaxed);
     return state_->at(to).connection->load_cache(serve::load_mode::salvage,
                                                  image);
+}
+
+std::vector<obs::metric> router::metrics() {
+    // One merged fleet series per name, keyed for the stable sorted output
+    // the exporters rely on, plus every per-backend series re-tagged.
+    std::map<std::string, obs::metric> fleet;
+    std::vector<obs::metric> out;
+    for (std::size_t index = 0; index < state_->backends.size(); ++index) {
+        backend& node = state_->at(index);
+        if (!node.healthy.load(std::memory_order_acquire)) {
+            continue;
+        }
+        std::vector<obs::metric> snap;
+        try {
+            snap = node.connection->metrics();
+        } catch (const socket_error&) {
+            node.healthy.store(false, std::memory_order_release);
+            state_->ctrs.marked_down.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        const std::string prefix = "backend." + std::to_string(index) + ".";
+        for (obs::metric& m : snap) {
+            const auto [slot, fresh] = fleet.try_emplace("fleet." + m.name, m);
+            if (fresh) {
+                slot->second.name = "fleet." + m.name;
+            } else {
+                obs::metric& total = slot->second;
+                // Exact merge, same semantics as the registry's duplicate-
+                // name rule: counters and gauges add, histograms merge
+                // bucket-wise and re-reduce.
+                total.value += m.value;
+                total.hist.merge(m.hist);
+                total.count = total.hist.total();
+                total.p50_ns = total.hist.p50();
+                total.p95_ns = total.hist.p95();
+                total.p99_ns = total.hist.p99();
+            }
+            m.name = prefix + m.name;
+            out.push_back(std::move(m));
+        }
+    }
+    for (auto& [name, m] : fleet) {
+        (void)name;
+        out.push_back(std::move(m));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const obs::metric& a, const obs::metric& b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::vector<obs::request_event> router::events() {
+    std::vector<obs::request_event> out;
+    for (std::size_t index = 0; index < state_->backends.size(); ++index) {
+        backend& node = state_->at(index);
+        if (!node.healthy.load(std::memory_order_acquire)) {
+            continue;
+        }
+        try {
+            std::vector<obs::request_event> ring =
+                node.connection->events();
+            out.insert(out.end(), ring.begin(), ring.end());
+        } catch (const socket_error&) {
+            node.healthy.store(false, std::memory_order_release);
+            state_->ctrs.marked_down.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    return out;
+}
+
+void router::pause_all() {
+    for (const auto& node : state_->backends) {
+        if (node->healthy.load(std::memory_order_acquire)) {
+            node->connection->pause();
+        }
+    }
+}
+
+void router::resume_all() {
+    for (const auto& node : state_->backends) {
+        if (node->healthy.load(std::memory_order_acquire)) {
+            node->connection->resume();
+        }
+    }
 }
 
 } // namespace dew::net

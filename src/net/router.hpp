@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "net/client.hpp"
+#include "obs/event.hpp"
+#include "obs/registry.hpp"
 #include "serve/key.hpp"
 #include "serve/service.hpp"
 #include "trace/digest.hpp"
@@ -59,7 +61,20 @@ class routed_submission {
 public:
     routed_submission() = default;
 
-    [[nodiscard]] serve::service_result get() { return inner_.get(); }
+    // Consuming the answer (either way) ends the in-flight window: the
+    // guard release decrements the backend's load count and closes the
+    // net.router.backend_rt span *before* the caller can act on the
+    // result, so the span nests inside whatever hop is waiting on us.
+    [[nodiscard]] serve::service_result get() {
+        try {
+            serve::service_result result = inner_.get();
+            guard_.reset();
+            return result;
+        } catch (...) {
+            guard_.reset();
+            throw;
+        }
+    }
     void wait() const { inner_.wait(); }
     [[nodiscard]] bool valid() const noexcept { return inner_.valid(); }
     bool cancel() { return inner_.cancel(); }
@@ -67,16 +82,26 @@ public:
     // Which backend (index into router_options::backends) answered.
     [[nodiscard]] std::size_t backend() const noexcept { return backend_; }
 
+    // Backends that were tried and marked down before backend() accepted,
+    // in attempt order — empty on the no-failover fast path.  A request
+    // served via fallback therefore carries both the attempted and the
+    // serving backend ids.
+    [[nodiscard]] const std::vector<std::size_t>&
+    attempted() const noexcept {
+        return attempted_;
+    }
+
 private:
     friend class router;
     routed_submission(submission inner, std::shared_ptr<void> guard,
-                      std::size_t backend)
+                      std::size_t backend, std::vector<std::size_t> attempted)
         : inner_{std::move(inner)}, guard_{std::move(guard)},
-          backend_{backend} {}
+          backend_{backend}, attempted_{std::move(attempted)} {}
 
     submission inner_;
     std::shared_ptr<void> guard_; // decrements the backend's in-flight count
     std::size_t backend_{0};
+    std::vector<std::size_t> attempted_;
 };
 
 class router {
@@ -96,6 +121,11 @@ public:
     // connection dies during the broadcast is marked down; throws only
     // when NO backend accepted.
     trace::trace_digest register_trace(const trace::mem_trace& records);
+
+    // True iff any healthy backend holds the digest (registered or in its
+    // corpus).  A backend whose connection dies during the poll is marked
+    // down and skipped.
+    [[nodiscard]] bool has_trace(const trace::trace_digest& digest);
 
     // Routes by (digest, fingerprint(request)) and submits to the chosen
     // backend.  A backend that fails at send time is marked down and the
@@ -119,6 +149,23 @@ public:
     // Per-backend and fleet-summed service counters.
     [[nodiscard]] serve::service_stats stats_of(std::size_t backend);
     [[nodiscard]] serve::service_stats total_stats();
+
+    // Aggregated scrape: fans get_metrics out to every healthy backend and
+    // merges the snapshots — each backend's series re-tagged
+    // "backend.<i>.<name>", plus one "fleet.<name>" series per name that
+    // is the *exact* merge (counters and gauges add; latency histograms
+    // merge bucket-wise via histogram_snapshot::merge, with percentiles
+    // recomputed from the merged buckets — never averaged).  The router's
+    // own net.router.* series live in the process registry, not here.
+    [[nodiscard]] std::vector<obs::metric> metrics();
+
+    // Fans get_events out to every healthy backend and concatenates the
+    // rings (each event already carries its server's node id).
+    [[nodiscard]] std::vector<obs::request_event> events();
+
+    // Broadcasts pause/resume to every healthy backend.
+    void pause_all();
+    void resume_all();
 
     // Ships `from`'s cache image into `to` (salvage mode) and reports what
     // loaded.

@@ -1,11 +1,11 @@
-#include "net/server.hpp"
+#include "net/router_server.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <list>
 #include <mutex>
-#include <optional>
-#include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -14,23 +14,20 @@
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "obs/registry.hpp"
-#include "trace/corpus.hpp"
-#include "trace/digest.hpp"
 
 namespace dew::net {
 
 namespace {
 
-// One accepted connection: its socket, the serialised write side (the
-// handler and every waiter thread respond on the same stream), and the
-// in-flight submissions addressable by `cancel` frames.
+// One accepted connection — the same shape as net::server's, with pending
+// routed submissions instead of service submissions.
 struct connection {
     socket_fd fd;
     std::mutex write_mutex; // dewlint: lock-order net-conn-write 100
     std::thread handler;
 
     std::mutex pending_mutex; // dewlint: lock-order net-conn-pending 90
-    std::unordered_map<std::uint64_t, std::shared_ptr<serve::submission>>
+    std::unordered_map<std::uint64_t, std::shared_ptr<routed_submission>>
         pending;
     std::vector<std::thread> waiters;
 
@@ -47,10 +44,9 @@ struct connection {
 
 } // namespace
 
-struct server::state {
-    server_options options;
-    serve::service service;
-    std::optional<trace::corpus_registry> corpus;
+struct router_server::state {
+    router_server_options options;
+    router route;
 
     socket_fd listener;
     std::uint16_t bound_port{0};
@@ -61,39 +57,9 @@ struct server::state {
     std::mutex connections_mutex; // dewlint: lock-order net-connections 80
     std::list<std::shared_ptr<connection>> connections;
 
-    explicit state(server_options opts)
-        : options{std::move(opts)}, service{options.service} {
-        if (!options.corpus_dir.empty()) {
-            corpus.emplace(options.corpus_dir);
-        }
+    explicit state(router_server_options opts)
+        : options{std::move(opts)}, route{options.route} {
         listener = listen_on(options.host, options.port, bound_port);
-    }
-
-    // Registers `records` with the service (and the corpus, if one is
-    // configured) and returns the digest.  The service-side trace name IS
-    // the digest string: content addressing end to end.
-    trace::trace_digest register_records(trace::mem_trace records) {
-        const trace::trace_digest digest = trace::compute_digest(records);
-        if (corpus) {
-            corpus->ingest(records);
-        }
-        if (!service.has_trace(to_string(digest))) {
-            service.add_trace(to_string(digest), std::move(records));
-        }
-        return digest;
-    }
-
-    // True once the digest is submittable: already registered, or hydrated
-    // from the corpus just now.
-    bool ensure_trace(const trace::trace_digest& digest) {
-        if (service.has_trace(to_string(digest))) {
-            return true;
-        }
-        if (corpus && corpus->contains(digest)) {
-            service.add_trace(to_string(digest), corpus->load(digest));
-            return true;
-        }
-        return false;
     }
 
     void dispatch(connection& conn, const frame_header& header,
@@ -105,23 +71,20 @@ struct server::state {
             return;
         case message_type::register_trace: {
             const trace::trace_digest digest =
-                register_records(decode_records(payload));
+                route.register_trace(decode_records(payload));
             conn.send(message_type::register_ok, id, encode_digest(digest));
             return;
         }
-        case message_type::has_trace: {
-            const trace::trace_digest digest = decode_digest(payload);
-            const bool present = service.has_trace(to_string(digest)) ||
-                                 (corpus && corpus->contains(digest));
-            conn.send(message_type::has_ok, id, encode_flag(present));
+        case message_type::has_trace:
+            conn.send(message_type::has_ok, id,
+                      encode_flag(route.has_trace(decode_digest(payload))));
             return;
-        }
         case message_type::submit:
             start_submission(conn, id, decode_submit(payload));
             return;
         case message_type::cancel: {
             const std::uint64_t target = decode_cancel_target(payload);
-            std::shared_ptr<serve::submission> pending;
+            std::shared_ptr<routed_submission> pending;
             {
                 const std::lock_guard lock{conn.pending_mutex};
                 const auto found = conn.pending.find(target);
@@ -129,47 +92,50 @@ struct server::state {
                     pending = found->second;
                 }
             }
-            // The waiter thread still answers the submit frame (with the
-            // cancellation fault); this only acks the withdrawal.
             const bool cancelled = pending && pending->cancel();
             conn.send(message_type::cancel_ok, id, encode_flag(cancelled));
             return;
         }
         case message_type::stats:
             conn.send(message_type::stats_ok, id,
-                      encode_stats(service.stats()));
+                      encode_stats(route.total_stats()));
             return;
-        case message_type::get_metrics:
-            conn.send(message_type::metrics_ok, id,
-                      encode_metrics(obs::registry::instance().snapshot()));
+        case message_type::get_metrics: {
+            // The aggregated scrape: the router process's own registry
+            // (net.router.* series) plus the fleet fan-out, one sorted
+            // snapshot.
+            std::vector<obs::metric> merged =
+                obs::registry::instance().snapshot();
+            std::vector<obs::metric> fanned = route.metrics();
+            merged.insert(merged.end(),
+                          std::make_move_iterator(fanned.begin()),
+                          std::make_move_iterator(fanned.end()));
+            std::sort(merged.begin(), merged.end(),
+                      [](const obs::metric& a, const obs::metric& b) {
+                          return a.name < b.name;
+                      });
+            conn.send(message_type::metrics_ok, id, encode_metrics(merged));
             return;
+        }
         case message_type::get_events:
             conn.send(message_type::events_ok, id,
-                      encode_events(service.events()));
+                      encode_events(route.events()));
             return;
-        case message_type::cache_save: {
-            std::ostringstream image;
-            service.save_cache(image);
-            conn.send(message_type::cache_contents, id, image.str());
-            return;
-        }
-        case message_type::cache_load: {
-            const cache_load_message message = decode_cache_load(payload);
-            std::istringstream image{message.cache_file};
-            const serve::cache_load_report report =
-                service.load_cache(image, message.mode);
-            conn.send(message_type::cache_loaded, id,
-                      encode_load_report(report));
-            return;
-        }
         case message_type::pause:
-            service.pause();
+            route.pause_all();
             conn.send(message_type::ok, id, {});
             return;
         case message_type::resume:
-            service.resume();
+            route.resume_all();
             conn.send(message_type::ok, id, {});
             return;
+        case message_type::cache_save:
+        case message_type::cache_load:
+            // Per-backend state; a fleet-spliced image would be
+            // inconsistent.  handoff() moves caches backend-to-backend.
+            throw std::invalid_argument{
+                "cache save/load is per-backend; the router does not "
+                "aggregate caches (use handoff)"};
         default:
             // A response type arriving as a request: well-framed nonsense.
             throw wire_error{"unexpected request type " +
@@ -179,33 +145,21 @@ struct server::state {
 
     void start_submission(connection& conn, std::uint64_t id,
                           submit_message message) {
-        if (!ensure_trace(message.digest)) {
-            throw std::invalid_argument{
-                "unknown trace digest " + to_string(message.digest) +
-                " (register_trace it, or configure a corpus that holds it)"};
-        }
-        // Stamp the parent span id as the request's span-correlation tag:
-        // for a direct client that is this frame's id (the client recorded
-        // its submit span under it, so the two timelines stitch), and on a
-        // router's backend hop it is the *original* client's frame id,
-        // forwarded in the payload — the whole chain correlates to one
-        // requester-side span.
-        message.request.obs_correlation =
-            message.request.obs_parent_span != 0
-                ? message.request.obs_parent_span
-                : id;
-        auto pending = std::make_shared<serve::submission>(
-            service.submit(to_string(message.digest), message.request));
+        // The original client stamped the trace context (and its own frame
+        // id as obs_parent_span); the backend hop forwards it verbatim —
+        // re-stamping here would cut the trace at the router.
+        auto pending = std::make_shared<routed_submission>(
+            route.submit(message.digest, message.request));
         const std::lock_guard lock{conn.pending_mutex};
         conn.pending.emplace(id, pending);
-        conn.waiters.emplace_back([this, &conn, id, pending] {
+        conn.waiters.emplace_back([&conn, id, pending] {
             wait_and_respond(conn, id, *pending);
         });
     }
 
     // dewlint: thread-body wait_and_respond
-    void wait_and_respond(connection& conn, std::uint64_t id,
-                          serve::submission& pending) {
+    static void wait_and_respond(connection& conn, std::uint64_t id,
+                                 routed_submission& pending) {
         try {
             std::string payload;
             message_type type = message_type::result;
@@ -222,11 +176,9 @@ struct server::state {
             }
             conn.send(type, id, payload);
         } catch (...) {
-            // socket_error: the connection died while the flight ran; the
-            // handler's read side sees the same death and tears the
-            // connection down.  Anything else (an allocation failure
-            // building the reply) equally ends this response — a waiter
-            // thread must never leak a throw into std::terminate.
+            // socket_error: the requester's connection died while the
+            // backend answered; the read side tears the connection down.
+            // A waiter thread must never leak a throw into std::terminate.
         }
     }
 
@@ -244,9 +196,6 @@ struct server::state {
                 try {
                     header = parse_header(header_bytes);
                 } catch (const wire_error&) {
-                    // Framing is lost: no way to know where the next frame
-                    // starts.  Report and close (error frames use id 0 —
-                    // no request id is trustworthy).
                     try_send_fault(conn, 0, std::current_exception());
                     break;
                 }
@@ -259,11 +208,8 @@ struct server::state {
                 try {
                     dispatch(conn, header, payload);
                 } catch (const socket_error&) {
-                    break; // write side died; nothing more to say
+                    break; // requester's write side died
                 } catch (...) {
-                    // A malformed payload or a service-side fault under
-                    // intact framing: answer on the request's id and keep
-                    // serving.
                     if (!try_send_fault(conn, header.id,
                                         std::current_exception())) {
                         break;
@@ -271,9 +217,9 @@ struct server::state {
                 }
             }
         } catch (...) {
-            // Allocating a frame buffer or an error reply failed: there is
-            // nothing useful left to say on this connection, and a handler
-            // thread must never leak a throw into std::terminate.
+            // Allocation failure building a buffer or reply: nothing left
+            // to say on this connection, and a handler thread must never
+            // leak a throw into std::terminate.
         }
         conn.fd.close();
     }
@@ -283,7 +229,7 @@ struct server::state {
         try {
             return read_exact(fd, data, size);
         } catch (const socket_error&) {
-            return 0; // closed under us (stop()) or reset: both mean EOF here
+            return 0; // closed under us (stop()) or reset: both mean EOF
         }
     }
 
@@ -318,10 +264,9 @@ struct server::state {
                 }};
             }
         } catch (...) {
-            // Out of memory or out of threads while wiring a fresh
-            // connection: stop accepting.  Established connections keep
-            // being served, and stop() still closes and joins everything
-            // (a handler that was never started is simply not joinable).
+            // Out of memory or threads wiring a fresh connection: stop
+            // accepting; established connections keep being served and
+            // stop() still closes and joins everything.
         }
     }
 
@@ -334,9 +279,6 @@ struct server::state {
         if (acceptor.joinable()) {
             acceptor.join();
         }
-        // A paused service would park the waiter threads on futures that
-        // can never settle; release it before joining anything.
-        service.resume();
         std::list<std::shared_ptr<connection>> to_join;
         {
             const std::lock_guard lock{connections_mutex};
@@ -359,23 +301,25 @@ struct server::state {
     }
 };
 
-server::server(server_options options) {
+router_server::router_server(router_server_options options) {
     state_ = std::make_unique<state>(std::move(options));
     state_->acceptor = std::thread{[state = state_.get()] {
         state->accept_loop();
     }};
 }
 
-server::~server() {
+router_server::~router_server() {
     if (state_) {
         state_->stop();
     }
 }
 
-std::uint16_t server::port() const noexcept { return state_->bound_port; }
+std::uint16_t router_server::port() const noexcept {
+    return state_->bound_port;
+}
 
-void server::stop() { state_->stop(); }
+void router_server::stop() { state_->stop(); }
 
-serve::service& server::local_service() noexcept { return state_->service; }
+router& router_server::route() noexcept { return state_->route; }
 
 } // namespace dew::net

@@ -156,6 +156,8 @@ const char* to_string(message_type type) noexcept {
     case message_type::error: return "error";
     case message_type::get_metrics: return "get_metrics";
     case message_type::metrics_ok: return "metrics_ok";
+    case message_type::get_events: return "get_events";
+    case message_type::events_ok: return "events_ok";
     }
     return "unknown";
 }
@@ -444,6 +446,11 @@ std::string encode_submit(const submit_message& message) {
     put_u64(out, request.phase.chunk_records);
     put_u64(out, request.warmup_records);
     put_f64(out, request.error_budget_pp);
+    // Trace context last: telemetry-only fields extend the payload, they
+    // never reshuffle the identity-bearing prefix.
+    put_u64(out, request.obs_trace_hi);
+    put_u64(out, request.obs_trace_lo);
+    put_u64(out, request.obs_parent_span);
     return out;
 }
 
@@ -512,6 +519,9 @@ submit_message decode_submit(std::string_view payload) {
         in.get_u64("chunk_records"));
     message.request.warmup_records = in.get_u64("warmup_records");
     message.request.error_budget_pp = in.get_f64("error_budget_pp");
+    message.request.obs_trace_hi = in.get_u64("obs_trace_hi");
+    message.request.obs_trace_lo = in.get_u64("obs_trace_lo");
+    message.request.obs_parent_span = in.get_u64("obs_parent_span");
     in.finish();
     return message;
 }
@@ -708,6 +718,12 @@ std::string encode_metrics(const std::vector<obs::metric>& metrics) {
         put_u64(out, m.p50_ns);
         put_u64(out, m.p95_ns);
         put_u64(out, m.p99_ns);
+        // The raw buckets travel too (zeros for counters/gauges): the
+        // router's aggregated scrape re-merges them bucket-wise, which is
+        // exact where re-merging percentiles would not be.
+        for (const std::uint64_t bucket : m.hist.counts) {
+            put_u64(out, bucket);
+        }
     }
     return out;
 }
@@ -753,10 +769,90 @@ std::vector<obs::metric> decode_metrics(std::string_view payload) {
         m.p50_ns = in.get_u64("metric p50");
         m.p95_ns = in.get_u64("metric p95");
         m.p99_ns = in.get_u64("metric p99");
+        for (std::uint64_t& bucket : m.hist.counts) {
+            bucket = in.get_u64("metric bucket");
+        }
         metrics.push_back(std::move(m));
     }
     in.finish();
     return metrics;
+}
+
+// --- Events -----------------------------------------------------------------
+
+namespace {
+
+// The server-side ring is bounded (service_options::event_ring_capacity,
+// default 1024); a count past this is garbage framing, not a big ring.
+constexpr std::uint32_t max_event_entries = 1u << 20;
+
+} // namespace
+
+std::string encode_events(const std::vector<obs::request_event>& events) {
+    std::string out;
+    out.reserve(4 + events.size() * 88);
+    put_u32(out, static_cast<std::uint32_t>(events.size()));
+    for (const obs::request_event& e : events) {
+        put_u64(out, e.trace_hi);
+        put_u64(out, e.trace_lo);
+        put_u64(out, e.correlation);
+        put_u64(out, e.key_hi);
+        put_u64(out, e.key_lo);
+        put_u64(out, e.node);
+        put_u8(out, e.tier);
+        put_u8(out, static_cast<std::uint8_t>(e.disposition));
+        put_u32(out, e.retries);
+        put_u64(out, e.start_ns);
+        put_u64(out, e.queue_ns);
+        put_u64(out, e.run_ns);
+        put_u64(out, e.total_ns);
+    }
+    return out;
+}
+
+std::vector<obs::request_event> decode_events(std::string_view payload) {
+    cursor in{payload, "events"};
+    const std::uint32_t count = in.get_u32("event count");
+    if (count > max_event_entries) {
+        throw wire_error{"events payload: implausible event count " +
+                         std::to_string(count) + " at byte offset " +
+                         std::to_string(frame_header_bytes)};
+    }
+    std::vector<obs::request_event> events;
+    events.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        obs::request_event e;
+        e.trace_hi = in.get_u64("event trace_hi");
+        e.trace_lo = in.get_u64("event trace_lo");
+        e.correlation = in.get_u64("event correlation");
+        e.key_hi = in.get_u64("event key_hi");
+        e.key_lo = in.get_u64("event key_lo");
+        e.node = in.get_u64("event node");
+        const std::uint8_t tier = in.get_u8("event tier");
+        if (tier > 1) {
+            throw wire_error{"events payload: unknown tier " +
+                             std::to_string(tier) + " at byte offset " +
+                             std::to_string(in.offset() - 1)};
+        }
+        e.tier = tier;
+        const std::uint8_t disposition = in.get_u8("event disposition");
+        if (disposition >
+            static_cast<std::uint8_t>(obs::max_event_disposition)) {
+            throw wire_error{"events payload: unknown disposition " +
+                             std::to_string(disposition) +
+                             " at byte offset " +
+                             std::to_string(in.offset() - 1)};
+        }
+        e.disposition = static_cast<obs::event_disposition>(disposition);
+        e.retries = in.get_u32("event retries");
+        e.start_ns = in.get_u64("event start_ns");
+        e.queue_ns = in.get_u64("event queue_ns");
+        e.run_ns = in.get_u64("event run_ns");
+        e.total_ns = in.get_u64("event total_ns");
+        events.push_back(e);
+    }
+    in.finish();
+    return events;
 }
 
 // --- Cache handoff ----------------------------------------------------------

@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/event.hpp"
 #include "obs/registry.hpp"
 #include "serve/cache.hpp"
 #include "serve/key.hpp"
@@ -97,12 +98,16 @@ enum class message_type : std::uint8_t {
     // gauges, stage-latency percentiles) in stable name order.
     get_metrics = 20,    // dewlint: wire none
     metrics_ok = 21,     // dewlint: wire metrics
+    // Observability: the server's wide per-request event ring (one
+    // structured record per settled request), oldest first.
+    get_events = 22,     // dewlint: wire none
+    events_ok = 23,      // dewlint: wire events
 };
 
 // The highest assigned entry — parse_header's unknown-type bound.  Keep in
 // step when the enum grows.
 inline constexpr std::uint8_t max_message_type =
-    static_cast<std::uint8_t>(message_type::metrics_ok);
+    static_cast<std::uint8_t>(message_type::events_ok);
 
 [[nodiscard]] const char* to_string(message_type type) noexcept;
 
@@ -189,7 +194,10 @@ std::string encode_cancel_target(std::uint64_t submit_id);
 // submit: which trace (by digest), what question.  The request's
 // stream_filter must be empty (it cannot travel) and `threads` is not
 // carried (the serving side owns parallelism) — both exactly as
-// serve::canonical demands.
+// serve::canonical demands.  The trailing trace-context words
+// (obs_trace_hi/lo, obs_parent_span) are pure telemetry: identity-exempt
+// in serve::key, never folded into the fingerprint, forwarded verbatim by
+// the router's backend hop.
 struct submit_message {
     trace::trace_digest digest{};
     serve::service_request request{};
@@ -211,12 +219,24 @@ std::string encode_stats(const serve::service_stats& stats);
 [[nodiscard]] serve::service_stats decode_stats(std::string_view payload);
 
 // metrics_ok: the obs::registry snapshot — per entry the name
-// (length-prefixed), kind, counter/gauge value and latency reduction
-// (count + p50/p95/p99 ns).  The stable name-sorted order the registry
-// produces travels as-is.
+// (length-prefixed), kind, counter/gauge value, latency reduction
+// (count + p50/p95/p99 ns) and the 65 raw histogram buckets.  The buckets
+// make cross-backend aggregation exact: the router re-merges scraped
+// snapshots bucket-wise (histogram_snapshot::merge), it never averages
+// percentiles.  The stable name-sorted order the registry produces
+// travels as-is.
 std::string encode_metrics(const std::vector<obs::metric>& metrics);
 [[nodiscard]] std::vector<obs::metric>
 decode_metrics(std::string_view payload);
+
+// events_ok: the wide per-request event ring, oldest first — per entry the
+// trace context, correlation, request key words, node id, tier,
+// disposition, retry count and the four stage timestamps/durations
+// (start/queue/run/total ns).  JSONL rendering is client-side
+// (obs::events_jsonl); the wire carries the structured record.
+std::string encode_events(const std::vector<obs::request_event>& events);
+[[nodiscard]] std::vector<obs::request_event>
+decode_events(std::string_view payload);
 
 // cache_load: load mode + the "DSCF" cache-file image (the image itself is
 // validated by serve::result_cache::load, checksums and all).

@@ -40,22 +40,34 @@ void append_us(std::string& out, std::uint64_t ns) {
     out += buf;
 }
 
+// The 128-bit trace id as 32 lower-case hex digits — one opaque token to
+// grep a fleet trace by.
+void append_trace_id(std::string& out, std::uint64_t hi, std::uint64_t lo) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    out += buf;
+}
+
 } // namespace
 
 std::string chrome_trace_json(const std::vector<span_event>& events,
-                              const std::string& process_name) {
+                              const std::string& process_name,
+                              std::uint64_t pid) {
+    const std::string pid_str = std::to_string(pid);
     std::string out;
     out.reserve(128 + events.size() * 160);
     out += "{\"traceEvents\":[";
-    out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
-           "\"args\":{\"name\":";
+    out += "{\"ph\":\"M\",\"pid\":" + pid_str +
+           ",\"name\":\"process_name\",\"args\":{\"name\":";
     append_json_string(out, process_name);
     out += "}}";
     for (const span_event& event : events) {
         if (event.name == nullptr) {
             continue;
         }
-        out += ",{\"ph\":\"X\",\"pid\":1,\"tid\":";
+        out += ",{\"ph\":\"X\",\"pid\":" + pid_str + ",\"tid\":";
         out += std::to_string(event.tid);
         out += ",\"name\":";
         append_json_string(out, event.name);
@@ -67,9 +79,38 @@ std::string chrome_trace_json(const std::vector<span_event>& events,
         out += std::to_string(event.correlation);
         out += ",\"fingerprint\":";
         out += std::to_string(event.fingerprint);
+        if ((event.trace_hi | event.trace_lo) != 0) {
+            out += ",\"trace\":\"";
+            append_trace_id(out, event.trace_hi, event.trace_lo);
+            out += '"';
+        }
         out += "}}";
     }
     out += "]}";
+    return out;
+}
+
+std::string events_jsonl(const std::vector<request_event>& events) {
+    std::string out;
+    out.reserve(events.size() * 256);
+    for (const request_event& e : events) {
+        out += "{\"trace\":\"";
+        append_trace_id(out, e.trace_hi, e.trace_lo);
+        out += "\",\"correlation\":" + std::to_string(e.correlation);
+        out += ",\"key_hi\":" + std::to_string(e.key_hi);
+        out += ",\"key_lo\":" + std::to_string(e.key_lo);
+        out += ",\"node\":" + std::to_string(e.node);
+        out += ",\"tier\":\"";
+        out += e.tier == 0 ? "exact" : "representative";
+        out += "\",\"disposition\":\"";
+        out += to_string(e.disposition);
+        out += "\",\"retries\":" + std::to_string(e.retries);
+        out += ",\"start_ns\":" + std::to_string(e.start_ns);
+        out += ",\"queue_ns\":" + std::to_string(e.queue_ns);
+        out += ",\"run_ns\":" + std::to_string(e.run_ns);
+        out += ",\"total_ns\":" + std::to_string(e.total_ns);
+        out += "}\n";
+    }
     return out;
 }
 

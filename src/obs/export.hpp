@@ -15,21 +15,34 @@
 #ifndef DEW_OBS_EXPORT_HPP
 #define DEW_OBS_EXPORT_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/event.hpp"
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 
 namespace dew::obs {
 
-// `process_name` labels the trace's single pid row (e.g. "dew_serve").
+// `process_name` labels the trace's pid row (e.g. "dew_serve"); `pid`
+// distinguishes processes when several per-process dumps are concatenated
+// into one fleet trace (the CI topology smoke does exactly that).  Spans
+// carrying a nonzero 128-bit trace id also emit it as args.trace, a
+// 32-hex-digit string, so one fleet-wide request can be filtered across
+// every process row.
 [[nodiscard]] std::string
 chrome_trace_json(const std::vector<span_event>& events,
-                  const std::string& process_name = "dew");
+                  const std::string& process_name = "dew",
+                  std::uint64_t pid = 1);
 
 [[nodiscard]] std::string metrics_text(const std::vector<metric>& metrics);
 [[nodiscard]] std::string metrics_json(const std::vector<metric>& metrics);
+
+// Wide events, one JSON object per line (JSONL): the grep/jq-friendly form
+// of the serve::service event ring (docs/OBSERVABILITY.md, Fleet).
+[[nodiscard]] std::string
+events_jsonl(const std::vector<request_event>& events);
 
 } // namespace dew::obs
 

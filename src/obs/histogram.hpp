@@ -85,6 +85,11 @@ struct histogram_snapshot {
         return bucket_upper_bound(histogram_buckets - 1);
     }
 
+    // Exact equality (the aggregation tests compare merged snapshots
+    // bucket-for-bucket against a hand-summed expectation).
+    friend bool operator==(const histogram_snapshot&,
+                           const histogram_snapshot&) = default;
+
     [[nodiscard]] std::uint64_t p50() const noexcept {
         return percentile(0.50);
     }

@@ -18,6 +18,8 @@ struct slot {
     std::atomic<std::uint64_t> dur_ns{0};
     std::atomic<std::uint64_t> correlation{0};
     std::atomic<std::uint64_t> fingerprint{0};
+    std::atomic<std::uint64_t> trace_hi{0};
+    std::atomic<std::uint64_t> trace_lo{0};
 };
 
 struct ring {
@@ -80,7 +82,8 @@ bool recorder::enabled() const noexcept {
 
 void recorder::record(const char* name, std::uint64_t start_ns,
                       std::uint64_t dur_ns, std::uint64_t correlation,
-                      std::uint64_t fingerprint) noexcept {
+                      std::uint64_t fingerprint, std::uint64_t trace_hi,
+                      std::uint64_t trace_lo) noexcept {
     if (!enabled()) {
         return;
     }
@@ -98,6 +101,8 @@ void recorder::record(const char* name, std::uint64_t start_ns,
     s.dur_ns.store(dur_ns, std::memory_order_relaxed);
     s.correlation.store(correlation, std::memory_order_relaxed);
     s.fingerprint.store(fingerprint, std::memory_order_relaxed);
+    s.trace_hi.store(trace_hi, std::memory_order_relaxed);
+    s.trace_lo.store(trace_lo, std::memory_order_relaxed);
     s.seq.store(seq0 + 2, std::memory_order_release);
     r.head.store(index + 1, std::memory_order_release);
 }
@@ -139,6 +144,8 @@ std::vector<span_event> recorder::collect() const {
                 s.correlation.load(std::memory_order_relaxed);
             event.fingerprint =
                 s.fingerprint.load(std::memory_order_relaxed);
+            event.trace_hi = s.trace_hi.load(std::memory_order_relaxed);
+            event.trace_lo = s.trace_lo.load(std::memory_order_relaxed);
             event.tid = r->tid;
             std::atomic_thread_fence(std::memory_order_acquire);
             if (s.seq.load(std::memory_order_relaxed) != seq0 ||

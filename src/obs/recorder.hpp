@@ -51,6 +51,12 @@ struct span_event {
     std::uint64_t dur_ns{0};
     std::uint64_t correlation{0};
     std::uint64_t fingerprint{0};
+    // 128-bit trace id (0/0 = none): the fleet-wide request identity that
+    // survives the router hop, unlike the per-connection correlation id.
+    // Stamped by net::client, carried in the DSNW submit frame, adopted by
+    // every serve-side span of the flight (docs/OBSERVABILITY.md, Fleet).
+    std::uint64_t trace_hi{0};
+    std::uint64_t trace_lo{0};
     std::uint32_t tid{0};
 };
 
@@ -79,7 +85,15 @@ public:
     // returns immediately.
     void record(const char* name, std::uint64_t start_ns,
                 std::uint64_t dur_ns, std::uint64_t correlation,
-                std::uint64_t fingerprint) noexcept;
+                std::uint64_t fingerprint, std::uint64_t trace_hi,
+                std::uint64_t trace_lo) noexcept;
+
+    // Trace-less overload for sites that never cross a socket.
+    void record(const char* name, std::uint64_t start_ns,
+                std::uint64_t dur_ns, std::uint64_t correlation,
+                std::uint64_t fingerprint) noexcept {
+        record(name, start_ns, dur_ns, correlation, fingerprint, 0, 0);
+    }
 
     // Every stable span across every thread's ring, in no particular
     // order.  Safe to call concurrently with writers: a slot mid-write is
@@ -151,6 +165,15 @@ public:
         (void)fp;
 #endif
     }
+    void set_trace(std::uint64_t hi, std::uint64_t lo) noexcept {
+#if DEW_OBS_ENABLED
+        trace_hi_ = hi;
+        trace_lo_ = lo;
+#else
+        (void)hi;
+        (void)lo;
+#endif
+    }
 
     // Records the span now; idempotent.
     void finish() noexcept {
@@ -163,7 +186,7 @@ public:
             stage_->record(dur);
         }
         recorder::instance().record(name_, start_ns_, dur, correlation_,
-                                    fingerprint_);
+                                    fingerprint_, trace_hi_, trace_lo_);
         name_ = nullptr;
 #endif
     }
@@ -175,6 +198,8 @@ private:
     std::uint64_t start_ns_{0};
     std::uint64_t correlation_{0};
     std::uint64_t fingerprint_{0};
+    std::uint64_t trace_hi_{0};
+    std::uint64_t trace_lo_{0};
 #endif
 };
 

@@ -64,6 +64,7 @@ std::vector<metric> registry::snapshot() const {
             m.p50_ns = sample.hist.p50();
             m.p95_ns = sample.hist.p95();
             m.p99_ns = sample.hist.p99();
+            m.hist = sample.hist;
         } else {
             m.value = sample.value;
         }

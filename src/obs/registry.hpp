@@ -53,7 +53,10 @@ struct metric_sample {
     histogram_snapshot hist{};
 };
 
-// What snapshot() returns: the merged, percentile-reduced view.
+// What snapshot() returns: the merged, percentile-reduced view.  Latency
+// metrics keep the merged histogram alongside the reduced percentiles so a
+// scrape can be re-merged exactly downstream (the router's fleet-total
+// aggregation sums per-backend buckets, not percentiles).
 struct metric {
     std::string name;
     metric_kind kind{metric_kind::counter};
@@ -62,6 +65,7 @@ struct metric {
     std::uint64_t p50_ns{0}; // latency percentiles (bucket upper bounds)
     std::uint64_t p95_ns{0};
     std::uint64_t p99_ns{0};
+    histogram_snapshot hist{}; // latency: the merged buckets themselves
 
     friend bool operator==(const metric&, const metric&) = default;
 };

@@ -1,0 +1,61 @@
+#include "obs/slo.hpp"
+
+namespace dew::obs {
+
+slo_window::slo_window(std::uint64_t target_ns, std::uint64_t window_ns,
+                       std::size_t bucket_count)
+    : target_ns_{target_ns},
+      window_ns_{window_ns == 0 ? 1 : window_ns},
+      bucket_ns_{[&] {
+          const std::size_t n = bucket_count == 0 ? 1 : bucket_count;
+          const std::uint64_t per = (window_ns == 0 ? 1 : window_ns) /
+                                    static_cast<std::uint64_t>(n);
+          return per == 0 ? std::uint64_t{1} : per;
+      }()} {
+    buckets_.resize(bucket_count == 0 ? 1 : bucket_count);
+}
+
+void slo_window::roll(bucket& b, std::uint64_t epoch) const {
+    if (b.epoch != epoch) {
+        b.epoch = epoch;
+        b.hist = histogram_snapshot{};
+        b.violations = 0;
+    }
+}
+
+void slo_window::record(std::uint64_t now_ns, std::uint64_t latency_ns) {
+    // Epochs start at 1 so bucket::epoch == 0 means "never written" even
+    // for recordings in the first bucket_ns_ of the clock.
+    const std::uint64_t epoch = now_ns / bucket_ns_ + 1;
+    const std::lock_guard<std::mutex> lock{mutex_};
+    bucket& b = buckets_[epoch % buckets_.size()];
+    roll(b, epoch);
+    b.hist.counts[histogram::bucket_of(latency_ns)] += 1;
+    if (latency_ns > target_ns_) {
+        ++b.violations;
+        ++total_violations_;
+    }
+}
+
+slo_window::window_view slo_window::view(std::uint64_t now_ns) const {
+    const std::uint64_t epoch = now_ns / bucket_ns_ + 1;
+    const std::uint64_t n = static_cast<std::uint64_t>(buckets_.size());
+    window_view out;
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (const bucket& b : buckets_) {
+        // Live iff written within the last n epochs ending at the current
+        // one (a bucket about to be reused by roll() is already stale).
+        if (b.epoch != 0 && b.epoch + n > epoch && b.epoch <= epoch) {
+            out.hist.merge(b.hist);
+            out.violations += b.violations;
+        }
+    }
+    return out;
+}
+
+std::uint64_t slo_window::total_violations() const {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return total_violations_;
+}
+
+} // namespace dew::obs

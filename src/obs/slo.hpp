@@ -1,0 +1,75 @@
+// obs::slo_window — rolling-window SLO tracking over settled latencies.
+//
+// A lifetime histogram answers "how has the service ever behaved"; an SLO
+// needs "how is it behaving *now*".  slo_window keeps a ring of
+// time-bucketed histograms covering the last `window_ns` nanoseconds:
+// recording lands in the bucket of the current epoch (epoch = now /
+// bucket_ns), lazily resetting any bucket whose epoch has lapsed, and the
+// windowed view is the exact bucket-wise merge of the still-live epochs.
+// The window therefore covers between (N-1)/N and N/N of `window_ns`
+// depending on where "now" falls inside the current epoch — the standard
+// staircase approximation; N = `bucket_count` trades memory for edge
+// sharpness.
+//
+// Error-budget burn is tracked two ways:
+//   * total_violations() — monotone count of recordings over target_ns
+//     since construction (the counter a scraper rates over time);
+//   * view().violations — violations inside the current window only.
+//
+// Recording happens once per settled request, so a plain mutex is far off
+// the hot path and keeps reset-vs-record exact under concurrency.
+#ifndef DEW_OBS_SLO_HPP
+#define DEW_OBS_SLO_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace dew::obs {
+
+class slo_window {
+public:
+    // `target_ns` is the latency objective (a recording strictly above it
+    // burns budget); `window_ns` the rolling horizon.  Both are pinned at
+    // construction — an SLO that drifts mid-run measures nothing.
+    slo_window(std::uint64_t target_ns, std::uint64_t window_ns,
+               std::size_t bucket_count = 8);
+    slo_window(const slo_window&) = delete;
+    slo_window& operator=(const slo_window&) = delete;
+
+    void record(std::uint64_t now_ns, std::uint64_t latency_ns);
+
+    struct window_view {
+        histogram_snapshot hist;       // merged live-epoch buckets
+        std::uint64_t violations{0};   // over-target recordings in window
+    };
+    [[nodiscard]] window_view view(std::uint64_t now_ns) const;
+
+    [[nodiscard]] std::uint64_t total_violations() const;
+    [[nodiscard]] std::uint64_t target_ns() const noexcept { return target_ns_; }
+    [[nodiscard]] std::uint64_t window_ns() const noexcept { return window_ns_; }
+
+private:
+    struct bucket {
+        std::uint64_t epoch{0}; // 0 = never written
+        histogram_snapshot hist;
+        std::uint64_t violations{0};
+    };
+
+    // Lazily retires `b` if its epoch lapsed.  Caller holds mutex_.
+    void roll(bucket& b, std::uint64_t epoch) const;
+
+    const std::uint64_t target_ns_;
+    const std::uint64_t window_ns_;
+    const std::uint64_t bucket_ns_;
+    mutable std::mutex mutex_; // dewlint: lock-order obs-slo 75
+    mutable std::vector<bucket> buckets_;
+    std::uint64_t total_violations_{0};
+};
+
+} // namespace dew::obs
+
+#endif // DEW_OBS_SLO_HPP

@@ -83,6 +83,18 @@ struct service_request {
     // cache entries.
     // dewlint: identity-exempt obs_correlation telemetry span tag; cannot change any answered bit
     std::uint64_t obs_correlation{0};
+
+    // 128-bit fleet trace id + parent span id (0 = untraced / no parent).
+    // Stamped by net::client, forwarded verbatim by net::router's backend
+    // hop, adopted by the serve-side spans — the cross-process analogue of
+    // obs_correlation (docs/OBSERVABILITY.md, Fleet).  Pure telemetry,
+    // like obs_correlation: never folded, never cached on.
+    // dewlint: identity-exempt obs_trace_hi telemetry trace-context word; cannot change any answered bit
+    std::uint64_t obs_trace_hi{0};
+    // dewlint: identity-exempt obs_trace_lo telemetry trace-context word; cannot change any answered bit
+    std::uint64_t obs_trace_lo{0};
+    // dewlint: identity-exempt obs_parent_span telemetry parent span id; cannot change any answered bit
+    std::uint64_t obs_parent_span{0};
 };
 
 // Normal forms (see above).  Throws std::invalid_argument on an ill-formed

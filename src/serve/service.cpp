@@ -16,6 +16,7 @@
 #include "dew/pass.hpp"
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "phase/representative_sweep.hpp"
 #include "trace/digest.hpp"
 #include "trace/fault.hpp"
@@ -107,6 +108,12 @@ struct waiter {
     std::promise<service_result> promise;
     clock::time_point deadline{no_deadline};
     bool settled{false};
+    // This caller's own telemetry identity (coalesced waiters each carried
+    // their own submit frame and trace context): what their wide event is
+    // stamped with, independent of the flight initiator's.
+    std::uint64_t correlation{0};
+    std::uint64_t trace_hi{0};
+    std::uint64_t trace_lo{0};
 };
 
 } // namespace
@@ -167,6 +174,13 @@ struct service::flight {
     std::uint64_t obs_correlation{0};
     std::uint64_t obs_fingerprint{0};
     std::uint64_t start_ns{0};
+
+    // Wide-event timestamps, independent of the recorder's on/off state
+    // (the event ring always runs): admission time, and the first job
+    // pickup (0 = never picked up) — together they split a settled
+    // request's total into queue_ns and run_ns.
+    std::uint64_t admitted_ns{0};
+    std::atomic<std::uint64_t> pickup_ns{0};
 };
 
 struct service::job {
@@ -181,6 +195,12 @@ struct service::state {
     service_options options;
     result_cache cache;
     std::shared_ptr<counters> ctrs = std::make_shared<counters>();
+
+    // Wide per-request events and the rolling SLO window, shared like the
+    // counters: cancel() closures settle waiters after the service may be
+    // gone and must still record the outcome.
+    std::shared_ptr<obs::event_ring> events;
+    std::shared_ptr<obs::slo_window> slo;
 
     mutable std::mutex traces_mutex; // dewlint: lock-order serve-traces 20
     std::unordered_map<std::string, std::shared_ptr<trace_entry>> traces;
@@ -222,7 +242,54 @@ struct service::state {
     std::uint64_t obs_provider_id{0};
 
     explicit state(const service_options& opts)
-        : options{opts}, cache{opts.cache} {}
+        : options{opts}, cache{opts.cache},
+          events{std::make_shared<obs::event_ring>(
+              opts.event_ring_capacity)},
+          slo{std::make_shared<obs::slo_window>(
+              opts.slo_target.count() > 0
+                  ? static_cast<std::uint64_t>(opts.slo_target.count())
+                  : 0,
+              opts.slo_window.count() > 0
+                  ? static_cast<std::uint64_t>(opts.slo_window.count())
+                  : 1)} {}
+
+    // One settled waiter -> one wide event + one SLO recording.  Static
+    // (state-free) so the cancel closures can call it through their own
+    // captured ring/window after the service is destroyed.
+    static void settle_event(obs::event_ring& ring, obs::slo_window& window,
+                             obs::request_event event) {
+        const std::uint64_t now = obs::now_ns();
+        if (event.start_ns == 0) {
+            event.start_ns = now >= event.total_ns ? now - event.total_ns : 0;
+        }
+        ring.push(event);
+        window.record(now, event.total_ns);
+    }
+
+    // The flight-derived parts of a wide event; the caller fills the
+    // per-waiter identity (correlation/trace) and the disposition.
+    static obs::request_event flight_event(const flight& f,
+                                           std::uint64_t node) {
+        obs::request_event e;
+        e.key_hi = f.key.request[0];
+        e.key_lo = f.key.request[1];
+        e.node = node;
+        e.tier = f.degraded ||
+                         f.request.mode == service_mode::representative
+                     ? 1
+                     : 0;
+        e.retries = f.attempt.load(std::memory_order_relaxed);
+        e.start_ns = f.admitted_ns;
+        const std::uint64_t now = obs::now_ns();
+        e.total_ns = now >= f.admitted_ns ? now - f.admitted_ns : 0;
+        const std::uint64_t pickup =
+            f.pickup_ns.load(std::memory_order_relaxed);
+        if (pickup >= f.admitted_ns && pickup != 0) {
+            e.queue_ns = pickup - f.admitted_ns;
+            e.run_ns = now >= pickup ? now - pickup : 0;
+        }
+        return e;
+    }
 
     // The obs::registry provider: every counter, gauge and stage
     // histogram under one "serve." namespace (docs/OBSERVABILITY.md).
@@ -283,6 +350,32 @@ struct service::state {
             inflight = flights.size();
         }
         plain("serve.inflight_flights", obs::metric_kind::gauge, inflight);
+        plain("serve.node_id", obs::metric_kind::gauge, options.node_id);
+        // The wide-event ring's lifetime totals: recorded - dropped is the
+        // retained window a get_events scrape can still see.
+        plain("serve.events.recorded", obs::metric_kind::counter,
+              events->recorded());
+        plain("serve.events.dropped", obs::metric_kind::counter,
+              events->dropped());
+        plain("serve.events.capacity", obs::metric_kind::gauge,
+              events->capacity());
+        // Rolling SLO window (docs/OBSERVABILITY.md, Fleet): the burn
+        // counter is monotone; the window_* gauges cover the last
+        // slo_window nanoseconds only.
+        plain("serve.slo.target_ns", obs::metric_kind::gauge,
+              slo->target_ns());
+        plain("serve.slo.window_ns", obs::metric_kind::gauge,
+              slo->window_ns());
+        plain("serve.slo.p99_violations", obs::metric_kind::counter,
+              slo->total_violations());
+        const obs::slo_window::window_view slo_view =
+            slo->view(obs::now_ns());
+        plain("serve.slo.window_count", obs::metric_kind::gauge,
+              slo_view.hist.total());
+        plain("serve.slo.window_violations", obs::metric_kind::gauge,
+              slo_view.violations);
+        plain("serve.slo.window_p99_ns", obs::metric_kind::gauge,
+              slo_view.hist.p99());
         const auto latency = [&out](const char* name,
                                     const obs::histogram& h) {
             out.push_back({name, obs::metric_kind::latency, 0,
@@ -307,7 +400,9 @@ struct service::state {
     // An already-answered submission from the cache (no cancel lever —
     // there is nothing left to withdraw).
     [[nodiscard]] submission
-    answer_from_cache(const std::shared_ptr<const cached_value>& cached) {
+    answer_from_cache(const std::shared_ptr<const cached_value>& cached,
+                      const service_request& normal, const request_key& key,
+                      std::uint64_t admitted_ns) {
         std::promise<service_result> promise;
         service_result result = to_result(*cached);
         result.cache_hit = true;
@@ -315,6 +410,19 @@ struct service::state {
         promise.set_value(std::move(result));
         ctrs->cache_hits.fetch_add(1, std::memory_order_relaxed);
         ctrs->completed.fetch_add(1, std::memory_order_relaxed);
+        obs::request_event e;
+        e.trace_hi = normal.obs_trace_hi;
+        e.trace_lo = normal.obs_trace_lo;
+        e.correlation = normal.obs_correlation;
+        e.key_hi = key.request[0];
+        e.key_lo = key.request[1];
+        e.node = options.node_id;
+        e.tier = normal.mode == service_mode::representative ? 1 : 0;
+        e.disposition = obs::event_disposition::cache_hit;
+        e.start_ns = admitted_ns;
+        const std::uint64_t now = obs::now_ns();
+        e.total_ns = now >= admitted_ns ? now - admitted_ns : 0;
+        settle_event(*events, *slo, e);
         return submission{std::move(future), {}};
     }
 
@@ -322,21 +430,31 @@ struct service::state {
     // flight and the counters (both shared), so it outlives the service.
     [[nodiscard]] std::function<bool()>
     make_cancel(std::shared_ptr<flight> f, std::size_t index) {
-        return [f = std::move(f), index, c = ctrs]() -> bool {
-            const std::lock_guard<std::mutex> lock{f->mutex};
-            waiter& w = f->waiters[index];
-            if (w.settled) {
-                return false;
+        return [f = std::move(f), index, c = ctrs, ring = events,
+                window = slo, node = options.node_id]() -> bool {
+            obs::request_event e;
+            {
+                const std::lock_guard<std::mutex> lock{f->mutex};
+                waiter& w = f->waiters[index];
+                if (w.settled) {
+                    return false;
+                }
+                w.settled = true;
+                w.promise.set_exception(std::make_exception_ptr(
+                    service_cancelled{"serve: submission cancelled"}));
+                --f->live;
+                c->cancellations.fetch_add(1, std::memory_order_relaxed);
+                c->completed.fetch_add(1, std::memory_order_relaxed);
+                if (f->live == 0) {
+                    f->abandoned.store(true, std::memory_order_release);
+                }
+                e = flight_event(*f, node);
+                e.correlation = w.correlation;
+                e.trace_hi = w.trace_hi;
+                e.trace_lo = w.trace_lo;
+                e.disposition = obs::event_disposition::cancelled;
             }
-            w.settled = true;
-            w.promise.set_exception(std::make_exception_ptr(
-                service_cancelled{"serve: submission cancelled"}));
-            --f->live;
-            c->cancellations.fetch_add(1, std::memory_order_relaxed);
-            c->completed.fetch_add(1, std::memory_order_relaxed);
-            if (f->live == 0) {
-                f->abandoned.store(true, std::memory_order_release);
-            }
+            settle_event(*ring, *window, e);
             return true;
         };
     }
@@ -349,31 +467,46 @@ struct service::state {
             return;
         }
         const clock::time_point now = clock::now();
-        const std::lock_guard<std::mutex> lock{f.mutex};
-        if (now < f.earliest_deadline) {
-            return;
-        }
-        clock::time_point next = no_deadline;
-        for (waiter& w : f.waiters) {
-            if (w.settled) {
-                continue;
+        std::vector<obs::request_event> expired;
+        {
+            const std::lock_guard<std::mutex> lock{f.mutex};
+            if (now < f.earliest_deadline) {
+                return;
             }
-            if (now < w.deadline) {
-                next = std::min(next, w.deadline);
-                continue;
+            clock::time_point next = no_deadline;
+            for (waiter& w : f.waiters) {
+                if (w.settled) {
+                    continue;
+                }
+                if (now < w.deadline) {
+                    next = std::min(next, w.deadline);
+                    continue;
+                }
+                w.settled = true;
+                w.promise.set_exception(
+                    std::make_exception_ptr(service_timeout{
+                        "serve: submission deadline passed before the "
+                        "answer was ready"}));
+                --f.live;
+                ctrs->timeouts.fetch_add(1, std::memory_order_relaxed);
+                ctrs->completed.fetch_add(1, std::memory_order_relaxed);
+                obs::request_event e = flight_event(f, options.node_id);
+                e.correlation = w.correlation;
+                e.trace_hi = w.trace_hi;
+                e.trace_lo = w.trace_lo;
+                e.disposition = obs::event_disposition::timeout;
+                expired.push_back(e);
             }
-            w.settled = true;
-            w.promise.set_exception(std::make_exception_ptr(service_timeout{
-                "serve: submission deadline passed before the answer was "
-                "ready"}));
-            --f.live;
-            ctrs->timeouts.fetch_add(1, std::memory_order_relaxed);
-            ctrs->completed.fetch_add(1, std::memory_order_relaxed);
+            f.earliest_deadline = next;
+            if (f.live == 0 &&
+                !f.abandoned.load(std::memory_order_relaxed)) {
+                f.abandoned.store(true, std::memory_order_release);
+                ctrs->expired_flights.fetch_add(1,
+                                                std::memory_order_relaxed);
+            }
         }
-        f.earliest_deadline = next;
-        if (f.live == 0 && !f.abandoned.load(std::memory_order_relaxed)) {
-            f.abandoned.store(true, std::memory_order_release);
-            ctrs->expired_flights.fetch_add(1, std::memory_order_relaxed);
+        for (const obs::request_event& e : expired) {
+            settle_event(*events, *slo, e);
         }
     }
 
@@ -386,7 +519,8 @@ struct service::state {
 
     [[nodiscard]] std::shared_ptr<const std::vector<std::uint64_t>>
     block_stream(trace_entry& entry, std::uint32_t block_size,
-                 std::uint64_t correlation, std::uint64_t fp) {
+                 std::uint64_t correlation, std::uint64_t fp,
+                 std::uint64_t trace_hi, std::uint64_t trace_lo) {
         const unsigned bits = log2_exact(block_size);
         std::promise<std::shared_ptr<const std::vector<std::uint64_t>>>
             promise;
@@ -416,6 +550,7 @@ struct service::state {
             // later request at this (trace, block size) reuses it free.
             obs::span sp{"serve.stream_build", &ctrs->stream_build_ns,
                          correlation, fp};
+            sp.set_trace(trace_hi, trace_lo);
             auto stream =
                 std::make_shared<const std::vector<std::uint64_t>>(
                     trace::block_numbers(
@@ -439,7 +574,9 @@ struct service::state {
         const std::uint32_t block = f.request.sweep.block_sizes[shard];
         const auto stream = block_stream(*f.trace, block,
                                          f.obs_correlation,
-                                         f.obs_fingerprint);
+                                         f.obs_fingerprint,
+                                         f.request.obs_trace_hi,
+                                         f.request.obs_trace_lo);
         std::vector<core::dew_result> results;
         results.reserve(f.request.sweep.associativities.size());
         for (const std::uint32_t assoc : f.request.sweep.associativities) {
@@ -461,7 +598,9 @@ struct service::state {
         for (const std::uint32_t block : f.request.sweep.block_sizes) {
             const auto stream = block_stream(*f.trace, block,
                                              f.obs_correlation,
-                                             f.obs_fingerprint);
+                                             f.obs_fingerprint,
+                                             f.request.obs_trace_hi,
+                                             f.request.obs_trace_lo);
             for (const std::uint32_t assoc :
                  f.request.sweep.associativities) {
                 const auto pass = core::detail::make_sweep_pass(
@@ -508,15 +647,19 @@ struct service::state {
 
     void run_job(const job& j) {
         flight& f = *j.target;
+        // First pickup wins: the wide event's queue_ns/run_ns boundary.
+        std::uint64_t never = 0;
+        f.pickup_ns.compare_exchange_strong(never, obs::now_ns(),
+                                            std::memory_order_relaxed);
         // The queue-wait sample covers enqueue -> pickup, recorded by the
         // worker that picked the job up (one span per shard job).
         if (j.enqueued_ns != 0) {
             const std::uint64_t waited = obs::now_ns() - j.enqueued_ns;
             ctrs->queue_wait_ns.record(waited);
-            obs::recorder::instance().record("serve.queue_wait",
-                                             j.enqueued_ns, waited,
-                                             f.obs_correlation,
-                                             f.obs_fingerprint);
+            obs::recorder::instance().record(
+                "serve.queue_wait", j.enqueued_ns, waited,
+                f.obs_correlation, f.obs_fingerprint,
+                f.request.obs_trace_hi, f.request.obs_trace_lo);
         }
         sweep_deadlines(f);
         if (f.abandoned.load(std::memory_order_acquire)) {
@@ -530,6 +673,7 @@ struct service::state {
         try {
             obs::span sp{"serve.shard", &ctrs->shard_ns, f.obs_correlation,
                          f.obs_fingerprint};
+            sp.set_trace(f.request.obs_trace_hi, f.request.obs_trace_lo);
             if (options.fault_hook) {
                 options.fault_hook(
                     j.shard, f.attempt.load(std::memory_order_relaxed));
@@ -639,6 +783,8 @@ struct service::state {
         // last shard finished.
         obs::span settle_span{"serve.settle", &ctrs->settle_ns,
                               f->obs_correlation, f->obs_fingerprint};
+        settle_span.set_trace(f->request.obs_trace_hi,
+                              f->request.obs_trace_lo);
         cached_value value;
         if (!error && !abandoned) {
             const std::lock_guard<std::mutex> lock{f->mutex};
@@ -686,7 +832,14 @@ struct service::state {
         // the vector's shape — which outstanding cancel() closures index
         // into — survives; a moved-from promise behind a `settled` flag is
         // never touched again.
-        std::vector<std::pair<std::promise<service_result>, bool>> fulfil;
+        struct settled_waiter {
+            std::promise<service_result> promise;
+            bool joined{false};
+            std::uint64_t correlation{0};
+            std::uint64_t trace_hi{0};
+            std::uint64_t trace_lo{0};
+        };
+        std::vector<settled_waiter> fulfil;
         {
             const std::lock_guard<std::mutex> lock{f->mutex};
             fulfil.reserve(f->live);
@@ -696,24 +849,30 @@ struct service::state {
                     continue;
                 }
                 w.settled = true;
-                fulfil.emplace_back(std::move(w.promise), i > 0);
+                fulfil.push_back({std::move(w.promise), i > 0,
+                                  w.correlation, w.trace_hi, w.trace_lo});
             }
             f->live = 0;
         }
-        // Counted before the promises fire: a caller returning from get()
-        // must observe itself in `completed`.
-        ctrs->completed.fetch_add(fulfil.size(), std::memory_order_relaxed);
-        for (auto& [promise, joined] : fulfil) {
-            if (error) {
-                promise.set_exception(error);
-            } else {
-                service_result result = to_result(value);
-                result.coalesced = joined;
-                result.degraded = f->degraded;
-                result.flight_retries =
-                    f->attempt.load(std::memory_order_relaxed);
-                promise.set_value(std::move(result));
-            }
+        // One wide event per settled waiter, each under its own telemetry
+        // identity; the disposition ranks failure > degraded > coalesced.
+        // Recorded BEFORE the promises fire: the instant set_value runs,
+        // the waiting hop can send its response and close its span, and
+        // any telemetry still trickling in after that would land outside
+        // the client's span interval (the containment obs.stitch_test and
+        // obs.fleet_test prove).
+        for (const settled_waiter& w : fulfil) {
+            obs::request_event e = flight_event(*f, options.node_id);
+            e.correlation = w.correlation;
+            e.trace_hi = w.trace_hi;
+            e.trace_lo = w.trace_lo;
+            e.disposition =
+                error ? obs::event_disposition::failed
+                : f->degraded
+                    ? obs::event_disposition::degraded
+                    : (w.joined ? obs::event_disposition::coalesced
+                                : obs::event_disposition::computed);
+            settle_event(*events, *slo, e);
         }
         settle_span.finish();
         // The whole-flight span: creation -> settled, the envelope the
@@ -721,7 +880,23 @@ struct service::state {
         if (f->start_ns != 0) {
             obs::recorder::instance().record(
                 "serve.flight", f->start_ns, obs::now_ns() - f->start_ns,
-                f->obs_correlation, f->obs_fingerprint);
+                f->obs_correlation, f->obs_fingerprint,
+                f->request.obs_trace_hi, f->request.obs_trace_lo);
+        }
+        // Counted before the promises fire: a caller returning from get()
+        // must observe itself in `completed`.
+        ctrs->completed.fetch_add(fulfil.size(), std::memory_order_relaxed);
+        for (settled_waiter& w : fulfil) {
+            if (error) {
+                w.promise.set_exception(error);
+            } else {
+                service_result result = to_result(value);
+                result.coalesced = w.joined;
+                result.degraded = f->degraded;
+                result.flight_retries =
+                    f->attempt.load(std::memory_order_relaxed);
+                w.promise.set_value(std::move(result));
+            }
         }
         close_flight();
     }
@@ -779,7 +954,17 @@ struct service::state {
                 flights.erase(it);
             }
         }
+        // A queue rejection and an internal fault are different outcomes
+        // in the wide-event record even though both unwind the same way.
+        obs::event_disposition disposition = obs::event_disposition::failed;
+        try {
+            std::rethrow_exception(error);
+        } catch (const service_overloaded&) {
+            disposition = obs::event_disposition::rejected;
+        } catch (...) {
+        }
         std::vector<std::promise<service_result>> fulfil;
+        std::vector<obs::request_event> unwound;
         {
             const std::lock_guard<std::mutex> lock{f->mutex};
             fulfil.reserve(f->live);
@@ -789,6 +974,12 @@ struct service::state {
                 }
                 w.settled = true;
                 fulfil.push_back(std::move(w.promise));
+                obs::request_event e = flight_event(*f, options.node_id);
+                e.correlation = w.correlation;
+                e.trace_hi = w.trace_hi;
+                e.trace_lo = w.trace_lo;
+                e.disposition = disposition;
+                unwound.push_back(e);
             }
             f->live = 0;
         }
@@ -797,6 +988,9 @@ struct service::state {
         ctrs->completed.fetch_add(fulfil.size(), std::memory_order_relaxed);
         for (std::promise<service_result>& promise : fulfil) {
             promise.set_exception(error);
+        }
+        for (const obs::request_event& e : unwound) {
+            settle_event(*events, *slo, e);
         }
         close_flight();
     }
@@ -946,6 +1140,10 @@ submission service::submit(std::string_view trace_name,
     // The fingerprint tag is patched in once the key exists.
     obs::span submit_span{"serve.submit", &s.ctrs->submit_ns,
                           request.obs_correlation};
+    submit_span.set_trace(request.obs_trace_hi, request.obs_trace_lo);
+    // Admission time for the wide event, independent of the recorder's
+    // on/off state (the event ring always runs).
+    const std::uint64_t admitted_ns = obs::now_ns();
     const service_request normal = canonical(request); // throws up front
     // Relative deadline -> absolute, pinned at submit time (before any
     // queueing): the deadline clock starts when the caller asked, not when
@@ -977,9 +1175,10 @@ submission service::submit(std::string_view trace_name,
     {
         obs::span probe{"serve.cache_probe", &s.ctrs->cache_probe_ns,
                         normal.obs_correlation, key.request[0]};
+        probe.set_trace(normal.obs_trace_hi, normal.obs_trace_lo);
         if (const auto cached = s.cache.find(key)) {
             // Answered without touching a simulator or the queue.
-            return s.answer_from_cache(cached);
+            return s.answer_from_cache(cached, normal, key, admitted_ns);
         }
     }
 
@@ -1002,6 +1201,9 @@ submission service::submit(std::string_view trace_name,
                 current->waiters.emplace_back();
                 waiter& w = current->waiters.back();
                 w.deadline = deadline_at;
+                w.correlation = normal.obs_correlation;
+                w.trace_hi = normal.obs_trace_hi;
+                w.trace_lo = normal.obs_trace_lo;
                 current->earliest_deadline =
                     std::min(current->earliest_deadline, deadline_at);
                 ++current->live;
@@ -1022,8 +1224,10 @@ submission service::submit(std::string_view trace_name,
         {
             obs::span probe{"serve.cache_probe", &s.ctrs->cache_probe_ns,
                             normal.obs_correlation, key.request[0]};
+            probe.set_trace(normal.obs_trace_hi, normal.obs_trace_lo);
             if (const auto cached = s.cache.find(key)) {
-                return s.answer_from_cache(cached);
+                return s.answer_from_cache(cached, normal, key,
+                                           admitted_ns);
             }
         }
         // Load shedding: past the high-watermark an exact request gets the
@@ -1044,8 +1248,12 @@ submission service::submit(std::string_view trace_name,
         f->obs_correlation = normal.obs_correlation;
         f->obs_fingerprint = key.request[0];
         f->start_ns = obs::timestamp_if_enabled();
+        f->admitted_ns = admitted_ns;
         f->waiters.emplace_back();
         f->waiters.back().deadline = deadline_at;
+        f->waiters.back().correlation = normal.obs_correlation;
+        f->waiters.back().trace_hi = normal.obs_trace_hi;
+        f->waiters.back().trace_lo = normal.obs_trace_lo;
         f->earliest_deadline = deadline_at;
         f->live = 1;
         future = f->waiters.back().promise.get_future();
@@ -1137,6 +1345,10 @@ service_stats service::stats() const {
         out.queue_depth = state_->queue.size();
     }
     return out;
+}
+
+std::vector<obs::request_event> service::events() const {
+    return state_->events->snapshot();
 }
 
 void service::save_cache(std::ostream& out) const {

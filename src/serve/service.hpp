@@ -85,6 +85,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/event.hpp"
 #include "serve/cache.hpp"
 #include "serve/key.hpp"
 #include "trace/record.hpp"
@@ -161,6 +162,20 @@ struct service_options {
     // execution as fault_hook(shard_index, attempt) and may throw — the
     // exception fails the flight exactly as a real engine fault would.
     std::function<void(std::size_t, unsigned)> fault_hook{};
+
+    // Fleet observability (docs/OBSERVABILITY.md, Fleet):
+    //
+    // This server's stable identity in wide events and aggregated scrapes
+    // (0 = unnamed / single-process).  Pure telemetry.
+    std::uint64_t node_id{0};
+    // Wide per-request event ring: one obs::request_event per settled
+    // request, oldest dropped past this bound.
+    std::size_t event_ring_capacity{1024};
+    // Rolling SLO over settled-request total latency: a settle slower than
+    // slo_target burns error budget; the window is the horizon the
+    // serve.slo.window_* gauges summarise.
+    std::chrono::nanoseconds slo_target{std::chrono::milliseconds{100}};
+    std::chrono::nanoseconds slo_window{std::chrono::seconds{60}};
 };
 
 struct service_result {
@@ -323,6 +338,11 @@ public:
     void resume();
 
     [[nodiscard]] service_stats stats() const;
+
+    // Oldest-first snapshot of the wide per-request event ring: one record
+    // per settled request, capacity service_options::event_ring_capacity.
+    // What the get_events wire pair ships and events_jsonl renders.
+    [[nodiscard]] std::vector<obs::request_event> events() const;
 
     // Cache persistence (serve/cache.hpp); call on a quiesced service or
     // accept a racy-but-consistent snapshot.  load_cache in strict mode is

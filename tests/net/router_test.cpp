@@ -15,6 +15,7 @@
 #include "dew/sweep.hpp"
 #include "net/router.hpp"
 #include "net/server.hpp"
+#include "obs/recorder.hpp"
 #include "serve/service.hpp"
 #include "trace/digest.hpp"
 #include "trace/mediabench.hpp"
@@ -48,6 +49,16 @@ std::string sweep_bytes(core::sweep_result result) {
     std::ostringstream out;
     core::write_binary_result(out, result);
     return out.str();
+}
+
+std::vector<obs::span_event> spans_named(const char* name) {
+    std::vector<obs::span_event> out;
+    for (const obs::span_event& e : obs::recorder::instance().collect()) {
+        if (std::string{e.name} == name) {
+            out.push_back(e);
+        }
+    }
+    return out;
 }
 
 struct fleet {
@@ -198,6 +209,39 @@ TEST(Router, DeadBackendFailsOverAndRecoversAfterMarkHealthy) {
     EXPECT_NE(pending.get().sweep, nullptr);
     EXPECT_FALSE(front.healthy(0));
     EXPECT_EQ(front.backend_of(digest, request), 1u);
+}
+
+TEST(Router, FailoverCarriesBothAttemptedAndServingBackendIds) {
+    fleet servers;
+    router front{servers.options()};
+    const trace::trace_digest digest = front.register_trace(workload());
+
+    std::size_t key = 0;
+    while (front.backend_of(digest, request_number(key)) != 0) {
+        ++key;
+    }
+    const serve::service_request request = request_number(key);
+
+    servers.a.stop();
+    std::this_thread::sleep_for(std::chrono::milliseconds{100});
+
+    obs::recorder::instance().set_enabled(true);
+    const std::size_t route_spans_before =
+        spans_named("net.router.route").size();
+    routed_submission pending = front.submit(digest, request);
+    EXPECT_NE(pending.get().sweep, nullptr);
+
+    // The submission remembers the whole story: who was tried and failed,
+    // and who actually served.
+    EXPECT_EQ(pending.backend(), 1u);
+    ASSERT_EQ(pending.attempted().size(), 1u);
+    EXPECT_EQ(pending.attempted().front(), 0u);
+
+    // One route-decision span per attempt: the failed placement on 0 and
+    // the serving one on 1.
+    EXPECT_EQ(spans_named("net.router.route").size(),
+              route_spans_before + 2);
+    EXPECT_FALSE(spans_named("net.router.backend_rt").empty());
 }
 
 TEST(Router, WarmHandoffCarriesAnswersToTheSurvivingBackend) {

@@ -134,7 +134,32 @@ std::vector<obs::metric> sample_metrics() {
     latency.p50_ns = 1024;
     latency.p95_ns = 65536;
     latency.p99_ns = 262144;
+    // The raw buckets travel too (the aggregated scrape re-merges them
+    // exactly); make them asymmetric so a transposed read cannot pass.
+    for (std::size_t i = 0; i < latency.hist.counts.size(); ++i) {
+        latency.hist.counts[i] = i * i + 1;
+    }
     return {submitted, depth, latency};
+}
+
+std::vector<obs::request_event> sample_events() {
+    obs::request_event computed;
+    computed.trace_hi = 0x0123456789ABCDEFull;
+    computed.trace_lo = 0xFEDCBA9876543210ull;
+    computed.correlation = 41;
+    computed.key_hi = 42;
+    computed.key_lo = 43;
+    computed.node = 44;
+    computed.start_ns = 45;
+    computed.queue_ns = 46;
+    computed.run_ns = 47;
+    computed.total_ns = 48;
+    computed.tier = 1;
+    computed.disposition = obs::event_disposition::computed;
+    computed.retries = 2;
+    obs::request_event rejected; // all-defaults except the terminal state
+    rejected.disposition = obs::event_disposition::rejected;
+    return {computed, rejected};
 }
 
 std::string sweep_bytes(const core::sweep_result& result) {
@@ -297,6 +322,25 @@ TEST(Wire, MetricsRejectsImplausibleFields) {
     EXPECT_THROW((void)decode_metrics(bytes), wire_error);
 }
 
+TEST(Wire, EventsRoundTripEveryField) {
+    const std::vector<obs::request_event> events = sample_events();
+    EXPECT_EQ(decode_events(encode_events(events)), events);
+    EXPECT_TRUE(decode_events(encode_events({})).empty());
+}
+
+TEST(Wire, EventsRejectImplausibleTierAndDisposition) {
+    // Entry layout: u32 count, six u64 identity words, then tier u8 and
+    // disposition u8 (wire.cpp).  Corrupt each in place.
+    const std::size_t tier_at = 4 + 6 * 8;
+    std::string bad_tier = encode_events(sample_events());
+    bad_tier[tier_at] = 2; // only exact (0) / representative (1) exist
+    EXPECT_THROW((void)decode_events(bad_tier), wire_error);
+    std::string bad_disposition = encode_events(sample_events());
+    bad_disposition[tier_at + 1] =
+        static_cast<char>(obs::max_event_disposition + 1);
+    EXPECT_THROW((void)decode_events(bad_disposition), wire_error);
+}
+
 TEST(Wire, CacheLoadAndReportRoundTrip) {
     const cache_load_message message = decode_cache_load(
         encode_cache_load(serve::load_mode::salvage, "dscf-image-bytes"));
@@ -426,6 +470,8 @@ TEST(Wire, EveryMessagePayloadRejectsEveryTruncation) {
     expect_hardened("cache_load",
                     encode_cache_load(serve::load_mode::salvage, "dscf-image"),
                     [](std::string_view b) { (void)decode_cache_load(b); });
+    expect_hardened("events", encode_events(sample_events()),
+                    [](std::string_view bytes) { (void)decode_events(bytes); });
     expect_hardened("cache_loaded", encode_load_report({}),
                     [](std::string_view b) { (void)decode_load_report(b); });
 }
@@ -460,7 +506,7 @@ TEST(Wire, HeaderRejectsBadMagicVersionTypeAndSize) {
     EXPECT_THROW((void)parse_header(bad_version), wire_error);
 
     std::string bad_type = good;
-    bad_type[8] = 22; // one past message_type::metrics_ok
+    bad_type[8] = 24; // one past message_type::events_ok
     EXPECT_THROW((void)parse_header(bad_type), wire_error);
     bad_type[8] = static_cast<char>(0xFF);
     EXPECT_THROW((void)parse_header(bad_type), wire_error);

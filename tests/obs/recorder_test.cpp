@@ -165,6 +165,47 @@ TEST_F(Recorder, CollectRacingWritersNeverTears) {
     }
 }
 
+TEST_F(Recorder, WriterLappingAConcurrentCollectorNeverTearsASpan) {
+    // Harder than CollectRacingWritersNeverTears: one writer *laps its
+    // ring* several times while the collector drains continuously, so
+    // most collected slots were overwritten mid-scan and must be proven
+    // stale by their sequence, not returned torn.  Every field is a
+    // distinct function of the record index; a slot mixing two records
+    // breaks at least one equation.
+    std::atomic<bool> done{false};
+    std::thread writer{[&done] {
+        for (std::uint64_t i = 1; i <= 4 * recorder::ring_capacity; ++i) {
+            recorder::instance().record("test.lap", i, i + 1, i + 2, i + 3,
+                                        i + 4, i + 5);
+        }
+        done.store(true, std::memory_order_release);
+    }};
+    std::size_t rounds = 0;
+    while (!done.load(std::memory_order_acquire) || rounds == 0) {
+        // A scan the writer lapped keeps nothing from that ring — an empty
+        // round is the seqlock working, not a failure.  What it must never
+        // do is keep a torn slot.
+        for (const span_event& e :
+             events_named(recorder::instance().collect(), "test.lap")) {
+            const std::uint64_t i = e.start_ns;
+            ASSERT_EQ(e.dur_ns, i + 1);
+            ASSERT_EQ(e.correlation, i + 2);
+            ASSERT_EQ(e.fingerprint, i + 3);
+            ASSERT_EQ(e.trace_hi, i + 4);
+            ASSERT_EQ(e.trace_lo, i + 5);
+        }
+        ++rounds;
+    }
+    writer.join();
+    // Quiesced, the ring holds exactly the newest window, all stable.
+    const auto settled =
+        events_named(recorder::instance().collect(), "test.lap");
+    EXPECT_EQ(settled.size(), recorder::ring_capacity);
+    for (const span_event& e : settled) {
+        ASSERT_GT(e.start_ns, 3 * recorder::ring_capacity);
+    }
+}
+
 TEST_F(Recorder, ClearEmptiesEveryRing) {
     recorder::instance().record("test.clear", 1, 1, 0, 0);
     recorder::instance().clear();

@@ -121,6 +121,18 @@ TEST(Dewlint, BadFixtureFiresHotLoop) {
     EXPECT_TRUE(has(findings, "annotation", "needs a reason after the colon"));
 }
 
+TEST(Dewlint, BadFixtureFiresMetricCatalogue) {
+    const auto findings =
+        dewlint::analyze_project(fixture("bad"), {"metric-catalogue"});
+    EXPECT_TRUE(has(findings, "metric-catalogue",
+                    "metric 'bad.phantom_series' is registered here but "
+                    "absent from docs/OBSERVABILITY.md"))
+        << render(findings);
+    // The documented sibling in the same provider body stays quiet.
+    EXPECT_FALSE(has(findings, "metric-catalogue", "bad.documented"))
+        << render(findings);
+}
+
 TEST(Dewlint, ReasonedAllowSuppresses) {
     // good/src/threads.cpp detaches a thread under a reasoned
     // dewlint-allow(thread-hygiene); the rule alone must stay quiet.

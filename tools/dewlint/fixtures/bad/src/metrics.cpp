@@ -1,0 +1,19 @@
+// Bad fixture: registers a metric name the root's docs/OBSERVABILITY.md
+// catalogue never mentions.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bad {
+
+struct metric_sample {
+    std::string name;
+    std::uint64_t value{0};
+};
+
+void sample_metrics(std::vector<metric_sample>& out) {
+    out.push_back({"bad.documented", 1});
+    out.push_back({"bad.phantom_series", 2});
+}
+
+} // namespace bad

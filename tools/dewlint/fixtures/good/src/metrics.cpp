@@ -1,0 +1,28 @@
+// Good fixture: every registered metric name appears in this root's
+// docs/OBSERVABILITY.md catalogue.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace good {
+
+struct metric_sample {
+    std::string name;
+    std::uint64_t value{0};
+};
+
+// A prototype before the definition: a `;` at the anchor depth must not
+// confuse the body walk.
+void sample_metrics(std::vector<metric_sample>& out);
+
+void sample_metrics(std::vector<metric_sample>& out) {
+    out.push_back({"good.requests", 1});
+    out.push_back({"good.latency_ns", 2});
+    const std::string prefix = "good.backend.";
+    out.push_back({prefix + "healthy", 1});
+    // Prose never matches the name shape, catalogued or not.
+    const char* note = "this is not a metric name";
+    out.push_back({note, 0});
+}
+
+} // namespace good

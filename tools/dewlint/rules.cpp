@@ -14,6 +14,8 @@ const std::vector<rule>& all_rules() {
          "every message type has codec, dispatch case and cut-point test", &rules::wire_completeness},
         {"hot-loop",
          "no allocation/IO/clock identifiers in marked hot regions", &rules::hot_loop},
+        {"metric-catalogue",
+         "every registered metric name appears in docs/OBSERVABILITY.md", &rules::metric_catalogue},
     };
     return rules;
 }

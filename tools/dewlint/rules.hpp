@@ -11,6 +11,7 @@ void lock_order(const project& proj, std::vector<diagnostic>& out);
 void identity_completeness(const project& proj, std::vector<diagnostic>& out);
 void wire_completeness(const project& proj, std::vector<diagnostic>& out);
 void hot_loop(const project& proj, std::vector<diagnostic>& out);
+void metric_catalogue(const project& proj, std::vector<diagnostic>& out);
 
 inline void emit(std::vector<diagnostic>& out, const source_file& file,
                  int line, std::string rule, std::string message) {
